@@ -1,0 +1,61 @@
+// Figure 9a: social vs attribute clustering coefficient as a function of
+// node degree — both fall off with degree, the attribute curve sitting
+// lower and falling faster (shared cities/majors don't imply friendship).
+// Figure 9b: the §4.3 validation — drop every attribute link with
+// probability 0.5 and verify the attribute clustering curve is unchanged,
+// i.e. the declared 22% of attributes are a representative sample.
+#include "bench_util.hpp"
+
+#include <cmath>
+
+#include "graph/clustering.hpp"
+#include "san/san_metrics.hpp"
+#include "san/snapshot.hpp"
+#include "san/subsample.hpp"
+
+int main() {
+  using namespace san;
+  const auto net = bench::make_gplus_dataset();
+  const auto snap = snapshot_full(net);
+
+  bench::header("Fig 9a: clustering coefficient vs degree");
+  std::printf("# (curve, degree, avg clustering)\n");
+  for (const auto& [degree, cc] : graph::clustering_by_degree(snap.social)) {
+    std::printf("%-10s %12.1f %12.5f\n", "social", degree, cc);
+  }
+  for (const auto& [degree, cc] : attribute_clustering_by_degree(snap)) {
+    std::printf("%-10s %12.1f %12.5f\n", "attribute", degree, cc);
+  }
+
+  bench::header("Fig 9b: attribute clustering under 50% attribute subsampling");
+  const auto sub_net = subsample_attributes(net, 0.5, 4242);
+  const auto sub_snap = snapshot_full(sub_net);
+  std::printf("# (curve, degree, avg clustering)\n");
+  for (const auto& [degree, cc] : attribute_clustering_by_degree(snap)) {
+    std::printf("%-10s %12.1f %12.5f\n", "original", degree, cc);
+  }
+  for (const auto& [degree, cc] : attribute_clustering_by_degree(sub_snap)) {
+    std::printf("%-10s %12.1f %12.5f\n", "sampled", degree, cc);
+  }
+
+  // Fig 9b's comparison is per degree bucket (composition-free): at equal
+  // attribute social degree the two curves should coincide.
+  const auto original_curve = attribute_clustering_by_degree(snap);
+  const auto sampled_curve = attribute_clustering_by_degree(sub_snap);
+  double diff_sum = 0.0;
+  std::size_t matched = 0;
+  for (const auto& [od, oc] : original_curve) {
+    for (const auto& [sd, sc] : sampled_curve) {
+      if (std::abs(sd - od) < 0.2 * od && oc > 1e-4 && sc > 1e-4) {
+        diff_sum += std::abs(std::log10(oc) - std::log10(sc));
+        ++matched;
+        break;
+      }
+    }
+  }
+  std::printf("\nbucket-matched curves: %zu shared degree buckets, mean"
+              " |log10 cc difference| = %.3f (paper: curves nearly"
+              " identical)\n",
+              matched, matched ? diff_sum / static_cast<double>(matched) : 0.0);
+  return 0;
+}

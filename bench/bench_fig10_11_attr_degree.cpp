@@ -1,0 +1,48 @@
+// Figure 10: the two attribute-induced degree distributions — the attribute
+// degree of social nodes is best fit by a LOGNORMAL (10a) while the social
+// degree of attribute nodes is best fit by a POWER LAW (10b).
+// Figure 11: evolution of those fitted parameters.
+#include "bench_util.hpp"
+
+#include "san/san_metrics.hpp"
+#include "san/snapshot.hpp"
+
+int main() {
+  using namespace san;
+  const auto net = bench::make_gplus_dataset();
+  const auto final_snap = snapshot_full(net);
+
+  bench::header("Fig 10a: attribute degree of social nodes");
+  const auto attr_deg = attribute_degree_histogram(final_snap);
+  bench::print_pdf("attrdeg", attr_deg);
+  const auto attr_sel = stats::select_degree_model(attr_deg, 1);
+  bench::print_selection("attribute degree", attr_sel);
+  bench::print_lognormal_fit("attribute degree", attr_sel.lognormal);
+
+  bench::header("Fig 10b: social degree of attribute nodes");
+  const auto social_deg = attribute_social_degree_histogram(final_snap);
+  bench::print_pdf("socdeg", social_deg);
+  // The Yule-process head (brand-new attributes at degree 1-2) is not part
+  // of the asymptotic power law; fit from kmin = 3 as the paper's tool does
+  // with its xmin selection.
+  const auto pl = stats::fit_power_law(social_deg, 3);
+  bench::print_power_law_fit("attr social degree (tail)", pl);
+  const auto ln_alt = stats::fit_discrete_lognormal(social_deg, 3);
+  std::printf("%-28s lognormal alternative on the same tail: ks=%.4f"
+              " (power law wins: %s)\n",
+              "attr social degree (tail)", ln_alt.ks,
+              pl.ks < ln_alt.ks ? "yes" : "no");
+
+  bench::header("Fig 11: evolution of fitted parameters");
+  std::printf("%5s %10s %10s %14s\n", "day", "attr-mu", "attr-sigma",
+              "social-alpha");
+  for (const double day : bench::snapshot_days()) {
+    const auto snap = snapshot_at(net, day);
+    const auto ln = stats::fit_discrete_lognormal(attribute_degree_histogram(snap), 1);
+    const auto pl = stats::fit_power_law(attribute_social_degree_histogram(snap), 1);
+    std::printf("%5.0f %10.3f %10.3f %14.3f\n", day, ln.mu, ln.sigma, pl.alpha);
+  }
+  std::printf("(paper: alpha ~2.0-2.1; attr-degree mu declines in phases I and"
+              " III, sigma creeps up)\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 13a: fine-grained reciprocity r_{s,a} — among links that were
+// one-directional at the halfway crawl, the fraction reciprocated by the
+// final crawl, split by common social neighbors (s, bucketed) and common
+// attributes (a in {0, 1, >=2}). The paper finds ~2x higher reciprocity
+// with shared attributes, diminishing returns beyond ~10 common neighbors.
+// Figure 13b: average attribute clustering coefficient per attribute type —
+// Employer communities are far denser than City communities.
+#include "bench_util.hpp"
+
+#include "san/influence.hpp"
+#include "san/snapshot.hpp"
+
+int main() {
+  using namespace san;
+  const auto net = bench::make_gplus_dataset();
+
+  bench::header("Fig 13a: fine-grained reciprocity r_{s,a}");
+  const auto halfway = snapshot_at(net, 49.0);
+  const auto final_snap = snapshot_full(net);
+  const auto cells = fine_grained_reciprocity(halfway, final_snap, 5, 50);
+
+  std::printf("%18s %14s %14s %14s\n", "common-neighbors", "a=0", "a=1", "a>=2");
+  for (std::size_t b = 0; b < cells.size() / 3; ++b) {
+    const auto& c0 = cells[b * 3 + 0];
+    const auto& c1 = cells[b * 3 + 1];
+    const auto& c2 = cells[b * 3 + 2];
+    if (c0.links + c1.links + c2.links < 10) continue;
+    std::printf("        [%2zu, %2zu) ", c0.common_social_lo, c0.common_social_hi);
+    for (const auto* cell : {&c0, &c1, &c2}) {
+      if (cell->links >= 5) {
+        std::printf(" %6.3f (n=%4llu)", cell->rate(),
+                    static_cast<unsigned long long>(cell->links));
+      } else {
+        std::printf(" %6s (n=%4llu)", "-",
+                    static_cast<unsigned long long>(cell->links));
+      }
+    }
+    std::printf("\n");
+  }
+
+  // Aggregate ratio: shared-attribute links vs no-shared-attribute links.
+  std::uint64_t l0 = 0, r0 = 0, l1 = 0, r1 = 0;
+  for (const auto& cell : cells) {
+    if (cell.common_attr == 0) {
+      l0 += cell.links;
+      r0 += cell.reciprocated;
+    } else {
+      l1 += cell.links;
+      r1 += cell.reciprocated;
+    }
+  }
+  const double rate0 = l0 ? static_cast<double>(r0) / l0 : 0.0;
+  const double rate1 = l1 ? static_cast<double>(r1) / l1 : 0.0;
+  std::printf("\naggregate: no-shared-attr %.3f vs shared-attr %.3f -> ratio %.2fx"
+              " (paper: ~2x)\n", rate0, rate1, rate1 / std::max(rate0, 1e-9));
+
+  bench::header("Fig 13b: average attribute clustering coefficient by type");
+  graph::ClusteringOptions options;
+  options.epsilon = 0.01;
+  const auto by_type = clustering_by_attribute_type(final_snap, options);
+  for (const auto type : {AttributeType::kCity, AttributeType::kSchool,
+                          AttributeType::kMajor, AttributeType::kEmployer}) {
+    std::printf("%-10s %10.5f\n", to_string(type).c_str(),
+                by_type[static_cast<std::size_t>(type)]);
+  }
+  std::printf("(paper: Employer >> School/Major > City)\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 15: percent relative log-likelihood improvement of PAPA (15a) and
+// LAPA (15b) kernels over plain preferential attachment (alpha=1, beta=0),
+// on the observed first-outgoing-link events. The paper's findings:
+//   - alpha = 1 is the best exponent for every beta (linear degree effect),
+//   - LAPA beats PAPA (linear attribute effect),
+//   - PA is ~7.9% better than uniform; LAPA(1, 200) adds ~6.1% over PA.
+#include "bench_util.hpp"
+
+#include "model/attachment.hpp"
+
+int main() {
+  using namespace san;
+  const auto net = bench::make_gplus_dataset();
+  const model::AttachmentLikelihood evaluator(net, /*event_stride=*/2);
+
+  const double alphas[] = {0.0, 0.5, 1.0, 1.5, 2.0};
+  const double papa_betas[] = {0.0, 2.0, 4.0, 6.0, 8.0};
+  const double lapa_betas[] = {0.0, 10.0, 100.0, 200.0, 500.0};
+
+  const double l_pa =
+      evaluator.evaluate(model::AttachmentKind::kLapa, {1.0, 0.0}).loglik;
+  const double l_uniform =
+      evaluator.evaluate(model::AttachmentKind::kLapa, {0.0, 0.0}).loglik;
+  std::printf("PA improvement over uniform: %.1f%% (paper: 7.9%%)\n",
+              model::relative_improvement_percent(l_uniform, l_pa));
+
+  const auto print_grid = [&](const char* title, model::AttachmentKind kind,
+                              const double* betas, std::size_t n_betas) {
+    bench::header(title);
+    std::printf("%8s", "alpha");
+    for (std::size_t b = 0; b < n_betas; ++b) std::printf("  beta=%-7.0f", betas[b]);
+    std::printf("\n");
+    for (const double alpha : alphas) {
+      std::printf("%8.2f", alpha);
+      for (std::size_t b = 0; b < n_betas; ++b) {
+        const double l = evaluator.evaluate(kind, {alpha, betas[b]}).loglik;
+        std::printf("  %+11.2f", model::relative_improvement_percent(l_pa, l));
+      }
+      std::printf("\n");
+    }
+  };
+
+  print_grid("Fig 15a: PAPA relative improvement over PA (%)",
+             model::AttachmentKind::kPapa, papa_betas, 5);
+  print_grid("Fig 15b: LAPA relative improvement over PA (%)",
+             model::AttachmentKind::kLapa, lapa_betas, 5);
+
+  const double l_best =
+      evaluator.evaluate(model::AttachmentKind::kLapa, {1.0, 200.0}).loglik;
+  std::printf("\nLAPA(alpha=1, beta=200) over PA: %.1f%% (paper: 6.1%%)\n",
+              model::relative_improvement_percent(l_pa, l_best));
+  return 0;
+}

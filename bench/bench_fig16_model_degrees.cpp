@@ -1,0 +1,80 @@
+// Figure 16: degree distributions of synthetic SANs — our model (16a-16d)
+// vs the extended Zheleva baseline (16e-16h) — against the Google+ target.
+// The reproduction target: our model yields lognormal social out/indegree
+// and lognormal attribute degrees with a power-law attribute social degree
+// (matching Google+); Zhel yields power-law-shaped social degrees and a
+// non-lognormal attribute degree.
+#include "bench_util.hpp"
+
+#include "graph/metrics.hpp"
+#include "model/calibrate.hpp"
+#include "model/generator.hpp"
+#include "model/zhel.hpp"
+#include "san/san_metrics.hpp"
+#include "san/snapshot.hpp"
+#include "stats/ks.hpp"
+
+int main() {
+  using namespace san;
+  const auto gplus = bench::make_gplus_dataset();
+  const auto target = snapshot_full(gplus);
+
+  // Calibrate our model against the target (the paper's guided search).
+  auto calibration = model::calibrate_generator(target);
+  calibration.params.social_node_count = target.social_node_count();
+  const auto ours = snapshot_full(model::generate_san(calibration.params));
+
+  model::ZhelParams zhel_params;
+  zhel_params.social_node_count = target.social_node_count();
+  zhel_params.mean_out_links =
+      static_cast<double>(target.social_link_count()) /
+      static_cast<double>(target.social_node_count());
+  const auto zhel = snapshot_full(model::generate_zhel(zhel_params));
+
+  std::printf("calibrated params: mu_l=%.2f sigma_l=%.2f ms=%.2f mu_a=%.2f "
+              "sigma_a=%.2f p=%.3f declare=%.2f beta=%.0f fc=%.2f\n",
+              calibration.params.mu_l, calibration.params.sigma_l,
+              calibration.params.ms, calibration.params.mu_a,
+              calibration.params.sigma_a, calibration.params.p_new_attribute,
+              calibration.params.attribute_declare_prob, calibration.params.beta,
+              calibration.params.fc);
+
+  struct Row {
+    const char* name;
+    const SanSnapshot* snap;
+  };
+  const Row rows[] = {{"gplus", &target}, {"ours", &ours}, {"zhel", &zhel}};
+
+  const auto compare = [&](const char* title,
+                           auto histogram_of) {
+    bench::header(title);
+    const auto target_hist = histogram_of(target);
+    for (const auto& row : rows) {
+      const auto hist = histogram_of(*row.snap);
+      const auto sel = stats::select_degree_model(hist, 1);
+      std::printf("%-6s best=%-22s ln(mu=%6.2f sigma=%5.2f ks=%.4f) "
+                  "pl(alpha=%5.2f ks=%.4f) ks-vs-gplus=%.4f\n",
+                  row.name, to_string(sel.best).c_str(), sel.lognormal.mu,
+                  sel.lognormal.sigma, sel.lognormal.ks, sel.power_law.alpha,
+                  sel.power_law.ks, stats::ks_two_sample(hist, target_hist));
+    }
+  };
+
+  compare("Fig 16a/16e: social outdegree", [](const SanSnapshot& s) {
+    return graph::out_degree_histogram(s.social);
+  });
+  compare("Fig 16b/16f: social indegree", [](const SanSnapshot& s) {
+    return graph::in_degree_histogram(s.social);
+  });
+  compare("Fig 16c/16g: attribute degree of social nodes",
+          [](const SanSnapshot& s) { return attribute_degree_histogram(s); });
+  compare("Fig 16d/16h: social degree of attribute nodes",
+          [](const SanSnapshot& s) {
+            return attribute_social_degree_histogram(s);
+          });
+
+  std::printf("\n(reproduction target: 'ours' matches gplus on every row —"
+              " smaller ks-vs-gplus than 'zhel' — and the best-fit family"
+              " agrees with gplus.)\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Figure 18: ablation of the two attribute-augmented building blocks.
+//   18a — replace LAPA with plain PA (RR-SAN still on): the social indegree
+//         distribution degrades from lognormal towards a power law.
+//   18b — replace RR-SAN with plain RR (LAPA still on): the attribute
+//         clustering coefficient collapses.
+// Plus an extra ablation DESIGN.md calls out: exponential lifetimes (as in
+// prior models [29, 61]) instead of truncated-normal — the outdegree leaves
+// the lognormal regime.
+#include "bench_util.hpp"
+
+#include <algorithm>
+
+#include "graph/clustering.hpp"
+#include "graph/metrics.hpp"
+#include "model/generator.hpp"
+#include "san/san_metrics.hpp"
+#include "san/snapshot.hpp"
+
+int main() {
+  using namespace san;
+
+  model::GeneratorParams base;
+  base.social_node_count = bench::scale();
+  base.seed = 1234;
+
+  auto lapa_off = base;
+  lapa_off.attachment = model::AttachmentRule::kPa;
+  auto rrsan_off = base;
+  rrsan_off.closure = model::ClosureRule::kRr;
+  auto exp_lifetime = base;
+  exp_lifetime.lifetime = model::LifetimeRule::kExponential;
+
+  const auto full = snapshot_full(model::generate_san(base));
+  const auto no_lapa = snapshot_full(model::generate_san(lapa_off));
+  const auto no_rrsan = snapshot_full(model::generate_san(rrsan_off));
+  const auto exp_life = snapshot_full(model::generate_san(exp_lifetime));
+
+  bench::header("Fig 18a: indegree with vs without LAPA");
+  for (const auto& [name, snap] :
+       {std::pair{"full-model", &full}, std::pair{"without-LAPA", &no_lapa}}) {
+    const auto hist = graph::in_degree_histogram(snap->social);
+    const auto ln = stats::fit_discrete_lognormal(hist, 1);
+    const auto tail = stats::fit_power_law_scan(hist);
+    std::size_t max_in = 0;
+    for (NodeId u = 0; u < snap->social.node_count(); ++u) {
+      max_in = std::max(max_in, snap->social.in_degree(u));
+    }
+    std::printf("%-14s lognormal-ks=%.4f tail power law alpha=%.2f"
+                " (kmin=%u ks=%.4f) max-indegree=%zu\n",
+                name, ln.ks, tail.alpha, tail.kmin, tail.ks, max_in);
+  }
+  std::printf("(paper: without LAPA the indegree drifts towards a power law —"
+              " here visible as a smaller tail exponent and a cleaner"
+              " power-law tail fit. The contrast is weaker than the paper's"
+              " because closure links dominate indegree volume at this"
+              " scale.)\n");
+
+  bench::header("Fig 18b: attribute clustering with vs without RR-SAN");
+  graph::ClusteringOptions options;
+  options.epsilon = 0.01;
+  const double cc_full = average_attribute_clustering(full, options);
+  const double cc_no = average_attribute_clustering(no_rrsan, options);
+  std::printf("full model (RR-SAN):   attribute cc = %.5f\n", cc_full);
+  std::printf("without RR-SAN (RR):   attribute cc = %.5f\n", cc_no);
+  std::printf("ratio %.1fx (paper: RR-SAN has a large impact on attribute cc)\n",
+              cc_full / std::max(cc_no, 1e-9));
+  std::printf("# attribute clustering vs degree\n");
+  for (const auto& [degree, cc] : attribute_clustering_by_degree(full)) {
+    std::printf("%-14s %12.1f %12.5f\n", "full-model", degree, cc);
+  }
+  for (const auto& [degree, cc] : attribute_clustering_by_degree(no_rrsan)) {
+    std::printf("%-14s %12.1f %12.5f\n", "without-RRSAN", degree, cc);
+  }
+
+  bench::header("Extra ablation: truncated-normal vs exponential lifetime");
+  for (const auto& [name, snap] :
+       {std::pair{"truncated-normal", &full}, std::pair{"exponential", &exp_life}}) {
+    const auto hist = graph::out_degree_histogram(snap->social);
+    const auto sel = stats::select_degree_model(hist, 1);
+    std::printf("%-18s best=%-22s lognormal-ks=%.4f cutoff-ks=%.4f\n", name,
+                to_string(sel.best).c_str(), sel.lognormal.ks, sel.cutoff.ks);
+  }
+  std::printf("(Theorem 1 needs the truncated-normal lifetime: with the"
+              " exponential lifetime of prior models the lognormal fit"
+              " degrades — larger lognormal-ks, heavier tail — and the"
+              " cutoff family catches up)\n");
+  return 0;
+}

@@ -1,0 +1,153 @@
+// google-benchmark micro-suite for the substrate hot paths: CSR
+// construction, BFS, HyperANF, sampled clustering, the LAPA token sampler
+// (exact vs the §7 heuristic cost), and SAN primitives.
+#include <benchmark/benchmark.h>
+
+#include "graph/bfs.hpp"
+#include "graph/clustering.hpp"
+#include "graph/csr.hpp"
+#include "graph/hyperanf.hpp"
+#include "graph/metrics.hpp"
+#include "model/generator.hpp"
+#include "model/lapa_sampler.hpp"
+#include "san/snapshot.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using san::graph::CsrGraph;
+using san::graph::NodeId;
+
+const san::SocialAttributeNetwork& test_network() {
+  static const auto net = [] {
+    san::model::GeneratorParams params;
+    params.social_node_count = 30'000;
+    params.seed = 777;
+    return san::model::generate_san(params);
+  }();
+  return net;
+}
+
+const san::SanSnapshot& test_snapshot() {
+  static const auto snap = san::snapshot_full(test_network());
+  return snap;
+}
+
+void BM_CsrBuild(benchmark::State& state) {
+  const auto& net = test_network();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CsrGraph::from_digraph(net.social()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(net.social_link_count()));
+}
+BENCHMARK(BM_CsrBuild);
+
+void BM_Bfs(benchmark::State& state) {
+  const auto& snap = test_snapshot();
+  san::stats::Rng rng(1);
+  for (auto _ : state) {
+    const auto src = static_cast<NodeId>(rng.uniform_index(snap.social.node_count()));
+    benchmark::DoNotOptimize(san::graph::bfs_distances(snap.social, src));
+  }
+}
+BENCHMARK(BM_Bfs);
+
+void BM_HyperAnf(benchmark::State& state) {
+  const auto& snap = test_snapshot();
+  san::graph::HyperAnfOptions options;
+  options.log2m = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(san::graph::hyper_anf(snap.social, options));
+  }
+}
+BENCHMARK(BM_HyperAnf)->Arg(5)->Arg(7);
+
+void BM_ApproxClustering(benchmark::State& state) {
+  const auto& snap = test_snapshot();
+  san::graph::ClusteringOptions options;
+  options.epsilon = 1.0 / static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        san::graph::approx_average_clustering(snap.social, options));
+  }
+}
+BENCHMARK(BM_ApproxClustering)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_Reciprocity(benchmark::State& state) {
+  const auto& snap = test_snapshot();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(san::graph::reciprocity(snap.social));
+  }
+}
+BENCHMARK(BM_Reciprocity);
+
+void BM_Assortativity(benchmark::State& state) {
+  const auto& snap = test_snapshot();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(san::graph::assortativity(snap.social));
+  }
+}
+BENCHMARK(BM_Assortativity);
+
+void BM_LapaSamplerDraw(benchmark::State& state) {
+  // Cost of one exact LAPA draw on a realistic network (the paper's §7
+  // worries about a naive O(n) implementation; the token structure is
+  // O(attributes of u)).
+  const auto& net = test_network();
+  san::stats::Rng rng(3);
+  san::model::LapaSampler sampler(net, rng);
+  for (std::size_t a = 0; a < net.attribute_node_count(); ++a) {
+    sampler.on_attribute_node_added();
+  }
+  for (const auto& link : net.attribute_log()) {
+    sampler.on_attribute_link_added(link.user, link.attr);
+  }
+  for (const auto& e : net.social_log()) {
+    sampler.on_social_link_added(e.src, e.dst);
+  }
+  const double beta = static_cast<double>(state.range(0));
+  NodeId u = 0;
+  for (auto _ : state) {
+    u = (u + 1) % static_cast<NodeId>(net.social_node_count());
+    benchmark::DoNotOptimize(sampler.sample_target(u, beta));
+  }
+}
+BENCHMARK(BM_LapaSamplerDraw)->Arg(0)->Arg(200);
+
+void BM_CommonAttributes(benchmark::State& state) {
+  const auto& net = test_network();
+  san::stats::Rng rng(4);
+  const auto n = net.social_node_count();
+  for (auto _ : state) {
+    const auto u = static_cast<NodeId>(rng.uniform_index(n));
+    const auto v = static_cast<NodeId>(rng.uniform_index(n));
+    benchmark::DoNotOptimize(net.common_attributes(u, v));
+  }
+}
+BENCHMARK(BM_CommonAttributes);
+
+void BM_SnapshotExtraction(benchmark::State& state) {
+  const auto& net = test_network();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        san::snapshot_at(net, static_cast<double>(net.social_node_count()) / 2));
+  }
+}
+BENCHMARK(BM_SnapshotExtraction);
+
+void BM_GenerateSan(benchmark::State& state) {
+  san::model::GeneratorParams params;
+  params.social_node_count = static_cast<std::size_t>(state.range(0));
+  params.seed = 555;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(san::model::generate_san(params));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_GenerateSan)->Arg(5'000)->Arg(20'000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

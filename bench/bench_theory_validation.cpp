@@ -1,0 +1,90 @@
+// Validation of the paper's theorems on generated networks:
+//   Theorem 1 — social outdegree is lognormal with
+//       mu = (mu_l + sigma_l g(gamma)) / ms, sigma^2 = sigma_l^2 (1-delta)/ms^2.
+//   Theorem 2 — attribute-node social degree is power law with exponent
+//       (2 - p) / (1 - p).
+//   Theorem 3 — Algorithm 2's clustering estimate is within eps of the
+//       exact value with probability >= 1 - 1/nu.
+#include "bench_util.hpp"
+
+#include <cmath>
+
+#include "graph/clustering.hpp"
+#include "graph/metrics.hpp"
+#include "model/generator.hpp"
+#include "model/theory.hpp"
+#include "san/san_metrics.hpp"
+#include "san/snapshot.hpp"
+#include "stats/rng.hpp"
+
+int main() {
+  using namespace san;
+
+  bench::header("Theorem 1: outdegree lognormal parameters (fit vs predicted)");
+  std::printf("%8s %8s %6s | %10s %10s | %10s %10s\n", "mu_l", "sigma_l", "ms",
+              "pred-mu", "fit-mu", "pred-sigma", "fit-sigma");
+  for (const auto& [mu_l, sigma_l, ms] :
+       {std::tuple{1.5, 0.8, 1.0}, std::tuple{1.8, 1.0, 1.0},
+        std::tuple{2.4, 1.2, 1.0}, std::tuple{2.4, 0.8, 2.0},
+        std::tuple{1.0, 1.5, 0.8}}) {
+    model::GeneratorParams params;
+    params.social_node_count = 30'000;
+    params.mu_l = mu_l;
+    params.sigma_l = sigma_l;
+    params.ms = ms;
+    params.seed = 7070;
+    const auto snap = snapshot_full(model::generate_san(params));
+    const auto fit = stats::fit_discrete_lognormal(
+        graph::out_degree_histogram(snap.social), 1);
+    const auto pred = model::predicted_outdegree_lognormal(mu_l, sigma_l, ms);
+    std::printf("%8.2f %8.2f %6.2f | %10.3f %10.3f | %10.3f %10.3f\n", mu_l,
+                sigma_l, ms, pred.mu, fit.mu, pred.sigma, fit.sigma);
+  }
+
+  bench::header("Theorem 2: attribute power-law exponent (fit vs (2-p)/(1-p))");
+  std::printf("%8s %14s %12s\n", "p", "predicted", "fitted");
+  for (const double p : {0.05, 0.1, 0.2, 0.3, 0.5}) {
+    model::GeneratorParams params;
+    params.social_node_count = 30'000;
+    params.p_new_attribute = p;
+    params.attribute_declare_prob = 1.0;
+    params.seed = 8080;
+    const auto snap = snapshot_full(model::generate_san(params));
+    const auto fit =
+        stats::fit_power_law_scan(attribute_social_degree_histogram(snap));
+    std::printf("%8.2f %14.3f %12.3f\n", p,
+                model::predicted_attribute_powerlaw_exponent(p), fit.alpha);
+  }
+
+  bench::header("Theorem 3: clustering estimator error vs (eps, nu) bound");
+  model::GeneratorParams params;
+  params.social_node_count = 5'000;
+  params.seed = 9090;
+  const auto snap = snapshot_full(model::generate_san(params));
+  const double exact = graph::exact_average_clustering(snap.social);
+  std::printf("exact average clustering: %.5f\n", exact);
+  std::printf("%8s %8s %10s %14s %14s\n", "eps", "nu", "samples", "max|err|/eps",
+              "violations");
+  for (const auto& [eps, nu] :
+       {std::pair{0.02, 20.0}, std::pair{0.01, 50.0}, std::pair{0.005, 100.0}}) {
+    graph::ClusteringOptions options;
+    options.epsilon = eps;
+    options.nu = nu;
+    int violations = 0;
+    double worst = 0.0;
+    constexpr int kRuns = 20;
+    for (int run = 0; run < kRuns; ++run) {
+      options.seed = 100 + static_cast<std::uint64_t>(run);
+      const double approx = graph::approx_average_clustering(snap.social, options);
+      const double err = std::abs(approx - exact);
+      worst = std::max(worst, err);
+      if (err > eps) ++violations;
+    }
+    std::printf("%8.3f %8.0f %10llu %14.2f %11d/%d\n", eps, nu,
+                static_cast<unsigned long long>(
+                    graph::clustering_sample_count(options)),
+                worst / eps, violations, kRuns);
+  }
+  std::printf("(bound: violations <= runs/nu in expectation)\n");
+  return 0;
+}

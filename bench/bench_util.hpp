@@ -1,0 +1,82 @@
+// Shared helpers for the figure/table reproduction binaries. Each binary is
+// a deterministic plain executable that prints the same rows/series the
+// paper reports; absolute numbers differ (the substrate is a synthetic
+// network, not the authors' 30M-user crawl) but the shapes should hold.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "crawl/crawler.hpp"
+#include "crawl/gplus_synth.hpp"
+#include "san/san.hpp"
+#include "stats/fit.hpp"
+#include "stats/summary.hpp"
+
+namespace san::bench {
+
+/// Bench scale: number of social nodes in the synthetic Google+ dataset.
+/// Override with SAN_BENCH_NODES for larger runs.
+inline std::size_t scale() {
+  if (const char* env = std::getenv("SAN_BENCH_NODES")) {
+    const long value = std::atol(env);
+    if (value > 1000) return static_cast<std::size_t>(value);
+  }
+  return 60'000;
+}
+
+/// The synthetic Google+ ground truth (includes unreachable lurkers).
+inline SocialAttributeNetwork make_gplus_ground_truth() {
+  crawl::SyntheticGplusParams params;
+  params.total_social_nodes = scale();
+  return crawl::generate_synthetic_gplus(params);
+}
+
+/// The dataset every measurement bench analyzes: the CRAWLED network, just
+/// as the paper measured its BFS crawl rather than the (unknowable) full
+/// Google+ graph. Retrospective snapshots of the final crawl stand in for
+/// the paper's 79 daily crawls.
+inline SocialAttributeNetwork make_gplus_dataset() {
+  const auto truth = make_gplus_ground_truth();
+  return crawl::crawl_at(truth, 98.0).network;
+}
+
+inline void header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void print_pdf(const char* label, const stats::Histogram& hist) {
+  std::printf("# %s: log-binned empirical pdf (degree, probability-density)\n",
+              label);
+  for (const auto& point : stats::log_binned_pdf(hist)) {
+    std::printf("%-10s %12.2f %14.6e\n", label, point.center, point.density);
+  }
+}
+
+inline void print_lognormal_fit(const char* label, const stats::LognormalFit& fit) {
+  std::printf("%-28s lognormal fit: mu=%.3f sigma=%.3f ks=%.4f (n=%llu)\n",
+              label, fit.mu, fit.sigma, fit.ks,
+              static_cast<unsigned long long>(fit.n_tail));
+}
+
+inline void print_power_law_fit(const char* label, const stats::PowerLawFit& fit) {
+  std::printf("%-28s power-law fit: alpha=%.3f kmin=%u ks=%.4f (n=%llu)\n",
+              label, fit.alpha, fit.kmin, fit.ks,
+              static_cast<unsigned long long>(fit.n_tail));
+}
+
+inline void print_selection(const char* label, const stats::ModelSelection& sel) {
+  std::printf(
+      "%-28s best=%s  (AIC: power-law=%.0f lognormal=%.0f cutoff=%.0f)\n", label,
+      to_string(sel.best).c_str(), sel.aic_power_law, sel.aic_lognormal,
+      sel.aic_cutoff);
+}
+
+/// Snapshot days mirroring the paper's phases (I: 1-20, II: 21-75, III: 76-98).
+inline std::vector<double> snapshot_days() {
+  return {7, 14, 20, 28, 35, 42, 49, 56, 63, 70, 75, 80, 85, 91, 98};
+}
+
+}  // namespace san::bench

@@ -1,0 +1,46 @@
+// Friend recommendation with attributes (§7 of the paper: shared employers
+// predict links better than shared cities). Generates a synthetic Google+
+// network, recommends links for a few users, and evaluates social-only vs
+// SAN-aware scoring on a holdout.
+//
+//   ./build/examples/link_recommendation [nodes]
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/linkpred.hpp"
+#include "crawl/gplus_synth.hpp"
+#include "san/snapshot.hpp"
+#include "stats/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace san;
+
+  crawl::SyntheticGplusParams params;
+  params.total_social_nodes = argc > 1 ? std::atol(argv[1]) : 15'000;
+  params.attribute_declare_prob = 0.5;  // attribute-rich demo network
+  const auto net = crawl::generate_synthetic_gplus(params);
+  const auto snap = snapshot_full(net);
+
+  apps::LinkPredictionWeights weights;  // Employer 1.0 > School > Major > City
+
+  // Recommend for the first few users that declare attributes.
+  std::size_t shown = 0;
+  for (NodeId u = 0; u < snap.social_node_count() && shown < 3; ++u) {
+    if (snap.attributes[u].size() < 2) continue;
+    ++shown;
+    std::printf("recommendations for user %u (%zu attributes, %zu out-links):\n",
+                u, snap.attributes[u].size(), snap.social.out_degree(u));
+    for (const auto& rec : apps::recommend_friends(snap, u, 5, weights)) {
+      std::printf("  candidate %-8u score %.2f\n", rec.candidate, rec.score);
+    }
+  }
+
+  stats::Rng rng(7);
+  const auto holdout = apps::evaluate_link_prediction(snap, 5'000, weights, rng);
+  std::printf("\nholdout AUC (ranking positives above random non-edges):\n");
+  std::printf("  common neighbors only:        %.3f\n", holdout.auc_social_only);
+  std::printf("  + type-weighted attributes:   %.3f\n", holdout.auc_san);
+  std::printf("(the SAN-aware scorer should be at least as good — the paper's"
+              " point that attributes carry link signal)\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+#include "apps/attr_inference.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace san::apps {
+namespace {
+
+std::vector<AttributePrediction> rank_candidates(
+    const SanSnapshot& snap, NodeId u, AttrId held_out,
+    const AttributeInferenceOptions& options) {
+  std::unordered_map<AttrId, double> votes;
+  for (const NodeId v : snap.social.neighbors(u)) {
+    const bool mutual = snap.social.has_edge(u, v) && snap.social.has_edge(v, u);
+    const double w = mutual ? options.mutual_neighbor_weight
+                            : options.one_way_neighbor_weight;
+    for (const AttrId x : snap.attributes[v]) votes[x] += w;
+  }
+  // Remove attributes u still declares (the held-out one stays a candidate).
+  for (const AttrId x : snap.attributes[u]) {
+    if (x != held_out) votes.erase(x);
+  }
+
+  std::vector<AttributePrediction> ranked;
+  ranked.reserve(votes.size());
+  for (const auto& [attribute, score] : votes) ranked.push_back({attribute, score});
+  std::sort(ranked.begin(), ranked.end(),
+            [](const AttributePrediction& a, const AttributePrediction& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.attribute < b.attribute;
+            });
+  if (ranked.size() > options.top_k) ranked.resize(options.top_k);
+  return ranked;
+}
+
+}  // namespace
+
+std::vector<AttributePrediction> infer_attributes(
+    const SanSnapshot& snap, NodeId u, const AttributeInferenceOptions& options) {
+  if (u >= snap.social_node_count()) {
+    throw std::out_of_range("infer_attributes: unknown node");
+  }
+  // No held-out attribute: exclude everything u declares.
+  constexpr AttrId kNone = static_cast<AttrId>(-1);
+  return rank_candidates(snap, u, kNone, options);
+}
+
+AttributeInferenceResult evaluate_attribute_inference(
+    const SanSnapshot& snap, std::size_t samples,
+    const AttributeInferenceOptions& options, stats::Rng& rng) {
+  AttributeInferenceResult result;
+  // Collect all (user, attribute) links once.
+  std::vector<std::pair<NodeId, AttrId>> links;
+  for (NodeId u = 0; u < snap.social_node_count(); ++u) {
+    for (const AttrId x : snap.attributes[u]) links.emplace_back(u, x);
+  }
+  if (links.empty()) return result;
+
+  std::uint64_t hits = 0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const auto& [u, held_out] = links[rng.uniform_index(links.size())];
+    const auto predictions = rank_candidates(snap, u, held_out, options);
+    if (predictions.empty()) continue;
+    ++result.evaluated;
+    for (const auto& p : predictions) {
+      if (p.attribute == held_out) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  if (result.evaluated > 0) {
+    result.recall_at_k =
+        static_cast<double>(hits) / static_cast<double>(result.evaluated);
+  }
+  return result;
+}
+
+}  // namespace san::apps

@@ -1,0 +1,48 @@
+// Attribute inference (the SAN application of [17, 58] the paper cites
+// throughout): predict a user's undeclared attributes from the attributes
+// of its social neighborhood, optionally weighting neighbors that are
+// reciprocally linked more (the §4.2 finding that mutual links correlate
+// with shared attributes).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "san/snapshot.hpp"
+#include "stats/rng.hpp"
+
+namespace san::apps {
+
+struct AttributeInferenceOptions {
+  std::size_t top_k = 3;            // predictions per user
+  double mutual_neighbor_weight = 2.0;  // weight of reciprocal neighbors
+  double one_way_neighbor_weight = 1.0;
+};
+
+struct AttributePrediction {
+  AttrId attribute = 0;
+  double score = 0.0;
+};
+
+/// Rank candidate attributes for user u by neighborhood vote. Attributes u
+/// already declares are excluded.
+std::vector<AttributePrediction> infer_attributes(
+    const SanSnapshot& snap, NodeId u,
+    const AttributeInferenceOptions& options = {});
+
+struct AttributeInferenceResult {
+  /// Fraction of held-out attribute links recovered within the top-k
+  /// predictions of their user.
+  double recall_at_k = 0.0;
+  std::uint64_t evaluated = 0;
+};
+
+/// Holdout evaluation: for `samples` random (user, attribute) links, remove
+/// the link, predict, and check whether the removed attribute ranks within
+/// top_k. Users need >= 1 remaining attribute-bearing neighbor to be
+/// evaluable.
+AttributeInferenceResult evaluate_attribute_inference(
+    const SanSnapshot& snap, std::size_t samples,
+    const AttributeInferenceOptions& options, stats::Rng& rng);
+
+}  // namespace san::apps

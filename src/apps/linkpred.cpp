@@ -1,0 +1,138 @@
+#include "apps/linkpred.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace san::apps {
+namespace {
+
+std::size_t common_sorted(std::span<const NodeId> a, std::span<const NodeId> b) {
+  std::size_t count = 0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++count, ++ia, ++ib;
+    }
+  }
+  return count;
+}
+
+double attribute_score(const SanSnapshot& snap, NodeId u, NodeId v,
+                       const LinkPredictionWeights& weights) {
+  const auto& au = snap.attributes[u];
+  const auto& av = snap.attributes[v];
+  double score = 0.0;
+  auto iu = au.begin();
+  auto iv = av.begin();
+  while (iu != au.end() && iv != av.end()) {
+    if (*iu < *iv) {
+      ++iu;
+    } else if (*iv < *iu) {
+      ++iv;
+    } else {
+      score += weights.attribute[static_cast<std::size_t>(snap.attribute_types[*iu])];
+      ++iu, ++iv;
+    }
+  }
+  return score;
+}
+
+double pair_score(const SanSnapshot& snap, NodeId u, NodeId v,
+                  const LinkPredictionWeights& weights, bool use_attributes) {
+  double score =
+      weights.common_neighbor *
+      static_cast<double>(common_sorted(snap.social.neighbors(u),
+                                        snap.social.neighbors(v)));
+  if (use_attributes) score += attribute_score(snap, u, v, weights);
+  return score;
+}
+
+}  // namespace
+
+std::vector<Recommendation> recommend_friends(const SanSnapshot& snap, NodeId u,
+                                              std::size_t k,
+                                              const LinkPredictionWeights& weights) {
+  if (u >= snap.social_node_count()) {
+    throw std::out_of_range("recommend_friends: unknown node");
+  }
+  std::unordered_map<NodeId, double> scores;
+
+  // 2-hop candidates with common-neighbor evidence accumulated on the fly.
+  for (const NodeId w : snap.social.neighbors(u)) {
+    for (const NodeId c : snap.social.neighbors(w)) {
+      if (c == u) continue;
+      scores[c] += weights.common_neighbor;
+    }
+  }
+  // Attribute-community candidates.
+  for (const AttrId x : snap.attributes[u]) {
+    const double wx =
+        weights.attribute[static_cast<std::size_t>(snap.attribute_types[x])];
+    if (wx <= 0.0) continue;
+    for (const NodeId c : snap.members[x]) {
+      if (c == u) continue;
+      scores[c] += wx;
+    }
+  }
+
+  // Drop existing out-links.
+  for (const NodeId v : snap.social.out(u)) scores.erase(v);
+  scores.erase(u);
+
+  std::vector<Recommendation> recs;
+  recs.reserve(scores.size());
+  for (const auto& [candidate, score] : scores) recs.push_back({candidate, score});
+  const std::size_t keep = std::min(k, recs.size());
+  std::partial_sort(recs.begin(), recs.begin() + static_cast<std::ptrdiff_t>(keep),
+                    recs.end(), [](const Recommendation& a, const Recommendation& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.candidate < b.candidate;
+                    });
+  recs.resize(keep);
+  return recs;
+}
+
+HoldoutResult evaluate_link_prediction(const SanSnapshot& snap, std::size_t pairs,
+                                       const LinkPredictionWeights& weights,
+                                       stats::Rng& rng) {
+  HoldoutResult result;
+  const std::size_t n = snap.social_node_count();
+  if (n < 3 || snap.social_link_count() == 0) return result;
+
+  // Collect the directed edge list once for positive sampling.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(snap.social_link_count());
+  for (NodeId u = 0; u < n; ++u) {
+    for (const NodeId v : snap.social.out(u)) edges.emplace_back(u, v);
+  }
+
+  double wins_social = 0.0, wins_san = 0.0;
+  for (std::size_t i = 0; i < pairs; ++i) {
+    const auto& [pu, pv] = edges[rng.uniform_index(edges.size())];
+    NodeId nu = 0, nv = 0;
+    do {
+      nu = static_cast<NodeId>(rng.uniform_index(n));
+      nv = static_cast<NodeId>(rng.uniform_index(n));
+    } while (nu == nv || snap.social.has_edge(nu, nv));
+
+    const double pos_social = pair_score(snap, pu, pv, weights, false);
+    const double neg_social = pair_score(snap, nu, nv, weights, false);
+    const double pos_san = pair_score(snap, pu, pv, weights, true);
+    const double neg_san = pair_score(snap, nu, nv, weights, true);
+    wins_social += pos_social > neg_social ? 1.0 : pos_social == neg_social ? 0.5 : 0.0;
+    wins_san += pos_san > neg_san ? 1.0 : pos_san == neg_san ? 0.5 : 0.0;
+    ++result.pairs;
+  }
+  if (result.pairs > 0) {
+    result.auc_social_only = wins_social / static_cast<double>(result.pairs);
+    result.auc_san = wins_san / static_cast<double>(result.pairs);
+  }
+  return result;
+}
+
+}  // namespace san::apps

@@ -1,0 +1,48 @@
+#include "apps/projection.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace san::apps {
+
+graph::CsrGraph degree_bounded_undirected(const graph::CsrGraph& social,
+                                          std::size_t degree_bound) {
+  if (degree_bound == 0) {
+    throw std::invalid_argument("degree_bounded_undirected: bound must be > 0");
+  }
+  using graph::NodeId;
+  const std::size_t n = social.node_count();
+
+  // Collect canonical undirected links (u < v), deduplicating reciprocal
+  // directed pairs.
+  std::vector<std::pair<NodeId, NodeId>> undirected;
+  undirected.reserve(social.edge_count());
+  for (NodeId u = 0; u < n; ++u) {
+    for (const NodeId v : social.out(u)) {
+      if (u < v) {
+        undirected.emplace_back(u, v);
+      } else if (!social.has_edge(v, u)) {
+        undirected.emplace_back(v, u);  // only from this direction
+      }
+    }
+  }
+  std::sort(undirected.begin(), undirected.end());
+  undirected.erase(std::unique(undirected.begin(), undirected.end()),
+                   undirected.end());
+
+  std::vector<std::size_t> degree(n, 0);
+  std::vector<std::pair<NodeId, NodeId>> kept;
+  kept.reserve(2 * undirected.size());
+  for (const auto& [u, v] : undirected) {
+    if (degree[u] >= degree_bound || degree[v] >= degree_bound) continue;
+    ++degree[u];
+    ++degree[v];
+    kept.emplace_back(u, v);
+    kept.emplace_back(v, u);
+  }
+  return graph::CsrGraph::from_edges(n, kept);
+}
+
+}  // namespace san::apps

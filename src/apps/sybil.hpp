@@ -1,0 +1,60 @@
+// SybilLimit [59] evaluation (Fig 19a of the paper).
+//
+// SybilLimit bounds the number of Sybil identities an adversary can get
+// accepted to O(w) per attack edge, where w is the random-route length and
+// an attack edge connects a compromised (adversary-controlled) user to an
+// honest one. The paper's Fig 19a therefore plots
+//     accepted Sybil identities  =  w × (number of attack edges)
+// on the degree-bounded (cap 100) social graph, with compromised nodes
+// sampled uniformly at random and w = 10.
+//
+// A random-route simulator (per-node pseudorandom permutation routing, the
+// actual SybilLimit mechanism) is included for verification on small graphs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "stats/rng.hpp"
+
+namespace san::apps {
+
+struct SybilLimitOptions {
+  std::size_t degree_bound = 100;
+  std::size_t route_length = 10;  // w
+};
+
+struct SybilLimitResult {
+  std::uint64_t attack_edges = 0;
+  double sybil_identities = 0.0;  // w * attack_edges
+  std::size_t compromised = 0;
+};
+
+class SybilLimit {
+ public:
+  /// Builds the degree-bounded undirected topology once.
+  SybilLimit(const graph::CsrGraph& social, const SybilLimitOptions& options);
+
+  const graph::CsrGraph& topology() const { return topology_; }
+
+  /// Accepted-Sybil bound for an explicit compromised set (node flags).
+  SybilLimitResult evaluate(std::span<const std::uint8_t> compromised_flags) const;
+
+  /// Compromise `count` distinct nodes uniformly at random, then evaluate.
+  SybilLimitResult evaluate_uniform(std::size_t count, stats::Rng& rng) const;
+
+  /// One random route of length w from `start`, using per-node pseudorandom
+  /// permutation routing keyed by `instance`; returns the visited nodes
+  /// (route[0] == start). Routes are back-traceable as SybilLimit requires:
+  /// the same instance yields converging routes.
+  std::vector<graph::NodeId> random_route(graph::NodeId start,
+                                          std::uint64_t instance) const;
+
+ private:
+  graph::CsrGraph topology_;
+  SybilLimitOptions options_;
+};
+
+}  // namespace san::apps

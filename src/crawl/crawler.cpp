@@ -1,0 +1,102 @@
+#include "crawl/crawler.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace san::crawl {
+
+CrawlResult crawl_at(const SocialAttributeNetwork& truth, double time,
+                     const CrawlerOptions& options) {
+  if (options.private_profile_prob < 0.0 || options.private_profile_prob > 1.0) {
+    throw std::invalid_argument("crawl_at: private_profile_prob in [0, 1]");
+  }
+  const SanSnapshot snap = snapshot_at(truth, time);
+  const std::size_t n = snap.social_node_count();
+  CrawlResult result;
+  if (n == 0) return result;
+
+  // Deterministic privacy flags.
+  stats::Rng rng(options.seed);
+  std::vector<char> is_private(n, 0);
+  for (std::size_t u = 0; u < n; ++u) {
+    is_private[u] = rng.bernoulli(options.private_profile_prob) ? 1 : 0;
+  }
+
+  // BFS from the earliest-joining public users over public profiles' in and
+  // out lists.
+  std::vector<char> discovered(n, 0);
+  std::deque<NodeId> frontier;
+  std::size_t seeded = 0;
+  for (NodeId u = 0; u < n && seeded < options.seed_nodes; ++u) {
+    if (!is_private[u]) {
+      discovered[u] = 1;
+      frontier.push_back(u);
+      ++seeded;
+    }
+  }
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    if (is_private[u]) continue;  // discovered but not expandable
+    const auto expand = [&](NodeId v) {
+      if (!discovered[v]) {
+        discovered[v] = 1;
+        frontier.push_back(v);
+      }
+    };
+    for (const NodeId v : snap.social.out(u)) expand(v);
+    for (const NodeId v : snap.social.in(u)) expand(v);
+  }
+
+  // Build the crawled network; discovered nodes sorted by ground-truth join
+  // time (== id order, since ids are chronological).
+  std::vector<NodeId> crawled;
+  for (NodeId u = 0; u < n; ++u) {
+    if (discovered[u]) crawled.push_back(u);
+  }
+  std::vector<NodeId> to_crawled(n, 0);
+  for (std::size_t i = 0; i < crawled.size(); ++i) {
+    to_crawled[crawled[i]] = static_cast<NodeId>(i);
+  }
+
+  for (const NodeId u : crawled) {
+    result.network.add_social_node(truth.social_node_time(u));
+  }
+  for (std::size_t a = 0; a < truth.attribute_node_count(); ++a) {
+    const auto id = static_cast<AttrId>(a);
+    result.network.add_attribute_node(truth.attribute_type(id),
+                                      truth.attribute_name(id),
+                                      truth.attribute_node_time(id));
+  }
+
+  // An edge is observed if at least one endpoint exposes its lists.
+  std::uint64_t observed_links = 0;
+  for (const auto& e : truth.social_log()) {
+    if (e.time > time) continue;
+    if (!discovered[e.src] || !discovered[e.dst]) continue;
+    if (is_private[e.src] && is_private[e.dst]) continue;
+    result.network.add_social_link(to_crawled[e.src], to_crawled[e.dst], e.time);
+    ++observed_links;
+  }
+  for (const auto& link : truth.attribute_log()) {
+    if (link.time > time) continue;
+    if (link.user >= n || !discovered[link.user]) continue;
+    result.network.add_attribute_link(to_crawled[link.user], link.attr, link.time);
+  }
+
+  result.original_id = std::move(crawled);
+  result.node_coverage =
+      static_cast<double>(result.original_id.size()) / static_cast<double>(n);
+  result.link_coverage =
+      snap.social_link_count() == 0
+          ? 0.0
+          : static_cast<double>(observed_links) /
+                static_cast<double>(snap.social_link_count());
+  return result;
+}
+
+}  // namespace san::crawl

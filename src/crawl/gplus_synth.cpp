@@ -1,0 +1,424 @@
+#include "crawl/gplus_synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "model/lapa_sampler.hpp"
+#include "stats/distributions.hpp"
+#include "stats/rng.hpp"
+
+namespace san::crawl {
+namespace {
+
+/// Named catalogs per attribute type; the first entries are created first,
+/// accumulate members longest, and therefore end up as the most popular
+/// values — which is what makes the Fig 14 analysis meaningful.
+const std::vector<std::string> kEmployerNames = {
+    "Google", "Microsoft", "IBM", "Infosys", "Intel",
+    "Oracle", "Facebook", "Apple", "Cisco", "Amazon"};
+const std::vector<std::string> kMajorNames = {
+    "Computer Science", "Economics", "Finance", "Political Science",
+    "Electrical Engineering", "Mathematics", "Physics", "Biology"};
+const std::vector<std::string> kSchoolNames = {
+    "UC Berkeley", "Stanford", "MIT", "Tsinghua",
+    "CMU", "Harvard", "IIT Bombay", "Oxford"};
+const std::vector<std::string> kCityNames = {
+    "San Francisco", "New York", "London", "Bangalore",
+    "Mountain View", "Seattle", "Beijing", "Toronto"};
+
+/// Focal-closure weight per attribute type: sharing an employer forms
+/// communities far more readily than sharing a city (Fig 13b).
+constexpr double kTypeFocalWeight[kAttributeTypeCount] = {
+    /*School*/ 0.6, /*Major*/ 0.4, /*Employer*/ 1.0, /*City*/ 0.15,
+    /*Other*/ 0.3};
+
+struct TimedEvent {
+  enum class Kind : std::uint8_t { kWake, kReciprocate };
+  double time = 0.0;
+  Kind kind = Kind::kWake;
+  NodeId a = 0;  // wake: node; reciprocate: source of the reverse link
+  NodeId b = 0;  // reciprocate: target of the reverse link
+  double lifetime_left = 0.0;
+
+  bool operator>(const TimedEvent& other) const { return time > other.time; }
+};
+
+int phase_of(const SyntheticGplusParams& p, double day) {
+  if (day <= p.phase1_end) return 1;
+  if (day <= p.phase2_end) return 2;
+  return 3;
+}
+
+}  // namespace
+
+void validate(const SyntheticGplusParams& p) {
+  const auto fail = [](const char* message) {
+    throw std::invalid_argument(std::string("SyntheticGplusParams: ") + message);
+  };
+  if (p.total_social_nodes < 100) fail("total_social_nodes must be >= 100");
+  if (p.days < 3) fail("days must be >= 3");
+  if (p.phase1_end <= 0 || p.phase1_end >= p.phase2_end || p.phase2_end >= p.days) {
+    fail("phase boundaries must satisfy 0 < phase1_end < phase2_end < days");
+  }
+  if (p.phase1_fraction <= 0.0 || p.phase2_fraction <= 0.0 ||
+      p.phase1_fraction + p.phase2_fraction >= 1.0) {
+    fail("phase fractions must be positive and sum below 1");
+  }
+  if (p.attribute_declare_prob < 0.0 || p.attribute_declare_prob > 1.0) {
+    fail("attribute_declare_prob must be in [0, 1]");
+  }
+  if (p.sigma_a <= 0.0 || p.sigma_l <= 0.0 || p.ms <= 0.0) {
+    fail("sigma_a, sigma_l, ms must be > 0");
+  }
+  if (p.p_new_attribute < 0.0 || p.p_new_attribute >= 1.0) {
+    fail("p_new_attribute must be in [0, 1)");
+  }
+  if (p.reciprocation_delay_mean <= 0.0) fail("reciprocation_delay_mean must be > 0");
+  if (p.lurker_prob < 0.0 || p.lurker_prob >= 1.0) {
+    fail("lurker_prob must be in [0, 1)");
+  }
+}
+
+std::size_t arrivals_on_day(const SyntheticGplusParams& p, int day) {
+  if (day < 1 || day > p.days) return 0;
+  const auto n = static_cast<double>(p.total_social_nodes);
+  if (day <= p.phase1_end) {
+    // Ramp-up: rate proportional to the day index (viral invite growth).
+    const double denom = 0.5 * p.phase1_end * (p.phase1_end + 1);
+    return static_cast<std::size_t>(
+        std::llround(n * p.phase1_fraction * day / denom));
+  }
+  if (day <= p.phase2_end) {
+    // Stabilized invite-only phase: constant rate.
+    const auto span = static_cast<double>(p.phase2_end - p.phase1_end);
+    return static_cast<std::size_t>(
+        std::llround(n * p.phase2_fraction / span));
+  }
+  // Public release: a second, steeper ramp.
+  const int offset = day - p.phase2_end;
+  const int span = p.days - p.phase2_end;
+  const double denom = 0.5 * span * (span + 1);
+  const double fraction = 1.0 - p.phase1_fraction - p.phase2_fraction;
+  return static_cast<std::size_t>(std::llround(n * fraction * offset / denom));
+}
+
+double reciprocation_base(const SyntheticGplusParams& p, double day) {
+  const int phase = phase_of(p, day);
+  if (phase == 1) {
+    // Small oscillation: the paper observes fluctuating reciprocity while
+    // early adopters settle on norms.
+    return p.reciprocate_phase1 + 0.025 * std::sin(day / 2.0);
+  }
+  if (phase == 2) {
+    // The intent drops sharply once the novelty phase ends, then keeps
+    // declining through the invite-only period.
+    const double start = 0.72 * p.reciprocate_phase1;
+    const double f = (day - p.phase1_end) /
+                     static_cast<double>(p.phase2_end - p.phase1_end);
+    return start + f * (p.reciprocate_phase2 - start);
+  }
+  const double f =
+      std::min(1.0, (day - p.phase2_end) / static_cast<double>(p.days - p.phase2_end));
+  return p.reciprocate_phase2 + f * (p.reciprocate_phase3 - p.reciprocate_phase2);
+}
+
+SocialAttributeNetwork generate_synthetic_gplus(const SyntheticGplusParams& params) {
+  validate(params);
+  stats::Rng rng(params.seed);
+  SocialAttributeNetwork net;
+  model::LapaSampler sampler(net, rng);
+
+  const stats::DiscreteLognormal attr_degree_dist(params.mu_a, params.sigma_a, 1);
+  const stats::TruncatedNormal lifetime_dist(params.mu_l, params.sigma_l);
+
+  // --- Attribute creation with named catalogs. ---
+  std::size_t created_per_type[kAttributeTypeCount] = {};
+  const auto catalog_for = [](AttributeType type) -> const std::vector<std::string>* {
+    switch (type) {
+      case AttributeType::kSchool:
+        return &kSchoolNames;
+      case AttributeType::kMajor:
+        return &kMajorNames;
+      case AttributeType::kEmployer:
+        return &kEmployerNames;
+      case AttributeType::kCity:
+        return &kCityNames;
+      case AttributeType::kOther:
+        return nullptr;
+    }
+    return nullptr;
+  };
+
+  const auto new_attribute = [&](AttributeType type, double time) {
+    auto& counter = created_per_type[static_cast<std::size_t>(type)];
+    const auto* catalog = catalog_for(type);
+    std::string name = catalog != nullptr && counter < catalog->size()
+                           ? (*catalog)[counter]
+                           : to_string(type) + "-" + std::to_string(counter);
+    ++counter;
+    const AttrId id = net.add_attribute_node(type, std::move(name), time);
+    sampler.on_attribute_node_added();
+    return id;
+  };
+
+  const auto sample_new_attribute_type = [&]() {
+    const double r = rng.uniform();
+    if (r < 0.35) return AttributeType::kCity;
+    if (r < 0.65) return AttributeType::kEmployer;
+    if (r < 0.85) return AttributeType::kSchool;
+    return AttributeType::kMajor;
+  };
+
+  const auto add_attribute_link = [&](NodeId u, AttrId x, double time) {
+    if (net.add_attribute_link(u, x, time)) sampler.on_attribute_link_added(u, x);
+  };
+
+  // Social links are timestamped no earlier than both endpoints' join times
+  // so snapshots are always consistent.
+  const auto add_social_link = [&](NodeId u, NodeId v, double time) {
+    if (u == v) return false;
+    const double t = std::max({time, net.social_node_time(u), net.social_node_time(v)});
+    if (!net.add_social_link(u, v, t)) return false;
+    sampler.on_social_link_added(u, v);
+    return true;
+  };
+
+  std::priority_queue<TimedEvent, std::vector<TimedEvent>, std::greater<>> events;
+
+  // --- Reciprocation: delayed, attribute- and embeddedness-aware. ---
+  std::unordered_set<NodeId> mark;
+  std::unordered_set<NodeId> mark_v;
+  const auto common_social_neighbors = [&](NodeId u, NodeId v) {
+    const auto& g = net.social();
+    mark.clear();
+    for (const NodeId w : g.out_neighbors(u)) mark.insert(w);
+    for (const NodeId w : g.in_neighbors(u)) mark.insert(w);
+    mark_v.clear();
+    for (const NodeId w : g.out_neighbors(v)) mark_v.insert(w);
+    for (const NodeId w : g.in_neighbors(v)) mark_v.insert(w);
+    std::size_t count = 0;
+    for (const NodeId w : mark_v) {
+      if (mark.contains(w)) ++count;
+    }
+    return count;
+  };
+
+  // Schedule the reverse-link *consideration*; the accept decision happens
+  // when the event fires, against the state at that moment.
+  const auto schedule_reciprocation = [&](NodeId u, NodeId v, double time) {
+    if (net.social().has_edge(v, u)) return;
+    double delay;
+    if (rng.bernoulli(params.slow_consideration_fraction)) {
+      delay = rng.uniform() * params.slow_delay_max;
+    } else {
+      delay = rng.exponential(1.0 / params.reciprocation_delay_mean);
+    }
+    events.push({time + delay, TimedEvent::Kind::kReciprocate, v, u, 0.0});
+  };
+
+  // Accept probability for the reverse link v -> u at consideration time.
+  const auto consider_reciprocation = [&](NodeId v, NodeId u, double time) {
+    if (net.social().has_edge(v, u)) return;
+    const std::size_t a = net.common_attributes(u, v);
+    const std::size_t c = common_social_neighbors(u, v);
+    double q = reciprocation_base(params, std::min(time, static_cast<double>(params.days)));
+    if (a == 1) {
+      q *= 1.0 + params.reciprocate_attr_boost_1;
+    } else if (a >= 2) {
+      q *= 1.0 + params.reciprocate_attr_boost_2;
+    }
+    // Shared friends help, with diminishing returns and a mild decline for
+    // very large overlaps ("weak ties", §4.2).
+    const auto cd = static_cast<double>(c);
+    q *= 1.0 + 0.35 * cd / (cd + 8.0) - 0.3 * std::max(0.0, cd - 15.0) / 40.0;
+    q = std::clamp(q, 0.0, 0.95);
+    if (rng.bernoulli(q)) add_social_link(v, u, time);
+  };
+
+  const auto issue_first_link = [&](NodeId u, double time) {
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      const NodeId v = sampler.sample_target(u, params.beta);
+      if (v != u && add_social_link(u, v, time)) {
+        schedule_reciprocation(u, v, time);
+        return true;
+      }
+    }
+    return false;
+  };
+
+  const auto sample_social_neighbor = [&](NodeId u, NodeId& out) {
+    const auto& g = net.social();
+    const auto outs = g.out_neighbors(u);
+    const auto ins = g.in_neighbors(u);
+    const std::size_t total = outs.size() + ins.size();
+    if (total == 0) return false;
+    const auto idx = rng.uniform_index(total);
+    out = idx < outs.size() ? outs[idx] : ins[idx - outs.size()];
+    return true;
+  };
+
+  // Closure step: social hop weight 1; attribute hop weight fc scaled by the
+  // attribute type's focal weight.
+  const auto issue_closure_link = [&](NodeId u, double time) {
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      const auto attrs = net.attributes_of(u);
+      const auto& g = net.social();
+      const double w_social = static_cast<double>(g.out_degree(u) + g.in_degree(u));
+      double w_attr = 0.0;
+      for (const AttrId x : attrs) {
+        w_attr += params.fc *
+                  kTypeFocalWeight[static_cast<std::size_t>(net.attribute_type(x))];
+      }
+      if (w_social + w_attr <= 0.0) break;
+      NodeId v = u;
+      if (rng.uniform() * (w_social + w_attr) < w_social) {
+        NodeId w = u;
+        if (!sample_social_neighbor(u, w)) continue;
+        if (!sample_social_neighbor(w, v)) continue;
+      } else {
+        // Pick the attribute hop proportionally to its focal weight.
+        double r = rng.uniform() * w_attr;
+        AttrId x = attrs.empty() ? 0 : attrs.front();
+        for (const AttrId candidate : attrs) {
+          r -= params.fc * kTypeFocalWeight[static_cast<std::size_t>(
+                   net.attribute_type(candidate))];
+          x = candidate;
+          if (r <= 0.0) break;
+        }
+        const auto members = net.members_of(x);
+        if (members.empty()) continue;
+        v = members[rng.uniform_index(members.size())];
+      }
+      if (v != u && add_social_link(u, v, time)) {
+        schedule_reciprocation(u, v, time);
+        return true;
+      }
+    }
+    return issue_first_link(u, time);
+  };
+
+  // Log-increment sleep (see generator.cpp): cumulative sleep telescopes to
+  // ms * ln(outdegree), matching Theorem 1 exactly.
+  const auto sample_sleep = [&](std::size_t outdeg) {
+    const double d = static_cast<double>(std::max<std::size_t>(outdeg, 1));
+    return params.ms * std::log1p(1.0 / d);
+  };
+
+  // --- Seed network at day 0: a handful of founders and one famous
+  // attribute of each type. ---
+  constexpr std::size_t kSeedNodes = 8;
+  for (std::size_t i = 0; i < kSeedNodes; ++i) {
+    sampler.on_social_node_added(net.add_social_node(0.0));
+  }
+  new_attribute(AttributeType::kEmployer, 0.0);  // "Google"
+  new_attribute(AttributeType::kMajor, 0.0);     // "Computer Science"
+  new_attribute(AttributeType::kSchool, 0.0);    // "UC Berkeley"
+  new_attribute(AttributeType::kCity, 0.0);      // "San Francisco"
+  for (std::size_t i = 0; i < kSeedNodes; ++i) {
+    for (std::size_t j = 0; j < kSeedNodes; ++j) {
+      if (i != j) add_social_link(static_cast<NodeId>(i), static_cast<NodeId>(j), 0.0);
+    }
+    add_attribute_link(static_cast<NodeId>(i), static_cast<AttrId>(i % 2), 0.0);
+    add_attribute_link(static_cast<NodeId>(i), static_cast<AttrId>(2 + i % 2), 0.0);
+  }
+
+  // --- Day loop. ---
+  for (int day = 1; day <= params.days; ++day) {
+    const std::size_t arrivals = arrivals_on_day(params, day);
+    const int phase = phase_of(params, static_cast<double>(day));
+    // Early adopters (phase I) declare attributes more often and skew
+    // towards tech employers/majors — the artifact behind Fig 14.
+    const double declare_prob =
+        params.attribute_declare_prob * (phase == 1 ? 1.5 : phase == 2 ? 0.95 : 0.85);
+
+    for (std::size_t i = 0; i < arrivals; ++i) {
+      const double now = (day - 1) + static_cast<double>(i + 1) /
+                                         static_cast<double>(arrivals + 1);
+
+      // Process pending events that happen before this arrival.
+      while (!events.empty() && events.top().time <= now) {
+        const TimedEvent event = events.top();
+        events.pop();
+        if (event.kind == TimedEvent::Kind::kReciprocate) {
+          consider_reciprocation(event.a, event.b, event.time);
+        } else {
+          issue_closure_link(event.a, event.time);
+          const double next_sleep =
+              sample_sleep(net.social().out_degree(event.a));
+          if (next_sleep <= event.lifetime_left) {
+            events.push({event.time + next_sleep, TimedEvent::Kind::kWake,
+                         event.a, 0, event.lifetime_left - next_sleep});
+          }
+        }
+      }
+
+      const NodeId u = net.add_social_node(now);
+      const bool lurker = rng.bernoulli(params.lurker_prob);
+      sampler.on_social_node_added(u, /*attachable=*/!lurker);
+      if (rng.bernoulli(std::min(declare_prob, 1.0))) {
+        const auto na = attr_degree_dist.sample(rng);
+        for (std::uint64_t k = 0; k < na; ++k) {
+          AttrId x = 0;
+          if (rng.bernoulli(params.p_new_attribute) ||
+              !sampler.sample_attribute_preferential(x)) {
+            x = new_attribute(sample_new_attribute_type(), now);
+          }
+          add_attribute_link(u, x, now);
+        }
+      }
+
+      if (!lurker) {
+        issue_first_link(u, now);
+        // Early-adopter activity boost, decaying linearly through phase II.
+        // Membership in the founding tech attributes (ids 0-3: Google,
+        // Computer Science, UC Berkeley, San Francisco) marks the IT crowd
+        // the paper identifies as unusually active early adopters (Fig 14).
+        double boost = 1.0;
+        for (const AttrId x : net.attributes_of(u)) {
+          if (x < 4) {
+            boost *= 1.2;
+            break;
+          }
+        }
+        if (day <= params.phase1_end) {
+          boost = params.phase1_lifetime_boost;
+        } else if (day <= params.phase2_end) {
+          const double f = static_cast<double>(day - params.phase1_end) /
+                           static_cast<double>(params.phase2_end - params.phase1_end);
+          boost = params.phase1_lifetime_boost +
+                  f * (1.0 - params.phase1_lifetime_boost);
+        }
+        const double lifetime = boost * lifetime_dist.sample(rng);
+        const double sleep = sample_sleep(net.social().out_degree(u));
+        if (sleep <= lifetime) {
+          events.push({now + sleep, TimedEvent::Kind::kWake, u, 0, lifetime - sleep});
+        }
+      }
+    }
+
+    // Drain events scheduled for the rest of the day.
+    while (!events.empty() && events.top().time <= static_cast<double>(day)) {
+      const TimedEvent event = events.top();
+      events.pop();
+      if (event.kind == TimedEvent::Kind::kReciprocate) {
+        consider_reciprocation(event.a, event.b, event.time);
+      } else {
+        issue_closure_link(event.a, event.time);
+        const double next_sleep = sample_sleep(net.social().out_degree(event.a));
+        if (next_sleep <= event.lifetime_left) {
+          events.push({event.time + next_sleep, TimedEvent::Kind::kWake, event.a,
+                       0, event.lifetime_left - next_sleep});
+        }
+      }
+    }
+  }
+  return net;
+}
+
+}  // namespace san::crawl

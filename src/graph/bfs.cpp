@@ -1,0 +1,94 @@
+#include "graph/bfs.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+namespace san::graph {
+namespace {
+
+std::vector<std::uint32_t> bfs_impl(const CsrGraph& g,
+                                    std::span<const NodeId> sources,
+                                    Direction direction) {
+  std::vector<std::uint32_t> dist(g.node_count(), kUnreachable);
+  std::vector<NodeId> frontier;
+  for (const NodeId s : sources) {
+    if (s >= g.node_count()) throw std::out_of_range("bfs: unknown source");
+    if (dist[s] == kUnreachable) {
+      dist[s] = 0;
+      frontier.push_back(s);
+    }
+  }
+  std::vector<NodeId> next;
+  std::uint32_t level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    next.clear();
+    for (const NodeId u : frontier) {
+      const auto nbrs = direction == Direction::kOut ? g.out(u) : g.in(u);
+      for (const NodeId v : nbrs) {
+        if (dist[v] == kUnreachable) {
+          dist[v] = level;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> bfs_distances(const CsrGraph& g, NodeId source,
+                                         Direction direction) {
+  const NodeId sources[] = {source};
+  return bfs_impl(g, sources, direction);
+}
+
+std::vector<std::uint32_t> bfs_distances_multi(const CsrGraph& g,
+                                               std::span<const NodeId> sources,
+                                               Direction direction) {
+  return bfs_impl(g, sources, direction);
+}
+
+std::vector<std::uint64_t> sampled_distance_histogram(const CsrGraph& g,
+                                                      std::size_t sample_sources,
+                                                      stats::Rng& rng) {
+  std::vector<std::uint64_t> histogram;
+  if (g.node_count() == 0) return histogram;
+  for (std::size_t i = 0; i < sample_sources; ++i) {
+    const auto src = static_cast<NodeId>(rng.uniform_index(g.node_count()));
+    const auto dist = bfs_distances(g, src, Direction::kOut);
+    for (const auto d : dist) {
+      if (d == kUnreachable || d == 0) continue;
+      if (d >= histogram.size()) histogram.resize(d + 1, 0);
+      ++histogram[d];
+    }
+  }
+  return histogram;
+}
+
+double interpolated_quantile(std::span<const std::uint64_t> histogram, double q) {
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("interpolated_quantile: q must be in [0,1]");
+  }
+  std::uint64_t total = 0;
+  for (const auto c : histogram) total += c;
+  if (total == 0) return 0.0;
+
+  const double target = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t d = 0; d < histogram.size(); ++d) {
+    const double next = cumulative + static_cast<double>(histogram[d]);
+    if (next >= target) {
+      if (histogram[d] == 0) return static_cast<double>(d);
+      // Linear interpolation within the step from cumulative to next.
+      const double frac = (target - cumulative) / static_cast<double>(histogram[d]);
+      return static_cast<double>(d) - 1.0 + frac;
+    }
+    cumulative = next;
+  }
+  return static_cast<double>(histogram.size() - 1);
+}
+
+}  // namespace san::graph

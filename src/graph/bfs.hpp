@@ -1,0 +1,41 @@
+// Breadth-first searches: exact directed distances (the paper's dist(u,v),
+// §3.3) plus sampled pairwise distance distributions.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "stats/rng.hpp"
+
+namespace san::graph {
+
+inline constexpr std::uint32_t kUnreachable =
+    std::numeric_limits<std::uint32_t>::max();
+
+enum class Direction { kOut, kIn };
+
+/// Directed BFS distances from `source` following out-links (or in-links).
+/// Unreachable nodes get kUnreachable.
+std::vector<std::uint32_t> bfs_distances(const CsrGraph& g, NodeId source,
+                                         Direction direction = Direction::kOut);
+
+/// Multi-source BFS: distance to the nearest source.
+std::vector<std::uint32_t> bfs_distances_multi(
+    const CsrGraph& g, std::span<const NodeId> sources,
+    Direction direction = Direction::kOut);
+
+/// Histogram of directed distances between connected node pairs, estimated
+/// from `sample_sources` random BFS roots. Index d holds the number of
+/// (source, target) pairs at distance d.
+std::vector<std::uint64_t> sampled_distance_histogram(const CsrGraph& g,
+                                                      std::size_t sample_sources,
+                                                      stats::Rng& rng);
+
+/// q-quantile (e.g. 0.9 for the effective diameter) of a distance histogram,
+/// with the linear interpolation used by [33].
+double interpolated_quantile(std::span<const std::uint64_t> histogram, double q);
+
+}  // namespace san::graph

@@ -1,0 +1,158 @@
+#include "graph/clustering.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace san::graph {
+namespace {
+
+/// Directed links among `members`, each direction counted separately.
+std::uint64_t directed_links_among(const CsrGraph& g,
+                                   std::span<const NodeId> members) {
+  // members is sorted for neighbor spans; for arbitrary groups we sort a copy.
+  std::uint64_t links = 0;
+  for (const NodeId v : members) {
+    const auto outs = g.out(v);
+    // Count |out(v) ∩ members| by merge (both sorted).
+    auto it = members.begin();
+    for (const NodeId w : outs) {
+      while (it != members.end() && *it < w) ++it;
+      if (it == members.end()) break;
+      if (*it == w) ++links;
+    }
+  }
+  return links;
+}
+
+double group_clustering_sorted(const CsrGraph& g,
+                               std::span<const NodeId> members) {
+  const auto m = members.size();
+  if (m < 2) return 0.0;
+  const auto links = directed_links_among(g, members);
+  return static_cast<double>(links) /
+         (static_cast<double>(m) * static_cast<double>(m - 1));
+}
+
+/// Sampled estimate of one group's clustering coefficient: mean of F/2 over
+/// `pair_samples` random neighbor pairs.
+double sampled_group_clustering(const CsrGraph& g,
+                                std::span<const NodeId> members,
+                                std::size_t pair_samples, stats::Rng& rng) {
+  const std::size_t m = members.size();
+  if (m < 2) return 0.0;
+  // Exact when the group is small enough that sampling would not pay off.
+  if (m * m <= 2 * pair_samples) {
+    std::vector<NodeId> sorted(members.begin(), members.end());
+    std::sort(sorted.begin(), sorted.end());
+    return group_clustering_sorted(g, sorted);
+  }
+  std::uint64_t f_sum = 0;
+  for (std::size_t i = 0; i < pair_samples; ++i) {
+    const auto a = static_cast<std::size_t>(rng.uniform_index(m));
+    auto b = static_cast<std::size_t>(rng.uniform_index(m - 1));
+    if (b >= a) ++b;
+    f_sum += static_cast<std::uint64_t>(g.link_count(members[a], members[b]));
+  }
+  return static_cast<double>(f_sum) / (2.0 * static_cast<double>(pair_samples));
+}
+
+}  // namespace
+
+double exact_clustering(const CsrGraph& g, NodeId u) {
+  return group_clustering_sorted(g, g.neighbors(u));
+}
+
+double exact_average_clustering(const CsrGraph& g) {
+  if (g.node_count() == 0) return 0.0;
+  double sum = 0.0;
+  for (NodeId u = 0; u < g.node_count(); ++u) sum += exact_clustering(g, u);
+  return sum / static_cast<double>(g.node_count());
+}
+
+double exact_group_clustering(const CsrGraph& g, std::span<const NodeId> members) {
+  std::vector<NodeId> sorted(members.begin(), members.end());
+  std::sort(sorted.begin(), sorted.end());
+  return group_clustering_sorted(g, sorted);
+}
+
+std::uint64_t clustering_sample_count(const ClusteringOptions& options) {
+  return static_cast<std::uint64_t>(
+      std::ceil(std::log(2.0 * options.nu) / (2.0 * options.epsilon * options.epsilon)));
+}
+
+double approx_average_clustering(const CsrGraph& g,
+                                 const ClusteringOptions& options) {
+  return approx_average_group_clustering(
+      g, [&](std::size_t i) { return g.neighbors(static_cast<NodeId>(i)); },
+      g.node_count(), options);
+}
+
+double approx_average_group_clustering(
+    const CsrGraph& g,
+    const std::function<std::span<const NodeId>(std::size_t)>& group,
+    std::size_t group_count, const ClusteringOptions& options) {
+  if (group_count == 0) return 0.0;
+  stats::Rng rng(options.seed);
+  const std::uint64_t samples = clustering_sample_count(options);
+  std::uint64_t f_sum = 0;
+  for (std::uint64_t k = 0; k < samples; ++k) {
+    // Algorithm 2: node uniform from Omega, then a random neighbor pair.
+    const auto i = static_cast<std::size_t>(rng.uniform_index(group_count));
+    const auto members = group(i);
+    const std::size_t m = members.size();
+    if (m < 2) continue;  // c(u) = 0 contributes nothing to the sum
+    const auto a = static_cast<std::size_t>(rng.uniform_index(m));
+    auto b = static_cast<std::size_t>(rng.uniform_index(m - 1));
+    if (b >= a) ++b;
+    f_sum += static_cast<std::uint64_t>(g.link_count(members[a], members[b]));
+  }
+  // C~ = L / (2^I K) with I = 1 (directed), Algorithm 2 line 10.
+  return static_cast<double>(f_sum) / (2.0 * static_cast<double>(samples));
+}
+
+std::vector<std::pair<double, double>> clustering_by_degree(
+    const CsrGraph& g, std::size_t samples_per_node, std::uint64_t seed) {
+  return group_clustering_by_degree(
+      g, [&](std::size_t i) { return g.neighbors(static_cast<NodeId>(i)); },
+      g.node_count(), samples_per_node, seed);
+}
+
+std::vector<std::pair<double, double>> group_clustering_by_degree(
+    const CsrGraph& g,
+    const std::function<std::span<const NodeId>(std::size_t)>& group,
+    std::size_t group_count, std::size_t samples_per_node, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  // Log-spaced degree buckets: bucket = floor(log2-ish index).
+  struct Bucket {
+    double degree_sum = 0.0;
+    double cc_sum = 0.0;
+    std::uint64_t count = 0;
+  };
+  std::vector<Bucket> buckets;
+  const auto bucket_of = [](std::size_t degree) {
+    // ~4 buckets per octave for a smooth log-log curve.
+    const double idx = 4.0 * std::log2(static_cast<double>(degree));
+    return static_cast<std::size_t>(std::max(0.0, idx));
+  };
+
+  for (std::size_t i = 0; i < group_count; ++i) {
+    const auto members = group(i);
+    if (members.size() < 2) continue;
+    const std::size_t b = bucket_of(members.size());
+    if (b >= buckets.size()) buckets.resize(b + 1);
+    const double cc = sampled_group_clustering(g, members, samples_per_node, rng);
+    buckets[b].degree_sum += static_cast<double>(members.size());
+    buckets[b].cc_sum += cc;
+    ++buckets[b].count;
+  }
+
+  std::vector<std::pair<double, double>> points;
+  for (const auto& bucket : buckets) {
+    if (bucket.count == 0) continue;
+    points.emplace_back(bucket.degree_sum / static_cast<double>(bucket.count),
+                        bucket.cc_sum / static_cast<double>(bucket.count));
+  }
+  return points;
+}
+
+}  // namespace san::graph

@@ -1,0 +1,76 @@
+// Clustering coefficients for directed graphs, exact and approximate.
+//
+// The paper (§3.4, Appendix A) defines, for a node u with social neighbors
+// Γs(u), c(u) = L(u) / (|Γs(u)| (|Γs(u)|-1)) where L(u) counts directed
+// links among Γs(u) (each direction separately). The approximate algorithm
+// (Algorithm 2) samples K = ceil(ln(2 nu) / (2 eps^2)) triples and achieves
+// |C~ - C| <= eps with probability >= 1 - 1/nu (Theorem 3).
+//
+// The sampled estimator works on arbitrary neighbor groups, so the same code
+// computes the paper's attribute clustering coefficient: pass each attribute
+// node's member list as the group (§4.1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "stats/rng.hpp"
+
+namespace san::graph {
+
+/// Exact clustering coefficient of one node (0 when it has < 2 neighbors).
+double exact_clustering(const CsrGraph& g, NodeId u);
+
+/// Exact average clustering coefficient over all nodes. Quadratic in hub
+/// degrees; intended for tests and small graphs.
+double exact_average_clustering(const CsrGraph& g);
+
+/// Exact clustering coefficient of an arbitrary node group: the directed
+/// link density among `members` (the paper's attribute clustering
+/// coefficient when members = Γs(attribute)).
+double exact_group_clustering(const CsrGraph& g, std::span<const NodeId> members);
+
+struct ClusteringOptions {
+  double epsilon = 0.005;  // target absolute error (paper uses 0.002)
+  double nu = 100.0;       // failure probability 1/nu (paper uses 100)
+  std::uint64_t seed = 0xc0ffee;
+};
+
+/// Number of samples K = ceil(ln(2 nu) / (2 eps^2)) from Theorem 3.
+std::uint64_t clustering_sample_count(const ClusteringOptions& options);
+
+/// Approximate average social clustering coefficient over all nodes of g
+/// (Algorithm 2 with Omega = Vs).
+double approx_average_clustering(const CsrGraph& g,
+                                 const ClusteringOptions& options = {});
+
+/// Approximate average clustering coefficient over an arbitrary family of
+/// groups: `group(i)` returns the neighbor set of the i-th element of Omega,
+/// 0 <= i < group_count. Directed links between group members are evaluated
+/// on g. This computes the paper's average attribute clustering coefficient
+/// when the groups are attribute-node member lists.
+double approx_average_group_clustering(
+    const CsrGraph& g,
+    const std::function<std::span<const NodeId>(std::size_t)>& group,
+    std::size_t group_count, const ClusteringOptions& options = {});
+
+/// Average clustering coefficient bucketed by degree (log-spaced buckets),
+/// as plotted in Fig 9a. Returns (representative degree, average c) pairs.
+/// `samples_per_node` bounds the per-node pair sampling for large degrees.
+std::vector<std::pair<double, double>> clustering_by_degree(
+    const CsrGraph& g, std::size_t samples_per_node = 64,
+    std::uint64_t seed = 0xc0ffee);
+
+/// Same bucketing for arbitrary groups (attribute clustering vs social
+/// degree of the attribute node, Fig 9a's second curve).
+std::vector<std::pair<double, double>> group_clustering_by_degree(
+    const CsrGraph& g,
+    const std::function<std::span<const NodeId>(std::size_t)>& group,
+    std::size_t group_count, std::size_t samples_per_node = 64,
+    std::uint64_t seed = 0xc0ffee);
+
+}  // namespace san::graph

@@ -1,0 +1,119 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace san::graph {
+namespace {
+
+/// Sort-and-dedup an edge list; drops self loops.
+void canonicalize(std::vector<std::pair<NodeId, NodeId>>& edges) {
+  edges.erase(std::remove_if(edges.begin(), edges.end(),
+                             [](const auto& e) { return e.first == e.second; }),
+              edges.end());
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+}
+
+}  // namespace
+
+CsrGraph CsrGraph::from_digraph(const Digraph& g) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(g.edge_count());
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    for (const NodeId v : g.out_neighbors(u)) edges.emplace_back(u, v);
+  }
+  return build(g.node_count(), std::move(edges));
+}
+
+CsrGraph CsrGraph::from_edges(std::size_t node_count,
+                              std::span<const std::pair<NodeId, NodeId>> edges) {
+  std::vector<std::pair<NodeId, NodeId>> copy(edges.begin(), edges.end());
+  for (const auto& [u, v] : copy) {
+    if (u >= node_count || v >= node_count) {
+      throw std::out_of_range("CsrGraph::from_edges: node id out of range");
+    }
+  }
+  return build(node_count, std::move(copy));
+}
+
+CsrGraph CsrGraph::build(std::size_t node_count,
+                         std::vector<std::pair<NodeId, NodeId>> edges) {
+  canonicalize(edges);
+
+  CsrGraph g;
+  g.node_count_ = node_count;
+  g.edge_count_ = edges.size();
+
+  // Outgoing adjacency straight from the sorted edge list.
+  g.out_offsets_.assign(node_count + 1, 0);
+  for (const auto& [u, v] : edges) ++g.out_offsets_[u + 1];
+  for (std::size_t i = 1; i <= node_count; ++i) {
+    g.out_offsets_[i] += g.out_offsets_[i - 1];
+  }
+  g.out_targets_.resize(edges.size());
+  {
+    std::vector<std::uint64_t> cursor(g.out_offsets_.begin(),
+                                      g.out_offsets_.end() - 1);
+    for (const auto& [u, v] : edges) g.out_targets_[cursor[u]++] = v;
+  }
+
+  // Incoming adjacency via counting sort on target.
+  g.in_offsets_.assign(node_count + 1, 0);
+  for (const auto& [u, v] : edges) ++g.in_offsets_[v + 1];
+  for (std::size_t i = 1; i <= node_count; ++i) {
+    g.in_offsets_[i] += g.in_offsets_[i - 1];
+  }
+  g.in_targets_.resize(edges.size());
+  {
+    std::vector<std::uint64_t> cursor(g.in_offsets_.begin(),
+                                      g.in_offsets_.end() - 1);
+    for (const auto& [u, v] : edges) g.in_targets_[cursor[v]++] = u;
+  }
+  // Sorted edge iteration gives sorted out-lists; in-lists are sorted too
+  // because sources appear in ascending order for each target.
+
+  // Undirected neighbor view: merge of the two sorted lists per node.
+  g.nbr_offsets_.assign(node_count + 1, 0);
+  std::vector<NodeId> merged;
+  for (NodeId u = 0; u < node_count; ++u) {
+    const auto o = g.out(u);
+    const auto i = g.in(u);
+    merged.clear();
+    merged.reserve(o.size() + i.size());
+    std::set_union(o.begin(), o.end(), i.begin(), i.end(),
+                   std::back_inserter(merged));
+    g.nbr_offsets_[u + 1] = g.nbr_offsets_[u] + merged.size();
+    g.nbr_targets_.insert(g.nbr_targets_.end(), merged.begin(), merged.end());
+  }
+  return g;
+}
+
+std::span<const NodeId> CsrGraph::out(NodeId u) const {
+  if (u >= node_count_) throw std::out_of_range("CsrGraph: unknown node id");
+  return {out_targets_.data() + out_offsets_[u],
+          static_cast<std::size_t>(out_offsets_[u + 1] - out_offsets_[u])};
+}
+
+std::span<const NodeId> CsrGraph::in(NodeId u) const {
+  if (u >= node_count_) throw std::out_of_range("CsrGraph: unknown node id");
+  return {in_targets_.data() + in_offsets_[u],
+          static_cast<std::size_t>(in_offsets_[u + 1] - in_offsets_[u])};
+}
+
+std::span<const NodeId> CsrGraph::neighbors(NodeId u) const {
+  if (u >= node_count_) throw std::out_of_range("CsrGraph: unknown node id");
+  return {nbr_targets_.data() + nbr_offsets_[u],
+          static_cast<std::size_t>(nbr_offsets_[u + 1] - nbr_offsets_[u])};
+}
+
+bool CsrGraph::has_edge(NodeId u, NodeId v) const {
+  const auto o = out(u);
+  return std::binary_search(o.begin(), o.end(), v);
+}
+
+int CsrGraph::link_count(NodeId v, NodeId w) const {
+  return static_cast<int>(has_edge(v, w)) + static_cast<int>(has_edge(w, v));
+}
+
+}  // namespace san::graph

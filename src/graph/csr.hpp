@@ -1,0 +1,56 @@
+// Immutable compressed-sparse-row snapshot of a directed graph. All metric
+// code operates on this form: adjacency is sorted (binary-searchable) and
+// an undirected neighbor view (the paper's Γs(u)) is precomputed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace san::graph {
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  static CsrGraph from_digraph(const Digraph& g);
+  /// Build from an explicit edge list over nodes [0, node_count). Duplicate
+  /// edges and self-loops are dropped.
+  static CsrGraph from_edges(std::size_t node_count,
+                             std::span<const std::pair<NodeId, NodeId>> edges);
+
+  std::size_t node_count() const { return node_count_; }
+  std::uint64_t edge_count() const { return edge_count_; }
+
+  std::span<const NodeId> out(NodeId u) const;
+  std::span<const NodeId> in(NodeId u) const;
+  /// Undirected neighbor view: sorted union of in- and out-neighbors.
+  std::span<const NodeId> neighbors(NodeId u) const;
+
+  std::size_t out_degree(NodeId u) const { return out(u).size(); }
+  std::size_t in_degree(NodeId u) const { return in(u).size(); }
+  std::size_t degree(NodeId u) const { return neighbors(u).size(); }
+
+  bool has_edge(NodeId u, NodeId v) const;
+  /// The paper's F mapping for directed graphs: 0 if v,w unconnected, 1 if
+  /// linked one way, 2 if reciprocally linked (Appendix A).
+  int link_count(NodeId v, NodeId w) const;
+
+ private:
+  static CsrGraph build(std::size_t node_count,
+                        std::vector<std::pair<NodeId, NodeId>> edges);
+
+  std::size_t node_count_ = 0;
+  std::uint64_t edge_count_ = 0;
+  std::vector<std::uint64_t> out_offsets_;
+  std::vector<NodeId> out_targets_;
+  std::vector<std::uint64_t> in_offsets_;
+  std::vector<NodeId> in_targets_;
+  std::vector<std::uint64_t> nbr_offsets_;
+  std::vector<NodeId> nbr_targets_;
+};
+
+}  // namespace san::graph

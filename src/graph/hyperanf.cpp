@@ -1,0 +1,134 @@
+#include "graph/hyperanf.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace san::graph {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double hll_alpha(std::size_t m) {
+  switch (m) {
+    case 16:
+      return 0.673;
+    case 32:
+      return 0.697;
+    case 64:
+      return 0.709;
+    default:
+      return 0.7213 / (1.0 + 1.079 / static_cast<double>(m));
+  }
+}
+
+}  // namespace
+
+HyperLogLog::HyperLogLog(int log2m) : log2m_(log2m) {
+  if (log2m < 4 || log2m > 16) {
+    throw std::invalid_argument("HyperLogLog: log2m must be in [4, 16]");
+  }
+  registers_.assign(std::size_t{1} << log2m, 0);
+}
+
+void HyperLogLog::add_hash(std::uint64_t hash) {
+  const std::size_t idx = hash >> (64 - log2m_);
+  const std::uint64_t rest = hash << log2m_;
+  const int rank = rest == 0 ? (64 - log2m_ + 1)
+                             : std::countl_zero(rest) + 1;
+  if (static_cast<std::uint8_t>(rank) > registers_[idx]) {
+    registers_[idx] = static_cast<std::uint8_t>(rank);
+  }
+}
+
+bool HyperLogLog::merge(const HyperLogLog& other) {
+  if (other.log2m_ != log2m_) {
+    throw std::invalid_argument("HyperLogLog::merge: size mismatch");
+  }
+  bool changed = false;
+  for (std::size_t i = 0; i < registers_.size(); ++i) {
+    if (other.registers_[i] > registers_[i]) {
+      registers_[i] = other.registers_[i];
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+double HyperLogLog::estimate() const {
+  const auto m = static_cast<double>(registers_.size());
+  double sum = 0.0;
+  std::size_t zeros = 0;
+  for (const auto r : registers_) {
+    sum += std::ldexp(1.0, -static_cast<int>(r));
+    if (r == 0) ++zeros;
+  }
+  double estimate = hll_alpha(registers_.size()) * m * m / sum;
+  if (estimate <= 2.5 * m && zeros > 0) {
+    // Small-range (linear counting) correction.
+    estimate = m * std::log(m / static_cast<double>(zeros));
+  }
+  return estimate;
+}
+
+double HyperAnfResult::effective_diameter(double q) const {
+  if (q <= 0.0 || q > 1.0) {
+    throw std::invalid_argument("effective_diameter: q must be in (0, 1]");
+  }
+  if (neighborhood.empty()) return 0.0;
+  const double target = q * neighborhood.back();
+  for (std::size_t d = 0; d < neighborhood.size(); ++d) {
+    if (neighborhood[d] >= target) {
+      if (d == 0) return 0.0;
+      const double prev = neighborhood[d - 1];
+      const double step = neighborhood[d] - prev;
+      if (step <= 0.0) return static_cast<double>(d);
+      return static_cast<double>(d - 1) + (target - prev) / step;
+    }
+  }
+  return static_cast<double>(neighborhood.size() - 1);
+}
+
+HyperAnfResult hyper_anf(const CsrGraph& g, const HyperAnfOptions& options,
+                         std::span<const NodeId> sources) {
+  const std::size_t n = g.node_count();
+  HyperAnfResult result;
+  if (n == 0) return result;
+
+  std::vector<HyperLogLog> current(n, HyperLogLog(options.log2m));
+  for (NodeId u = 0; u < n; ++u) {
+    current[u].add_hash(splitmix64(options.seed ^ u));
+  }
+
+  const auto accumulate = [&]() {
+    double total = 0.0;
+    if (sources.empty()) {
+      for (const auto& c : current) total += c.estimate();
+    } else {
+      for (const NodeId s : sources) total += current[s].estimate();
+    }
+    return total;
+  };
+
+  result.neighborhood.push_back(accumulate());
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    std::vector<HyperLogLog> next = current;
+    bool changed = false;
+    for (NodeId u = 0; u < n; ++u) {
+      for (const NodeId v : g.out(u)) {
+        changed |= next[u].merge(current[v]);
+      }
+    }
+    current.swap(next);
+    result.neighborhood.push_back(accumulate());
+    if (!changed) break;
+  }
+  return result;
+}
+
+}  // namespace san::graph

@@ -1,0 +1,56 @@
+// HyperANF (Boldi, Rosa, Vigna [8]): approximate neighborhood function and
+// effective diameter of large directed graphs with HyperLogLog counters —
+// the algorithm the paper uses for Fig 4c.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace san::graph {
+
+/// Minimal HyperLogLog counter with 2^log2m 8-bit registers.
+class HyperLogLog {
+ public:
+  explicit HyperLogLog(int log2m = 6);
+
+  void add_hash(std::uint64_t hash);
+  /// Merge other into *this; returns true if any register changed.
+  bool merge(const HyperLogLog& other);
+  double estimate() const;
+
+  int log2m() const { return log2m_; }
+
+ private:
+  int log2m_;
+  std::vector<std::uint8_t> registers_;
+};
+
+struct HyperAnfResult {
+  /// neighborhood[t] ~= number of (u, v) pairs with dist(u, v) <= t,
+  /// summed over the selected sources (v ranges over all reachable nodes,
+  /// including u itself at t = 0).
+  std::vector<double> neighborhood;
+
+  /// Effective diameter: the (interpolated) distance at which the
+  /// neighborhood function reaches fraction q of its final value. q = 0.9
+  /// is the paper's 90th-percentile definition.
+  double effective_diameter(double q = 0.9) const;
+};
+
+struct HyperAnfOptions {
+  int log2m = 6;           // 64 registers/counter, as a good accuracy/cost point
+  int max_iterations = 96; // safety bound; iteration stops at convergence
+  std::uint64_t seed = 0x5eed5eedULL;
+};
+
+/// Run HyperANF over out-links. If `sources` is non-empty the neighborhood
+/// function is accumulated only over those source nodes (used for the
+/// attribute diameter, where sources are attribute nodes of the augmented
+/// graph); every node still participates in propagation.
+HyperAnfResult hyper_anf(const CsrGraph& g, const HyperAnfOptions& options = {},
+                         std::span<const NodeId> sources = {});
+
+}  // namespace san::graph

@@ -1,0 +1,113 @@
+#include "graph/metrics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace san::graph {
+
+double reciprocity(const CsrGraph& g) {
+  if (g.edge_count() == 0) return 0.0;
+  std::uint64_t mutual = 0;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    for (const NodeId v : g.out(u)) {
+      if (g.has_edge(v, u)) ++mutual;
+    }
+  }
+  return static_cast<double>(mutual) / static_cast<double>(g.edge_count());
+}
+
+double density(const CsrGraph& g) {
+  if (g.node_count() == 0) return 0.0;
+  return static_cast<double>(g.edge_count()) / static_cast<double>(g.node_count());
+}
+
+namespace {
+
+stats::Histogram histogram_of(const CsrGraph& g, std::size_t (CsrGraph::*deg)(NodeId) const) {
+  std::vector<std::uint64_t> values;
+  values.reserve(g.node_count());
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    values.push_back((g.*deg)(u));
+  }
+  return stats::make_histogram(values);
+}
+
+}  // namespace
+
+stats::Histogram out_degree_histogram(const CsrGraph& g) {
+  return histogram_of(g, &CsrGraph::out_degree);
+}
+
+stats::Histogram in_degree_histogram(const CsrGraph& g) {
+  return histogram_of(g, &CsrGraph::in_degree);
+}
+
+stats::Histogram degree_histogram(const CsrGraph& g) {
+  return histogram_of(g, &CsrGraph::degree);
+}
+
+std::vector<std::pair<std::uint64_t, double>> knn_out_in(const CsrGraph& g) {
+  // knn(k) = average indegree of targets of edges whose source has
+  // outdegree k.
+  std::vector<double> indegree_sum;
+  std::vector<std::uint64_t> edge_cnt;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    const std::size_t k = g.out_degree(u);
+    if (k == 0) continue;
+    if (k >= indegree_sum.size()) {
+      indegree_sum.resize(k + 1, 0.0);
+      edge_cnt.resize(k + 1, 0);
+    }
+    for (const NodeId v : g.out(u)) {
+      indegree_sum[k] += static_cast<double>(g.in_degree(v));
+      ++edge_cnt[k];
+    }
+  }
+  std::vector<std::pair<std::uint64_t, double>> knn;
+  for (std::size_t k = 1; k < indegree_sum.size(); ++k) {
+    if (edge_cnt[k] == 0) continue;
+    knn.emplace_back(k, indegree_sum[k] / static_cast<double>(edge_cnt[k]));
+  }
+  return knn;
+}
+
+double assortativity(const CsrGraph& g) {
+  std::vector<double> src(g.node_count()), dst(g.node_count());
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    src[u] = static_cast<double>(g.out_degree(u));
+    dst[u] = static_cast<double>(g.in_degree(u));
+  }
+  return edge_score_correlation(g, src, dst);
+}
+
+double edge_score_correlation(const CsrGraph& g,
+                              const std::vector<double>& source_score,
+                              const std::vector<double>& target_score) {
+  if (source_score.size() != g.node_count() ||
+      target_score.size() != g.node_count()) {
+    throw std::invalid_argument("edge_score_correlation: score size mismatch");
+  }
+  if (g.edge_count() < 2) return 0.0;
+
+  // Single pass Pearson over the edge list.
+  double sx = 0.0, sy = 0.0, sxx = 0.0, syy = 0.0, sxy = 0.0;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    const double x = source_score[u];
+    for (const NodeId v : g.out(u)) {
+      const double y = target_score[v];
+      sx += x;
+      sy += y;
+      sxx += x * x;
+      syy += y * y;
+      sxy += x * y;
+    }
+  }
+  const auto m = static_cast<double>(g.edge_count());
+  const double cov = sxy - sx * sy / m;
+  const double vx = sxx - sx * sx / m;
+  const double vy = syy - sy * sy / m;
+  if (vx <= 0.0 || vy <= 0.0) return 0.0;
+  return cov / std::sqrt(vx * vy);
+}
+
+}  // namespace san::graph

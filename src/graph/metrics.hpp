@@ -1,0 +1,44 @@
+// Canonical social-structure metrics from §3 of the paper: reciprocity,
+// density (links-to-nodes ratio), degree histograms, the knn degree
+// correlation, and the assortativity coefficient.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "stats/summary.hpp"
+
+namespace san::graph {
+
+/// Fraction of directed edges (u, v) whose reverse edge (v, u) also exists
+/// (§3.1). Returns 0 for an empty graph.
+double reciprocity(const CsrGraph& g);
+
+/// Links-to-nodes ratio |E|/|V| (§3.2, following the terminology of [26]).
+double density(const CsrGraph& g);
+
+stats::Histogram out_degree_histogram(const CsrGraph& g);
+stats::Histogram in_degree_histogram(const CsrGraph& g);
+/// Histogram of |Γs(u)| (undirected neighbor count).
+stats::Histogram degree_histogram(const CsrGraph& g);
+
+/// knn degree-correlation function (§3.6): for each outdegree k, the average
+/// indegree of all nodes that out-neighbors of outdegree-k nodes point to.
+/// Returns (k, knn(k)) pairs in ascending k, skipping empty degrees.
+std::vector<std::pair<std::uint64_t, double>> knn_out_in(const CsrGraph& g);
+
+/// Directed assortativity coefficient: Pearson correlation, over directed
+/// edges (u, v), between the source's outdegree and the target's indegree.
+/// ~0 for the neutral mixing the paper observes on Google+ (Fig 7b).
+double assortativity(const CsrGraph& g);
+
+/// General joint-degree correlation: Pearson correlation over edges between
+/// arbitrary per-node source/target scores (used for the attribute
+/// assortativity of Fig 12b).
+double edge_score_correlation(const CsrGraph& g,
+                              const std::vector<double>& source_score,
+                              const std::vector<double>& target_score);
+
+}  // namespace san::graph

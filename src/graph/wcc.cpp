@@ -1,0 +1,51 @@
+#include "graph/wcc.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace san::graph {
+
+NodeId WccResult::largest() const {
+  if (sizes.empty()) throw std::out_of_range("WccResult::largest: no components");
+  const auto it = std::max_element(sizes.begin(), sizes.end());
+  return static_cast<NodeId>(it - sizes.begin());
+}
+
+WccResult weakly_connected_components(const CsrGraph& g) {
+  const std::size_t n = g.node_count();
+  std::vector<NodeId> parent(n);
+  std::iota(parent.begin(), parent.end(), NodeId{0});
+
+  // Path-halving union-find.
+  const auto find = [&](NodeId x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+
+  for (NodeId u = 0; u < n; ++u) {
+    for (const NodeId v : g.out(u)) {
+      const NodeId ru = find(u), rv = find(v);
+      if (ru != rv) parent[ru] = rv;
+    }
+  }
+
+  WccResult result;
+  result.component.assign(n, 0);
+  std::vector<NodeId> root_to_id(n, static_cast<NodeId>(n));
+  for (NodeId u = 0; u < n; ++u) {
+    const NodeId r = find(u);
+    if (root_to_id[r] == static_cast<NodeId>(n)) {
+      root_to_id[r] = static_cast<NodeId>(result.sizes.size());
+      result.sizes.push_back(0);
+    }
+    result.component[u] = root_to_id[r];
+    ++result.sizes[root_to_id[r]];
+  }
+  return result;
+}
+
+}  // namespace san::graph

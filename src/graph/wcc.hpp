@@ -1,0 +1,22 @@
+// Weakly connected components. The Google+ crawl of the paper collects one
+// large WCC (§2.2); the crawler simulation reports its coverage with this.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace san::graph {
+
+struct WccResult {
+  std::vector<NodeId> component;     // component id per node (dense, 0-based)
+  std::vector<std::uint64_t> sizes;  // size per component id
+  std::size_t component_count() const { return sizes.size(); }
+  /// Id of the largest component (by node count); requires >= 1 node.
+  NodeId largest() const;
+};
+
+WccResult weakly_connected_components(const CsrGraph& g);
+
+}  // namespace san::graph

@@ -1,0 +1,166 @@
+#include "model/attachment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace san::model {
+
+double attachment_weight(AttachmentKind kind, const AttachmentParams& params,
+                         double indegree, double common) {
+  const double base = std::pow(indegree + 1.0, params.alpha);
+  if (kind == AttachmentKind::kLapa) {
+    return base * (1.0 + params.beta * common);
+  }
+  // PAPA. std::pow(0, 0) == 1, which gives the paper's intended reduction to
+  // PA at beta = 0 (a constant factor of 2 on every candidate).
+  return base * (1.0 + std::pow(common, params.beta));
+}
+
+double relative_improvement_percent(double l_ref, double l) {
+  if (l_ref == 0.0) return 0.0;
+  return (l_ref - l) / l_ref * 100.0;
+}
+
+AttachmentLikelihood::AttachmentLikelihood(const SocialAttributeNetwork& network,
+                                           std::size_t event_stride)
+    : stride_(event_stride == 0 ? 1 : event_stride),
+      attribute_count_(network.attribute_node_count()) {
+  events_.reserve(network.social_node_count() + network.attribute_log().size() +
+                  network.social_log().size());
+  std::uint64_t seq = 0;
+  for (std::size_t u = 0; u < network.social_node_count(); ++u) {
+    events_.push_back({Event::Type::kNodeJoin,
+                       network.social_node_time(static_cast<NodeId>(u)), seq++,
+                       static_cast<NodeId>(u), 0});
+  }
+  for (const auto& link : network.attribute_log()) {
+    events_.push_back(
+        {Event::Type::kAttributeLink, link.time, seq++, link.user, link.attr});
+  }
+  for (const auto& e : network.social_log()) {
+    events_.push_back({Event::Type::kSocialLink, e.time, seq++, e.src, e.dst});
+  }
+  // Chronological replay; ties resolve as join < attribute link < social
+  // link (matching how a node enters the network), then source order.
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const Event& a, const Event& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     if (a.type != b.type) return a.type < b.type;
+                     return a.seq < b.seq;
+                   });
+}
+
+AttachmentLikelihoodResult AttachmentLikelihood::evaluate(
+    AttachmentKind kind, const AttachmentParams& params) const {
+  const double alpha = params.alpha;
+  const double beta = params.beta;
+
+  // Replay state.
+  std::vector<std::uint32_t> indegree;
+  std::vector<std::uint32_t> outdegree;
+  std::vector<std::vector<std::uint32_t>> attrs_of;  // sorted
+  std::vector<std::vector<NodeId>> members(attribute_count_);
+  std::vector<double> s_attr(attribute_count_, 0.0);  // S_x = sum (d+1)^alpha
+  double s_total = 0.0;
+  std::size_t n_joined = 0;
+
+  const auto pow_alpha = [alpha](std::uint32_t d) {
+    return std::pow(static_cast<double>(d) + 1.0, alpha);
+  };
+
+  AttachmentLikelihoodResult result;
+  std::uint64_t first_link_counter = 0;
+  std::unordered_map<NodeId, std::uint32_t> multiplicity;  // PAPA candidates
+
+  for (const auto& event : events_) {
+    switch (event.type) {
+      case Event::Type::kNodeJoin: {
+        indegree.push_back(0);
+        outdegree.push_back(0);
+        attrs_of.emplace_back();
+        ++n_joined;
+        s_total += 1.0;  // (0 + 1)^alpha
+        break;
+      }
+      case Event::Type::kAttributeLink: {
+        const NodeId u = event.u;
+        const std::uint32_t x = event.v_or_attr;
+        auto& attrs = attrs_of[u];
+        attrs.insert(std::lower_bound(attrs.begin(), attrs.end(), x), x);
+        members[x].push_back(u);
+        s_attr[x] += pow_alpha(indegree[u]);
+        break;
+      }
+      case Event::Type::kSocialLink: {
+        const NodeId u = event.u;
+        const NodeId v = event.v_or_attr;
+        const bool is_first_link = outdegree[u] == 0;
+
+        if (is_first_link && n_joined > 1 &&
+            (first_link_counter++ % stride_ == 0)) {
+          // Score P(v | u issues its first outgoing link).
+          const auto& au = attrs_of[u];
+          const auto& av = attrs_of[v];
+          std::size_t common = 0;
+          {
+            auto iu = au.begin();
+            auto iv = av.begin();
+            while (iu != au.end() && iv != av.end()) {
+              if (*iu < *iv) {
+                ++iu;
+              } else if (*iv < *iu) {
+                ++iv;
+              } else {
+                ++common, ++iu, ++iv;
+              }
+            }
+          }
+
+          double z = 0.0;
+          const auto self_attrs = static_cast<double>(au.size());
+          if (kind == AttachmentKind::kLapa) {
+            z = s_total;
+            for (const auto x : au) z += beta * s_attr[x];
+            z -= pow_alpha(indegree[u]) * (1.0 + beta * self_attrs);
+          } else if (beta == 0.0) {
+            // PAPA at beta = 0: every candidate gets the constant factor 2.
+            z = 2.0 * s_total - 2.0 * pow_alpha(indegree[u]);
+          } else {
+            z = s_total;
+            multiplicity.clear();
+            for (const auto x : au) {
+              for (const NodeId w : members[x]) ++multiplicity[w];
+            }
+            for (const auto& [w, m] : multiplicity) {
+              z += pow_alpha(indegree[w]) *
+                   std::pow(static_cast<double>(m), beta);
+            }
+            z -= pow_alpha(indegree[u]) *
+                 (1.0 + (au.empty() ? 0.0 : std::pow(self_attrs, beta)));
+          }
+
+          const double w_uv = attachment_weight(kind, params, indegree[v],
+                                                static_cast<double>(common));
+          if (z > 0.0 && w_uv > 0.0) {
+            result.loglik += std::log(w_uv) - std::log(z);
+            ++result.events;
+          }
+        }
+
+        // State update.
+        ++outdegree[u];
+        const double before = pow_alpha(indegree[v]);
+        ++indegree[v];
+        const double delta = pow_alpha(indegree[v]) - before;
+        s_total += delta;
+        for (const auto x : attrs_of[v]) s_attr[x] += delta;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace san::model

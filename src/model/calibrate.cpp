@@ -1,0 +1,117 @@
+#include "model/calibrate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "graph/metrics.hpp"
+#include "model/theory.hpp"
+#include "san/san_metrics.hpp"
+#include "stats/ks.hpp"
+
+namespace san::model {
+
+CalibrationResult calibrate_generator(const SanSnapshot& target,
+                                      const CalibrationOptions& options) {
+  CalibrationResult result;
+  result.params.ms = options.ms;
+  result.params.seed = options.seed;
+  result.params.social_node_count = target.social_node_count();
+
+  // Social outdegree -> lifetime parameters via Theorem 1.
+  const auto out_hist = graph::out_degree_histogram(target.social);
+  result.outdegree_fit = stats::fit_discrete_lognormal(out_hist, 1);
+  const auto lifetime = lifetime_for_outdegree(result.outdegree_fit.mu,
+                                               result.outdegree_fit.sigma,
+                                               options.ms);
+  result.params.mu_l = lifetime.mu_l;
+  result.params.sigma_l = lifetime.sigma_l;
+
+  // Attribute degree of social nodes -> (mu_a, sigma_a); declare probability
+  // from the zero fraction.
+  const auto attr_hist = attribute_degree_histogram(target);
+  std::uint64_t declared = 0;
+  for (const auto& [value, count] : attr_hist.bins) {
+    if (value >= 1) declared += count;
+  }
+  result.declare_fraction =
+      attr_hist.total == 0
+          ? 0.0
+          : static_cast<double>(declared) / static_cast<double>(attr_hist.total);
+  result.params.attribute_declare_prob = std::max(result.declare_fraction, 1e-3);
+  if (declared >= 2) {
+    result.attribute_degree_fit = stats::fit_discrete_lognormal(attr_hist, 1);
+    result.params.mu_a = result.attribute_degree_fit.mu;
+    result.params.sigma_a = std::max(result.attribute_degree_fit.sigma, 0.05);
+  }
+
+  // New-attribute probability p: in the Yule process of §5.3 every
+  // attribute link creates a brand-new attribute node with probability p,
+  // so #attribute-nodes / #attribute-links is an unbiased estimator — far
+  // more robust than inverting the (finite-size-biased) tail exponent. The
+  // exponent fit is still reported for reference (Theorem 2).
+  const auto attr_social_hist = attribute_social_degree_histogram(target);
+  if (attr_social_hist.total >= 2) {
+    result.attribute_social_fit = stats::fit_power_law_scan(attr_social_hist);
+  }
+  if (target.attribute_link_count > 0) {
+    result.params.p_new_attribute =
+        std::clamp(static_cast<double>(target.populated_attribute_count()) /
+                       static_cast<double>(target.attribute_link_count),
+                   0.005, 0.6);
+  }
+
+  // Pilot-generation bias correction for the lifetime parameters.
+  for (int step = 0; step < options.correction_steps; ++step) {
+    GeneratorParams pilot_params = result.params;
+    pilot_params.social_node_count = options.probe_nodes;
+    const auto pilot = snapshot_full(generate_san(pilot_params));
+    const auto pilot_fit = stats::fit_discrete_lognormal(
+        graph::out_degree_histogram(pilot.social), 1);
+    const double target_mu_life =
+        result.params.mu_l +
+        (result.outdegree_fit.mu - pilot_fit.mu) * options.ms;
+    const double target_sigma_life = std::max(
+        0.05, result.params.sigma_l +
+                  (result.outdegree_fit.sigma - pilot_fit.sigma) * options.ms);
+    result.params.mu_l = target_mu_life;
+    result.params.sigma_l = target_sigma_life;
+  }
+
+  if (!options.refine) return result;
+
+  // Greedy probe over (beta, fc): generate pilot SANs and keep the pair
+  // minimizing KS(indegree) + |attribute clustering gap|.
+  const auto in_hist_target = graph::in_degree_histogram(target.social);
+  graph::ClusteringOptions cc_opts;
+  cc_opts.epsilon = 0.02;
+  const double target_cc = average_attribute_clustering(target, cc_opts);
+
+  const double betas[] = {50.0, 200.0, 500.0};
+  const double fcs[] = {0.1, 1.0, 5.0};
+  double best_score = std::numeric_limits<double>::infinity();
+  GeneratorParams best = result.params;
+  for (const double beta : betas) {
+    for (const double fc : fcs) {
+      GeneratorParams probe = result.params;
+      probe.beta = beta;
+      probe.fc = fc;
+      probe.social_node_count = options.probe_nodes;
+      const auto pilot = generate_san(probe);
+      const auto snap = snapshot_full(pilot);
+      const auto in_hist = graph::in_degree_histogram(snap.social);
+      const double ks = stats::ks_two_sample(in_hist, in_hist_target);
+      const double cc = average_attribute_clustering(snap, cc_opts);
+      const double score = ks + std::abs(cc - target_cc);
+      if (score < best_score) {
+        best_score = score;
+        best = probe;
+        best.social_node_count = result.params.social_node_count;
+      }
+    }
+  }
+  result.params = best;
+  return result;
+}
+
+}  // namespace san::model

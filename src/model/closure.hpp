@@ -1,0 +1,62 @@
+// Building block 2 (§5.2): attribute-augmented triangle closing.
+//
+// Three candidate mechanisms for how a woken node u picks the target of a
+// new link:
+//   Baseline : uniform over u's 2-hop neighborhood,
+//   RR       : random neighbor w of u, then random neighbor v of w [29],
+//   RR-SAN   : first hop drawn from Γs(u) ∪ Γa(u) — social neighbors with
+//              weight 1, attribute neighbors with weight fc — then a random
+//              social neighbor of that hop (member list for attributes).
+//
+// ClosureEvaluator replays a SAN chronologically, classifies every non-first
+// link event as triadic (common friend) and/or focal (common attribute) —
+// the paper reports 84 % / 18 % / 15 % — and scores the three mechanisms by
+// log-likelihood on the events all of them can explain.
+#pragma once
+
+#include <cstdint>
+
+#include "san/san.hpp"
+
+namespace san::model {
+
+struct ClosureStats {
+  std::uint64_t events = 0;      // non-first link events scored
+  std::uint64_t triadic = 0;     // endpoints share >= 1 social neighbor
+  std::uint64_t focal = 0;       // endpoints share >= 1 attribute
+  std::uint64_t both = 0;
+
+  /// Events scored for likelihood (triadic-or-focal events whose source
+  /// degree is below the hub cap). Each model's probability is smoothed
+  /// with a uniform-over-nodes floor, p' = (1-lambda) p + lambda / n, so
+  /// events a mechanism cannot explain at all (e.g. focal-only events under
+  /// RR) are charged rather than dropped — that coverage gap is precisely
+  /// the paper's RR-SAN advantage.
+  std::uint64_t comparable = 0;
+  double loglik_baseline = 0.0;
+  double loglik_rr = 0.0;
+  double loglik_rrsan = 0.0;
+
+  double triadic_fraction() const { return ratio(triadic); }
+  double focal_fraction() const { return ratio(focal); }
+  double both_fraction() const { return ratio(both); }
+
+ private:
+  double ratio(std::uint64_t x) const {
+    return events == 0 ? 0.0
+                       : static_cast<double>(x) / static_cast<double>(events);
+  }
+};
+
+struct ClosureOptions {
+  double fc = 0.5;           // attribute first-hop weight in RR-SAN
+  double smoothing = 0.005;  // uniform mixture weight lambda
+  std::size_t event_stride = 1;
+  std::size_t max_first_hop_degree = 4096;  // cap per-event cost on hubs
+};
+
+/// Replay `network` and evaluate the three closure mechanisms.
+ClosureStats evaluate_closures(const SocialAttributeNetwork& network,
+                               const ClosureOptions& options = {});
+
+}  // namespace san::model

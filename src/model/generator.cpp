@@ -1,0 +1,236 @@
+#include "model/generator.hpp"
+
+#include <cmath>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "model/lapa_sampler.hpp"
+#include "stats/distributions.hpp"
+#include "stats/rng.hpp"
+
+namespace san::model {
+namespace {
+
+struct WakeEvent {
+  double time = 0.0;
+  NodeId node = 0;
+  double lifetime_left = 0.0;  // remaining budget of sleep time
+
+  bool operator>(const WakeEvent& other) const { return time > other.time; }
+};
+
+/// Uniform draw from Γs(u) (the union view over in/out lists; duplicates
+/// from reciprocal edges slightly over-weight mutual friends, which is the
+/// behavior we want for closure anyway).
+bool sample_social_neighbor(const SocialAttributeNetwork& net, stats::Rng& rng,
+                            NodeId u, NodeId& out) {
+  const auto& g = net.social();
+  const auto outs = g.out_neighbors(u);
+  const auto ins = g.in_neighbors(u);
+  const std::size_t total = outs.size() + ins.size();
+  if (total == 0) return false;
+  const auto idx = rng.uniform_index(total);
+  out = idx < outs.size() ? outs[idx] : ins[idx - outs.size()];
+  return true;
+}
+
+}  // namespace
+
+void validate(const GeneratorParams& p) {
+  const auto fail = [](const char* message) {
+    throw std::invalid_argument(std::string("GeneratorParams: ") + message);
+  };
+  if (p.social_node_count == 0) fail("social_node_count must be > 0");
+  if (p.attribute_declare_prob < 0.0 || p.attribute_declare_prob > 1.0) {
+    fail("attribute_declare_prob must be in [0, 1]");
+  }
+  if (p.sigma_a <= 0.0) fail("sigma_a must be > 0");
+  if (p.p_new_attribute < 0.0 || p.p_new_attribute >= 1.0) {
+    fail("p_new_attribute must be in [0, 1)");
+  }
+  if (p.beta < 0.0) fail("beta must be >= 0");
+  if (p.sigma_l <= 0.0) fail("sigma_l must be > 0");
+  if (p.ms <= 0.0) fail("ms must be > 0");
+  if (p.fc < 0.0) fail("fc must be >= 0");
+  if (p.dynamic_attribute_prob < 0.0 || p.dynamic_attribute_prob > 1.0) {
+    fail("dynamic_attribute_prob must be in [0, 1]");
+  }
+  if (p.max_outdegree < 2) fail("max_outdegree must be >= 2");
+  if (p.init_social_nodes < 2) fail("init_social_nodes must be >= 2");
+}
+
+SocialAttributeNetwork generate_san(const GeneratorParams& params) {
+  validate(params);
+  stats::Rng rng(params.seed);
+  SocialAttributeNetwork net;
+  LapaSampler sampler(net, rng);
+
+  const stats::DiscreteLognormal attr_degree_dist(params.mu_a, params.sigma_a, 1);
+  const stats::TruncatedNormal lifetime_dist(params.mu_l, params.sigma_l);
+  const double lifetime_mean = lifetime_dist.mean();
+
+  constexpr AttributeType kTypes[] = {AttributeType::kSchool, AttributeType::kMajor,
+                                      AttributeType::kEmployer, AttributeType::kCity};
+  constexpr double kTypeWeights[] = {0.20, 0.15, 0.30, 0.35};
+
+  const auto sample_attribute_type = [&]() {
+    const double r = rng.uniform();
+    double acc = 0.0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      acc += kTypeWeights[i];
+      if (r < acc) return kTypes[i];
+    }
+    return kTypes[3];
+  };
+
+  const auto new_attribute = [&](double time) {
+    const AttrId id = net.add_attribute_node(sample_attribute_type(), {}, time);
+    sampler.on_attribute_node_added();
+    return id;
+  };
+
+  const auto add_attribute_link = [&](NodeId u, AttrId x, double time) {
+    if (net.add_attribute_link(u, x, time)) sampler.on_attribute_link_added(u, x);
+  };
+
+  const auto add_social_link = [&](NodeId u, NodeId v, double time) {
+    if (u == v) return false;
+    if (!net.add_social_link(u, v, time)) return false;
+    sampler.on_social_link_added(u, v);
+    return true;
+  };
+
+  // ---- Initialization: a small complete SAN (§5.3). ----
+  for (std::size_t i = 0; i < params.init_social_nodes; ++i) {
+    sampler.on_social_node_added(net.add_social_node(0.0));
+  }
+  for (std::size_t i = 0; i < params.init_attribute_nodes; ++i) new_attribute(0.0);
+  for (std::size_t i = 0; i < params.init_social_nodes; ++i) {
+    for (std::size_t j = 0; j < params.init_social_nodes; ++j) {
+      if (i != j) {
+        add_social_link(static_cast<NodeId>(i), static_cast<NodeId>(j), 0.0);
+      }
+    }
+    for (std::size_t x = 0; x < params.init_attribute_nodes; ++x) {
+      add_attribute_link(static_cast<NodeId>(i), static_cast<AttrId>(x), 0.0);
+    }
+  }
+
+  // ---- Main loop: one node arrival per time step, plus wake events. ----
+  std::priority_queue<WakeEvent, std::vector<WakeEvent>, std::greater<>> wakes;
+
+  // Sleep after reaching outdegree d has mean ms * ln(1 + 1/d) = ms/d *
+  // (1 + O(1/d)). The log-increment form makes the cumulative sleep
+  // telescope to exactly ms * ln(D), so the finite-size outdegree matches
+  // Theorem 1's mean-field prediction without the Euler-Mascheroni offset a
+  // plain harmonic sum would introduce.
+  const auto sample_sleep = [&](std::size_t outdeg) {
+    const double d = static_cast<double>(std::max<std::size_t>(outdeg, 1));
+    const double mean = params.ms * std::log1p(1.0 / d);
+    return params.sleep == SleepRule::kDeterministic ? mean
+                                                     : rng.exponential(1.0 / mean);
+  };
+
+  const auto attachment_beta =
+      params.attachment == AttachmentRule::kLapa ? params.beta : 0.0;
+
+  const auto issue_attachment_link = [&](NodeId u, double time) {
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      const NodeId v = sampler.sample_target(u, attachment_beta);
+      if (v != u && add_social_link(u, v, time)) return true;
+    }
+    return false;
+  };
+
+  // One RR / RR-SAN closure step; falls back to attachment when the walk
+  // fails (mirroring [29]).
+  const auto issue_closure_link = [&](NodeId u, double time) {
+    const double fc = params.closure == ClosureRule::kRrSan ? params.fc : 0.0;
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      const auto attrs = net.attributes_of(u);
+      const auto& g = net.social();
+      const double w_social =
+          static_cast<double>(g.out_degree(u) + g.in_degree(u));
+      const double w_attr = fc * static_cast<double>(attrs.size());
+      if (w_social + w_attr <= 0.0) break;
+      NodeId v = u;
+      if (rng.uniform() * (w_social + w_attr) < w_social) {
+        NodeId w = u;
+        if (!sample_social_neighbor(net, rng, u, w)) continue;
+        if (!sample_social_neighbor(net, rng, w, v)) continue;
+      } else {
+        const AttrId x = attrs[rng.uniform_index(attrs.size())];
+        const auto members = net.members_of(x);
+        if (members.empty()) continue;
+        v = members[rng.uniform_index(members.size())];
+      }
+      if (v != u && add_social_link(u, v, time)) return true;
+    }
+    return issue_attachment_link(u, time);
+  };
+
+  const std::size_t target_nodes = params.social_node_count;
+  for (std::size_t step = 0; net.social_node_count() < target_nodes; ++step) {
+    const double now = static_cast<double>(step + 1);
+
+    // Social node arrival.
+    const NodeId u = net.add_social_node(now);
+    sampler.on_social_node_added(u);
+
+    // Attribute degree sampling + attribute linking.
+    if (rng.bernoulli(params.attribute_declare_prob)) {
+      const auto na = attr_degree_dist.sample(rng);
+      for (std::uint64_t i = 0; i < na; ++i) {
+        AttrId x = 0;
+        if (rng.bernoulli(params.p_new_attribute) ||
+            !sampler.sample_attribute_preferential(x)) {
+          x = new_attribute(now);
+        }
+        add_attribute_link(u, x, now);
+      }
+    }
+
+    // First outgoing link (LAPA), lifetime and first sleep.
+    issue_attachment_link(u, now);
+    const double lifetime = params.lifetime == LifetimeRule::kTruncatedNormal
+                                ? lifetime_dist.sample(rng)
+                                : rng.exponential(1.0 / lifetime_mean);
+    const double sleep = sample_sleep(net.social().out_degree(u));
+    if (sleep <= lifetime) {
+      wakes.push({now + sleep, u, lifetime - sleep});
+    }
+
+    // Woken social nodes issue closure links (and, with the §7 extension
+    // enabled, occasionally adopt an attribute from a social neighbor).
+    while (!wakes.empty() && wakes.top().time <= now + 1.0) {
+      const WakeEvent event = wakes.top();
+      wakes.pop();
+      issue_closure_link(event.node, event.time);
+      if (params.dynamic_attribute_prob > 0.0 &&
+          rng.bernoulli(params.dynamic_attribute_prob)) {
+        NodeId w = event.node;
+        if (sample_social_neighbor(net, rng, event.node, w)) {
+          const auto neighbor_attrs = net.attributes_of(w);
+          if (!neighbor_attrs.empty()) {
+            const AttrId x =
+                neighbor_attrs[rng.uniform_index(neighbor_attrs.size())];
+            add_attribute_link(event.node, x, event.time);
+          }
+        }
+      }
+      const double next_sleep =
+          sample_sleep(net.social().out_degree(event.node));
+      if (next_sleep <= event.lifetime_left &&
+          net.social().out_degree(event.node) < params.max_outdegree) {
+        wakes.push(
+            {event.time + next_sleep, event.node, event.lifetime_left - next_sleep});
+      }
+    }
+  }
+  return net;
+}
+
+}  // namespace san::model

@@ -1,0 +1,98 @@
+// Incremental O(1)-amortized sampling for LAPA / PA with alpha = 1, shared
+// by the Algorithm 1 generator and the synthetic Google+ crawl.
+//
+// Preferential attachment by (indegree + 1) uses token arrays: every node
+// has one implicit base token plus one token per in-edge. The attribute
+// part of LAPA keeps the same (indegree + 1)-weighted tokens per attribute
+// member list, which makes the exact LAPA draw
+//   f(u, v) ∝ (d_i(v) + 1) * (1 + beta * a(u, v))
+// a two-level categorical sample (this is also the practical heuristic the
+// paper sketches in §7, made exact by the token multiplicities).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "san/san.hpp"
+#include "stats/rng.hpp"
+
+namespace san::model {
+
+class LapaSampler {
+ public:
+  /// The sampler observes (never mutates) `net`; callers must report every
+  /// mutation through the on_* hooks, in the order it happened.
+  LapaSampler(const SocialAttributeNetwork& net, stats::Rng& rng)
+      : net_(net), rng_(rng) {}
+
+  /// Register a social node. `attachable` = false keeps it out of the base
+  /// preferential-attachment pool (used for "lurker" accounts that never
+  /// participate; they may still be reached through shared attributes).
+  void on_social_node_added(NodeId u, bool attachable = true) {
+    if (attachable) node_tokens_.push_back(u);
+  }
+
+  void on_attribute_node_added() { attr_member_tokens_.emplace_back(); }
+
+  /// Call after net.add_attribute_link(u, x) succeeded.
+  void on_attribute_link_added(NodeId u, AttrId x) {
+    attr_tokens_.push_back(x);
+    const auto copies = net_.social().in_degree(u) + 1;
+    for (std::size_t i = 0; i < copies; ++i) attr_member_tokens_[x].push_back(u);
+  }
+
+  /// Call after net.add_social_link(u, v) succeeded.
+  void on_social_link_added(NodeId /*u*/, NodeId v) {
+    in_edge_tokens_.push_back(v);
+    for (const AttrId x : net_.attributes_of(v)) {
+      attr_member_tokens_[x].push_back(v);
+    }
+  }
+
+  /// Existing attribute chosen proportionally to its social degree; false
+  /// when no attribute link exists yet.
+  bool sample_attribute_preferential(AttrId& out) {
+    if (attr_tokens_.empty()) return false;
+    out = attr_tokens_[rng_.uniform_index(attr_tokens_.size())];
+    return true;
+  }
+
+  /// One LAPA draw (PA when beta = 0) of a target for source u. May return
+  /// u itself or an existing neighbor — callers retry.
+  NodeId sample_target(NodeId u, double beta) {
+    const double z_base = static_cast<double>(node_tokens_.size()) +
+                          static_cast<double>(in_edge_tokens_.size());
+    double z_attr = 0.0;
+    const auto attrs = net_.attributes_of(u);
+    if (beta > 0.0) {
+      for (const AttrId x : attrs) {
+        z_attr += beta * static_cast<double>(attr_member_tokens_[x].size());
+      }
+    }
+    const double r = rng_.uniform() * (z_base + z_attr);
+    if (r < z_base || z_attr == 0.0) {
+      const auto n = node_tokens_.size();
+      const auto idx = rng_.uniform_index(n + in_edge_tokens_.size());
+      return idx < n ? node_tokens_[idx] : in_edge_tokens_[idx - n];
+    }
+    double acc = z_base;
+    for (const AttrId x : attrs) {
+      acc += beta * static_cast<double>(attr_member_tokens_[x].size());
+      if (r < acc || x == attrs.back()) {
+        const auto& tokens = attr_member_tokens_[x];
+        if (!tokens.empty()) return tokens[rng_.uniform_index(tokens.size())];
+      }
+    }
+    return static_cast<NodeId>(rng_.uniform_index(net_.social_node_count()));
+  }
+
+ private:
+  const SocialAttributeNetwork& net_;
+  stats::Rng& rng_;
+  std::vector<NodeId> node_tokens_;     // base PA pool (attachable nodes)
+  std::vector<NodeId> in_edge_tokens_;
+  std::vector<AttrId> attr_tokens_;
+  std::vector<std::vector<NodeId>> attr_member_tokens_;
+};
+
+}  // namespace san::model

@@ -1,0 +1,61 @@
+#include "model/theory.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/distributions.hpp"
+#include "stats/optimize.hpp"
+
+namespace san::model {
+
+LognormalPrediction predicted_outdegree_lognormal(double mu_l, double sigma_l,
+                                                  double ms) {
+  if (sigma_l <= 0.0 || ms <= 0.0) {
+    throw std::invalid_argument(
+        "predicted_outdegree_lognormal: sigma_l and ms must be > 0");
+  }
+  const double gamma = -mu_l / sigma_l;
+  LognormalPrediction pred;
+  pred.mu = (mu_l + sigma_l * stats::TruncatedNormal::g(gamma)) / ms;
+  const double var =
+      sigma_l * sigma_l * (1.0 - stats::TruncatedNormal::delta(gamma)) / (ms * ms);
+  pred.sigma = std::sqrt(var);
+  return pred;
+}
+
+double predicted_attribute_powerlaw_exponent(double p) {
+  if (p < 0.0 || p >= 1.0) {
+    throw std::invalid_argument(
+        "predicted_attribute_powerlaw_exponent: p must be in [0, 1)");
+  }
+  return (2.0 - p) / (1.0 - p);
+}
+
+double new_attribute_probability_for_exponent(double alpha) {
+  if (alpha <= 2.0) {
+    throw std::invalid_argument(
+        "new_attribute_probability_for_exponent: alpha must be > 2");
+  }
+  return (alpha - 2.0) / (alpha - 1.0);
+}
+
+LifetimeParams lifetime_for_outdegree(double mu_target, double sigma_target,
+                                      double ms) {
+  if (sigma_target <= 0.0 || ms <= 0.0) {
+    throw std::invalid_argument("lifetime_for_outdegree: bad targets");
+  }
+  const auto objective = [&](const std::vector<double>& x) {
+    const double mu_l = x[0];
+    const double sigma_l = std::exp(x[1]);
+    const auto pred = predicted_outdegree_lognormal(mu_l, sigma_l, ms);
+    const double d_mu = pred.mu - mu_target;
+    const double d_sigma = pred.sigma - sigma_target;
+    return d_mu * d_mu + d_sigma * d_sigma;
+  };
+  const auto res = stats::nelder_mead(
+      objective, {mu_target * ms, std::log(sigma_target * ms)}, {0.5, 0.5},
+      1e-14, 2000);
+  return {res.x[0], std::exp(res.x[1])};
+}
+
+}  // namespace san::model

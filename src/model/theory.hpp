@@ -1,0 +1,44 @@
+// Closed forms from the paper's theoretical analysis (§5.4).
+//
+// Theorem 1: with truncated-normal lifetimes (mu_l, sigma_l) and mean sleep
+// time m_s / outdegree, the social outdegree is lognormal with
+//   mu    = (mu_l + sigma_l * g(gamma_l)) / m_s,
+//   sigma^2 = sigma_l^2 * (1 - delta(gamma_l)) / m_s^2,
+// where gamma_l = -mu_l / sigma_l, g = phi / (1 - Phi), and
+// delta(g) = g * (g - gamma).
+//
+// Theorem 2: with new-attribute probability p, the social degree of
+// attribute nodes is power-law with exponent (2 - p) / (1 - p).
+#pragma once
+
+namespace san::model {
+
+struct LognormalPrediction {
+  double mu = 0.0;
+  double sigma = 0.0;
+};
+
+/// Theorem 1 prediction for the outdegree lognormal parameters.
+/// Requires sigma_l > 0 and ms > 0.
+LognormalPrediction predicted_outdegree_lognormal(double mu_l, double sigma_l,
+                                                  double ms);
+
+/// Theorem 2 prediction for the attribute-node social-degree power-law
+/// exponent. Requires 0 <= p < 1.
+double predicted_attribute_powerlaw_exponent(double p);
+
+/// Inverse of Theorem 2: the new-attribute probability that yields a given
+/// exponent alpha > 2.
+double new_attribute_probability_for_exponent(double alpha);
+
+/// Invert Theorem 1: find (mu_l, sigma_l) such that the predicted outdegree
+/// lognormal equals (mu_target, sigma_target) for the given ms (used by the
+/// guided parameter search of §6).
+struct LifetimeParams {
+  double mu_l = 0.0;
+  double sigma_l = 1.0;
+};
+LifetimeParams lifetime_for_outdegree(double mu_target, double sigma_target,
+                                      double ms);
+
+}  // namespace san::model

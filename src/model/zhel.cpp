@@ -1,0 +1,146 @@
+#include "model/zhel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace san::model {
+
+void validate(const ZhelParams& p) {
+  const auto fail = [](const char* message) {
+    throw std::invalid_argument(std::string("ZhelParams: ") + message);
+  };
+  if (p.social_node_count == 0) fail("social_node_count must be > 0");
+  if (p.mean_out_links <= 0.0) fail("mean_out_links must be > 0");
+  if (p.p_triad < 0.0 || p.p_triad > 1.0) fail("p_triad must be in [0, 1]");
+  if (p.mean_groups < 0.0) fail("mean_groups must be >= 0");
+  if (p.p_friend_group < 0.0 || p.p_friend_group > 1.0) {
+    fail("p_friend_group must be in [0, 1]");
+  }
+  if (p.p_new_group < 0.0 || p.p_new_group >= 1.0) {
+    fail("p_new_group must be in [0, 1)");
+  }
+  if (p.init_nodes < 2) fail("init_nodes must be >= 2");
+}
+
+SocialAttributeNetwork generate_zhel(const ZhelParams& params) {
+  validate(params);
+  stats::Rng rng(params.seed);
+  SocialAttributeNetwork net;
+
+  // Preferential-attachment token pools.
+  std::vector<NodeId> degree_tokens;  // one per edge endpoint (in + out)
+  std::vector<AttrId> group_tokens;   // one per membership
+
+  const auto add_social_link = [&](NodeId u, NodeId v, double time) {
+    if (u == v || !net.add_social_link(u, v, time)) return false;
+    // Target-side tokens: preferential attachment by indegree, the regime
+    // with the cleanest power-law tail.
+    degree_tokens.push_back(v);
+    return true;
+  };
+
+  const auto join_group = [&](NodeId u, AttrId x, double time) {
+    if (!net.add_attribute_link(u, x, time)) return false;
+    group_tokens.push_back(x);
+    return true;
+  };
+
+  // Geometric number of actions with the given mean (support k >= 0).
+  const auto sample_count = [&](double mean_count) {
+    if (mean_count <= 0.0) return std::uint64_t{0};
+    const double q = mean_count / (1.0 + mean_count);  // success prob of "more"
+    std::uint64_t k = 0;
+    while (rng.uniform() < q && k < 10'000) ++k;
+    return k;
+  };
+
+  const auto sample_preferential_node = [&]() {
+    // (degree + 1)-weighted: implicit node token + degree tokens.
+    const std::size_t n = net.social_node_count();
+    const auto idx = rng.uniform_index(n + degree_tokens.size());
+    return idx < n ? static_cast<NodeId>(idx) : degree_tokens[idx - n];
+  };
+
+  const auto sample_neighbor = [&](NodeId u, NodeId& out) {
+    const auto& g = net.social();
+    const auto outs = g.out_neighbors(u);
+    const auto ins = g.in_neighbors(u);
+    const std::size_t total = outs.size() + ins.size();
+    if (total == 0) return false;
+    const auto idx = rng.uniform_index(total);
+    out = idx < outs.size() ? outs[idx] : ins[idx - outs.size()];
+    return true;
+  };
+
+  // Initialization: a small clique.
+  for (std::size_t i = 0; i < params.init_nodes; ++i) net.add_social_node(0.0);
+  for (std::size_t i = 0; i < params.init_nodes; ++i) {
+    for (std::size_t j = 0; j < params.init_nodes; ++j) {
+      if (i != j) add_social_link(static_cast<NodeId>(i), static_cast<NodeId>(j), 0.0);
+    }
+  }
+  net.add_attribute_node(AttributeType::kOther, "group-0", 0.0);
+  for (std::size_t i = 0; i < params.init_nodes; ++i) {
+    join_group(static_cast<NodeId>(i), 0, 0.0);
+  }
+
+  while (net.social_node_count() < params.social_node_count) {
+    const auto now = static_cast<double>(net.social_node_count());
+    const NodeId u = net.add_social_node(now);
+
+    // Social links: triangle closure with probability p_triad, otherwise
+    // preferential attachment; directed outgoing per footnote 5.
+    const std::uint64_t n_links =
+        std::max<std::uint64_t>(1, sample_count(params.mean_out_links));
+    for (std::uint64_t i = 0; i < n_links; ++i) {
+      NodeId v = u;
+      bool closed = false;
+      if (rng.bernoulli(params.p_triad)) {
+        NodeId w = u;
+        if (sample_neighbor(u, w) && sample_neighbor(w, v) && v != u) {
+          closed = add_social_link(u, v, now);
+        }
+      }
+      if (!closed) {
+        for (int attempt = 0; attempt < 16 && !closed; ++attempt) {
+          v = sample_preferential_node();
+          closed = add_social_link(u, v, now);
+        }
+      }
+    }
+
+    // Group memberships: copy a friend's group or preferential by size;
+    // occasionally create a brand-new group.
+    const std::uint64_t n_groups = sample_count(params.mean_groups);
+    for (std::uint64_t i = 0; i < n_groups; ++i) {
+      AttrId x = 0;
+      bool chosen = false;
+      if (rng.bernoulli(params.p_new_group) || group_tokens.empty()) {
+        x = net.add_attribute_node(
+            AttributeType::kOther,
+            "group-" + std::to_string(net.attribute_node_count()), now);
+        chosen = true;
+      } else if (rng.bernoulli(params.p_friend_group)) {
+        NodeId w = u;
+        if (sample_neighbor(u, w)) {
+          const auto groups = net.attributes_of(w);
+          if (!groups.empty()) {
+            x = groups[rng.uniform_index(groups.size())];
+            chosen = true;
+          }
+        }
+      }
+      if (!chosen) {
+        x = group_tokens[rng.uniform_index(group_tokens.size())];
+      }
+      join_group(u, x, now);
+    }
+  }
+  return net;
+}
+
+}  // namespace san::model

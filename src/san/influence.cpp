@@ -1,0 +1,138 @@
+#include "san/influence.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "stats/summary.hpp"
+
+namespace san {
+namespace {
+
+/// Number of common undirected social neighbors of u and v in snap.
+std::size_t common_social_neighbors(const SanSnapshot& snap, NodeId u, NodeId v) {
+  const auto nu = snap.social.neighbors(u);
+  const auto nv = snap.social.neighbors(v);
+  std::size_t count = 0;
+  auto iu = nu.begin();
+  auto iv = nv.begin();
+  while (iu != nu.end() && iv != nv.end()) {
+    if (*iu < *iv) {
+      ++iu;
+    } else if (*iv < *iu) {
+      ++iv;
+    } else {
+      ++count;
+      ++iu;
+      ++iv;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+std::vector<ReciprocityCell> fine_grained_reciprocity(
+    const SanSnapshot& halfway, const SanSnapshot& final_snap,
+    std::size_t bucket_width, std::size_t max_common_social) {
+  if (bucket_width == 0) {
+    throw std::invalid_argument("fine_grained_reciprocity: bucket_width > 0");
+  }
+  if (final_snap.social_node_count() < halfway.social_node_count()) {
+    throw std::invalid_argument(
+        "fine_grained_reciprocity: final snapshot precedes halfway snapshot");
+  }
+  const std::size_t buckets = (max_common_social + bucket_width - 1) / bucket_width;
+  std::vector<ReciprocityCell> cells(buckets * 3);
+  for (std::size_t b = 0; b < buckets; ++b) {
+    for (std::size_t a = 0; a < 3; ++a) {
+      auto& cell = cells[b * 3 + a];
+      cell.common_social_lo = b * bucket_width;
+      cell.common_social_hi = (b + 1) * bucket_width;
+      cell.common_attr = a;
+    }
+  }
+
+  const auto& g = halfway.social;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    for (const NodeId v : g.out(u)) {
+      if (g.has_edge(v, u)) continue;  // already reciprocal at halfway
+      const std::size_t s = common_social_neighbors(halfway, u, v);
+      if (s >= max_common_social) continue;
+      const std::size_t a = std::min<std::size_t>(halfway.common_attributes(u, v), 2);
+      auto& cell = cells[(s / bucket_width) * 3 + a];
+      ++cell.links;
+      if (final_snap.social.has_edge(v, u)) ++cell.reciprocated;
+    }
+  }
+  return cells;
+}
+
+std::array<double, kAttributeTypeCount> clustering_by_attribute_type(
+    const SanSnapshot& snap, const graph::ClusteringOptions& options) {
+  std::array<double, kAttributeTypeCount> result{};
+  for (int t = 0; t < kAttributeTypeCount; ++t) {
+    std::vector<const std::vector<NodeId>*> groups;
+    for (std::size_t a = 0; a < snap.members.size(); ++a) {
+      if (snap.attribute_types[a] == static_cast<AttributeType>(t) &&
+          !snap.members[a].empty()) {
+        groups.push_back(&snap.members[a]);
+      }
+    }
+    if (groups.empty()) {
+      result[static_cast<std::size_t>(t)] = 0.0;
+      continue;
+    }
+    result[static_cast<std::size_t>(t)] = graph::approx_average_group_clustering(
+        snap.social,
+        [&](std::size_t i) { return std::span<const NodeId>(*groups[i]); },
+        groups.size(), options);
+  }
+  return result;
+}
+
+DegreeByAttribute degree_by_attribute(const SocialAttributeNetwork& network,
+                                      const SanSnapshot& snap, AttrId attr) {
+  if (attr >= snap.members.size()) {
+    throw std::out_of_range("degree_by_attribute: unknown attribute");
+  }
+  DegreeByAttribute result;
+  result.attribute_name = network.attribute_name(attr);
+  const auto& members = snap.members[attr];
+  result.member_count = members.size();
+  if (members.empty()) return result;
+
+  std::vector<double> degrees;
+  degrees.reserve(members.size());
+  for (const NodeId u : members) {
+    degrees.push_back(static_cast<double>(snap.social.out_degree(u)));
+  }
+  result.p25 = stats::percentile(degrees, 25.0);
+  result.median = stats::percentile(degrees, 50.0);
+  result.p75 = stats::percentile(degrees, 75.0);
+  return result;
+}
+
+std::vector<DegreeByAttribute> top_attributes_by_degree(
+    const SocialAttributeNetwork& network, const SanSnapshot& snap,
+    AttributeType type, std::size_t count) {
+  std::vector<AttrId> of_type;
+  for (std::size_t a = 0; a < snap.members.size(); ++a) {
+    if (snap.attribute_types[a] == type && !snap.members[a].empty()) {
+      of_type.push_back(static_cast<AttrId>(a));
+    }
+  }
+  std::sort(of_type.begin(), of_type.end(), [&](AttrId x, AttrId y) {
+    return snap.members[x].size() > snap.members[y].size();
+  });
+  if (of_type.size() > count) of_type.resize(count);
+
+  std::vector<DegreeByAttribute> result;
+  result.reserve(of_type.size());
+  for (const AttrId a : of_type) {
+    result.push_back(degree_by_attribute(network, snap, a));
+  }
+  return result;
+}
+
+}  // namespace san

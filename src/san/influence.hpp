@@ -1,0 +1,66 @@
+// §4.2 of the paper: how attributes influence the social structure.
+//   - fine-grained reciprocity r_{s,a} (Fig 13a),
+//   - per-attribute-type clustering coefficients (Fig 13b),
+//   - social degree conditioned on attribute values (Fig 14).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/clustering.hpp"
+#include "san/san.hpp"
+#include "san/snapshot.hpp"
+
+namespace san {
+
+/// One cell of the fine-grained reciprocity study: among links that were
+/// one-directional at the halfway snapshot whose endpoints had `s` common
+/// social neighbors and `a` common attributes, the fraction that became
+/// reciprocal by the final snapshot.
+struct ReciprocityCell {
+  std::size_t common_social_lo = 0;  // inclusive bucket bounds for s
+  std::size_t common_social_hi = 0;
+  std::size_t common_attr = 0;       // 0, 1 or 2 (meaning >= 2)
+  std::uint64_t links = 0;
+  std::uint64_t reciprocated = 0;
+
+  double rate() const {
+    return links == 0 ? 0.0 : static_cast<double>(reciprocated) /
+                                  static_cast<double>(links);
+  }
+};
+
+/// Compute r_{s,a} between two snapshots of the same network (the paper uses
+/// the halfway and the final crawl). Common-social-neighbor counts are
+/// bucketed as [lo, lo + bucket_width). Cells are returned for
+/// common_attr in {0, 1, >=2} (encoded as 2).
+std::vector<ReciprocityCell> fine_grained_reciprocity(
+    const SanSnapshot& halfway, const SanSnapshot& final_snap,
+    std::size_t bucket_width = 5, std::size_t max_common_social = 50);
+
+/// Average attribute clustering coefficient per attribute type (Fig 13b):
+/// Employer communities are far denser than City communities.
+std::array<double, kAttributeTypeCount> clustering_by_attribute_type(
+    const SanSnapshot& snap, const graph::ClusteringOptions& options = {});
+
+/// Outdegree percentiles of the members of one attribute node (Fig 14).
+struct DegreeByAttribute {
+  std::string attribute_name;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  std::uint64_t member_count = 0;
+};
+
+DegreeByAttribute degree_by_attribute(const SocialAttributeNetwork& network,
+                                      const SanSnapshot& snap, AttrId attr);
+
+/// The top `count` attribute nodes of a type by membership, with their
+/// degree percentiles — the data behind Fig 14's box plots.
+std::vector<DegreeByAttribute> top_attributes_by_degree(
+    const SocialAttributeNetwork& network, const SanSnapshot& snap,
+    AttributeType type, std::size_t count);
+
+}  // namespace san

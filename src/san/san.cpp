@@ -1,0 +1,129 @@
+#include "san/san.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace san {
+
+std::string to_string(AttributeType type) {
+  switch (type) {
+    case AttributeType::kSchool:
+      return "School";
+    case AttributeType::kMajor:
+      return "Major";
+    case AttributeType::kEmployer:
+      return "Employer";
+    case AttributeType::kCity:
+      return "City";
+    case AttributeType::kOther:
+      return "Other";
+  }
+  return "Unknown";
+}
+
+NodeId SocialAttributeNetwork::add_social_node(double time) {
+  if (!social_times_.empty() && time < social_times_.back()) {
+    throw std::invalid_argument(
+        "SocialAttributeNetwork: social node join times must be non-decreasing");
+  }
+  const NodeId id = social_.add_node();
+  social_times_.push_back(time);
+  attributes_.emplace_back();
+  return id;
+}
+
+AttrId SocialAttributeNetwork::add_attribute_node(AttributeType type,
+                                                  std::string name, double time) {
+  members_.emplace_back();
+  attr_types_.push_back(type);
+  attr_names_.push_back(std::move(name));
+  attribute_times_.push_back(time);
+  return static_cast<AttrId>(members_.size() - 1);
+}
+
+bool SocialAttributeNetwork::add_social_link(NodeId u, NodeId v, double time) {
+  if (!social_.add_edge(u, v)) return false;
+  social_log_.push_back({u, v, time});
+  return true;
+}
+
+bool SocialAttributeNetwork::add_attribute_link(NodeId u, AttrId a, double time) {
+  if (u >= social_node_count()) {
+    throw std::out_of_range("add_attribute_link: unknown social node");
+  }
+  check_attr(a);
+  auto& attrs = attributes_[u];
+  const auto it = std::lower_bound(attrs.begin(), attrs.end(), a);
+  if (it != attrs.end() && *it == a) return false;
+  attrs.insert(it, a);
+  members_[a].push_back(u);
+  attribute_log_.push_back({u, a, time});
+  return true;
+}
+
+std::span<const AttrId> SocialAttributeNetwork::attributes_of(NodeId u) const {
+  if (u >= social_node_count()) {
+    throw std::out_of_range("attributes_of: unknown social node");
+  }
+  return attributes_[u];
+}
+
+std::span<const NodeId> SocialAttributeNetwork::members_of(AttrId a) const {
+  check_attr(a);
+  return members_[a];
+}
+
+bool SocialAttributeNetwork::has_attribute(NodeId u, AttrId a) const {
+  const auto attrs = attributes_of(u);
+  return std::binary_search(attrs.begin(), attrs.end(), a);
+}
+
+std::size_t SocialAttributeNetwork::common_attributes(NodeId u, NodeId v) const {
+  const auto au = attributes_of(u);
+  const auto av = attributes_of(v);
+  std::size_t count = 0;
+  auto iu = au.begin();
+  auto iv = av.begin();
+  while (iu != au.end() && iv != av.end()) {
+    if (*iu < *iv) {
+      ++iu;
+    } else if (*iv < *iu) {
+      ++iv;
+    } else {
+      ++count;
+      ++iu;
+      ++iv;
+    }
+  }
+  return count;
+}
+
+AttributeType SocialAttributeNetwork::attribute_type(AttrId a) const {
+  check_attr(a);
+  return attr_types_[a];
+}
+
+const std::string& SocialAttributeNetwork::attribute_name(AttrId a) const {
+  check_attr(a);
+  return attr_names_[a];
+}
+
+double SocialAttributeNetwork::social_node_time(NodeId u) const {
+  if (u >= social_node_count()) {
+    throw std::out_of_range("social_node_time: unknown social node");
+  }
+  return social_times_[u];
+}
+
+double SocialAttributeNetwork::attribute_node_time(AttrId a) const {
+  check_attr(a);
+  return attribute_times_[a];
+}
+
+void SocialAttributeNetwork::check_attr(AttrId a) const {
+  if (a >= members_.size()) {
+    throw std::out_of_range("SocialAttributeNetwork: unknown attribute id");
+  }
+}
+
+}  // namespace san

@@ -1,0 +1,155 @@
+#include "san/san_metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/bfs.hpp"
+#include "graph/metrics.hpp"
+
+namespace san {
+
+double attribute_density(const SanSnapshot& snap) {
+  const std::size_t populated = snap.populated_attribute_count();
+  if (populated == 0) return 0.0;
+  return static_cast<double>(snap.attribute_link_count) /
+         static_cast<double>(populated);
+}
+
+stats::Histogram attribute_degree_histogram(const SanSnapshot& snap) {
+  std::vector<std::uint64_t> degrees;
+  degrees.reserve(snap.social_node_count());
+  for (const auto& attrs : snap.attributes) degrees.push_back(attrs.size());
+  return stats::make_histogram(degrees);
+}
+
+stats::Histogram attribute_social_degree_histogram(const SanSnapshot& snap) {
+  std::vector<std::uint64_t> degrees;
+  degrees.reserve(snap.attribute_node_count());
+  for (const auto& m : snap.members) {
+    if (!m.empty()) degrees.push_back(m.size());
+  }
+  return stats::make_histogram(degrees);
+}
+
+double average_attribute_clustering(const SanSnapshot& snap,
+                                    const graph::ClusteringOptions& options) {
+  // Omega = populated attribute nodes; each group is a member list.
+  std::vector<const std::vector<NodeId>*> groups;
+  groups.reserve(snap.members.size());
+  for (const auto& m : snap.members) {
+    if (!m.empty()) groups.push_back(&m);
+  }
+  if (groups.empty()) return 0.0;
+  return graph::approx_average_group_clustering(
+      snap.social,
+      [&](std::size_t i) {
+        return std::span<const NodeId>(*groups[i]);
+      },
+      groups.size(), options);
+}
+
+std::vector<std::pair<double, double>> attribute_clustering_by_degree(
+    const SanSnapshot& snap, std::size_t samples_per_node, std::uint64_t seed) {
+  std::vector<const std::vector<NodeId>*> groups;
+  groups.reserve(snap.members.size());
+  for (const auto& m : snap.members) {
+    if (!m.empty()) groups.push_back(&m);
+  }
+  return graph::group_clustering_by_degree(
+      snap.social,
+      [&](std::size_t i) {
+        return std::span<const NodeId>(*groups[i]);
+      },
+      groups.size(), samples_per_node, seed);
+}
+
+std::vector<std::pair<std::uint64_t, double>> attribute_knn(const SanSnapshot& snap) {
+  std::vector<double> attr_degree_sum;
+  std::vector<std::uint64_t> link_cnt;
+  for (const auto& m : snap.members) {
+    const std::size_t k = m.size();
+    if (k == 0) continue;
+    if (k >= attr_degree_sum.size()) {
+      attr_degree_sum.resize(k + 1, 0.0);
+      link_cnt.resize(k + 1, 0);
+    }
+    for (const NodeId u : m) {
+      attr_degree_sum[k] += static_cast<double>(snap.attributes[u].size());
+      ++link_cnt[k];
+    }
+  }
+  std::vector<std::pair<std::uint64_t, double>> knn;
+  for (std::size_t k = 1; k < attr_degree_sum.size(); ++k) {
+    if (link_cnt[k] == 0) continue;
+    knn.emplace_back(k, attr_degree_sum[k] / static_cast<double>(link_cnt[k]));
+  }
+  return knn;
+}
+
+double attribute_assortativity(const SanSnapshot& snap) {
+  // Pearson over attribute links of (social degree of attribute node,
+  // attribute degree of social node).
+  double sx = 0.0, sy = 0.0, sxx = 0.0, syy = 0.0, sxy = 0.0;
+  std::uint64_t m_links = 0;
+  for (const auto& m : snap.members) {
+    const auto x = static_cast<double>(m.size());
+    for (const NodeId u : m) {
+      const auto y = static_cast<double>(snap.attributes[u].size());
+      sx += x;
+      sy += y;
+      sxx += x * x;
+      syy += y * y;
+      sxy += x * y;
+      ++m_links;
+    }
+  }
+  if (m_links < 2) return 0.0;
+  const auto n = static_cast<double>(m_links);
+  const double cov = sxy - sx * sy / n;
+  const double vx = sxx - sx * sx / n;
+  const double vy = syy - sy * sy / n;
+  if (vx <= 0.0 || vy <= 0.0) return 0.0;
+  return cov / std::sqrt(vx * vy);
+}
+
+double attribute_effective_diameter(const SanSnapshot& snap,
+                                    std::size_t sample_sources, stats::Rng& rng,
+                                    double quantile) {
+  std::vector<AttrId> populated;
+  for (AttrId a = 0; a < snap.members.size(); ++a) {
+    if (!snap.members[a].empty()) populated.push_back(a);
+  }
+  if (populated.size() < 2) return 0.0;
+
+  std::vector<std::uint64_t> histogram;
+  for (std::size_t s = 0; s < sample_sources; ++s) {
+    const AttrId a = populated[rng.uniform_index(populated.size())];
+    const auto& sources = snap.members[a];
+    const auto dist = graph::bfs_distances_multi(
+        snap.social, std::span<const NodeId>(sources), graph::Direction::kOut);
+    // dist(a, b) = min over members(b) of dist + 1.
+    for (const AttrId b : populated) {
+      if (b == a) continue;
+      std::uint32_t best = graph::kUnreachable;
+      for (const NodeId v : snap.members[b]) {
+        best = std::min(best, dist[v]);
+      }
+      if (best == graph::kUnreachable) continue;
+      const std::uint32_t d = best + 1;
+      if (d >= histogram.size()) histogram.resize(d + 1, 0);
+      ++histogram[d];
+    }
+  }
+  return graph::interpolated_quantile(histogram, quantile);
+}
+
+double social_effective_diameter_sampled(const SanSnapshot& snap,
+                                         std::size_t sample_sources,
+                                         stats::Rng& rng, double quantile) {
+  const auto histogram =
+      graph::sampled_distance_histogram(snap.social, sample_sources, rng);
+  return graph::interpolated_quantile(histogram, quantile);
+}
+
+}  // namespace san

@@ -1,0 +1,62 @@
+// Attribute-structure metrics from §4.1 of the paper: attribute density,
+// attribute diameter, attribute clustering coefficients, the two
+// attribute-induced degree distributions, and the attribute joint degree
+// distribution / assortativity.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/clustering.hpp"
+#include "san/snapshot.hpp"
+#include "stats/rng.hpp"
+#include "stats/summary.hpp"
+
+namespace san {
+
+/// Attribute density |Ea| / |Va| over populated attribute nodes (§4.1).
+double attribute_density(const SanSnapshot& snap);
+
+/// Histogram of the attribute degree of social nodes (number of attributes
+/// per user; lognormal in Google+, Fig 10a). Zero-attribute users included.
+stats::Histogram attribute_degree_histogram(const SanSnapshot& snap);
+
+/// Histogram of the social degree of attribute nodes (number of users per
+/// attribute; power-law in Google+, Fig 10b). Empty attributes excluded.
+stats::Histogram attribute_social_degree_histogram(const SanSnapshot& snap);
+
+/// Average attribute clustering coefficient Ca (Algorithm 2 over attribute
+/// member groups), Fig 8b.
+double average_attribute_clustering(const SanSnapshot& snap,
+                                    const graph::ClusteringOptions& options = {});
+
+/// Attribute clustering coefficient vs social degree of the attribute node
+/// (second curve of Fig 9a).
+std::vector<std::pair<double, double>> attribute_clustering_by_degree(
+    const SanSnapshot& snap, std::size_t samples_per_node = 64,
+    std::uint64_t seed = 0xc0ffee);
+
+/// Attribute knn (Fig 12a): for each social degree k of attribute nodes, the
+/// average attribute degree of the members of those attribute nodes.
+std::vector<std::pair<std::uint64_t, double>> attribute_knn(const SanSnapshot& snap);
+
+/// Attribute assortativity (Fig 12b): Pearson correlation over attribute
+/// links between the attribute node's social degree and the social node's
+/// attribute degree.
+double attribute_assortativity(const SanSnapshot& snap);
+
+/// Sampled effective attribute diameter (Fig 4c). Attribute distance is
+/// dist(a, b) = min{dist(u, v) : u in Γs(a), v in Γs(b)} + 1 (§4.1). Runs
+/// one multi-source BFS per sampled source attribute.
+double attribute_effective_diameter(const SanSnapshot& snap,
+                                    std::size_t sample_sources, stats::Rng& rng,
+                                    double quantile = 0.9);
+
+/// Sampled social effective diameter via BFS (exact distances on sampled
+/// sources); complements graph::hyper_anf for mid-sized snapshots.
+double social_effective_diameter_sampled(const SanSnapshot& snap,
+                                         std::size_t sample_sources,
+                                         stats::Rng& rng, double quantile = 0.9);
+
+}  // namespace san

@@ -1,0 +1,78 @@
+#include "san/snapshot.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace san {
+
+std::size_t SanSnapshot::populated_attribute_count() const {
+  std::size_t count = 0;
+  for (const auto& m : members) {
+    if (!m.empty()) ++count;
+  }
+  return count;
+}
+
+std::size_t SanSnapshot::common_attributes(NodeId u, NodeId v) const {
+  const auto& au = attributes.at(u);
+  const auto& av = attributes.at(v);
+  std::size_t count = 0;
+  auto iu = au.begin();
+  auto iv = av.begin();
+  while (iu != au.end() && iv != av.end()) {
+    if (*iu < *iv) {
+      ++iu;
+    } else if (*iv < *iu) {
+      ++iv;
+    } else {
+      ++count;
+      ++iu;
+      ++iv;
+    }
+  }
+  return count;
+}
+
+SanSnapshot snapshot_at(const SocialAttributeNetwork& network, double time) {
+  SanSnapshot snap;
+  snap.time = time;
+
+  // Social nodes join chronologically, so the prefix with join time <= t is
+  // exactly the node set of the snapshot.
+  const auto social_times = network.social_node_times();
+  const auto first_after = std::upper_bound(social_times.begin(),
+                                            social_times.end(), time);
+  const auto n_social = static_cast<std::size_t>(first_after - social_times.begin());
+
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (const auto& e : network.social_log()) {
+    if (e.time <= time) edges.emplace_back(e.src, e.dst);
+  }
+  snap.social = graph::CsrGraph::from_edges(n_social, edges);
+
+  // Attribute nodes are not necessarily chronological (ids assigned on first
+  // use); include every attribute whose creation time is <= t so ids stay
+  // aligned with the source network.
+  const std::size_t n_attr = network.attribute_node_count();
+  snap.attributes.resize(n_social);
+  snap.members.resize(n_attr);
+  snap.attribute_types.reserve(n_attr);
+  for (AttrId a = 0; a < n_attr; ++a) {
+    snap.attribute_types.push_back(network.attribute_type(a));
+  }
+  for (const auto& link : network.attribute_log()) {
+    if (link.time > time) continue;
+    if (link.user >= n_social) continue;  // defensive: link predates its user
+    snap.attributes[link.user].push_back(link.attr);
+    snap.members[link.attr].push_back(link.user);
+    ++snap.attribute_link_count;
+  }
+  for (auto& attrs : snap.attributes) std::sort(attrs.begin(), attrs.end());
+  return snap;
+}
+
+SanSnapshot snapshot_full(const SocialAttributeNetwork& network) {
+  return snapshot_at(network, std::numeric_limits<double>::infinity());
+}
+
+}  // namespace san

@@ -1,0 +1,42 @@
+// Snapshot extraction: project the timestamped SAN onto "everything that
+// existed by day t", the unit of analysis of the paper's 79 daily crawls.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "san/san.hpp"
+
+namespace san {
+
+/// Immutable snapshot of a SAN at one point in time. Node ids are the same
+/// dense ids as the source network (nodes join chronologically).
+struct SanSnapshot {
+  graph::CsrGraph social;                       // social links with time <= t
+  std::vector<std::vector<AttrId>> attributes;  // Γa(u), sorted, per social node
+  std::vector<std::vector<NodeId>> members;     // Γs(a), per attribute node
+  std::vector<AttributeType> attribute_types;
+  std::uint64_t attribute_link_count = 0;
+  double time = 0.0;
+
+  std::size_t social_node_count() const { return social.node_count(); }
+  std::size_t attribute_node_count() const { return members.size(); }
+  std::uint64_t social_link_count() const { return social.edge_count(); }
+
+  /// Attribute nodes with at least one member at this time (the crawled
+  /// dataset only contains attributes that appear in some profile).
+  std::size_t populated_attribute_count() const;
+
+  std::size_t common_attributes(NodeId u, NodeId v) const;
+};
+
+/// Snapshot at time t: social/attribute nodes with join time <= t and links
+/// with timestamp <= t.
+SanSnapshot snapshot_at(const SocialAttributeNetwork& network, double time);
+
+/// Snapshot of the complete network (t = +infinity).
+SanSnapshot snapshot_full(const SocialAttributeNetwork& network);
+
+}  // namespace san

@@ -1,0 +1,34 @@
+#include "san/subsample.hpp"
+
+#include <stdexcept>
+
+namespace san {
+
+SocialAttributeNetwork subsample_attributes(const SocialAttributeNetwork& network,
+                                            double keep_probability,
+                                            std::uint64_t seed) {
+  if (keep_probability < 0.0 || keep_probability > 1.0) {
+    throw std::invalid_argument("subsample_attributes: probability in [0,1]");
+  }
+  stats::Rng rng(seed);
+  SocialAttributeNetwork out;
+  for (std::size_t u = 0; u < network.social_node_count(); ++u) {
+    out.add_social_node(network.social_node_time(static_cast<NodeId>(u)));
+  }
+  for (std::size_t a = 0; a < network.attribute_node_count(); ++a) {
+    const auto id = static_cast<AttrId>(a);
+    out.add_attribute_node(network.attribute_type(id), network.attribute_name(id),
+                           network.attribute_node_time(id));
+  }
+  for (const auto& e : network.social_log()) {
+    out.add_social_link(e.src, e.dst, e.time);
+  }
+  for (const auto& link : network.attribute_log()) {
+    if (rng.bernoulli(keep_probability)) {
+      out.add_attribute_link(link.user, link.attr, link.time);
+    }
+  }
+  return out;
+}
+
+}  // namespace san

@@ -1,0 +1,18 @@
+// Attribute subsampling validation (§4.3): drop each user's declared
+// attributes independently with probability 1 - keep_probability and verify
+// attribute metrics are stable, which the paper uses to argue that the 22 %
+// of users with declared attributes are representative.
+#pragma once
+
+#include "san/san.hpp"
+#include "stats/rng.hpp"
+
+namespace san {
+
+/// Copy of `network` in which every attribute link survives independently
+/// with probability keep_probability. Social structure is untouched.
+SocialAttributeNetwork subsample_attributes(const SocialAttributeNetwork& network,
+                                            double keep_probability,
+                                            std::uint64_t seed);
+
+}  // namespace san

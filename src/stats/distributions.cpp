@@ -1,0 +1,258 @@
+#include "stats/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "stats/zeta.hpp"
+
+namespace san::stats {
+namespace {
+
+constexpr std::size_t kMaxTable = 1u << 18;  // cached CDF entries per dist
+constexpr double kTableCoverage = 1.0 - 1e-12;
+
+/// Binary search for the smallest index with cum[i] >= u; returns table size
+/// when u exceeds the covered mass.
+std::size_t inverted_index(const std::vector<double>& cum, double u) {
+  auto it = std::lower_bound(cum.begin(), cum.end(), u);
+  return static_cast<std::size_t>(it - cum.begin());
+}
+
+}  // namespace
+
+double norm_pdf(double x) {
+  static const double kInvSqrt2Pi = 0.3989422804014327;
+  return kInvSqrt2Pi * std::exp(-0.5 * x * x);
+}
+
+double norm_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+// ---------------------------------------------------------------------------
+// DiscretePowerLaw
+// ---------------------------------------------------------------------------
+
+DiscretePowerLaw::DiscretePowerLaw(double alpha, std::uint32_t kmin)
+    : alpha_(alpha), kmin_(kmin) {
+  if (alpha <= 1.0) {
+    throw std::invalid_argument("DiscretePowerLaw: alpha must be > 1");
+  }
+  if (kmin < 1) throw std::invalid_argument("DiscretePowerLaw: kmin must be >= 1");
+  log_norm_ = std::log(hurwitz_zeta(alpha_, kmin_));
+  cum_.reserve(1024);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < kMaxTable; ++i) {
+    acc += pmf(kmin_ + i);
+    cum_.push_back(acc);
+    if (acc >= kTableCoverage) break;
+  }
+}
+
+double DiscretePowerLaw::pmf(std::uint64_t k) const {
+  if (k < kmin_) return 0.0;
+  return std::exp(log_pmf(k));
+}
+
+double DiscretePowerLaw::log_pmf(std::uint64_t k) const {
+  if (k < kmin_) return -std::numeric_limits<double>::infinity();
+  return -alpha_ * std::log(static_cast<double>(k)) - log_norm_;
+}
+
+double DiscretePowerLaw::cdf(std::uint64_t k) const {
+  if (k < kmin_) return 0.0;
+  const std::uint64_t idx = k - kmin_;
+  if (idx < cum_.size()) return std::min(cum_[idx], 1.0);
+  // Tail beyond the table: P(K > k) ~= zeta(alpha, k+1) / zeta(alpha, kmin).
+  const double tail = hurwitz_zeta(alpha_, static_cast<double>(k) + 1.0);
+  return 1.0 - tail * std::exp(-log_norm_);
+}
+
+std::uint64_t DiscretePowerLaw::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const std::size_t idx = inverted_index(cum_, u);
+  if (idx < cum_.size()) return kmin_ + idx;
+  // Rare deep-tail fallback: continuous inversion (Clauset et al. appendix).
+  const double x =
+      (static_cast<double>(kmin_) - 0.5) * std::pow(1.0 - u, -1.0 / (alpha_ - 1.0)) + 0.5;
+  return static_cast<std::uint64_t>(std::max(x, static_cast<double>(kmin_ + cum_.size())));
+}
+
+// ---------------------------------------------------------------------------
+// DiscreteLognormal
+// ---------------------------------------------------------------------------
+
+DiscreteLognormal::DiscreteLognormal(double mu, double sigma, std::uint32_t kmin)
+    : mu_(mu), sigma_(sigma), kmin_(kmin) {
+  if (sigma <= 0.0) {
+    throw std::invalid_argument("DiscreteLognormal: sigma must be > 0");
+  }
+  if (kmin < 1) throw std::invalid_argument("DiscreteLognormal: kmin must be >= 1");
+  // Normalization: exact sum over the table range, then an integral tail of
+  // the smooth continuous envelope.
+  double acc = 0.0;
+  std::vector<double> mass;
+  mass.reserve(1024);
+  for (std::size_t i = 0; i < kMaxTable; ++i) {
+    const std::uint64_t k = kmin_ + i;
+    const double m = std::exp(unnormalized_log(k));
+    acc += m;
+    mass.push_back(acc);
+    // Stop once well past the mode and contributing negligibly.
+    if (std::log(static_cast<double>(k)) > mu_ + 8.0 * sigma_ && m < acc * 1e-14) {
+      break;
+    }
+  }
+  const double tail = tail_integral(static_cast<double>(kmin_ + mass.size()) - 0.5);
+  norm_ = acc + tail;
+  cum_ = std::move(mass);
+  for (auto& c : cum_) c /= norm_;
+}
+
+double DiscreteLognormal::unnormalized_log(std::uint64_t k) const {
+  const double lk = std::log(static_cast<double>(k));
+  const double z = (lk - mu_) / sigma_;
+  return -lk - 0.5 * z * z;
+}
+
+double DiscreteLognormal::tail_integral(double x) const {
+  // ∫_x^inf (1/t) exp(-(ln t - mu)^2 / (2 sigma^2)) dt
+  //   = sqrt(2 pi) sigma (1 - Phi((ln x - mu)/sigma)).
+  const double z = (std::log(x) - mu_) / sigma_;
+  return std::sqrt(2.0 * M_PI) * sigma_ * (1.0 - norm_cdf(z));
+}
+
+double DiscreteLognormal::pmf(std::uint64_t k) const {
+  if (k < kmin_) return 0.0;
+  return std::exp(unnormalized_log(k)) / norm_;
+}
+
+double DiscreteLognormal::log_pmf(std::uint64_t k) const {
+  if (k < kmin_) return -std::numeric_limits<double>::infinity();
+  return unnormalized_log(k) - std::log(norm_);
+}
+
+double DiscreteLognormal::cdf(std::uint64_t k) const {
+  if (k < kmin_) return 0.0;
+  const std::uint64_t idx = k - kmin_;
+  if (idx < cum_.size()) return std::min(cum_[idx], 1.0);
+  return 1.0 - tail_integral(static_cast<double>(k) + 0.5) / norm_;
+}
+
+std::uint64_t DiscreteLognormal::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const std::size_t idx = inverted_index(cum_, u);
+  if (idx < cum_.size()) return kmin_ + idx;
+  // Deep tail: sample the continuous lognormal and round, clamped to the
+  // region beyond the table so the support stays consistent.
+  const double x = std::exp(mu_ + sigma_ * rng.normal());
+  const double lo = static_cast<double>(kmin_ + cum_.size());
+  return static_cast<std::uint64_t>(std::max(std::round(x), lo));
+}
+
+// ---------------------------------------------------------------------------
+// PowerLawCutoff
+// ---------------------------------------------------------------------------
+
+PowerLawCutoff::PowerLawCutoff(double alpha, double lambda, std::uint32_t kmin)
+    : alpha_(alpha), lambda_(lambda), kmin_(kmin) {
+  if (lambda <= 0.0) {
+    throw std::invalid_argument("PowerLawCutoff: lambda must be > 0");
+  }
+  if (kmin < 1) throw std::invalid_argument("PowerLawCutoff: kmin must be >= 1");
+  // The exponential cutoff makes the direct sum converge quickly.
+  long double acc = 0.0L;
+  std::vector<double> mass;
+  mass.reserve(1024);
+  for (std::size_t i = 0; i < kMaxTable; ++i) {
+    const auto k = static_cast<double>(kmin_ + i);
+    const long double m = std::exp(-alpha_ * std::log(k) - lambda_ * k);
+    acc += m;
+    mass.push_back(static_cast<double>(acc));
+    if (lambda_ * k > 40.0 && i > 8) break;  // e^{-40} ~ 4e-18: done
+  }
+  log_norm_ = std::log(static_cast<double>(acc));
+  cum_ = std::move(mass);
+  const double norm = static_cast<double>(acc);
+  for (auto& c : cum_) c /= norm;
+}
+
+double PowerLawCutoff::pmf(std::uint64_t k) const {
+  if (k < kmin_) return 0.0;
+  return std::exp(log_pmf(k));
+}
+
+double PowerLawCutoff::log_pmf(std::uint64_t k) const {
+  if (k < kmin_) return -std::numeric_limits<double>::infinity();
+  const auto kd = static_cast<double>(k);
+  return -alpha_ * std::log(kd) - lambda_ * kd - log_norm_;
+}
+
+double PowerLawCutoff::cdf(std::uint64_t k) const {
+  if (k < kmin_) return 0.0;
+  const std::uint64_t idx = k - kmin_;
+  if (idx < cum_.size()) return std::min(cum_[idx], 1.0);
+  return 1.0;  // table captured all non-negligible mass
+}
+
+std::uint64_t PowerLawCutoff::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const std::size_t idx = inverted_index(cum_, u);
+  return kmin_ + std::min(idx, cum_.size() - 1);
+}
+
+// ---------------------------------------------------------------------------
+// TruncatedNormal
+// ---------------------------------------------------------------------------
+
+TruncatedNormal::TruncatedNormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  if (sigma <= 0.0) {
+    throw std::invalid_argument("TruncatedNormal: sigma must be > 0");
+  }
+}
+
+double TruncatedNormal::g(double x) {
+  const double denom = 1.0 - norm_cdf(x);
+  if (denom <= 0.0) {
+    // Asymptotic hazard for far-right truncation points.
+    return x + 1.0 / x;
+  }
+  return norm_pdf(x) / denom;
+}
+
+double TruncatedNormal::delta(double x) {
+  const double gx = g(x);
+  return gx * (gx - x);
+}
+
+double TruncatedNormal::mean() const {
+  const double gamma = -mu_ / sigma_;
+  return mu_ + sigma_ * g(gamma);
+}
+
+double TruncatedNormal::variance() const {
+  const double gamma = -mu_ / sigma_;
+  return sigma_ * sigma_ * (1.0 - delta(gamma));
+}
+
+double TruncatedNormal::sample(Rng& rng) const {
+  const double gamma = -mu_ / sigma_;
+  if (gamma < 3.0) {
+    // Acceptance probability 1 - Phi(gamma) is large enough for plain
+    // rejection from the untruncated normal.
+    for (;;) {
+      const double x = rng.normal(mu_, sigma_);
+      if (x >= 0.0) return x;
+    }
+  }
+  // Far-left-mean case: Robert's exponential accept-reject on the standard
+  // normal truncated to [gamma, inf).
+  const double a = 0.5 * (gamma + std::sqrt(gamma * gamma + 4.0));
+  for (;;) {
+    const double z = gamma + rng.exponential(a);
+    const double rho = std::exp(-0.5 * (z - a) * (z - a));
+    if (rng.uniform() <= rho) return mu_ + sigma_ * z;
+  }
+}
+
+}  // namespace san::stats

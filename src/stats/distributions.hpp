@@ -1,0 +1,120 @@
+// Probability distributions used throughout the paper:
+//   - discrete power law (social degree of attribute nodes, Fig 10b),
+//   - discrete lognormal (social in/outdegree, attribute degree, Figs 5/10a),
+//   - power law with exponential cutoff (fit alternative, per [10]),
+//   - truncated normal (node lifetime in the generative model, §5.3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace san::stats {
+
+/// Standard normal probability density function.
+double norm_pdf(double x);
+/// Standard normal cumulative distribution function.
+double norm_cdf(double x);
+
+/// Discrete power law: p(k) = k^{-alpha} / zeta(alpha, kmin), k >= kmin.
+class DiscretePowerLaw {
+ public:
+  /// Requires alpha > 1 and kmin >= 1.
+  DiscretePowerLaw(double alpha, std::uint32_t kmin = 1);
+
+  double alpha() const { return alpha_; }
+  std::uint32_t kmin() const { return kmin_; }
+
+  double pmf(std::uint64_t k) const;
+  double log_pmf(std::uint64_t k) const;
+  /// P(K <= k); exact within the cached table, integral-tail beyond it.
+  double cdf(std::uint64_t k) const;
+  std::uint64_t sample(Rng& rng) const;
+
+ private:
+  double alpha_;
+  std::uint32_t kmin_;
+  double log_norm_;            // log zeta(alpha, kmin)
+  std::vector<double> cum_;    // cumulative probability for kmin .. kmin+N-1
+};
+
+/// Discrete lognormal: p(k) ∝ (1/k) exp(-(ln k - mu)^2 / (2 sigma^2)),
+/// k >= kmin (the DGX-style distribution of [7] with integer support).
+class DiscreteLognormal {
+ public:
+  /// Requires sigma > 0 and kmin >= 1.
+  DiscreteLognormal(double mu, double sigma, std::uint32_t kmin = 1);
+
+  double mu() const { return mu_; }
+  double sigma() const { return sigma_; }
+  std::uint32_t kmin() const { return kmin_; }
+
+  double pmf(std::uint64_t k) const;
+  double log_pmf(std::uint64_t k) const;
+  double cdf(std::uint64_t k) const;
+  std::uint64_t sample(Rng& rng) const;
+
+ private:
+  double unnormalized_log(std::uint64_t k) const;
+  /// Integral of the continuous envelope over [x, inf); used for tails.
+  double tail_integral(double x) const;
+
+  double mu_;
+  double sigma_;
+  std::uint32_t kmin_;
+  double norm_;                // normalizing constant Z
+  std::vector<double> cum_;
+};
+
+/// Power law with exponential cutoff: p(k) ∝ k^{-alpha} e^{-lambda k},
+/// k >= kmin.
+class PowerLawCutoff {
+ public:
+  /// Requires lambda > 0 (alpha may be any real once the cutoff guarantees
+  /// normalizability) and kmin >= 1.
+  PowerLawCutoff(double alpha, double lambda, std::uint32_t kmin = 1);
+
+  double alpha() const { return alpha_; }
+  double lambda() const { return lambda_; }
+
+  double pmf(std::uint64_t k) const;
+  double log_pmf(std::uint64_t k) const;
+  double cdf(std::uint64_t k) const;
+  std::uint64_t sample(Rng& rng) const;
+
+ private:
+  double alpha_;
+  double lambda_;
+  std::uint32_t kmin_;
+  double log_norm_;
+  std::vector<double> cum_;
+};
+
+/// Normal distribution truncated to [0, inf): p(l) ∝ exp(-(l-mu)^2/(2 sigma^2))
+/// for l >= 0. Mean and variance follow the standard truncated-normal
+/// moments used in Theorem 1 of the paper:
+///   mean     = mu + sigma * g(gamma),        gamma = -mu / sigma,
+///   variance = sigma^2 * (1 - delta(gamma)), g = phi/(1-Phi),
+///   delta(gamma) = g(gamma) * (g(gamma) - gamma).
+class TruncatedNormal {
+ public:
+  /// Requires sigma > 0.
+  TruncatedNormal(double mu, double sigma);
+
+  double mu() const { return mu_; }
+  double sigma() const { return sigma_; }
+  double mean() const;
+  double variance() const;
+  double sample(Rng& rng) const;
+
+  /// Hazard function of the standard normal: g(x) = phi(x) / (1 - Phi(x)).
+  static double g(double x);
+  static double delta(double x);
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+}  // namespace san::stats

@@ -1,0 +1,207 @@
+#include "stats/fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "stats/distributions.hpp"
+#include "stats/ks.hpp"
+#include "stats/optimize.hpp"
+#include "stats/zeta.hpp"
+
+namespace san::stats {
+namespace {
+
+/// Sum over the tail of count * log(value) and the tail size.
+struct TailMoments {
+  double sum_log = 0.0;       // sum of count * ln k
+  double sum_log_sq = 0.0;    // sum of count * (ln k)^2
+  double sum_value = 0.0;     // sum of count * k
+  std::uint64_t n = 0;
+};
+
+TailMoments tail_moments(const Histogram& hist, std::uint64_t kmin) {
+  TailMoments m;
+  for (const auto& [value, count] : hist.bins) {
+    if (value < kmin) continue;
+    const double lk = std::log(static_cast<double>(value));
+    const auto c = static_cast<double>(count);
+    m.sum_log += c * lk;
+    m.sum_log_sq += c * lk * lk;
+    m.sum_value += c * static_cast<double>(value);
+    m.n += count;
+  }
+  return m;
+}
+
+void require_tail(const TailMoments& m, const char* who) {
+  if (m.n < 2) {
+    throw std::invalid_argument(std::string(who) + ": needs >= 2 tail observations");
+  }
+}
+
+}  // namespace
+
+PowerLawFit fit_power_law(const Histogram& hist, std::uint32_t kmin) {
+  if (kmin < 1) throw std::invalid_argument("fit_power_law: kmin >= 1");
+  const TailMoments m = tail_moments(hist, kmin);
+  require_tail(m, "fit_power_law");
+
+  // l(alpha) = -n * ln zeta(alpha, kmin) - alpha * sum ln k.
+  const auto neg_loglik = [&](double alpha) {
+    return static_cast<double>(m.n) * std::log(hurwitz_zeta(alpha, kmin)) +
+           alpha * m.sum_log;
+  };
+  const double alpha = golden_section_minimize(neg_loglik, 1.001, 8.0, 1e-8);
+
+  PowerLawFit fit;
+  fit.alpha = alpha;
+  fit.kmin = kmin;
+  fit.n_tail = m.n;
+  fit.loglik = -neg_loglik(alpha);
+  const DiscretePowerLaw dist(alpha, kmin);
+  fit.ks = ks_distance(hist, [&](std::uint64_t k) { return dist.cdf(k); }, kmin);
+  return fit;
+}
+
+PowerLawFit fit_power_law_scan(const Histogram& hist, std::size_t max_candidates) {
+  // Candidate kmin values: distinct observed values, thinned to the cap.
+  std::vector<std::uint64_t> candidates;
+  for (const auto& [value, count] : hist.bins) {
+    if (value >= 1) candidates.push_back(value);
+  }
+  if (candidates.empty()) {
+    throw std::invalid_argument("fit_power_law_scan: empty histogram");
+  }
+  // Never let the tail get so small the fit is meaningless.
+  while (candidates.size() > 1 &&
+         hist.count_at_least(candidates.back()) < 50) {
+    candidates.pop_back();
+  }
+  if (candidates.size() > max_candidates) {
+    std::vector<std::uint64_t> thinned;
+    const double stride = static_cast<double>(candidates.size()) /
+                          static_cast<double>(max_candidates);
+    for (std::size_t i = 0; i < max_candidates; ++i) {
+      thinned.push_back(candidates[static_cast<std::size_t>(i * stride)]);
+    }
+    candidates = std::move(thinned);
+  }
+
+  PowerLawFit best;
+  best.ks = std::numeric_limits<double>::infinity();
+  for (const auto kmin : candidates) {
+    const auto fit = fit_power_law(hist, static_cast<std::uint32_t>(kmin));
+    if (fit.ks < best.ks) best = fit;
+  }
+  return best;
+}
+
+LognormalFit fit_discrete_lognormal(const Histogram& hist, std::uint32_t kmin) {
+  if (kmin < 1) throw std::invalid_argument("fit_discrete_lognormal: kmin >= 1");
+  const TailMoments m = tail_moments(hist, kmin);
+  require_tail(m, "fit_discrete_lognormal");
+
+  // Method-of-moments starting point from ln k statistics.
+  const double n = static_cast<double>(m.n);
+  const double mean_log = m.sum_log / n;
+  const double var_log = std::max(m.sum_log_sq / n - mean_log * mean_log, 1e-4);
+
+  const auto neg_loglik = [&](const std::vector<double>& params) {
+    const double mu = params[0];
+    const double sigma = std::exp(params[1]);
+    if (sigma < 1e-3 || sigma > 50.0 || std::abs(mu) > 50.0) return 1e18;
+    const DiscreteLognormal dist(mu, sigma, kmin);
+    double ll = 0.0;
+    for (const auto& [value, count] : hist.bins) {
+      if (value < kmin) continue;
+      ll += static_cast<double>(count) * dist.log_pmf(value);
+    }
+    return -ll;
+  };
+
+  const auto res = nelder_mead(neg_loglik,
+                               {mean_log, 0.5 * std::log(var_log)},
+                               {0.25, 0.25}, 1e-10, 400);
+  LognormalFit fit;
+  fit.mu = res.x[0];
+  fit.sigma = std::exp(res.x[1]);
+  fit.kmin = kmin;
+  fit.n_tail = m.n;
+  fit.loglik = -res.value;
+  const DiscreteLognormal dist(fit.mu, fit.sigma, kmin);
+  fit.ks = ks_distance(hist, [&](std::uint64_t k) { return dist.cdf(k); }, kmin);
+  return fit;
+}
+
+CutoffFit fit_power_law_cutoff(const Histogram& hist, std::uint32_t kmin) {
+  if (kmin < 1) throw std::invalid_argument("fit_power_law_cutoff: kmin >= 1");
+  const TailMoments m = tail_moments(hist, kmin);
+  require_tail(m, "fit_power_law_cutoff");
+
+  const auto neg_loglik = [&](const std::vector<double>& params) {
+    const double alpha = params[0];
+    const double lambda = std::exp(params[1]);
+    // Keep lambda in the numerically supported regime (see PowerLawCutoff).
+    if (alpha < -2.0 || alpha > 8.0 || lambda < 3e-4 || lambda > 10.0) return 1e18;
+    const PowerLawCutoff dist(alpha, lambda, kmin);
+    double ll = 0.0;
+    for (const auto& [value, count] : hist.bins) {
+      if (value < kmin) continue;
+      ll += static_cast<double>(count) * dist.log_pmf(value);
+    }
+    return -ll;
+  };
+
+  const double mean_k = m.sum_value / static_cast<double>(m.n);
+  const auto res = nelder_mead(
+      neg_loglik, {1.5, std::log(std::clamp(1.0 / mean_k, 5e-4, 1.0))},
+      {0.5, 0.5}, 1e-10, 400);
+  CutoffFit fit;
+  fit.alpha = res.x[0];
+  fit.lambda = std::exp(res.x[1]);
+  fit.kmin = kmin;
+  fit.n_tail = m.n;
+  fit.loglik = -res.value;
+  const PowerLawCutoff dist(fit.alpha, fit.lambda, kmin);
+  fit.ks = ks_distance(hist, [&](std::uint64_t k) { return dist.cdf(k); }, kmin);
+  return fit;
+}
+
+std::string to_string(DegreeModel model) {
+  switch (model) {
+    case DegreeModel::kPowerLaw:
+      return "power-law";
+    case DegreeModel::kLognormal:
+      return "lognormal";
+    case DegreeModel::kPowerLawCutoff:
+      return "power-law-with-cutoff";
+  }
+  return "unknown";
+}
+
+ModelSelection select_degree_model(const Histogram& hist, std::uint32_t kmin) {
+  ModelSelection sel;
+  sel.power_law = fit_power_law(hist, kmin);
+  sel.lognormal = fit_discrete_lognormal(hist, kmin);
+  sel.cutoff = fit_power_law_cutoff(hist, kmin);
+
+  sel.aic_power_law = 2.0 * 1.0 - 2.0 * sel.power_law.loglik;
+  sel.aic_lognormal = 2.0 * 2.0 - 2.0 * sel.lognormal.loglik;
+  sel.aic_cutoff = 2.0 * 2.0 - 2.0 * sel.cutoff.loglik;
+
+  sel.best = DegreeModel::kPowerLaw;
+  double best_aic = sel.aic_power_law;
+  if (sel.aic_lognormal < best_aic) {
+    sel.best = DegreeModel::kLognormal;
+    best_aic = sel.aic_lognormal;
+  }
+  if (sel.aic_cutoff < best_aic) {
+    sel.best = DegreeModel::kPowerLawCutoff;
+    best_aic = sel.aic_cutoff;
+  }
+  return sel;
+}
+
+}  // namespace san::stats

@@ -1,0 +1,74 @@
+// Maximum-likelihood fitting and model selection for degree distributions,
+// mirroring the methodology of Clauset-Shalizi-Newman [10] that the paper
+// uses ("the tool [54, 10]") to conclude that Google+ social degrees are
+// lognormal (Fig 5) while attribute-node social degrees are power-law
+// (Fig 10b).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "stats/summary.hpp"
+
+namespace san::stats {
+
+struct PowerLawFit {
+  double alpha = 0.0;
+  std::uint32_t kmin = 1;
+  double loglik = 0.0;   // over the tail k >= kmin
+  double ks = 0.0;       // KS distance on the tail
+  std::uint64_t n_tail = 0;
+};
+
+/// MLE power-law fit with a fixed lower cutoff kmin.
+PowerLawFit fit_power_law(const Histogram& hist, std::uint32_t kmin = 1);
+
+/// Clauset-Shalizi-Newman fit: scan candidate kmin values, fit alpha by MLE
+/// for each, keep the kmin minimizing the KS distance on the tail.
+/// `max_candidates` caps how many distinct observed values are tried.
+PowerLawFit fit_power_law_scan(const Histogram& hist,
+                               std::size_t max_candidates = 50);
+
+struct LognormalFit {
+  double mu = 0.0;
+  double sigma = 1.0;
+  std::uint32_t kmin = 1;
+  double loglik = 0.0;
+  double ks = 0.0;
+  std::uint64_t n_tail = 0;
+};
+
+/// MLE fit of the discrete lognormal on k >= kmin (Nelder-Mead on (mu, ln sigma)).
+LognormalFit fit_discrete_lognormal(const Histogram& hist, std::uint32_t kmin = 1);
+
+struct CutoffFit {
+  double alpha = 0.0;
+  double lambda = 1e-3;
+  std::uint32_t kmin = 1;
+  double loglik = 0.0;
+  double ks = 0.0;
+  std::uint64_t n_tail = 0;
+};
+
+/// MLE fit of the power law with exponential cutoff on k >= kmin.
+CutoffFit fit_power_law_cutoff(const Histogram& hist, std::uint32_t kmin = 1);
+
+enum class DegreeModel { kPowerLaw, kLognormal, kPowerLawCutoff };
+
+std::string to_string(DegreeModel model);
+
+struct ModelSelection {
+  DegreeModel best = DegreeModel::kLognormal;
+  PowerLawFit power_law;
+  LognormalFit lognormal;
+  CutoffFit cutoff;
+  double aic_power_law = 0.0;
+  double aic_lognormal = 0.0;
+  double aic_cutoff = 0.0;
+};
+
+/// Fit all candidate distributions on the common support k >= kmin and pick
+/// the one minimizing AIC (equivalently, maximizing penalized likelihood).
+ModelSelection select_degree_model(const Histogram& hist, std::uint32_t kmin = 1);
+
+}  // namespace san::stats

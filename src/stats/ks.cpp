@@ -1,0 +1,52 @@
+#include "stats/ks.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace san::stats {
+
+double ks_distance(const Histogram& hist,
+                   const std::function<double(std::uint64_t)>& model_cdf,
+                   std::uint64_t kmin) {
+  std::uint64_t n = 0;
+  for (const auto& [value, count] : hist.bins) {
+    if (value >= kmin) n += count;
+  }
+  if (n == 0) return 0.0;
+
+  double worst = 0.0;
+  std::uint64_t seen = 0;
+  for (const auto& [value, count] : hist.bins) {
+    if (value < kmin) continue;
+    seen += count;
+    const double f_emp = static_cast<double>(seen) / static_cast<double>(n);
+    const double f_model = model_cdf(value);
+    worst = std::max(worst, std::abs(f_emp - f_model));
+  }
+  return worst;
+}
+
+double ks_two_sample(const Histogram& a, const Histogram& b) {
+  if (a.total == 0 || b.total == 0) return 0.0;
+  double worst = 0.0;
+  std::size_t ia = 0, ib = 0;
+  std::uint64_t ca = 0, cb = 0;
+  while (ia < a.bins.size() || ib < b.bins.size()) {
+    std::uint64_t v;
+    if (ib >= b.bins.size()) {
+      v = a.bins[ia].first;
+    } else if (ia >= a.bins.size()) {
+      v = b.bins[ib].first;
+    } else {
+      v = std::min(a.bins[ia].first, b.bins[ib].first);
+    }
+    if (ia < a.bins.size() && a.bins[ia].first == v) ca += a.bins[ia++].second;
+    if (ib < b.bins.size() && b.bins[ib].first == v) cb += b.bins[ib++].second;
+    const double fa = static_cast<double>(ca) / static_cast<double>(a.total);
+    const double fb = static_cast<double>(cb) / static_cast<double>(b.total);
+    worst = std::max(worst, std::abs(fa - fb));
+  }
+  return worst;
+}
+
+}  // namespace san::stats

@@ -1,0 +1,23 @@
+// Kolmogorov-Smirnov distances between empirical histograms and fitted
+// discrete distributions (the goodness-of-fit criterion of Clauset et al.
+// [10], which the paper uses to pick best-fit degree distributions).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "stats/summary.hpp"
+
+namespace san::stats {
+
+/// KS distance max_k |F_emp(k) - F_model(k)| over the observed support with
+/// value >= kmin. `model_cdf(k)` must return P(K <= k) for the fitted model
+/// conditioned on K >= kmin.
+double ks_distance(const Histogram& hist,
+                   const std::function<double(std::uint64_t)>& model_cdf,
+                   std::uint64_t kmin = 1);
+
+/// Two-sample KS distance between two integer histograms.
+double ks_two_sample(const Histogram& a, const Histogram& b);
+
+}  // namespace san::stats

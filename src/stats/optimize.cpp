@@ -1,0 +1,123 @@
+#include "stats/optimize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace san::stats {
+
+double golden_section_minimize(const std::function<double(double)>& f,
+                               double lo, double hi, double tol,
+                               int iterations) {
+  if (!(lo < hi)) throw std::invalid_argument("golden_section: requires lo < hi");
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double a = lo, b = hi;
+  double c = b - phi * (b - a);
+  double d = a + phi * (b - a);
+  double fc = f(c), fd = f(d);
+  for (int i = 0; i < iterations && (b - a) > tol; ++i) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - phi * (b - a);
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + phi * (b - a);
+      fd = f(d);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+NelderMeadResult nelder_mead(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> x0, std::vector<double> step, double tol,
+    int max_iterations) {
+  const std::size_t n = x0.size();
+  if (n == 0 || step.size() != n) {
+    throw std::invalid_argument("nelder_mead: dimension mismatch");
+  }
+
+  std::vector<std::vector<double>> simplex(n + 1, x0);
+  for (std::size_t i = 0; i < n; ++i) simplex[i + 1][i] += step[i];
+  std::vector<double> values(n + 1);
+  for (std::size_t i = 0; i <= n; ++i) values[i] = f(simplex[i]);
+
+  NelderMeadResult result;
+  int iter = 0;
+  for (; iter < max_iterations; ++iter) {
+    // Order vertices by function value.
+    std::vector<std::size_t> order(n + 1);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+    const std::size_t best = order.front(), worst = order.back();
+    const std::size_t second_worst = order[n - 1];
+    if (std::abs(values[worst] - values[best]) <
+        tol * (std::abs(values[best]) + tol)) {
+      break;
+    }
+
+    // Centroid of all but the worst vertex.
+    std::vector<double> centroid(n, 0.0);
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (i == worst) continue;
+      for (std::size_t d = 0; d < n; ++d) centroid[d] += simplex[i][d];
+    }
+    for (auto& c : centroid) c /= static_cast<double>(n);
+
+    auto blend = [&](double coeff) {
+      std::vector<double> x(n);
+      for (std::size_t d = 0; d < n; ++d) {
+        x[d] = centroid[d] + coeff * (simplex[worst][d] - centroid[d]);
+      }
+      return x;
+    };
+
+    const auto reflected = blend(-1.0);
+    const double fr = f(reflected);
+    if (fr < values[best]) {
+      const auto expanded = blend(-2.0);
+      const double fe = f(expanded);
+      if (fe < fr) {
+        simplex[worst] = expanded;
+        values[worst] = fe;
+      } else {
+        simplex[worst] = reflected;
+        values[worst] = fr;
+      }
+    } else if (fr < values[second_worst]) {
+      simplex[worst] = reflected;
+      values[worst] = fr;
+    } else {
+      const auto contracted = blend(0.5);
+      const double fk = f(contracted);
+      if (fk < values[worst]) {
+        simplex[worst] = contracted;
+        values[worst] = fk;
+      } else {
+        // Shrink toward the best vertex.
+        for (std::size_t i = 0; i <= n; ++i) {
+          if (i == best) continue;
+          for (std::size_t d = 0; d < n; ++d) {
+            simplex[i][d] = simplex[best][d] + 0.5 * (simplex[i][d] - simplex[best][d]);
+          }
+          values[i] = f(simplex[i]);
+        }
+      }
+    }
+  }
+
+  const auto best_it = std::min_element(values.begin(), values.end());
+  result.x = simplex[static_cast<std::size_t>(best_it - values.begin())];
+  result.value = *best_it;
+  result.iterations = iter;
+  return result;
+}
+
+}  // namespace san::stats

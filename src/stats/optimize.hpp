@@ -1,0 +1,28 @@
+// Small derivative-free optimizers for maximum-likelihood fitting.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace san::stats {
+
+/// Minimize a unimodal 1-D function on [lo, hi] by golden-section search.
+/// Returns the argmin; `iterations` bounds the number of shrink steps.
+double golden_section_minimize(const std::function<double(double)>& f,
+                               double lo, double hi, double tol = 1e-7,
+                               int iterations = 200);
+
+struct NelderMeadResult {
+  std::vector<double> x;
+  double value = 0.0;
+  int iterations = 0;
+};
+
+/// Minimize an N-dimensional function with the Nelder-Mead simplex method.
+/// `step` gives the initial simplex edge length per dimension.
+NelderMeadResult nelder_mead(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> x0, std::vector<double> step, double tol = 1e-9,
+    int max_iterations = 2000);
+
+}  // namespace san::stats

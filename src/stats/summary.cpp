@@ -1,0 +1,134 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace san::stats {
+
+std::uint64_t Histogram::count_at_least(std::uint64_t kmin) const {
+  std::uint64_t n = 0;
+  for (const auto& [value, count] : bins) {
+    if (value >= kmin) n += count;
+  }
+  return n;
+}
+
+Histogram Histogram::tail(std::uint64_t kmin) const {
+  Histogram out;
+  for (const auto& bin : bins) {
+    if (bin.first >= kmin) {
+      out.bins.push_back(bin);
+      out.total += bin.second;
+    }
+  }
+  return out;
+}
+
+Histogram make_histogram(std::span<const std::uint64_t> values) {
+  std::map<std::uint64_t, std::uint64_t> counts;
+  for (const auto v : values) ++counts[v];
+  Histogram hist;
+  hist.bins.assign(counts.begin(), counts.end());
+  hist.total = values.size();
+  return hist;
+}
+
+double mean(std::span<const double> values) {
+  if (values.empty()) throw std::invalid_argument("mean: empty sample");
+  double acc = 0.0;
+  for (const double v : values) acc += v;
+  return acc / static_cast<double>(values.size());
+}
+
+double variance(std::span<const double> values) {
+  if (values.size() < 2) throw std::invalid_argument("variance: need >= 2 values");
+  const double m = mean(values);
+  double acc = 0.0;
+  for (const double v : values) acc += (v - m) * (v - m);
+  return acc / static_cast<double>(values.size() - 1);
+}
+
+double mean_of_histogram(const Histogram& hist) {
+  if (hist.total == 0) throw std::invalid_argument("mean_of_histogram: empty");
+  double acc = 0.0;
+  for (const auto& [value, count] : hist.bins) {
+    acc += static_cast<double>(value) * static_cast<double>(count);
+  }
+  return acc / static_cast<double>(hist.total);
+}
+
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) throw std::invalid_argument("percentile: empty sample");
+  if (q < 0.0 || q > 100.0) throw std::invalid_argument("percentile: q in [0,100]");
+  std::sort(values.begin(), values.end());
+  const double rank = q / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+std::vector<LogBinPoint> log_binned_pdf(const Histogram& hist,
+                                        double bins_per_decade) {
+  std::vector<LogBinPoint> points;
+  if (hist.total == 0 || bins_per_decade <= 0.0) return points;
+  const double ratio = std::pow(10.0, 1.0 / bins_per_decade);
+
+  double lo = 1.0;
+  std::size_t idx = 0;
+  // Skip zero values (log bins cover k >= 1); report them as a point at 0?
+  // The paper's figures plot k >= 1, so zeros are dropped from the PDF.
+  while (idx < hist.bins.size() && hist.bins[idx].first == 0) ++idx;
+
+  while (idx < hist.bins.size()) {
+    double hi = lo * ratio;
+    if (hi <= lo + 1.0) hi = lo + 1.0;  // ensure every bin has integer width
+    std::uint64_t mass = 0;
+    while (idx < hist.bins.size() &&
+           static_cast<double>(hist.bins[idx].first) < hi) {
+      mass += hist.bins[idx].second;
+      ++idx;
+    }
+    if (mass > 0) {
+      LogBinPoint p;
+      p.center = std::sqrt(lo * hi);
+      p.density = static_cast<double>(mass) /
+                  (static_cast<double>(hist.total) * (hi - lo));
+      points.push_back(p);
+    }
+    lo = hi;
+  }
+  return points;
+}
+
+std::vector<std::pair<std::uint64_t, double>> ccdf_points(const Histogram& hist) {
+  std::vector<std::pair<std::uint64_t, double>> points;
+  points.reserve(hist.bins.size());
+  std::uint64_t remaining = hist.total;
+  for (const auto& [value, count] : hist.bins) {
+    points.emplace_back(value,
+                        static_cast<double>(remaining) / static_cast<double>(hist.total));
+    remaining -= count;
+  }
+  return points;
+}
+
+double pearson_correlation(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size() || x.size() < 2) {
+    throw std::invalid_argument("pearson_correlation: size mismatch or too small");
+  }
+  const double mx = mean(x), my = mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx, dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace san::stats

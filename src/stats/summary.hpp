@@ -1,0 +1,48 @@
+// Summary statistics and plotting helpers (log-binned empirical PDFs are
+// what the paper's degree-distribution figures plot).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace san::stats {
+
+/// Sorted (value, count) histogram of a non-negative integer sample.
+struct Histogram {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> bins;  // ascending values
+  std::uint64_t total = 0;
+
+  /// Number of observations with value >= kmin.
+  std::uint64_t count_at_least(std::uint64_t kmin) const;
+  /// Restrict to values >= kmin.
+  Histogram tail(std::uint64_t kmin) const;
+};
+
+Histogram make_histogram(std::span<const std::uint64_t> values);
+
+double mean(std::span<const double> values);
+double variance(std::span<const double> values);  // unbiased (n-1)
+double mean_of_histogram(const Histogram& hist);
+
+/// Interpolated percentile (q in [0,100]) of an unsorted sample.
+double percentile(std::vector<double> values, double q);
+
+/// Point of a log-binned empirical probability density.
+struct LogBinPoint {
+  double center = 0.0;   // geometric bin center
+  double density = 0.0;  // probability mass / bin width
+};
+
+/// Log-binned PDF of a positive-integer sample, as plotted in Figs 5/10/16.
+std::vector<LogBinPoint> log_binned_pdf(const Histogram& hist,
+                                        double bins_per_decade = 8.0);
+
+/// Empirical CCDF points (k, P(K >= k)) over the observed support.
+std::vector<std::pair<std::uint64_t, double>> ccdf_points(const Histogram& hist);
+
+/// Pearson correlation coefficient of two equally sized samples.
+double pearson_correlation(std::span<const double> x, std::span<const double> y);
+
+}  // namespace san::stats

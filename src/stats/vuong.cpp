@@ -1,0 +1,51 @@
+#include "stats/vuong.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/distributions.hpp"
+
+namespace san::stats {
+
+VuongResult vuong_test(const Histogram& hist,
+                       const std::function<double(std::uint64_t)>& log_pmf_a,
+                       const std::function<double(std::uint64_t)>& log_pmf_b,
+                       std::uint64_t kmin) {
+  VuongResult result;
+  // First pass: mean of the pointwise log-likelihood ratio.
+  double sum = 0.0;
+  std::uint64_t n = 0;
+  for (const auto& [value, count] : hist.bins) {
+    if (value < kmin) continue;
+    const double r = log_pmf_a(value) - log_pmf_b(value);
+    sum += static_cast<double>(count) * r;
+    n += count;
+  }
+  if (n < 2) {
+    throw std::invalid_argument("vuong_test: needs >= 2 tail observations");
+  }
+  const double mean = sum / static_cast<double>(n);
+
+  // Second pass: variance of the ratio.
+  double var_acc = 0.0;
+  for (const auto& [value, count] : hist.bins) {
+    if (value < kmin) continue;
+    const double r = log_pmf_a(value) - log_pmf_b(value);
+    var_acc += static_cast<double>(count) * (r - mean) * (r - mean);
+  }
+  const double variance = var_acc / static_cast<double>(n);
+
+  result.n = n;
+  result.loglik_difference = sum;
+  if (variance <= 0.0) {
+    // Identical pointwise likelihoods: no evidence either way.
+    result.statistic = 0.0;
+    result.p_value = 1.0;
+    return result;
+  }
+  result.statistic = std::sqrt(static_cast<double>(n)) * mean / std::sqrt(variance);
+  result.p_value = 2.0 * (1.0 - norm_cdf(std::abs(result.statistic)));
+  return result;
+}
+
+}  // namespace san::stats

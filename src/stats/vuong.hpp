@@ -1,0 +1,40 @@
+// Vuong's closeness test for non-nested model comparison — the criterion
+// Clauset-Shalizi-Newman [10] actually use to decide "power law vs
+// lognormal", which the paper applies to conclude that Google+ social
+// degrees are lognormal. AIC (fit.hpp) gives the same ordering in clear
+// cases; Vuong adds a significance level.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "stats/summary.hpp"
+
+namespace san::stats {
+
+struct VuongResult {
+  /// Normalized log-likelihood ratio statistic; positive favors model A,
+  /// negative favors model B.
+  double statistic = 0.0;
+  /// Two-sided p-value for the null "both models equally close".
+  double p_value = 1.0;
+  /// Raw log-likelihood difference sum(log pA - log pB).
+  double loglik_difference = 0.0;
+  std::uint64_t n = 0;
+
+  bool favors_a(double significance = 0.05) const {
+    return statistic > 0.0 && p_value < significance;
+  }
+  bool favors_b(double significance = 0.05) const {
+    return statistic < 0.0 && p_value < significance;
+  }
+};
+
+/// Vuong test between two fitted log-pmfs on the tail k >= kmin of `hist`.
+/// `log_pmf_a` / `log_pmf_b` must be normalized over the same support.
+VuongResult vuong_test(const Histogram& hist,
+                       const std::function<double(std::uint64_t)>& log_pmf_a,
+                       const std::function<double(std::uint64_t)>& log_pmf_b,
+                       std::uint64_t kmin = 1);
+
+}  // namespace san::stats

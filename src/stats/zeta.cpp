@@ -1,0 +1,34 @@
+#include "stats/zeta.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace san::stats {
+
+double hurwitz_zeta(double s, double q) {
+  if (s <= 1.0) throw std::invalid_argument("hurwitz_zeta: requires s > 1");
+  if (q <= 0.0) throw std::invalid_argument("hurwitz_zeta: requires q > 0");
+
+  // Direct sum of the first N terms, then an Euler-Maclaurin tail.
+  constexpr int kDirectTerms = 16;
+  double sum = 0.0;
+  for (int n = 0; n < kDirectTerms; ++n) {
+    sum += std::pow(n + q, -s);
+  }
+  const double a = kDirectTerms + q;
+  // Integral term + 1/2 correction + Bernoulli-number corrections B2, B4, B6.
+  const double a_ms = std::pow(a, -s);
+  sum += a * a_ms / (s - 1.0);  // a^{1-s}/(s-1)
+  sum += 0.5 * a_ms;
+  double term = s * a_ms / a;  // s * a^{-s-1}
+  sum += term / 12.0;          // B2/2! = 1/12
+  term *= (s + 1.0) * (s + 2.0) / (a * a);
+  sum -= term / 720.0;  // B4/4! = -1/720
+  term *= (s + 3.0) * (s + 4.0) / (a * a);
+  sum += term / 30240.0;  // B6/6! = 1/30240
+  return sum;
+}
+
+double riemann_zeta(double s) { return hurwitz_zeta(s, 1.0); }
+
+}  // namespace san::stats

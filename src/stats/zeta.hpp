@@ -1,0 +1,14 @@
+// Hurwitz zeta function, the normalizing constant of the discrete power law.
+#pragma once
+
+namespace san::stats {
+
+/// Hurwitz zeta  zeta(s, q) = sum_{n >= 0} (n + q)^{-s}  for s > 1, q > 0.
+/// Euler-Maclaurin evaluation, accurate to ~1e-12 over the parameter ranges
+/// used for degree-distribution fitting (1 < s < 8, q >= 1).
+double hurwitz_zeta(double s, double q);
+
+/// Riemann zeta zeta(s) = hurwitz_zeta(s, 1).
+double riemann_zeta(double s);
+
+}  // namespace san::stats

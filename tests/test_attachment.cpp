@@ -1,0 +1,142 @@
+// Building block 1 tests: kernel weights and the Fig 15 likelihood engine.
+#include "model/attachment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/generator.hpp"
+#include "san/san.hpp"
+
+namespace {
+
+using san::AttributeType;
+using san::SocialAttributeNetwork;
+using san::model::AttachmentKind;
+using san::model::AttachmentLikelihood;
+using san::model::AttachmentParams;
+using san::model::attachment_weight;
+using san::model::relative_improvement_percent;
+
+TEST(AttachmentWeight, ReducesToUniformAtZeroZero) {
+  const AttachmentParams params{0.0, 0.0};
+  for (const auto kind : {AttachmentKind::kPapa, AttachmentKind::kLapa}) {
+    const double w1 = attachment_weight(kind, params, 0.0, 0.0);
+    const double w2 = attachment_weight(kind, params, 50.0, 3.0);
+    EXPECT_DOUBLE_EQ(w1, w2);
+  }
+}
+
+TEST(AttachmentWeight, ReducesToPaAtAlphaOneBetaZero) {
+  const AttachmentParams params{1.0, 0.0};
+  // LAPA: weight = d + 1 exactly. PAPA: 2 * (d + 1) — same after
+  // normalization.
+  EXPECT_DOUBLE_EQ(
+      attachment_weight(AttachmentKind::kLapa, params, 4.0, 7.0), 5.0);
+  const double p0 = attachment_weight(AttachmentKind::kPapa, params, 4.0, 0.0);
+  const double p3 = attachment_weight(AttachmentKind::kPapa, params, 4.0, 3.0);
+  EXPECT_DOUBLE_EQ(p0, p3);  // beta = 0: attributes don't matter
+}
+
+TEST(AttachmentWeight, LapaLinearInCommonAttributes) {
+  const AttachmentParams params{1.0, 10.0};
+  const double w0 = attachment_weight(AttachmentKind::kLapa, params, 1.0, 0.0);
+  const double w1 = attachment_weight(AttachmentKind::kLapa, params, 1.0, 1.0);
+  const double w2 = attachment_weight(AttachmentKind::kLapa, params, 1.0, 2.0);
+  EXPECT_DOUBLE_EQ(w1 - w0, w2 - w1);  // linear increments
+  EXPECT_DOUBLE_EQ(w1 / w0, 11.0);
+}
+
+TEST(AttachmentWeight, PapaPowerInCommonAttributes) {
+  const AttachmentParams params{1.0, 2.0};
+  const double w2 = attachment_weight(AttachmentKind::kPapa, params, 0.0, 2.0);
+  const double w4 = attachment_weight(AttachmentKind::kPapa, params, 0.0, 4.0);
+  EXPECT_DOUBLE_EQ(w2, 1.0 + 4.0);
+  EXPECT_DOUBLE_EQ(w4, 1.0 + 16.0);
+}
+
+TEST(RelativeImprovement, MatchesFig15Definition) {
+  // (l_ref - l) / l_ref: with negative log-likelihoods, an improvement
+  // (l > l_ref) yields a positive percentage.
+  EXPECT_NEAR(relative_improvement_percent(-100.0, -90.0), 10.0, 1e-12);
+  EXPECT_NEAR(relative_improvement_percent(-100.0, -110.0), -10.0, 1e-12);
+  EXPECT_DOUBLE_EQ(relative_improvement_percent(0.0, -5.0), 0.0);
+}
+
+/// Hand-built SAN where the first link of node 2 goes to the attribute
+/// sharer, not to the higher-degree node.
+SocialAttributeNetwork attribute_driven_san() {
+  SocialAttributeNetwork net;
+  net.add_social_node(0.0);  // 0: high indegree
+  net.add_social_node(0.0);  // 1: shares attribute with 2
+  const auto a = net.add_attribute_node(AttributeType::kEmployer, "G", 0.0);
+  net.add_attribute_link(1, a, 0.0);
+  net.add_social_link(0, 1, 0.1);
+  net.add_social_link(1, 0, 0.1);
+  for (int i = 0; i < 6; ++i) {
+    const auto u = net.add_social_node(1.0 + i);
+    net.add_attribute_link(u, a, 1.0 + i);
+    net.add_social_link(u, 1, 1.0 + i);  // always the attribute sharer
+  }
+  return net;
+}
+
+TEST(AttachmentLikelihood, AttributeAwareKernelWinsOnAttributeData) {
+  const auto net = attribute_driven_san();
+  const AttachmentLikelihood evaluator(net);
+  const auto pa = evaluator.evaluate(AttachmentKind::kLapa, {1.0, 0.0});
+  const auto lapa = evaluator.evaluate(AttachmentKind::kLapa, {1.0, 50.0});
+  EXPECT_GT(lapa.loglik, pa.loglik);
+  EXPECT_EQ(pa.events, lapa.events);
+  EXPECT_GT(pa.events, 0u);
+}
+
+TEST(AttachmentLikelihood, PapaAlsoBeatsPaOnAttributeData) {
+  const auto net = attribute_driven_san();
+  const AttachmentLikelihood evaluator(net);
+  const auto pa = evaluator.evaluate(AttachmentKind::kPapa, {1.0, 0.0});
+  const auto papa = evaluator.evaluate(AttachmentKind::kPapa, {1.0, 3.0});
+  EXPECT_GT(papa.loglik, pa.loglik);
+}
+
+TEST(AttachmentLikelihood, GeneratedWithLapaPeaksNearTrueBeta) {
+  // Generate a small SAN with LAPA(alpha=1, beta=50); the evaluated
+  // likelihood should prefer beta = 50 over beta = 0 and beta = 5000.
+  san::model::GeneratorParams params;
+  params.social_node_count = 3'000;
+  params.beta = 50.0;
+  params.seed = 11;
+  const auto net = san::model::generate_san(params);
+  const AttachmentLikelihood evaluator(net);
+  const double l0 = evaluator.evaluate(AttachmentKind::kLapa, {1.0, 0.0}).loglik;
+  const double l50 = evaluator.evaluate(AttachmentKind::kLapa, {1.0, 50.0}).loglik;
+  const double l5000 =
+      evaluator.evaluate(AttachmentKind::kLapa, {1.0, 5000.0}).loglik;
+  EXPECT_GT(l50, l0);
+  EXPECT_GT(l50, l5000);
+}
+
+TEST(AttachmentLikelihood, AlphaOneBeatsExtremes) {
+  san::model::GeneratorParams params;
+  params.social_node_count = 3'000;
+  params.beta = 0.0;  // pure PA data
+  params.attachment = san::model::AttachmentRule::kPa;
+  params.seed = 13;
+  const auto net = san::model::generate_san(params);
+  const AttachmentLikelihood evaluator(net);
+  const double l_a0 = evaluator.evaluate(AttachmentKind::kLapa, {0.0, 0.0}).loglik;
+  const double l_a1 = evaluator.evaluate(AttachmentKind::kLapa, {1.0, 0.0}).loglik;
+  const double l_a2 = evaluator.evaluate(AttachmentKind::kLapa, {2.0, 0.0}).loglik;
+  EXPECT_GT(l_a1, l_a0);
+  EXPECT_GT(l_a1, l_a2);
+}
+
+TEST(AttachmentLikelihood, StrideReducesEventsProportionally) {
+  const auto net = attribute_driven_san();
+  const AttachmentLikelihood full(net, 1);
+  const AttachmentLikelihood strided(net, 2);
+  const auto all = full.evaluate(AttachmentKind::kLapa, {1.0, 0.0});
+  const auto half = strided.evaluate(AttachmentKind::kLapa, {1.0, 0.0});
+  EXPECT_NEAR(static_cast<double>(half.events),
+              static_cast<double>(all.events) / 2.0, 1.0);
+}
+
+}  // namespace

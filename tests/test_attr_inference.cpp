@@ -1,0 +1,105 @@
+#include "apps/attr_inference.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crawl/gplus_synth.hpp"
+#include "san/san.hpp"
+#include "san/snapshot.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using san::AttrId;
+using san::AttributeType;
+using san::NodeId;
+using san::SocialAttributeNetwork;
+using san::snapshot_full;
+using san::apps::AttributeInferenceOptions;
+using san::apps::evaluate_attribute_inference;
+using san::apps::infer_attributes;
+
+/// u's neighbors all share one attribute; an unrelated attribute exists too.
+SocialAttributeNetwork homophilous_san() {
+  SocialAttributeNetwork net;
+  for (int i = 0; i < 6; ++i) net.add_social_node(0.0);
+  const AttrId common = net.add_attribute_node(AttributeType::kEmployer, "G");
+  const AttrId other = net.add_attribute_node(AttributeType::kCity, "X");
+  for (NodeId v = 1; v <= 4; ++v) {
+    net.add_social_link(0, v);
+    net.add_attribute_link(v, common);
+  }
+  net.add_attribute_link(5, other);
+  return net;
+}
+
+TEST(AttrInference, PredictsNeighborhoodConsensus) {
+  const auto snap = snapshot_full(homophilous_san());
+  const auto predictions = infer_attributes(snap, 0);
+  ASSERT_FALSE(predictions.empty());
+  EXPECT_EQ(predictions[0].attribute, 0u);  // "G"
+  EXPECT_GT(predictions[0].score, 0.0);
+}
+
+TEST(AttrInference, ExcludesDeclaredAttributes) {
+  auto net = homophilous_san();
+  net.add_attribute_link(0, 0);  // user 0 already declares "G"
+  const auto snap = snapshot_full(net);
+  const auto predictions = infer_attributes(snap, 0);
+  for (const auto& p : predictions) EXPECT_NE(p.attribute, 0u);
+}
+
+TEST(AttrInference, MutualNeighborsWeighMore) {
+  SocialAttributeNetwork net;
+  for (int i = 0; i < 3; ++i) net.add_social_node(0.0);
+  const AttrId a = net.add_attribute_node(AttributeType::kSchool, "A");
+  const AttrId b = net.add_attribute_node(AttributeType::kSchool, "B");
+  // Node 1 is a mutual friend carrying A; node 2 is one-way carrying B.
+  net.add_social_link(0, 1);
+  net.add_social_link(1, 0);
+  net.add_social_link(0, 2);
+  net.add_attribute_link(1, a);
+  net.add_attribute_link(2, b);
+  const auto snap = snapshot_full(net);
+  AttributeInferenceOptions options;
+  options.mutual_neighbor_weight = 3.0;
+  const auto predictions = infer_attributes(snap, 0, options);
+  ASSERT_EQ(predictions.size(), 2u);
+  EXPECT_EQ(predictions[0].attribute, a);
+  EXPECT_GT(predictions[0].score, predictions[1].score);
+}
+
+TEST(AttrInference, RespectsTopK) {
+  const auto snap = snapshot_full(homophilous_san());
+  AttributeInferenceOptions options;
+  options.top_k = 1;
+  EXPECT_LE(infer_attributes(snap, 0, options).size(), 1u);
+}
+
+TEST(AttrInference, UnknownNodeThrows) {
+  const auto snap = snapshot_full(homophilous_san());
+  EXPECT_THROW(infer_attributes(snap, 42), std::out_of_range);
+}
+
+TEST(AttrInference, HoldoutRecallBeatsChanceOnSyntheticGplus) {
+  san::crawl::SyntheticGplusParams params;
+  params.total_social_nodes = 8'000;
+  params.attribute_declare_prob = 0.5;
+  params.seed = 303;
+  const auto net = san::crawl::generate_synthetic_gplus(params);
+  const auto snap = snapshot_full(net);
+  san::stats::Rng rng(7);
+  const auto result = evaluate_attribute_inference(snap, 3'000, {}, rng);
+  ASSERT_GT(result.evaluated, 500u);
+  // Chance level: ~top_k / #attributes, which is far below 5%.
+  EXPECT_GT(result.recall_at_k, 0.05);
+}
+
+TEST(AttrInference, EmptyNetworkSafe) {
+  const SocialAttributeNetwork net;
+  const auto snap = snapshot_full(net);
+  san::stats::Rng rng(1);
+  const auto result = evaluate_attribute_inference(snap, 10, {}, rng);
+  EXPECT_EQ(result.evaluated, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,83 @@
+#include "model/calibrate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/metrics.hpp"
+#include "model/generator.hpp"
+#include "san/snapshot.hpp"
+#include "stats/fit.hpp"
+#include "stats/ks.hpp"
+
+namespace {
+
+using san::model::calibrate_generator;
+using san::model::CalibrationOptions;
+using san::model::generate_san;
+using san::model::GeneratorParams;
+
+TEST(Calibrate, RecoversGeneratorParameters) {
+  // Generate with known parameters, calibrate on the result, and check the
+  // key parameters come back close (the §6 guided-search loop).
+  GeneratorParams truth;
+  truth.social_node_count = 20'000;
+  truth.mu_l = 1.8;
+  truth.sigma_l = 1.0;
+  truth.mu_a = 0.8;
+  truth.sigma_a = 0.9;
+  truth.p_new_attribute = 0.2;
+  truth.attribute_declare_prob = 1.0;
+  truth.seed = 3;
+  const auto target = san::snapshot_full(generate_san(truth));
+
+  const auto result = calibrate_generator(target);
+  EXPECT_NEAR(result.params.mu_l, truth.mu_l, 0.4);
+  EXPECT_NEAR(result.params.sigma_l, truth.sigma_l, 0.4);
+  EXPECT_NEAR(result.params.mu_a, truth.mu_a, 0.25);
+  EXPECT_NEAR(result.params.sigma_a, truth.sigma_a, 0.25);
+  EXPECT_NEAR(result.params.p_new_attribute, truth.p_new_attribute, 0.12);
+  EXPECT_NEAR(result.declare_fraction, 1.0, 0.01);
+}
+
+TEST(Calibrate, DeclareFractionEstimated) {
+  GeneratorParams truth;
+  truth.social_node_count = 10'000;
+  truth.attribute_declare_prob = 0.25;
+  truth.seed = 5;
+  const auto target = san::snapshot_full(generate_san(truth));
+  const auto result = calibrate_generator(target);
+  EXPECT_NEAR(result.params.attribute_declare_prob, 0.25, 0.05);
+}
+
+TEST(Calibrate, GeneratedFromCalibrationMatchesTargetDegrees) {
+  GeneratorParams truth;
+  truth.social_node_count = 15'000;
+  truth.seed = 7;
+  const auto target = san::snapshot_full(generate_san(truth));
+
+  auto result = calibrate_generator(target);
+  result.params.social_node_count = 15'000;
+  result.params.seed = 99;  // different randomness, same statistics
+  const auto regen = san::snapshot_full(generate_san(result.params));
+
+  const auto hist_target = san::graph::out_degree_histogram(target.social);
+  const auto hist_regen = san::graph::out_degree_histogram(regen.social);
+  // Round-trip through two MLE fits and the Theorem 1 inversion: the
+  // distributions should agree to within a ~0.12 KS distance.
+  EXPECT_LT(san::stats::ks_two_sample(hist_target, hist_regen), 0.12);
+}
+
+TEST(Calibrate, RefinementRunsAndReturnsValidParams) {
+  GeneratorParams truth;
+  truth.social_node_count = 6'000;
+  truth.seed = 11;
+  const auto target = san::snapshot_full(generate_san(truth));
+  CalibrationOptions options;
+  options.refine = true;
+  options.probe_nodes = 2'000;
+  const auto result = calibrate_generator(target, options);
+  EXPECT_GE(result.params.beta, 0.0);
+  EXPECT_GE(result.params.fc, 0.0);
+  EXPECT_NO_THROW(san::model::validate(result.params));
+}
+
+}  // namespace

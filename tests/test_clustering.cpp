@@ -1,0 +1,171 @@
+// Clustering coefficient tests, including a statistical check of Theorem 3
+// (Appendix A): the sampled estimator is within epsilon of the exact value
+// with probability at least 1 - 1/nu.
+#include "graph/clustering.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using san::graph::approx_average_clustering;
+using san::graph::approx_average_group_clustering;
+using san::graph::clustering_by_degree;
+using san::graph::clustering_sample_count;
+using san::graph::ClusteringOptions;
+using san::graph::CsrGraph;
+using san::graph::exact_average_clustering;
+using san::graph::exact_clustering;
+using san::graph::exact_group_clustering;
+using san::graph::NodeId;
+
+CsrGraph complete_digraph(std::size_t n) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u != v) edges.emplace_back(u, v);
+    }
+  }
+  return CsrGraph::from_edges(n, edges);
+}
+
+CsrGraph random_digraph(std::size_t n, int out_per_node, std::uint64_t seed) {
+  san::stats::Rng rng(seed);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId u = 0; u < n; ++u) {
+    for (int k = 0; k < out_per_node; ++k) {
+      // Skewed targets create triangles.
+      const auto v = static_cast<NodeId>(rng.uniform_index(1 + u % n));
+      if (v != u) edges.emplace_back(u, v);
+    }
+  }
+  return CsrGraph::from_edges(n, edges);
+}
+
+TEST(ExactClustering, CompleteGraphIsOne) {
+  const auto g = complete_digraph(6);
+  for (NodeId u = 0; u < 6; ++u) {
+    EXPECT_NEAR(exact_clustering(g, u), 1.0, 1e-12);
+  }
+  EXPECT_NEAR(exact_average_clustering(g), 1.0, 1e-12);
+}
+
+TEST(ExactClustering, StarIsZero) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId v = 1; v < 8; ++v) edges.emplace_back(0, v);
+  const auto g = CsrGraph::from_edges(8, edges);
+  EXPECT_DOUBLE_EQ(exact_clustering(g, 0), 0.0);
+}
+
+TEST(ExactClustering, DirectedCountsEachDirection) {
+  // Triangle where the neighbor pair (1, 2) is linked one way only:
+  // c(0) = 1 / (2 * 1) = 0.5. Add the reverse link -> c(0) = 1.0.
+  std::vector<std::pair<NodeId, NodeId>> edges = {{0, 1}, {0, 2}, {1, 2}};
+  EXPECT_NEAR(exact_clustering(CsrGraph::from_edges(3, edges), 0), 0.5, 1e-12);
+  edges.emplace_back(2, 1);
+  EXPECT_NEAR(exact_clustering(CsrGraph::from_edges(3, edges), 0), 1.0, 1e-12);
+}
+
+TEST(ExactClustering, DegreeBelowTwoIsZero) {
+  const std::vector<std::pair<NodeId, NodeId>> edges = {{0, 1}};
+  const auto g = CsrGraph::from_edges(3, edges);
+  EXPECT_DOUBLE_EQ(exact_clustering(g, 0), 0.0);
+  EXPECT_DOUBLE_EQ(exact_clustering(g, 2), 0.0);
+}
+
+TEST(GroupClustering, ArbitraryMemberSets) {
+  const auto g = complete_digraph(5);
+  const std::vector<NodeId> all = {0, 1, 2, 3, 4};
+  EXPECT_NEAR(exact_group_clustering(g, all), 1.0, 1e-12);
+  const std::vector<NodeId> pair = {0, 3};
+  EXPECT_NEAR(exact_group_clustering(g, pair), 1.0, 1e-12);
+  const std::vector<NodeId> single = {2};
+  EXPECT_DOUBLE_EQ(exact_group_clustering(g, single), 0.0);
+}
+
+TEST(SampleCount, MatchesTheorem3Formula) {
+  ClusteringOptions options;
+  options.epsilon = 0.002;
+  options.nu = 100.0;
+  // ceil(ln(200) / (2 * 0.002^2)) = ceil(662'289.67) (the paper's setting).
+  EXPECT_EQ(clustering_sample_count(options), 662'290u);
+}
+
+TEST(ApproxClustering, MatchesExactOnCompleteGraph) {
+  const auto g = complete_digraph(12);
+  ClusteringOptions options;
+  options.epsilon = 0.01;
+  EXPECT_NEAR(approx_average_clustering(g, options), 1.0, 0.02);
+}
+
+TEST(ApproxClustering, Theorem3ErrorBound) {
+  // Run the estimator many times with epsilon = 0.02, nu = 20; at most a
+  // ~1/20 failure rate is allowed, we tolerate up to 4/30 for test noise.
+  const auto g = random_digraph(300, 6, 7);
+  const double exact = exact_average_clustering(g);
+  ClusteringOptions options;
+  options.epsilon = 0.02;
+  options.nu = 20.0;
+  int failures = 0;
+  for (int run = 0; run < 30; ++run) {
+    options.seed = 1000 + static_cast<std::uint64_t>(run);
+    const double approx = approx_average_clustering(g, options);
+    if (std::abs(approx - exact) > options.epsilon) ++failures;
+  }
+  EXPECT_LE(failures, 4);
+}
+
+TEST(ApproxGroupClustering, AttributeStyleGroups) {
+  // Groups = explicit member lists over a complete graph: estimate ~1.
+  const auto g = complete_digraph(10);
+  const std::vector<std::vector<NodeId>> groups = {
+      {0, 1, 2}, {3, 4, 5, 6}, {7, 8}};
+  ClusteringOptions options;
+  options.epsilon = 0.01;
+  const double cc = approx_average_group_clustering(
+      g, [&](std::size_t i) { return std::span<const NodeId>(groups[i]); },
+      groups.size(), options);
+  EXPECT_NEAR(cc, 1.0, 0.02);
+}
+
+TEST(ApproxGroupClustering, SingletonGroupsContributeZero) {
+  const auto g = complete_digraph(4);
+  const std::vector<std::vector<NodeId>> groups = {{0}, {1}, {0, 1}};
+  ClusteringOptions options;
+  options.epsilon = 0.01;
+  const double cc = approx_average_group_clustering(
+      g, [&](std::size_t i) { return std::span<const NodeId>(groups[i]); },
+      groups.size(), options);
+  // Average over three groups, two of them zero: ~1/3.
+  EXPECT_NEAR(cc, 1.0 / 3.0, 0.03);
+}
+
+TEST(ApproxClustering, EmptyOmega) {
+  const auto g = CsrGraph::from_edges(0, {});
+  EXPECT_DOUBLE_EQ(approx_average_clustering(g), 0.0);
+}
+
+TEST(ClusteringByDegree, BucketsCoverDegreesAndValuesBounded) {
+  const auto g = random_digraph(500, 8, 21);
+  const auto points = clustering_by_degree(g, 64, 3);
+  ASSERT_FALSE(points.empty());
+  for (const auto& [degree, cc] : points) {
+    EXPECT_GE(degree, 2.0);
+    EXPECT_GE(cc, 0.0);
+    EXPECT_LE(cc, 1.0);
+  }
+}
+
+TEST(ClusteringByDegree, CompleteGraphAllOnes) {
+  const auto g = complete_digraph(16);
+  const auto points = clustering_by_degree(g, 256, 5);
+  ASSERT_EQ(points.size(), 1u);  // all nodes have the same degree
+  EXPECT_NEAR(points[0].second, 1.0, 0.05);
+}
+
+}  // namespace

@@ -1,0 +1,119 @@
+#include "apps/community.hpp"
+
+#include <gtest/gtest.h>
+
+#include "san/san.hpp"
+#include "san/snapshot.hpp"
+
+namespace {
+
+using san::AttrId;
+using san::AttributeType;
+using san::NodeId;
+using san::SocialAttributeNetwork;
+using san::snapshot_full;
+using san::apps::CommunityOptions;
+using san::apps::detect_communities;
+using san::apps::modularity;
+using san::apps::normalized_mutual_information;
+
+/// Two mutually-meshed cliques joined by a single bridge link.
+SocialAttributeNetwork two_cliques(bool with_attributes) {
+  SocialAttributeNetwork net;
+  for (int i = 0; i < 10; ++i) net.add_social_node(0.0);
+  const auto mesh = [&](NodeId lo, NodeId hi) {
+    for (NodeId u = lo; u < hi; ++u) {
+      for (NodeId v = lo; v < hi; ++v) {
+        if (u != v) net.add_social_link(u, v);
+      }
+    }
+  };
+  mesh(0, 5);
+  mesh(5, 10);
+  net.add_social_link(4, 5);
+  if (with_attributes) {
+    const AttrId a = net.add_attribute_node(AttributeType::kEmployer, "A");
+    const AttrId b = net.add_attribute_node(AttributeType::kEmployer, "B");
+    for (NodeId u = 0; u < 5; ++u) net.add_attribute_link(u, a);
+    for (NodeId u = 5; u < 10; ++u) net.add_attribute_link(u, b);
+  }
+  return net;
+}
+
+TEST(Community, RecoversTwoCliques) {
+  const auto snap = snapshot_full(two_cliques(false));
+  const auto result = detect_communities(snap);
+  EXPECT_EQ(result.community_count, 2u);
+  // Every node in the same clique shares a label.
+  for (NodeId u = 1; u < 5; ++u) EXPECT_EQ(result.label[u], result.label[0]);
+  for (NodeId u = 6; u < 10; ++u) EXPECT_EQ(result.label[u], result.label[5]);
+  EXPECT_NE(result.label[0], result.label[5]);
+}
+
+TEST(Community, ModularityPositiveForGoodPartition) {
+  const auto snap = snapshot_full(two_cliques(false));
+  const auto result = detect_communities(snap);
+  EXPECT_GT(modularity(snap, result.label), 0.3);
+  // The all-in-one partition has modularity ~0.
+  const std::vector<std::uint32_t> trivial(snap.social_node_count(), 0);
+  EXPECT_LT(modularity(snap, trivial), 0.05);
+}
+
+TEST(Community, ModularityValidatesSize) {
+  const auto snap = snapshot_full(two_cliques(false));
+  EXPECT_THROW(modularity(snap, std::vector<std::uint32_t>{1, 2}),
+               std::invalid_argument);
+}
+
+TEST(Community, AttributeAwareVariantUsesAttributeVotes) {
+  // A sparse network where social links alone are ambiguous: two groups
+  // connected only through attributes.
+  SocialAttributeNetwork net;
+  for (int i = 0; i < 8; ++i) net.add_social_node(0.0);
+  const AttrId a = net.add_attribute_node(AttributeType::kEmployer, "A");
+  const AttrId b = net.add_attribute_node(AttributeType::kEmployer, "B");
+  for (NodeId u = 0; u < 4; ++u) net.add_attribute_link(u, a);
+  for (NodeId u = 4; u < 8; ++u) net.add_attribute_link(u, b);
+  // A thin chain inside each group.
+  net.add_social_link(0, 1);
+  net.add_social_link(2, 3);
+  net.add_social_link(4, 5);
+  net.add_social_link(6, 7);
+
+  CommunityOptions with_attrs;
+  with_attrs.attribute_weight = 4.0;
+  const auto result = detect_communities(snapshot_full(net), with_attrs);
+  // Attribute votes merge each group's chains.
+  EXPECT_EQ(result.label[0], result.label[2]);
+  EXPECT_EQ(result.label[4], result.label[6]);
+  EXPECT_NE(result.label[0], result.label[4]);
+}
+
+TEST(Community, NmiBasics) {
+  const std::vector<std::uint32_t> a = {0, 0, 1, 1};
+  EXPECT_NEAR(normalized_mutual_information(a, a), 1.0, 1e-12);
+  const std::vector<std::uint32_t> swapped = {5, 5, 9, 9};
+  EXPECT_NEAR(normalized_mutual_information(a, swapped), 1.0, 1e-12);
+  const std::vector<std::uint32_t> independent = {0, 1, 0, 1};
+  EXPECT_NEAR(normalized_mutual_information(a, independent), 0.0, 1e-9);
+  EXPECT_THROW(normalized_mutual_information(a, {0, 1}), std::invalid_argument);
+}
+
+TEST(Community, NmiAgainstPlantedAttributes) {
+  const auto snap = snapshot_full(two_cliques(true));
+  const auto result = detect_communities(snap);
+  // Planted partition: first five nodes attribute A, rest B.
+  std::vector<std::uint32_t> planted(10, 0);
+  for (std::size_t u = 5; u < 10; ++u) planted[u] = 1;
+  EXPECT_NEAR(normalized_mutual_information(result.label, planted), 1.0, 1e-9);
+}
+
+TEST(Community, EmptyNetworkSafe) {
+  const SocialAttributeNetwork net;
+  const auto snap = snapshot_full(net);
+  const auto result = detect_communities(snap);
+  EXPECT_EQ(result.community_count, 0u);
+  EXPECT_DOUBLE_EQ(modularity(snap, result.label), 0.0);
+}
+
+}  // namespace

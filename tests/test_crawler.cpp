@@ -1,0 +1,125 @@
+#include "crawl/crawler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crawl/gplus_synth.hpp"
+#include "graph/wcc.hpp"
+#include "san/snapshot.hpp"
+
+namespace {
+
+using san::crawl::crawl_at;
+using san::crawl::CrawlerOptions;
+using san::crawl::generate_synthetic_gplus;
+using san::crawl::SyntheticGplusParams;
+
+san::SocialAttributeNetwork ground_truth() {
+  SyntheticGplusParams params;
+  params.total_social_nodes = 5'000;
+  params.seed = 55;
+  return generate_synthetic_gplus(params);
+}
+
+TEST(Crawler, HighCoverageWithBidirectionalLists) {
+  // The paper's §2.2 argument: access to both in and out lists yields
+  // >= 70% coverage despite private profiles.
+  const auto truth = ground_truth();
+  CrawlerOptions options;
+  options.private_profile_prob = 0.12;
+  const auto result = crawl_at(truth, 98.0, options);
+  EXPECT_GE(result.node_coverage, 0.7);
+  EXPECT_GT(result.link_coverage, 0.7);
+}
+
+TEST(Crawler, ZeroPrivacyCoversEverythingButLurkers) {
+  SyntheticGplusParams params;
+  params.total_social_nodes = 5'000;
+  params.seed = 55;
+  params.lurker_prob = 0.0;
+  const auto truth = generate_synthetic_gplus(params);
+  CrawlerOptions options;
+  options.private_profile_prob = 0.0;
+  const auto result = crawl_at(truth, 98.0, options);
+  // Without lurkers the synthetic network grows from a connected core, so
+  // a privacy-free crawl covers essentially everything.
+  EXPECT_GE(result.node_coverage, 0.99);
+  EXPECT_GE(result.link_coverage, 0.99);
+}
+
+TEST(Crawler, LurkersReduceCoverage) {
+  SyntheticGplusParams params;
+  params.total_social_nodes = 5'000;
+  params.seed = 55;
+  params.lurker_prob = 0.3;
+  const auto truth = generate_synthetic_gplus(params);
+  CrawlerOptions options;
+  options.private_profile_prob = 0.0;
+  const auto result = crawl_at(truth, 98.0, options);
+  // Most lurkers are unreachable (some acquire links via shared-attribute
+  // attachment), so coverage sits well below 1 but above 1 - lurker_prob.
+  EXPECT_LT(result.node_coverage, 0.9);
+  EXPECT_GE(result.node_coverage, 0.65);
+}
+
+TEST(Crawler, MorePrivacyLowersCoverage) {
+  const auto truth = ground_truth();
+  CrawlerOptions open, closed;
+  open.private_profile_prob = 0.05;
+  closed.private_profile_prob = 0.6;
+  const auto open_result = crawl_at(truth, 98.0, open);
+  const auto closed_result = crawl_at(truth, 98.0, closed);
+  EXPECT_GT(open_result.link_coverage, closed_result.link_coverage);
+}
+
+TEST(Crawler, MidCrawlSmallerThanFinal) {
+  const auto truth = ground_truth();
+  const auto mid = crawl_at(truth, 40.0);
+  const auto fin = crawl_at(truth, 98.0);
+  EXPECT_LT(mid.network.social_node_count(), fin.network.social_node_count());
+  EXPECT_LT(mid.network.social_link_count(), fin.network.social_link_count());
+}
+
+TEST(Crawler, CrawledIdsChronological) {
+  const auto truth = ground_truth();
+  const auto result = crawl_at(truth, 60.0);
+  double prev = -1.0;
+  for (std::size_t u = 0; u < result.network.social_node_count(); ++u) {
+    const double t = result.network.social_node_time(static_cast<san::NodeId>(u));
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Crawler, OriginalIdMappingValid) {
+  const auto truth = ground_truth();
+  const auto result = crawl_at(truth, 98.0);
+  ASSERT_EQ(result.original_id.size(), result.network.social_node_count());
+  for (std::size_t u = 0; u < result.original_id.size(); ++u) {
+    EXPECT_LT(result.original_id[u], truth.social_node_count());
+    EXPECT_DOUBLE_EQ(result.network.social_node_time(static_cast<san::NodeId>(u)),
+                     truth.social_node_time(result.original_id[u]));
+  }
+}
+
+TEST(Crawler, AttributesOnlyForDiscoveredUsers) {
+  const auto truth = ground_truth();
+  const auto result = crawl_at(truth, 98.0);
+  EXPECT_LE(result.network.attribute_link_count(), truth.attribute_link_count());
+  EXPECT_GT(result.network.attribute_link_count(), 0u);
+}
+
+TEST(Crawler, RejectsBadPrivacyProbability) {
+  const auto truth = ground_truth();
+  CrawlerOptions options;
+  options.private_profile_prob = 1.5;
+  EXPECT_THROW(crawl_at(truth, 98.0, options), std::invalid_argument);
+}
+
+TEST(Crawler, EmptyTruthSafe) {
+  const san::SocialAttributeNetwork empty;
+  const auto result = crawl_at(empty, 1.0);
+  EXPECT_EQ(result.network.social_node_count(), 0u);
+  EXPECT_DOUBLE_EQ(result.node_coverage, 0.0);
+}
+
+}  // namespace

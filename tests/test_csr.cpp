@@ -1,0 +1,124 @@
+#include "graph/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace {
+
+using san::graph::CsrGraph;
+using san::graph::Digraph;
+using san::graph::NodeId;
+
+CsrGraph triangle() {
+  // 0 -> 1, 1 -> 2, 2 -> 0, plus reciprocal 1 -> 0.
+  const std::vector<std::pair<NodeId, NodeId>> edges = {
+      {0, 1}, {1, 2}, {2, 0}, {1, 0}};
+  return CsrGraph::from_edges(3, edges);
+}
+
+TEST(Csr, FromEdgesBasicCounts) {
+  const auto g = triangle();
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 4u);
+}
+
+TEST(Csr, OutAndInAdjacencySorted) {
+  const auto g = triangle();
+  const auto out1 = g.out(1);
+  ASSERT_EQ(out1.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(out1.begin(), out1.end()));
+  const auto in0 = g.in(0);
+  ASSERT_EQ(in0.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(in0.begin(), in0.end()));
+}
+
+TEST(Csr, NeighborsAreUnionOfInOut) {
+  const auto g = triangle();
+  const auto n0 = g.neighbors(0);
+  ASSERT_EQ(n0.size(), 2u);  // 1 (both ways) and 2 (incoming)
+  EXPECT_EQ(n0[0], 1u);
+  EXPECT_EQ(n0[1], 2u);
+  EXPECT_EQ(g.degree(0), 2u);
+}
+
+TEST(Csr, HasEdgeAndLinkCount) {
+  const auto g = triangle();
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.link_count(0, 1), 2);  // reciprocal
+  EXPECT_EQ(g.link_count(1, 2), 1);  // one way
+  EXPECT_EQ(g.link_count(0, 0), 0);
+}
+
+TEST(Csr, DuplicatesAndSelfLoopsDropped) {
+  const std::vector<std::pair<NodeId, NodeId>> edges = {
+      {0, 1}, {0, 1}, {1, 1}, {1, 0}};
+  const auto g = CsrGraph::from_edges(2, edges);
+  EXPECT_EQ(g.edge_count(), 2u);
+}
+
+TEST(Csr, FromDigraphMatches) {
+  Digraph d(4);
+  d.add_edge(0, 1);
+  d.add_edge(1, 2);
+  d.add_edge(2, 3);
+  d.add_edge(3, 0);
+  d.add_edge(0, 2);
+  const auto g = CsrGraph::from_digraph(d);
+  EXPECT_EQ(g.node_count(), 4u);
+  EXPECT_EQ(g.edge_count(), 5u);
+  for (NodeId u = 0; u < 4; ++u) {
+    EXPECT_EQ(g.out_degree(u), d.out_degree(u));
+    EXPECT_EQ(g.in_degree(u), d.in_degree(u));
+  }
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(2, 0));
+}
+
+TEST(Csr, OutOfRangeEdgesThrow) {
+  const std::vector<std::pair<NodeId, NodeId>> edges = {{0, 5}};
+  EXPECT_THROW(CsrGraph::from_edges(3, edges), std::out_of_range);
+}
+
+TEST(Csr, UnknownNodeQueriesThrow) {
+  const auto g = triangle();
+  EXPECT_THROW((void)g.out(10), std::out_of_range);
+  EXPECT_THROW((void)g.in(10), std::out_of_range);
+  EXPECT_THROW((void)g.neighbors(10), std::out_of_range);
+}
+
+TEST(Csr, EmptyGraph) {
+  const auto g = CsrGraph::from_edges(0, {});
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(Csr, IsolatedNodes) {
+  const std::vector<std::pair<NodeId, NodeId>> edges = {{0, 1}};
+  const auto g = CsrGraph::from_edges(5, edges);
+  EXPECT_EQ(g.out_degree(4), 0u);
+  EXPECT_EQ(g.neighbors(4).size(), 0u);
+}
+
+TEST(Csr, DegreeSumsMatchEdgeCount) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId u = 0; u < 100; ++u) {
+    for (NodeId v = 0; v < 100; v += 13) {
+      if (u != v) edges.emplace_back(u, v);
+    }
+  }
+  const auto g = CsrGraph::from_edges(100, edges);
+  std::uint64_t out_sum = 0, in_sum = 0;
+  for (NodeId u = 0; u < 100; ++u) {
+    out_sum += g.out_degree(u);
+    in_sum += g.in_degree(u);
+  }
+  EXPECT_EQ(out_sum, g.edge_count());
+  EXPECT_EQ(in_sum, g.edge_count());
+}
+
+}  // namespace

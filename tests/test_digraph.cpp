@@ -1,0 +1,113 @@
+#include "graph/digraph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using san::graph::Digraph;
+using san::graph::NodeId;
+
+TEST(Digraph, StartsEmpty) {
+  const Digraph g;
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(Digraph, AddNodeReturnsSequentialIds) {
+  Digraph g;
+  EXPECT_EQ(g.add_node(), 0u);
+  EXPECT_EQ(g.add_node(), 1u);
+  EXPECT_EQ(g.add_node(), 2u);
+  EXPECT_EQ(g.node_count(), 3u);
+}
+
+TEST(Digraph, AddNodesBulk) {
+  Digraph g(2);
+  EXPECT_EQ(g.node_count(), 2u);
+  EXPECT_EQ(g.add_nodes(3), 2u);
+  EXPECT_EQ(g.node_count(), 5u);
+}
+
+TEST(Digraph, AddEdgeDirected) {
+  Digraph g(3);
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.out_degree(0), 1u);
+  EXPECT_EQ(g.in_degree(1), 1u);
+  EXPECT_EQ(g.in_degree(0), 0u);
+}
+
+TEST(Digraph, DuplicateEdgeRejected) {
+  Digraph g(2);
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_FALSE(g.add_edge(0, 1));
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(Digraph, SelfLoopRejected) {
+  Digraph g(2);
+  EXPECT_FALSE(g.add_edge(1, 1));
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(Digraph, ReciprocalEdgesAllowed) {
+  Digraph g(2);
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_TRUE(g.add_edge(1, 0));
+  EXPECT_EQ(g.edge_count(), 2u);
+}
+
+TEST(Digraph, NeighborSpans) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(3, 0);
+  const auto out = g.out_neighbors(0);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 1u);
+  EXPECT_EQ(out[1], 2u);
+  const auto in = g.in_neighbors(0);
+  ASSERT_EQ(in.size(), 1u);
+  EXPECT_EQ(in[0], 3u);
+}
+
+TEST(Digraph, UnknownNodeThrows) {
+  Digraph g(2);
+  EXPECT_THROW(g.add_edge(0, 5), std::out_of_range);
+  EXPECT_THROW(g.add_edge(5, 0), std::out_of_range);
+  EXPECT_THROW(g.has_edge(0, 9), std::out_of_range);
+  EXPECT_THROW((void)g.out_degree(7), std::out_of_range);
+  EXPECT_THROW((void)g.in_neighbors(7), std::out_of_range);
+}
+
+TEST(Digraph, HasEdgeScansShorterList) {
+  // Build a hub with many out-edges; lookups against low-degree targets
+  // must still be correct in both directions.
+  Digraph g(1000);
+  for (NodeId v = 1; v < 1000; ++v) g.add_edge(0, v);
+  EXPECT_TRUE(g.has_edge(0, 999));
+  EXPECT_FALSE(g.has_edge(999, 0));
+  EXPECT_EQ(g.out_degree(0), 999u);
+}
+
+TEST(Digraph, LargeRandomConsistency) {
+  Digraph g(500);
+  std::uint64_t added = 0;
+  for (NodeId u = 0; u < 500; ++u) {
+    for (NodeId v = 0; v < 500; v += 37) {
+      if (u != v && g.add_edge(u, v)) ++added;
+    }
+  }
+  EXPECT_EQ(g.edge_count(), added);
+  std::uint64_t out_sum = 0, in_sum = 0;
+  for (NodeId u = 0; u < 500; ++u) {
+    out_sum += g.out_degree(u);
+    in_sum += g.in_degree(u);
+  }
+  EXPECT_EQ(out_sum, added);
+  EXPECT_EQ(in_sum, added);
+}
+
+}  // namespace

@@ -1,0 +1,254 @@
+#include "stats/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "stats/rng.hpp"
+
+namespace {
+
+using san::stats::DiscreteLognormal;
+using san::stats::DiscretePowerLaw;
+using san::stats::norm_cdf;
+using san::stats::norm_pdf;
+using san::stats::PowerLawCutoff;
+using san::stats::Rng;
+using san::stats::TruncatedNormal;
+
+TEST(NormHelpers, PdfAndCdfBasics) {
+  EXPECT_NEAR(norm_pdf(0.0), 0.3989422804, 1e-9);
+  EXPECT_NEAR(norm_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(norm_cdf(1.96), 0.9750021, 1e-6);
+  EXPECT_NEAR(norm_cdf(-1.96), 0.0249979, 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// Discrete power law
+// ---------------------------------------------------------------------------
+
+class PowerLawSweep : public ::testing::TestWithParam<std::tuple<double, std::uint32_t>> {};
+
+TEST_P(PowerLawSweep, PmfSumsToOne) {
+  const auto [alpha, kmin] = GetParam();
+  const DiscretePowerLaw dist(alpha, kmin);
+  double sum = 0.0;
+  for (std::uint64_t k = kmin; k < 200'000; ++k) sum += dist.pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-2);  // heavy tail: remainder is small but nonzero
+  EXPECT_GT(sum, 0.95);
+}
+
+TEST_P(PowerLawSweep, CdfMonotoneAndBounded) {
+  const auto [alpha, kmin] = GetParam();
+  const DiscretePowerLaw dist(alpha, kmin);
+  double prev = 0.0;
+  for (std::uint64_t k = kmin; k < kmin + 2'000; ++k) {
+    const double c = dist.cdf(k);
+    EXPECT_GE(c, prev - 1e-12);
+    EXPECT_LE(c, 1.0 + 1e-12);
+    prev = c;
+  }
+}
+
+TEST_P(PowerLawSweep, SampleMatchesPmfAtHead) {
+  const auto [alpha, kmin] = GetParam();
+  const DiscretePowerLaw dist(alpha, kmin);
+  Rng rng(99);
+  constexpr int kN = 200'000;
+  std::uint64_t at_kmin = 0;
+  for (int i = 0; i < kN; ++i) {
+    const auto s = dist.sample(rng);
+    ASSERT_GE(s, kmin);
+    if (s == kmin) ++at_kmin;
+  }
+  EXPECT_NEAR(static_cast<double>(at_kmin) / kN, dist.pmf(kmin), 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Params, PowerLawSweep,
+                         ::testing::Values(std::make_tuple(1.5, 1u),
+                                           std::make_tuple(2.05, 1u),
+                                           std::make_tuple(2.5, 1u),
+                                           std::make_tuple(3.0, 2u),
+                                           std::make_tuple(2.2, 5u)));
+
+TEST(PowerLaw, BelowSupportIsZero) {
+  const DiscretePowerLaw dist(2.5, 3);
+  EXPECT_EQ(dist.pmf(1), 0.0);
+  EXPECT_EQ(dist.pmf(2), 0.0);
+  EXPECT_EQ(dist.cdf(2), 0.0);
+}
+
+TEST(PowerLaw, RejectsInvalidParams) {
+  EXPECT_THROW(DiscretePowerLaw(1.0, 1), std::invalid_argument);
+  EXPECT_THROW(DiscretePowerLaw(0.5, 1), std::invalid_argument);
+  EXPECT_THROW(DiscretePowerLaw(2.0, 0), std::invalid_argument);
+}
+
+TEST(PowerLaw, LogPmfConsistentWithPmf) {
+  const DiscretePowerLaw dist(2.3, 1);
+  for (std::uint64_t k = 1; k < 100; k += 7) {
+    EXPECT_NEAR(std::exp(dist.log_pmf(k)), dist.pmf(k), 1e-12);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Discrete lognormal
+// ---------------------------------------------------------------------------
+
+class LognormalSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(LognormalSweep, PmfSumsToOne) {
+  const auto [mu, sigma] = GetParam();
+  const DiscreteLognormal dist(mu, sigma, 1);
+  double sum = 0.0;
+  for (std::uint64_t k = 1; k < 500'000; ++k) {
+    sum += dist.pmf(k);
+    if (dist.cdf(k) > 1.0 - 1e-9) break;
+  }
+  EXPECT_NEAR(sum, 1.0, 5e-3);
+}
+
+TEST_P(LognormalSweep, SampleLogMomentsMatch) {
+  const auto [mu, sigma] = GetParam();
+  const DiscreteLognormal dist(mu, sigma, 1);
+  Rng rng(7);
+  constexpr int kN = 150'000;
+  double sum_log = 0.0, sq_log = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double lk = std::log(static_cast<double>(dist.sample(rng)));
+    sum_log += lk;
+    sq_log += lk * lk;
+  }
+  const double mean_log = sum_log / kN;
+  const double var_log = sq_log / kN - mean_log * mean_log;
+  // Discretization biases the moments (especially at small mu), so compare
+  // loosely; the fitting tests check parameter recovery precisely.
+  EXPECT_NEAR(mean_log, mu, 0.25);
+  EXPECT_NEAR(std::sqrt(var_log), sigma, 0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(Params, LognormalSweep,
+                         ::testing::Values(std::make_tuple(1.5, 1.0),
+                                           std::make_tuple(2.0, 0.8),
+                                           std::make_tuple(2.5, 1.4),
+                                           std::make_tuple(3.0, 0.5)));
+
+TEST(Lognormal, CdfMatchesPmfAccumulation) {
+  const DiscreteLognormal dist(1.2, 0.9, 1);
+  double acc = 0.0;
+  for (std::uint64_t k = 1; k <= 300; ++k) {
+    acc += dist.pmf(k);
+    EXPECT_NEAR(dist.cdf(k), acc, 1e-9) << "k=" << k;
+  }
+}
+
+TEST(Lognormal, RespectsKmin) {
+  const DiscreteLognormal dist(1.0, 1.0, 4);
+  EXPECT_EQ(dist.pmf(3), 0.0);
+  EXPECT_GT(dist.pmf(4), 0.0);
+  Rng rng(3);
+  for (int i = 0; i < 1'000; ++i) EXPECT_GE(dist.sample(rng), 4u);
+}
+
+TEST(Lognormal, RejectsInvalidParams) {
+  EXPECT_THROW(DiscreteLognormal(1.0, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(DiscreteLognormal(1.0, -1.0, 1), std::invalid_argument);
+  EXPECT_THROW(DiscreteLognormal(1.0, 1.0, 0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Power law with cutoff
+// ---------------------------------------------------------------------------
+
+TEST(Cutoff, PmfSumsToOne) {
+  const PowerLawCutoff dist(1.8, 0.01, 1);
+  double sum = 0.0;
+  for (std::uint64_t k = 1; k < 20'000; ++k) sum += dist.pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(Cutoff, TailDecaysFasterThanPurePowerLaw) {
+  const PowerLawCutoff cut(2.0, 0.05, 1);
+  const DiscretePowerLaw pure(2.0, 1);
+  // Ratio pmf_cut(k)/pmf_pure(k) must decrease in k.
+  const double r10 = cut.pmf(10) / pure.pmf(10);
+  const double r100 = cut.pmf(100) / pure.pmf(100);
+  EXPECT_GT(r10, r100);
+}
+
+TEST(Cutoff, SamplesWithinSupport) {
+  const PowerLawCutoff dist(1.5, 0.02, 2);
+  Rng rng(5);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_GE(dist.sample(rng), 2u);
+  }
+}
+
+TEST(Cutoff, RejectsInvalidParams) {
+  EXPECT_THROW(PowerLawCutoff(2.0, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(PowerLawCutoff(2.0, -0.1, 1), std::invalid_argument);
+  EXPECT_THROW(PowerLawCutoff(2.0, 0.1, 0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Truncated normal
+// ---------------------------------------------------------------------------
+
+class TruncatedNormalSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(TruncatedNormalSweep, SampleMomentsMatchClosedForm) {
+  const auto [mu, sigma] = GetParam();
+  const TruncatedNormal dist(mu, sigma);
+  Rng rng(11);
+  constexpr int kN = 300'000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = dist.sample(rng);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, dist.mean(), 0.02 * (1.0 + dist.mean()));
+  EXPECT_NEAR(var, dist.variance(), 0.05 * (1.0 + dist.variance()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Params, TruncatedNormalSweep,
+                         ::testing::Values(std::make_tuple(2.0, 1.0),
+                                           std::make_tuple(0.5, 1.0),
+                                           std::make_tuple(-1.0, 1.0),
+                                           std::make_tuple(-4.0, 1.0),
+                                           std::make_tuple(5.0, 2.0)));
+
+TEST(TruncatedNormal, PositiveMuBarelyTruncated) {
+  // With mu = 5 sigma the truncation is negligible: moments are the plain
+  // normal ones.
+  const TruncatedNormal dist(5.0, 1.0);
+  EXPECT_NEAR(dist.mean(), 5.0, 1e-4);
+  EXPECT_NEAR(dist.variance(), 1.0, 1e-3);
+}
+
+TEST(TruncatedNormal, HazardFunctionProperties) {
+  // g(x) > x for all x, g increasing, and delta in (0, 1).
+  double prev = TruncatedNormal::g(-5.0);
+  for (double x = -4.5; x <= 5.0; x += 0.5) {
+    const double g = TruncatedNormal::g(x);
+    EXPECT_GT(g, x);
+    EXPECT_GT(g, prev);
+    const double d = TruncatedNormal::delta(x);
+    EXPECT_GT(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    prev = g;
+  }
+}
+
+TEST(TruncatedNormal, RejectsInvalidSigma) {
+  EXPECT_THROW(TruncatedNormal(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(TruncatedNormal(1.0, -2.0), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,141 @@
+// Parameter-recovery and model-selection tests for the fitting layer: the
+// paper's conclusions (lognormal social degrees, power-law attribute-node
+// degrees) rest on exactly this machinery.
+#include "stats/fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "stats/distributions.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using san::stats::DegreeModel;
+using san::stats::DiscreteLognormal;
+using san::stats::DiscretePowerLaw;
+using san::stats::fit_discrete_lognormal;
+using san::stats::fit_power_law;
+using san::stats::fit_power_law_cutoff;
+using san::stats::fit_power_law_scan;
+using san::stats::make_histogram;
+using san::stats::PowerLawCutoff;
+using san::stats::Rng;
+using san::stats::select_degree_model;
+
+san::stats::Histogram sample_histogram(const auto& dist, int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint64_t> values;
+  values.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) values.push_back(dist.sample(rng));
+  return make_histogram(values);
+}
+
+class PowerLawRecovery : public ::testing::TestWithParam<double> {};
+
+TEST_P(PowerLawRecovery, AlphaRecovered) {
+  const double alpha = GetParam();
+  const DiscretePowerLaw dist(alpha, 1);
+  const auto hist = sample_histogram(dist, 60'000, 101);
+  const auto fit = fit_power_law(hist, 1);
+  EXPECT_NEAR(fit.alpha, alpha, 0.05) << "alpha=" << alpha;
+  EXPECT_LT(fit.ks, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, PowerLawRecovery,
+                         ::testing::Values(1.8, 2.05, 2.5, 3.0, 3.5));
+
+class LognormalRecovery
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(LognormalRecovery, MuSigmaRecovered) {
+  const auto [mu, sigma] = GetParam();
+  const DiscreteLognormal dist(mu, sigma, 1);
+  const auto hist = sample_histogram(dist, 60'000, 202);
+  const auto fit = fit_discrete_lognormal(hist, 1);
+  EXPECT_NEAR(fit.mu, mu, 0.08) << "mu=" << mu << " sigma=" << sigma;
+  EXPECT_NEAR(fit.sigma, sigma, 0.08);
+  EXPECT_LT(fit.ks, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Params, LognormalRecovery,
+                         ::testing::Values(std::make_tuple(1.2, 1.0),
+                                           std::make_tuple(2.0, 1.4),
+                                           std::make_tuple(1.6, 0.8),
+                                           std::make_tuple(0.7, 0.9)));
+
+TEST(CutoffRecovery, ParametersRecovered) {
+  const PowerLawCutoff dist(1.5, 0.02, 1);
+  const auto hist = sample_histogram(dist, 60'000, 303);
+  const auto fit = fit_power_law_cutoff(hist, 1);
+  EXPECT_NEAR(fit.alpha, 1.5, 0.15);
+  EXPECT_NEAR(fit.lambda, 0.02, 0.01);
+  EXPECT_LT(fit.ks, 0.02);
+}
+
+TEST(PowerLawScan, FindsInjectedXmin) {
+  // Power law valid only above k = 8: below it, uniform noise.
+  Rng rng(404);
+  const DiscretePowerLaw tail(2.2, 8);
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 30'000; ++i) values.push_back(tail.sample(rng));
+  for (int i = 0; i < 30'000; ++i) values.push_back(1 + rng.uniform_index(7));
+  const auto fit = fit_power_law_scan(make_histogram(values));
+  // The KS-minimizing cutoff must land at or above the true regime change
+  // (the head is visibly non-power-law) but not absurdly deep in the tail.
+  EXPECT_GE(fit.kmin, 6u);
+  EXPECT_LE(fit.kmin, 40u);
+  EXPECT_NEAR(fit.alpha, 2.2, 0.3);
+}
+
+TEST(ModelSelection, PicksPowerLawForPowerLawData) {
+  const DiscretePowerLaw dist(2.3, 1);
+  const auto hist = sample_histogram(dist, 50'000, 505);
+  const auto sel = select_degree_model(hist, 1);
+  EXPECT_EQ(sel.best, DegreeModel::kPowerLaw);
+}
+
+TEST(ModelSelection, PicksLognormalForLognormalData) {
+  // The paper's headline: Google+ social degrees are lognormal, and the
+  // selection machinery must distinguish that from a power law.
+  const DiscreteLognormal dist(1.8, 1.0, 1);
+  const auto hist = sample_histogram(dist, 50'000, 606);
+  const auto sel = select_degree_model(hist, 1);
+  EXPECT_EQ(sel.best, DegreeModel::kLognormal);
+  EXPECT_LT(sel.aic_lognormal, sel.aic_power_law);
+}
+
+TEST(ModelSelection, PicksCutoffForCutoffData) {
+  const PowerLawCutoff dist(1.2, 0.05, 1);
+  const auto hist = sample_histogram(dist, 50'000, 707);
+  const auto sel = select_degree_model(hist, 1);
+  EXPECT_EQ(sel.best, DegreeModel::kPowerLawCutoff);
+}
+
+TEST(Fit, RejectsDegenerateInput) {
+  const auto empty = make_histogram({});
+  EXPECT_THROW(fit_power_law(empty, 1), std::invalid_argument);
+  EXPECT_THROW(fit_discrete_lognormal(empty, 1), std::invalid_argument);
+  EXPECT_THROW(fit_power_law_cutoff(empty, 1), std::invalid_argument);
+  const auto tiny = make_histogram(std::vector<std::uint64_t>{5});
+  EXPECT_THROW(fit_power_law(tiny, 1), std::invalid_argument);
+  EXPECT_THROW(fit_power_law(tiny, 0), std::invalid_argument);
+}
+
+TEST(Fit, ToStringNames) {
+  EXPECT_EQ(san::stats::to_string(DegreeModel::kPowerLaw), "power-law");
+  EXPECT_EQ(san::stats::to_string(DegreeModel::kLognormal), "lognormal");
+  EXPECT_EQ(san::stats::to_string(DegreeModel::kPowerLawCutoff),
+            "power-law-with-cutoff");
+}
+
+TEST(Fit, LoglikImprovesWithCorrectModel) {
+  const DiscreteLognormal dist(1.5, 1.1, 1);
+  const auto hist = sample_histogram(dist, 40'000, 808);
+  const auto ln = fit_discrete_lognormal(hist, 1);
+  const auto pl = fit_power_law(hist, 1);
+  EXPECT_GT(ln.loglik, pl.loglik);
+}
+
+}  // namespace

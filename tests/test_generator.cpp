@@ -1,0 +1,285 @@
+// Algorithm 1 generator tests: structural invariants plus the statistical
+// predictions of Theorems 1 and 2.
+#include "model/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/metrics.hpp"
+#include "model/theory.hpp"
+#include "san/san_metrics.hpp"
+#include "san/snapshot.hpp"
+#include "stats/fit.hpp"
+
+namespace {
+
+using san::model::AttachmentRule;
+using san::model::ClosureRule;
+using san::model::generate_san;
+using san::model::GeneratorParams;
+using san::model::LifetimeRule;
+
+TEST(Generator, ProducesRequestedNodeCount) {
+  GeneratorParams params;
+  params.social_node_count = 2'000;
+  params.seed = 1;
+  const auto net = generate_san(params);
+  EXPECT_GE(net.social_node_count(), params.social_node_count);
+  EXPECT_LE(net.social_node_count(), params.social_node_count + 2);
+}
+
+TEST(Generator, DeterministicForSeed) {
+  GeneratorParams params;
+  params.social_node_count = 1'000;
+  params.seed = 5;
+  const auto a = generate_san(params);
+  const auto b = generate_san(params);
+  EXPECT_EQ(a.social_link_count(), b.social_link_count());
+  EXPECT_EQ(a.attribute_link_count(), b.attribute_link_count());
+  EXPECT_EQ(a.attribute_node_count(), b.attribute_node_count());
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  GeneratorParams params;
+  params.social_node_count = 1'000;
+  params.seed = 5;
+  const auto a = generate_san(params);
+  params.seed = 6;
+  const auto b = generate_san(params);
+  EXPECT_NE(a.social_link_count(), b.social_link_count());
+}
+
+TEST(Generator, EveryNodeHasOutgoingLink) {
+  GeneratorParams params;
+  params.social_node_count = 2'000;
+  params.seed = 7;
+  const auto net = generate_san(params);
+  std::size_t without = 0;
+  for (std::size_t u = 0; u < net.social_node_count(); ++u) {
+    if (net.social().out_degree(static_cast<san::NodeId>(u)) == 0) ++without;
+  }
+  // First links can fail only if 32 retries all collide; essentially never.
+  EXPECT_LE(without, net.social_node_count() / 200);
+}
+
+TEST(Generator, DeclareProbabilityControlsAttributeCoverage) {
+  GeneratorParams params;
+  params.social_node_count = 3'000;
+  params.attribute_declare_prob = 0.22;
+  params.seed = 9;
+  const auto net = generate_san(params);
+  std::size_t declared = 0;
+  for (std::size_t u = 0; u < net.social_node_count(); ++u) {
+    if (!net.attributes_of(static_cast<san::NodeId>(u)).empty()) ++declared;
+  }
+  EXPECT_NEAR(static_cast<double>(declared) /
+                  static_cast<double>(net.social_node_count()),
+              0.22, 0.03);
+}
+
+TEST(Generator, Theorem1OutdegreeLognormalParameters) {
+  GeneratorParams params;
+  params.social_node_count = 30'000;
+  params.mu_l = 1.8;
+  params.sigma_l = 1.0;
+  params.ms = 1.0;
+  params.seed = 11;
+  const auto net = generate_san(params);
+  const auto snap = san::snapshot_full(net);
+  const auto hist = san::graph::out_degree_histogram(snap.social);
+  const auto fit = san::stats::fit_discrete_lognormal(hist, 1);
+  const auto pred =
+      san::model::predicted_outdegree_lognormal(params.mu_l, params.sigma_l, params.ms);
+  EXPECT_NEAR(fit.mu, pred.mu, 0.2);
+  EXPECT_NEAR(fit.sigma, pred.sigma, 0.2);
+}
+
+TEST(Generator, Theorem1ScalesWithMs) {
+  // Doubling ms halves the lognormal mean of ln(outdegree).
+  GeneratorParams params;
+  params.social_node_count = 20'000;
+  params.mu_l = 2.4;
+  params.sigma_l = 0.8;
+  params.seed = 13;
+
+  params.ms = 1.0;
+  const auto snap1 = san::snapshot_full(generate_san(params));
+  const auto fit1 = san::stats::fit_discrete_lognormal(
+      san::graph::out_degree_histogram(snap1.social), 1);
+
+  params.ms = 2.0;
+  const auto snap2 = san::snapshot_full(generate_san(params));
+  const auto fit2 = san::stats::fit_discrete_lognormal(
+      san::graph::out_degree_histogram(snap2.social), 1);
+
+  EXPECT_GT(fit1.mu, fit2.mu);
+  EXPECT_NEAR(fit1.mu / std::max(fit2.mu, 1e-9), 2.0, 0.6);
+}
+
+TEST(Generator, Theorem2AttributePowerLawExponent) {
+  GeneratorParams params;
+  params.social_node_count = 30'000;
+  params.p_new_attribute = 0.3;  // predicted exponent (2-p)/(1-p) = 2.43
+  params.attribute_declare_prob = 1.0;
+  params.seed = 17;
+  const auto net = generate_san(params);
+  const auto snap = san::snapshot_full(net);
+  const auto hist = san::attribute_social_degree_histogram(snap);
+  // Theorem 2 is asymptotic in the degree, so fit on the KS-selected tail.
+  const auto fit = san::stats::fit_power_law_scan(hist);
+  const double predicted =
+      san::model::predicted_attribute_powerlaw_exponent(params.p_new_attribute);
+  EXPECT_NEAR(fit.alpha, predicted, 0.35);
+}
+
+TEST(Generator, AttributeDegreeLognormalByConstruction) {
+  GeneratorParams params;
+  params.social_node_count = 20'000;
+  params.mu_a = 0.9;
+  params.sigma_a = 0.8;
+  params.attribute_declare_prob = 1.0;
+  params.seed = 19;
+  const auto net = generate_san(params);
+  const auto snap = san::snapshot_full(net);
+  const auto hist = san::attribute_degree_histogram(snap);
+  const auto sel = san::stats::select_degree_model(hist, 1);
+  EXPECT_EQ(sel.best, san::stats::DegreeModel::kLognormal);
+  EXPECT_NEAR(sel.lognormal.mu, params.mu_a, 0.15);
+  EXPECT_NEAR(sel.lognormal.sigma, params.sigma_a, 0.15);
+}
+
+TEST(Generator, LapaRaisesAttributeReciprocityOfLinks) {
+  // With a strong beta, first links preferentially hit attribute sharers:
+  // measure the fraction of links whose endpoints share an attribute.
+  GeneratorParams strong, weak;
+  strong.social_node_count = weak.social_node_count = 5'000;
+  strong.seed = weak.seed = 23;
+  strong.beta = 500.0;
+  weak.beta = 0.0;
+  const auto net_strong = generate_san(strong);
+  const auto net_weak = generate_san(weak);
+  // Only first links are LAPA-driven; later links come from closure, which
+  // is identical in both configurations.
+  const auto shared_fraction = [](const san::SocialAttributeNetwork& net) {
+    std::vector<char> seen(net.social_node_count(), 0);
+    std::uint64_t shared = 0, total = 0;
+    for (const auto& e : net.social_log()) {
+      if (seen[e.src]) continue;
+      seen[e.src] = 1;
+      ++total;
+      if (net.common_attributes(e.src, e.dst) > 0) ++shared;
+    }
+    return static_cast<double>(shared) / static_cast<double>(total);
+  };
+  EXPECT_GT(shared_fraction(net_strong), shared_fraction(net_weak) + 0.1);
+}
+
+TEST(Generator, ExponentialLifetimeAblationChangesTail) {
+  // With exponential lifetimes the outdegree distribution becomes heavier
+  // tailed than lognormal (closer to power-law, as in prior models).
+  GeneratorParams tn, exp_params;
+  tn.social_node_count = exp_params.social_node_count = 20'000;
+  tn.seed = exp_params.seed = 29;
+  exp_params.lifetime = LifetimeRule::kExponential;
+  const auto snap_tn = san::snapshot_full(generate_san(tn));
+  const auto snap_exp = san::snapshot_full(generate_san(exp_params));
+  const auto max_out = [](const san::SanSnapshot& snap) {
+    std::size_t best = 0;
+    for (san::NodeId u = 0; u < snap.social.node_count(); ++u) {
+      best = std::max(best, snap.social.out_degree(u));
+    }
+    return best;
+  };
+  EXPECT_GT(max_out(snap_exp), max_out(snap_tn));
+}
+
+TEST(Generator, ValidatesParameters) {
+  GeneratorParams params;
+  params.social_node_count = 0;
+  EXPECT_THROW(generate_san(params), std::invalid_argument);
+  params = {};
+  params.sigma_a = 0.0;
+  EXPECT_THROW(generate_san(params), std::invalid_argument);
+  params = {};
+  params.p_new_attribute = 1.0;
+  EXPECT_THROW(generate_san(params), std::invalid_argument);
+  params = {};
+  params.ms = 0.0;
+  EXPECT_THROW(generate_san(params), std::invalid_argument);
+  params = {};
+  params.init_social_nodes = 1;
+  EXPECT_THROW(generate_san(params), std::invalid_argument);
+  params = {};
+  params.fc = -0.5;
+  EXPECT_THROW(generate_san(params), std::invalid_argument);
+}
+
+TEST(Generator, DynamicAttributesIncreaseAttributeLinks) {
+  // §7 extension: socially-adopted attributes add attribute links on top of
+  // the join-time declarations.
+  GeneratorParams off, on;
+  off.social_node_count = on.social_node_count = 5'000;
+  off.seed = on.seed = 47;
+  on.dynamic_attribute_prob = 0.5;
+  const auto net_off = generate_san(off);
+  const auto net_on = generate_san(on);
+  EXPECT_GT(net_on.attribute_link_count(),
+            net_off.attribute_link_count() + net_off.attribute_link_count() / 10);
+}
+
+TEST(Generator, DynamicAttributesCopyFromNeighbors) {
+  GeneratorParams params;
+  params.social_node_count = 5'000;
+  params.dynamic_attribute_prob = 0.5;
+  params.seed = 49;
+  const auto net = generate_san(params);
+  // Adopted attributes are copied from social neighbors, so an adopter
+  // shares that attribute with at least one neighbor; spot-check that the
+  // fraction of users sharing an attribute with some neighbor is high among
+  // multi-attribute users.
+  std::size_t sharing = 0, checked = 0;
+  for (std::size_t u = 0; u < net.social_node_count() && checked < 500; ++u) {
+    const auto id = static_cast<san::NodeId>(u);
+    if (net.attributes_of(id).size() < 2) continue;
+    ++checked;
+    bool shares = false;
+    for (const auto v : net.social().out_neighbors(id)) {
+      if (net.common_attributes(id, v) > 0) {
+        shares = true;
+        break;
+      }
+    }
+    if (shares) ++sharing;
+  }
+  ASSERT_GT(checked, 100u);
+  EXPECT_GT(static_cast<double>(sharing) / static_cast<double>(checked), 0.5);
+}
+
+TEST(Generator, MaxOutdegreeCapEnforced) {
+  GeneratorParams params;
+  params.social_node_count = 3'000;
+  params.lifetime = LifetimeRule::kExponential;  // unbounded lifetimes
+  params.max_outdegree = 64;
+  params.seed = 53;
+  const auto net = generate_san(params);
+  std::size_t max_out = 0;
+  for (std::size_t u = 0; u < net.social_node_count(); ++u) {
+    max_out = std::max(max_out, net.social().out_degree(static_cast<san::NodeId>(u)));
+  }
+  // One link may still land after the cap check, hence the +1 slack.
+  EXPECT_LE(max_out, params.max_outdegree + 1);
+}
+
+TEST(Generator, TimestampsConsistentForSnapshots) {
+  GeneratorParams params;
+  params.social_node_count = 2'000;
+  params.seed = 31;
+  const auto net = generate_san(params);
+  // Half-time snapshot must be buildable and strictly smaller.
+  const auto half = san::snapshot_at(net, static_cast<double>(params.social_node_count) / 2);
+  const auto full = san::snapshot_full(net);
+  EXPECT_LT(half.social_node_count(), full.social_node_count());
+  EXPECT_LT(half.social_link_count(), full.social_link_count());
+  EXPECT_GT(half.social_node_count(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,144 @@
+// Synthetic Google+ ground-truth tests: three-phase arrivals, declining
+// reciprocity, attribute coverage, and the named catalogs behind Fig 14.
+#include "crawl/gplus_synth.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/metrics.hpp"
+#include "san/snapshot.hpp"
+
+namespace {
+
+using san::crawl::arrivals_on_day;
+using san::crawl::generate_synthetic_gplus;
+using san::crawl::reciprocation_base;
+using san::crawl::SyntheticGplusParams;
+
+SyntheticGplusParams small_params() {
+  SyntheticGplusParams params;
+  params.total_social_nodes = 8'000;
+  params.seed = 77;
+  return params;
+}
+
+TEST(GplusSynth, ArrivalsSumToTotal) {
+  const auto params = small_params();
+  std::size_t total = 0;
+  for (int d = 1; d <= params.days; ++d) total += arrivals_on_day(params, d);
+  EXPECT_NEAR(static_cast<double>(total),
+              static_cast<double>(params.total_social_nodes),
+              0.02 * static_cast<double>(params.total_social_nodes));
+}
+
+TEST(GplusSynth, ThreePhaseArrivalShape) {
+  const auto params = small_params();
+  // Ramp-up within phase I.
+  EXPECT_LT(arrivals_on_day(params, 2), arrivals_on_day(params, 19));
+  // Phase II constant-ish and lower than late phase I.
+  EXPECT_LT(arrivals_on_day(params, 40), arrivals_on_day(params, 20));
+  EXPECT_EQ(arrivals_on_day(params, 40), arrivals_on_day(params, 60));
+  // Public release spike at the end.
+  EXPECT_GT(arrivals_on_day(params, params.days), arrivals_on_day(params, 50));
+  // Out of range days contribute nothing.
+  EXPECT_EQ(arrivals_on_day(params, 0), 0u);
+  EXPECT_EQ(arrivals_on_day(params, params.days + 1), 0u);
+}
+
+TEST(GplusSynth, ReciprocationScheduleDeclines) {
+  const auto params = small_params();
+  EXPECT_GT(reciprocation_base(params, 10.0), reciprocation_base(params, 70.0));
+  EXPECT_GT(reciprocation_base(params, 70.0), reciprocation_base(params, 97.0));
+}
+
+TEST(GplusSynth, GeneratedSizeAndCoverage) {
+  const auto params = small_params();
+  const auto net = generate_synthetic_gplus(params);
+  EXPECT_NEAR(static_cast<double>(net.social_node_count()),
+              static_cast<double>(params.total_social_nodes),
+              0.02 * static_cast<double>(params.total_social_nodes));
+  EXPECT_GT(net.social_link_count(), net.social_node_count());
+
+  std::size_t declared = 0;
+  for (std::size_t u = 0; u < net.social_node_count(); ++u) {
+    if (!net.attributes_of(static_cast<san::NodeId>(u)).empty()) ++declared;
+  }
+  const double fraction = static_cast<double>(declared) /
+                          static_cast<double>(net.social_node_count());
+  EXPECT_NEAR(fraction, params.attribute_declare_prob, 0.08);
+}
+
+TEST(GplusSynth, ReciprocityDeclinesAcrossPhases) {
+  const auto params = small_params();
+  const auto net = generate_synthetic_gplus(params);
+  const auto early = san::snapshot_at(net, 25.0);
+  const auto late = san::snapshot_at(net, 98.0);
+  const double r_early = san::graph::reciprocity(early.social);
+  const double r_late = san::graph::reciprocity(late.social);
+  EXPECT_GT(r_early, r_late);
+  EXPECT_GT(r_early, 0.2);
+  EXPECT_LT(r_late, 0.6);
+}
+
+TEST(GplusSynth, NamedAttributesExistAndArePopular) {
+  const auto net = generate_synthetic_gplus(small_params());
+  bool found_google = false;
+  std::size_t google_members = 0;
+  double mean_employer_members = 0.0;
+  std::size_t employer_count = 0;
+  for (std::size_t a = 0; a < net.attribute_node_count(); ++a) {
+    const auto id = static_cast<san::AttrId>(a);
+    if (net.attribute_type(id) == san::AttributeType::kEmployer) {
+      ++employer_count;
+      mean_employer_members += static_cast<double>(net.members_of(id).size());
+      if (net.attribute_name(id) == "Google") {
+        found_google = true;
+        google_members = net.members_of(id).size();
+      }
+    }
+  }
+  ASSERT_TRUE(found_google);
+  ASSERT_GT(employer_count, 10u);
+  mean_employer_members /= static_cast<double>(employer_count);
+  // "Google" was created first and should be far above the mean.
+  EXPECT_GT(static_cast<double>(google_members), 3.0 * mean_employer_members);
+}
+
+TEST(GplusSynth, SnapshotsAreConsistentAtAllDays) {
+  const auto net = generate_synthetic_gplus(small_params());
+  std::size_t prev_nodes = 0;
+  std::uint64_t prev_links = 0;
+  for (int d = 10; d <= 98; d += 22) {
+    const auto snap = san::snapshot_at(net, static_cast<double>(d));
+    EXPECT_GE(snap.social_node_count(), prev_nodes);
+    EXPECT_GE(snap.social_link_count(), prev_links);
+    prev_nodes = snap.social_node_count();
+    prev_links = snap.social_link_count();
+  }
+  EXPECT_GT(prev_nodes, 0u);
+}
+
+TEST(GplusSynth, Deterministic) {
+  const auto params = small_params();
+  const auto a = generate_synthetic_gplus(params);
+  const auto b = generate_synthetic_gplus(params);
+  EXPECT_EQ(a.social_link_count(), b.social_link_count());
+  EXPECT_EQ(a.attribute_link_count(), b.attribute_link_count());
+}
+
+TEST(GplusSynth, ValidatesParameters) {
+  auto params = small_params();
+  params.total_social_nodes = 10;
+  EXPECT_THROW(generate_synthetic_gplus(params), std::invalid_argument);
+  params = small_params();
+  params.phase1_end = 80;
+  EXPECT_THROW(generate_synthetic_gplus(params), std::invalid_argument);
+  params = small_params();
+  params.phase1_fraction = 0.9;
+  params.phase2_fraction = 0.3;
+  EXPECT_THROW(generate_synthetic_gplus(params), std::invalid_argument);
+  params = small_params();
+  params.reciprocation_delay_mean = 0.0;
+  EXPECT_THROW(generate_synthetic_gplus(params), std::invalid_argument);
+}
+
+}  // namespace

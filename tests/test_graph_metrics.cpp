@@ -1,0 +1,136 @@
+#include "graph/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using san::graph::assortativity;
+using san::graph::CsrGraph;
+using san::graph::degree_histogram;
+using san::graph::density;
+using san::graph::edge_score_correlation;
+using san::graph::in_degree_histogram;
+using san::graph::knn_out_in;
+using san::graph::NodeId;
+using san::graph::out_degree_histogram;
+using san::graph::reciprocity;
+
+TEST(Reciprocity, AllMutualIsOne) {
+  const std::vector<std::pair<NodeId, NodeId>> edges = {
+      {0, 1}, {1, 0}, {1, 2}, {2, 1}};
+  EXPECT_DOUBLE_EQ(reciprocity(CsrGraph::from_edges(3, edges)), 1.0);
+}
+
+TEST(Reciprocity, NoneMutualIsZero) {
+  const std::vector<std::pair<NodeId, NodeId>> edges = {{0, 1}, {1, 2}, {2, 0}};
+  EXPECT_DOUBLE_EQ(reciprocity(CsrGraph::from_edges(3, edges)), 0.0);
+}
+
+TEST(Reciprocity, MixedFraction) {
+  const std::vector<std::pair<NodeId, NodeId>> edges = {
+      {0, 1}, {1, 0}, {1, 2}, {2, 3}};
+  EXPECT_DOUBLE_EQ(reciprocity(CsrGraph::from_edges(4, edges)), 0.5);
+}
+
+TEST(Reciprocity, EmptyGraphIsZero) {
+  EXPECT_DOUBLE_EQ(reciprocity(CsrGraph::from_edges(3, {})), 0.0);
+}
+
+TEST(Density, LinksToNodesRatio) {
+  const std::vector<std::pair<NodeId, NodeId>> edges = {{0, 1}, {1, 2}, {2, 0}};
+  EXPECT_DOUBLE_EQ(density(CsrGraph::from_edges(6, edges)), 0.5);
+  EXPECT_DOUBLE_EQ(density(CsrGraph::from_edges(0, {})), 0.0);
+}
+
+TEST(DegreeHistograms, MatchStructure) {
+  // Star out of node 0 plus one reciprocal edge.
+  const std::vector<std::pair<NodeId, NodeId>> edges = {
+      {0, 1}, {0, 2}, {0, 3}, {1, 0}};
+  const auto g = CsrGraph::from_edges(4, edges);
+  const auto out = out_degree_histogram(g);
+  // Outdegrees: 3, 1, 0, 0.
+  EXPECT_EQ(out.total, 4u);
+  EXPECT_EQ(out.bins.front().first, 0u);
+  EXPECT_EQ(out.bins.front().second, 2u);
+  const auto in = in_degree_histogram(g);
+  // Indegrees: 1, 1, 1, 1.
+  ASSERT_EQ(in.bins.size(), 1u);
+  EXPECT_EQ(in.bins[0].first, 1u);
+  const auto und = degree_histogram(g);
+  // Undirected degrees: 3, 1, 1, 1.
+  EXPECT_EQ(und.bins.back().first, 3u);
+}
+
+TEST(Knn, StarGraph) {
+  // Node 0 has outdegree 3, targets have indegree 1 each -> knn(3) = 1.
+  const std::vector<std::pair<NodeId, NodeId>> edges = {{0, 1}, {0, 2}, {0, 3}};
+  const auto knn = knn_out_in(CsrGraph::from_edges(4, edges));
+  ASSERT_EQ(knn.size(), 1u);
+  EXPECT_EQ(knn[0].first, 3u);
+  EXPECT_DOUBLE_EQ(knn[0].second, 1.0);
+}
+
+TEST(Knn, AveragesAcrossSameOutdegree) {
+  // Nodes 0 and 1 both have outdegree 1; their targets have indegree 2 and
+  // 1 respectively (2 also receives from 3).
+  const std::vector<std::pair<NodeId, NodeId>> edges = {{0, 2}, {1, 4}, {3, 2}, {3, 4}};
+  const auto knn = knn_out_in(CsrGraph::from_edges(5, edges));
+  // outdegree 1: edges from 0 (target indeg 2) and 1 (target indeg 2)...
+  // indeg(2) = 2, indeg(4) = 2. outdegree 2: node 3 -> (2, 4) avg 2.
+  ASSERT_EQ(knn.size(), 2u);
+  EXPECT_DOUBLE_EQ(knn[0].second, 2.0);
+  EXPECT_DOUBLE_EQ(knn[1].second, 2.0);
+}
+
+TEST(Assortativity, NearZeroOnUncorrelatedRandomGraph) {
+  san::stats::Rng rng(5);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  const std::size_t n = 2'000;
+  for (int i = 0; i < 12'000; ++i) {
+    const auto u = static_cast<NodeId>(rng.uniform_index(n));
+    const auto v = static_cast<NodeId>(rng.uniform_index(n));
+    if (u != v) edges.emplace_back(u, v);
+  }
+  const double r = assortativity(CsrGraph::from_edges(n, edges));
+  EXPECT_NEAR(r, 0.0, 0.05);
+}
+
+TEST(Assortativity, NegativeForPublisherSubscriberStar) {
+  // Hubs with huge indegree receive links from low-outdegree subscribers;
+  // hubs also link each other, subscribers have outdegree 1.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  const NodeId hub_a = 0, hub_b = 1;
+  for (NodeId v = 2; v < 300; ++v) {
+    edges.emplace_back(hub_a, v);  // source outdeg ~300 -> target indeg 1
+    edges.emplace_back(v, hub_b);  // source outdeg 1 -> target indeg ~300
+  }
+  const double r = assortativity(CsrGraph::from_edges(300, edges));
+  EXPECT_LT(r, -0.5);
+}
+
+TEST(Assortativity, TinyGraphIsZero) {
+  EXPECT_DOUBLE_EQ(assortativity(CsrGraph::from_edges(2, {})), 0.0);
+}
+
+TEST(EdgeScoreCorrelation, CustomScores) {
+  const std::vector<std::pair<NodeId, NodeId>> edges = {{0, 1}, {2, 3}};
+  const auto g = CsrGraph::from_edges(4, edges);
+  // Perfectly correlated custom scores.
+  const std::vector<double> src = {1.0, 0.0, 2.0, 0.0};
+  const std::vector<double> dst = {0.0, 10.0, 0.0, 20.0};
+  EXPECT_NEAR(edge_score_correlation(g, src, dst), 1.0, 1e-12);
+}
+
+TEST(EdgeScoreCorrelation, SizeMismatchThrows) {
+  const auto g = CsrGraph::from_edges(2, {{std::pair<NodeId, NodeId>{0, 1}}});
+  EXPECT_THROW(edge_score_correlation(g, {1.0}, {1.0, 2.0}),
+               std::invalid_argument);
+}
+
+}  // namespace

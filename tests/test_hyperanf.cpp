@@ -1,0 +1,150 @@
+#include "graph/hyperanf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "graph/bfs.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using san::graph::CsrGraph;
+using san::graph::hyper_anf;
+using san::graph::HyperAnfOptions;
+using san::graph::HyperLogLog;
+using san::graph::NodeId;
+
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+TEST(HyperLogLog, EstimatesCardinalityWithinTolerance) {
+  for (const std::size_t n : {100u, 1'000u, 50'000u}) {
+    HyperLogLog hll(10);  // 1024 registers -> ~3% typical error
+    for (std::size_t i = 0; i < n; ++i) hll.add_hash(mix(i));
+    EXPECT_NEAR(hll.estimate(), static_cast<double>(n), 0.12 * static_cast<double>(n))
+        << "n=" << n;
+  }
+}
+
+TEST(HyperLogLog, DuplicatesDoNotInflate) {
+  HyperLogLog hll(8);
+  for (int round = 0; round < 10; ++round) {
+    for (std::uint64_t i = 0; i < 500; ++i) hll.add_hash(mix(i));
+  }
+  EXPECT_NEAR(hll.estimate(), 500.0, 100.0);
+}
+
+TEST(HyperLogLog, MergeIsUnion) {
+  HyperLogLog a(8), b(8), both(8);
+  for (std::uint64_t i = 0; i < 400; ++i) {
+    a.add_hash(mix(i));
+    both.add_hash(mix(i));
+  }
+  for (std::uint64_t i = 400; i < 800; ++i) {
+    b.add_hash(mix(i));
+    both.add_hash(mix(i));
+  }
+  EXPECT_TRUE(a.merge(b));
+  EXPECT_NEAR(a.estimate(), both.estimate(), 1e-9);
+  // Merging again changes nothing.
+  EXPECT_FALSE(a.merge(b));
+}
+
+TEST(HyperLogLog, MergeSizeMismatchThrows) {
+  HyperLogLog a(8), b(9);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(HyperLogLog, RejectsBadRegisterCount) {
+  EXPECT_THROW(HyperLogLog(3), std::invalid_argument);
+  EXPECT_THROW(HyperLogLog(17), std::invalid_argument);
+}
+
+TEST(HyperAnf, NeighborhoodFunctionOnDirectedPath) {
+  // Path 0 -> 1 -> 2 -> 3: N(0)=4, N(1)=4+3=7, N(2)=9, N(3)=10.
+  std::vector<std::pair<NodeId, NodeId>> edges = {{0, 1}, {1, 2}, {2, 3}};
+  const auto g = CsrGraph::from_edges(4, edges);
+  HyperAnfOptions options;
+  options.log2m = 12;  // high precision for tiny graphs
+  const auto res = hyper_anf(g, options);
+  ASSERT_GE(res.neighborhood.size(), 4u);
+  EXPECT_NEAR(res.neighborhood[0], 4.0, 0.5);
+  EXPECT_NEAR(res.neighborhood[1], 7.0, 0.7);
+  EXPECT_NEAR(res.neighborhood[2], 9.0, 0.9);
+  EXPECT_NEAR(res.neighborhood.back(), 10.0, 1.0);
+}
+
+TEST(HyperAnf, EffectiveDiameterOfCompleteGraph) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId u = 0; u < 20; ++u) {
+    for (NodeId v = 0; v < 20; ++v) {
+      if (u != v) edges.emplace_back(u, v);
+    }
+  }
+  const auto g = CsrGraph::from_edges(20, edges);
+  const auto res = hyper_anf(g);
+  EXPECT_LE(res.effective_diameter(0.9), 1.05);
+}
+
+TEST(HyperAnf, EffectiveDiameterMatchesExactBfsOnRandomGraph) {
+  // Erdos-Renyi-ish digraph; compare HyperANF's effective diameter against
+  // the exact BFS distance distribution.
+  san::stats::Rng rng(42);
+  const std::size_t n = 400;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId u = 0; u < n; ++u) {
+    for (int k = 0; k < 6; ++k) {
+      const auto v = static_cast<NodeId>(rng.uniform_index(n));
+      if (v != u) edges.emplace_back(u, v);
+    }
+  }
+  const auto g = CsrGraph::from_edges(n, edges);
+
+  std::vector<std::uint64_t> exact_hist;
+  for (NodeId u = 0; u < n; ++u) {
+    const auto dist = san::graph::bfs_distances(g, u);
+    for (const auto d : dist) {
+      if (d == san::graph::kUnreachable) continue;
+      if (d >= exact_hist.size()) exact_hist.resize(d + 1, 0);
+      ++exact_hist[d];
+    }
+  }
+  const double exact = san::graph::interpolated_quantile(exact_hist, 0.9);
+
+  HyperAnfOptions options;
+  options.log2m = 10;
+  const auto res = hyper_anf(g, options);
+  EXPECT_NEAR(res.effective_diameter(0.9), exact, 0.5);
+}
+
+TEST(HyperAnf, SourceRestriction) {
+  // Star: center 0 -> leaves. Restricting sources to a leaf measures only
+  // that leaf's (empty) out-reachability.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId v = 1; v < 10; ++v) edges.emplace_back(0, v);
+  const auto g = CsrGraph::from_edges(10, edges);
+  const std::vector<NodeId> sources = {1};
+  const auto res = hyper_anf(g, {}, sources);
+  EXPECT_NEAR(res.neighborhood.back(), 1.0, 0.1);  // leaf reaches only itself
+}
+
+TEST(HyperAnf, EmptyGraph) {
+  const auto res = hyper_anf(CsrGraph::from_edges(0, {}));
+  EXPECT_TRUE(res.neighborhood.empty());
+  EXPECT_EQ(res.effective_diameter(0.9), 0.0);
+}
+
+TEST(HyperAnf, EffectiveDiameterQuantileValidation) {
+  san::graph::HyperAnfResult res;
+  res.neighborhood = {1.0, 2.0};
+  EXPECT_THROW(res.effective_diameter(0.0), std::invalid_argument);
+  EXPECT_THROW(res.effective_diameter(1.5), std::invalid_argument);
+}
+
+}  // namespace

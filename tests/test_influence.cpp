@@ -1,0 +1,154 @@
+#include "san/influence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "san/san.hpp"
+#include "san/snapshot.hpp"
+
+namespace {
+
+using san::AttrId;
+using san::AttributeType;
+using san::clustering_by_attribute_type;
+using san::degree_by_attribute;
+using san::fine_grained_reciprocity;
+using san::NodeId;
+using san::SocialAttributeNetwork;
+using san::snapshot_at;
+using san::snapshot_full;
+using san::top_attributes_by_degree;
+
+TEST(FineGrainedReciprocity, SharedAttributeLinksReciprocateMore) {
+  // Two one-directional links at t=1; only the attribute-sharing one gets
+  // reciprocated by t=2.
+  SocialAttributeNetwork net;
+  for (int i = 0; i < 4; ++i) net.add_social_node(0.0);
+  const AttrId a = net.add_attribute_node(AttributeType::kEmployer, "G");
+  net.add_attribute_link(0, a, 0.0);
+  net.add_attribute_link(1, a, 0.0);
+  net.add_social_link(0, 1, 1.0);  // shared attribute
+  net.add_social_link(2, 3, 1.0);  // no shared attribute
+  net.add_social_link(1, 0, 2.0);  // reciprocation of the first link
+
+  const auto halfway = snapshot_at(net, 1.0);
+  const auto final_snap = snapshot_full(net);
+  const auto cells = fine_grained_reciprocity(halfway, final_snap, 5, 50);
+
+  double rate_shared = -1.0, rate_unshared = -1.0;
+  for (const auto& cell : cells) {
+    if (cell.common_social_lo == 0 && cell.common_attr == 1 && cell.links > 0) {
+      rate_shared = cell.rate();
+    }
+    if (cell.common_social_lo == 0 && cell.common_attr == 0 && cell.links > 0) {
+      rate_unshared = cell.rate();
+    }
+  }
+  EXPECT_DOUBLE_EQ(rate_shared, 1.0);
+  EXPECT_DOUBLE_EQ(rate_unshared, 0.0);
+}
+
+TEST(FineGrainedReciprocity, AlreadyMutualLinksExcluded) {
+  SocialAttributeNetwork net;
+  net.add_social_node(0.0);
+  net.add_social_node(0.0);
+  net.add_social_link(0, 1, 0.5);
+  net.add_social_link(1, 0, 0.5);
+  const auto halfway = snapshot_at(net, 1.0);
+  const auto cells = fine_grained_reciprocity(halfway, halfway);
+  for (const auto& cell : cells) EXPECT_EQ(cell.links, 0u);
+}
+
+TEST(FineGrainedReciprocity, BucketsCommonNeighbors) {
+  // u -> v with 6 common neighbors lands in bucket [5, 10).
+  SocialAttributeNetwork net;
+  for (int i = 0; i < 8; ++i) net.add_social_node(0.0);
+  for (NodeId w = 2; w < 8; ++w) {
+    net.add_social_link(0, w, 0.2);
+    net.add_social_link(1, w, 0.2);
+  }
+  net.add_social_link(0, 1, 0.5);
+  const auto halfway = snapshot_at(net, 1.0);
+  const auto cells = fine_grained_reciprocity(halfway, halfway, 5, 50);
+  std::uint64_t in_bucket = 0;
+  for (const auto& cell : cells) {
+    if (cell.common_social_lo == 5 && cell.common_attr == 0) {
+      in_bucket = cell.links;
+    }
+  }
+  EXPECT_EQ(in_bucket, 1u);
+}
+
+TEST(FineGrainedReciprocity, ValidatesArguments) {
+  SocialAttributeNetwork net;
+  net.add_social_node(0.0);
+  const auto snap = snapshot_full(net);
+  EXPECT_THROW(fine_grained_reciprocity(snap, snap, 0), std::invalid_argument);
+}
+
+TEST(ClusteringByType, EmployerBeatsCity) {
+  // Employer community meshed; City community not.
+  SocialAttributeNetwork net;
+  for (int i = 0; i < 6; ++i) net.add_social_node(0.0);
+  const AttrId emp = net.add_attribute_node(AttributeType::kEmployer, "G");
+  const AttrId city = net.add_attribute_node(AttributeType::kCity, "SF");
+  for (NodeId u : {0u, 1u, 2u}) net.add_attribute_link(u, emp);
+  for (NodeId u : {3u, 4u, 5u}) net.add_attribute_link(u, city);
+  for (NodeId u : {0u, 1u, 2u}) {
+    for (NodeId v : {0u, 1u, 2u}) {
+      if (u != v) net.add_social_link(u, v);
+    }
+  }
+  const auto snap = snapshot_full(net);
+  san::graph::ClusteringOptions options;
+  options.epsilon = 0.01;
+  const auto by_type = clustering_by_attribute_type(snap, options);
+  const auto emp_cc = by_type[static_cast<std::size_t>(AttributeType::kEmployer)];
+  const auto city_cc = by_type[static_cast<std::size_t>(AttributeType::kCity)];
+  EXPECT_NEAR(emp_cc, 1.0, 0.05);
+  EXPECT_NEAR(city_cc, 0.0, 0.05);
+}
+
+TEST(DegreeByAttribute, PercentilesOfMembers) {
+  SocialAttributeNetwork net;
+  for (int i = 0; i < 5; ++i) net.add_social_node(0.0);
+  const AttrId a = net.add_attribute_node(AttributeType::kEmployer, "G");
+  // Members 0, 1, 2 with outdegrees 0, 1, 2.
+  net.add_attribute_link(0, a);
+  net.add_attribute_link(1, a);
+  net.add_attribute_link(2, a);
+  net.add_social_link(1, 3);
+  net.add_social_link(2, 3);
+  net.add_social_link(2, 4);
+  const auto snap = snapshot_full(net);
+  const auto d = degree_by_attribute(net, snap, a);
+  EXPECT_EQ(d.member_count, 3u);
+  EXPECT_DOUBLE_EQ(d.median, 1.0);
+  EXPECT_DOUBLE_EQ(d.p25, 0.5);
+  EXPECT_DOUBLE_EQ(d.p75, 1.5);
+  EXPECT_EQ(d.attribute_name, "G");
+}
+
+TEST(DegreeByAttribute, UnknownAttributeThrows) {
+  SocialAttributeNetwork net;
+  net.add_social_node(0.0);
+  const auto snap = snapshot_full(net);
+  EXPECT_THROW(degree_by_attribute(net, snap, 0), std::out_of_range);
+}
+
+TEST(TopAttributes, OrderedByMembership) {
+  SocialAttributeNetwork net;
+  for (int i = 0; i < 6; ++i) net.add_social_node(0.0);
+  const AttrId big = net.add_attribute_node(AttributeType::kEmployer, "big");
+  const AttrId small = net.add_attribute_node(AttributeType::kEmployer, "small");
+  net.add_attribute_node(AttributeType::kCity, "othertype");
+  for (NodeId u = 0; u < 4; ++u) net.add_attribute_link(u, big);
+  net.add_attribute_link(4, small);
+  const auto snap = snapshot_full(net);
+  const auto top = top_attributes_by_degree(net, snap, AttributeType::kEmployer, 5);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].attribute_name, "big");
+  EXPECT_EQ(top[1].attribute_name, "small");
+  EXPECT_EQ(top[0].member_count, 4u);
+}
+
+}  // namespace

@@ -1,0 +1,73 @@
+#include "stats/ks.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/distributions.hpp"
+#include "stats/rng.hpp"
+#include "stats/summary.hpp"
+
+namespace {
+
+using san::stats::DiscreteLognormal;
+using san::stats::DiscretePowerLaw;
+using san::stats::ks_distance;
+using san::stats::ks_two_sample;
+using san::stats::make_histogram;
+using san::stats::Rng;
+
+TEST(KsDistance, ZeroForPerfectModel) {
+  // Empirical distribution == model CDF by construction.
+  const std::vector<std::uint64_t> values = {1, 1, 2, 2, 3, 3, 4, 4};
+  const auto hist = make_histogram(values);
+  const auto cdf = [](std::uint64_t k) { return std::min(1.0, 0.25 * static_cast<double>(k)); };
+  EXPECT_NEAR(ks_distance(hist, cdf, 1), 0.0, 1e-12);
+}
+
+TEST(KsDistance, DetectsWrongModel) {
+  Rng rng(3);
+  const DiscretePowerLaw pl(2.5, 1);
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 20'000; ++i) values.push_back(pl.sample(rng));
+  const auto hist = make_histogram(values);
+
+  const double d_right =
+      ks_distance(hist, [&](std::uint64_t k) { return pl.cdf(k); }, 1);
+  const DiscreteLognormal wrong(2.0, 0.3, 1);
+  const double d_wrong =
+      ks_distance(hist, [&](std::uint64_t k) { return wrong.cdf(k); }, 1);
+  EXPECT_LT(d_right, 0.02);
+  EXPECT_GT(d_wrong, 5.0 * d_right);
+}
+
+TEST(KsDistance, EmptyTailIsZero) {
+  const auto hist = make_histogram(std::vector<std::uint64_t>{1, 2});
+  EXPECT_EQ(ks_distance(hist, [](std::uint64_t) { return 0.5; }, 10), 0.0);
+}
+
+TEST(KsTwoSample, IdenticalSamplesAreZero) {
+  const std::vector<std::uint64_t> values = {1, 2, 2, 3, 5, 8};
+  const auto a = make_histogram(values);
+  EXPECT_DOUBLE_EQ(ks_two_sample(a, a), 0.0);
+}
+
+TEST(KsTwoSample, DisjointSupportsAreOne) {
+  const auto a = make_histogram(std::vector<std::uint64_t>{1, 2, 3});
+  const auto b = make_histogram(std::vector<std::uint64_t>{10, 11, 12});
+  EXPECT_DOUBLE_EQ(ks_two_sample(a, b), 1.0);
+}
+
+TEST(KsTwoSample, SymmetricAndSmallForSameDistribution) {
+  Rng rng(17);
+  const DiscreteLognormal dist(1.5, 0.8, 1);
+  std::vector<std::uint64_t> xs, ys;
+  for (int i = 0; i < 30'000; ++i) {
+    xs.push_back(dist.sample(rng));
+    ys.push_back(dist.sample(rng));
+  }
+  const auto a = make_histogram(xs);
+  const auto b = make_histogram(ys);
+  EXPECT_DOUBLE_EQ(ks_two_sample(a, b), ks_two_sample(b, a));
+  EXPECT_LT(ks_two_sample(a, b), 0.02);
+}
+
+}  // namespace

@@ -1,0 +1,73 @@
+#include "stats/optimize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using san::stats::golden_section_minimize;
+using san::stats::nelder_mead;
+
+TEST(GoldenSection, FindsQuadraticMinimum) {
+  const auto f = [](double x) { return (x - 2.5) * (x - 2.5) + 1.0; };
+  EXPECT_NEAR(golden_section_minimize(f, 0.0, 10.0), 2.5, 1e-5);
+}
+
+TEST(GoldenSection, FindsAsymmetricMinimum) {
+  const auto f = [](double x) { return std::exp(x) - 3.0 * x; };
+  EXPECT_NEAR(golden_section_minimize(f, 0.0, 5.0), std::log(3.0), 1e-5);
+}
+
+TEST(GoldenSection, BoundaryMinimum) {
+  const auto f = [](double x) { return x; };
+  EXPECT_NEAR(golden_section_minimize(f, 1.0, 4.0), 1.0, 1e-4);
+}
+
+TEST(GoldenSection, RejectsBadInterval) {
+  const auto f = [](double x) { return x * x; };
+  EXPECT_THROW(golden_section_minimize(f, 2.0, 1.0), std::invalid_argument);
+}
+
+TEST(NelderMead, Quadratic2D) {
+  const auto f = [](const std::vector<double>& x) {
+    return (x[0] - 1.0) * (x[0] - 1.0) + 3.0 * (x[1] + 2.0) * (x[1] + 2.0);
+  };
+  const auto res = nelder_mead(f, {0.0, 0.0}, {0.5, 0.5});
+  EXPECT_NEAR(res.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(res.x[1], -2.0, 1e-3);
+}
+
+TEST(NelderMead, Rosenbrock) {
+  const auto f = [](const std::vector<double>& x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  const auto res = nelder_mead(f, {-1.0, 1.0}, {0.5, 0.5}, 1e-12, 5000);
+  EXPECT_NEAR(res.x[0], 1.0, 5e-2);
+  EXPECT_NEAR(res.x[1], 1.0, 1e-1);
+}
+
+TEST(NelderMead, OneDimension) {
+  const auto f = [](const std::vector<double>& x) {
+    return std::cosh(x[0] - 0.7);
+  };
+  const auto res = nelder_mead(f, {5.0}, {1.0});
+  EXPECT_NEAR(res.x[0], 0.7, 1e-3);
+}
+
+TEST(NelderMead, RejectsDimensionMismatch) {
+  const auto f = [](const std::vector<double>& x) { return x[0]; };
+  EXPECT_THROW(nelder_mead(f, {0.0, 1.0}, {0.5}), std::invalid_argument);
+  EXPECT_THROW(nelder_mead(f, {}, {}), std::invalid_argument);
+}
+
+TEST(NelderMead, ReportsIterationsAndValue) {
+  const auto f = [](const std::vector<double>& x) { return x[0] * x[0] + 4.0; };
+  const auto res = nelder_mead(f, {3.0}, {1.0});
+  EXPECT_GT(res.iterations, 0);
+  EXPECT_NEAR(res.value, 4.0, 1e-6);
+}
+
+}  // namespace

@@ -1,0 +1,65 @@
+#include "apps/projection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace {
+
+using san::apps::degree_bounded_undirected;
+using san::graph::CsrGraph;
+using san::graph::NodeId;
+
+TEST(Projection, SymmetricOutput) {
+  const std::vector<std::pair<NodeId, NodeId>> edges = {{0, 1}, {2, 1}, {2, 3}};
+  const auto g = degree_bounded_undirected(CsrGraph::from_edges(4, edges), 100);
+  for (NodeId u = 0; u < 4; ++u) {
+    for (const NodeId v : g.out(u)) {
+      EXPECT_TRUE(g.has_edge(v, u)) << u << "->" << v;
+    }
+  }
+  EXPECT_EQ(g.edge_count(), 6u);  // 3 undirected links, both directions
+}
+
+TEST(Projection, ReciprocalPairBecomesOneLink) {
+  const std::vector<std::pair<NodeId, NodeId>> edges = {{0, 1}, {1, 0}};
+  const auto g = degree_bounded_undirected(CsrGraph::from_edges(2, edges), 100);
+  EXPECT_EQ(g.edge_count(), 2u);  // single undirected link
+}
+
+TEST(Projection, DegreeBoundEnforced) {
+  // Star with 10 leaves, bound 4: hub keeps at most 4 links.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId v = 1; v <= 10; ++v) edges.emplace_back(0, v);
+  const auto g = degree_bounded_undirected(CsrGraph::from_edges(11, edges), 4);
+  EXPECT_EQ(g.out_degree(0), 4u);
+  for (NodeId v = 1; v <= 10; ++v) EXPECT_LE(g.out_degree(v), 1u);
+}
+
+TEST(Projection, BoundLargeEnoughKeepsEverything) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId v = 1; v <= 10; ++v) edges.emplace_back(0, v);
+  const auto g = degree_bounded_undirected(CsrGraph::from_edges(11, edges), 10);
+  EXPECT_EQ(g.out_degree(0), 10u);
+}
+
+TEST(Projection, ZeroBoundThrows) {
+  const auto g = CsrGraph::from_edges(2, {{std::pair<NodeId, NodeId>{0, 1}}});
+  EXPECT_THROW(degree_bounded_undirected(g, 0), std::invalid_argument);
+}
+
+TEST(Projection, DeterministicAdmission) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId v = 1; v <= 8; ++v) edges.emplace_back(0, v);
+  const auto a = degree_bounded_undirected(CsrGraph::from_edges(9, edges), 3);
+  const auto b = degree_bounded_undirected(CsrGraph::from_edges(9, edges), 3);
+  ASSERT_EQ(a.out_degree(0), b.out_degree(0));
+  const auto sa = a.out(0);
+  const auto sb = b.out(0);
+  EXPECT_TRUE(std::equal(sa.begin(), sa.end(), sb.begin()));
+}
+
+}  // namespace

@@ -1,0 +1,146 @@
+// Cross-cutting property tests: invariants that must hold on *generated*
+// networks of any seed — snapshot monotonicity, CSR/Digraph agreement,
+// serialization round trips, metric identities.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "crawl/gplus_synth.hpp"
+#include "graph/clustering.hpp"
+#include "graph/csr.hpp"
+#include "graph/metrics.hpp"
+#include "graph/wcc.hpp"
+#include "model/generator.hpp"
+#include "san/serialization.hpp"
+#include "san/snapshot.hpp"
+
+namespace {
+
+using san::SocialAttributeNetwork;
+using san::snapshot_at;
+using san::snapshot_full;
+
+class GeneratedNetworkProperties : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  SocialAttributeNetwork make() const {
+    san::model::GeneratorParams params;
+    params.social_node_count = 2'000;
+    params.seed = GetParam();
+    return san::model::generate_san(params);
+  }
+};
+
+TEST_P(GeneratedNetworkProperties, SnapshotsGrowMonotonically) {
+  const auto net = make();
+  const double horizon = static_cast<double>(net.social_node_count());
+  std::size_t prev_nodes = 0;
+  std::uint64_t prev_links = 0, prev_alinks = 0;
+  for (double t = horizon / 8; t <= horizon; t += horizon / 8) {
+    const auto snap = snapshot_at(net, t);
+    EXPECT_GE(snap.social_node_count(), prev_nodes);
+    EXPECT_GE(snap.social_link_count(), prev_links);
+    EXPECT_GE(snap.attribute_link_count, prev_alinks);
+    prev_nodes = snap.social_node_count();
+    prev_links = snap.social_link_count();
+    prev_alinks = snap.attribute_link_count;
+  }
+  EXPECT_EQ(prev_nodes, net.social_node_count());
+  EXPECT_EQ(prev_links, net.social_link_count());
+}
+
+TEST_P(GeneratedNetworkProperties, CsrAgreesWithDigraph) {
+  const auto net = make();
+  const auto csr = san::graph::CsrGraph::from_digraph(net.social());
+  ASSERT_EQ(csr.node_count(), net.social_node_count());
+  ASSERT_EQ(csr.edge_count(), net.social_link_count());
+  for (san::NodeId u = 0; u < csr.node_count(); u += 37) {
+    EXPECT_EQ(csr.out_degree(u), net.social().out_degree(u));
+    EXPECT_EQ(csr.in_degree(u), net.social().in_degree(u));
+    for (const san::NodeId v : csr.out(u)) {
+      EXPECT_TRUE(net.social().has_edge(u, v));
+    }
+  }
+}
+
+TEST_P(GeneratedNetworkProperties, SerializationRoundTrip) {
+  const auto net = make();
+  std::stringstream buffer;
+  save_san(net, buffer);
+  const auto loaded = san::load_san(buffer);
+  EXPECT_EQ(loaded.social_node_count(), net.social_node_count());
+  EXPECT_EQ(loaded.social_link_count(), net.social_link_count());
+  EXPECT_EQ(loaded.attribute_node_count(), net.attribute_node_count());
+  EXPECT_EQ(loaded.attribute_link_count(), net.attribute_link_count());
+  // Metrics computed on the round-tripped network are identical.
+  const auto a = snapshot_full(net);
+  const auto b = snapshot_full(loaded);
+  EXPECT_DOUBLE_EQ(san::graph::reciprocity(a.social),
+                   san::graph::reciprocity(b.social));
+  EXPECT_DOUBLE_EQ(san::graph::assortativity(a.social),
+                   san::graph::assortativity(b.social));
+}
+
+TEST_P(GeneratedNetworkProperties, MetricBounds) {
+  const auto snap = snapshot_full(make());
+  const double r = san::graph::reciprocity(snap.social);
+  EXPECT_GE(r, 0.0);
+  EXPECT_LE(r, 1.0);
+  const double assort = san::graph::assortativity(snap.social);
+  EXPECT_GE(assort, -1.0);
+  EXPECT_LE(assort, 1.0);
+  san::graph::ClusteringOptions cc;
+  cc.epsilon = 0.02;
+  const double c = san::graph::approx_average_clustering(snap.social, cc);
+  EXPECT_GE(c, 0.0);
+  EXPECT_LE(c, 1.0);
+}
+
+TEST_P(GeneratedNetworkProperties, GeneratedNetworkIsOneWeakComponent) {
+  // Every node issues a first link toward the existing network, so the
+  // generated SAN is (weakly) connected.
+  const auto snap = snapshot_full(make());
+  const auto wcc = san::graph::weakly_connected_components(snap.social);
+  EXPECT_EQ(wcc.sizes[wcc.largest()], snap.social_node_count());
+}
+
+TEST_P(GeneratedNetworkProperties, AttributeMembershipConsistent) {
+  const auto net = make();
+  // members_of and attributes_of are inverse relations.
+  for (std::size_t a = 0; a < net.attribute_node_count(); a += 7) {
+    for (const san::NodeId u : net.members_of(static_cast<san::AttrId>(a))) {
+      EXPECT_TRUE(net.has_attribute(u, static_cast<san::AttrId>(a)));
+    }
+  }
+  std::uint64_t total = 0;
+  for (std::size_t u = 0; u < net.social_node_count(); ++u) {
+    total += net.attributes_of(static_cast<san::NodeId>(u)).size();
+  }
+  EXPECT_EQ(total, net.attribute_link_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratedNetworkProperties,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+class CrawlNetworkProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CrawlNetworkProperties, TimestampsWithinWindowAndConsistent) {
+  san::crawl::SyntheticGplusParams params;
+  params.total_social_nodes = 3'000;
+  params.seed = GetParam();
+  const auto net = san::crawl::generate_synthetic_gplus(params);
+  for (const auto& e : net.social_log()) {
+    EXPECT_GE(e.time, 0.0);
+    EXPECT_LE(e.time, params.days + 1.0);
+    // Links never predate their endpoints.
+    EXPECT_GE(e.time, net.social_node_time(e.src));
+    EXPECT_GE(e.time, net.social_node_time(e.dst));
+  }
+  for (const auto& link : net.attribute_log()) {
+    EXPECT_GE(link.time, net.social_node_time(link.user));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrawlNetworkProperties,
+                         ::testing::Values(101u, 202u, 303u));
+
+}  // namespace

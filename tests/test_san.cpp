@@ -1,0 +1,133 @@
+#include "san/san.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using san::AttrId;
+using san::AttributeType;
+using san::NodeId;
+using san::SocialAttributeNetwork;
+
+SocialAttributeNetwork figure1_san() {
+  // The example SAN of Fig 1: six social nodes, four attribute nodes.
+  SocialAttributeNetwork net;
+  for (int i = 0; i < 6; ++i) net.add_social_node(0.0);
+  const AttrId sf = net.add_attribute_node(AttributeType::kCity, "San Francisco");
+  const AttrId cal = net.add_attribute_node(AttributeType::kSchool, "UC Berkeley");
+  const AttrId cs = net.add_attribute_node(AttributeType::kMajor, "Computer Science");
+  const AttrId goog = net.add_attribute_node(AttributeType::kEmployer, "Google Inc.");
+  net.add_attribute_link(0, sf);
+  net.add_attribute_link(1, sf);
+  net.add_attribute_link(1, cal);
+  net.add_attribute_link(2, cal);
+  net.add_attribute_link(3, cs);
+  net.add_attribute_link(4, cs);
+  net.add_attribute_link(4, goog);
+  net.add_attribute_link(5, goog);
+  net.add_social_link(0, 2);
+  net.add_social_link(2, 1);
+  net.add_social_link(3, 2);
+  net.add_social_link(3, 4);
+  net.add_social_link(5, 4);
+  net.add_social_link(4, 5);
+  return net;
+}
+
+TEST(San, Counts) {
+  const auto net = figure1_san();
+  EXPECT_EQ(net.social_node_count(), 6u);
+  EXPECT_EQ(net.attribute_node_count(), 4u);
+  EXPECT_EQ(net.social_link_count(), 6u);
+  EXPECT_EQ(net.attribute_link_count(), 8u);
+}
+
+TEST(San, AttributeNeighborsSorted) {
+  const auto net = figure1_san();
+  const auto attrs = net.attributes_of(1);
+  ASSERT_EQ(attrs.size(), 2u);
+  EXPECT_LT(attrs[0], attrs[1]);
+}
+
+TEST(San, MembersTrackDeclaringUsers) {
+  const auto net = figure1_san();
+  const auto members = net.members_of(0);  // San Francisco
+  ASSERT_EQ(members.size(), 2u);
+  EXPECT_EQ(members[0], 0u);
+  EXPECT_EQ(members[1], 1u);
+}
+
+TEST(San, HasAttribute) {
+  const auto net = figure1_san();
+  EXPECT_TRUE(net.has_attribute(0, 0));
+  EXPECT_FALSE(net.has_attribute(0, 3));
+}
+
+TEST(San, CommonAttributes) {
+  const auto net = figure1_san();
+  EXPECT_EQ(net.common_attributes(0, 1), 1u);  // San Francisco
+  EXPECT_EQ(net.common_attributes(3, 4), 1u);  // Computer Science
+  EXPECT_EQ(net.common_attributes(0, 5), 0u);
+  EXPECT_EQ(net.common_attributes(4, 4), 2u);  // with itself: all attributes
+}
+
+TEST(San, DuplicateAttributeLinkRejected) {
+  auto net = figure1_san();
+  EXPECT_FALSE(net.add_attribute_link(0, 0));
+  EXPECT_EQ(net.attribute_link_count(), 8u);
+}
+
+TEST(San, DuplicateSocialLinkRejected) {
+  auto net = figure1_san();
+  EXPECT_FALSE(net.add_social_link(0, 2));
+  EXPECT_TRUE(net.add_social_link(2, 0));  // reverse direction is new
+}
+
+TEST(San, AttributeMetadata) {
+  const auto net = figure1_san();
+  EXPECT_EQ(net.attribute_type(3), AttributeType::kEmployer);
+  EXPECT_EQ(net.attribute_name(3), "Google Inc.");
+}
+
+TEST(San, TypeNames) {
+  EXPECT_EQ(to_string(AttributeType::kSchool), "School");
+  EXPECT_EQ(to_string(AttributeType::kMajor), "Major");
+  EXPECT_EQ(to_string(AttributeType::kEmployer), "Employer");
+  EXPECT_EQ(to_string(AttributeType::kCity), "City");
+  EXPECT_EQ(to_string(AttributeType::kOther), "Other");
+}
+
+TEST(San, JoinTimesMustBeMonotone) {
+  SocialAttributeNetwork net;
+  net.add_social_node(5.0);
+  EXPECT_THROW(net.add_social_node(4.0), std::invalid_argument);
+  EXPECT_NO_THROW(net.add_social_node(5.0));
+}
+
+TEST(San, UnknownIdsThrow) {
+  auto net = figure1_san();
+  EXPECT_THROW((void)net.attributes_of(99), std::out_of_range);
+  EXPECT_THROW((void)net.members_of(99), std::out_of_range);
+  EXPECT_THROW(net.add_attribute_link(99, 0), std::out_of_range);
+  EXPECT_THROW(net.add_attribute_link(0, 99), std::out_of_range);
+  EXPECT_THROW((void)net.attribute_type(99), std::out_of_range);
+  EXPECT_THROW((void)net.social_node_time(99), std::out_of_range);
+}
+
+TEST(San, LogsPreserveOrderAndTimes) {
+  SocialAttributeNetwork net;
+  net.add_social_node(1.0);
+  net.add_social_node(2.0);
+  const AttrId a = net.add_attribute_node(AttributeType::kOther, "g", 1.5);
+  net.add_social_link(0, 1, 2.5);
+  net.add_attribute_link(1, a, 3.0);
+  ASSERT_EQ(net.social_log().size(), 1u);
+  EXPECT_EQ(net.social_log()[0].src, 0u);
+  EXPECT_EQ(net.social_log()[0].dst, 1u);
+  EXPECT_DOUBLE_EQ(net.social_log()[0].time, 2.5);
+  ASSERT_EQ(net.attribute_log().size(), 1u);
+  EXPECT_DOUBLE_EQ(net.attribute_log()[0].time, 3.0);
+  EXPECT_DOUBLE_EQ(net.attribute_node_time(a), 1.5);
+}
+
+}  // namespace

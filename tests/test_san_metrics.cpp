@@ -1,0 +1,147 @@
+#include "san/san_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "san/san.hpp"
+#include "san/snapshot.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using san::AttrId;
+using san::AttributeType;
+using san::NodeId;
+using san::SocialAttributeNetwork;
+using san::snapshot_full;
+
+/// Two attribute communities over a small social graph: a fully meshed
+/// "Employer" community {0,1,2} and an unconnected "City" community {3,4,5}.
+SocialAttributeNetwork community_san() {
+  SocialAttributeNetwork net;
+  for (int i = 0; i < 6; ++i) net.add_social_node(0.0);
+  const AttrId emp = net.add_attribute_node(AttributeType::kEmployer, "G");
+  const AttrId city = net.add_attribute_node(AttributeType::kCity, "SF");
+  for (NodeId u : {0u, 1u, 2u}) net.add_attribute_link(u, emp);
+  for (NodeId u : {3u, 4u, 5u}) net.add_attribute_link(u, city);
+  // Employer community fully (reciprocally) meshed.
+  for (NodeId u : {0u, 1u, 2u}) {
+    for (NodeId v : {0u, 1u, 2u}) {
+      if (u != v) net.add_social_link(u, v);
+    }
+  }
+  // City members connected only to the employer community, not each other.
+  net.add_social_link(3, 0);
+  net.add_social_link(4, 1);
+  net.add_social_link(5, 2);
+  return net;
+}
+
+TEST(AttrMetrics, Density) {
+  const auto snap = snapshot_full(community_san());
+  // 6 attribute links over 2 populated attribute nodes.
+  EXPECT_DOUBLE_EQ(attribute_density(snap), 3.0);
+}
+
+TEST(AttrMetrics, DensityIgnoresEmptyAttributes) {
+  auto net = community_san();
+  net.add_attribute_node(AttributeType::kMajor, "unused");
+  const auto snap = snapshot_full(net);
+  EXPECT_DOUBLE_EQ(attribute_density(snap), 3.0);
+}
+
+TEST(AttrMetrics, AttributeDegreeHistogramIncludesZeros) {
+  auto net = community_san();
+  net.add_social_node(0.0);  // user without attributes
+  const auto hist = attribute_degree_histogram(snapshot_full(net));
+  EXPECT_EQ(hist.total, 7u);
+  EXPECT_EQ(hist.bins.front().first, 0u);
+  EXPECT_EQ(hist.bins.front().second, 1u);
+}
+
+TEST(AttrMetrics, AttributeSocialDegreeHistogramSkipsEmpty) {
+  auto net = community_san();
+  net.add_attribute_node(AttributeType::kMajor, "unused");
+  const auto hist = attribute_social_degree_histogram(snapshot_full(net));
+  EXPECT_EQ(hist.total, 2u);
+  EXPECT_EQ(hist.bins.front().first, 3u);  // both attributes have 3 members
+}
+
+TEST(AttrMetrics, AverageAttributeClusteringSeparatesCommunities) {
+  const auto snap = snapshot_full(community_san());
+  san::graph::ClusteringOptions options;
+  options.epsilon = 0.01;
+  // Employer community: c = 1; City community: c = 0 -> average 0.5.
+  EXPECT_NEAR(average_attribute_clustering(snap, options), 0.5, 0.03);
+}
+
+TEST(AttrMetrics, ClusteringByDegreeBuckets) {
+  const auto snap = snapshot_full(community_san());
+  const auto points = attribute_clustering_by_degree(snap, 64, 1);
+  ASSERT_EQ(points.size(), 1u);  // both attributes have social degree 3
+  EXPECT_NEAR(points[0].first, 3.0, 1e-9);
+  EXPECT_NEAR(points[0].second, 0.5, 0.1);
+}
+
+TEST(AttrMetrics, AttributeKnn) {
+  const auto snap = snapshot_full(community_san());
+  const auto knn = attribute_knn(snap);
+  ASSERT_EQ(knn.size(), 1u);
+  EXPECT_EQ(knn[0].first, 3u);      // social degree of both attributes
+  EXPECT_DOUBLE_EQ(knn[0].second, 1.0);  // every member has 1 attribute
+}
+
+TEST(AttrMetrics, AttributeAssortativityZeroWhenDegenerate) {
+  // All attribute nodes same social degree -> zero variance -> r = 0.
+  const auto snap = snapshot_full(community_san());
+  EXPECT_DOUBLE_EQ(attribute_assortativity(snap), 0.0);
+}
+
+TEST(AttrMetrics, AttributeAssortativitySign) {
+  // Large attribute whose members have few attributes vs small attribute
+  // whose members have many -> negative correlation.
+  SocialAttributeNetwork net;
+  for (int i = 0; i < 8; ++i) net.add_social_node(0.0);
+  const AttrId big = net.add_attribute_node(AttributeType::kCity, "big");
+  const AttrId s1 = net.add_attribute_node(AttributeType::kEmployer, "s1");
+  const AttrId s2 = net.add_attribute_node(AttributeType::kSchool, "s2");
+  const AttrId s3 = net.add_attribute_node(AttributeType::kMajor, "s3");
+  for (NodeId u = 0; u < 6; ++u) net.add_attribute_link(u, big);
+  // Two users share three niche attributes each.
+  for (const AttrId a : {s1, s2, s3}) {
+    net.add_attribute_link(6, a);
+    net.add_attribute_link(7, a);
+  }
+  const double r = attribute_assortativity(snapshot_full(net));
+  EXPECT_LT(r, -0.5);
+}
+
+TEST(AttrMetrics, AttributeEffectiveDiameter) {
+  // Employer and City communities sit one hop apart (via 3->0 etc.):
+  // dist(city, emp) = min over member pairs + 1 = 0 + 1... members overlap?
+  // No overlap; city members link into employer members directly, so the
+  // minimum distance is 1 and the attribute distance is 2.
+  const auto snap = snapshot_full(community_san());
+  san::stats::Rng rng(3);
+  const double d = attribute_effective_diameter(snap, 8, rng);
+  EXPECT_GE(d, 1.0);
+  EXPECT_LE(d, 2.0);
+}
+
+TEST(AttrMetrics, SocialEffectiveDiameterSampled) {
+  const auto snap = snapshot_full(community_san());
+  san::stats::Rng rng(5);
+  const double d = social_effective_diameter_sampled(snap, 6, rng);
+  EXPECT_GT(d, 0.0);
+  EXPECT_LE(d, 3.0);
+}
+
+TEST(AttrMetrics, EmptySnapshotSafe) {
+  const SocialAttributeNetwork net;
+  const auto snap = snapshot_full(net);
+  EXPECT_DOUBLE_EQ(attribute_density(snap), 0.0);
+  san::stats::Rng rng(1);
+  EXPECT_DOUBLE_EQ(attribute_effective_diameter(snap, 4, rng), 0.0);
+  EXPECT_TRUE(attribute_knn(snap).empty());
+}
+
+}  // namespace

@@ -1,0 +1,99 @@
+#include "san/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "san/san.hpp"
+
+namespace {
+
+using san::AttributeType;
+using san::SocialAttributeNetwork;
+using san::snapshot_at;
+using san::snapshot_full;
+
+SocialAttributeNetwork evolving_san() {
+  SocialAttributeNetwork net;
+  net.add_social_node(1.0);  // 0
+  net.add_social_node(1.0);  // 1
+  net.add_social_node(2.0);  // 2
+  net.add_social_node(3.0);  // 3
+  const auto a = net.add_attribute_node(AttributeType::kCity, "SF", 1.0);
+  const auto b = net.add_attribute_node(AttributeType::kEmployer, "G", 2.0);
+  net.add_social_link(0, 1, 1.0);
+  net.add_social_link(1, 2, 2.0);
+  net.add_social_link(2, 3, 3.0);
+  net.add_social_link(3, 0, 3.5);
+  net.add_attribute_link(0, a, 1.0);
+  net.add_attribute_link(2, b, 2.0);
+  net.add_attribute_link(3, b, 3.0);
+  return net;
+}
+
+TEST(Snapshot, MidTimeRestrictsNodesAndLinks) {
+  const auto net = evolving_san();
+  const auto snap = snapshot_at(net, 2.0);
+  EXPECT_EQ(snap.social_node_count(), 3u);  // nodes joined at t <= 2
+  EXPECT_EQ(snap.social_link_count(), 2u);
+  EXPECT_EQ(snap.attribute_link_count, 2u);
+  EXPECT_EQ(snap.populated_attribute_count(), 2u);
+  EXPECT_TRUE(snap.social.has_edge(0, 1));
+  EXPECT_TRUE(snap.social.has_edge(1, 2));
+}
+
+TEST(Snapshot, EarlyTime) {
+  const auto net = evolving_san();
+  const auto snap = snapshot_at(net, 1.0);
+  EXPECT_EQ(snap.social_node_count(), 2u);
+  EXPECT_EQ(snap.social_link_count(), 1u);
+  EXPECT_EQ(snap.attribute_link_count, 1u);
+  EXPECT_EQ(snap.populated_attribute_count(), 1u);
+}
+
+TEST(Snapshot, FullMatchesNetwork) {
+  const auto net = evolving_san();
+  const auto snap = snapshot_full(net);
+  EXPECT_EQ(snap.social_node_count(), net.social_node_count());
+  EXPECT_EQ(snap.social_link_count(), net.social_link_count());
+  EXPECT_EQ(snap.attribute_link_count, net.attribute_link_count());
+}
+
+TEST(Snapshot, BeforeAnyNode) {
+  const auto net = evolving_san();
+  const auto snap = snapshot_at(net, 0.5);
+  EXPECT_EQ(snap.social_node_count(), 0u);
+  EXPECT_EQ(snap.social_link_count(), 0u);
+}
+
+TEST(Snapshot, AttributesSortedPerUser) {
+  auto net = evolving_san();
+  const auto c = net.add_attribute_node(AttributeType::kMajor, "CS", 3.0);
+  net.add_attribute_link(3, c, 3.6);
+  const auto snap = snapshot_full(net);
+  const auto& attrs = snap.attributes[3];
+  ASSERT_EQ(attrs.size(), 2u);
+  EXPECT_LT(attrs[0], attrs[1]);
+}
+
+TEST(Snapshot, CommonAttributesMatchesNetwork) {
+  const auto net = evolving_san();
+  const auto snap = snapshot_full(net);
+  EXPECT_EQ(snap.common_attributes(2, 3), net.common_attributes(2, 3));
+  EXPECT_EQ(snap.common_attributes(0, 2), 0u);
+}
+
+TEST(Snapshot, TypesCarriedOver) {
+  const auto net = evolving_san();
+  const auto snap = snapshot_full(net);
+  ASSERT_EQ(snap.attribute_types.size(), 2u);
+  EXPECT_EQ(snap.attribute_types[0], AttributeType::kCity);
+  EXPECT_EQ(snap.attribute_types[1], AttributeType::kEmployer);
+}
+
+TEST(Snapshot, MembersMatchAttributeLinks) {
+  const auto net = evolving_san();
+  const auto snap = snapshot_at(net, 2.5);
+  EXPECT_EQ(snap.members[1].size(), 1u);  // only node 2 had B by then
+  EXPECT_EQ(snap.members[1][0], 2u);
+}
+
+}  // namespace

@@ -1,0 +1,77 @@
+#include "model/theory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/distributions.hpp"
+
+namespace {
+
+using san::model::lifetime_for_outdegree;
+using san::model::new_attribute_probability_for_exponent;
+using san::model::predicted_attribute_powerlaw_exponent;
+using san::model::predicted_outdegree_lognormal;
+using san::stats::TruncatedNormal;
+
+TEST(Theorem1, FormulaMatchesDefinition) {
+  const double mu_l = 1.8, sigma_l = 1.0, ms = 1.0;
+  const double gamma = -mu_l / sigma_l;
+  const auto pred = predicted_outdegree_lognormal(mu_l, sigma_l, ms);
+  EXPECT_NEAR(pred.mu, (mu_l + sigma_l * TruncatedNormal::g(gamma)) / ms, 1e-12);
+  EXPECT_NEAR(pred.sigma * pred.sigma,
+              sigma_l * sigma_l * (1.0 - TruncatedNormal::delta(gamma)) / (ms * ms),
+              1e-12);
+}
+
+TEST(Theorem1, MuEqualsTruncatedMeanOverMs) {
+  // The predicted lognormal mu is exactly E[lifetime] / ms.
+  const TruncatedNormal lt(2.5, 1.5);
+  const auto pred = predicted_outdegree_lognormal(2.5, 1.5, 2.0);
+  EXPECT_NEAR(pred.mu, lt.mean() / 2.0, 1e-12);
+  EXPECT_NEAR(pred.sigma, std::sqrt(lt.variance()) / 2.0, 1e-12);
+}
+
+TEST(Theorem1, RejectsBadArguments) {
+  EXPECT_THROW(predicted_outdegree_lognormal(1.0, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(predicted_outdegree_lognormal(1.0, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Theorem2, ExponentFormula) {
+  EXPECT_DOUBLE_EQ(predicted_attribute_powerlaw_exponent(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(predicted_attribute_powerlaw_exponent(0.5), 3.0);
+  EXPECT_NEAR(predicted_attribute_powerlaw_exponent(0.05), 2.0526, 1e-3);
+}
+
+TEST(Theorem2, InverseRoundTrip) {
+  for (const double p : {0.05, 0.2, 0.4, 0.6}) {
+    const double alpha = predicted_attribute_powerlaw_exponent(p);
+    EXPECT_NEAR(new_attribute_probability_for_exponent(alpha), p, 1e-12);
+  }
+}
+
+TEST(Theorem2, RejectsBadArguments) {
+  EXPECT_THROW(predicted_attribute_powerlaw_exponent(-0.1), std::invalid_argument);
+  EXPECT_THROW(predicted_attribute_powerlaw_exponent(1.0), std::invalid_argument);
+  EXPECT_THROW(new_attribute_probability_for_exponent(2.0), std::invalid_argument);
+}
+
+TEST(LifetimeInversion, RoundTripsThroughTheorem1) {
+  for (const double ms : {0.5, 1.0, 2.0}) {
+    for (const double mu_t : {1.2, 1.8, 2.4}) {
+      for (const double sigma_t : {0.6, 1.0}) {
+        const auto lt = lifetime_for_outdegree(mu_t, sigma_t, ms);
+        const auto pred = predicted_outdegree_lognormal(lt.mu_l, lt.sigma_l, ms);
+        EXPECT_NEAR(pred.mu, mu_t, 1e-4) << "ms=" << ms;
+        EXPECT_NEAR(pred.sigma, sigma_t, 1e-4);
+      }
+    }
+  }
+}
+
+TEST(LifetimeInversion, RejectsBadTargets) {
+  EXPECT_THROW(lifetime_for_outdegree(1.0, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(lifetime_for_outdegree(1.0, 1.0, -1.0), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "graph/bfs.hpp"
+#include "graph/csr.hpp"
+#include "graph/wcc.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using san::graph::bfs_distances;
+using san::graph::bfs_distances_multi;
+using san::graph::CsrGraph;
+using san::graph::Direction;
+using san::graph::interpolated_quantile;
+using san::graph::kUnreachable;
+using san::graph::NodeId;
+using san::graph::sampled_distance_histogram;
+using san::graph::weakly_connected_components;
+
+CsrGraph path_graph(std::size_t n) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId u = 0; u + 1 < n; ++u) edges.emplace_back(u, u + 1);
+  return CsrGraph::from_edges(n, edges);
+}
+
+TEST(Wcc, SingleComponent) {
+  const auto g = path_graph(10);
+  const auto wcc = weakly_connected_components(g);
+  EXPECT_EQ(wcc.component_count(), 1u);
+  EXPECT_EQ(wcc.sizes[0], 10u);
+}
+
+TEST(Wcc, DirectionIgnored) {
+  // Directed edges in alternating directions still form one weak component.
+  const std::vector<std::pair<NodeId, NodeId>> edges = {{1, 0}, {1, 2}, {3, 2}};
+  const auto wcc = weakly_connected_components(CsrGraph::from_edges(4, edges));
+  EXPECT_EQ(wcc.component_count(), 1u);
+}
+
+TEST(Wcc, MultipleComponentsAndLargest) {
+  const std::vector<std::pair<NodeId, NodeId>> edges = {{0, 1}, {1, 2}, {4, 5}};
+  const auto wcc = weakly_connected_components(CsrGraph::from_edges(7, edges));
+  EXPECT_EQ(wcc.component_count(), 4u);  // {0,1,2}, {3}, {4,5}, {6}
+  EXPECT_EQ(wcc.sizes[wcc.largest()], 3u);
+  EXPECT_EQ(wcc.component[0], wcc.component[2]);
+  EXPECT_NE(wcc.component[0], wcc.component[3]);
+}
+
+TEST(Wcc, EmptyGraphHasNoComponents) {
+  const auto wcc = weakly_connected_components(CsrGraph::from_edges(0, {}));
+  EXPECT_EQ(wcc.component_count(), 0u);
+  EXPECT_THROW((void)wcc.largest(), std::out_of_range);
+}
+
+TEST(Bfs, PathDistances) {
+  const auto g = path_graph(6);
+  const auto dist = bfs_distances(g, 0, Direction::kOut);
+  for (NodeId u = 0; u < 6; ++u) EXPECT_EQ(dist[u], u);
+}
+
+TEST(Bfs, RespectsDirection) {
+  const auto g = path_graph(4);
+  const auto out = bfs_distances(g, 3, Direction::kOut);
+  EXPECT_EQ(out[0], kUnreachable);
+  const auto in = bfs_distances(g, 3, Direction::kIn);
+  EXPECT_EQ(in[0], 3u);
+}
+
+TEST(Bfs, MultiSourceTakesNearest) {
+  const auto g = path_graph(10);
+  const std::vector<NodeId> sources = {0, 9};
+  const auto dist = bfs_distances_multi(g, sources, Direction::kOut);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[9], 0u);
+  EXPECT_EQ(dist[5], 5u);  // only reachable from 0 (edges point forward)
+}
+
+TEST(Bfs, UnknownSourceThrows) {
+  const auto g = path_graph(3);
+  EXPECT_THROW(bfs_distances(g, 7), std::out_of_range);
+}
+
+TEST(Bfs, SampledHistogramOnCycle) {
+  // Directed cycle of length 5: every BFS sees one node at each distance
+  // 1..4.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId u = 0; u < 5; ++u) edges.emplace_back(u, (u + 1) % 5);
+  const auto g = CsrGraph::from_edges(5, edges);
+  san::stats::Rng rng(1);
+  const auto hist = sampled_distance_histogram(g, 10, rng);
+  ASSERT_EQ(hist.size(), 5u);
+  EXPECT_EQ(hist[0], 0u);
+  for (std::size_t d = 1; d <= 4; ++d) EXPECT_EQ(hist[d], 10u);
+}
+
+TEST(InterpolatedQuantile, ExactAndInterpolated) {
+  // 10 pairs at distance 1, 10 at distance 2.
+  const std::vector<std::uint64_t> hist = {0, 10, 10};
+  EXPECT_NEAR(interpolated_quantile(hist, 0.5), 1.0, 1e-9);
+  EXPECT_NEAR(interpolated_quantile(hist, 0.75), 1.5, 1e-9);
+  EXPECT_NEAR(interpolated_quantile(hist, 1.0), 2.0, 1e-9);
+}
+
+TEST(InterpolatedQuantile, EdgeCases) {
+  EXPECT_EQ(interpolated_quantile(std::vector<std::uint64_t>{}, 0.9), 0.0);
+  EXPECT_THROW(interpolated_quantile(std::vector<std::uint64_t>{1}, 1.5),
+               std::invalid_argument);
+}
+
+TEST(InterpolatedQuantile, MonotoneInQ) {
+  const std::vector<std::uint64_t> hist = {0, 5, 20, 40, 10, 2};
+  double prev = 0.0;
+  for (double q = 0.1; q <= 1.0; q += 0.1) {
+    const double v = interpolated_quantile(hist, q);
+    EXPECT_GE(v, prev - 1e-12);
+    prev = v;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,62 @@
+#include "stats/zeta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using san::stats::hurwitz_zeta;
+using san::stats::riemann_zeta;
+
+TEST(Zeta, RiemannKnownValues) {
+  EXPECT_NEAR(riemann_zeta(2.0), M_PI * M_PI / 6.0, 1e-10);
+  EXPECT_NEAR(riemann_zeta(4.0), std::pow(M_PI, 4) / 90.0, 1e-10);
+}
+
+TEST(Zeta, HurwitzMatchesDirectSummation) {
+  for (const double s : {1.5, 2.0, 2.5, 3.5}) {
+    for (const double q : {1.0, 2.0, 5.0, 10.0}) {
+      long double direct = 0.0L;
+      constexpr int kTerms = 2'000'000;
+      for (int n = 0; n < kTerms; ++n) {
+        direct += std::pow(static_cast<long double>(n) + q, -s);
+      }
+      // Analytic tail of the truncated direct sum.
+      direct += std::pow(static_cast<long double>(kTerms) + q, 1.0L - s) / (s - 1.0L);
+      EXPECT_NEAR(hurwitz_zeta(s, q), static_cast<double>(direct), 1e-6)
+          << "s=" << s << " q=" << q;
+    }
+  }
+}
+
+TEST(Zeta, ShiftIdentity) {
+  // zeta(s, q) = q^{-s} + zeta(s, q + 1).
+  for (const double s : {1.8, 2.2, 3.0}) {
+    for (const double q : {1.0, 3.0, 7.5}) {
+      EXPECT_NEAR(hurwitz_zeta(s, q),
+                  std::pow(q, -s) + hurwitz_zeta(s, q + 1.0), 1e-10);
+    }
+  }
+}
+
+TEST(Zeta, MonotoneDecreasingInQ) {
+  EXPECT_GT(hurwitz_zeta(2.5, 1.0), hurwitz_zeta(2.5, 2.0));
+  EXPECT_GT(hurwitz_zeta(2.5, 2.0), hurwitz_zeta(2.5, 10.0));
+}
+
+TEST(Zeta, RejectsInvalidArguments) {
+  EXPECT_THROW(hurwitz_zeta(1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(hurwitz_zeta(0.5, 1.0), std::invalid_argument);
+  EXPECT_THROW(hurwitz_zeta(2.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(hurwitz_zeta(2.0, -1.0), std::invalid_argument);
+}
+
+TEST(Zeta, LargeExponentMatchesLeadingTerms) {
+  // For large s the first few terms dominate: compare against a 50-term sum.
+  double lead = 0.0;
+  for (int n = 0; n < 50; ++n) lead += std::pow(2.0 + n, -7.5);
+  EXPECT_NEAR(hurwitz_zeta(7.5, 2.0), lead, 1e-10);
+}
+
+}  // namespace

@@ -1,0 +1,126 @@
+// Zhel baseline model tests: the contrast the paper draws in Figs 16-17 is
+// that Zhel produces power-law social degrees and non-lognormal attribute
+// degrees.
+#include "model/zhel.hpp"
+
+#include "model/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/metrics.hpp"
+#include "san/san_metrics.hpp"
+#include "san/snapshot.hpp"
+#include "stats/fit.hpp"
+
+namespace {
+
+using san::model::generate_zhel;
+using san::model::ZhelParams;
+
+TEST(Zhel, ProducesRequestedSize) {
+  ZhelParams params;
+  params.social_node_count = 2'000;
+  const auto net = generate_zhel(params);
+  EXPECT_EQ(net.social_node_count(), 2'000u);
+  EXPECT_GT(net.social_link_count(), 2'000u);
+}
+
+TEST(Zhel, Deterministic) {
+  ZhelParams params;
+  params.social_node_count = 1'000;
+  const auto a = generate_zhel(params);
+  const auto b = generate_zhel(params);
+  EXPECT_EQ(a.social_link_count(), b.social_link_count());
+  EXPECT_EQ(a.attribute_link_count(), b.attribute_link_count());
+}
+
+TEST(Zhel, MeanOutLinksApproximatelyRespected) {
+  ZhelParams params;
+  params.social_node_count = 5'000;
+  params.mean_out_links = 6.0;
+  const auto net = generate_zhel(params);
+  const double mean_out = static_cast<double>(net.social_link_count()) /
+                          static_cast<double>(net.social_node_count());
+  EXPECT_NEAR(mean_out, 6.0, 1.5);
+}
+
+TEST(Zhel, DegreeShapeContrastWithOurModel) {
+  // The contrast of Figs 16b/16f: our model's indegree is lognormal-shaped
+  // while Zhel's preferential attachment gives a cleaner power-law tail.
+  // Assert both directions of the fit-quality comparison.
+  ZhelParams zp;
+  zp.social_node_count = 20'000;
+  zp.p_triad = 0.5;
+  const auto zhel_snap = san::snapshot_full(generate_zhel(zp));
+  const auto zhel_hist = san::graph::in_degree_histogram(zhel_snap.social);
+
+  san::model::GeneratorParams gp;
+  gp.social_node_count = 20'000;
+  gp.seed = 2;
+  const auto ours_snap = san::snapshot_full(san::model::generate_san(gp));
+  const auto ours_hist = san::graph::in_degree_histogram(ours_snap.social);
+
+  const auto zhel_ln = san::stats::fit_discrete_lognormal(zhel_hist, 1);
+  const auto ours_ln = san::stats::fit_discrete_lognormal(ours_hist, 1);
+  EXPECT_LT(ours_ln.ks, zhel_ln.ks);  // lognormal fits ours better
+
+  const auto zhel_pl = san::stats::fit_power_law_scan(zhel_hist);
+  const auto ours_pl = san::stats::fit_power_law_scan(ours_hist);
+  EXPECT_LT(zhel_pl.ks, ours_pl.ks);  // power law fits Zhel better
+}
+
+TEST(Zhel, GroupsFollowSocialStructure) {
+  // p_friend_group = 1 forces every group join to copy a friend; members of
+  // a group should then share social links far more often than random.
+  ZhelParams params;
+  params.social_node_count = 3'000;
+  params.p_friend_group = 0.95;
+  params.mean_groups = 1.5;
+  const auto net = generate_zhel(params);
+  std::uint64_t friend_pairs = 0, pairs = 0;
+  for (std::size_t a = 0; a < net.attribute_node_count(); ++a) {
+    const auto members = net.members_of(static_cast<san::AttrId>(a));
+    for (std::size_t i = 0; i + 1 < members.size() && i < 5; ++i) {
+      for (std::size_t j = i + 1; j < members.size() && j < i + 5; ++j) {
+        ++pairs;
+        if (net.social().has_edge(members[i], members[j]) ||
+            net.social().has_edge(members[j], members[i])) {
+          ++friend_pairs;
+        }
+      }
+    }
+  }
+  ASSERT_GT(pairs, 100u);
+  EXPECT_GT(static_cast<double>(friend_pairs) / static_cast<double>(pairs), 0.05);
+}
+
+TEST(Zhel, ValidatesParameters) {
+  ZhelParams params;
+  params.social_node_count = 0;
+  EXPECT_THROW(generate_zhel(params), std::invalid_argument);
+  params = {};
+  params.mean_out_links = 0.0;
+  EXPECT_THROW(generate_zhel(params), std::invalid_argument);
+  params = {};
+  params.p_triad = 1.5;
+  EXPECT_THROW(generate_zhel(params), std::invalid_argument);
+  params = {};
+  params.p_new_group = 1.0;
+  EXPECT_THROW(generate_zhel(params), std::invalid_argument);
+  params = {};
+  params.init_nodes = 1;
+  EXPECT_THROW(generate_zhel(params), std::invalid_argument);
+}
+
+TEST(Zhel, AllNodesHaveAtLeastOneOutLink) {
+  ZhelParams params;
+  params.social_node_count = 2'000;
+  const auto net = generate_zhel(params);
+  std::size_t without = 0;
+  for (std::size_t u = 0; u < net.social_node_count(); ++u) {
+    if (net.social().out_degree(static_cast<san::NodeId>(u)) == 0) ++without;
+  }
+  EXPECT_LE(without, 20u);
+}
+
+}  // namespace

@@ -1,0 +1,171 @@
+// san_tool — command-line front end for the library.
+//
+//   san_tool generate --kind model|zhel|gplus --nodes N --seed S -o FILE
+//   san_tool measure FILE [--day D]
+//   san_tool crawl FILE --day D [--private P] -o FILE
+//   san_tool communities FILE [--attribute-weight W]
+//
+// Files use the SANv1 text format (san/serialization.hpp).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include "apps/community.hpp"
+#include "crawl/crawler.hpp"
+#include "crawl/gplus_synth.hpp"
+#include "graph/clustering.hpp"
+#include "graph/metrics.hpp"
+#include "model/generator.hpp"
+#include "model/zhel.hpp"
+#include "san/san_metrics.hpp"
+#include "san/serialization.hpp"
+#include "san/snapshot.hpp"
+#include "stats/fit.hpp"
+
+namespace {
+
+using namespace san;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  san_tool generate --kind model|zhel|gplus [--nodes N]"
+               " [--seed S] -o FILE\n"
+               "  san_tool measure FILE [--day D]\n"
+               "  san_tool crawl FILE --day D [--private P] -o FILE\n"
+               "  san_tool communities FILE [--attribute-weight W]\n");
+  return 2;
+}
+
+/// Minimal flag parser: returns the value following `flag`, or fallback.
+const char* flag_value(int argc, char** argv, const char* flag,
+                       const char* fallback) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+int cmd_generate(int argc, char** argv) {
+  const std::string kind = flag_value(argc, argv, "--kind", "model");
+  const auto nodes =
+      static_cast<std::size_t>(std::atol(flag_value(argc, argv, "--nodes", "20000")));
+  const auto seed =
+      static_cast<std::uint64_t>(std::atoll(flag_value(argc, argv, "--seed", "42")));
+  const char* out = flag_value(argc, argv, "-o", nullptr);
+  if (out == nullptr) return usage();
+
+  SocialAttributeNetwork net;
+  if (kind == "model") {
+    model::GeneratorParams params;
+    params.social_node_count = nodes;
+    params.seed = seed;
+    net = model::generate_san(params);
+  } else if (kind == "zhel") {
+    model::ZhelParams params;
+    params.social_node_count = nodes;
+    params.seed = seed;
+    net = model::generate_zhel(params);
+  } else if (kind == "gplus") {
+    crawl::SyntheticGplusParams params;
+    params.total_social_nodes = nodes;
+    params.seed = seed;
+    net = crawl::generate_synthetic_gplus(params);
+  } else {
+    return usage();
+  }
+  save_san(net, std::string(out));
+  std::printf("wrote %s: %zu social nodes, %llu social links, %zu attributes,"
+              " %llu attribute links\n",
+              out, net.social_node_count(),
+              static_cast<unsigned long long>(net.social_link_count()),
+              net.attribute_node_count(),
+              static_cast<unsigned long long>(net.attribute_link_count()));
+  return 0;
+}
+
+int cmd_measure(int argc, char** argv, const char* path) {
+  const double day =
+      std::atof(flag_value(argc, argv, "--day", "1e300"));
+  const auto net = load_san(path);
+  const auto snap = day >= 1e300 ? snapshot_full(net) : snapshot_at(net, day);
+
+  std::printf("social nodes:        %zu\n", snap.social_node_count());
+  std::printf("attribute nodes:     %zu (populated %zu)\n",
+              snap.attribute_node_count(), snap.populated_attribute_count());
+  std::printf("social links:        %llu\n",
+              static_cast<unsigned long long>(snap.social_link_count()));
+  std::printf("attribute links:     %llu\n",
+              static_cast<unsigned long long>(snap.attribute_link_count));
+  std::printf("reciprocity:         %.4f\n", graph::reciprocity(snap.social));
+  std::printf("social density:      %.3f\n", graph::density(snap.social));
+  std::printf("attribute density:   %.3f\n", attribute_density(snap));
+  std::printf("assortativity:       %+.4f\n", graph::assortativity(snap.social));
+
+  graph::ClusteringOptions cc;
+  cc.epsilon = 0.01;
+  std::printf("social clustering:   %.4f\n",
+              graph::approx_average_clustering(snap.social, cc));
+  std::printf("attribute clustering:%.4f\n", average_attribute_clustering(snap, cc));
+
+  if (snap.social_link_count() > 100) {
+    const auto out_sel =
+        stats::select_degree_model(graph::out_degree_histogram(snap.social), 1);
+    std::printf("outdegree best fit:  %s (lognormal mu=%.2f sigma=%.2f)\n",
+                to_string(out_sel.best).c_str(), out_sel.lognormal.mu,
+                out_sel.lognormal.sigma);
+  }
+  return 0;
+}
+
+int cmd_crawl(int argc, char** argv, const char* path) {
+  const double day = std::atof(flag_value(argc, argv, "--day", "1e300"));
+  const double privacy = std::atof(flag_value(argc, argv, "--private", "0.12"));
+  const char* out = flag_value(argc, argv, "-o", nullptr);
+  if (out == nullptr) return usage();
+
+  const auto truth = load_san(path);
+  crawl::CrawlerOptions options;
+  options.private_profile_prob = privacy;
+  const auto result = crawl::crawl_at(
+      truth, day >= 1e300 ? std::numeric_limits<double>::max() : day, options);
+  save_san(result.network, std::string(out));
+  std::printf("crawled %zu/%zu nodes (%.1f%%), link coverage %.1f%% -> %s\n",
+              result.network.social_node_count(), truth.social_node_count(),
+              100.0 * result.node_coverage, 100.0 * result.link_coverage, out);
+  return 0;
+}
+
+int cmd_communities(int argc, char** argv, const char* path) {
+  const double w = std::atof(flag_value(argc, argv, "--attribute-weight", "0"));
+  const auto net = load_san(path);
+  const auto snap = snapshot_full(net);
+  apps::CommunityOptions options;
+  options.attribute_weight = w;
+  const auto result = apps::detect_communities(snap, options);
+  std::printf("communities: %zu (after %d iterations), modularity %.4f\n",
+              result.community_count, result.iterations,
+              apps::modularity(snap, result.label));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "generate") return cmd_generate(argc, argv);
+    if (argc >= 3 && command == "measure") return cmd_measure(argc, argv, argv[2]);
+    if (argc >= 3 && command == "crawl") return cmd_crawl(argc, argv, argv[2]);
+    if (argc >= 3 && command == "communities") {
+      return cmd_communities(argc, argv, argv[2]);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
