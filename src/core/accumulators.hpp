@@ -1,0 +1,89 @@
+// Reusable accumulators for chunked reductions (core/parallel.hpp). Both are
+// plain value types: build one per chunk in the map stage, merge with += in
+// the ordered combine stage — addition order is then fixed by chunk index,
+// keeping floating-point results thread-count-invariant.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace san::core {
+
+/// Running moments of (x, y) pairs for a Pearson correlation.
+struct PearsonMoments {
+  double sx = 0.0, sy = 0.0, sxx = 0.0, syy = 0.0, sxy = 0.0;
+  std::uint64_t n = 0;
+
+  void add(double x, double y) {
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    syy += y * y;
+    sxy += x * y;
+    ++n;
+  }
+
+  PearsonMoments& operator+=(const PearsonMoments& o) {
+    sx += o.sx;
+    sy += o.sy;
+    sxx += o.sxx;
+    syy += o.syy;
+    sxy += o.sxy;
+    n += o.n;
+    return *this;
+  }
+
+  /// Pearson correlation; 0 for degenerate inputs (n < 2, zero variance).
+  double correlation() const {
+    if (n < 2) return 0.0;
+    const auto m = static_cast<double>(n);
+    const double cov = sxy - sx * sy / m;
+    const double vx = sxx - sx * sx / m;
+    const double vy = syy - sy * sy / m;
+    if (vx <= 0.0 || vy <= 0.0) return 0.0;
+    return cov / std::sqrt(vx * vy);
+  }
+};
+
+/// Per-integer-bin (sum, count) accumulator for mean-by-key curves such as
+/// the knn degree correlations.
+struct BinnedMean {
+  std::vector<double> sum;
+  std::vector<std::uint64_t> count;
+
+  void add(std::size_t k, double value) {
+    if (k >= sum.size()) {
+      sum.resize(k + 1, 0.0);
+      count.resize(k + 1, 0);
+    }
+    sum[k] += value;
+    ++count[k];
+  }
+
+  BinnedMean& operator+=(const BinnedMean& o) {
+    if (o.sum.size() > sum.size()) {
+      sum.resize(o.sum.size(), 0.0);
+      count.resize(o.count.size(), 0);
+    }
+    for (std::size_t k = 0; k < o.sum.size(); ++k) {
+      sum[k] += o.sum[k];
+      count[k] += o.count[k];
+    }
+    return *this;
+  }
+
+  /// (k, mean) pairs in ascending k starting at min_k, skipping empty bins.
+  std::vector<std::pair<std::uint64_t, double>> means_from(
+      std::size_t min_k) const {
+    std::vector<std::pair<std::uint64_t, double>> points;
+    for (std::size_t k = min_k; k < sum.size(); ++k) {
+      if (count[k] == 0) continue;
+      points.emplace_back(k, sum[k] / static_cast<double>(count[k]));
+    }
+    return points;
+  }
+};
+
+}  // namespace san::core

@@ -1,0 +1,85 @@
+// Chunked data-parallel helpers over the process-wide ThreadPool.
+//
+// Determinism contract: work is split into chunks of a fixed `grain`
+// (independent of the thread count), partial results are kept per chunk,
+// and reductions combine them serially in ascending chunk order. Any kernel
+// built from these helpers therefore produces byte-identical results at 1,
+// 2, 4, ... threads — only the wall clock changes. Randomized kernels get
+// the same guarantee by drawing from chunk_rng(seed, chunk_index) instead
+// of a shared sequential stream.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "stats/rng.hpp"
+
+namespace san::core {
+
+/// Default iterations per chunk: small enough to load-balance skewed work
+/// (hub-heavy adjacency), large enough to amortize dispatch.
+inline constexpr std::size_t kDefaultGrain = 2048;
+
+inline constexpr std::size_t chunk_count_for(std::size_t n, std::size_t grain) {
+  return grain == 0 ? 0 : (n + grain - 1) / grain;
+}
+
+/// Deterministic per-chunk generator: a well-mixed stream keyed by
+/// (seed, index), independent of which thread runs the chunk.
+inline stats::Rng chunk_rng(std::uint64_t seed, std::uint64_t index) {
+  // SplitMix64 finalizer over the combined key.
+  std::uint64_t x = seed + (index + 1) * 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return stats::Rng(x ^ (x >> 31));
+}
+
+/// body(begin, end, chunk) over [0, n) split into grain-sized chunks. The
+/// chunk index is authoritative — use it (not begin/grain arithmetic) to key
+/// chunk_rng or per-chunk buffers.
+template <typename Body>
+void parallel_for_chunks(std::size_t n, std::size_t grain, Body&& body) {
+  if (n == 0) return;
+  const std::size_t chunks = chunk_count_for(n, grain);
+  ThreadPool::instance().run_chunks(chunks, [&](std::size_t c) {
+    const std::size_t begin = c * grain;
+    const std::size_t end = begin + grain < n ? begin + grain : n;
+    body(begin, end, c);
+  });
+}
+
+/// body(i) for every i in [0, n).
+template <typename Body>
+void parallel_for(std::size_t n, Body&& body,
+                  std::size_t grain = kDefaultGrain) {
+  parallel_for_chunks(n, grain,
+                      [&](std::size_t begin, std::size_t end, std::size_t) {
+                        for (std::size_t i = begin; i < end; ++i) body(i);
+                      });
+}
+
+/// Deterministic reduction: partial = map(begin, end, chunk) per chunk, then
+/// a serial left fold combine(acc, partial) in ascending chunk order. Key
+/// randomized maps with chunk_rng(seed, chunk).
+template <typename T, typename Map, typename Combine>
+T parallel_reduce(std::size_t n, T identity, Map&& map, Combine&& combine,
+                  std::size_t grain = kDefaultGrain) {
+  if (n == 0) return identity;
+  const std::size_t chunks = chunk_count_for(n, grain);
+  std::vector<T> partials(chunks, identity);
+  ThreadPool::instance().run_chunks(chunks, [&](std::size_t c) {
+    const std::size_t begin = c * grain;
+    const std::size_t end = begin + grain < n ? begin + grain : n;
+    partials[c] = map(begin, end, c);
+  });
+  T acc = std::move(identity);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    acc = combine(std::move(acc), std::move(partials[c]));
+  }
+  return acc;
+}
+
+}  // namespace san::core

@@ -1,10 +1,18 @@
 #include "graph/bfs.hpp"
 
-#include <queue>
+#include <algorithm>
+#include <atomic>
 #include <stdexcept>
+
+#include "core/parallel.hpp"
 
 namespace san::graph {
 namespace {
+
+/// Frontier width below which a level is expanded serially; parallel
+/// dispatch only pays for itself on wide frontiers.
+constexpr std::size_t kParallelFrontier = 2048;
+constexpr std::size_t kFrontierGrain = 512;
 
 std::vector<std::uint32_t> bfs_impl(const CsrGraph& g,
                                     std::span<const NodeId> sources,
@@ -23,13 +31,41 @@ std::vector<std::uint32_t> bfs_impl(const CsrGraph& g,
   while (!frontier.empty()) {
     ++level;
     next.clear();
-    for (const NodeId u : frontier) {
-      const auto nbrs = direction == Direction::kOut ? g.out(u) : g.in(u);
-      for (const NodeId v : nbrs) {
-        if (dist[v] == kUnreachable) {
-          dist[v] = level;
-          next.push_back(v);
+    if (frontier.size() < kParallelFrontier) {
+      for (const NodeId u : frontier) {
+        const auto nbrs = direction == Direction::kOut ? g.out(u) : g.in(u);
+        for (const NodeId v : nbrs) {
+          if (dist[v] == kUnreachable) {
+            dist[v] = level;
+            next.push_back(v);
+          }
         }
+      }
+    } else {
+      // Wide frontier: claim nodes with a CAS on dist. Every claimant writes
+      // the same level, so dist is deterministic even though which chunk
+      // wins a contended node (and hence the frontier order) is not.
+      std::vector<std::vector<NodeId>> chunk_next(
+          core::chunk_count_for(frontier.size(), kFrontierGrain));
+      core::parallel_for_chunks(
+          frontier.size(), kFrontierGrain,
+          [&](std::size_t begin, std::size_t end, std::size_t c) {
+            auto& local = chunk_next[c];
+            for (std::size_t i = begin; i < end; ++i) {
+              const NodeId u = frontier[i];
+              const auto nbrs =
+                  direction == Direction::kOut ? g.out(u) : g.in(u);
+              for (const NodeId v : nbrs) {
+                std::uint32_t expected = kUnreachable;
+                if (std::atomic_ref(dist[v]).compare_exchange_strong(
+                        expected, level, std::memory_order_relaxed)) {
+                  local.push_back(v);
+                }
+              }
+            }
+          });
+      for (const auto& local : chunk_next) {
+        next.insert(next.end(), local.begin(), local.end());
       }
     }
     frontier.swap(next);
@@ -56,14 +92,29 @@ std::vector<std::uint64_t> sampled_distance_histogram(const CsrGraph& g,
                                                       stats::Rng& rng) {
   std::vector<std::uint64_t> histogram;
   if (g.node_count() == 0) return histogram;
-  for (std::size_t i = 0; i < sample_sources; ++i) {
-    const auto src = static_cast<NodeId>(rng.uniform_index(g.node_count()));
-    const auto dist = bfs_distances(g, src, Direction::kOut);
-    for (const auto d : dist) {
-      if (d == kUnreachable || d == 0) continue;
-      if (d >= histogram.size()) histogram.resize(d + 1, 0);
-      ++histogram[d];
-    }
+  // Draw all roots up front from the caller's stream (same consumption as
+  // the serial version), then run the BFSes in parallel and merge the
+  // per-root histograms in root order.
+  std::vector<NodeId> roots(sample_sources);
+  for (auto& r : roots) {
+    r = static_cast<NodeId>(rng.uniform_index(g.node_count()));
+  }
+  std::vector<std::vector<std::uint64_t>> per_root(sample_sources);
+  core::parallel_for(
+      sample_sources,
+      [&](std::size_t i) {
+        const auto dist = bfs_distances(g, roots[i], Direction::kOut);
+        auto& local = per_root[i];
+        for (const auto d : dist) {
+          if (d == kUnreachable || d == 0) continue;
+          if (d >= local.size()) local.resize(d + 1, 0);
+          ++local[d];
+        }
+      },
+      /*grain=*/1);
+  for (const auto& local : per_root) {
+    if (local.size() > histogram.size()) histogram.resize(local.size(), 0);
+    for (std::size_t d = 0; d < local.size(); ++d) histogram[d] += local[d];
   }
   return histogram;
 }

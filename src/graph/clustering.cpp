@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/parallel.hpp"
+
 namespace san::graph {
 namespace {
 
@@ -64,8 +66,18 @@ double exact_clustering(const CsrGraph& g, NodeId u) {
 
 double exact_average_clustering(const CsrGraph& g) {
   if (g.node_count() == 0) return 0.0;
-  double sum = 0.0;
-  for (NodeId u = 0; u < g.node_count(); ++u) sum += exact_clustering(g, u);
+  // Chunked reduction with ordered combine: byte-identical at any thread
+  // count. The small grain load-balances hub-heavy chunks.
+  const double sum = core::parallel_reduce(
+      g.node_count(), 0.0,
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        double partial = 0.0;
+        for (std::size_t u = begin; u < end; ++u) {
+          partial += exact_clustering(g, static_cast<NodeId>(u));
+        }
+        return partial;
+      },
+      [](double a, double b) { return a + b; }, /*grain=*/256);
   return sum / static_cast<double>(g.node_count());
 }
 
@@ -92,20 +104,29 @@ double approx_average_group_clustering(
     const std::function<std::span<const NodeId>(std::size_t)>& group,
     std::size_t group_count, const ClusteringOptions& options) {
   if (group_count == 0) return 0.0;
-  stats::Rng rng(options.seed);
   const std::uint64_t samples = clustering_sample_count(options);
-  std::uint64_t f_sum = 0;
-  for (std::uint64_t k = 0; k < samples; ++k) {
-    // Algorithm 2: node uniform from Omega, then a random neighbor pair.
-    const auto i = static_cast<std::size_t>(rng.uniform_index(group_count));
-    const auto members = group(i);
-    const std::size_t m = members.size();
-    if (m < 2) continue;  // c(u) = 0 contributes nothing to the sum
-    const auto a = static_cast<std::size_t>(rng.uniform_index(m));
-    auto b = static_cast<std::size_t>(rng.uniform_index(m - 1));
-    if (b >= a) ++b;
-    f_sum += static_cast<std::uint64_t>(g.link_count(members[a], members[b]));
-  }
+  // Samples are independent, so chunks draw from per-chunk streams keyed by
+  // (seed, chunk): integer f_sum is exact, hence thread-count-invariant.
+  constexpr std::size_t kGrain = 4096;
+  const std::uint64_t f_sum = core::parallel_reduce(
+      static_cast<std::size_t>(samples), std::uint64_t{0},
+      [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+        stats::Rng rng = core::chunk_rng(options.seed, chunk);
+        std::uint64_t partial = 0;
+        for (std::size_t k = begin; k < end; ++k) {
+          // Algorithm 2: node uniform from Omega, then a random neighbor pair.
+          const auto i = static_cast<std::size_t>(rng.uniform_index(group_count));
+          const auto members = group(i);
+          const std::size_t m = members.size();
+          if (m < 2) continue;  // c(u) = 0 contributes nothing to the sum
+          const auto a = static_cast<std::size_t>(rng.uniform_index(m));
+          auto b = static_cast<std::size_t>(rng.uniform_index(m - 1));
+          if (b >= a) ++b;
+          partial += static_cast<std::uint64_t>(g.link_count(members[a], members[b]));
+        }
+        return partial;
+      },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; }, kGrain);
   // C~ = L / (2^I K) with I = 1 (directed), Algorithm 2 line 10.
   return static_cast<double>(f_sum) / (2.0 * static_cast<double>(samples));
 }
@@ -121,30 +142,48 @@ std::vector<std::pair<double, double>> group_clustering_by_degree(
     const CsrGraph& g,
     const std::function<std::span<const NodeId>(std::size_t)>& group,
     std::size_t group_count, std::size_t samples_per_node, std::uint64_t seed) {
-  stats::Rng rng(seed);
   // Log-spaced degree buckets: bucket = floor(log2-ish index).
   struct Bucket {
     double degree_sum = 0.0;
     double cc_sum = 0.0;
     std::uint64_t count = 0;
   };
-  std::vector<Bucket> buckets;
   const auto bucket_of = [](std::size_t degree) {
     // ~4 buckets per octave for a smooth log-log curve.
     const double idx = 4.0 * std::log2(static_cast<double>(degree));
     return static_cast<std::size_t>(std::max(0.0, idx));
   };
 
-  for (std::size_t i = 0; i < group_count; ++i) {
-    const auto members = group(i);
-    if (members.size() < 2) continue;
-    const std::size_t b = bucket_of(members.size());
-    if (b >= buckets.size()) buckets.resize(b + 1);
-    const double cc = sampled_group_clustering(g, members, samples_per_node, rng);
-    buckets[b].degree_sum += static_cast<double>(members.size());
-    buckets[b].cc_sum += cc;
-    ++buckets[b].count;
-  }
+  // Each group samples from its own (seed, i)-keyed stream, so the per-group
+  // estimate — and the ordered bucket merge below — is thread-count-invariant.
+  const std::vector<Bucket> buckets = core::parallel_reduce(
+      group_count, std::vector<Bucket>{},
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        std::vector<Bucket> partial;
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto members = group(i);
+          if (members.size() < 2) continue;
+          const std::size_t b = bucket_of(members.size());
+          if (b >= partial.size()) partial.resize(b + 1);
+          stats::Rng rng = core::chunk_rng(seed, i);
+          const double cc =
+              sampled_group_clustering(g, members, samples_per_node, rng);
+          partial[b].degree_sum += static_cast<double>(members.size());
+          partial[b].cc_sum += cc;
+          ++partial[b].count;
+        }
+        return partial;
+      },
+      [](std::vector<Bucket> acc, std::vector<Bucket> partial) {
+        if (partial.size() > acc.size()) acc.resize(partial.size());
+        for (std::size_t b = 0; b < partial.size(); ++b) {
+          acc[b].degree_sum += partial[b].degree_sum;
+          acc[b].cc_sum += partial[b].cc_sum;
+          acc[b].count += partial[b].count;
+        }
+        return acc;
+      },
+      /*grain=*/512);
 
   std::vector<std::pair<double, double>> points;
   for (const auto& bucket : buckets) {

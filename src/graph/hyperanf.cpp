@@ -1,8 +1,11 @@
 #include "graph/hyperanf.hpp"
 
+#include <atomic>
 #include <bit>
 #include <cmath>
 #include <stdexcept>
+
+#include "core/parallel.hpp"
 
 namespace san::graph {
 namespace {
@@ -101,32 +104,49 @@ HyperAnfResult hyper_anf(const CsrGraph& g, const HyperAnfOptions& options,
   if (n == 0) return result;
 
   std::vector<HyperLogLog> current(n, HyperLogLog(options.log2m));
-  for (NodeId u = 0; u < n; ++u) {
-    current[u].add_hash(splitmix64(options.seed ^ u));
-  }
+  core::parallel_for(n, [&](std::size_t u) {
+    current[u].add_hash(splitmix64(options.seed ^ static_cast<NodeId>(u)));
+  });
 
+  // Per-chunk estimate sums combined in chunk order: deterministic across
+  // thread counts.
   const auto accumulate = [&]() {
-    double total = 0.0;
+    const auto sum_range = [&](auto&& at, std::size_t count) {
+      return core::parallel_reduce(
+          count, 0.0,
+          [&](std::size_t begin, std::size_t end, std::size_t) {
+            double partial = 0.0;
+            for (std::size_t i = begin; i < end; ++i) partial += at(i).estimate();
+            return partial;
+          },
+          [](double a, double b) { return a + b; });
+    };
     if (sources.empty()) {
-      for (const auto& c : current) total += c.estimate();
-    } else {
-      for (const NodeId s : sources) total += current[s].estimate();
+      return sum_range([&](std::size_t i) -> const HyperLogLog& { return current[i]; }, n);
     }
-    return total;
+    return sum_range(
+        [&](std::size_t i) -> const HyperLogLog& { return current[sources[i]]; },
+        sources.size());
   };
 
   result.neighborhood.push_back(accumulate());
+  std::vector<HyperLogLog> next = current;
   for (int iter = 0; iter < options.max_iterations; ++iter) {
-    std::vector<HyperLogLog> next = current;
-    bool changed = false;
-    for (NodeId u = 0; u < n; ++u) {
-      for (const NodeId v : g.out(u)) {
-        changed |= next[u].merge(current[v]);
+    // Each round is a gather: next[u] merges only registers of current[*],
+    // so node-parallel execution is race-free, and register maxima are
+    // order-insensitive — the round result is exact regardless of schedule.
+    std::atomic<bool> changed{false};
+    core::parallel_for(n, [&](std::size_t u) {
+      next[u] = current[u];
+      bool local_changed = false;
+      for (const NodeId v : g.out(static_cast<NodeId>(u))) {
+        local_changed |= next[u].merge(current[v]);
       }
-    }
+      if (local_changed) changed.store(true, std::memory_order_relaxed);
+    });
     current.swap(next);
     result.neighborhood.push_back(accumulate());
-    if (!changed) break;
+    if (!changed.load(std::memory_order_relaxed)) break;
   }
   return result;
 }

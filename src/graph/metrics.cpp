@@ -3,16 +3,25 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/accumulators.hpp"
+#include "core/parallel.hpp"
+
 namespace san::graph {
 
 double reciprocity(const CsrGraph& g) {
   if (g.edge_count() == 0) return 0.0;
-  std::uint64_t mutual = 0;
-  for (NodeId u = 0; u < g.node_count(); ++u) {
-    for (const NodeId v : g.out(u)) {
-      if (g.has_edge(v, u)) ++mutual;
-    }
-  }
+  const std::uint64_t mutual = core::parallel_reduce(
+      g.node_count(), std::uint64_t{0},
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        std::uint64_t partial = 0;
+        for (std::size_t u = begin; u < end; ++u) {
+          for (const NodeId v : g.out(static_cast<NodeId>(u))) {
+            if (g.has_edge(v, static_cast<NodeId>(u))) ++partial;
+          }
+        }
+        return partial;
+      },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
   return static_cast<double>(mutual) / static_cast<double>(g.edge_count());
 }
 
@@ -24,11 +33,10 @@ double density(const CsrGraph& g) {
 namespace {
 
 stats::Histogram histogram_of(const CsrGraph& g, std::size_t (CsrGraph::*deg)(NodeId) const) {
-  std::vector<std::uint64_t> values;
-  values.reserve(g.node_count());
-  for (NodeId u = 0; u < g.node_count(); ++u) {
-    values.push_back((g.*deg)(u));
-  }
+  std::vector<std::uint64_t> values(g.node_count());
+  core::parallel_for(g.node_count(), [&](std::size_t u) {
+    values[u] = (g.*deg)(static_cast<NodeId>(u));
+  });
   return stats::make_histogram(values);
 }
 
@@ -48,35 +56,35 @@ stats::Histogram degree_histogram(const CsrGraph& g) {
 
 std::vector<std::pair<std::uint64_t, double>> knn_out_in(const CsrGraph& g) {
   // knn(k) = average indegree of targets of edges whose source has
-  // outdegree k.
-  std::vector<double> indegree_sum;
-  std::vector<std::uint64_t> edge_cnt;
-  for (NodeId u = 0; u < g.node_count(); ++u) {
-    const std::size_t k = g.out_degree(u);
-    if (k == 0) continue;
-    if (k >= indegree_sum.size()) {
-      indegree_sum.resize(k + 1, 0.0);
-      edge_cnt.resize(k + 1, 0);
-    }
-    for (const NodeId v : g.out(u)) {
-      indegree_sum[k] += static_cast<double>(g.in_degree(v));
-      ++edge_cnt[k];
-    }
-  }
-  std::vector<std::pair<std::uint64_t, double>> knn;
-  for (std::size_t k = 1; k < indegree_sum.size(); ++k) {
-    if (edge_cnt[k] == 0) continue;
-    knn.emplace_back(k, indegree_sum[k] / static_cast<double>(edge_cnt[k]));
-  }
-  return knn;
+  // outdegree k. Per-chunk binned accumulators merged in chunk order keep
+  // the floating-point result thread-count-invariant.
+  const core::BinnedMean acc = core::parallel_reduce(
+      g.node_count(), core::BinnedMean{},
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        core::BinnedMean p;
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto u = static_cast<NodeId>(i);
+          const std::size_t k = g.out_degree(u);
+          if (k == 0) continue;
+          for (const NodeId v : g.out(u)) {
+            p.add(k, static_cast<double>(g.in_degree(v)));
+          }
+        }
+        return p;
+      },
+      [](core::BinnedMean a, core::BinnedMean b) {
+        a += b;
+        return a;
+      });
+  return acc.means_from(1);
 }
 
 double assortativity(const CsrGraph& g) {
   std::vector<double> src(g.node_count()), dst(g.node_count());
-  for (NodeId u = 0; u < g.node_count(); ++u) {
-    src[u] = static_cast<double>(g.out_degree(u));
-    dst[u] = static_cast<double>(g.in_degree(u));
-  }
+  core::parallel_for(g.node_count(), [&](std::size_t u) {
+    src[u] = static_cast<double>(g.out_degree(static_cast<NodeId>(u)));
+    dst[u] = static_cast<double>(g.in_degree(static_cast<NodeId>(u)));
+  });
   return edge_score_correlation(g, src, dst);
 }
 
@@ -89,25 +97,24 @@ double edge_score_correlation(const CsrGraph& g,
   }
   if (g.edge_count() < 2) return 0.0;
 
-  // Single pass Pearson over the edge list.
-  double sx = 0.0, sy = 0.0, sxx = 0.0, syy = 0.0, sxy = 0.0;
-  for (NodeId u = 0; u < g.node_count(); ++u) {
-    const double x = source_score[u];
-    for (const NodeId v : g.out(u)) {
-      const double y = target_score[v];
-      sx += x;
-      sy += y;
-      sxx += x * x;
-      syy += y * y;
-      sxy += x * y;
-    }
-  }
-  const auto m = static_cast<double>(g.edge_count());
-  const double cov = sxy - sx * sy / m;
-  const double vx = sxx - sx * sx / m;
-  const double vy = syy - sy * sy / m;
-  if (vx <= 0.0 || vy <= 0.0) return 0.0;
-  return cov / std::sqrt(vx * vy);
+  // Pearson over the edge list: per-chunk moments, combined in chunk order
+  // for a deterministic floating-point result.
+  const core::PearsonMoments m = core::parallel_reduce(
+      g.node_count(), core::PearsonMoments{},
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        core::PearsonMoments p;
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto u = static_cast<NodeId>(i);
+          const double x = source_score[u];
+          for (const NodeId v : g.out(u)) p.add(x, target_score[v]);
+        }
+        return p;
+      },
+      [](core::PearsonMoments a, core::PearsonMoments b) {
+        a += b;
+        return a;
+      });
+  return m.correlation();
 }
 
 }  // namespace san::graph

@@ -1,8 +1,11 @@
 #include "graph/wcc.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <numeric>
 #include <stdexcept>
+
+#include "core/parallel.hpp"
 
 namespace san::graph {
 
@@ -17,27 +20,55 @@ WccResult weakly_connected_components(const CsrGraph& g) {
   std::vector<NodeId> parent(n);
   std::iota(parent.begin(), parent.end(), NodeId{0});
 
-  // Path-halving union-find.
+  // Lock-free union-find: concurrent unions race over the tree shape, but
+  // the connectivity relation they converge to is unique, and the serial
+  // relabeling pass below assigns component ids in node order — so the
+  // result is byte-identical at any thread count.
   const auto find = [&](NodeId x) {
+    for (;;) {
+      const NodeId p = std::atomic_ref(parent[x]).load(std::memory_order_relaxed);
+      if (p == x) return x;
+      const NodeId gp = std::atomic_ref(parent[p]).load(std::memory_order_relaxed);
+      if (gp == p) return p;
+      // Opportunistic path halving; a lost race just skips the shortcut.
+      NodeId expected = p;
+      std::atomic_ref(parent[x]).compare_exchange_weak(expected, gp,
+                                                       std::memory_order_relaxed);
+      x = gp;
+    }
+  };
+  const auto unite = [&](NodeId u, NodeId v) {
+    for (;;) {
+      NodeId ru = find(u), rv = find(v);
+      if (ru == rv) return;
+      // Always link the higher root under the lower to rule out cycles.
+      if (ru < rv) std::swap(ru, rv);
+      NodeId expected = ru;
+      if (std::atomic_ref(parent[ru]).compare_exchange_strong(
+              expected, rv, std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  };
+
+  core::parallel_for(n, [&](std::size_t i) {
+    const auto u = static_cast<NodeId>(i);
+    for (const NodeId v : g.out(u)) unite(u, v);
+  });
+
+  // Serial finalize: full path compression, then dense ids in node order.
+  const auto find_seq = [&](NodeId x) {
     while (parent[x] != x) {
       parent[x] = parent[parent[x]];
       x = parent[x];
     }
     return x;
   };
-
-  for (NodeId u = 0; u < n; ++u) {
-    for (const NodeId v : g.out(u)) {
-      const NodeId ru = find(u), rv = find(v);
-      if (ru != rv) parent[ru] = rv;
-    }
-  }
-
   WccResult result;
   result.component.assign(n, 0);
   std::vector<NodeId> root_to_id(n, static_cast<NodeId>(n));
   for (NodeId u = 0; u < n; ++u) {
-    const NodeId r = find(u);
+    const NodeId r = find_seq(u);
     if (root_to_id[r] == static_cast<NodeId>(n)) {
       root_to_id[r] = static_cast<NodeId>(result.sizes.size());
       result.sizes.push_back(0);

@@ -2,17 +2,21 @@
 
 #include <cmath>
 #include <functional>
+#include <limits>
 #include <queue>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "core/parallel.hpp"
 #include "model/lapa_sampler.hpp"
 #include "stats/distributions.hpp"
 #include "stats/rng.hpp"
 
 namespace san::model {
 namespace {
+
+constexpr NodeId kNoCandidate = std::numeric_limits<NodeId>::max();
 
 struct WakeEvent {
   double time = 0.0;
@@ -127,52 +131,71 @@ SocialAttributeNetwork generate_san(const GeneratorParams& params) {
   // telescope to exactly ms * ln(D), so the finite-size outdegree matches
   // Theorem 1's mean-field prediction without the Euler-Mascheroni offset a
   // plain harmonic sum would introduce.
-  const auto sample_sleep = [&](std::size_t outdeg) {
+  const auto sample_sleep = [&](std::size_t outdeg, stats::Rng& r) {
     const double d = static_cast<double>(std::max<std::size_t>(outdeg, 1));
     const double mean = params.ms * std::log1p(1.0 / d);
     return params.sleep == SleepRule::kDeterministic ? mean
-                                                     : rng.exponential(1.0 / mean);
+                                                     : r.exponential(1.0 / mean);
   };
 
   const auto attachment_beta =
       params.attachment == AttachmentRule::kLapa ? params.beta : 0.0;
 
-  const auto issue_attachment_link = [&](NodeId u, double time) {
+  const auto issue_attachment_link = [&](NodeId u, double time, stats::Rng& r) {
     for (int attempt = 0; attempt < 32; ++attempt) {
-      const NodeId v = sampler.sample_target(u, attachment_beta);
+      const NodeId v = sampler.sample_target(u, attachment_beta, r);
       if (v != u && add_social_link(u, v, time)) return true;
     }
     return false;
   };
 
-  // One RR / RR-SAN closure step; falls back to attachment when the walk
-  // fails (mirroring [29]).
-  const auto issue_closure_link = [&](NodeId u, double time) {
+  // One RR / RR-SAN closure walk step: the candidate target for source u, or
+  // kNoCandidate after the attempt budget. Pure read of the network and
+  // sampler state, so wake epochs run it concurrently against the frozen
+  // network, each event on its own stream.
+  const auto closure_candidate = [&](NodeId u, stats::Rng& r) -> NodeId {
     const double fc = params.closure == ClosureRule::kRrSan ? params.fc : 0.0;
+    const auto& g = net.social();
     for (int attempt = 0; attempt < 32; ++attempt) {
       const auto attrs = net.attributes_of(u);
-      const auto& g = net.social();
       const double w_social =
           static_cast<double>(g.out_degree(u) + g.in_degree(u));
       const double w_attr = fc * static_cast<double>(attrs.size());
       if (w_social + w_attr <= 0.0) break;
       NodeId v = u;
-      if (rng.uniform() * (w_social + w_attr) < w_social) {
+      if (r.uniform() * (w_social + w_attr) < w_social) {
         NodeId w = u;
-        if (!sample_social_neighbor(net, rng, u, w)) continue;
-        if (!sample_social_neighbor(net, rng, w, v)) continue;
+        if (!sample_social_neighbor(net, r, u, w)) continue;
+        if (!sample_social_neighbor(net, r, w, v)) continue;
       } else {
-        const AttrId x = attrs[rng.uniform_index(attrs.size())];
+        const AttrId x = attrs[r.uniform_index(attrs.size())];
         const auto members = net.members_of(x);
         if (members.empty()) continue;
-        v = members[rng.uniform_index(members.size())];
+        v = members[r.uniform_index(members.size())];
       }
-      if (v != u && add_social_link(u, v, time)) return true;
+      if (v != u && !g.has_edge(u, v)) return v;
     }
-    return issue_attachment_link(u, time);
+    // Attachment fallback (mirroring [29]), also a dry draw.
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      const NodeId v = sampler.sample_target(u, attachment_beta, r);
+      if (v != u && !g.has_edge(u, v)) return v;
+    }
+    return kNoCandidate;
+  };
+
+  // Committing closure walk, used serially when an epoch candidate was
+  // invalidated by an earlier commit of the same epoch (same budget as one
+  // dry walk; a no-candidate dry walk already exhausted it and gives up).
+  const auto issue_closure_link = [&](NodeId u, double time, stats::Rng& r) {
+    const NodeId v = closure_candidate(u, r);
+    return v != kNoCandidate && add_social_link(u, v, time);
   };
 
   const std::size_t target_nodes = params.social_node_count;
+  // Epoch scratch, reused across steps.
+  std::vector<WakeEvent> epoch;
+  std::vector<stats::Rng> event_rngs;
+  std::vector<NodeId> candidates;
   for (std::size_t step = 0; net.social_node_count() < target_nodes; ++step) {
     const double now = static_cast<double>(step + 1);
 
@@ -194,39 +217,83 @@ SocialAttributeNetwork generate_san(const GeneratorParams& params) {
     }
 
     // First outgoing link (LAPA), lifetime and first sleep.
-    issue_attachment_link(u, now);
+    issue_attachment_link(u, now, rng);
     const double lifetime = params.lifetime == LifetimeRule::kTruncatedNormal
                                 ? lifetime_dist.sample(rng)
                                 : rng.exponential(1.0 / lifetime_mean);
-    const double sleep = sample_sleep(net.social().out_degree(u));
+    const double sleep = sample_sleep(net.social().out_degree(u), rng);
     if (sleep <= lifetime) {
       wakes.push({now + sleep, u, lifetime - sleep});
     }
 
     // Woken social nodes issue closure links (and, with the §7 extension
     // enabled, occasionally adopt an attribute from a social neighbor).
-    while (!wakes.empty() && wakes.top().time <= now + 1.0) {
-      const WakeEvent event = wakes.top();
-      wakes.pop();
-      issue_closure_link(event.node, event.time);
+    // Due events are drained in epochs: every event's candidate edge is
+    // generated in parallel against the frozen network, then commits are
+    // applied serially in global time order. Each event draws from its own
+    // stream split off the main one in pop order, so the outcome is
+    // reproducible and thread-count-invariant.
+
+    // Post-link bookkeeping shared by epoch commits and straggler re-wakes:
+    // attribute adoption, then re-sleep scheduling.
+    const auto finish_event = [&](const WakeEvent& event, stats::Rng& erng) {
       if (params.dynamic_attribute_prob > 0.0 &&
-          rng.bernoulli(params.dynamic_attribute_prob)) {
+          erng.bernoulli(params.dynamic_attribute_prob)) {
         NodeId w = event.node;
-        if (sample_social_neighbor(net, rng, event.node, w)) {
+        if (sample_social_neighbor(net, erng, event.node, w)) {
           const auto neighbor_attrs = net.attributes_of(w);
           if (!neighbor_attrs.empty()) {
             const AttrId x =
-                neighbor_attrs[rng.uniform_index(neighbor_attrs.size())];
+                neighbor_attrs[erng.uniform_index(neighbor_attrs.size())];
             add_attribute_link(event.node, x, event.time);
           }
         }
       }
       const double next_sleep =
-          sample_sleep(net.social().out_degree(event.node));
+          sample_sleep(net.social().out_degree(event.node), erng);
       if (next_sleep <= event.lifetime_left &&
           net.social().out_degree(event.node) < params.max_outdegree) {
-        wakes.push(
-            {event.time + next_sleep, event.node, event.lifetime_left - next_sleep});
+        wakes.push({event.time + next_sleep, event.node,
+                    event.lifetime_left - next_sleep});
+      }
+    };
+
+    while (!wakes.empty() && wakes.top().time <= now + 1.0) {
+      epoch.clear();
+      event_rngs.clear();
+      while (!wakes.empty() && wakes.top().time <= now + 1.0) {
+        epoch.push_back(wakes.top());
+        wakes.pop();
+        event_rngs.push_back(rng.split());
+      }
+      candidates.assign(epoch.size(), kNoCandidate);
+      core::parallel_for(
+          epoch.size(),
+          [&](std::size_t i) {
+            candidates[i] = closure_candidate(epoch[i].node, event_rngs[i]);
+          },
+          /*grain=*/4);
+      for (std::size_t i = 0; i < epoch.size(); ++i) {
+        // Re-wakes scheduled by earlier commits of this epoch may land
+        // before the next epoch event; process them first (serially, with
+        // a fresh stream) so commits stay in global time order.
+        while (!wakes.empty() && wakes.top().time < epoch[i].time) {
+          const WakeEvent straggler = wakes.top();
+          wakes.pop();
+          stats::Rng srng = rng.split();
+          issue_closure_link(straggler.node, straggler.time, srng);
+          finish_event(straggler, srng);
+        }
+        const WakeEvent& event = epoch[i];
+        stats::Rng& erng = event_rngs[i];
+        // Commit the precomputed candidate; re-walk serially only when an
+        // earlier commit of this epoch invalidated it. A kNoCandidate walk
+        // already exhausted the full attempt budget and issues nothing.
+        if (candidates[i] != kNoCandidate &&
+            !add_social_link(event.node, candidates[i], event.time)) {
+          issue_closure_link(event.node, event.time, erng);
+        }
+        finish_event(event, erng);
       }
     }
   }

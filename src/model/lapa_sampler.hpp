@@ -60,6 +60,14 @@ class LapaSampler {
   /// One LAPA draw (PA when beta = 0) of a target for source u. May return
   /// u itself or an existing neighbor — callers retry.
   NodeId sample_target(NodeId u, double beta) {
+    return sample_target(u, beta, rng_);
+  }
+
+  /// Same draw from an explicit stream. Read-only on the sampler, so
+  /// concurrent calls are safe while the network (and hence the token
+  /// arrays) is frozen — the generator's parallel candidate phase relies
+  /// on this.
+  NodeId sample_target(NodeId u, double beta, stats::Rng& rng) const {
     const double z_base = static_cast<double>(node_tokens_.size()) +
                           static_cast<double>(in_edge_tokens_.size());
     double z_attr = 0.0;
@@ -69,10 +77,10 @@ class LapaSampler {
         z_attr += beta * static_cast<double>(attr_member_tokens_[x].size());
       }
     }
-    const double r = rng_.uniform() * (z_base + z_attr);
+    const double r = rng.uniform() * (z_base + z_attr);
     if (r < z_base || z_attr == 0.0) {
       const auto n = node_tokens_.size();
-      const auto idx = rng_.uniform_index(n + in_edge_tokens_.size());
+      const auto idx = rng.uniform_index(n + in_edge_tokens_.size());
       return idx < n ? node_tokens_[idx] : in_edge_tokens_[idx - n];
     }
     double acc = z_base;
@@ -80,10 +88,10 @@ class LapaSampler {
       acc += beta * static_cast<double>(attr_member_tokens_[x].size());
       if (r < acc || x == attrs.back()) {
         const auto& tokens = attr_member_tokens_[x];
-        if (!tokens.empty()) return tokens[rng_.uniform_index(tokens.size())];
+        if (!tokens.empty()) return tokens[rng.uniform_index(tokens.size())];
       }
     }
-    return static_cast<NodeId>(rng_.uniform_index(net_.social_node_count()));
+    return static_cast<NodeId>(rng.uniform_index(net_.social_node_count()));
   }
 
  private:

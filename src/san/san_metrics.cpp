@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/accumulators.hpp"
+#include "core/parallel.hpp"
 #include "graph/bfs.hpp"
 #include "graph/metrics.hpp"
 
@@ -17,9 +19,10 @@ double attribute_density(const SanSnapshot& snap) {
 }
 
 stats::Histogram attribute_degree_histogram(const SanSnapshot& snap) {
-  std::vector<std::uint64_t> degrees;
-  degrees.reserve(snap.social_node_count());
-  for (const auto& attrs : snap.attributes) degrees.push_back(attrs.size());
+  std::vector<std::uint64_t> degrees(snap.attributes.size());
+  core::parallel_for(snap.attributes.size(), [&](std::size_t u) {
+    degrees[u] = snap.attributes[u].size();
+  });
   return stats::make_histogram(degrees);
 }
 
@@ -65,52 +68,47 @@ std::vector<std::pair<double, double>> attribute_clustering_by_degree(
 }
 
 std::vector<std::pair<std::uint64_t, double>> attribute_knn(const SanSnapshot& snap) {
-  std::vector<double> attr_degree_sum;
-  std::vector<std::uint64_t> link_cnt;
-  for (const auto& m : snap.members) {
-    const std::size_t k = m.size();
-    if (k == 0) continue;
-    if (k >= attr_degree_sum.size()) {
-      attr_degree_sum.resize(k + 1, 0.0);
-      link_cnt.resize(k + 1, 0);
-    }
-    for (const NodeId u : m) {
-      attr_degree_sum[k] += static_cast<double>(snap.attributes[u].size());
-      ++link_cnt[k];
-    }
-  }
-  std::vector<std::pair<std::uint64_t, double>> knn;
-  for (std::size_t k = 1; k < attr_degree_sum.size(); ++k) {
-    if (link_cnt[k] == 0) continue;
-    knn.emplace_back(k, attr_degree_sum[k] / static_cast<double>(link_cnt[k]));
-  }
-  return knn;
+  const core::BinnedMean acc = core::parallel_reduce(
+      snap.members.size(), core::BinnedMean{},
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        core::BinnedMean p;
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto& m = snap.members[i];
+          const std::size_t k = m.size();
+          if (k == 0) continue;
+          for (const NodeId u : m) {
+            p.add(k, static_cast<double>(snap.attributes[u].size()));
+          }
+        }
+        return p;
+      },
+      [](core::BinnedMean a, core::BinnedMean b) {
+        a += b;
+        return a;
+      });
+  return acc.means_from(1);
 }
 
 double attribute_assortativity(const SanSnapshot& snap) {
   // Pearson over attribute links of (social degree of attribute node,
-  // attribute degree of social node).
-  double sx = 0.0, sy = 0.0, sxx = 0.0, syy = 0.0, sxy = 0.0;
-  std::uint64_t m_links = 0;
-  for (const auto& m : snap.members) {
-    const auto x = static_cast<double>(m.size());
-    for (const NodeId u : m) {
-      const auto y = static_cast<double>(snap.attributes[u].size());
-      sx += x;
-      sy += y;
-      sxx += x * x;
-      syy += y * y;
-      sxy += x * y;
-      ++m_links;
-    }
-  }
-  if (m_links < 2) return 0.0;
-  const auto n = static_cast<double>(m_links);
-  const double cov = sxy - sx * sy / n;
-  const double vx = sxx - sx * sx / n;
-  const double vy = syy - sy * sy / n;
-  if (vx <= 0.0 || vy <= 0.0) return 0.0;
-  return cov / std::sqrt(vx * vy);
+  // attribute degree of social node). Chunked moments, ordered combine.
+  const core::PearsonMoments m = core::parallel_reduce(
+      snap.members.size(), core::PearsonMoments{},
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        core::PearsonMoments p;
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto x = static_cast<double>(snap.members[i].size());
+          for (const NodeId u : snap.members[i]) {
+            p.add(x, static_cast<double>(snap.attributes[u].size()));
+          }
+        }
+        return p;
+      },
+      [](core::PearsonMoments a, core::PearsonMoments b) {
+        a += b;
+        return a;
+      });
+  return m.correlation();
 }
 
 double attribute_effective_diameter(const SanSnapshot& snap,
@@ -122,24 +120,39 @@ double attribute_effective_diameter(const SanSnapshot& snap,
   }
   if (populated.size() < 2) return 0.0;
 
+  // Roots drawn serially from the caller's stream, BFS + scan per root in
+  // parallel, per-root histograms merged in root order.
+  std::vector<AttrId> root_attrs(sample_sources);
+  for (auto& a : root_attrs) {
+    a = populated[rng.uniform_index(populated.size())];
+  }
+  std::vector<std::vector<std::uint64_t>> per_root(sample_sources);
+  core::parallel_for(
+      sample_sources,
+      [&](std::size_t s) {
+        const AttrId a = root_attrs[s];
+        const auto& sources = snap.members[a];
+        const auto dist = graph::bfs_distances_multi(
+            snap.social, std::span<const NodeId>(sources), graph::Direction::kOut);
+        auto& local = per_root[s];
+        // dist(a, b) = min over members(b) of dist + 1.
+        for (const AttrId b : populated) {
+          if (b == a) continue;
+          std::uint32_t best = graph::kUnreachable;
+          for (const NodeId v : snap.members[b]) {
+            best = std::min(best, dist[v]);
+          }
+          if (best == graph::kUnreachable) continue;
+          const std::uint32_t d = best + 1;
+          if (d >= local.size()) local.resize(d + 1, 0);
+          ++local[d];
+        }
+      },
+      /*grain=*/1);
   std::vector<std::uint64_t> histogram;
-  for (std::size_t s = 0; s < sample_sources; ++s) {
-    const AttrId a = populated[rng.uniform_index(populated.size())];
-    const auto& sources = snap.members[a];
-    const auto dist = graph::bfs_distances_multi(
-        snap.social, std::span<const NodeId>(sources), graph::Direction::kOut);
-    // dist(a, b) = min over members(b) of dist + 1.
-    for (const AttrId b : populated) {
-      if (b == a) continue;
-      std::uint32_t best = graph::kUnreachable;
-      for (const NodeId v : snap.members[b]) {
-        best = std::min(best, dist[v]);
-      }
-      if (best == graph::kUnreachable) continue;
-      const std::uint32_t d = best + 1;
-      if (d >= histogram.size()) histogram.resize(d + 1, 0);
-      ++histogram[d];
-    }
+  for (const auto& local : per_root) {
+    if (local.size() > histogram.size()) histogram.resize(local.size(), 0);
+    for (std::size_t d = 0; d < local.size(); ++d) histogram[d] += local[d];
   }
   return graph::interpolated_quantile(histogram, quantile);
 }
