@@ -2,32 +2,37 @@
 // 98-day window, with the three phases (I: viral launch, II: invite-only,
 // III: public release) visible as slope changes. Also reports the §2.2
 // crawler-coverage numbers.
+#include <vector>
+
 #include "bench_util.hpp"
 #include "crawl/crawler.hpp"
-#include "san/snapshot.hpp"
+#include "san/timeline.hpp"
 
 int main() {
   using namespace san;
   // Growth and coverage are reported against the ground truth ("known
   // users"), mirroring the paper's TechCrunch/Google reference points.
   const auto net = bench::make_gplus_ground_truth();
+  const SanTimeline timeline(net);
 
   bench::header("Fig 2 + Fig 3: SAN growth over time");
   std::printf("%5s %14s %16s %14s %16s\n", "day", "social-nodes",
               "attribute-nodes", "social-links", "attribute-links");
-  for (int day = 7; day <= 98; day += 7) {
-    const auto snap = snapshot_at(net, day);
-    std::printf("%5d %14zu %16zu %14llu %16llu\n", day, snap.social_node_count(),
-                snap.populated_attribute_count(),
+  std::vector<double> days;
+  for (int day = 7; day <= 98; day += 7) days.push_back(day);
+  timeline.sweep(days, [](double day, const SanSnapshot& snap) {
+    std::printf("%5.0f %14zu %16zu %14llu %16llu\n", day,
+                snap.social_node_count(), snap.populated_attribute_count(),
                 static_cast<unsigned long long>(snap.social_link_count()),
                 static_cast<unsigned long long>(snap.attribute_link_count));
-  }
+  });
 
   bench::header("Phase growth factors (paper: sharp I, steady II, sharp III)");
-  const auto n20 = snapshot_at(net, 20).social_node_count();
-  const auto n75 = snapshot_at(net, 75).social_node_count();
-  const auto n98 = snapshot_at(net, 98).social_node_count();
-  std::printf("phase I  (day  1-20): %8zu nodes  (%5.1f%% of final, %4.1f/day-avg)\n",
+  const auto n20 = timeline.snapshot_at(20).social_node_count();
+  const auto n75 = timeline.snapshot_at(75).social_node_count();
+  const auto n98 = timeline.snapshot_at(98).social_node_count();
+  std::printf("phase I  (day  1-20): %8zu nodes  (%5.1f%% of final,"
+              " %4.1f/day-avg)\n",
               n20, 100.0 * n20 / n98, n20 / 20.0);
   std::printf("phase II (day 21-75): %8zu nodes  (+%zu, %4.1f/day-avg)\n", n75,
               n75 - n20, (n75 - n20) / 55.0);

@@ -11,12 +11,13 @@
 #include "graph/hyperanf.hpp"
 #include "graph/metrics.hpp"
 #include "san/san_metrics.hpp"
-#include "san/snapshot.hpp"
+#include "san/timeline.hpp"
 #include "stats/rng.hpp"
 
 int main() {
   using namespace san;
   const auto net = bench::make_gplus_dataset();
+  const SanTimeline timeline(net);
 
   bench::header("Fig 4: reciprocity / density / diameters / clustering");
   std::printf("%5s %12s %10s %12s %12s %12s\n", "day", "reciprocity", "density",
@@ -24,8 +25,8 @@ int main() {
   graph::ClusteringOptions cc_options;
   cc_options.epsilon = 0.01;
 
-  for (const double day : bench::snapshot_days()) {
-    const auto snap = snapshot_at(net, day);
+  const auto days = bench::snapshot_days();
+  timeline.sweep(days, [&](double day, const SanSnapshot& snap) {
     const double recip = graph::reciprocity(snap.social);
     const double dens = graph::density(snap.social);
 
@@ -40,15 +41,15 @@ int main() {
 
     std::printf("%5.0f %12.4f %10.3f %12.2f %12.2f %12.4f\n", day, recip, dens,
                 social_diam, attr_diam, cc);
-  }
+  });
 
   bench::header("Phase deltas (sign pattern is the reproduction target)");
-  const auto at = [&](double day) { return snapshot_at(net, day); };
+  const auto at = [&](double day) { return timeline.snapshot_at(day); };
   const double r20 = graph::reciprocity(at(20).social);
   const double r75 = graph::reciprocity(at(75).social);
   const double r98 = graph::reciprocity(at(98).social);
-  std::printf("reciprocity: phase II slope %+0.5f/day, phase III slope %+0.5f/day"
-              " (paper: both negative, III steeper)\n",
+  std::printf("reciprocity: phase II slope %+0.5f/day, phase III slope"
+              " %+0.5f/day (paper: both negative, III steeper)\n",
               (r75 - r20) / 55.0, (r98 - r75) / 23.0);
   const double d20 = graph::density(at(20).social);
   const double d75 = graph::density(at(75).social);

@@ -5,7 +5,7 @@
 #include "bench_util.hpp"
 
 #include "graph/metrics.hpp"
-#include "san/snapshot.hpp"
+#include "san/timeline.hpp"
 #include "stats/distributions.hpp"
 #include "stats/vuong.hpp"
 
@@ -16,7 +16,8 @@ namespace {
 /// lognormal" statements rest on.
 void print_vuong(const char* label, const san::stats::Histogram& hist,
                  const san::stats::ModelSelection& sel) {
-  const san::stats::DiscreteLognormal ln(sel.lognormal.mu, sel.lognormal.sigma, 1);
+  const san::stats::DiscreteLognormal ln(sel.lognormal.mu, sel.lognormal.sigma,
+                                         1);
   const san::stats::DiscretePowerLaw pl(sel.power_law.alpha, 1);
   const auto vuong = san::stats::vuong_test(
       hist, [&](std::uint64_t k) { return ln.log_pmf(k); },
@@ -34,7 +35,8 @@ void print_vuong(const char* label, const san::stats::Histogram& hist,
 int main() {
   using namespace san;
   const auto net = bench::make_gplus_dataset();
-  const auto final_snap = snapshot_full(net);
+  const SanTimeline timeline(net);
+  const auto final_snap = timeline.snapshot_full();
 
   bench::header("Fig 5a: social outdegree distribution");
   const auto out_hist = graph::out_degree_histogram(final_snap.social);
@@ -55,14 +57,14 @@ int main() {
   bench::header("Fig 6: evolution of lognormal (mu, sigma)");
   std::printf("%5s %10s %10s %10s %10s\n", "day", "out-mu", "out-sigma",
               "in-mu", "in-sigma");
-  for (const double day : bench::snapshot_days()) {
-    const auto snap = snapshot_at(net, day);
+  const auto days = bench::snapshot_days();
+  timeline.sweep(days, [](double day, const san::SanSnapshot& snap) {
     const auto fit_out = stats::fit_discrete_lognormal(
         graph::out_degree_histogram(snap.social), 1);
     const auto fit_in = stats::fit_discrete_lognormal(
         graph::in_degree_histogram(snap.social), 1);
     std::printf("%5.0f %10.3f %10.3f %10.3f %10.3f\n", day, fit_out.mu,
                 fit_out.sigma, fit_in.mu, fit_in.sigma);
-  }
+  });
   return 0;
 }

@@ -4,27 +4,28 @@
 #include "bench_util.hpp"
 
 #include "san/san_metrics.hpp"
-#include "san/snapshot.hpp"
+#include "san/timeline.hpp"
 
 int main() {
   using namespace san;
   const auto net = bench::make_gplus_dataset();
+  const SanTimeline timeline(net);
 
   bench::header("Fig 8: attribute density and attribute clustering evolution");
   std::printf("%5s %18s %24s\n", "day", "attribute-density",
               "avg-attribute-clustering");
   graph::ClusteringOptions options;
   options.epsilon = 0.01;
-  for (const double day : bench::snapshot_days()) {
-    const auto snap = snapshot_at(net, day);
+  const auto days = bench::snapshot_days();
+  timeline.sweep(days, [&](double day, const SanSnapshot& snap) {
     options.seed = static_cast<std::uint64_t>(day) * 31;
     std::printf("%5.0f %18.3f %24.5f\n", day, attribute_density(snap),
                 average_attribute_clustering(snap, options));
-  }
+  });
 
-  const auto d20 = attribute_density(snapshot_at(net, 20));
-  const auto d75 = attribute_density(snapshot_at(net, 75));
-  const auto d98 = attribute_density(snapshot_at(net, 98));
+  const auto d20 = attribute_density(timeline.snapshot_at(20));
+  const auto d75 = attribute_density(timeline.snapshot_at(75));
+  const auto d98 = attribute_density(timeline.snapshot_at(98));
   std::printf("\nphase deltas: II %+0.3f, III %+0.3f"
               " (paper: flat in II, slight decline in III)\n",
               d75 - d20, d98 - d75);

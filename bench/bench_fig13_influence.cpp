@@ -8,24 +8,27 @@
 #include "bench_util.hpp"
 
 #include "san/influence.hpp"
-#include "san/snapshot.hpp"
+#include "san/timeline.hpp"
 
 int main() {
   using namespace san;
   const auto net = bench::make_gplus_dataset();
+  const SanTimeline timeline(net);
 
   bench::header("Fig 13a: fine-grained reciprocity r_{s,a}");
-  const auto halfway = snapshot_at(net, 49.0);
-  const auto final_snap = snapshot_full(net);
+  const auto halfway = timeline.snapshot_at(49.0);
+  const auto final_snap = timeline.snapshot_full();
   const auto cells = fine_grained_reciprocity(halfway, final_snap, 5, 50);
 
-  std::printf("%18s %14s %14s %14s\n", "common-neighbors", "a=0", "a=1", "a>=2");
+  std::printf("%18s %14s %14s %14s\n", "common-neighbors", "a=0", "a=1",
+              "a>=2");
   for (std::size_t b = 0; b < cells.size() / 3; ++b) {
     const auto& c0 = cells[b * 3 + 0];
     const auto& c1 = cells[b * 3 + 1];
     const auto& c2 = cells[b * 3 + 2];
     if (c0.links + c1.links + c2.links < 10) continue;
-    std::printf("        [%2zu, %2zu) ", c0.common_social_lo, c0.common_social_hi);
+    std::printf("        [%2zu, %2zu) ", c0.common_social_lo,
+                c0.common_social_hi);
     for (const auto* cell : {&c0, &c1, &c2}) {
       if (cell->links >= 5) {
         std::printf(" %6.3f (n=%4llu)", cell->rate(),
@@ -51,8 +54,9 @@ int main() {
   }
   const double rate0 = l0 ? static_cast<double>(r0) / l0 : 0.0;
   const double rate1 = l1 ? static_cast<double>(r1) / l1 : 0.0;
-  std::printf("\naggregate: no-shared-attr %.3f vs shared-attr %.3f -> ratio %.2fx"
-              " (paper: ~2x)\n", rate0, rate1, rate1 / std::max(rate0, 1e-9));
+  std::printf("\naggregate: no-shared-attr %.3f vs shared-attr %.3f -> ratio"
+              " %.2fx (paper: ~2x)\n",
+              rate0, rate1, rate1 / std::max(rate0, 1e-9));
 
   bench::header("Fig 13b: average attribute clustering coefficient by type");
   graph::ClusteringOptions options;

@@ -24,6 +24,7 @@ int main() {
                   static_cast<unsigned long long>(row.member_count));
     }
   }
-  std::printf("\n(paper: Google tops employers, Computer Science tops majors)\n");
+  std::printf("\n(paper: Google tops employers, Computer Science tops "
+              "majors)\n");
   return 0;
 }

@@ -28,7 +28,8 @@ int main() {
                               const double* betas, std::size_t n_betas) {
     bench::header(title);
     std::printf("%8s", "alpha");
-    for (std::size_t b = 0; b < n_betas; ++b) std::printf("  beta=%-7.0f", betas[b]);
+    for (std::size_t b = 0; b < n_betas; ++b) std::printf("  beta=%-7.0f",
+                                                          betas[b]);
     std::printf("\n");
     for (const double alpha : alphas) {
       std::printf("%8.2f", alpha);

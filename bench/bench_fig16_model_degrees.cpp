@@ -36,8 +36,8 @@ int main() {
               calibration.params.mu_l, calibration.params.sigma_l,
               calibration.params.ms, calibration.params.mu_a,
               calibration.params.sigma_a, calibration.params.p_new_attribute,
-              calibration.params.attribute_declare_prob, calibration.params.beta,
-              calibration.params.fc);
+              calibration.params.attribute_declare_prob,
+              calibration.params.beta, calibration.params.fc);
 
   struct Row {
     const char* name;

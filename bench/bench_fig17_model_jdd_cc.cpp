@@ -43,7 +43,8 @@ int main() {
   const std::pair<const char*, const SanSnapshot*> rows[] = {
       {"gplus", &target}, {"ours", &ours}, {"zhel", &zhel}};
 
-  bench::header("Fig 17a/17c: attribute knn (social degree -> mean attr degree)");
+  bench::header("Fig 17a/17c: attribute knn (social degree -> mean attr "
+                "degree)");
   std::printf("# (network, degree, knn)\n");
   for (const auto& [name, snap] : rows) {
     std::uint64_t next = 1;

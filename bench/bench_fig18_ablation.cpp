@@ -62,7 +62,8 @@ int main() {
   const double cc_no = average_attribute_clustering(no_rrsan, options);
   std::printf("full model (RR-SAN):   attribute cc = %.5f\n", cc_full);
   std::printf("without RR-SAN (RR):   attribute cc = %.5f\n", cc_no);
-  std::printf("ratio %.1fx (paper: RR-SAN has a large impact on attribute cc)\n",
+  std::printf("ratio %.1fx (paper: RR-SAN has a large impact on attribute "
+              "cc)\n",
               cc_full / std::max(cc_no, 1e-9));
   std::printf("# attribute clustering vs degree\n");
   for (const auto& [degree, cc] : attribute_clustering_by_degree(full)) {
@@ -74,7 +75,8 @@ int main() {
 
   bench::header("Extra ablation: truncated-normal vs exponential lifetime");
   for (const auto& [name, snap] :
-       {std::pair{"truncated-normal", &full}, std::pair{"exponential", &exp_life}}) {
+       {std::pair{"truncated-normal", &full}, std::pair{"exponential",
+                                                        &exp_life}}) {
     const auto hist = graph::out_degree_histogram(snap->social);
     const auto sel = stats::select_degree_model(hist, 1);
     std::printf("%-18s best=%-22s lognormal-ks=%.4f cutoff-ks=%.4f\n", name,

@@ -53,7 +53,8 @@ int main() {
     compromised.push_back(static_cast<std::size_t>(f * static_cast<double>(n)));
   }
 
-  bench::header("Fig 19a: SybilLimit accepted Sybil identities (w=10, cap 100)");
+  bench::header("Fig 19a: SybilLimit accepted Sybil identities (w=10, cap "
+                "100)");
   std::printf("%12s", "compromised");
   for (const auto& [name, snap] : rows) std::printf(" %14s", name);
   std::printf("\n");
@@ -63,8 +64,8 @@ int main() {
     std::vector<const apps::SybilLimit*> limiters;
     std::vector<std::unique_ptr<apps::SybilLimit>> storage;
     for (const auto& [name, snap] : rows) {
-      storage.push_back(std::make_unique<apps::SybilLimit>(snap->social,
-                                                           apps::SybilLimitOptions{}));
+      storage.push_back(std::make_unique<apps::SybilLimit>(
+          snap->social, apps::SybilLimitOptions{}));
       limiters.push_back(storage.back().get());
     }
     for (const std::size_t count : compromised) {
@@ -99,7 +100,8 @@ int main() {
   std::vector<std::unique_ptr<apps::AnonymousCommunication>> anons;
   for (const auto& [name, snap] : rows) {
     anons.push_back(
-        std::make_unique<apps::AnonymousCommunication>(snap->social, anon_options));
+        std::make_unique<apps::AnonymousCommunication>(snap->social,
+                                                       anon_options));
   }
   for (const std::size_t count : compromised) {
     std::printf("%12zu", count);

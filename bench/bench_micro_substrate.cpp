@@ -47,7 +47,8 @@ void BM_Bfs(benchmark::State& state) {
   const auto& snap = test_snapshot();
   san::stats::Rng rng(1);
   for (auto _ : state) {
-    const auto src = static_cast<NodeId>(rng.uniform_index(snap.social.node_count()));
+    const auto src =
+        static_cast<NodeId>(rng.uniform_index(snap.social.node_count()));
     benchmark::DoNotOptimize(san::graph::bfs_distances(snap.social, src));
   }
 }
@@ -131,7 +132,8 @@ void BM_SnapshotExtraction(benchmark::State& state) {
   const auto& net = test_network();
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        san::snapshot_at(net, static_cast<double>(net.social_node_count()) / 2));
+        san::snapshot_at(net,
+                         static_cast<double>(net.social_node_count()) / 2));
   }
 }
 BENCHMARK(BM_SnapshotExtraction);

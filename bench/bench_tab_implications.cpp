@@ -26,7 +26,8 @@ int main() {
     stats::Rng rng(11);
     const auto result = apps::evaluate_reciprocity_prediction(
         halfway, final_snap, {}, 50'000, rng);
-    std::printf("one-directional links at halfway: %llu matured, %llu did not\n",
+    std::printf("one-directional links at halfway: %llu matured, %llu did "
+                "not\n",
                 static_cast<unsigned long long>(result.positives),
                 static_cast<unsigned long long>(result.negatives));
     std::printf("AUC common-neighbors only:   %.3f\n", result.auc_structural);
@@ -38,7 +39,8 @@ int main() {
   bench::header("Link prediction (§7: attribute-aware recommendation)");
   {
     stats::Rng rng(13);
-    const auto result = apps::evaluate_link_prediction(final_snap, 20'000, {}, rng);
+    const auto result = apps::evaluate_link_prediction(final_snap,
+                                                       20'000, {}, rng);
     std::printf("AUC common-neighbors only:   %.3f\n", result.auc_social_only);
     std::printf("AUC + type-weighted attrs:   %.3f\n", result.auc_san);
   }
@@ -56,7 +58,8 @@ int main() {
     std::printf("(chance level ~ top_k / %zu attributes = %.4f)\n",
                 final_snap.populated_attribute_count(),
                 static_cast<double>(options.top_k) /
-                    static_cast<double>(final_snap.populated_attribute_count()));
+                    static_cast<double>(
+                        final_snap.populated_attribute_count()));
   }
 
   bench::header("Community detection (§3.4 motivation, [62])");
@@ -94,7 +97,8 @@ int main() {
             v = static_cast<NodeId>(rng.uniform_index(n));
           } else {
             const std::size_t g = u / kPerGroup;
-            v = static_cast<NodeId>(g * kPerGroup + rng.uniform_index(kPerGroup));
+            v = static_cast<NodeId>(g * kPerGroup +
+                                    rng.uniform_index(kPerGroup));
           }
           if (v != u) planted.add_social_link(u, v, 0.0);
         }
@@ -107,7 +111,8 @@ int main() {
       const auto aware = apps::detect_communities(snap, san_aware);
       std::printf("%12.1f %22.3f %22.3f\n", noise,
                   apps::normalized_mutual_information(plain.label, truth_label),
-                  apps::normalized_mutual_information(aware.label, truth_label));
+                  apps::normalized_mutual_information(aware.label,
+                                                      truth_label));
     }
   }
   return 0;

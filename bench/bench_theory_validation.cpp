@@ -1,6 +1,6 @@
 // Validation of the paper's theorems on generated networks:
 //   Theorem 1 — social outdegree is lognormal with
-//       mu = (mu_l + sigma_l g(gamma)) / ms, sigma^2 = sigma_l^2 (1-delta)/ms^2.
+// mu = (mu_l + sigma_l g(gamma)) / ms, sigma^2 = sigma_l^2 (1-delta)/ms^2.
 //   Theorem 2 — attribute-node social degree is power law with exponent
 //       (2 - p) / (1 - p).
 //   Theorem 3 — Algorithm 2's clustering estimate is within eps of the
@@ -63,10 +63,12 @@ int main() {
   const auto snap = snapshot_full(model::generate_san(params));
   const double exact = graph::exact_average_clustering(snap.social);
   std::printf("exact average clustering: %.5f\n", exact);
-  std::printf("%8s %8s %10s %14s %14s\n", "eps", "nu", "samples", "max|err|/eps",
+  std::printf("%8s %8s %10s %14s %14s\n", "eps", "nu", "samples",
+              "max|err|/eps",
               "violations");
   for (const auto& [eps, nu] :
-       {std::pair{0.02, 20.0}, std::pair{0.01, 50.0}, std::pair{0.005, 100.0}}) {
+       {std::pair{0.02, 20.0}, std::pair{0.01, 50.0}, std::pair{0.005,
+                                                                100.0}}) {
     graph::ClusteringOptions options;
     options.epsilon = eps;
     options.nu = nu;
@@ -75,7 +77,8 @@ int main() {
     constexpr int kRuns = 20;
     for (int run = 0; run < kRuns; ++run) {
       options.seed = 100 + static_cast<std::uint64_t>(run);
-      const double approx = graph::approx_average_clustering(snap.social, options);
+      const double approx = graph::approx_average_clustering(snap.social,
+                                                             options);
       const double err = std::abs(approx - exact);
       worst = std::max(worst, err);
       if (err > eps) ++violations;

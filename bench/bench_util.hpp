@@ -55,21 +55,25 @@ inline void print_pdf(const char* label, const stats::Histogram& hist) {
   }
 }
 
-inline void print_lognormal_fit(const char* label, const stats::LognormalFit& fit) {
+inline void print_lognormal_fit(const char* label,
+                                const stats::LognormalFit& fit) {
   std::printf("%-28s lognormal fit: mu=%.3f sigma=%.3f ks=%.4f (n=%llu)\n",
               label, fit.mu, fit.sigma, fit.ks,
               static_cast<unsigned long long>(fit.n_tail));
 }
 
-inline void print_power_law_fit(const char* label, const stats::PowerLawFit& fit) {
+inline void print_power_law_fit(const char* label,
+                                const stats::PowerLawFit& fit) {
   std::printf("%-28s power-law fit: alpha=%.3f kmin=%u ks=%.4f (n=%llu)\n",
               label, fit.alpha, fit.kmin, fit.ks,
               static_cast<unsigned long long>(fit.n_tail));
 }
 
-inline void print_selection(const char* label, const stats::ModelSelection& sel) {
+inline void print_selection(const char* label,
+                            const stats::ModelSelection& sel) {
   std::printf(
-      "%-28s best=%s  (AIC: power-law=%.0f lognormal=%.0f cutoff=%.0f)\n", label,
+      "%-28s best=%s  (AIC: power-law=%.0f lognormal=%.0f "
+      "cutoff=%.0f)\n", label,
       to_string(sel.best).c_str(), sel.aic_power_law, sel.aic_lognormal,
       sel.aic_cutoff);
 }

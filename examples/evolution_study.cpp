@@ -6,11 +6,13 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include <vector>
+
 #include "crawl/gplus_synth.hpp"
 #include "graph/clustering.hpp"
 #include "graph/metrics.hpp"
 #include "san/san_metrics.hpp"
-#include "san/snapshot.hpp"
+#include "san/timeline.hpp"
 
 int main(int argc, char** argv) {
   using namespace san;
@@ -21,21 +23,25 @@ int main(int argc, char** argv) {
               params.total_social_nodes);
   const auto net = crawl::generate_synthetic_gplus(params);
 
+  // Index once, then replay the whole evolution study in O(prefix) per day.
+  const SanTimeline timeline(net);
+
   std::printf("%5s %8s %9s %12s %10s %10s %10s\n", "day", "phase", "nodes",
               "links", "recip", "density", "attr-dens");
-  for (int day = 10; day <= 98; day += 11) {
-    const auto snap = snapshot_at(net, day);
+  std::vector<double> days;
+  for (int day = 10; day <= 98; day += 11) days.push_back(day);
+  timeline.sweep(days, [&](double day, const SanSnapshot& snap) {
     const int phase = day <= params.phase1_end ? 1
                       : day <= params.phase2_end ? 2
                                                  : 3;
-    std::printf("%5d %8d %9zu %12llu %10.3f %10.2f %10.2f\n", day, phase,
+    std::printf("%5.0f %8d %9zu %12llu %10.3f %10.2f %10.2f\n", day, phase,
                 snap.social_node_count(),
                 static_cast<unsigned long long>(snap.social_link_count()),
                 graph::reciprocity(snap.social), graph::density(snap.social),
                 attribute_density(snap));
-  }
+  });
 
-  const auto final_snap = snapshot_full(net);
+  const auto final_snap = timeline.snapshot_full();
   graph::ClusteringOptions cc;
   cc.epsilon = 0.01;
   std::printf("\nfinal social clustering:    %.4f\n",

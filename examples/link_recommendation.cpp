@@ -26,19 +26,22 @@ int main(int argc, char** argv) {
   // Recommend for the first few users that declare attributes.
   std::size_t shown = 0;
   for (NodeId u = 0; u < snap.social_node_count() && shown < 3; ++u) {
-    if (snap.attributes[u].size() < 2) continue;
+    if (snap.attributes_of(u).size() < 2) continue;
     ++shown;
-    std::printf("recommendations for user %u (%zu attributes, %zu out-links):\n",
-                u, snap.attributes[u].size(), snap.social.out_degree(u));
+    std::printf("recommendations for user %u (%zu attributes,"
+                " %zu out-links):\n",
+                u, snap.attributes_of(u).size(), snap.social.out_degree(u));
     for (const auto& rec : apps::recommend_friends(snap, u, 5, weights)) {
       std::printf("  candidate %-8u score %.2f\n", rec.candidate, rec.score);
     }
   }
 
   stats::Rng rng(7);
-  const auto holdout = apps::evaluate_link_prediction(snap, 5'000, weights, rng);
+  const auto holdout = apps::evaluate_link_prediction(snap,
+                                                      5'000, weights, rng);
   std::printf("\nholdout AUC (ranking positives above random non-edges):\n");
-  std::printf("  common neighbors only:        %.3f\n", holdout.auc_social_only);
+  std::printf("  common neighbors only:        %.3f\n",
+              holdout.auc_social_only);
   std::printf("  + type-weighted attributes:   %.3f\n", holdout.auc_san);
   std::printf("(the SAN-aware scorer should be at least as good — the paper's"
               " point that attributes carry link signal)\n");

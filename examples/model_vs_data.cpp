@@ -20,15 +20,18 @@ int main(int argc, char** argv) {
 
   crawl::SyntheticGplusParams params;
   params.total_social_nodes = argc > 1 ? std::atol(argv[1]) : 20'000;
-  std::printf("target: %zu-node synthetic Google+ crawl\n", params.total_social_nodes);
+  std::printf("target: %zu-node synthetic Google+ crawl\n",
+              params.total_social_nodes);
   const auto target = snapshot_full(crawl::generate_synthetic_gplus(params));
 
-  std::printf("calibrating generator (Theorem 1/2 inversion + pilot correction)...\n");
+  std::printf("calibrating generator (Theorem 1/2 inversion + pilot "
+              "correction)...\n");
   auto calibration = model::calibrate_generator(target);
   const auto& fitted = calibration.params;
   std::printf("  lifetime:  truncated normal (mu=%.2f, sigma=%.2f), ms=%.2f\n",
               fitted.mu_l, fitted.sigma_l, fitted.ms);
-  std::printf("  attributes: lognormal(mu=%.2f, sigma=%.2f), declare=%.2f, p=%.3f\n",
+  std::printf("  attributes: lognormal(mu=%.2f, sigma=%.2f), declare=%.2f, "
+              "p=%.3f\n",
               fitted.mu_a, fitted.sigma_a, fitted.attribute_declare_prob,
               fitted.p_new_attribute);
 
@@ -39,7 +42,8 @@ int main(int argc, char** argv) {
 
   const auto report = [&](const char* what, const stats::Histogram& a,
                           const stats::Histogram& b) {
-    std::printf("  %-26s target-mean=%7.2f model-mean=%7.2f two-sample-ks=%.4f\n",
+    std::printf("  %-26s target-mean=%7.2f model-mean=%7.2f "
+                "two-sample-ks=%.4f\n",
                 what, stats::mean_of_histogram(a), stats::mean_of_histogram(b),
                 stats::ks_two_sample(a, b));
   };

@@ -18,10 +18,14 @@ int main() {
   SocialAttributeNetwork net;
   for (int i = 0; i < 6; ++i) net.add_social_node();
 
-  const AttrId sf = net.add_attribute_node(AttributeType::kCity, "San Francisco");
-  const AttrId cal = net.add_attribute_node(AttributeType::kSchool, "UC Berkeley");
-  const AttrId cs = net.add_attribute_node(AttributeType::kMajor, "Computer Science");
-  const AttrId google = net.add_attribute_node(AttributeType::kEmployer, "Google Inc.");
+  const AttrId sf = net.add_attribute_node(AttributeType::kCity,
+                                           "San Francisco");
+  const AttrId cal = net.add_attribute_node(AttributeType::kSchool,
+                                            "UC Berkeley");
+  const AttrId cs = net.add_attribute_node(AttributeType::kMajor,
+                                           "Computer Science");
+  const AttrId google = net.add_attribute_node(AttributeType::kEmployer,
+                                               "Google Inc.");
 
   net.add_attribute_link(0, sf);
   net.add_attribute_link(1, sf);
@@ -59,6 +63,7 @@ int main() {
   // a(u, v): the LAPA similarity the generative model builds on.
   std::printf("common attributes of users 3 and 4: %zu\n",
               net.common_attributes(3, 4));
-  std::printf("users sharing 'Google Inc.': %zu\n", net.members_of(google).size());
+  std::printf("users sharing 'Google Inc.': %zu\n",
+              net.members_of(google).size());
   return 0;
 }

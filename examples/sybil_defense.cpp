@@ -26,7 +26,8 @@ int main(int argc, char** argv) {
               sybil.topology().node_count(),
               static_cast<unsigned long long>(sybil.topology().edge_count()));
 
-  std::printf("\n%12s %14s %18s\n", "compromised", "attack-edges", "sybil-identities");
+  std::printf("\n%12s %14s %18s\n", "compromised", "attack-edges",
+              "sybil-identities");
   for (const double fraction : {0.001, 0.005, 0.01, 0.02, 0.05}) {
     const auto count = static_cast<std::size_t>(
         fraction * static_cast<double>(snap.social_node_count()));

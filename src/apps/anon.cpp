@@ -22,7 +22,8 @@ AnonymousCommunication::AnonymousCommunication(const graph::CsrGraph& social,
 double AnonymousCommunication::timing_attack_probability(
     std::span<const std::uint8_t> compromised_flags, stats::Rng& rng) const {
   if (compromised_flags.size() != topology_.node_count()) {
-    throw std::invalid_argument("timing_attack_probability: flag size mismatch");
+    throw std::invalid_argument("timing_attack_probability: flag size "
+                                "mismatch");
   }
   const std::size_t n = topology_.node_count();
   if (n == 0) return 0.0;

@@ -24,14 +24,15 @@ struct AnonOptions {
 
 class AnonymousCommunication {
  public:
-  AnonymousCommunication(const graph::CsrGraph& social, const AnonOptions& options);
+  AnonymousCommunication(const graph::CsrGraph& social,
+                         const AnonOptions& options);
 
   const graph::CsrGraph& topology() const { return topology_; }
 
   /// Probability that the first and last relays of a random-walk circuit
   /// are both compromised.
-  double timing_attack_probability(std::span<const std::uint8_t> compromised_flags,
-                                   stats::Rng& rng) const;
+  double timing_attack_probability(
+      std::span<const std::uint8_t> compromised_flags, stats::Rng& rng) const;
 
   /// Compromise `count` nodes uniformly at random, then estimate.
   double timing_attack_probability_uniform(std::size_t count,

@@ -12,19 +12,21 @@ std::vector<AttributePrediction> rank_candidates(
     const AttributeInferenceOptions& options) {
   std::unordered_map<AttrId, double> votes;
   for (const NodeId v : snap.social.neighbors(u)) {
-    const bool mutual = snap.social.has_edge(u, v) && snap.social.has_edge(v, u);
+    const bool mutual = snap.social.has_edge(u, v) && snap.social.has_edge(v,
+                                                                           u);
     const double w = mutual ? options.mutual_neighbor_weight
                             : options.one_way_neighbor_weight;
-    for (const AttrId x : snap.attributes[v]) votes[x] += w;
+    for (const AttrId x : snap.attributes_of(v)) votes[x] += w;
   }
   // Remove attributes u still declares (the held-out one stays a candidate).
-  for (const AttrId x : snap.attributes[u]) {
+  for (const AttrId x : snap.attributes_of(u)) {
     if (x != held_out) votes.erase(x);
   }
 
   std::vector<AttributePrediction> ranked;
   ranked.reserve(votes.size());
-  for (const auto& [attribute, score] : votes) ranked.push_back({attribute, score});
+  for (const auto& [attribute, score] : votes) ranked.push_back({attribute,
+                                                                 score});
   std::sort(ranked.begin(), ranked.end(),
             [](const AttributePrediction& a, const AttributePrediction& b) {
               if (a.score != b.score) return a.score > b.score;
@@ -37,7 +39,8 @@ std::vector<AttributePrediction> rank_candidates(
 }  // namespace
 
 std::vector<AttributePrediction> infer_attributes(
-    const SanSnapshot& snap, NodeId u, const AttributeInferenceOptions& options) {
+    const SanSnapshot& snap, NodeId u,
+    const AttributeInferenceOptions& options) {
   if (u >= snap.social_node_count()) {
     throw std::out_of_range("infer_attributes: unknown node");
   }
@@ -53,7 +56,7 @@ AttributeInferenceResult evaluate_attribute_inference(
   // Collect all (user, attribute) links once.
   std::vector<std::pair<NodeId, AttrId>> links;
   for (NodeId u = 0; u < snap.social_node_count(); ++u) {
-    for (const AttrId x : snap.attributes[u]) links.emplace_back(u, x);
+    for (const AttrId x : snap.attributes_of(u)) links.emplace_back(u, x);
   }
   if (links.empty()) return result;
 

@@ -35,8 +35,8 @@ CommunityResult detect_communities(const SanSnapshot& snap,
         votes[result.label[v]] += 1.0;
       }
       if (options.attribute_weight > 0.0) {
-        for (const AttrId x : snap.attributes[u]) {
-          const auto& members = snap.members[x];
+        for (const AttrId x : snap.attributes_of(u)) {
+          const auto members = snap.members_of(x);
           if (members.size() < 2) continue;
           const double w =
               options.attribute_weight / static_cast<double>(members.size());
@@ -74,14 +74,17 @@ CommunityResult detect_communities(const SanSnapshot& snap,
   return result;
 }
 
-double modularity(const SanSnapshot& snap, const std::vector<std::uint32_t>& label) {
+double modularity(const SanSnapshot& snap,
+                  const std::vector<std::uint32_t>& label) {
   const std::size_t n = snap.social_node_count();
   if (label.size() != n) {
     throw std::invalid_argument("modularity: label size mismatch");
   }
   // Undirected view: degree = |neighbors|, total stubs = sum of degrees.
   double m2 = 0.0;
-  for (NodeId u = 0; u < n; ++u) m2 += static_cast<double>(snap.social.degree(u));
+  for (NodeId u = 0; u < n; ++u) {
+    m2 += static_cast<double>(snap.social.degree(u));
+  }
   if (m2 == 0.0) return 0.0;
 
   std::unordered_map<std::uint32_t, double> community_degree;

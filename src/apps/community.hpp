@@ -40,7 +40,8 @@ CommunityResult detect_communities(const SanSnapshot& snap,
 
 /// Newman modularity of a labeling on the undirected social view (each
 /// directed link counted once per direction).
-double modularity(const SanSnapshot& snap, const std::vector<std::uint32_t>& label);
+double modularity(const SanSnapshot& snap,
+                  const std::vector<std::uint32_t>& label);
 
 /// Normalized mutual information between two labelings (for recovering
 /// planted attribute communities in tests/benches).

@@ -6,7 +6,8 @@
 namespace san::apps {
 namespace {
 
-std::size_t common_sorted(std::span<const NodeId> a, std::span<const NodeId> b) {
+std::size_t common_sorted(std::span<const NodeId> a,
+                          std::span<const NodeId> b) {
   std::size_t count = 0;
   auto ia = a.begin();
   auto ib = b.begin();
@@ -24,8 +25,8 @@ std::size_t common_sorted(std::span<const NodeId> a, std::span<const NodeId> b) 
 
 double attribute_score(const SanSnapshot& snap, NodeId u, NodeId v,
                        const LinkPredictionWeights& weights) {
-  const auto& au = snap.attributes[u];
-  const auto& av = snap.attributes[v];
+  const auto au = snap.attributes_of(u);
+  const auto av = snap.attributes_of(v);
   double score = 0.0;
   auto iu = au.begin();
   auto iv = av.begin();
@@ -35,7 +36,8 @@ double attribute_score(const SanSnapshot& snap, NodeId u, NodeId v,
     } else if (*iv < *iu) {
       ++iv;
     } else {
-      score += weights.attribute[static_cast<std::size_t>(snap.attribute_types[*iu])];
+      score += weights.attribute[static_cast<std::size_t>(
+          snap.attribute_types[*iu])];
       ++iu, ++iv;
     }
   }
@@ -54,9 +56,9 @@ double pair_score(const SanSnapshot& snap, NodeId u, NodeId v,
 
 }  // namespace
 
-std::vector<Recommendation> recommend_friends(const SanSnapshot& snap, NodeId u,
-                                              std::size_t k,
-                                              const LinkPredictionWeights& weights) {
+std::vector<Recommendation> recommend_friends(
+    const SanSnapshot& snap, NodeId u, std::size_t k,
+    const LinkPredictionWeights& weights) {
   if (u >= snap.social_node_count()) {
     throw std::out_of_range("recommend_friends: unknown node");
   }
@@ -70,11 +72,11 @@ std::vector<Recommendation> recommend_friends(const SanSnapshot& snap, NodeId u,
     }
   }
   // Attribute-community candidates.
-  for (const AttrId x : snap.attributes[u]) {
+  for (const AttrId x : snap.attributes_of(u)) {
     const double wx =
         weights.attribute[static_cast<std::size_t>(snap.attribute_types[x])];
     if (wx <= 0.0) continue;
-    for (const NodeId c : snap.members[x]) {
+    for (const NodeId c : snap.members_of(x)) {
       if (c == u) continue;
       scores[c] += wx;
     }
@@ -86,10 +88,13 @@ std::vector<Recommendation> recommend_friends(const SanSnapshot& snap, NodeId u,
 
   std::vector<Recommendation> recs;
   recs.reserve(scores.size());
-  for (const auto& [candidate, score] : scores) recs.push_back({candidate, score});
+  for (const auto& [candidate, score] : scores) recs.push_back({candidate,
+                                                                score});
   const std::size_t keep = std::min(k, recs.size());
-  std::partial_sort(recs.begin(), recs.begin() + static_cast<std::ptrdiff_t>(keep),
-                    recs.end(), [](const Recommendation& a, const Recommendation& b) {
+  std::partial_sort(recs.begin(),
+                    recs.begin() + static_cast<std::ptrdiff_t>(keep),
+                    recs.end(), [](const Recommendation& a,
+                                   const Recommendation& b) {
                       if (a.score != b.score) return a.score > b.score;
                       return a.candidate < b.candidate;
                     });
@@ -97,7 +102,8 @@ std::vector<Recommendation> recommend_friends(const SanSnapshot& snap, NodeId u,
   return recs;
 }
 
-HoldoutResult evaluate_link_prediction(const SanSnapshot& snap, std::size_t pairs,
+HoldoutResult evaluate_link_prediction(const SanSnapshot& snap,
+                                       std::size_t pairs,
                                        const LinkPredictionWeights& weights,
                                        stats::Rng& rng) {
   HoldoutResult result;
@@ -124,7 +130,8 @@ HoldoutResult evaluate_link_prediction(const SanSnapshot& snap, std::size_t pair
     const double neg_social = pair_score(snap, nu, nv, weights, false);
     const double pos_san = pair_score(snap, pu, pv, weights, true);
     const double neg_san = pair_score(snap, nu, nv, weights, true);
-    wins_social += pos_social > neg_social ? 1.0 : pos_social == neg_social ? 0.5 : 0.0;
+    wins_social +=
+        pos_social > neg_social ? 1.0 : pos_social == neg_social ? 0.5 : 0.0;
     wins_san += pos_san > neg_san ? 1.0 : pos_san == neg_san ? 0.5 : 0.0;
     ++result.pairs;
   }

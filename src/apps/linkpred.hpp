@@ -31,9 +31,9 @@ struct Recommendation {
 };
 
 /// Top-k recommended link targets for `u` (excluding existing out-links).
-std::vector<Recommendation> recommend_friends(const SanSnapshot& snap, NodeId u,
-                                              std::size_t k,
-                                              const LinkPredictionWeights& weights);
+std::vector<Recommendation> recommend_friends(
+    const SanSnapshot& snap, NodeId u, std::size_t k,
+    const LinkPredictionWeights& weights);
 
 struct HoldoutResult {
   double auc_social_only = 0.0;
@@ -45,7 +45,8 @@ struct HoldoutResult {
 /// and report how often each scorer ranks the positive higher (ties count
 /// half). The positive edge is scored with itself removed from the graph's
 /// evidence (its reverse edge and common structure remain).
-HoldoutResult evaluate_link_prediction(const SanSnapshot& snap, std::size_t pairs,
+HoldoutResult evaluate_link_prediction(const SanSnapshot& snap,
+                                       std::size_t pairs,
                                        const LinkPredictionWeights& weights,
                                        stats::Rng& rng);
 

@@ -6,7 +6,8 @@
 namespace san::apps {
 namespace {
 
-std::size_t common_sorted(std::span<const NodeId> a, std::span<const NodeId> b) {
+std::size_t common_sorted(std::span<const NodeId> a,
+                          std::span<const NodeId> b) {
   std::size_t count = 0;
   auto ia = a.begin();
   auto ib = b.begin();
@@ -24,8 +25,8 @@ std::size_t common_sorted(std::span<const NodeId> a, std::span<const NodeId> b) 
 
 double attribute_feature(const SanSnapshot& snap, NodeId u, NodeId v,
                          const ReciprocityWeights& weights) {
-  const auto& au = snap.attributes[u];
-  const auto& av = snap.attributes[v];
+  const auto au = snap.attributes_of(u);
+  const auto av = snap.attributes_of(v);
   double score = 0.0;
   auto iu = au.begin();
   auto iv = av.begin();
@@ -35,7 +36,8 @@ double attribute_feature(const SanSnapshot& snap, NodeId u, NodeId v,
     } else if (*iv < *iu) {
       ++iv;
     } else {
-      score += weights.attribute[static_cast<std::size_t>(snap.attribute_types[*iu])];
+      score += weights.attribute[static_cast<std::size_t>(
+          snap.attribute_types[*iu])];
       ++iu, ++iv;
     }
   }
@@ -86,7 +88,9 @@ ReciprocityPredictionResult evaluate_reciprocity_prediction(
     const auto& p = positives[rng.uniform_index(positives.size())];
     const auto& n = negatives[rng.uniform_index(negatives.size())];
     wins_structural +=
-        p.structural > n.structural ? 1.0 : p.structural == n.structural ? 0.5 : 0.0;
+        p.structural > n.structural   ? 1.0
+        : p.structural == n.structural ? 0.5
+                                       : 0.0;
     wins_san += p.san > n.san ? 1.0 : p.san == n.san ? 0.5 : 0.0;
   }
   result.auc_structural = wins_structural / static_cast<double>(pair_samples);

@@ -54,7 +54,8 @@ SybilLimitResult SybilLimit::evaluate_uniform(std::size_t count,
                                               stats::Rng& rng) const {
   const std::size_t n = topology_.node_count();
   if (count > n) {
-    throw std::invalid_argument("SybilLimit: more compromised nodes than nodes");
+    throw std::invalid_argument("SybilLimit: more compromised nodes than "
+                                "nodes");
   }
   std::vector<std::uint8_t> flags(n, 0);
   std::size_t chosen = 0;
@@ -68,8 +69,8 @@ SybilLimitResult SybilLimit::evaluate_uniform(std::size_t count,
   return evaluate(flags);
 }
 
-std::vector<graph::NodeId> SybilLimit::random_route(graph::NodeId start,
-                                                    std::uint64_t instance) const {
+std::vector<graph::NodeId> SybilLimit::random_route(
+    graph::NodeId start, std::uint64_t instance) const {
   std::vector<graph::NodeId> route;
   route.push_back(start);
   graph::NodeId current = start;
@@ -83,7 +84,8 @@ std::vector<graph::NodeId> SybilLimit::random_route(graph::NodeId start,
     // Pseudorandom permutation pi of [0, d): a Feistel-free degree-keyed
     // affine map (a * i + b mod d) with a coprime to d — enough structure
     // for permutation routing and cheap to evaluate.
-    const std::uint64_t key = mix(instance ^ (static_cast<std::uint64_t>(current) << 20));
+    const std::uint64_t key =
+        mix(instance ^ (static_cast<std::uint64_t>(current) << 20));
     std::uint64_t a = 1 + 2 * (key % d);  // odd -> coprime when d is a power
     while (std::gcd(a, static_cast<std::uint64_t>(d)) != 1) ++a;
     const std::uint64_t b = mix(key) % d;
@@ -93,7 +95,8 @@ std::vector<graph::NodeId> SybilLimit::random_route(graph::NodeId start,
     // Record the reverse-edge index at the next node to keep routes
     // convergent (the SybilLimit back-traceability property).
     const auto next_nbrs = topology_.out(next);
-    const auto it = std::lower_bound(next_nbrs.begin(), next_nbrs.end(), current);
+    const auto it = std::lower_bound(next_nbrs.begin(), next_nbrs.end(),
+                                     current);
     entry = static_cast<std::size_t>(it - next_nbrs.begin());
     current = next;
     route.push_back(current);

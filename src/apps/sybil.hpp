@@ -40,7 +40,8 @@ class SybilLimit {
   const graph::CsrGraph& topology() const { return topology_; }
 
   /// Accepted-Sybil bound for an explicit compromised set (node flags).
-  SybilLimitResult evaluate(std::span<const std::uint8_t> compromised_flags) const;
+  SybilLimitResult evaluate(
+      std::span<const std::uint8_t> compromised_flags) const;
 
   /// Compromise `count` distinct nodes uniformly at random, then evaluate.
   SybilLimitResult evaluate_uniform(std::size_t count, stats::Rng& rng) const;

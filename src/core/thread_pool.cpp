@@ -61,7 +61,8 @@ void ThreadPool::stop_workers() {
 void ThreadPool::drain_chunks(const std::function<void(std::size_t)>& fn,
                               std::size_t chunk_count) {
   for (;;) {
-    const std::size_t chunk = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t chunk = next_chunk_.fetch_add(1,
+                                                    std::memory_order_relaxed);
     if (chunk >= chunk_count) break;
     try {
       fn(chunk);
@@ -130,6 +131,8 @@ void ThreadPool::run_chunks(std::size_t chunk_count,
 
 std::size_t thread_count() { return ThreadPool::instance().thread_count(); }
 
-void set_thread_count(std::size_t n) { ThreadPool::instance().set_thread_count(n); }
+void set_thread_count(std::size_t n) {
+  ThreadPool::instance().set_thread_count(n);
+}
 
 }  // namespace san::core

@@ -11,7 +11,8 @@ namespace san::crawl {
 
 CrawlResult crawl_at(const SocialAttributeNetwork& truth, double time,
                      const CrawlerOptions& options) {
-  if (options.private_profile_prob < 0.0 || options.private_profile_prob > 1.0) {
+  if (options.private_profile_prob < 0.0 ||
+      options.private_profile_prob > 1.0) {
     throw std::invalid_argument("crawl_at: private_profile_prob in [0, 1]");
   }
   const SanSnapshot snap = snapshot_at(truth, time);
@@ -79,13 +80,19 @@ CrawlResult crawl_at(const SocialAttributeNetwork& truth, double time,
     if (e.time > time) continue;
     if (!discovered[e.src] || !discovered[e.dst]) continue;
     if (is_private[e.src] && is_private[e.dst]) continue;
-    result.network.add_social_link(to_crawled[e.src], to_crawled[e.dst], e.time);
+    result.network.add_social_link(to_crawled[e.src], to_crawled[e.dst],
+                                   e.time);
     ++observed_links;
   }
+  // Mirror the snapshot rules: a link only exists if its user has joined and
+  // its attribute has been created by `time` (snap.attribute_created tracks
+  // the latter for the same cutoff).
   for (const auto& link : truth.attribute_log()) {
     if (link.time > time) continue;
     if (link.user >= n || !discovered[link.user]) continue;
-    result.network.add_attribute_link(to_crawled[link.user], link.attr, link.time);
+    if (!snap.attribute_created[link.attr]) continue;
+    result.network.add_attribute_link(to_crawled[link.user], link.attr,
+                                      link.time);
   }
 
   result.original_id = std::move(crawled);

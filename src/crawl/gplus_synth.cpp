@@ -59,11 +59,13 @@ int phase_of(const SyntheticGplusParams& p, double day) {
 
 void validate(const SyntheticGplusParams& p) {
   const auto fail = [](const char* message) {
-    throw std::invalid_argument(std::string("SyntheticGplusParams: ") + message);
+    throw std::invalid_argument(std::string("SyntheticGplusParams: ") +
+                                message);
   };
   if (p.total_social_nodes < 100) fail("total_social_nodes must be >= 100");
   if (p.days < 3) fail("days must be >= 3");
-  if (p.phase1_end <= 0 || p.phase1_end >= p.phase2_end || p.phase2_end >= p.days) {
+  if (p.phase1_end <= 0 || p.phase1_end >= p.phase2_end ||
+      p.phase2_end >= p.days) {
     fail("phase boundaries must satisfy 0 < phase1_end < phase2_end < days");
   }
   if (p.phase1_fraction <= 0.0 || p.phase2_fraction <= 0.0 ||
@@ -79,7 +81,8 @@ void validate(const SyntheticGplusParams& p) {
   if (p.p_new_attribute < 0.0 || p.p_new_attribute >= 1.0) {
     fail("p_new_attribute must be in [0, 1)");
   }
-  if (p.reciprocation_delay_mean <= 0.0) fail("reciprocation_delay_mean must be > 0");
+  if (p.reciprocation_delay_mean <= 0.0) fail("reciprocation_delay_mean must "
+                                              "be > 0");
   if (p.lurker_prob < 0.0 || p.lurker_prob >= 1.0) {
     fail("lurker_prob must be in [0, 1)");
   }
@@ -123,23 +126,27 @@ double reciprocation_base(const SyntheticGplusParams& p, double day) {
                      static_cast<double>(p.phase2_end - p.phase1_end);
     return start + f * (p.reciprocate_phase2 - start);
   }
-  const double f =
-      std::min(1.0, (day - p.phase2_end) / static_cast<double>(p.days - p.phase2_end));
-  return p.reciprocate_phase2 + f * (p.reciprocate_phase3 - p.reciprocate_phase2);
+  const double f = std::min(
+      1.0, (day - p.phase2_end) / static_cast<double>(p.days - p.phase2_end));
+  return p.reciprocate_phase2 +
+         f * (p.reciprocate_phase3 - p.reciprocate_phase2);
 }
 
-SocialAttributeNetwork generate_synthetic_gplus(const SyntheticGplusParams& params) {
+SocialAttributeNetwork generate_synthetic_gplus(
+    const SyntheticGplusParams& params) {
   validate(params);
   stats::Rng rng(params.seed);
   SocialAttributeNetwork net;
   model::LapaSampler sampler(net, rng);
 
-  const stats::DiscreteLognormal attr_degree_dist(params.mu_a, params.sigma_a, 1);
+  const stats::DiscreteLognormal attr_degree_dist(params.mu_a, params.sigma_a,
+                                                  1);
   const stats::TruncatedNormal lifetime_dist(params.mu_l, params.sigma_l);
 
   // --- Attribute creation with named catalogs. ---
   std::size_t created_per_type[kAttributeTypeCount] = {};
-  const auto catalog_for = [](AttributeType type) -> const std::vector<std::string>* {
+  const auto catalog_for =
+      [](AttributeType type) -> const std::vector<std::string>* {
     switch (type) {
       case AttributeType::kSchool:
         return &kSchoolNames;
@@ -176,20 +183,23 @@ SocialAttributeNetwork generate_synthetic_gplus(const SyntheticGplusParams& para
   };
 
   const auto add_attribute_link = [&](NodeId u, AttrId x, double time) {
-    if (net.add_attribute_link(u, x, time)) sampler.on_attribute_link_added(u, x);
+    if (net.add_attribute_link(u, x, time)) sampler.on_attribute_link_added(u,
+                                                                            x);
   };
 
   // Social links are timestamped no earlier than both endpoints' join times
   // so snapshots are always consistent.
   const auto add_social_link = [&](NodeId u, NodeId v, double time) {
     if (u == v) return false;
-    const double t = std::max({time, net.social_node_time(u), net.social_node_time(v)});
+    const double t = std::max({time, net.social_node_time(u),
+                               net.social_node_time(v)});
     if (!net.add_social_link(u, v, t)) return false;
     sampler.on_social_link_added(u, v);
     return true;
   };
 
-  std::priority_queue<TimedEvent, std::vector<TimedEvent>, std::greater<>> events;
+  std::priority_queue<TimedEvent, std::vector<TimedEvent>, std::greater<>>
+      events;
 
   // --- Reciprocation: delayed, attribute- and embeddedness-aware. ---
   std::unordered_set<NodeId> mark;
@@ -227,7 +237,8 @@ SocialAttributeNetwork generate_synthetic_gplus(const SyntheticGplusParams& para
     if (net.social().has_edge(v, u)) return;
     const std::size_t a = net.common_attributes(u, v);
     const std::size_t c = common_social_neighbors(u, v);
-    double q = reciprocation_base(params, std::min(time, static_cast<double>(params.days)));
+    double q = reciprocation_base(
+        params, std::min(time, static_cast<double>(params.days)));
     if (a == 1) {
       q *= 1.0 + params.reciprocate_attr_boost_1;
     } else if (a >= 2) {
@@ -269,11 +280,13 @@ SocialAttributeNetwork generate_synthetic_gplus(const SyntheticGplusParams& para
     for (int attempt = 0; attempt < 32; ++attempt) {
       const auto attrs = net.attributes_of(u);
       const auto& g = net.social();
-      const double w_social = static_cast<double>(g.out_degree(u) + g.in_degree(u));
+      const double w_social =
+          static_cast<double>(g.out_degree(u) + g.in_degree(u));
       double w_attr = 0.0;
       for (const AttrId x : attrs) {
-        w_attr += params.fc *
-                  kTypeFocalWeight[static_cast<std::size_t>(net.attribute_type(x))];
+        w_attr +=
+            params.fc *
+            kTypeFocalWeight[static_cast<std::size_t>(net.attribute_type(x))];
       }
       if (w_social + w_attr <= 0.0) break;
       NodeId v = u;
@@ -322,10 +335,12 @@ SocialAttributeNetwork generate_synthetic_gplus(const SyntheticGplusParams& para
   new_attribute(AttributeType::kCity, 0.0);      // "San Francisco"
   for (std::size_t i = 0; i < kSeedNodes; ++i) {
     for (std::size_t j = 0; j < kSeedNodes; ++j) {
-      if (i != j) add_social_link(static_cast<NodeId>(i), static_cast<NodeId>(j), 0.0);
+      if (i != j) add_social_link(static_cast<NodeId>(i),
+                                  static_cast<NodeId>(j), 0.0);
     }
     add_attribute_link(static_cast<NodeId>(i), static_cast<AttrId>(i % 2), 0.0);
-    add_attribute_link(static_cast<NodeId>(i), static_cast<AttrId>(2 + i % 2), 0.0);
+    add_attribute_link(static_cast<NodeId>(i), static_cast<AttrId>(2 + i % 2),
+                       0.0);
   }
 
   // --- Day loop. ---
@@ -334,8 +349,8 @@ SocialAttributeNetwork generate_synthetic_gplus(const SyntheticGplusParams& para
     const int phase = phase_of(params, static_cast<double>(day));
     // Early adopters (phase I) declare attributes more often and skew
     // towards tech employers/majors — the artifact behind Fig 14.
-    const double declare_prob =
-        params.attribute_declare_prob * (phase == 1 ? 1.5 : phase == 2 ? 0.95 : 0.85);
+    const double declare_prob = params.attribute_declare_prob *
+                                (phase == 1 ? 1.5 : phase == 2 ? 0.95 : 0.85);
 
     for (std::size_t i = 0; i < arrivals; ++i) {
       const double now = (day - 1) + static_cast<double>(i + 1) /
@@ -389,15 +404,17 @@ SocialAttributeNetwork generate_synthetic_gplus(const SyntheticGplusParams& para
         if (day <= params.phase1_end) {
           boost = params.phase1_lifetime_boost;
         } else if (day <= params.phase2_end) {
-          const double f = static_cast<double>(day - params.phase1_end) /
-                           static_cast<double>(params.phase2_end - params.phase1_end);
+          const double f =
+              static_cast<double>(day - params.phase1_end) /
+              static_cast<double>(params.phase2_end - params.phase1_end);
           boost = params.phase1_lifetime_boost +
                   f * (1.0 - params.phase1_lifetime_boost);
         }
         const double lifetime = boost * lifetime_dist.sample(rng);
         const double sleep = sample_sleep(net.social().out_degree(u));
         if (sleep <= lifetime) {
-          events.push({now + sleep, TimedEvent::Kind::kWake, u, 0, lifetime - sleep});
+          events.push({now + sleep, TimedEvent::Kind::kWake, u, 0,
+                       lifetime - sleep});
         }
       }
     }
@@ -410,9 +427,11 @@ SocialAttributeNetwork generate_synthetic_gplus(const SyntheticGplusParams& para
         consider_reciprocation(event.a, event.b, event.time);
       } else {
         issue_closure_link(event.a, event.time);
-        const double next_sleep = sample_sleep(net.social().out_degree(event.a));
+        const double next_sleep =
+            sample_sleep(net.social().out_degree(event.a));
         if (next_sleep <= event.lifetime_left) {
-          events.push({event.time + next_sleep, TimedEvent::Kind::kWake, event.a,
+          events.push({event.time + next_sleep, TimedEvent::Kind::kWake,
+                       event.a,
                        0, event.lifetime_left - next_sleep});
         }
       }

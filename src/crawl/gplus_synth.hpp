@@ -43,7 +43,7 @@ struct SyntheticGplusParams {
   double reciprocate_phase1 = 0.36;
   double reciprocate_phase2 = 0.10;
   double reciprocate_phase3 = 0.05;
-  double reciprocate_attr_boost_1 = 0.9;   // multiplier add-on for 1 shared attr
+  double reciprocate_attr_boost_1 = 0.9;   // multiplier add-on, 1 shared attr
   double reciprocate_attr_boost_2 = 1.3;   // for >= 2 shared attrs
   // Reverse links are *considered* after a heavy-tailed delay (mostly
   // within days, a 30 % tail up to slow_delay_max days); the accept
@@ -91,6 +91,7 @@ std::size_t arrivals_on_day(const SyntheticGplusParams& params, int day);
 double reciprocation_base(const SyntheticGplusParams& params, double day);
 
 /// Generate the synthetic Google+ SAN (timestamps are fractional days).
-SocialAttributeNetwork generate_synthetic_gplus(const SyntheticGplusParams& params);
+SocialAttributeNetwork generate_synthetic_gplus(
+    const SyntheticGplusParams& params);
 
 }  // namespace san::crawl

@@ -87,9 +87,8 @@ std::vector<std::uint32_t> bfs_distances_multi(const CsrGraph& g,
   return bfs_impl(g, sources, direction);
 }
 
-std::vector<std::uint64_t> sampled_distance_histogram(const CsrGraph& g,
-                                                      std::size_t sample_sources,
-                                                      stats::Rng& rng) {
+std::vector<std::uint64_t> sampled_distance_histogram(
+    const CsrGraph& g, std::size_t sample_sources, stats::Rng& rng) {
   std::vector<std::uint64_t> histogram;
   if (g.node_count() == 0) return histogram;
   // Draw all roots up front from the caller's stream (same consumption as
@@ -119,7 +118,8 @@ std::vector<std::uint64_t> sampled_distance_histogram(const CsrGraph& g,
   return histogram;
 }
 
-double interpolated_quantile(std::span<const std::uint64_t> histogram, double q) {
+double interpolated_quantile(std::span<const std::uint64_t> histogram,
+                             double q) {
   if (q < 0.0 || q > 1.0) {
     throw std::invalid_argument("interpolated_quantile: q must be in [0,1]");
   }
@@ -134,7 +134,8 @@ double interpolated_quantile(std::span<const std::uint64_t> histogram, double q)
     if (next >= target) {
       if (histogram[d] == 0) return static_cast<double>(d);
       // Linear interpolation within the step from cumulative to next.
-      const double frac = (target - cumulative) / static_cast<double>(histogram[d]);
+      const double frac =
+          (target - cumulative) / static_cast<double>(histogram[d]);
       return static_cast<double>(d) - 1.0 + frac;
     }
     cumulative = next;

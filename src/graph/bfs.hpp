@@ -30,12 +30,12 @@ std::vector<std::uint32_t> bfs_distances_multi(
 /// Histogram of directed distances between connected node pairs, estimated
 /// from `sample_sources` random BFS roots. Index d holds the number of
 /// (source, target) pairs at distance d.
-std::vector<std::uint64_t> sampled_distance_histogram(const CsrGraph& g,
-                                                      std::size_t sample_sources,
-                                                      stats::Rng& rng);
+std::vector<std::uint64_t> sampled_distance_histogram(
+    const CsrGraph& g, std::size_t sample_sources, stats::Rng& rng);
 
 /// q-quantile (e.g. 0.9 for the effective diameter) of a distance histogram,
 /// with the linear interpolation used by [33].
-double interpolated_quantile(std::span<const std::uint64_t> histogram, double q);
+double interpolated_quantile(std::span<const std::uint64_t> histogram,
+                             double q);
 
 }  // namespace san::graph

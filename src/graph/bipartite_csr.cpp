@@ -1,0 +1,115 @@
+#include "graph/bipartite_csr.hpp"
+
+#include <stdexcept>
+
+namespace san::graph {
+
+BipartiteCsr BipartiteCsr::from_links(std::size_t left_count,
+                                      std::size_t right_count,
+                                      std::span<const NodeId> users,
+                                      std::span<const AttrId> attrs) {
+  BipartiteCsr b;
+  b.rebuild_from_links(left_count, right_count, users, attrs);
+  return b;
+}
+
+void BipartiteCsr::rebuild_from_links(std::size_t left_count,
+                                      std::size_t right_count,
+                                      std::span<const NodeId> users,
+                                      std::span<const AttrId> attrs) {
+  if (users.size() != attrs.size()) {
+    throw std::invalid_argument("BipartiteCsr: users/attrs size mismatch");
+  }
+  const std::size_t m = users.size();
+  for (std::size_t i = 0; i < m; ++i) {
+    if (users[i] >= left_count || attrs[i] >= right_count) {
+      throw std::out_of_range("BipartiteCsr: link endpoint out of range");
+    }
+  }
+  left_count_ = left_count;
+  right_count_ = right_count;
+  link_count_ = m;
+
+  // Right side first: counting sort by attribute, stable in input order, so
+  // members_of(a) preserves the (time) order of the input links.
+  right_offsets_.assign(right_count + 1, 0);
+  for (std::size_t i = 0; i < m; ++i) ++right_offsets_[attrs[i] + 1];
+  for (std::size_t a = 1; a <= right_count; ++a) {
+    right_offsets_[a] += right_offsets_[a - 1];
+  }
+  right_targets_.resize(m);
+  {
+    std::vector<std::uint64_t> cursor(right_offsets_.begin(),
+                                      right_offsets_.end() - 1);
+    for (std::size_t i = 0; i < m; ++i) {
+      right_targets_[cursor[attrs[i]]++] = users[i];
+    }
+  }
+
+  // Left side from the right side: scanning attributes in ascending id order
+  // and scattering members yields per-user attribute lists already sorted
+  // ascending — a second counting pass instead of a per-user sort.
+  left_offsets_.assign(left_count + 1, 0);
+  for (std::size_t i = 0; i < m; ++i) ++left_offsets_[users[i] + 1];
+  for (std::size_t u = 1; u <= left_count; ++u) {
+    left_offsets_[u] += left_offsets_[u - 1];
+  }
+  left_targets_.resize(m);
+  {
+    std::vector<std::uint64_t> cursor(left_offsets_.begin(),
+                                      left_offsets_.end() - 1);
+    for (AttrId a = 0; a < right_count; ++a) {
+      const std::uint64_t begin = right_offsets_[a];
+      const std::uint64_t end = right_offsets_[a + 1];
+      for (std::uint64_t i = begin; i < end; ++i) {
+        left_targets_[cursor[right_targets_[i]]++] = a;
+      }
+    }
+  }
+}
+
+std::span<const AttrId> BipartiteCsr::attrs_of(NodeId u) const {
+  if (u >= left_count_) {
+    throw std::out_of_range("BipartiteCsr: unknown left node");
+  }
+  return {left_targets_.data() + left_offsets_[u],
+          static_cast<std::size_t>(left_offsets_[u + 1] - left_offsets_[u])};
+}
+
+std::span<const NodeId> BipartiteCsr::members_of(AttrId a) const {
+  if (a >= right_count_) {
+    throw std::out_of_range("BipartiteCsr: unknown right node");
+  }
+  return {right_targets_.data() + right_offsets_[a],
+          static_cast<std::size_t>(right_offsets_[a + 1] - right_offsets_[a])};
+}
+
+std::size_t BipartiteCsr::populated_right_count() const {
+  std::size_t count = 0;
+  for (AttrId a = 0; a < right_count_; ++a) {
+    if (right_offsets_[a + 1] > right_offsets_[a]) ++count;
+  }
+  return count;
+}
+
+std::size_t BipartiteCsr::common_attrs(NodeId u, NodeId v) const {
+  const auto au = attrs_of(u);
+  const auto av = attrs_of(v);
+  std::size_t count = 0;
+  auto iu = au.begin();
+  auto iv = av.begin();
+  while (iu != au.end() && iv != av.end()) {
+    if (*iu < *iv) {
+      ++iu;
+    } else if (*iv < *iu) {
+      ++iv;
+    } else {
+      ++count;
+      ++iu;
+      ++iv;
+    }
+  }
+  return count;
+}
+
+}  // namespace san::graph

@@ -1,0 +1,73 @@
+// Immutable CSR form of a bipartite user<->attribute link set, the storage
+// behind SanSnapshot's attribute layer. Both sides are offset/target arrays:
+//
+//   left  (social node u):  attrs_of(u)   — attribute ids, sorted ascending,
+//                                           so set intersections are merges;
+//   right (attribute a):    members_of(a) — social nodes in input (time)
+//                                           order, matching the append order
+//                                           of the source attribute log.
+//
+// Build cost is O(links + left_count + right_count) with counting sorts —
+// no comparison sort. `rebuild_from_links` reuses the arrays' capacity, so a
+// snapshot sweep that materializes one snapshot per day touches the
+// allocator only while the arrays are still growing.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace san::graph {
+
+using AttrId = std::uint32_t;
+
+class BipartiteCsr {
+ public:
+  BipartiteCsr() = default;
+
+  /// Build from (user, attr) pairs given as parallel arrays in input order.
+  /// Pairs must reference users < left_count and attrs < right_count and be
+  /// unique; order is arbitrary but determines members_of ordering.
+  static BipartiteCsr from_links(std::size_t left_count,
+                                 std::size_t right_count,
+                                 std::span<const NodeId> users,
+                                 std::span<const AttrId> attrs);
+
+  /// Same as from_links but rebuilds in place, reusing this object's array
+  /// capacity (the sweep fast path).
+  void rebuild_from_links(std::size_t left_count, std::size_t right_count,
+                          std::span<const NodeId> users,
+                          std::span<const AttrId> attrs);
+
+  std::size_t left_count() const { return left_count_; }
+  std::size_t right_count() const { return right_count_; }
+  std::uint64_t link_count() const { return link_count_; }
+
+  /// Γa(u): attribute ids of social node u, sorted ascending.
+  std::span<const AttrId> attrs_of(NodeId u) const;
+  /// Γs(a): social nodes declaring attribute a, in input order.
+  std::span<const NodeId> members_of(AttrId a) const;
+
+  std::size_t attr_degree(NodeId u) const { return attrs_of(u).size(); }
+  std::size_t member_count(AttrId a) const { return members_of(a).size(); }
+
+  /// Right nodes with at least one member.
+  std::size_t populated_right_count() const;
+
+  /// a(u, v): the number of attributes u and v share (merge of two sorted
+  /// spans).
+  std::size_t common_attrs(NodeId u, NodeId v) const;
+
+ private:
+  std::size_t left_count_ = 0;
+  std::size_t right_count_ = 0;
+  std::uint64_t link_count_ = 0;
+  std::vector<std::uint64_t> left_offsets_;
+  std::vector<AttrId> left_targets_;
+  std::vector<std::uint64_t> right_offsets_;
+  std::vector<NodeId> right_targets_;
+};
+
+}  // namespace san::graph

@@ -81,7 +81,8 @@ double exact_average_clustering(const CsrGraph& g) {
   return sum / static_cast<double>(g.node_count());
 }
 
-double exact_group_clustering(const CsrGraph& g, std::span<const NodeId> members) {
+double exact_group_clustering(const CsrGraph& g,
+                              std::span<const NodeId> members) {
   std::vector<NodeId> sorted(members.begin(), members.end());
   std::sort(sorted.begin(), sorted.end());
   return group_clustering_sorted(g, sorted);
@@ -89,7 +90,8 @@ double exact_group_clustering(const CsrGraph& g, std::span<const NodeId> members
 
 std::uint64_t clustering_sample_count(const ClusteringOptions& options) {
   return static_cast<std::uint64_t>(
-      std::ceil(std::log(2.0 * options.nu) / (2.0 * options.epsilon * options.epsilon)));
+      std::ceil(std::log(2.0 * options.nu) /
+                (2.0 * options.epsilon * options.epsilon)));
 }
 
 double approx_average_clustering(const CsrGraph& g,
@@ -115,14 +117,16 @@ double approx_average_group_clustering(
         std::uint64_t partial = 0;
         for (std::size_t k = begin; k < end; ++k) {
           // Algorithm 2: node uniform from Omega, then a random neighbor pair.
-          const auto i = static_cast<std::size_t>(rng.uniform_index(group_count));
+          const auto i =
+              static_cast<std::size_t>(rng.uniform_index(group_count));
           const auto members = group(i);
           const std::size_t m = members.size();
           if (m < 2) continue;  // c(u) = 0 contributes nothing to the sum
           const auto a = static_cast<std::size_t>(rng.uniform_index(m));
           auto b = static_cast<std::size_t>(rng.uniform_index(m - 1));
           if (b >= a) ++b;
-          partial += static_cast<std::uint64_t>(g.link_count(members[a], members[b]));
+          partial += static_cast<std::uint64_t>(g.link_count(members[a],
+                                                             members[b]));
         }
         return partial;
       },
@@ -155,7 +159,8 @@ std::vector<std::pair<double, double>> group_clustering_by_degree(
   };
 
   // Each group samples from its own (seed, i)-keyed stream, so the per-group
-  // estimate — and the ordered bucket merge below — is thread-count-invariant.
+  // estimate — and the ordered bucket merge below — is invariant to the
+  // thread count.
   const std::vector<Bucket> buckets = core::parallel_reduce(
       group_count, std::vector<Bucket>{},
       [&](std::size_t begin, std::size_t end, std::size_t) {

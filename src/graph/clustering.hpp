@@ -32,7 +32,8 @@ double exact_average_clustering(const CsrGraph& g);
 /// Exact clustering coefficient of an arbitrary node group: the directed
 /// link density among `members` (the paper's attribute clustering
 /// coefficient when members = Γs(attribute)).
-double exact_group_clustering(const CsrGraph& g, std::span<const NodeId> members);
+double exact_group_clustering(const CsrGraph& g,
+                              std::span<const NodeId> members);
 
 struct ClusteringOptions {
   double epsilon = 0.005;  // target absolute error (paper uses 0.002)

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/parallel.hpp"
+
 namespace san::graph {
 namespace {
 
@@ -26,8 +28,8 @@ CsrGraph CsrGraph::from_digraph(const Digraph& g) {
   return build(g.node_count(), std::move(edges));
 }
 
-CsrGraph CsrGraph::from_edges(std::size_t node_count,
-                              std::span<const std::pair<NodeId, NodeId>> edges) {
+CsrGraph CsrGraph::from_edges(
+    std::size_t node_count, std::span<const std::pair<NodeId, NodeId>> edges) {
   std::vector<std::pair<NodeId, NodeId>> copy(edges.begin(), edges.end());
   for (const auto& [u, v] : copy) {
     if (u >= node_count || v >= node_count) {
@@ -37,56 +39,134 @@ CsrGraph CsrGraph::from_edges(std::size_t node_count,
   return build(node_count, std::move(copy));
 }
 
+CsrGraph CsrGraph::from_sorted_edges(
+    std::size_t node_count, std::span<const std::pair<NodeId, NodeId>> edges) {
+  std::vector<NodeId> srcs(edges.size()), dsts(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    srcs[i] = edges[i].first;
+    dsts[i] = edges[i].second;
+  }
+  CsrGraph g;
+  g.rebuild_from_sorted_edges(node_count, srcs, dsts);
+  return g;
+}
+
 CsrGraph CsrGraph::build(std::size_t node_count,
                          std::vector<std::pair<NodeId, NodeId>> edges) {
   canonicalize(edges);
+  return from_sorted_edges(node_count, edges);
+}
 
-  CsrGraph g;
-  g.node_count_ = node_count;
-  g.edge_count_ = edges.size();
+void CsrGraph::rebuild_from_sorted_edges(std::size_t node_count,
+                                         std::span<const NodeId> srcs,
+                                         std::span<const NodeId> dsts) {
+  if (srcs.size() != dsts.size()) {
+    throw std::invalid_argument("CsrGraph: srcs/dsts size mismatch");
+  }
+  const std::size_t m = srcs.size();
 
-  // Outgoing adjacency straight from the sorted edge list.
-  g.out_offsets_.assign(node_count + 1, 0);
-  for (const auto& [u, v] : edges) ++g.out_offsets_[u + 1];
+  // Single validation + counting pass. `keep(i)` = not a self loop and not
+  // equal to the previous kept edge (sorted input makes duplicates adjacent).
+  const auto keep = [&](std::size_t i) {
+    if (srcs[i] == dsts[i]) return false;
+    if (i > 0 && srcs[i] == srcs[i - 1] && dsts[i] == dsts[i - 1]) return false;
+    return true;
+  };
+  out_offsets_.assign(node_count + 1, 0);
+  in_offsets_.assign(node_count + 1, 0);
+  std::uint64_t kept = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (srcs[i] >= node_count || dsts[i] >= node_count) {
+      throw std::out_of_range("CsrGraph: node id out of range");
+    }
+    if (i > 0 && (srcs[i] < srcs[i - 1] ||
+                  (srcs[i] == srcs[i - 1] && dsts[i] < dsts[i - 1]))) {
+      throw std::invalid_argument("CsrGraph: edges not sorted by (src, dst)");
+    }
+    if (!keep(i)) continue;
+    ++out_offsets_[srcs[i] + 1];
+    ++in_offsets_[dsts[i] + 1];
+    ++kept;
+  }
+  node_count_ = node_count;
+  edge_count_ = kept;
   for (std::size_t i = 1; i <= node_count; ++i) {
-    g.out_offsets_[i] += g.out_offsets_[i - 1];
-  }
-  g.out_targets_.resize(edges.size());
-  {
-    std::vector<std::uint64_t> cursor(g.out_offsets_.begin(),
-                                      g.out_offsets_.end() - 1);
-    for (const auto& [u, v] : edges) g.out_targets_[cursor[u]++] = v;
+    out_offsets_[i] += out_offsets_[i - 1];
+    in_offsets_[i] += in_offsets_[i - 1];
   }
 
-  // Incoming adjacency via counting sort on target.
-  g.in_offsets_.assign(node_count + 1, 0);
-  for (const auto& [u, v] : edges) ++g.in_offsets_[v + 1];
-  for (std::size_t i = 1; i <= node_count; ++i) {
-    g.in_offsets_[i] += g.in_offsets_[i - 1];
-  }
-  g.in_targets_.resize(edges.size());
+  // Outgoing lists fill in input order (already dst-sorted per src); the
+  // incoming scatter visits sources in ascending order per target, so
+  // in-lists come out sorted as well.
+  out_targets_.resize(kept);
+  in_targets_.resize(kept);
   {
-    std::vector<std::uint64_t> cursor(g.in_offsets_.begin(),
-                                      g.in_offsets_.end() - 1);
-    for (const auto& [u, v] : edges) g.in_targets_[cursor[v]++] = u;
+    std::uint64_t out_cursor = 0;  // out lists are contiguous in input order
+    std::vector<std::uint64_t> in_cursor(in_offsets_.begin(),
+                                         in_offsets_.end() - 1);
+    for (std::size_t i = 0; i < m; ++i) {
+      if (!keep(i)) continue;
+      out_targets_[out_cursor++] = dsts[i];
+      in_targets_[in_cursor[dsts[i]]++] = srcs[i];
+    }
   }
-  // Sorted edge iteration gives sorted out-lists; in-lists are sorted too
-  // because sources appear in ascending order for each target.
 
-  // Undirected neighbor view: merge of the two sorted lists per node.
-  g.nbr_offsets_.assign(node_count + 1, 0);
-  std::vector<NodeId> merged;
-  for (NodeId u = 0; u < node_count; ++u) {
-    const auto o = g.out(u);
-    const auto i = g.in(u);
-    merged.clear();
-    merged.reserve(o.size() + i.size());
-    std::set_union(o.begin(), o.end(), i.begin(), i.end(),
-                   std::back_inserter(merged));
-    g.nbr_offsets_[u + 1] = g.nbr_offsets_[u] + merged.size();
-    g.nbr_targets_.insert(g.nbr_targets_.end(), merged.begin(), merged.end());
+  build_neighbor_view();
+}
+
+void CsrGraph::adopt_sorted_adjacency(std::size_t node_count,
+                                      std::vector<std::uint64_t>& out_offsets,
+                                      std::vector<NodeId>& out_targets,
+                                      std::vector<std::uint64_t>& in_offsets,
+                                      std::vector<NodeId>& in_targets) {
+  if (out_offsets.size() != node_count + 1 ||
+      in_offsets.size() != node_count + 1 ||
+      out_offsets.front() != 0 || in_offsets.front() != 0 ||
+      out_offsets.back() != out_targets.size() ||
+      in_offsets.back() != in_targets.size() ||
+      out_targets.size() != in_targets.size()) {
+    throw std::invalid_argument("CsrGraph::adopt_sorted_adjacency: bad shape");
   }
-  return g;
+#ifndef NDEBUG
+  for (std::size_t u = 0; u < node_count; ++u) {
+    for (const auto* arr : {&out_targets, &in_targets}) {
+      const auto& off = arr == &out_targets ? out_offsets : in_offsets;
+      for (std::uint64_t i = off[u]; i + 1 < off[u + 1]; ++i) {
+        if ((*arr)[i] >= (*arr)[i + 1]) {
+          throw std::invalid_argument(
+              "CsrGraph::adopt_sorted_adjacency: unsorted adjacency");
+        }
+      }
+    }
+  }
+#endif
+  node_count_ = node_count;
+  edge_count_ = out_targets.size();
+  std::swap(out_offsets_, out_offsets);
+  std::swap(out_targets_, out_targets);
+  std::swap(in_offsets_, in_offsets);
+  std::swap(in_targets_, in_targets);
+  build_neighbor_view();
+}
+
+void CsrGraph::build_neighbor_view() {
+  // Undirected neighbor view: per-node set_union of the two sorted lists,
+  // written at each node's worst-case offset (out-degree + in-degree prefix,
+  // disjoint by construction) — one chunked merge pass, no counting
+  // prescan, byte-identical at any thread count.
+  const std::size_t node_count = node_count_;
+  nbr_len_.resize(node_count);
+  nbr_targets_.resize(2 * edge_count_);
+  core::parallel_for(node_count, [&](std::size_t u) {
+    const auto o = out(static_cast<NodeId>(u));
+    const auto i = in(static_cast<NodeId>(u));
+    const auto begin = nbr_targets_.begin() +
+                       static_cast<std::ptrdiff_t>(out_offsets_[u] +
+                                                   in_offsets_[u]);
+    const auto end = std::set_union(o.begin(), o.end(), i.begin(), i.end(),
+                                    begin);
+    nbr_len_[u] = static_cast<std::uint32_t>(end - begin);
+  });
 }
 
 std::span<const NodeId> CsrGraph::out(NodeId u) const {
@@ -103,8 +183,7 @@ std::span<const NodeId> CsrGraph::in(NodeId u) const {
 
 std::span<const NodeId> CsrGraph::neighbors(NodeId u) const {
   if (u >= node_count_) throw std::out_of_range("CsrGraph: unknown node id");
-  return {nbr_targets_.data() + nbr_offsets_[u],
-          static_cast<std::size_t>(nbr_offsets_[u + 1] - nbr_offsets_[u])};
+  return {nbr_targets_.data() + out_offsets_[u] + in_offsets_[u], nbr_len_[u]};
 }
 
 bool CsrGraph::has_edge(NodeId u, NodeId v) const {

@@ -1,6 +1,16 @@
 // Immutable compressed-sparse-row snapshot of a directed graph. All metric
 // code operates on this form: adjacency is sorted (binary-searchable) and
 // an undirected neighbor view (the paper's Γs(u)) is precomputed.
+//
+// Two build paths exist. `from_edges` canonicalizes an arbitrary edge list
+// (comparison sort + dedup). `from_sorted_edges` / `rebuild_from_sorted_edges`
+// accept edges already sorted by (src, dst) and build all three adjacency
+// views in O(edges + nodes) with no comparison sort — the SanTimeline
+// snapshot fast path, which radix-orders a time-prefix slice and rebuilds
+// into the same CsrGraph to reuse array capacity across a sweep. The
+// undirected neighbor merge, the dominant cost, runs chunked on the
+// src/core/ substrate (per-node disjoint writes, byte-identical at any
+// thread count).
 #pragma once
 
 #include <cstdint>
@@ -21,6 +31,31 @@ class CsrGraph {
   /// edges and self-loops are dropped.
   static CsrGraph from_edges(std::size_t node_count,
                              std::span<const std::pair<NodeId, NodeId>> edges);
+  /// Fast path: edges must already be sorted by (src, dst). Duplicates and
+  /// self-loops are still dropped (single linear pass); an unsorted input
+  /// throws std::invalid_argument.
+  static CsrGraph from_sorted_edges(
+      std::size_t node_count, std::span<const std::pair<NodeId, NodeId>> edges);
+
+  /// Structure-of-arrays variant of from_sorted_edges that rebuilds in
+  /// place, reusing this object's array capacity (the sweep fast path).
+  void rebuild_from_sorted_edges(std::size_t node_count,
+                                 std::span<const NodeId> srcs,
+                                 std::span<const NodeId> dsts);
+
+  /// Expert fast path (SanTimeline): adopt externally built out/in adjacency
+  /// by SWAPPING buffers — on return the arguments hold this graph's
+  /// previous arrays, so a sweep ping-pongs two buffer sets with zero
+  /// steady-state allocation. Offsets must be prefix sums over node_count+1
+  /// entries and each per-node target list must be sorted, unique, and
+  /// loop-free; cheap shape invariants are always checked, full sortedness
+  /// only in debug builds. The undirected neighbor view is rebuilt here
+  /// (chunked on the core substrate).
+  void adopt_sorted_adjacency(std::size_t node_count,
+                              std::vector<std::uint64_t>& out_offsets,
+                              std::vector<NodeId>& out_targets,
+                              std::vector<std::uint64_t>& in_offsets,
+                              std::vector<NodeId>& in_targets);
 
   std::size_t node_count() const { return node_count_; }
   std::uint64_t edge_count() const { return edge_count_; }
@@ -43,13 +78,21 @@ class CsrGraph {
   static CsrGraph build(std::size_t node_count,
                         std::vector<std::pair<NodeId, NodeId>> edges);
 
+  /// Recompute nbr_len_/nbr_targets_ from the out/in views.
+  void build_neighbor_view();
+
   std::size_t node_count_ = 0;
   std::uint64_t edge_count_ = 0;
   std::vector<std::uint64_t> out_offsets_;
   std::vector<NodeId> out_targets_;
   std::vector<std::uint64_t> in_offsets_;
   std::vector<NodeId> in_targets_;
-  std::vector<std::uint64_t> nbr_offsets_;
+  // Neighbor view with per-node slack: node u's union of out/in lists lives
+  // at [out_offsets_[u] + in_offsets_[u], +nbr_len_[u]) in nbr_targets_ —
+  // the start is each node's worst case (disjoint by construction), so the
+  // union is built in ONE parallel merge pass with no counting prescan, at
+  // the cost of gaps where links are reciprocated.
+  std::vector<std::uint32_t> nbr_len_;
   std::vector<NodeId> nbr_targets_;
 };
 

@@ -116,16 +116,21 @@ HyperAnfResult hyper_anf(const CsrGraph& g, const HyperAnfOptions& options,
           count, 0.0,
           [&](std::size_t begin, std::size_t end, std::size_t) {
             double partial = 0.0;
-            for (std::size_t i = begin; i < end; ++i) partial += at(i).estimate();
+            for (std::size_t i = begin; i < end; ++i) {
+              partial += at(i).estimate();
+            }
             return partial;
           },
           [](double a, double b) { return a + b; });
     };
     if (sources.empty()) {
-      return sum_range([&](std::size_t i) -> const HyperLogLog& { return current[i]; }, n);
+      return sum_range(
+          [&](std::size_t i) -> const HyperLogLog& { return current[i]; }, n);
     }
     return sum_range(
-        [&](std::size_t i) -> const HyperLogLog& { return current[sources[i]]; },
+        [&](std::size_t i) -> const HyperLogLog& {
+          return current[sources[i]];
+        },
         sources.size());
   };
 

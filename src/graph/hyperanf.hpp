@@ -41,7 +41,7 @@ struct HyperAnfResult {
 };
 
 struct HyperAnfOptions {
-  int log2m = 6;           // 64 registers/counter, as a good accuracy/cost point
+  int log2m = 6;           // 64 registers/counter, a good accuracy/cost point
   int max_iterations = 96; // safety bound; iteration stops at convergence
   std::uint64_t seed = 0x5eed5eedULL;
 };

@@ -27,12 +27,14 @@ double reciprocity(const CsrGraph& g) {
 
 double density(const CsrGraph& g) {
   if (g.node_count() == 0) return 0.0;
-  return static_cast<double>(g.edge_count()) / static_cast<double>(g.node_count());
+  return static_cast<double>(g.edge_count()) /
+         static_cast<double>(g.node_count());
 }
 
 namespace {
 
-stats::Histogram histogram_of(const CsrGraph& g, std::size_t (CsrGraph::*deg)(NodeId) const) {
+stats::Histogram histogram_of(const CsrGraph& g,
+                              std::size_t (CsrGraph::*deg)(NodeId) const) {
   std::vector<std::uint64_t> values(g.node_count());
   core::parallel_for(g.node_count(), [&](std::size_t u) {
     values[u] = (g.*deg)(static_cast<NodeId>(u));

@@ -10,7 +10,9 @@
 namespace san::graph {
 
 NodeId WccResult::largest() const {
-  if (sizes.empty()) throw std::out_of_range("WccResult::largest: no components");
+  if (sizes.empty()) {
+    throw std::out_of_range("WccResult::largest: no components");
+  }
   const auto it = std::max_element(sizes.begin(), sizes.end());
   return static_cast<NodeId>(it - sizes.begin());
 }
@@ -26,14 +28,16 @@ WccResult weakly_connected_components(const CsrGraph& g) {
   // result is byte-identical at any thread count.
   const auto find = [&](NodeId x) {
     for (;;) {
-      const NodeId p = std::atomic_ref(parent[x]).load(std::memory_order_relaxed);
+      const NodeId p =
+          std::atomic_ref(parent[x]).load(std::memory_order_relaxed);
       if (p == x) return x;
-      const NodeId gp = std::atomic_ref(parent[p]).load(std::memory_order_relaxed);
+      const NodeId gp =
+          std::atomic_ref(parent[p]).load(std::memory_order_relaxed);
       if (gp == p) return p;
       // Opportunistic path halving; a lost race just skips the shortcut.
       NodeId expected = p;
-      std::atomic_ref(parent[x]).compare_exchange_weak(expected, gp,
-                                                       std::memory_order_relaxed);
+      std::atomic_ref(parent[x]).compare_exchange_weak(
+          expected, gp, std::memory_order_relaxed);
       x = gp;
     }
   };

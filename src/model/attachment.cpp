@@ -23,8 +23,8 @@ double relative_improvement_percent(double l_ref, double l) {
   return (l_ref - l) / l_ref * 100.0;
 }
 
-AttachmentLikelihood::AttachmentLikelihood(const SocialAttributeNetwork& network,
-                                           std::size_t event_stride)
+AttachmentLikelihood::AttachmentLikelihood(
+    const SocialAttributeNetwork& network, std::size_t event_stride)
     : stride_(event_stride == 0 ? 1 : event_stride),
       attribute_count_(network.attribute_node_count()) {
   events_.reserve(network.social_node_count() + network.attribute_log().size() +

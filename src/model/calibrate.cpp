@@ -37,8 +37,10 @@ CalibrationResult calibrate_generator(const SanSnapshot& target,
   result.declare_fraction =
       attr_hist.total == 0
           ? 0.0
-          : static_cast<double>(declared) / static_cast<double>(attr_hist.total);
-  result.params.attribute_declare_prob = std::max(result.declare_fraction, 1e-3);
+          : static_cast<double>(declared) /
+                static_cast<double>(attr_hist.total);
+  result.params.attribute_declare_prob = std::max(result.declare_fraction,
+                                                  1e-3);
   if (declared >= 2) {
     result.attribute_degree_fit = stats::fit_discrete_lognormal(attr_hist, 1);
     result.params.mu_a = result.attribute_degree_fit.mu;

@@ -18,7 +18,8 @@ bool sorted_contains(const std::vector<NodeId>& v, NodeId value) {
   return std::binary_search(v.begin(), v.end(), value);
 }
 
-bool sorted_intersects(const std::vector<NodeId>& a, const std::vector<NodeId>& b) {
+bool sorted_intersects(const std::vector<NodeId>& a,
+                       const std::vector<NodeId>& b) {
   auto ia = a.begin();
   auto ib = b.begin();
   while (ia != a.end() && ib != b.end()) {
@@ -46,7 +47,8 @@ struct Event {
 
 ClosureStats evaluate_closures(const SocialAttributeNetwork& network,
                                const ClosureOptions& options) {
-  const std::size_t stride = options.event_stride == 0 ? 1 : options.event_stride;
+  const std::size_t stride =
+      options.event_stride == 0 ? 1 : options.event_stride;
   const double fc = options.fc;
 
   std::vector<Event> events;
@@ -65,7 +67,8 @@ ClosureStats evaluate_closures(const SocialAttributeNetwork& network,
   for (const auto& e : network.social_log()) {
     events.push_back({Event::Type::kSocialLink, e.time, seq++, e.src, e.dst});
   }
-  std::stable_sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+  std::stable_sort(events.begin(), events.end(), [](const Event& a,
+                                                    const Event& b) {
     if (a.time != b.time) return a.time < b.time;
     if (a.type != b.type) return a.type < b.type;
     return a.seq < b.seq;
@@ -159,7 +162,8 @@ ClosureStats evaluate_closures(const SocialAttributeNetwork& network,
               if (members[x].empty()) continue;
               if (sorted_contains(attrs_of[v],
                                   static_cast<NodeId>(x))) {  // v in members(x)
-                p_rrsan += fc / (w_total * static_cast<double>(members[x].size()));
+                p_rrsan +=
+                    fc / (w_total * static_cast<double>(members[x].size()));
               }
             }
 
@@ -168,7 +172,8 @@ ClosureStats evaluate_closures(const SocialAttributeNetwork& network,
             const double lambda = options.smoothing;
             const double floor = lambda / static_cast<double>(nbrs.size());
             ++stats.comparable;
-            stats.loglik_baseline += std::log((1.0 - lambda) * p_baseline + floor);
+            stats.loglik_baseline +=
+                std::log((1.0 - lambda) * p_baseline + floor);
             stats.loglik_rr += std::log((1.0 - lambda) * p_rr + floor);
             stats.loglik_rrsan += std::log((1.0 - lambda) * p_rrsan + floor);
           }

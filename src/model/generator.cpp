@@ -72,12 +72,15 @@ SocialAttributeNetwork generate_san(const GeneratorParams& params) {
   SocialAttributeNetwork net;
   LapaSampler sampler(net, rng);
 
-  const stats::DiscreteLognormal attr_degree_dist(params.mu_a, params.sigma_a, 1);
+  const stats::DiscreteLognormal attr_degree_dist(params.mu_a, params.sigma_a,
+                                                  1);
   const stats::TruncatedNormal lifetime_dist(params.mu_l, params.sigma_l);
   const double lifetime_mean = lifetime_dist.mean();
 
-  constexpr AttributeType kTypes[] = {AttributeType::kSchool, AttributeType::kMajor,
-                                      AttributeType::kEmployer, AttributeType::kCity};
+  constexpr AttributeType kTypes[] = {AttributeType::kSchool,
+                                      AttributeType::kMajor,
+                                      AttributeType::kEmployer,
+                                      AttributeType::kCity};
   constexpr double kTypeWeights[] = {0.20, 0.15, 0.30, 0.35};
 
   const auto sample_attribute_type = [&]() {
@@ -97,7 +100,8 @@ SocialAttributeNetwork generate_san(const GeneratorParams& params) {
   };
 
   const auto add_attribute_link = [&](NodeId u, AttrId x, double time) {
-    if (net.add_attribute_link(u, x, time)) sampler.on_attribute_link_added(u, x);
+    if (net.add_attribute_link(u, x, time)) sampler.on_attribute_link_added(u,
+                                                                            x);
   };
 
   const auto add_social_link = [&](NodeId u, NodeId v, double time) {
@@ -111,7 +115,9 @@ SocialAttributeNetwork generate_san(const GeneratorParams& params) {
   for (std::size_t i = 0; i < params.init_social_nodes; ++i) {
     sampler.on_social_node_added(net.add_social_node(0.0));
   }
-  for (std::size_t i = 0; i < params.init_attribute_nodes; ++i) new_attribute(0.0);
+  for (std::size_t i = 0; i < params.init_attribute_nodes; ++i) {
+    new_attribute(0.0);
+  }
   for (std::size_t i = 0; i < params.init_social_nodes; ++i) {
     for (std::size_t j = 0; j < params.init_social_nodes; ++j) {
       if (i != j) {
@@ -134,8 +140,9 @@ SocialAttributeNetwork generate_san(const GeneratorParams& params) {
   const auto sample_sleep = [&](std::size_t outdeg, stats::Rng& r) {
     const double d = static_cast<double>(std::max<std::size_t>(outdeg, 1));
     const double mean = params.ms * std::log1p(1.0 / d);
-    return params.sleep == SleepRule::kDeterministic ? mean
-                                                     : r.exponential(1.0 / mean);
+    return params.sleep == SleepRule::kDeterministic
+               ? mean
+               : r.exponential(1.0 / mean);
   };
 
   const auto attachment_beta =

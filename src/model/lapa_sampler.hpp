@@ -38,7 +38,9 @@ class LapaSampler {
   void on_attribute_link_added(NodeId u, AttrId x) {
     attr_tokens_.push_back(x);
     const auto copies = net_.social().in_degree(u) + 1;
-    for (std::size_t i = 0; i < copies; ++i) attr_member_tokens_[x].push_back(u);
+    for (std::size_t i = 0; i < copies; ++i) {
+      attr_member_tokens_[x].push_back(u);
+    }
   }
 
   /// Call after net.add_social_link(u, v) succeeded.

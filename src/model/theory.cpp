@@ -17,8 +17,8 @@ LognormalPrediction predicted_outdegree_lognormal(double mu_l, double sigma_l,
   const double gamma = -mu_l / sigma_l;
   LognormalPrediction pred;
   pred.mu = (mu_l + sigma_l * stats::TruncatedNormal::g(gamma)) / ms;
-  const double var =
-      sigma_l * sigma_l * (1.0 - stats::TruncatedNormal::delta(gamma)) / (ms * ms);
+  const double var = sigma_l * sigma_l *
+                     (1.0 - stats::TruncatedNormal::delta(gamma)) / (ms * ms);
   pred.sigma = std::sqrt(var);
   return pred;
 }

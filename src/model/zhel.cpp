@@ -80,7 +80,8 @@ SocialAttributeNetwork generate_zhel(const ZhelParams& params) {
   for (std::size_t i = 0; i < params.init_nodes; ++i) net.add_social_node(0.0);
   for (std::size_t i = 0; i < params.init_nodes; ++i) {
     for (std::size_t j = 0; j < params.init_nodes; ++j) {
-      if (i != j) add_social_link(static_cast<NodeId>(i), static_cast<NodeId>(j), 0.0);
+      if (i != j) add_social_link(static_cast<NodeId>(i),
+                                  static_cast<NodeId>(j), 0.0);
     }
   }
   net.add_attribute_node(AttributeType::kOther, "group-0", 0.0);

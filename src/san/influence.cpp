@@ -10,7 +10,8 @@ namespace san {
 namespace {
 
 /// Number of common undirected social neighbors of u and v in snap.
-std::size_t common_social_neighbors(const SanSnapshot& snap, NodeId u, NodeId v) {
+std::size_t common_social_neighbors(const SanSnapshot& snap, NodeId u,
+                                    NodeId v) {
   const auto nu = snap.social.neighbors(u);
   const auto nv = snap.social.neighbors(v);
   std::size_t count = 0;
@@ -42,7 +43,8 @@ std::vector<ReciprocityCell> fine_grained_reciprocity(
     throw std::invalid_argument(
         "fine_grained_reciprocity: final snapshot precedes halfway snapshot");
   }
-  const std::size_t buckets = (max_common_social + bucket_width - 1) / bucket_width;
+  const std::size_t buckets =
+      (max_common_social + bucket_width - 1) / bucket_width;
   std::vector<ReciprocityCell> cells(buckets * 3);
   for (std::size_t b = 0; b < buckets; ++b) {
     for (std::size_t a = 0; a < 3; ++a) {
@@ -59,7 +61,8 @@ std::vector<ReciprocityCell> fine_grained_reciprocity(
       if (g.has_edge(v, u)) continue;  // already reciprocal at halfway
       const std::size_t s = common_social_neighbors(halfway, u, v);
       if (s >= max_common_social) continue;
-      const std::size_t a = std::min<std::size_t>(halfway.common_attributes(u, v), 2);
+      const std::size_t a =
+          std::min<std::size_t>(halfway.common_attributes(u, v), 2);
       auto& cell = cells[(s / bucket_width) * 3 + a];
       ++cell.links;
       if (final_snap.social.has_edge(v, u)) ++cell.reciprocated;
@@ -72,33 +75,34 @@ std::array<double, kAttributeTypeCount> clustering_by_attribute_type(
     const SanSnapshot& snap, const graph::ClusteringOptions& options) {
   std::array<double, kAttributeTypeCount> result{};
   for (int t = 0; t < kAttributeTypeCount; ++t) {
-    std::vector<const std::vector<NodeId>*> groups;
-    for (std::size_t a = 0; a < snap.members.size(); ++a) {
+    std::vector<AttrId> groups;
+    for (AttrId a = 0; a < snap.attribute_id_count(); ++a) {
       if (snap.attribute_types[a] == static_cast<AttributeType>(t) &&
-          !snap.members[a].empty()) {
-        groups.push_back(&snap.members[a]);
+          !snap.members_of(a).empty()) {
+        groups.push_back(a);
       }
     }
     if (groups.empty()) {
       result[static_cast<std::size_t>(t)] = 0.0;
       continue;
     }
-    result[static_cast<std::size_t>(t)] = graph::approx_average_group_clustering(
-        snap.social,
-        [&](std::size_t i) { return std::span<const NodeId>(*groups[i]); },
-        groups.size(), options);
+    result[static_cast<std::size_t>(t)] =
+        graph::approx_average_group_clustering(
+            snap.social,
+            [&](std::size_t i) { return snap.members_of(groups[i]); },
+            groups.size(), options);
   }
   return result;
 }
 
 DegreeByAttribute degree_by_attribute(const SocialAttributeNetwork& network,
                                       const SanSnapshot& snap, AttrId attr) {
-  if (attr >= snap.members.size()) {
+  if (attr >= snap.attribute_id_count()) {
     throw std::out_of_range("degree_by_attribute: unknown attribute");
   }
   DegreeByAttribute result;
   result.attribute_name = network.attribute_name(attr);
-  const auto& members = snap.members[attr];
+  const auto members = snap.members_of(attr);
   result.member_count = members.size();
   if (members.empty()) return result;
 
@@ -117,13 +121,13 @@ std::vector<DegreeByAttribute> top_attributes_by_degree(
     const SocialAttributeNetwork& network, const SanSnapshot& snap,
     AttributeType type, std::size_t count) {
   std::vector<AttrId> of_type;
-  for (std::size_t a = 0; a < snap.members.size(); ++a) {
-    if (snap.attribute_types[a] == type && !snap.members[a].empty()) {
-      of_type.push_back(static_cast<AttrId>(a));
+  for (AttrId a = 0; a < snap.attribute_id_count(); ++a) {
+    if (snap.attribute_types[a] == type && !snap.members_of(a).empty()) {
+      of_type.push_back(a);
     }
   }
   std::sort(of_type.begin(), of_type.end(), [&](AttrId x, AttrId y) {
-    return snap.members[x].size() > snap.members[y].size();
+    return snap.attribute.member_count(x) > snap.attribute.member_count(y);
   });
   if (of_type.size() > count) of_type.resize(count);
 

@@ -24,7 +24,8 @@ std::string to_string(AttributeType type) {
 NodeId SocialAttributeNetwork::add_social_node(double time) {
   if (!social_times_.empty() && time < social_times_.back()) {
     throw std::invalid_argument(
-        "SocialAttributeNetwork: social node join times must be non-decreasing");
+        "SocialAttributeNetwork: social node join times must be "
+        "non-decreasing");
   }
   const NodeId id = social_.add_node();
   social_times_.push_back(time);
@@ -33,7 +34,8 @@ NodeId SocialAttributeNetwork::add_social_node(double time) {
 }
 
 AttrId SocialAttributeNetwork::add_attribute_node(AttributeType type,
-                                                  std::string name, double time) {
+                                                  std::string name,
+                                                  double time) {
   members_.emplace_back();
   attr_types_.push_back(type);
   attr_names_.push_back(std::move(name));
@@ -47,7 +49,8 @@ bool SocialAttributeNetwork::add_social_link(NodeId u, NodeId v, double time) {
   return true;
 }
 
-bool SocialAttributeNetwork::add_attribute_link(NodeId u, AttrId a, double time) {
+bool SocialAttributeNetwork::add_attribute_link(NodeId u, AttrId a,
+                                                double time) {
   if (u >= social_node_count()) {
     throw std::out_of_range("add_attribute_link: unknown social node");
   }
@@ -78,7 +81,8 @@ bool SocialAttributeNetwork::has_attribute(NodeId u, AttrId a) const {
   return std::binary_search(attrs.begin(), attrs.end(), a);
 }
 
-std::size_t SocialAttributeNetwork::common_attributes(NodeId u, NodeId v) const {
+std::size_t SocialAttributeNetwork::common_attributes(NodeId u,
+                                                      NodeId v) const {
   const auto au = attributes_of(u);
   const auto av = attributes_of(v);
   std::size_t count = 0;

@@ -91,7 +91,9 @@ class SocialAttributeNetwork {
     return attribute_log_;
   }
   std::span<const double> social_node_times() const { return social_times_; }
-  std::span<const double> attribute_node_times() const { return attribute_times_; }
+  std::span<const double> attribute_node_times() const {
+    return attribute_times_;
+  }
 
  private:
   void check_attr(AttrId a) const;

@@ -10,6 +10,20 @@
 #include "graph/metrics.hpp"
 
 namespace san {
+namespace {
+
+/// Ids of attribute nodes with at least one member — the paper's Omega for
+/// attribute clustering. Group i is snap.members_of(populated[i]).
+std::vector<AttrId> populated_attribute_ids(const SanSnapshot& snap) {
+  std::vector<AttrId> populated;
+  populated.reserve(snap.attribute_node_count());
+  for (AttrId a = 0; a < snap.attribute_id_count(); ++a) {
+    if (!snap.members_of(a).empty()) populated.push_back(a);
+  }
+  return populated;
+}
+
+}  // namespace
 
 double attribute_density(const SanSnapshot& snap) {
   const std::size_t populated = snap.populated_attribute_count();
@@ -19,9 +33,9 @@ double attribute_density(const SanSnapshot& snap) {
 }
 
 stats::Histogram attribute_degree_histogram(const SanSnapshot& snap) {
-  std::vector<std::uint64_t> degrees(snap.attributes.size());
-  core::parallel_for(snap.attributes.size(), [&](std::size_t u) {
-    degrees[u] = snap.attributes[u].size();
+  std::vector<std::uint64_t> degrees(snap.social_node_count());
+  core::parallel_for(snap.social_node_count(), [&](std::size_t u) {
+    degrees[u] = snap.attribute.attr_degree(static_cast<NodeId>(u));
   });
   return stats::make_histogram(degrees);
 }
@@ -29,8 +43,9 @@ stats::Histogram attribute_degree_histogram(const SanSnapshot& snap) {
 stats::Histogram attribute_social_degree_histogram(const SanSnapshot& snap) {
   std::vector<std::uint64_t> degrees;
   degrees.reserve(snap.attribute_node_count());
-  for (const auto& m : snap.members) {
-    if (!m.empty()) degrees.push_back(m.size());
+  for (AttrId a = 0; a < snap.attribute_id_count(); ++a) {
+    const std::size_t k = snap.attribute.member_count(a);
+    if (k > 0) degrees.push_back(k);
   }
   return stats::make_histogram(degrees);
 }
@@ -38,46 +53,35 @@ stats::Histogram attribute_social_degree_histogram(const SanSnapshot& snap) {
 double average_attribute_clustering(const SanSnapshot& snap,
                                     const graph::ClusteringOptions& options) {
   // Omega = populated attribute nodes; each group is a member list.
-  std::vector<const std::vector<NodeId>*> groups;
-  groups.reserve(snap.members.size());
-  for (const auto& m : snap.members) {
-    if (!m.empty()) groups.push_back(&m);
-  }
-  if (groups.empty()) return 0.0;
+  const auto populated = populated_attribute_ids(snap);
+  if (populated.empty()) return 0.0;
   return graph::approx_average_group_clustering(
       snap.social,
-      [&](std::size_t i) {
-        return std::span<const NodeId>(*groups[i]);
-      },
-      groups.size(), options);
+      [&](std::size_t i) { return snap.members_of(populated[i]); },
+      populated.size(), options);
 }
 
 std::vector<std::pair<double, double>> attribute_clustering_by_degree(
     const SanSnapshot& snap, std::size_t samples_per_node, std::uint64_t seed) {
-  std::vector<const std::vector<NodeId>*> groups;
-  groups.reserve(snap.members.size());
-  for (const auto& m : snap.members) {
-    if (!m.empty()) groups.push_back(&m);
-  }
+  const auto populated = populated_attribute_ids(snap);
   return graph::group_clustering_by_degree(
       snap.social,
-      [&](std::size_t i) {
-        return std::span<const NodeId>(*groups[i]);
-      },
-      groups.size(), samples_per_node, seed);
+      [&](std::size_t i) { return snap.members_of(populated[i]); },
+      populated.size(), samples_per_node, seed);
 }
 
-std::vector<std::pair<std::uint64_t, double>> attribute_knn(const SanSnapshot& snap) {
+std::vector<std::pair<std::uint64_t, double>> attribute_knn(
+    const SanSnapshot& snap) {
   const core::BinnedMean acc = core::parallel_reduce(
-      snap.members.size(), core::BinnedMean{},
+      snap.attribute_id_count(), core::BinnedMean{},
       [&](std::size_t begin, std::size_t end, std::size_t) {
         core::BinnedMean p;
         for (std::size_t i = begin; i < end; ++i) {
-          const auto& m = snap.members[i];
+          const auto m = snap.members_of(static_cast<AttrId>(i));
           const std::size_t k = m.size();
           if (k == 0) continue;
           for (const NodeId u : m) {
-            p.add(k, static_cast<double>(snap.attributes[u].size()));
+            p.add(k, static_cast<double>(snap.attribute.attr_degree(u)));
           }
         }
         return p;
@@ -93,13 +97,14 @@ double attribute_assortativity(const SanSnapshot& snap) {
   // Pearson over attribute links of (social degree of attribute node,
   // attribute degree of social node). Chunked moments, ordered combine.
   const core::PearsonMoments m = core::parallel_reduce(
-      snap.members.size(), core::PearsonMoments{},
+      snap.attribute_id_count(), core::PearsonMoments{},
       [&](std::size_t begin, std::size_t end, std::size_t) {
         core::PearsonMoments p;
         for (std::size_t i = begin; i < end; ++i) {
-          const auto x = static_cast<double>(snap.members[i].size());
-          for (const NodeId u : snap.members[i]) {
-            p.add(x, static_cast<double>(snap.attributes[u].size()));
+          const auto members = snap.members_of(static_cast<AttrId>(i));
+          const auto x = static_cast<double>(members.size());
+          for (const NodeId u : members) {
+            p.add(x, static_cast<double>(snap.attribute.attr_degree(u)));
           }
         }
         return p;
@@ -114,10 +119,7 @@ double attribute_assortativity(const SanSnapshot& snap) {
 double attribute_effective_diameter(const SanSnapshot& snap,
                                     std::size_t sample_sources, stats::Rng& rng,
                                     double quantile) {
-  std::vector<AttrId> populated;
-  for (AttrId a = 0; a < snap.members.size(); ++a) {
-    if (!snap.members[a].empty()) populated.push_back(a);
-  }
+  const auto populated = populated_attribute_ids(snap);
   if (populated.size() < 2) return 0.0;
 
   // Roots drawn serially from the caller's stream, BFS + scan per root in
@@ -129,17 +131,16 @@ double attribute_effective_diameter(const SanSnapshot& snap,
   std::vector<std::vector<std::uint64_t>> per_root(sample_sources);
   core::parallel_for(
       sample_sources,
-      [&](std::size_t s) {
-        const AttrId a = root_attrs[s];
-        const auto& sources = snap.members[a];
+      [&](std::size_t root) {
+        const AttrId a = root_attrs[root];
         const auto dist = graph::bfs_distances_multi(
-            snap.social, std::span<const NodeId>(sources), graph::Direction::kOut);
-        auto& local = per_root[s];
+            snap.social, snap.members_of(a), graph::Direction::kOut);
+        auto& local = per_root[root];
         // dist(a, b) = min over members(b) of dist + 1.
         for (const AttrId b : populated) {
           if (b == a) continue;
           std::uint32_t best = graph::kUnreachable;
-          for (const NodeId v : snap.members[b]) {
+          for (const NodeId v : snap.members_of(b)) {
             best = std::min(best, dist[v]);
           }
           if (best == graph::kUnreachable) continue;

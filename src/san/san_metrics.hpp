@@ -28,8 +28,8 @@ stats::Histogram attribute_social_degree_histogram(const SanSnapshot& snap);
 
 /// Average attribute clustering coefficient Ca (Algorithm 2 over attribute
 /// member groups), Fig 8b.
-double average_attribute_clustering(const SanSnapshot& snap,
-                                    const graph::ClusteringOptions& options = {});
+double average_attribute_clustering(
+    const SanSnapshot& snap, const graph::ClusteringOptions& options = {});
 
 /// Attribute clustering coefficient vs social degree of the attribute node
 /// (second curve of Fig 9a).
@@ -39,7 +39,8 @@ std::vector<std::pair<double, double>> attribute_clustering_by_degree(
 
 /// Attribute knn (Fig 12a): for each social degree k of attribute nodes, the
 /// average attribute degree of the members of those attribute nodes.
-std::vector<std::pair<std::uint64_t, double>> attribute_knn(const SanSnapshot& snap);
+std::vector<std::pair<std::uint64_t, double>> attribute_knn(
+    const SanSnapshot& snap);
 
 /// Attribute assortativity (Fig 12b): Pearson correlation over attribute
 /// links between the attribute node's social degree and the social node's
@@ -57,6 +58,7 @@ double attribute_effective_diameter(const SanSnapshot& snap,
 /// sources); complements graph::hyper_anf for mid-sized snapshots.
 double social_effective_diameter_sampled(const SanSnapshot& snap,
                                          std::size_t sample_sources,
-                                         stats::Rng& rng, double quantile = 0.9);
+                                         stats::Rng& rng,
+                                         double quantile = 0.9);
 
 }  // namespace san

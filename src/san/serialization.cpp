@@ -1,6 +1,7 @@
 #include "san/serialization.hpp"
 
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -16,6 +17,10 @@ void expect(bool condition, const char* message) {
 }  // namespace
 
 void save_san(const SocialAttributeNetwork& network, std::ostream& out) {
+  // Timestamps must survive a save/load round trip exactly: SanTimeline
+  // snapshots binary-search them, so a 6-digit default would shift snapshot
+  // boundaries for fractional times.
+  out.precision(std::numeric_limits<double>::max_digits10);
   out << kMagic << '\n';
   out << "social_nodes " << network.social_node_count() << '\n';
   for (std::size_t u = 0; u < network.social_node_count(); ++u) {
@@ -83,7 +88,8 @@ SocialAttributeNetwork load_san(std::istream& in) {
     network.add_social_link(u, v, time);
   }
 
-  expect(static_cast<bool>(in >> token >> n_links) && token == "attribute_links",
+  expect(static_cast<bool>(in >> token >> n_links) &&
+             token == "attribute_links",
          "expected attribute_links");
   for (std::uint64_t i = 0; i < n_links; ++i) {
     NodeId u = 0;

@@ -2,36 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 namespace san {
-
-std::size_t SanSnapshot::populated_attribute_count() const {
-  std::size_t count = 0;
-  for (const auto& m : members) {
-    if (!m.empty()) ++count;
-  }
-  return count;
-}
-
-std::size_t SanSnapshot::common_attributes(NodeId u, NodeId v) const {
-  const auto& au = attributes.at(u);
-  const auto& av = attributes.at(v);
-  std::size_t count = 0;
-  auto iu = au.begin();
-  auto iv = av.begin();
-  while (iu != au.end() && iv != av.end()) {
-    if (*iu < *iv) {
-      ++iu;
-    } else if (*iv < *iu) {
-      ++iv;
-    } else {
-      ++count;
-      ++iu;
-      ++iv;
-    }
-  }
-  return count;
-}
 
 SanSnapshot snapshot_at(const SocialAttributeNetwork& network, double time) {
   SanSnapshot snap;
@@ -40,34 +13,63 @@ SanSnapshot snapshot_at(const SocialAttributeNetwork& network, double time) {
   // Social nodes join chronologically, so the prefix with join time <= t is
   // exactly the node set of the snapshot.
   const auto social_times = network.social_node_times();
-  const auto first_after = std::upper_bound(social_times.begin(),
-                                            social_times.end(), time);
-  const auto n_social = static_cast<std::size_t>(first_after - social_times.begin());
+  const auto first_after =
+      std::upper_bound(social_times.begin(), social_times.end(), time);
+  const auto n_social =
+      static_cast<std::size_t>(first_after - social_times.begin());
 
   std::vector<std::pair<NodeId, NodeId>> edges;
   for (const auto& e : network.social_log()) {
-    if (e.time <= time) edges.emplace_back(e.src, e.dst);
+    if (e.time > time) continue;
+    if (e.src >= n_social || e.dst >= n_social) {
+      ++snap.dropped_link_count;  // link predates an endpoint's join
+      continue;
+    }
+    edges.emplace_back(e.src, e.dst);
   }
-  snap.social = graph::CsrGraph::from_edges(n_social, edges);
+  std::sort(edges.begin(), edges.end());
+  snap.social = graph::CsrGraph::from_sorted_edges(n_social, edges);
 
   // Attribute nodes are not necessarily chronological (ids assigned on first
-  // use); include every attribute whose creation time is <= t so ids stay
-  // aligned with the source network.
+  // use); the id space spans all of them so ids stay aligned with the source
+  // network, but only those created by t are part of the snapshot.
   const std::size_t n_attr = network.attribute_node_count();
-  snap.attributes.resize(n_social);
-  snap.members.resize(n_attr);
-  snap.attribute_types.reserve(n_attr);
+  const auto attr_times = network.attribute_node_times();
+  snap.attribute_types.assign(n_attr, AttributeType::kOther);
+  snap.attribute_created.assign(n_attr, 0);
   for (AttrId a = 0; a < n_attr; ++a) {
-    snap.attribute_types.push_back(network.attribute_type(a));
+    if (attr_times[a] <= time) {
+      snap.attribute_created[a] = 1;
+      snap.attribute_types[a] = network.attribute_type(a);
+      ++snap.created_attribute_count;
+    }
   }
+
+  // Attribute links in stable time order — the same order a SanTimeline
+  // prefix yields, so both paths produce bit-identical members_of spans.
+  std::vector<TimedAttributeLink> links;
   for (const auto& link : network.attribute_log()) {
     if (link.time > time) continue;
-    if (link.user >= n_social) continue;  // defensive: link predates its user
-    snap.attributes[link.user].push_back(link.attr);
-    snap.members[link.attr].push_back(link.user);
-    ++snap.attribute_link_count;
+    if (link.user >= n_social || !snap.attribute_created[link.attr]) {
+      ++snap.dropped_link_count;  // link predates its user or attribute
+      continue;
+    }
+    links.push_back(link);
   }
-  for (auto& attrs : snap.attributes) std::sort(attrs.begin(), attrs.end());
+  std::stable_sort(links.begin(), links.end(),
+                   [](const TimedAttributeLink& a,
+                      const TimedAttributeLink& b) {
+                     return a.time < b.time;
+                   });
+  std::vector<NodeId> users(links.size());
+  std::vector<AttrId> attrs(links.size());
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    users[i] = links[i].user;
+    attrs[i] = links[i].attr;
+  }
+  snap.attribute =
+      graph::BipartiteCsr::from_links(n_social, n_attr, users, attrs);
+  snap.attribute_link_count = snap.attribute.link_count();
   return snap;
 }
 

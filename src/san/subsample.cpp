@@ -4,9 +4,9 @@
 
 namespace san {
 
-SocialAttributeNetwork subsample_attributes(const SocialAttributeNetwork& network,
-                                            double keep_probability,
-                                            std::uint64_t seed) {
+SocialAttributeNetwork subsample_attributes(
+    const SocialAttributeNetwork& network, double keep_probability,
+    std::uint64_t seed) {
   if (keep_probability < 0.0 || keep_probability > 1.0) {
     throw std::invalid_argument("subsample_attributes: probability in [0,1]");
   }
@@ -17,7 +17,8 @@ SocialAttributeNetwork subsample_attributes(const SocialAttributeNetwork& networ
   }
   for (std::size_t a = 0; a < network.attribute_node_count(); ++a) {
     const auto id = static_cast<AttrId>(a);
-    out.add_attribute_node(network.attribute_type(id), network.attribute_name(id),
+    out.add_attribute_node(network.attribute_type(id),
+                           network.attribute_name(id),
                            network.attribute_node_time(id));
   }
   for (const auto& e : network.social_log()) {

@@ -11,8 +11,8 @@ namespace san {
 
 /// Copy of `network` in which every attribute link survives independently
 /// with probability keep_probability. Social structure is untouched.
-SocialAttributeNetwork subsample_attributes(const SocialAttributeNetwork& network,
-                                            double keep_probability,
-                                            std::uint64_t seed);
+SocialAttributeNetwork subsample_attributes(
+    const SocialAttributeNetwork& network, double keep_probability,
+    std::uint64_t seed);
 
 }  // namespace san

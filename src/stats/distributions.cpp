@@ -38,7 +38,9 @@ DiscretePowerLaw::DiscretePowerLaw(double alpha, std::uint32_t kmin)
   if (alpha <= 1.0) {
     throw std::invalid_argument("DiscretePowerLaw: alpha must be > 1");
   }
-  if (kmin < 1) throw std::invalid_argument("DiscretePowerLaw: kmin must be >= 1");
+  if (kmin < 1) {
+    throw std::invalid_argument("DiscretePowerLaw: kmin must be >= 1");
+  }
   log_norm_ = std::log(hurwitz_zeta(alpha_, kmin_));
   cum_.reserve(1024);
   double acc = 0.0;
@@ -73,21 +75,26 @@ std::uint64_t DiscretePowerLaw::sample(Rng& rng) const {
   const std::size_t idx = inverted_index(cum_, u);
   if (idx < cum_.size()) return kmin_ + idx;
   // Rare deep-tail fallback: continuous inversion (Clauset et al. appendix).
-  const double x =
-      (static_cast<double>(kmin_) - 0.5) * std::pow(1.0 - u, -1.0 / (alpha_ - 1.0)) + 0.5;
-  return static_cast<std::uint64_t>(std::max(x, static_cast<double>(kmin_ + cum_.size())));
+  const double x = (static_cast<double>(kmin_) - 0.5) *
+                       std::pow(1.0 - u, -1.0 / (alpha_ - 1.0)) +
+                   0.5;
+  return static_cast<std::uint64_t>(
+      std::max(x, static_cast<double>(kmin_ + cum_.size())));
 }
 
 // ---------------------------------------------------------------------------
 // DiscreteLognormal
 // ---------------------------------------------------------------------------
 
-DiscreteLognormal::DiscreteLognormal(double mu, double sigma, std::uint32_t kmin)
+DiscreteLognormal::DiscreteLognormal(double mu, double sigma,
+                                     std::uint32_t kmin)
     : mu_(mu), sigma_(sigma), kmin_(kmin) {
   if (sigma <= 0.0) {
     throw std::invalid_argument("DiscreteLognormal: sigma must be > 0");
   }
-  if (kmin < 1) throw std::invalid_argument("DiscreteLognormal: kmin must be >= 1");
+  if (kmin < 1) {
+    throw std::invalid_argument("DiscreteLognormal: kmin must be >= 1");
+  }
   // Normalization: exact sum over the table range, then an integral tail of
   // the smooth continuous envelope.
   double acc = 0.0;
@@ -99,11 +106,13 @@ DiscreteLognormal::DiscreteLognormal(double mu, double sigma, std::uint32_t kmin
     acc += m;
     mass.push_back(acc);
     // Stop once well past the mode and contributing negligibly.
-    if (std::log(static_cast<double>(k)) > mu_ + 8.0 * sigma_ && m < acc * 1e-14) {
+    if (std::log(static_cast<double>(k)) > mu_ + 8.0 * sigma_ &&
+        m < acc * 1e-14) {
       break;
     }
   }
-  const double tail = tail_integral(static_cast<double>(kmin_ + mass.size()) - 0.5);
+  const double tail =
+      tail_integral(static_cast<double>(kmin_ + mass.size()) - 0.5);
   norm_ = acc + tail;
   cum_ = std::move(mass);
   for (auto& c : cum_) c /= norm_;
@@ -159,7 +168,9 @@ PowerLawCutoff::PowerLawCutoff(double alpha, double lambda, std::uint32_t kmin)
   if (lambda <= 0.0) {
     throw std::invalid_argument("PowerLawCutoff: lambda must be > 0");
   }
-  if (kmin < 1) throw std::invalid_argument("PowerLawCutoff: kmin must be >= 1");
+  if (kmin < 1) {
+    throw std::invalid_argument("PowerLawCutoff: kmin must be >= 1");
+  }
   // The exponential cutoff makes the direct sum converge quickly.
   long double acc = 0.0L;
   std::vector<double> mass;
@@ -205,7 +216,8 @@ std::uint64_t PowerLawCutoff::sample(Rng& rng) const {
 // TruncatedNormal
 // ---------------------------------------------------------------------------
 
-TruncatedNormal::TruncatedNormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+TruncatedNormal::TruncatedNormal(double mu, double sigma)
+    : mu_(mu), sigma_(sigma) {
   if (sigma <= 0.0) {
     throw std::invalid_argument("TruncatedNormal: sigma must be > 0");
   }

@@ -91,7 +91,8 @@ class PowerLawCutoff {
   std::vector<double> cum_;
 };
 
-/// Normal distribution truncated to [0, inf): p(l) ∝ exp(-(l-mu)^2/(2 sigma^2))
+/// Normal distribution truncated to [0, inf):
+/// p(l) ∝ exp(-(l-mu)^2/(2 sigma^2))
 /// for l >= 0. Mean and variance follow the standard truncated-normal
 /// moments used in Theorem 1 of the paper:
 ///   mean     = mu + sigma * g(gamma),        gamma = -mu / sigma,

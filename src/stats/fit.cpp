@@ -37,7 +37,8 @@ TailMoments tail_moments(const Histogram& hist, std::uint64_t kmin) {
 
 void require_tail(const TailMoments& m, const char* who) {
   if (m.n < 2) {
-    throw std::invalid_argument(std::string(who) + ": needs >= 2 tail observations");
+    throw std::invalid_argument(std::string(who) + ": needs >= 2 tail "
+                                                   "observations");
   }
 }
 
@@ -61,11 +62,13 @@ PowerLawFit fit_power_law(const Histogram& hist, std::uint32_t kmin) {
   fit.n_tail = m.n;
   fit.loglik = -neg_loglik(alpha);
   const DiscretePowerLaw dist(alpha, kmin);
-  fit.ks = ks_distance(hist, [&](std::uint64_t k) { return dist.cdf(k); }, kmin);
+  fit.ks = ks_distance(hist, [&](std::uint64_t k) { return dist.cdf(k); },
+                       kmin);
   return fit;
 }
 
-PowerLawFit fit_power_law_scan(const Histogram& hist, std::size_t max_candidates) {
+PowerLawFit fit_power_law_scan(const Histogram& hist,
+                               std::size_t max_candidates) {
   // Candidate kmin values: distinct observed values, thinned to the cap.
   std::vector<std::uint64_t> candidates;
   for (const auto& [value, count] : hist.bins) {
@@ -99,7 +102,9 @@ PowerLawFit fit_power_law_scan(const Histogram& hist, std::size_t max_candidates
 }
 
 LognormalFit fit_discrete_lognormal(const Histogram& hist, std::uint32_t kmin) {
-  if (kmin < 1) throw std::invalid_argument("fit_discrete_lognormal: kmin >= 1");
+  if (kmin < 1) {
+    throw std::invalid_argument("fit_discrete_lognormal: kmin >= 1");
+  }
   const TailMoments m = tail_moments(hist, kmin);
   require_tail(m, "fit_discrete_lognormal");
 
@@ -131,7 +136,8 @@ LognormalFit fit_discrete_lognormal(const Histogram& hist, std::uint32_t kmin) {
   fit.n_tail = m.n;
   fit.loglik = -res.value;
   const DiscreteLognormal dist(fit.mu, fit.sigma, kmin);
-  fit.ks = ks_distance(hist, [&](std::uint64_t k) { return dist.cdf(k); }, kmin);
+  fit.ks = ks_distance(hist, [&](std::uint64_t k) { return dist.cdf(k); },
+                       kmin);
   return fit;
 }
 
@@ -144,7 +150,9 @@ CutoffFit fit_power_law_cutoff(const Histogram& hist, std::uint32_t kmin) {
     const double alpha = params[0];
     const double lambda = std::exp(params[1]);
     // Keep lambda in the numerically supported regime (see PowerLawCutoff).
-    if (alpha < -2.0 || alpha > 8.0 || lambda < 3e-4 || lambda > 10.0) return 1e18;
+    if (alpha < -2.0 || alpha > 8.0 || lambda < 3e-4 || lambda > 10.0) {
+      return 1e18;
+    }
     const PowerLawCutoff dist(alpha, lambda, kmin);
     double ll = 0.0;
     for (const auto& [value, count] : hist.bins) {
@@ -165,7 +173,8 @@ CutoffFit fit_power_law_cutoff(const Histogram& hist, std::uint32_t kmin) {
   fit.n_tail = m.n;
   fit.loglik = -res.value;
   const PowerLawCutoff dist(fit.alpha, fit.lambda, kmin);
-  fit.ks = ks_distance(hist, [&](std::uint64_t k) { return dist.cdf(k); }, kmin);
+  fit.ks = ks_distance(hist, [&](std::uint64_t k) { return dist.cdf(k); },
+                       kmin);
   return fit;
 }
 

@@ -38,8 +38,10 @@ struct LognormalFit {
   std::uint64_t n_tail = 0;
 };
 
-/// MLE fit of the discrete lognormal on k >= kmin (Nelder-Mead on (mu, ln sigma)).
-LognormalFit fit_discrete_lognormal(const Histogram& hist, std::uint32_t kmin = 1);
+/// MLE fit of the discrete lognormal on k >= kmin (Nelder-Mead on (mu, ln
+/// sigma)).
+LognormalFit fit_discrete_lognormal(const Histogram& hist,
+                                    std::uint32_t kmin = 1);
 
 struct CutoffFit {
   double alpha = 0.0;
@@ -69,6 +71,7 @@ struct ModelSelection {
 
 /// Fit all candidate distributions on the common support k >= kmin and pick
 /// the one minimizing AIC (equivalently, maximizing penalized likelihood).
-ModelSelection select_degree_model(const Histogram& hist, std::uint32_t kmin = 1);
+ModelSelection select_degree_model(const Histogram& hist,
+                                   std::uint32_t kmin = 1);
 
 }  // namespace san::stats

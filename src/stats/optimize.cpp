@@ -10,7 +10,9 @@ namespace san::stats {
 double golden_section_minimize(const std::function<double(double)>& f,
                                double lo, double hi, double tol,
                                int iterations) {
-  if (!(lo < hi)) throw std::invalid_argument("golden_section: requires lo < hi");
+  if (!(lo < hi)) {
+    throw std::invalid_argument("golden_section: requires lo < hi");
+  }
   const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
   double a = lo, b = hi;
   double c = b - phi * (b - a);
@@ -55,7 +57,8 @@ NelderMeadResult nelder_mead(
     std::vector<std::size_t> order(n + 1);
     std::iota(order.begin(), order.end(), std::size_t{0});
     std::sort(order.begin(), order.end(),
-              [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+              [&](std::size_t a,
+                  std::size_t b) { return values[a] < values[b]; });
     const std::size_t best = order.front(), worst = order.back();
     const std::size_t second_worst = order[n - 1];
     if (std::abs(values[worst] - values[best]) <
@@ -105,7 +108,8 @@ NelderMeadResult nelder_mead(
         for (std::size_t i = 0; i <= n; ++i) {
           if (i == best) continue;
           for (std::size_t d = 0; d < n; ++d) {
-            simplex[i][d] = simplex[best][d] + 0.5 * (simplex[i][d] - simplex[best][d]);
+            simplex[i][d] =
+                simplex[best][d] + 0.5 * (simplex[i][d] - simplex[best][d]);
           }
           values[i] = f(simplex[i]);
         }

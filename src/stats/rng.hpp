@@ -97,7 +97,9 @@ class Rng {
 
   /// Exponential with the given rate (mean 1/rate). Requires rate > 0.
   double exponential(double rate) {
-    if (rate <= 0.0) throw std::invalid_argument("exponential: rate must be > 0");
+    if (rate <= 0.0) {
+      throw std::invalid_argument("exponential: rate must be > 0");
+    }
     return -std::log1p(-uniform()) / rate;
   }
 

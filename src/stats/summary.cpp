@@ -43,7 +43,8 @@ double mean(std::span<const double> values) {
 }
 
 double variance(std::span<const double> values) {
-  if (values.size() < 2) throw std::invalid_argument("variance: need >= 2 values");
+  if (values.size() < 2) throw std::invalid_argument("variance: need >= 2 "
+                                                     "values");
   const double m = mean(values);
   double acc = 0.0;
   for (const double v : values) acc += (v - m) * (v - m);
@@ -61,7 +62,8 @@ double mean_of_histogram(const Histogram& hist) {
 
 double percentile(std::vector<double> values, double q) {
   if (values.empty()) throw std::invalid_argument("percentile: empty sample");
-  if (q < 0.0 || q > 100.0) throw std::invalid_argument("percentile: q in [0,100]");
+  if (q < 0.0 || q > 100.0) throw std::invalid_argument("percentile: q in "
+                                                        "[0,100]");
   std::sort(values.begin(), values.end());
   const double rank = q / 100.0 * static_cast<double>(values.size() - 1);
   const auto lo = static_cast<std::size_t>(std::floor(rank));
@@ -103,21 +105,24 @@ std::vector<LogBinPoint> log_binned_pdf(const Histogram& hist,
   return points;
 }
 
-std::vector<std::pair<std::uint64_t, double>> ccdf_points(const Histogram& hist) {
+std::vector<std::pair<std::uint64_t, double>> ccdf_points(
+    const Histogram& hist) {
   std::vector<std::pair<std::uint64_t, double>> points;
   points.reserve(hist.bins.size());
   std::uint64_t remaining = hist.total;
   for (const auto& [value, count] : hist.bins) {
-    points.emplace_back(value,
-                        static_cast<double>(remaining) / static_cast<double>(hist.total));
+    points.emplace_back(value, static_cast<double>(remaining) /
+                                   static_cast<double>(hist.total));
     remaining -= count;
   }
   return points;
 }
 
-double pearson_correlation(std::span<const double> x, std::span<const double> y) {
+double pearson_correlation(std::span<const double> x,
+                           std::span<const double> y) {
   if (x.size() != y.size() || x.size() < 2) {
-    throw std::invalid_argument("pearson_correlation: size mismatch or too small");
+    throw std::invalid_argument("pearson_correlation: size mismatch or too "
+                                "small");
   }
   const double mx = mean(x), my = mean(y);
   double sxy = 0.0, sxx = 0.0, syy = 0.0;

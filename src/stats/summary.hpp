@@ -11,7 +11,7 @@ namespace san::stats {
 
 /// Sorted (value, count) histogram of a non-negative integer sample.
 struct Histogram {
-  std::vector<std::pair<std::uint64_t, std::uint64_t>> bins;  // ascending values
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> bins;  // ascending
   std::uint64_t total = 0;
 
   /// Number of observations with value >= kmin.
@@ -40,9 +40,11 @@ std::vector<LogBinPoint> log_binned_pdf(const Histogram& hist,
                                         double bins_per_decade = 8.0);
 
 /// Empirical CCDF points (k, P(K >= k)) over the observed support.
-std::vector<std::pair<std::uint64_t, double>> ccdf_points(const Histogram& hist);
+std::vector<std::pair<std::uint64_t, double>> ccdf_points(
+    const Histogram& hist);
 
 /// Pearson correlation coefficient of two equally sized samples.
-double pearson_correlation(std::span<const double> x, std::span<const double> y);
+double pearson_correlation(std::span<const double> x,
+                           std::span<const double> y);
 
 }  // namespace san::stats

@@ -43,7 +43,8 @@ VuongResult vuong_test(const Histogram& hist,
     result.p_value = 1.0;
     return result;
   }
-  result.statistic = std::sqrt(static_cast<double>(n)) * mean / std::sqrt(variance);
+  result.statistic =
+      std::sqrt(static_cast<double>(n)) * mean / std::sqrt(variance);
   result.p_value = 2.0 * (1.0 - norm_cdf(std::abs(result.statistic)));
   return result;
 }

@@ -84,16 +84,20 @@ TEST(Anon, MoreCompromiseMoreAttack) {
 TEST(Anon, ValidatesArguments) {
   AnonOptions options;
   options.walk_length = 1;
-  EXPECT_THROW(AnonymousCommunication(complete(5), options), std::invalid_argument);
+  EXPECT_THROW(AnonymousCommunication(complete(5), options),
+               std::invalid_argument);
   options = {};
   options.num_walks = 0;
-  EXPECT_THROW(AnonymousCommunication(complete(5), options), std::invalid_argument);
+  EXPECT_THROW(AnonymousCommunication(complete(5), options),
+               std::invalid_argument);
 
   const AnonymousCommunication anon(complete(5), {});
   std::vector<std::uint8_t> wrong(3, 0);
   Rng rng(1);
-  EXPECT_THROW(anon.timing_attack_probability(wrong, rng), std::invalid_argument);
-  EXPECT_THROW(anon.timing_attack_probability_uniform(50, rng), std::invalid_argument);
+  EXPECT_THROW(anon.timing_attack_probability(wrong, rng),
+               std::invalid_argument);
+  EXPECT_THROW(anon.timing_attack_probability_uniform(50, rng),
+               std::invalid_argument);
 }
 
 }  // namespace

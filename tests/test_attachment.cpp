@@ -106,8 +106,10 @@ TEST(AttachmentLikelihood, GeneratedWithLapaPeaksNearTrueBeta) {
   params.seed = 11;
   const auto net = san::model::generate_san(params);
   const AttachmentLikelihood evaluator(net);
-  const double l0 = evaluator.evaluate(AttachmentKind::kLapa, {1.0, 0.0}).loglik;
-  const double l50 = evaluator.evaluate(AttachmentKind::kLapa, {1.0, 50.0}).loglik;
+  const double l0 = evaluator.evaluate(AttachmentKind::kLapa, {1.0,
+                                                               0.0}).loglik;
+  const double l50 = evaluator.evaluate(AttachmentKind::kLapa, {1.0,
+                                                                50.0}).loglik;
   const double l5000 =
       evaluator.evaluate(AttachmentKind::kLapa, {1.0, 5000.0}).loglik;
   EXPECT_GT(l50, l0);
@@ -122,9 +124,12 @@ TEST(AttachmentLikelihood, AlphaOneBeatsExtremes) {
   params.seed = 13;
   const auto net = san::model::generate_san(params);
   const AttachmentLikelihood evaluator(net);
-  const double l_a0 = evaluator.evaluate(AttachmentKind::kLapa, {0.0, 0.0}).loglik;
-  const double l_a1 = evaluator.evaluate(AttachmentKind::kLapa, {1.0, 0.0}).loglik;
-  const double l_a2 = evaluator.evaluate(AttachmentKind::kLapa, {2.0, 0.0}).loglik;
+  const double l_a0 = evaluator.evaluate(AttachmentKind::kLapa, {0.0,
+                                                                 0.0}).loglik;
+  const double l_a1 = evaluator.evaluate(AttachmentKind::kLapa, {1.0,
+                                                                 0.0}).loglik;
+  const double l_a2 = evaluator.evaluate(AttachmentKind::kLapa, {2.0,
+                                                                 0.0}).loglik;
   EXPECT_GT(l_a1, l_a0);
   EXPECT_GT(l_a1, l_a2);
 }

@@ -84,7 +84,8 @@ TEST(Crawler, CrawledIdsChronological) {
   const auto result = crawl_at(truth, 60.0);
   double prev = -1.0;
   for (std::size_t u = 0; u < result.network.social_node_count(); ++u) {
-    const double t = result.network.social_node_time(static_cast<san::NodeId>(u));
+    const double t =
+        result.network.social_node_time(static_cast<san::NodeId>(u));
     EXPECT_GE(t, prev);
     prev = t;
   }
@@ -96,15 +97,17 @@ TEST(Crawler, OriginalIdMappingValid) {
   ASSERT_EQ(result.original_id.size(), result.network.social_node_count());
   for (std::size_t u = 0; u < result.original_id.size(); ++u) {
     EXPECT_LT(result.original_id[u], truth.social_node_count());
-    EXPECT_DOUBLE_EQ(result.network.social_node_time(static_cast<san::NodeId>(u)),
-                     truth.social_node_time(result.original_id[u]));
+    EXPECT_DOUBLE_EQ(
+        result.network.social_node_time(static_cast<san::NodeId>(u)),
+        truth.social_node_time(result.original_id[u]));
   }
 }
 
 TEST(Crawler, AttributesOnlyForDiscoveredUsers) {
   const auto truth = ground_truth();
   const auto result = crawl_at(truth, 98.0);
-  EXPECT_LE(result.network.attribute_link_count(), truth.attribute_link_count());
+  EXPECT_LE(result.network.attribute_link_count(),
+            truth.attribute_link_count());
   EXPECT_GT(result.network.attribute_link_count(), 0u);
 }
 

@@ -28,7 +28,8 @@ TEST(NormHelpers, PdfAndCdfBasics) {
 // Discrete power law
 // ---------------------------------------------------------------------------
 
-class PowerLawSweep : public ::testing::TestWithParam<std::tuple<double, std::uint32_t>> {};
+class PowerLawSweep
+    : public ::testing::TestWithParam<std::tuple<double, std::uint32_t>> {};
 
 TEST_P(PowerLawSweep, PmfSumsToOne) {
   const auto [alpha, kmin] = GetParam();

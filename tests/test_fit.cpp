@@ -24,7 +24,8 @@ using san::stats::PowerLawCutoff;
 using san::stats::Rng;
 using san::stats::select_degree_model;
 
-san::stats::Histogram sample_histogram(const auto& dist, int n, std::uint64_t seed) {
+san::stats::Histogram sample_histogram(const auto& dist, int n,
+                                       std::uint64_t seed) {
   Rng rng(seed);
   std::vector<std::uint64_t> values;
   values.reserve(static_cast<std::size_t>(n));

@@ -88,7 +88,8 @@ TEST(Generator, Theorem1OutdegreeLognormalParameters) {
   const auto hist = san::graph::out_degree_histogram(snap.social);
   const auto fit = san::stats::fit_discrete_lognormal(hist, 1);
   const auto pred =
-      san::model::predicted_outdegree_lognormal(params.mu_l, params.sigma_l, params.ms);
+      san::model::predicted_outdegree_lognormal(params.mu_l, params.sigma_l,
+                                                params.ms);
   EXPECT_NEAR(fit.mu, pred.mu, 0.2);
   EXPECT_NEAR(fit.sigma, pred.sigma, 0.2);
 }
@@ -223,7 +224,8 @@ TEST(Generator, DynamicAttributesIncreaseAttributeLinks) {
   const auto net_off = generate_san(off);
   const auto net_on = generate_san(on);
   EXPECT_GT(net_on.attribute_link_count(),
-            net_off.attribute_link_count() + net_off.attribute_link_count() / 10);
+            net_off.attribute_link_count() +
+                net_off.attribute_link_count() / 10);
 }
 
 TEST(Generator, DynamicAttributesCopyFromNeighbors) {
@@ -263,7 +265,8 @@ TEST(Generator, MaxOutdegreeCapEnforced) {
   const auto net = generate_san(params);
   std::size_t max_out = 0;
   for (std::size_t u = 0; u < net.social_node_count(); ++u) {
-    max_out = std::max(max_out, net.social().out_degree(static_cast<san::NodeId>(u)));
+    max_out = std::max(max_out,
+                       net.social().out_degree(static_cast<san::NodeId>(u)));
   }
   // One link may still land after the cap check, hence the +1 slack.
   EXPECT_LE(max_out, params.max_outdegree + 1);
@@ -275,7 +278,8 @@ TEST(Generator, TimestampsConsistentForSnapshots) {
   params.seed = 31;
   const auto net = generate_san(params);
   // Half-time snapshot must be buildable and strictly smaller.
-  const auto half = san::snapshot_at(net, static_cast<double>(params.social_node_count) / 2);
+  const auto half = san::snapshot_at(
+      net, static_cast<double>(params.social_node_count) / 2);
   const auto full = san::snapshot_full(net);
   EXPECT_LT(half.social_node_count(), full.social_node_count());
   EXPECT_LT(half.social_link_count(), full.social_link_count());

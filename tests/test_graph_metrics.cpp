@@ -79,7 +79,8 @@ TEST(Knn, StarGraph) {
 TEST(Knn, AveragesAcrossSameOutdegree) {
   // Nodes 0 and 1 both have outdegree 1; their targets have indegree 2 and
   // 1 respectively (2 also receives from 3).
-  const std::vector<std::pair<NodeId, NodeId>> edges = {{0, 2}, {1, 4}, {3, 2}, {3, 4}};
+  const std::vector<std::pair<NodeId, NodeId>> edges = {{0, 2}, {1, 4}, {3, 2},
+                                                        {3, 4}};
   const auto knn = knn_out_in(CsrGraph::from_edges(5, edges));
   // outdegree 1: edges from 0 (target indeg 2) and 1 (target indeg 2)...
   // indeg(2) = 2, indeg(4) = 2. outdegree 2: node 3 -> (2, 4) avg 2.

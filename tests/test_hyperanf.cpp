@@ -27,7 +27,8 @@ TEST(HyperLogLog, EstimatesCardinalityWithinTolerance) {
   for (const std::size_t n : {100u, 1'000u, 50'000u}) {
     HyperLogLog hll(10);  // 1024 registers -> ~3% typical error
     for (std::size_t i = 0; i < n; ++i) hll.add_hash(mix(i));
-    EXPECT_NEAR(hll.estimate(), static_cast<double>(n), 0.12 * static_cast<double>(n))
+    EXPECT_NEAR(hll.estimate(), static_cast<double>(n),
+                0.12 * static_cast<double>(n))
         << "n=" << n;
   }
 }

@@ -102,7 +102,8 @@ TEST(ClusteringByType, EmployerBeatsCity) {
   san::graph::ClusteringOptions options;
   options.epsilon = 0.01;
   const auto by_type = clustering_by_attribute_type(snap, options);
-  const auto emp_cc = by_type[static_cast<std::size_t>(AttributeType::kEmployer)];
+  const auto emp_cc =
+      by_type[static_cast<std::size_t>(AttributeType::kEmployer)];
   const auto city_cc = by_type[static_cast<std::size_t>(AttributeType::kCity)];
   EXPECT_NEAR(emp_cc, 1.0, 0.05);
   EXPECT_NEAR(city_cc, 0.0, 0.05);
@@ -139,12 +140,14 @@ TEST(TopAttributes, OrderedByMembership) {
   SocialAttributeNetwork net;
   for (int i = 0; i < 6; ++i) net.add_social_node(0.0);
   const AttrId big = net.add_attribute_node(AttributeType::kEmployer, "big");
-  const AttrId small = net.add_attribute_node(AttributeType::kEmployer, "small");
+  const AttrId small = net.add_attribute_node(AttributeType::kEmployer,
+                                              "small");
   net.add_attribute_node(AttributeType::kCity, "othertype");
   for (NodeId u = 0; u < 4; ++u) net.add_attribute_link(u, big);
   net.add_attribute_link(4, small);
   const auto snap = snapshot_full(net);
-  const auto top = top_attributes_by_degree(net, snap, AttributeType::kEmployer, 5);
+  const auto top = top_attributes_by_degree(net, snap,
+                                            AttributeType::kEmployer, 5);
   ASSERT_EQ(top.size(), 2u);
   EXPECT_EQ(top[0].attribute_name, "big");
   EXPECT_EQ(top[1].attribute_name, "small");

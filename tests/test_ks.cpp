@@ -19,7 +19,9 @@ TEST(KsDistance, ZeroForPerfectModel) {
   // Empirical distribution == model CDF by construction.
   const std::vector<std::uint64_t> values = {1, 1, 2, 2, 3, 3, 4, 4};
   const auto hist = make_histogram(values);
-  const auto cdf = [](std::uint64_t k) { return std::min(1.0, 0.25 * static_cast<double>(k)); };
+  const auto cdf = [](std::uint64_t k) {
+    return std::min(1.0, 0.25 * static_cast<double>(k));
+  };
   EXPECT_NEAR(ks_distance(hist, cdf, 1), 0.0, 1e-12);
 }
 

@@ -20,7 +20,8 @@ using san::SocialAttributeNetwork;
 using san::snapshot_at;
 using san::snapshot_full;
 
-class GeneratedNetworkProperties : public ::testing::TestWithParam<std::uint64_t> {
+class GeneratedNetworkProperties
+    : public ::testing::TestWithParam<std::uint64_t> {
  protected:
   SocialAttributeNetwork make() const {
     san::model::GeneratorParams params;
@@ -121,7 +122,8 @@ TEST_P(GeneratedNetworkProperties, AttributeMembershipConsistent) {
 INSTANTIATE_TEST_SUITE_P(Seeds, GeneratedNetworkProperties,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
 
-class CrawlNetworkProperties : public ::testing::TestWithParam<std::uint64_t> {};
+class CrawlNetworkProperties
+    : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(CrawlNetworkProperties, TimestampsWithinWindowAndConsistent) {
   san::crawl::SyntheticGplusParams params;

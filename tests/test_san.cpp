@@ -13,10 +13,14 @@ SocialAttributeNetwork figure1_san() {
   // The example SAN of Fig 1: six social nodes, four attribute nodes.
   SocialAttributeNetwork net;
   for (int i = 0; i < 6; ++i) net.add_social_node(0.0);
-  const AttrId sf = net.add_attribute_node(AttributeType::kCity, "San Francisco");
-  const AttrId cal = net.add_attribute_node(AttributeType::kSchool, "UC Berkeley");
-  const AttrId cs = net.add_attribute_node(AttributeType::kMajor, "Computer Science");
-  const AttrId goog = net.add_attribute_node(AttributeType::kEmployer, "Google Inc.");
+  const AttrId sf = net.add_attribute_node(AttributeType::kCity,
+                                           "San Francisco");
+  const AttrId cal = net.add_attribute_node(AttributeType::kSchool,
+                                            "UC Berkeley");
+  const AttrId cs = net.add_attribute_node(AttributeType::kMajor,
+                                           "Computer Science");
+  const AttrId goog = net.add_attribute_node(AttributeType::kEmployer,
+                                             "Google Inc.");
   net.add_attribute_link(0, sf);
   net.add_attribute_link(1, sf);
   net.add_attribute_link(1, cal);

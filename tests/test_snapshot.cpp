@@ -69,7 +69,7 @@ TEST(Snapshot, AttributesSortedPerUser) {
   const auto c = net.add_attribute_node(AttributeType::kMajor, "CS", 3.0);
   net.add_attribute_link(3, c, 3.6);
   const auto snap = snapshot_full(net);
-  const auto& attrs = snap.attributes[3];
+  const auto attrs = snap.attributes_of(3);
   ASSERT_EQ(attrs.size(), 2u);
   EXPECT_LT(attrs[0], attrs[1]);
 }
@@ -92,8 +92,37 @@ TEST(Snapshot, TypesCarriedOver) {
 TEST(Snapshot, MembersMatchAttributeLinks) {
   const auto net = evolving_san();
   const auto snap = snapshot_at(net, 2.5);
-  EXPECT_EQ(snap.members[1].size(), 1u);  // only node 2 had B by then
-  EXPECT_EQ(snap.members[1][0], 2u);
+  ASSERT_EQ(snap.members_of(1).size(), 1u);  // only node 2 had B by then
+  EXPECT_EQ(snap.members_of(1)[0], 2u);
+}
+
+TEST(Snapshot, AttributeNodesFilteredByCreationTime) {
+  const auto net = evolving_san();
+  const auto early = snapshot_at(net, 1.5);  // only attribute A exists
+  EXPECT_EQ(early.attribute_node_count(), 1u);
+  EXPECT_EQ(early.attribute_id_count(), 2u);  // id space stays aligned
+  EXPECT_TRUE(early.attribute_created[0]);
+  EXPECT_FALSE(early.attribute_created[1]);
+  const auto full = snapshot_full(net);
+  EXPECT_EQ(full.attribute_node_count(), 2u);
+}
+
+TEST(Snapshot, DroppedLinksAreCounted) {
+  SocialAttributeNetwork net;
+  net.add_social_node(1.0);          // 0
+  net.add_social_node(5.0);          // 1 joins late
+  const auto a =
+      net.add_attribute_node(AttributeType::kCity, "SF", 4.0);  // created late
+  net.add_social_link(0, 1, 2.0);    // predates node 1's join
+  net.add_attribute_link(0, a, 2.0);  // predates attribute a's creation
+  const auto snap = snapshot_at(net, 3.0);
+  EXPECT_EQ(snap.social_link_count(), 0u);
+  EXPECT_EQ(snap.attribute_link_count, 0u);
+  EXPECT_EQ(snap.dropped_link_count, 2u);
+  const auto full = snapshot_full(net);
+  EXPECT_EQ(full.dropped_link_count, 0u);
+  EXPECT_EQ(full.social_link_count(), 1u);
+  EXPECT_EQ(full.attribute_link_count, 1u);
 }
 
 }  // namespace

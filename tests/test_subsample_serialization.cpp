@@ -21,8 +21,10 @@ SocialAttributeNetwork small_san() {
   net.add_social_node(1.0);
   net.add_social_node(1.5);
   net.add_social_node(2.0);
-  const auto a = net.add_attribute_node(AttributeType::kEmployer, "Google Inc.", 1.0);
-  const auto b = net.add_attribute_node(AttributeType::kCity, "San Francisco", 1.2);
+  const auto a = net.add_attribute_node(AttributeType::kEmployer,
+                                        "Google Inc.", 1.0);
+  const auto b = net.add_attribute_node(AttributeType::kCity, "San Francisco",
+                                        1.2);
   net.add_social_link(0, 1, 1.5);
   net.add_social_link(1, 0, 1.6);
   net.add_social_link(2, 0, 2.0);
@@ -91,7 +93,8 @@ TEST(Serialization, RoundTripPreservesStructure) {
 TEST(Serialization, NamesWithSpacesSurvive) {
   SocialAttributeNetwork net;
   net.add_social_node(0.0);
-  net.add_attribute_node(AttributeType::kMajor, "Electrical Engineering and CS");
+  net.add_attribute_node(AttributeType::kMajor,
+                         "Electrical Engineering and CS");
   net.add_attribute_link(0, 0);
   std::stringstream buffer;
   save_san(net, buffer);

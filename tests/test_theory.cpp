@@ -18,9 +18,11 @@ TEST(Theorem1, FormulaMatchesDefinition) {
   const double mu_l = 1.8, sigma_l = 1.0, ms = 1.0;
   const double gamma = -mu_l / sigma_l;
   const auto pred = predicted_outdegree_lognormal(mu_l, sigma_l, ms);
-  EXPECT_NEAR(pred.mu, (mu_l + sigma_l * TruncatedNormal::g(gamma)) / ms, 1e-12);
+  EXPECT_NEAR(pred.mu, (mu_l + sigma_l * TruncatedNormal::g(gamma)) / ms,
+              1e-12);
   EXPECT_NEAR(pred.sigma * pred.sigma,
-              sigma_l * sigma_l * (1.0 - TruncatedNormal::delta(gamma)) / (ms * ms),
+              sigma_l * sigma_l * (1.0 - TruncatedNormal::delta(gamma)) /
+                  (ms * ms),
               1e-12);
 }
 
@@ -33,8 +35,10 @@ TEST(Theorem1, MuEqualsTruncatedMeanOverMs) {
 }
 
 TEST(Theorem1, RejectsBadArguments) {
-  EXPECT_THROW(predicted_outdegree_lognormal(1.0, 0.0, 1.0), std::invalid_argument);
-  EXPECT_THROW(predicted_outdegree_lognormal(1.0, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(predicted_outdegree_lognormal(1.0, 0.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(predicted_outdegree_lognormal(1.0, 1.0, 0.0),
+               std::invalid_argument);
 }
 
 TEST(Theorem2, ExponentFormula) {
@@ -51,9 +55,12 @@ TEST(Theorem2, InverseRoundTrip) {
 }
 
 TEST(Theorem2, RejectsBadArguments) {
-  EXPECT_THROW(predicted_attribute_powerlaw_exponent(-0.1), std::invalid_argument);
-  EXPECT_THROW(predicted_attribute_powerlaw_exponent(1.0), std::invalid_argument);
-  EXPECT_THROW(new_attribute_probability_for_exponent(2.0), std::invalid_argument);
+  EXPECT_THROW(predicted_attribute_powerlaw_exponent(-0.1),
+               std::invalid_argument);
+  EXPECT_THROW(predicted_attribute_powerlaw_exponent(1.0),
+               std::invalid_argument);
+  EXPECT_THROW(new_attribute_probability_for_exponent(2.0),
+               std::invalid_argument);
 }
 
 TEST(LifetimeInversion, RoundTripsThroughTheorem1) {
@@ -61,7 +68,8 @@ TEST(LifetimeInversion, RoundTripsThroughTheorem1) {
     for (const double mu_t : {1.2, 1.8, 2.4}) {
       for (const double sigma_t : {0.6, 1.0}) {
         const auto lt = lifetime_for_outdegree(mu_t, sigma_t, ms);
-        const auto pred = predicted_outdegree_lognormal(lt.mu_l, lt.sigma_l, ms);
+        const auto pred = predicted_outdegree_lognormal(lt.mu_l, lt.sigma_l,
+                                                        ms);
         EXPECT_NEAR(pred.mu, mu_t, 1e-4) << "ms=" << ms;
         EXPECT_NEAR(pred.sigma, sigma_t, 1e-4);
       }

@@ -1,0 +1,296 @@
+// SanTimeline equivalence and BipartiteCsr invariants.
+//
+// The timeline contract is exact: snapshot_at(t) through the index must be
+// indistinguishable — adjacency arrays, member ordering, metrics, dropped
+// counts — from the naive full-log-scan san::snapshot_at at every t. The
+// randomized suites check that on generated SANs at many random times.
+#include "san/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "crawl/gplus_synth.hpp"
+#include "graph/bipartite_csr.hpp"
+#include "model/generator.hpp"
+#include "san/san_metrics.hpp"
+#include "san/serialization.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using san::AttrId;
+using san::AttributeType;
+using san::NodeId;
+using san::SanSnapshot;
+using san::SanTimeline;
+using san::SocialAttributeNetwork;
+using san::snapshot_at;
+using san::graph::BipartiteCsr;
+
+void expect_snapshots_identical(const SanSnapshot& a, const SanSnapshot& b,
+                                double time) {
+  SCOPED_TRACE(testing::Message() << "time=" << time);
+  ASSERT_EQ(a.social_node_count(), b.social_node_count());
+  ASSERT_EQ(a.social_link_count(), b.social_link_count());
+  ASSERT_EQ(a.attribute_link_count, b.attribute_link_count);
+  ASSERT_EQ(a.attribute_node_count(), b.attribute_node_count());
+  ASSERT_EQ(a.attribute_id_count(), b.attribute_id_count());
+  ASSERT_EQ(a.dropped_link_count, b.dropped_link_count);
+  EXPECT_EQ(a.populated_attribute_count(), b.populated_attribute_count());
+  EXPECT_EQ(a.attribute_types, b.attribute_types);
+  EXPECT_EQ(a.attribute_created, b.attribute_created);
+
+  for (NodeId u = 0; u < a.social_node_count(); ++u) {
+    const auto ao = a.social.out(u);
+    const auto bo = b.social.out(u);
+    ASSERT_TRUE(std::equal(ao.begin(), ao.end(), bo.begin(), bo.end()))
+        << "out list differs at node " << u;
+    const auto ai = a.social.in(u);
+    const auto bi = b.social.in(u);
+    ASSERT_TRUE(std::equal(ai.begin(), ai.end(), bi.begin(), bi.end()))
+        << "in list differs at node " << u;
+    const auto an = a.social.neighbors(u);
+    const auto bn = b.social.neighbors(u);
+    ASSERT_TRUE(std::equal(an.begin(), an.end(), bn.begin(), bn.end()))
+        << "neighbor list differs at node " << u;
+    const auto aa = a.attributes_of(u);
+    const auto ba = b.attributes_of(u);
+    ASSERT_TRUE(std::equal(aa.begin(), aa.end(), ba.begin(), ba.end()))
+        << "attribute list differs at node " << u;
+  }
+  for (AttrId x = 0; x < a.attribute_id_count(); ++x) {
+    const auto am = a.members_of(x);
+    const auto bm = b.members_of(x);
+    ASSERT_TRUE(std::equal(am.begin(), am.end(), bm.begin(), bm.end()))
+        << "member list differs (incl. order) at attribute " << x;
+  }
+
+  // Metric identity, including the float-accumulation-order-sensitive ones.
+  EXPECT_EQ(san::attribute_density(a), san::attribute_density(b));
+  EXPECT_EQ(san::attribute_assortativity(a), san::attribute_assortativity(b));
+}
+
+void check_equivalence_at_random_times(const SocialAttributeNetwork& net,
+                                       std::size_t samples,
+                                       std::uint64_t seed) {
+  const SanTimeline timeline(net);
+  san::stats::Rng rng(seed);
+  const double horizon = timeline.max_time() * 1.1 + 1.0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double t = rng.uniform() * horizon;
+    expect_snapshots_identical(timeline.snapshot_at(t), snapshot_at(net, t), t);
+  }
+  expect_snapshots_identical(timeline.snapshot_full(), san::snapshot_full(net),
+                             timeline.max_time());
+}
+
+TEST(Timeline, MatchesNaiveSnapshotsOnModelSan) {
+  san::model::GeneratorParams params;
+  params.social_node_count = 600;
+  params.seed = 11;
+  check_equivalence_at_random_times(san::model::generate_san(params), 25, 99);
+}
+
+TEST(Timeline, MatchesNaiveSnapshotsOnSyntheticGplus) {
+  san::crawl::SyntheticGplusParams params;
+  params.total_social_nodes = 1'500;
+  params.seed = 5;
+  check_equivalence_at_random_times(
+      san::crawl::generate_synthetic_gplus(params), 25, 1234);
+}
+
+TEST(Timeline, MatchesNaiveOnSerializationRoundTrip) {
+  san::crawl::SyntheticGplusParams params;
+  params.total_social_nodes = 800;
+  params.seed = 21;
+  const auto net = san::crawl::generate_synthetic_gplus(params);
+
+  // Fractional timestamps must survive the text round trip exactly, or the
+  // reloaded timeline's snapshot boundaries shift.
+  std::stringstream buffer;
+  san::save_san(net, buffer);
+  const auto reloaded = san::load_san(buffer);
+  const SanTimeline timeline(reloaded);
+  san::stats::Rng rng(7);
+  for (std::size_t i = 0; i < 10; ++i) {
+    const double t = rng.uniform() * (timeline.max_time() + 1.0);
+    expect_snapshots_identical(timeline.snapshot_at(t), snapshot_at(net, t), t);
+  }
+}
+
+TEST(Timeline, SweepMatchesIndividualSnapshots) {
+  san::model::GeneratorParams params;
+  params.social_node_count = 400;
+  params.seed = 3;
+  const auto net = san::model::generate_san(params);
+  const SanTimeline timeline(net);
+
+  std::vector<double> times;
+  const double stride = timeline.max_time() / 7.0 + 0.1;
+  for (double t = 0.0; t <= timeline.max_time() + 1.0; t += stride) {
+    times.push_back(t);
+  }
+  std::size_t visited = 0;
+  timeline.sweep(times, [&](double t, const SanSnapshot& snap) {
+    expect_snapshots_identical(snap, snapshot_at(net, t), t);
+    ++visited;
+  });
+  EXPECT_EQ(visited, times.size());
+}
+
+TEST(Timeline, CountsAndMaxTime) {
+  san::model::GeneratorParams params;
+  params.social_node_count = 200;
+  params.seed = 17;
+  const auto net = san::model::generate_san(params);
+  const SanTimeline timeline(net);
+  EXPECT_EQ(timeline.social_node_total(), net.social_node_count());
+  EXPECT_EQ(timeline.attribute_node_total(), net.attribute_node_count());
+  EXPECT_EQ(timeline.social_link_total(), net.social_link_count());
+  EXPECT_EQ(timeline.attribute_link_total(), net.attribute_link_count());
+  const auto full = timeline.snapshot_at(timeline.max_time());
+  EXPECT_EQ(full.social_node_count(), net.social_node_count());
+  EXPECT_EQ(full.social_link_count(), net.social_link_count());
+}
+
+TEST(Timeline, EmptyNetwork) {
+  const SocialAttributeNetwork net;
+  const SanTimeline timeline(net);
+  EXPECT_EQ(timeline.max_time(), 0.0);
+  const auto snap = timeline.snapshot_at(5.0);
+  EXPECT_EQ(snap.social_node_count(), 0u);
+  EXPECT_EQ(snap.attribute_link_count, 0u);
+}
+
+TEST(Timeline, OutOfOrderLogTimesStillMatchNaive) {
+  // add_* allows locally out-of-order link timestamps (e.g. a clamped link
+  // time exceeding a later event's); the stable time sort must agree with
+  // the naive filter at every cut.
+  SocialAttributeNetwork net;
+  net.add_social_node(1.0);
+  net.add_social_node(1.0);
+  net.add_social_node(2.0);
+  const auto a = net.add_attribute_node(AttributeType::kCity, "SF", 1.0);
+  const auto b = net.add_attribute_node(AttributeType::kEmployer, "G", 1.0);
+  net.add_social_link(0, 2, 3.0);  // later time logged first
+  net.add_social_link(0, 1, 1.5);
+  net.add_social_link(1, 0, 2.5);
+  net.add_attribute_link(1, b, 2.0);
+  net.add_attribute_link(0, a, 1.0);
+  net.add_attribute_link(2, a, 4.0);
+  const SanTimeline timeline(net);
+  for (const double t : {0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 9.0}) {
+    expect_snapshots_identical(timeline.snapshot_at(t), snapshot_at(net, t), t);
+  }
+}
+
+// ---- BipartiteCsr invariants. ----
+
+TEST(BipartiteCsr, SortedLeftSpansAndDegreeSums) {
+  san::stats::Rng rng(42);
+  const std::size_t n_left = 60, n_right = 25;
+  std::vector<NodeId> users;
+  std::vector<AttrId> attrs;
+  std::vector<std::uint8_t> seen(n_left * n_right, 0);
+  for (std::size_t i = 0; i < 400; ++i) {
+    const auto u = static_cast<NodeId>(rng.uniform_index(n_left));
+    const auto x = static_cast<AttrId>(rng.uniform_index(n_right));
+    if (seen[u * n_right + x]) continue;  // keep links unique
+    seen[u * n_right + x] = 1;
+    users.push_back(u);
+    attrs.push_back(x);
+  }
+  const auto csr = BipartiteCsr::from_links(n_left, n_right, users, attrs);
+  EXPECT_EQ(csr.link_count(), users.size());
+
+  std::uint64_t left_sum = 0, right_sum = 0;
+  for (NodeId u = 0; u < n_left; ++u) {
+    const auto span = csr.attrs_of(u);
+    left_sum += span.size();
+    for (std::size_t i = 1; i < span.size(); ++i) {
+      EXPECT_LT(span[i - 1], span[i]) << "attrs_of not strictly ascending";
+    }
+  }
+  for (AttrId x = 0; x < n_right; ++x) right_sum += csr.members_of(x).size();
+  EXPECT_EQ(left_sum, csr.link_count());
+  EXPECT_EQ(right_sum, csr.link_count());
+}
+
+TEST(BipartiteCsr, MembersPreserveInputOrder) {
+  const std::vector<NodeId> users{3, 1, 2, 0};
+  const std::vector<AttrId> attrs{0, 0, 0, 0};
+  const auto csr = BipartiteCsr::from_links(4, 1, users, attrs);
+  const auto members = csr.members_of(0);
+  ASSERT_EQ(members.size(), 4u);
+  EXPECT_EQ(members[0], 3u);
+  EXPECT_EQ(members[1], 1u);
+  EXPECT_EQ(members[2], 2u);
+  EXPECT_EQ(members[3], 0u);
+}
+
+TEST(BipartiteCsr, RebuildReusesAndResets) {
+  BipartiteCsr csr;
+  const std::vector<NodeId> u1{0, 1, 2};
+  const std::vector<AttrId> a1{1, 0, 1};
+  csr.rebuild_from_links(3, 2, u1, a1);
+  EXPECT_EQ(csr.link_count(), 3u);
+  const std::vector<NodeId> u2{1};
+  const std::vector<AttrId> a2{0};
+  csr.rebuild_from_links(2, 1, u2, a2);
+  EXPECT_EQ(csr.left_count(), 2u);
+  EXPECT_EQ(csr.right_count(), 1u);
+  EXPECT_EQ(csr.link_count(), 1u);
+  ASSERT_EQ(csr.members_of(0).size(), 1u);
+  EXPECT_EQ(csr.members_of(0)[0], 1u);
+  EXPECT_TRUE(csr.attrs_of(0).empty());
+}
+
+TEST(BipartiteCsr, CommonAttrs) {
+  const std::vector<NodeId> users{0, 0, 1, 1, 1};
+  const std::vector<AttrId> attrs{0, 2, 0, 1, 2};
+  const auto csr = BipartiteCsr::from_links(2, 3, users, attrs);
+  EXPECT_EQ(csr.common_attrs(0, 1), 2u);
+  EXPECT_EQ(csr.common_attrs(0, 0), 2u);
+}
+
+TEST(BipartiteCsr, RejectsOutOfRange) {
+  const std::vector<NodeId> users{5};
+  const std::vector<AttrId> attrs{0};
+  EXPECT_THROW(BipartiteCsr::from_links(2, 1, users, attrs), std::out_of_range);
+}
+
+// ---- CsrGraph::from_sorted_edges fast path. ----
+
+TEST(CsrFromSorted, MatchesCanonicalBuild) {
+  san::stats::Rng rng(9);
+  const std::size_t n = 80;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (std::size_t i = 0; i < 500; ++i) {
+    edges.emplace_back(static_cast<NodeId>(rng.uniform_index(n)),
+                       static_cast<NodeId>(rng.uniform_index(n)));
+  }
+  const auto reference = san::graph::CsrGraph::from_edges(n, edges);
+  std::sort(edges.begin(), edges.end());  // duplicates + self loops remain
+  const auto fast = san::graph::CsrGraph::from_sorted_edges(n, edges);
+  ASSERT_EQ(fast.node_count(), reference.node_count());
+  ASSERT_EQ(fast.edge_count(), reference.edge_count());
+  for (NodeId u = 0; u < n; ++u) {
+    const auto fo = fast.out(u), ro = reference.out(u);
+    ASSERT_TRUE(std::equal(fo.begin(), fo.end(), ro.begin(), ro.end()));
+    const auto fi = fast.in(u), ri = reference.in(u);
+    ASSERT_TRUE(std::equal(fi.begin(), fi.end(), ri.begin(), ri.end()));
+    const auto fn = fast.neighbors(u), rn = reference.neighbors(u);
+    ASSERT_TRUE(std::equal(fn.begin(), fn.end(), rn.begin(), rn.end()));
+  }
+}
+
+TEST(CsrFromSorted, RejectsUnsortedInput) {
+  const std::vector<std::pair<NodeId, NodeId>> edges{{1, 0}, {0, 1}};
+  EXPECT_THROW(san::graph::CsrGraph::from_sorted_edges(2, edges),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -23,7 +23,8 @@ TEST(Zeta, HurwitzMatchesDirectSummation) {
         direct += std::pow(static_cast<long double>(n) + q, -s);
       }
       // Analytic tail of the truncated direct sum.
-      direct += std::pow(static_cast<long double>(kTerms) + q, 1.0L - s) / (s - 1.0L);
+      direct += std::pow(static_cast<long double>(kTerms) + q,
+                         1.0L - s) / (s - 1.0L);
       EXPECT_NEAR(hurwitz_zeta(s, q), static_cast<double>(direct), 1e-6)
           << "s=" << s << " q=" << q;
     }

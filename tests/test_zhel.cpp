@@ -91,7 +91,8 @@ TEST(Zhel, GroupsFollowSocialStructure) {
     }
   }
   ASSERT_GT(pairs, 100u);
-  EXPECT_GT(static_cast<double>(friend_pairs) / static_cast<double>(pairs), 0.05);
+  EXPECT_GT(static_cast<double>(friend_pairs) / static_cast<double>(pairs),
+            0.05);
 }
 
 TEST(Zhel, ValidatesParameters) {

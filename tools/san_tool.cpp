@@ -2,15 +2,18 @@
 //
 //   san_tool generate --kind model|zhel|gplus --nodes N --seed S -o FILE
 //   san_tool measure FILE [--day D]
+//   san_tool snapshots FILE [--step D]
 //   san_tool crawl FILE --day D [--private P] -o FILE
 //   san_tool communities FILE [--attribute-weight W]
 //
 // Files use the SANv1 text format (san/serialization.hpp).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <limits>
 #include <string>
+#include <vector>
 
 #include "apps/community.hpp"
 #include "crawl/crawler.hpp"
@@ -21,7 +24,7 @@
 #include "model/zhel.hpp"
 #include "san/san_metrics.hpp"
 #include "san/serialization.hpp"
-#include "san/snapshot.hpp"
+#include "san/timeline.hpp"
 #include "stats/fit.hpp"
 
 namespace {
@@ -34,6 +37,7 @@ int usage() {
                "  san_tool generate --kind model|zhel|gplus [--nodes N]"
                " [--seed S] -o FILE\n"
                "  san_tool measure FILE [--day D]\n"
+               "  san_tool snapshots FILE [--step D]\n"
                "  san_tool crawl FILE --day D [--private P] -o FILE\n"
                "  san_tool communities FILE [--attribute-weight W]\n");
   return 2;
@@ -51,9 +55,11 @@ const char* flag_value(int argc, char** argv, const char* flag,
 int cmd_generate(int argc, char** argv) {
   const std::string kind = flag_value(argc, argv, "--kind", "model");
   const auto nodes =
-      static_cast<std::size_t>(std::atol(flag_value(argc, argv, "--nodes", "20000")));
+      static_cast<std::size_t>(std::atol(flag_value(argc, argv, "--nodes",
+                                                    "20000")));
   const auto seed =
-      static_cast<std::uint64_t>(std::atoll(flag_value(argc, argv, "--seed", "42")));
+      static_cast<std::uint64_t>(std::atoll(flag_value(argc, argv, "--seed",
+                                                       "42")));
   const char* out = flag_value(argc, argv, "-o", nullptr);
   if (out == nullptr) return usage();
 
@@ -102,13 +108,15 @@ int cmd_measure(int argc, char** argv, const char* path) {
   std::printf("reciprocity:         %.4f\n", graph::reciprocity(snap.social));
   std::printf("social density:      %.3f\n", graph::density(snap.social));
   std::printf("attribute density:   %.3f\n", attribute_density(snap));
-  std::printf("assortativity:       %+.4f\n", graph::assortativity(snap.social));
+  std::printf("assortativity:       %+.4f\n",
+              graph::assortativity(snap.social));
 
   graph::ClusteringOptions cc;
   cc.epsilon = 0.01;
   std::printf("social clustering:   %.4f\n",
               graph::approx_average_clustering(snap.social, cc));
-  std::printf("attribute clustering:%.4f\n", average_attribute_clustering(snap, cc));
+  std::printf("attribute clustering:%.4f\n",
+              average_attribute_clustering(snap, cc));
 
   if (snap.social_link_count() > 100) {
     const auto out_sel =
@@ -117,6 +125,41 @@ int cmd_measure(int argc, char** argv, const char* path) {
                 to_string(out_sel.best).c_str(), out_sel.lognormal.mu,
                 out_sel.lognormal.sigma);
   }
+  return 0;
+}
+
+int cmd_snapshots(int argc, char** argv, const char* path) {
+  const double step = std::atof(flag_value(argc, argv, "--step", "1"));
+  if (step <= 0.0) return usage();
+  const auto net = load_san(path);
+  const SanTimeline timeline(net);
+
+  // Integer-index grid: repeated `day += step` accumulates rounding error
+  // and can emit two nearly-identical final snapshots.
+  std::vector<double> days;
+  for (std::size_t i = 1;; ++i) {
+    const double day = step * static_cast<double>(i);
+    if (day >= timeline.max_time()) {
+      days.push_back(timeline.max_time());
+      break;
+    }
+    days.push_back(day);
+  }
+  std::printf("%8s %12s %12s %14s %12s %12s %10s\n", "day", "nodes", "links",
+              "attr-nodes", "attr-links", "density", "attr-dens");
+  timeline.sweep(days, [](double day, const SanSnapshot& snap) {
+    std::printf("%8.2f %12zu %12llu %14zu %12llu %12.4f %10.3f\n", day,
+                snap.social_node_count(),
+                static_cast<unsigned long long>(snap.social_link_count()),
+                snap.attribute_node_count(),
+                static_cast<unsigned long long>(snap.attribute_link_count),
+                graph::density(snap.social), attribute_density(snap));
+  });
+  std::printf("(%zu snapshots; indexed %llu social + %llu attribute links"
+              " once, O(prefix) per day)\n",
+              days.size(),
+              static_cast<unsigned long long>(timeline.social_link_total()),
+              static_cast<unsigned long long>(timeline.attribute_link_total()));
   return 0;
 }
 
@@ -158,7 +201,11 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     if (command == "generate") return cmd_generate(argc, argv);
-    if (argc >= 3 && command == "measure") return cmd_measure(argc, argv, argv[2]);
+    if (argc >= 3 && command == "measure") return cmd_measure(argc, argv,
+                                                              argv[2]);
+    if (argc >= 3 && command == "snapshots") {
+      return cmd_snapshots(argc, argv, argv[2]);
+    }
     if (argc >= 3 && command == "crawl") return cmd_crawl(argc, argv, argv[2]);
     if (argc >= 3 && command == "communities") {
       return cmd_communities(argc, argv, argv[2]);
