@@ -1,0 +1,189 @@
+// Serving-engine gate: generates a synthetic Google+ SAN (~840k links at
+// the default 60k-node scale), builds a mixed query workload (link-rec +
+// attribute-inference + ego-metrics + reciprocity) over a grid of snapshot
+// days, and
+//
+//   1. renders every query through the single-query reference path
+//      (QueryEngine::run_single);
+//   2. re-runs the workload through admission-ordered batches at
+//      SAN_THREADS=1/2/4/8 and FAILS (exit 1) unless every rendered result
+//      line is byte-identical to the reference;
+//   3. reports queries/sec with a cold SnapshotCache (every day
+//      materializes) vs a warm one (every day hits) and FAILS unless warm
+//      beats cold.
+//
+// Scale with SAN_BENCH_NODES (default 60k) and SAN_SERVE_QUERIES (default
+// 20k).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/thread_pool.hpp"
+#include "san/timeline.hpp"
+#include "serve/query_engine.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace san;
+
+std::size_t query_count() {
+  if (const char* env = std::getenv("SAN_SERVE_QUERIES")) {
+    const long value = std::atol(env);
+    if (value > 0) return static_cast<std::size_t>(value);
+  }
+  return 20'000;
+}
+
+/// Mixed workload over the snapshot-day grid: 40% link recommendation, 25%
+/// attribute inference, 25% ego metrics, 10% reciprocity. Users are drawn
+/// over the FULL node id space, so late-day ids against early days exercise
+/// the unknown-node path too.
+std::vector<serve::Query> make_workload(std::size_t count,
+                                        std::size_t node_count,
+                                        const std::vector<double>& days) {
+  stats::Rng rng(0x5e12e);
+  std::vector<serve::Query> queries;
+  queries.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    serve::Query q;
+    q.time = days[rng.uniform_index(days.size())];
+    q.user = static_cast<NodeId>(rng.uniform_index(node_count));
+    const std::uint64_t mix = rng.uniform_index(100);
+    if (mix < 40) {
+      q.kind = serve::QueryKind::kLinkRec;
+      q.k = 10;
+    } else if (mix < 65) {
+      q.kind = serve::QueryKind::kAttrInfer;
+      q.k = 5;
+    } else if (mix < 90) {
+      q.kind = serve::QueryKind::kEgoMetrics;
+    } else {
+      q.kind = serve::QueryKind::kReciprocity;
+      q.other = static_cast<NodeId>(rng.uniform_index(node_count));
+    }
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+std::vector<std::string> run_batched(serve::QueryEngine& engine,
+                                     const std::vector<serve::Query>& queries,
+                                     std::size_t batch_size) {
+  std::vector<std::string> lines;
+  lines.reserve(queries.size());
+  std::size_t served = 0;
+  while (served < queries.size()) {
+    const std::size_t count =
+        std::min(batch_size, queries.size() - served);
+    const auto results = engine.run_batch(
+        std::span<const serve::Query>(queries.data() + served, count));
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      lines.push_back(results[i].to_line(queries[served + i]));
+    }
+    served += count;
+  }
+  return lines;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kBatch = 2048;
+
+  std::printf("generating synthetic Google+ ground truth (%zu nodes)...\n",
+              bench::scale());
+  const auto net = bench::make_gplus_ground_truth();
+  std::printf("  %zu social nodes, %llu social links, %llu attribute links\n",
+              net.social_node_count(),
+              static_cast<unsigned long long>(net.social_link_count()),
+              static_cast<unsigned long long>(net.attribute_link_count()));
+  const SanTimeline timeline(net);
+
+  const auto days = bench::snapshot_days();
+  const auto queries =
+      make_workload(query_count(), net.social_node_count(), days);
+  std::printf("workload: %zu queries over %zu snapshot days\n", queries.size(),
+              days.size());
+
+  bench::header("reference: single-query path, cold cache");
+  serve::SnapshotCache reference_cache(timeline, days.size());
+  serve::QueryEngine reference_engine(reference_cache);
+  std::vector<std::string> reference;
+  reference.reserve(queries.size());
+  const auto reference_start = std::chrono::steady_clock::now();
+  for (const auto& q : queries) {
+    reference.push_back(reference_engine.run_single(q).to_line(q));
+  }
+  const double reference_s = seconds_since(reference_start);
+  std::printf("single-query: %7.3f s (%.0f queries/s)\n", reference_s,
+              queries.size() / reference_s);
+
+  bench::header("batch equality: byte-identical at 1/2/4/8 threads");
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    core::set_thread_count(threads);
+    serve::SnapshotCache cache(timeline, days.size());
+    serve::QueryEngine engine(cache);
+    const auto start = std::chrono::steady_clock::now();
+    const auto lines = run_batched(engine, queries, kBatch);
+    const double batch_s = seconds_since(start);
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      if (lines[i] != reference[i]) {
+        std::fprintf(stderr,
+                     "FAIL: batch result deviates from reference at query %zu"
+                     " (%zu threads)\n  batch:     %s\n  reference: %s\n",
+                     i, threads, lines[i].c_str(), reference[i].c_str());
+        return 1;
+      }
+    }
+    std::printf("  %zu threads: identical, %7.3f s (%.0f queries/s)\n",
+                threads, batch_s, queries.size() / batch_s);
+  }
+
+  bench::header("snapshot cache: cold vs warm throughput");
+  serve::SnapshotCache cache(timeline, days.size());
+  serve::QueryEngine engine(cache);
+  const auto cold_start = std::chrono::steady_clock::now();
+  (void)run_batched(engine, queries, kBatch);
+  const double cold_s = seconds_since(cold_start);
+  const auto cold_stats = cache.stats();
+  // Best of two warm passes: the warm margin at CI smoke scale is only the
+  // skipped materializations, so a single scheduler hiccup could flip a
+  // raw one-shot comparison.
+  double warm_s = std::numeric_limits<double>::infinity();
+  for (int pass = 0; pass < 2; ++pass) {
+    const auto warm_start = std::chrono::steady_clock::now();
+    (void)run_batched(engine, queries, kBatch);
+    warm_s = std::min(warm_s, seconds_since(warm_start));
+  }
+  const auto warm_stats = cache.stats();
+  std::printf("  cold: %7.3f s (%.0f queries/s), %llu misses\n", cold_s,
+              queries.size() / cold_s,
+              static_cast<unsigned long long>(cold_stats.misses));
+  std::printf("  warm: %7.3f s (%.0f queries/s, best of 2), %llu hits since"
+              " cold\n",
+              warm_s, queries.size() / warm_s,
+              static_cast<unsigned long long>(warm_stats.hits -
+                                              cold_stats.hits));
+  std::printf("  warm/cold speedup: %.2fx\n", cold_s / warm_s);
+  if (warm_s >= cold_s) {
+    std::fprintf(stderr, "FAIL: warm cache no faster than cold\n");
+    return 1;
+  }
+  if (warm_stats.misses != cold_stats.misses) {
+    std::fprintf(stderr, "FAIL: warm pass missed the cache\n");
+    return 1;
+  }
+  std::printf("OK\n");
+  return 0;
+}

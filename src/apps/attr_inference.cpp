@@ -2,51 +2,75 @@
 
 #include <algorithm>
 #include <stdexcept>
-#include <unordered_map>
 
 namespace san::apps {
-namespace {
 
-std::vector<AttributePrediction> rank_candidates(
-    const SanSnapshot& snap, NodeId u, AttrId held_out,
-    const AttributeInferenceOptions& options) {
-  std::unordered_map<AttrId, double> votes;
+void rank_attribute_candidates(const SanSnapshot& snap, NodeId u,
+                               AttrId held_out,
+                               const AttributeInferenceOptions& options,
+                               InferenceScratch& scratch,
+                               std::vector<AttributePrediction>& out) {
+  out.clear();
+  if (u >= snap.social_node_count()) {
+    throw std::out_of_range("infer_attributes: unknown node");
+  }
+  const std::size_t n_attr = snap.attribute_id_count();
+  if (scratch.vote.size() < n_attr) {
+    scratch.vote.resize(n_attr, 0.0);
+    scratch.seen.resize(n_attr, 0);
+    scratch.excluded.resize(n_attr, 0);
+  }
+  scratch.touched.clear();
+
+  // Votes accumulate in traversal order (bit-equal to the historical
+  // unordered_map formulation).
   for (const NodeId v : snap.social.neighbors(u)) {
     const bool mutual = snap.social.has_edge(u, v) && snap.social.has_edge(v,
                                                                            u);
     const double w = mutual ? options.mutual_neighbor_weight
                             : options.one_way_neighbor_weight;
-    for (const AttrId x : snap.attributes_of(v)) votes[x] += w;
+    for (const AttrId x : snap.attributes_of(v)) {
+      if (!scratch.seen[x]) {
+        scratch.seen[x] = 1;
+        scratch.touched.push_back(x);
+      }
+      scratch.vote[x] += w;
+    }
   }
   // Remove attributes u still declares (the held-out one stays a candidate).
-  for (const AttrId x : snap.attributes_of(u)) {
-    if (x != held_out) votes.erase(x);
+  const auto declared = snap.attributes_of(u);
+  for (const AttrId x : declared) {
+    if (x != held_out) scratch.excluded[x] = 1;
   }
 
-  std::vector<AttributePrediction> ranked;
-  ranked.reserve(votes.size());
-  for (const auto& [attribute, score] : votes) ranked.push_back({attribute,
-                                                                 score});
-  std::sort(ranked.begin(), ranked.end(),
+  out.reserve(scratch.touched.size());
+  for (const AttrId x : scratch.touched) {
+    if (!scratch.excluded[x]) out.push_back({x, scratch.vote[x]});
+  }
+
+  // Restore the all-zero invariant.
+  for (const AttrId x : scratch.touched) {
+    scratch.seen[x] = 0;
+    scratch.vote[x] = 0.0;
+  }
+  for (const AttrId x : declared) scratch.excluded[x] = 0;
+
+  std::sort(out.begin(), out.end(),
             [](const AttributePrediction& a, const AttributePrediction& b) {
               if (a.score != b.score) return a.score > b.score;
               return a.attribute < b.attribute;
             });
-  if (ranked.size() > options.top_k) ranked.resize(options.top_k);
-  return ranked;
+  if (out.size() > options.top_k) out.resize(options.top_k);
 }
-
-}  // namespace
 
 std::vector<AttributePrediction> infer_attributes(
     const SanSnapshot& snap, NodeId u,
     const AttributeInferenceOptions& options) {
-  if (u >= snap.social_node_count()) {
-    throw std::out_of_range("infer_attributes: unknown node");
-  }
-  // No held-out attribute: exclude everything u declares.
-  constexpr AttrId kNone = static_cast<AttrId>(-1);
-  return rank_candidates(snap, u, kNone, options);
+  InferenceScratch scratch;
+  std::vector<AttributePrediction> ranked;
+  rank_attribute_candidates(snap, u, kNoHeldOutAttribute, options, scratch,
+                            ranked);
+  return ranked;
 }
 
 AttributeInferenceResult evaluate_attribute_inference(
@@ -61,9 +85,12 @@ AttributeInferenceResult evaluate_attribute_inference(
   if (links.empty()) return result;
 
   std::uint64_t hits = 0;
+  InferenceScratch scratch;
+  std::vector<AttributePrediction> predictions;
   for (std::size_t i = 0; i < samples; ++i) {
     const auto& [u, held_out] = links[rng.uniform_index(links.size())];
-    const auto predictions = rank_candidates(snap, u, held_out, options);
+    rank_attribute_candidates(snap, u, held_out, options, scratch,
+                              predictions);
     if (predictions.empty()) continue;
     ++result.evaluated;
     for (const auto& p : predictions) {

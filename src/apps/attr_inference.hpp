@@ -22,10 +22,37 @@ struct AttributeInferenceOptions {
 struct AttributePrediction {
   AttrId attribute = 0;
   double score = 0.0;
+
+  bool operator==(const AttributePrediction&) const = default;
 };
 
+/// Reusable per-query state for infer_attributes_into: dense vote/flag
+/// arrays over the snapshot's attribute id space plus the touched list, so
+/// a serving loop issues zero steady-state allocations per query. Restored
+/// to all-zero after every call; only ever grows.
+struct InferenceScratch {
+  std::vector<double> vote;
+  std::vector<std::uint8_t> seen;
+  std::vector<std::uint8_t> excluded;
+  std::vector<AttrId> touched;
+};
+
+/// Sentinel for "no held-out attribute" in rank_attribute_candidates.
+inline constexpr AttrId kNoHeldOutAttribute = static_cast<AttrId>(-1);
+
+/// Per-query entry point: rank candidate attributes for user u by
+/// neighborhood vote, excluding attributes u declares — except `held_out`,
+/// which stays a candidate (the holdout evaluator's recovery target). Votes
+/// accumulate in traversal order; ties break on attribute id.
+void rank_attribute_candidates(const SanSnapshot& snap, NodeId u,
+                               AttrId held_out,
+                               const AttributeInferenceOptions& options,
+                               InferenceScratch& scratch,
+                               std::vector<AttributePrediction>& out);
+
 /// Rank candidate attributes for user u by neighborhood vote. Attributes u
-/// already declares are excluded.
+/// already declares are excluded. Convenience wrapper over
+/// rank_attribute_candidates with throwaway scratch.
 std::vector<AttributePrediction> infer_attributes(
     const SanSnapshot& snap, NodeId u,
     const AttributeInferenceOptions& options = {});

@@ -1,7 +1,7 @@
 #include "apps/linkpred.hpp"
 
 #include <algorithm>
-#include <unordered_map>
+#include <stdexcept>
 
 namespace san::apps {
 namespace {
@@ -56,19 +56,33 @@ double pair_score(const SanSnapshot& snap, NodeId u, NodeId v,
 
 }  // namespace
 
-std::vector<Recommendation> recommend_friends(
-    const SanSnapshot& snap, NodeId u, std::size_t k,
-    const LinkPredictionWeights& weights) {
+void recommend_friends_into(const SanSnapshot& snap, NodeId u, std::size_t k,
+                            const LinkPredictionWeights& weights,
+                            RecommendScratch& scratch,
+                            std::vector<Recommendation>& out) {
+  out.clear();
   if (u >= snap.social_node_count()) {
     throw std::out_of_range("recommend_friends: unknown node");
   }
-  std::unordered_map<NodeId, double> scores;
+  const std::size_t n = snap.social_node_count();
+  if (scratch.score.size() < n) {
+    scratch.score.resize(n, 0.0);
+    scratch.seen.resize(n, 0);
+    scratch.excluded.resize(n, 0);
+  }
+  scratch.touched.clear();
 
   // 2-hop candidates with common-neighbor evidence accumulated on the fly.
+  // Per-candidate accumulation order is the traversal order, identical to
+  // the historical unordered_map formulation, so scores are bit-equal.
   for (const NodeId w : snap.social.neighbors(u)) {
     for (const NodeId c : snap.social.neighbors(w)) {
       if (c == u) continue;
-      scores[c] += weights.common_neighbor;
+      if (!scratch.seen[c]) {
+        scratch.seen[c] = 1;
+        scratch.touched.push_back(c);
+      }
+      scratch.score[c] += weights.common_neighbor;
     }
   }
   // Attribute-community candidates.
@@ -78,27 +92,48 @@ std::vector<Recommendation> recommend_friends(
     if (wx <= 0.0) continue;
     for (const NodeId c : snap.members_of(x)) {
       if (c == u) continue;
-      scores[c] += wx;
+      if (!scratch.seen[c]) {
+        scratch.seen[c] = 1;
+        scratch.touched.push_back(c);
+      }
+      scratch.score[c] += wx;
     }
   }
 
-  // Drop existing out-links.
-  for (const NodeId v : snap.social.out(u)) scores.erase(v);
-  scores.erase(u);
+  // Drop existing out-links (and u itself, already skipped above).
+  const auto out_links = snap.social.out(u);
+  for (const NodeId v : out_links) scratch.excluded[v] = 1;
 
-  std::vector<Recommendation> recs;
-  recs.reserve(scores.size());
-  for (const auto& [candidate, score] : scores) recs.push_back({candidate,
-                                                                score});
-  const std::size_t keep = std::min(k, recs.size());
-  std::partial_sort(recs.begin(),
-                    recs.begin() + static_cast<std::ptrdiff_t>(keep),
-                    recs.end(), [](const Recommendation& a,
-                                   const Recommendation& b) {
+  out.reserve(scratch.touched.size());
+  for (const NodeId c : scratch.touched) {
+    if (!scratch.excluded[c]) out.push_back({c, scratch.score[c]});
+  }
+
+  // Restore the all-zero invariant before sorting (sorting cannot throw
+  // past it — the comparator is noexcept — but keep the window small).
+  for (const NodeId c : scratch.touched) {
+    scratch.seen[c] = 0;
+    scratch.score[c] = 0.0;
+  }
+  for (const NodeId v : out_links) scratch.excluded[v] = 0;
+
+  const std::size_t keep = std::min(k, out.size());
+  std::partial_sort(out.begin(),
+                    out.begin() + static_cast<std::ptrdiff_t>(keep),
+                    out.end(), [](const Recommendation& a,
+                                  const Recommendation& b) {
                       if (a.score != b.score) return a.score > b.score;
                       return a.candidate < b.candidate;
                     });
-  recs.resize(keep);
+  out.resize(keep);
+}
+
+std::vector<Recommendation> recommend_friends(
+    const SanSnapshot& snap, NodeId u, std::size_t k,
+    const LinkPredictionWeights& weights) {
+  RecommendScratch scratch;
+  std::vector<Recommendation> recs;
+  recommend_friends_into(snap, u, k, weights, scratch, recs);
   return recs;
 }
 

@@ -28,9 +28,33 @@ struct LinkPredictionWeights {
 struct Recommendation {
   NodeId candidate = 0;
   double score = 0.0;
+
+  bool operator==(const Recommendation&) const = default;
+};
+
+/// Reusable per-query state for recommend_friends_into: dense score/flag
+/// arrays over the snapshot's node ids plus the touched-candidate list, so
+/// a serving loop issues zero steady-state allocations per query. The
+/// arrays are restored to all-zero after every call; one scratch serves
+/// snapshots of any size (it only ever grows).
+struct RecommendScratch {
+  std::vector<double> score;
+  std::vector<std::uint8_t> seen;
+  std::vector<std::uint8_t> excluded;
+  std::vector<NodeId> touched;
 };
 
 /// Top-k recommended link targets for `u` (excluding existing out-links).
+/// Candidates come from the friends-of-friends frontier (CsrGraph neighbor
+/// spans) and from attribute co-membership (BipartiteCsr::members_of), so
+/// no full-node scan ever happens. Results are deterministic: scores
+/// accumulate in traversal order and ties break on candidate id.
+void recommend_friends_into(const SanSnapshot& snap, NodeId u, std::size_t k,
+                            const LinkPredictionWeights& weights,
+                            RecommendScratch& scratch,
+                            std::vector<Recommendation>& out);
+
+/// Convenience wrapper over recommend_friends_into with throwaway scratch.
 std::vector<Recommendation> recommend_friends(
     const SanSnapshot& snap, NodeId u, std::size_t k,
     const LinkPredictionWeights& weights);

@@ -46,6 +46,20 @@ double attribute_feature(const SanSnapshot& snap, NodeId u, NodeId v,
 
 }  // namespace
 
+ReciprocityScore score_reciprocity(const SanSnapshot& snap, NodeId u, NodeId v,
+                                   const ReciprocityWeights& weights) {
+  if (u >= snap.social_node_count() || v >= snap.social_node_count()) {
+    throw std::out_of_range("score_reciprocity: unknown node");
+  }
+  const auto c = static_cast<double>(
+      common_sorted(snap.social.neighbors(u), snap.social.neighbors(v)));
+  ReciprocityScore score;
+  score.structural =
+      weights.common_neighbor * c / (c + weights.common_neighbor_half);
+  score.san = score.structural + attribute_feature(snap, u, v, weights);
+  return score;
+}
+
 ReciprocityPredictionResult evaluate_reciprocity_prediction(
     const SanSnapshot& halfway, const SanSnapshot& final_snap,
     const ReciprocityWeights& weights, std::size_t pair_samples,
@@ -67,15 +81,11 @@ ReciprocityPredictionResult evaluate_reciprocity_prediction(
   for (NodeId u = 0; u < g.node_count(); ++u) {
     for (const NodeId v : g.out(u)) {
       if (g.has_edge(v, u)) continue;  // already mutual
-      const auto c = static_cast<double>(
-          common_sorted(g.neighbors(u), g.neighbors(v)));
-      const double structural =
-          weights.common_neighbor * c / (c + weights.common_neighbor_half);
-      const double san = structural + attribute_feature(halfway, u, v, weights);
+      const auto score = score_reciprocity(halfway, u, v, weights);
       if (final_snap.social.has_edge(v, u)) {
-        positives.push_back({structural, san});
+        positives.push_back({score.structural, score.san});
       } else {
-        negatives.push_back({structural, san});
+        negatives.push_back({score.structural, score.san});
       }
     }
   }

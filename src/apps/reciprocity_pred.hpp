@@ -25,6 +25,20 @@ struct ReciprocityWeights {
   std::array<double, kAttributeTypeCount> attribute{0.8, 0.5, 1.5, 0.2, 0.5};
 };
 
+struct ReciprocityScore {
+  double structural = 0.0;  // saturating common-neighbor feature
+  double san = 0.0;         // structural + type-weighted common attributes
+
+  bool operator==(const ReciprocityScore&) const = default;
+};
+
+/// Per-query entry point: score the directed link u -> v for its chance of
+/// reciprocating, from the snapshot's neighbor and attribute spans alone.
+/// Deterministic and allocation-free; the whole-network evaluator below and
+/// the serving engine both call this.
+ReciprocityScore score_reciprocity(const SanSnapshot& snap, NodeId u, NodeId v,
+                                   const ReciprocityWeights& weights);
+
 struct ReciprocityPredictionResult {
   double auc_structural = 0.0;  // common neighbors only
   double auc_san = 0.0;         // + attributes

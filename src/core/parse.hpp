@@ -1,0 +1,44 @@
+// Strict whole-token numeric parsing shared by every user-facing text
+// surface (san_tool flags, serve workload files). Unlike atof/atol, a
+// malformed token is an error, not a silent zero: the entire token must
+// convert, leading whitespace is rejected, and NaN is rejected for doubles
+// (a NaN snapshot time would poison hash-keyed caches — NaN != NaN).
+#pragma once
+
+#include <cctype>
+#include <cmath>
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+
+namespace san::core {
+
+/// Parse `text` as a double. Returns false on nullptr, empty, partial
+/// consumption, range error, leading whitespace, or NaN (infinities are
+/// allowed: "+inf" is a meaningful snapshot time).
+inline bool parse_double_strict(const char* text, double& out) {
+  if (text == nullptr || *text == '\0' ||
+      std::isspace(static_cast<unsigned char>(*text))) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  out = std::strtod(text, &end);
+  return *end == '\0' && errno == 0 && !std::isnan(out);
+}
+
+/// Parse `text` as an unsigned 64-bit integer (base 10). Returns false on
+/// any malformed input, including a leading '-' (strtoull would silently
+/// wrap it).
+inline bool parse_u64_strict(const char* text, std::uint64_t& out) {
+  if (text == nullptr || *text == '\0' || *text == '-' ||
+      std::isspace(static_cast<unsigned char>(*text))) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  out = std::strtoull(text, &end, 10);
+  return *end == '\0' && errno == 0;
+}
+
+}  // namespace san::core

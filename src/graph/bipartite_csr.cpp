@@ -1,8 +1,36 @@
 #include "graph/bipartite_csr.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "core/parallel.hpp"
+
 namespace san::graph {
+namespace {
+
+/// Base chunk grain for the scatter passes. Coarser than the general
+/// default: each chunk carries a per-chunk histogram row over one side's
+/// id space, so memory is chunks x side_count — at 64Ki links per chunk a
+/// ~1M-link rebuild stays in the tens of rows.
+constexpr std::size_t kScatterGrain = std::size_t{1} << 16;
+
+/// Cap on total cursor-matrix cells (chunks x (side_count+1)) per pass:
+/// 16Mi cells = 128 MiB of u64. A side whose id space is huge relative to
+/// the link count widens the grain — degrading gracefully toward the
+/// single-row serial sort — instead of allocating chunks x side rows. The
+/// grain derives only from (m, side_count), never from the thread count,
+/// so the chunk decomposition, and therefore every written byte, is
+/// identical at any SAN_THREADS.
+constexpr std::size_t kCursorBudgetCells = std::size_t{1} << 24;
+
+std::size_t scatter_grain(std::size_t m, std::size_t side_count) {
+  const std::size_t max_chunks =
+      std::max<std::size_t>(1, kCursorBudgetCells / (side_count + 1));
+  const std::size_t budget_grain = (m + max_chunks - 1) / max_chunks;
+  return std::max(kScatterGrain, budget_grain);
+}
+
+}  // namespace
 
 BipartiteCsr BipartiteCsr::from_links(std::size_t left_count,
                                       std::size_t right_count,
@@ -21,51 +49,110 @@ void BipartiteCsr::rebuild_from_links(std::size_t left_count,
     throw std::invalid_argument("BipartiteCsr: users/attrs size mismatch");
   }
   const std::size_t m = users.size();
-  for (std::size_t i = 0; i < m; ++i) {
-    if (users[i] >= left_count || attrs[i] >= right_count) {
-      throw std::out_of_range("BipartiteCsr: link endpoint out of range");
-    }
+  const std::size_t bad = core::parallel_reduce(
+      m, std::size_t{0},
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        std::size_t count = 0;
+        for (std::size_t i = begin; i < end; ++i) {
+          if (users[i] >= left_count || attrs[i] >= right_count) ++count;
+        }
+        return count;
+      },
+      [](std::size_t a, std::size_t b) { return a + b; }, kScatterGrain);
+  if (bad > 0) {
+    throw std::out_of_range("BipartiteCsr: link endpoint out of range");
   }
   left_count_ = left_count;
   right_count_ = right_count;
   link_count_ = m;
 
-  // Right side first: counting sort by attribute, stable in input order, so
-  // members_of(a) preserves the (time) order of the input links.
-  right_offsets_.assign(right_count + 1, 0);
-  for (std::size_t i = 0; i < m; ++i) ++right_offsets_[attrs[i] + 1];
-  for (std::size_t a = 1; a <= right_count; ++a) {
-    right_offsets_[a] += right_offsets_[a - 1];
-  }
-  right_targets_.resize(m);
-  {
-    std::vector<std::uint64_t> cursor(right_offsets_.begin(),
-                                      right_offsets_.end() - 1);
-    for (std::size_t i = 0; i < m; ++i) {
-      right_targets_[cursor[attrs[i]]++] = users[i];
-    }
-  }
+  // Both sides are stable counting sorts, parallelized with two-level
+  // per-chunk cursors: chunk c's starting cursor for key x is the global
+  // offset of x plus every earlier chunk's count of x, so chunks scatter
+  // concurrently into disjoint slots while the result stays byte-identical
+  // to the serial stable sort (earlier input positions land first).
 
-  // Left side from the right side: scanning attributes in ascending id order
-  // and scattering members yields per-user attribute lists already sorted
-  // ascending — a second counting pass instead of a per-user sort.
-  left_offsets_.assign(left_count + 1, 0);
-  for (std::size_t i = 0; i < m; ++i) ++left_offsets_[users[i] + 1];
-  for (std::size_t u = 1; u <= left_count; ++u) {
-    left_offsets_[u] += left_offsets_[u - 1];
-  }
-  left_targets_.resize(m);
+  // Right side: sort links by attribute, stable in input order, so
+  // members_of(a) preserves the (time) order of the input links.
+  const std::size_t right_grain = scatter_grain(m, right_count);
+  const std::size_t right_chunks =
+      std::max<std::size_t>(1, core::chunk_count_for(m, right_grain));
+  cursors_.assign(right_chunks * (right_count + 1), 0);
+  core::parallel_for_chunks(
+      m, right_grain, [&](std::size_t begin, std::size_t end, std::size_t c) {
+        std::uint64_t* row = cursors_.data() + c * (right_count + 1);
+        for (std::size_t i = begin; i < end; ++i) ++row[attrs[i]];
+      });
+  right_offsets_.assign(right_count + 1, 0);
   {
-    std::vector<std::uint64_t> cursor(left_offsets_.begin(),
-                                      left_offsets_.end() - 1);
-    for (AttrId a = 0; a < right_count; ++a) {
-      const std::uint64_t begin = right_offsets_[a];
-      const std::uint64_t end = right_offsets_[a + 1];
-      for (std::uint64_t i = begin; i < end; ++i) {
-        left_targets_[cursor[right_targets_[i]]++] = a;
+    // Serial O(chunks x right_count) transform of counts into cursor starts
+    // and global offsets — bounded by kCursorBudgetCells, negligible next
+    // to the scatters.
+    std::uint64_t running = 0;
+    for (std::size_t a = 0; a < right_count; ++a) {
+      right_offsets_[a] = running;
+      for (std::size_t c = 0; c < right_chunks; ++c) {
+        std::uint64_t& cell = cursors_[c * (right_count + 1) + a];
+        const std::uint64_t count = cell;
+        cell = running;
+        running += count;
       }
     }
+    right_offsets_[right_count] = running;
   }
+  right_targets_.resize(m);
+  core::parallel_for_chunks(
+      m, right_grain, [&](std::size_t begin, std::size_t end, std::size_t c) {
+        std::uint64_t* cursor = cursors_.data() + c * (right_count + 1);
+        for (std::size_t i = begin; i < end; ++i) {
+          right_targets_[cursor[attrs[i]]++] = users[i];
+        }
+      });
+
+  // Left side from the right side: walking the attr-major sequence in
+  // ascending attribute order and scattering by user yields per-user
+  // attribute lists already sorted ascending — a second counting sort
+  // instead of a per-user sort. Chunks cover positions of right_targets_;
+  // each chunk recovers its attribute range from right_offsets_.
+  const std::size_t left_grain = scatter_grain(m, left_count);
+  const std::size_t left_chunks =
+      std::max<std::size_t>(1, core::chunk_count_for(m, left_grain));
+  cursors_.assign(left_chunks * (left_count + 1), 0);
+  core::parallel_for_chunks(
+      m, left_grain, [&](std::size_t begin, std::size_t end, std::size_t c) {
+        std::uint64_t* row = cursors_.data() + c * (left_count + 1);
+        for (std::size_t i = begin; i < end; ++i) ++row[right_targets_[i]];
+      });
+  left_offsets_.assign(left_count + 1, 0);
+  {
+    std::uint64_t running = 0;
+    for (std::size_t u = 0; u < left_count; ++u) {
+      left_offsets_[u] = running;
+      for (std::size_t c = 0; c < left_chunks; ++c) {
+        std::uint64_t& cell = cursors_[c * (left_count + 1) + u];
+        const std::uint64_t count = cell;
+        cell = running;
+        running += count;
+      }
+    }
+    left_offsets_[left_count] = running;
+  }
+  left_targets_.resize(m);
+  core::parallel_for_chunks(
+      m, left_grain, [&](std::size_t begin, std::size_t end, std::size_t c) {
+        std::uint64_t* cursor = cursors_.data() + c * (left_count + 1);
+        // The attribute owning position `begin`: the last a with
+        // right_offsets_[a] <= begin (empty attributes collapse to equal
+        // offsets; the in-loop advance below skips them).
+        AttrId a = static_cast<AttrId>(
+            std::upper_bound(right_offsets_.begin(), right_offsets_.end(),
+                             begin) -
+            right_offsets_.begin() - 1);
+        for (std::size_t i = begin; i < end; ++i) {
+          while (i >= right_offsets_[a + 1]) ++a;
+          left_targets_[cursor[right_targets_[i]]++] = a;
+        }
+      });
 }
 
 std::span<const AttrId> BipartiteCsr::attrs_of(NodeId u) const {

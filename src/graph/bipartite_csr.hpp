@@ -8,9 +8,13 @@
 //                                           of the source attribute log.
 //
 // Build cost is O(links + left_count + right_count) with counting sorts —
-// no comparison sort. `rebuild_from_links` reuses the arrays' capacity, so a
-// snapshot sweep that materializes one snapshot per day touches the
-// allocator only while the arrays are still growing.
+// no comparison sort. Both scatter passes run chunked on the src/core/
+// substrate with two-level per-chunk cursors (each chunk owns a cursor row,
+// offset by every earlier chunk's counts), so they parallelize while
+// writing byte-identical arrays at any SAN_THREADS. `rebuild_from_links`
+// reuses the arrays' capacity, so a snapshot sweep that materializes one
+// snapshot per day touches the allocator only while the arrays are still
+// growing.
 #pragma once
 
 #include <cstdint>
@@ -68,6 +72,9 @@ class BipartiteCsr {
   std::vector<AttrId> left_targets_;
   std::vector<std::uint64_t> right_offsets_;
   std::vector<NodeId> right_targets_;
+  // Per-chunk cursor rows for the parallel scatters; kept as a member so
+  // rebuild_from_links stays allocation-free in the sweep steady state.
+  std::vector<std::uint64_t> cursors_;
 };
 
 }  // namespace san::graph

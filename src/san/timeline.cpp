@@ -20,6 +20,29 @@ std::vector<std::uint64_t> stable_order_by_time(std::span<const double> times) {
 
 }  // namespace
 
+struct SanTimeline::Scratch {
+  std::vector<NodeId> f_src, f_dst;  // filtered slice, time order
+  std::vector<NodeId> g_src, g_dst;  // src-major intermediate
+  std::vector<std::uint64_t> cursor;
+  // Ping-pong buffers swapped with the snapshot's CsrGraph by
+  // adopt_sorted_adjacency, so a sweep reuses both sets' capacity.
+  std::vector<std::uint64_t> out_offsets, in_offsets;
+  std::vector<NodeId> out_targets, in_targets;
+  std::vector<NodeId> users;  // filtered attribute links, time order
+  std::vector<AttrId> attrs;
+};
+
+SanTimeline::~SanTimeline() = default;
+
+SanTimeline::Materializer::Materializer(const SanTimeline& timeline)
+    : timeline_(&timeline), scratch_(std::make_unique<Scratch>()) {}
+
+SanTimeline::Materializer::~Materializer() = default;
+
+void SanTimeline::Materializer::materialize(double time, SanSnapshot& snap) {
+  timeline_->materialize(time, snap, *scratch_);
+}
+
 SanTimeline::SanTimeline(const SocialAttributeNetwork& network) {
   const auto node_times = network.social_node_times();
   social_node_times_.assign(node_times.begin(), node_times.end());

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -28,8 +29,34 @@
 namespace san {
 
 class SanTimeline {
+ private:
+  struct Scratch;
+
  public:
   explicit SanTimeline(const SocialAttributeNetwork& network);
+  SanTimeline(const SanTimeline&) = delete;
+  SanTimeline& operator=(const SanTimeline&) = delete;
+  ~SanTimeline();
+
+  /// Reusable materialization state: one Materializer + one SanSnapshot make
+  /// repeated snapshot_at calls allocation-free in the steady state (the
+  /// serving layer's SnapshotCache holds one per cache). Not thread-safe;
+  /// the timeline it borrows must outlive it.
+  class Materializer {
+   public:
+    explicit Materializer(const SanTimeline& timeline);
+    Materializer(const Materializer&) = delete;
+    Materializer& operator=(const Materializer&) = delete;
+    ~Materializer();
+
+    /// Rebuild `snap` as of `time`, reusing both this scratch set and the
+    /// snapshot's own arrays (CSR buffers ping-pong between the two).
+    void materialize(double time, SanSnapshot& snap);
+
+   private:
+    const SanTimeline* timeline_;
+    std::unique_ptr<Scratch> scratch_;
+  };
 
   std::size_t social_node_total() const { return social_node_times_.size(); }
   std::size_t attribute_node_total() const { return attr_times_.size(); }
@@ -53,18 +80,6 @@ class SanTimeline {
       const std::function<void(double, const SanSnapshot&)>& visit) const;
 
  private:
-  struct Scratch {
-    std::vector<NodeId> f_src, f_dst;  // filtered slice, time order
-    std::vector<NodeId> g_src, g_dst;  // src-major intermediate
-    std::vector<std::uint64_t> cursor;
-    // Ping-pong buffers swapped with the snapshot's CsrGraph by
-    // adopt_sorted_adjacency, so a sweep reuses both sets' capacity.
-    std::vector<std::uint64_t> out_offsets, in_offsets;
-    std::vector<NodeId> out_targets, in_targets;
-    std::vector<NodeId> users;  // filtered attribute links, time order
-    std::vector<AttrId> attrs;
-  };
-
   void materialize(double time, SanSnapshot& snap, Scratch& s) const;
 
   // Columnar logs, stably sorted by time (ties keep append order).

@@ -1,0 +1,177 @@
+#include "serve/query.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/parse.hpp"
+
+namespace san::serve {
+namespace {
+
+void append_double(std::string& line, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  line += buffer;
+}
+
+void append_u64(std::string& line, std::uint64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%llu",
+                static_cast<unsigned long long>(value));
+  line += buffer;
+}
+
+[[noreturn]] void bad_line(std::size_t line_no, const std::string& what) {
+  throw std::invalid_argument("workload line " + std::to_string(line_no) +
+                              ": " + what);
+}
+
+double parse_time(const std::string& token, std::size_t line_no) {
+  double value = 0.0;
+  if (!core::parse_double_strict(token.c_str(), value)) {
+    bad_line(line_no, "malformed time '" + token + "'");
+  }
+  return value;
+}
+
+std::uint64_t parse_u64(const std::string& token, std::size_t line_no,
+                        const char* what) {
+  std::uint64_t value = 0;
+  if (!core::parse_u64_strict(token.c_str(), value)) {
+    bad_line(line_no, std::string("malformed ") + what + " '" + token + "'");
+  }
+  return value;
+}
+
+NodeId parse_node(const std::string& token, std::size_t line_no,
+                  const char* what) {
+  const std::uint64_t value = parse_u64(token, line_no, what);
+  if (value > 0xffffffffULL) bad_line(line_no, std::string(what) + " too big");
+  return static_cast<NodeId>(value);
+}
+
+}  // namespace
+
+const char* to_string(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kLinkRec:
+      return "linkrec";
+    case QueryKind::kAttrInfer:
+      return "attrs";
+    case QueryKind::kEgoMetrics:
+      return "ego";
+    case QueryKind::kReciprocity:
+      return "recip";
+  }
+  return "?";
+}
+
+std::string QueryResult::to_line(const Query& query) const {
+  std::string line = to_string(kind);
+  line += " t=";
+  append_double(line, query.time);
+  line += " u=";
+  append_u64(line, query.user);
+  if (kind == QueryKind::kReciprocity) {
+    line += " v=";
+    append_u64(line, query.other);
+  }
+  if (!ok) {
+    line += " ERR unknown-node";
+    return line;
+  }
+  switch (kind) {
+    case QueryKind::kLinkRec:
+      for (const auto& rec : recommendations) {
+        line += ' ';
+        append_u64(line, rec.candidate);
+        line += ':';
+        append_double(line, rec.score);
+      }
+      break;
+    case QueryKind::kAttrInfer:
+      for (const auto& pred : predictions) {
+        line += ' ';
+        append_u64(line, pred.attribute);
+        line += ':';
+        append_double(line, pred.score);
+      }
+      break;
+    case QueryKind::kEgoMetrics:
+      line += " out=";
+      append_u64(line, ego.out_degree);
+      line += " in=";
+      append_u64(line, ego.in_degree);
+      line += " deg=";
+      append_u64(line, ego.degree);
+      line += " mutual=";
+      append_u64(line, ego.mutual_degree);
+      line += " attrs=";
+      append_u64(line, ego.attribute_count);
+      line += " twohop=";
+      append_u64(line, ego.two_hop_count);
+      break;
+    case QueryKind::kReciprocity:
+      line += link_present ? (already_mutual ? " mutual" : " oneway")
+                           : " nolink";
+      line += " structural=";
+      append_double(line, reciprocity.structural);
+      line += " san=";
+      append_double(line, reciprocity.san);
+      break;
+  }
+  return line;
+}
+
+std::vector<Query> parse_workload(const std::string& text) {
+  std::vector<Query> queries;
+  std::istringstream stream(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    std::istringstream fields(line);
+    std::string op;
+    if (!(fields >> op) || op[0] == '#') continue;
+
+    std::string a, b, c, extra;
+    Query q;
+    if (op == "linkrec" || op == "attrs") {
+      q.kind = op == "linkrec" ? QueryKind::kLinkRec : QueryKind::kAttrInfer;
+      if (!(fields >> a >> b >> c)) bad_line(line_no, "expected TIME USER K");
+      q.time = parse_time(a, line_no);
+      q.user = parse_node(b, line_no, "user");
+      const std::uint64_t k = parse_u64(c, line_no, "k");
+      if (k == 0 || k > 0xffffffffULL) bad_line(line_no, "k out of range");
+      q.k = static_cast<std::uint32_t>(k);
+    } else if (op == "ego") {
+      q.kind = QueryKind::kEgoMetrics;
+      if (!(fields >> a >> b)) bad_line(line_no, "expected TIME USER");
+      q.time = parse_time(a, line_no);
+      q.user = parse_node(b, line_no, "user");
+    } else if (op == "recip") {
+      q.kind = QueryKind::kReciprocity;
+      if (!(fields >> a >> b >> c)) bad_line(line_no, "expected TIME SRC DST");
+      q.time = parse_time(a, line_no);
+      q.user = parse_node(b, line_no, "src");
+      q.other = parse_node(c, line_no, "dst");
+    } else {
+      bad_line(line_no, "unknown query kind '" + op + "'");
+    }
+    if (fields >> extra) bad_line(line_no, "trailing tokens");
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+std::vector<Query> load_workload(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("cannot read workload file " + path);
+  std::ostringstream text;
+  text << file.rdbuf();
+  return parse_workload(text.str());
+}
+
+}  // namespace san::serve

@@ -1,0 +1,94 @@
+// Typed queries and results for the SAN serving engine. Each query names a
+// snapshot time (a day on the workload's shared grid) plus the paper-§7
+// application it invokes:
+//
+//   kLinkRec     top-k friend recommendation (common neighbors +
+//                type-weighted shared attributes);
+//   kAttrInfer   top-k attribute inference for a user (neighborhood vote);
+//   kEgoMetrics  degree/reciprocity/attribute counts of one ego;
+//   kReciprocity will the one-directional link src -> dst reciprocate?
+//
+// Results render to one stable text line each (to_line): the serving CLI
+// prints them and the throughput bench compares batch output byte-for-byte
+// against the single-query reference path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/attr_inference.hpp"
+#include "apps/linkpred.hpp"
+#include "apps/reciprocity_pred.hpp"
+#include "san/san.hpp"
+
+namespace san::serve {
+
+enum class QueryKind : std::uint8_t {
+  kLinkRec = 0,
+  kAttrInfer = 1,
+  kEgoMetrics = 2,
+  kReciprocity = 3,
+};
+
+const char* to_string(QueryKind kind);
+
+/// One serving request. `user` is the subject (the link source for
+/// kReciprocity, whose target is `other`); `k` caps result size for the
+/// top-k kinds.
+struct Query {
+  QueryKind kind = QueryKind::kEgoMetrics;
+  double time = 0.0;
+  NodeId user = 0;
+  NodeId other = 0;
+  std::uint32_t k = 0;
+
+  bool operator==(const Query&) const = default;
+};
+
+struct EgoMetrics {
+  std::uint64_t out_degree = 0;
+  std::uint64_t in_degree = 0;
+  std::uint64_t degree = 0;         // undirected neighbor count
+  std::uint64_t mutual_degree = 0;  // out-links that are reciprocated
+  std::uint64_t attribute_count = 0;
+  std::uint64_t two_hop_count = 0;  // distinct nodes at distance exactly 2
+
+  bool operator==(const EgoMetrics&) const = default;
+};
+
+/// Result of one query. `ok` is false when the subject does not exist at
+/// the requested snapshot time (the payload is then empty); batch and
+/// single-query paths produce identical results, rendered identically.
+struct QueryResult {
+  QueryKind kind = QueryKind::kEgoMetrics;
+  bool ok = false;
+  std::vector<apps::Recommendation> recommendations;      // kLinkRec
+  std::vector<apps::AttributePrediction> predictions;     // kAttrInfer
+  EgoMetrics ego;                                         // kEgoMetrics
+  apps::ReciprocityScore reciprocity;                     // kReciprocity
+  bool link_present = false;   // kReciprocity: u -> v existed at `time`
+  bool already_mutual = false; // kReciprocity: v -> u also existed
+
+  bool operator==(const QueryResult&) const = default;
+
+  /// Stable one-line rendering (doubles at max round-trip precision).
+  std::string to_line(const Query& query) const;
+};
+
+/// Parse a workload file of one query per line:
+///
+///   linkrec <time> <user> <k>
+///   attrs   <time> <user> <k>
+///   ego     <time> <user>
+///   recip   <time> <src> <dst>
+///
+/// Blank lines and lines starting with '#' are skipped. Malformed lines
+/// throw std::invalid_argument naming the line number.
+std::vector<Query> parse_workload(const std::string& text);
+
+/// parse_workload over the contents of `path` (throws std::runtime_error
+/// when the file cannot be read).
+std::vector<Query> load_workload(const std::string& path);
+
+}  // namespace san::serve

@@ -1,0 +1,143 @@
+#include "serve/query_engine.hpp"
+
+#include <unordered_map>
+
+#include "core/parallel.hpp"
+
+namespace san::serve {
+namespace {
+
+/// Per-lane execution state: the apps' dense-array scratch plus reusable
+/// ego-metrics flags. Thread-local so a serving loop allocates only while
+/// the arrays are still growing; every helper restores the all-zero
+/// invariant, so reuse cannot leak state between queries (which is what
+/// keeps batch results byte-identical at any thread count).
+struct ServeScratch {
+  apps::RecommendScratch recommend;
+  apps::InferenceScratch inference;
+};
+
+ServeScratch& lane_scratch() {
+  thread_local ServeScratch scratch;
+  return scratch;
+}
+
+EgoMetrics ego_metrics(const SanSnapshot& snap, NodeId u,
+                       apps::RecommendScratch& scratch) {
+  EgoMetrics m;
+  const auto& g = snap.social;
+  m.out_degree = g.out_degree(u);
+  m.in_degree = g.in_degree(u);
+  m.degree = g.degree(u);
+  m.attribute_count = snap.attributes_of(u).size();
+  for (const NodeId v : g.out(u)) {
+    if (g.has_edge(v, u)) ++m.mutual_degree;
+  }
+
+  // Distinct nodes at distance exactly 2 over the undirected view, via the
+  // same dense seen/excluded flags the recommender uses.
+  const std::size_t n = snap.social_node_count();
+  if (scratch.seen.size() < n) {
+    scratch.score.resize(n, 0.0);
+    scratch.seen.resize(n, 0);
+    scratch.excluded.resize(n, 0);
+  }
+  scratch.touched.clear();
+  const auto ego_neighbors = g.neighbors(u);
+  scratch.excluded[u] = 1;
+  for (const NodeId w : ego_neighbors) scratch.excluded[w] = 1;
+  for (const NodeId w : ego_neighbors) {
+    for (const NodeId c : g.neighbors(w)) {
+      if (scratch.seen[c]) continue;
+      scratch.seen[c] = 1;
+      scratch.touched.push_back(c);
+      if (!scratch.excluded[c]) ++m.two_hop_count;
+    }
+  }
+  for (const NodeId c : scratch.touched) scratch.seen[c] = 0;
+  for (const NodeId w : ego_neighbors) scratch.excluded[w] = 0;
+  scratch.excluded[u] = 0;
+  return m;
+}
+
+QueryResult execute(const SanSnapshot& snap, const Query& query,
+                    const QueryEngineOptions& options, ServeScratch& scratch) {
+  QueryResult result;
+  result.kind = query.kind;
+  const std::size_t n = snap.social_node_count();
+  if (query.user >= n ||
+      (query.kind == QueryKind::kReciprocity && query.other >= n)) {
+    return result;  // ok stays false: subject unknown at this snapshot
+  }
+  result.ok = true;
+  switch (query.kind) {
+    case QueryKind::kLinkRec:
+      apps::recommend_friends_into(snap, query.user, query.k,
+                                   options.link_weights, scratch.recommend,
+                                   result.recommendations);
+      break;
+    case QueryKind::kAttrInfer: {
+      auto inference = options.inference;
+      inference.top_k = query.k;
+      apps::rank_attribute_candidates(snap, query.user,
+                                      apps::kNoHeldOutAttribute, inference,
+                                      scratch.inference, result.predictions);
+      break;
+    }
+    case QueryKind::kEgoMetrics:
+      result.ego = ego_metrics(snap, query.user, scratch.recommend);
+      break;
+    case QueryKind::kReciprocity:
+      result.reciprocity = apps::score_reciprocity(
+          snap, query.user, query.other, options.reciprocity_weights);
+      result.link_present = snap.social.has_edge(query.user, query.other);
+      result.already_mutual =
+          result.link_present && snap.social.has_edge(query.other, query.user);
+      break;
+  }
+  return result;
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(SnapshotCache& cache, QueryEngineOptions options)
+    : cache_(cache), options_(std::move(options)) {}
+
+QueryResult QueryEngine::run_single(const Query& query) {
+  const auto snap = cache_.at(query.time);
+  return execute(*snap, query, options_, lane_scratch());
+}
+
+std::vector<QueryResult> QueryEngine::run_batch(
+    std::span<const Query> queries) {
+  std::vector<QueryResult> results(queries.size());
+
+  // Group admission indices by snapshot time, first-appearance order, so
+  // each distinct day is resolved through the cache exactly once.
+  std::vector<std::pair<double, std::vector<std::uint32_t>>> groups;
+  std::unordered_map<double, std::size_t> group_of;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const auto [it, inserted] =
+        group_of.try_emplace(queries[i].time, groups.size());
+    if (inserted) groups.push_back({queries[i].time, {}});
+    groups[it->second].second.push_back(static_cast<std::uint32_t>(i));
+  }
+
+  // Small grain: per-query cost is wildly skewed (hub egos dominate), and
+  // determinism never depends on the split — each query only writes its own
+  // admission slot.
+  constexpr std::size_t kQueryGrain = 16;
+  for (const auto& [time, indices] : groups) {
+    const auto snap = cache_.at(time);
+    core::parallel_for(
+        indices.size(),
+        [&, &group = indices](std::size_t j) {
+          const std::uint32_t i = group[j];
+          results[i] = execute(*snap, queries[i], options_, lane_scratch());
+        },
+        kQueryGrain);
+  }
+  return results;
+}
+
+}  // namespace san::serve

@@ -1,0 +1,49 @@
+// Batched query execution over cached snapshots — the serving engine that
+// turns the paper's one-shot "implications" programs (link prediction,
+// attribute inference, reciprocity prediction, §7) into a high-throughput
+// query path.
+//
+// Execution model: a batch is admitted as an ordered span of queries.
+// Distinct snapshot times are resolved through the SnapshotCache in first-
+// appearance order (so a day materializes at most once per batch, however
+// many queries address it), then each time-group runs data-parallel on the
+// src/core/ substrate. Every query is self-contained — per-query scratch
+// restores its all-zero invariant after each call and results are written
+// to the query's admission slot — so batch output is byte-identical to the
+// single-query reference path at any SAN_THREADS count.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "serve/query.hpp"
+#include "serve/snapshot_cache.hpp"
+
+namespace san::serve {
+
+struct QueryEngineOptions {
+  apps::LinkPredictionWeights link_weights;
+  apps::AttributeInferenceOptions inference;  // top_k comes from the query
+  apps::ReciprocityWeights reciprocity_weights;
+};
+
+class QueryEngine {
+ public:
+  explicit QueryEngine(SnapshotCache& cache, QueryEngineOptions options = {});
+
+  /// Reference path: resolve the snapshot and execute one query serially.
+  QueryResult run_single(const Query& query);
+
+  /// Serving path: execute the batch, returning one result per query in
+  /// admission order. Equal to running run_single on each query in turn,
+  /// byte-for-byte, at any thread count.
+  std::vector<QueryResult> run_batch(std::span<const Query> queries);
+
+  const QueryEngineOptions& options() const { return options_; }
+
+ private:
+  SnapshotCache& cache_;
+  QueryEngineOptions options_;
+};
+
+}  // namespace san::serve

@@ -1,0 +1,66 @@
+#include "serve/snapshot_cache.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace san::serve {
+
+SnapshotCache::SnapshotCache(const SanTimeline& timeline, std::size_t capacity)
+    : timeline_(timeline),
+      capacity_(capacity),
+      materializer_(timeline) {
+  if (capacity == 0) {
+    throw std::invalid_argument("SnapshotCache: capacity must be >= 1");
+  }
+}
+
+std::shared_ptr<const SanSnapshot> SnapshotCache::at(double time) {
+  if (std::isnan(time)) {
+    // NaN != NaN would defeat both the index lookup and eviction's erase,
+    // leaking one stale index entry per call. The workload parser already
+    // rejects NaN; guard the programmatic path too.
+    throw std::invalid_argument("SnapshotCache: time must not be NaN");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = index_.find(time); it != index_.end()) {
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);  // promote to MRU
+    return it->second->snapshot;
+  }
+  ++stats_.misses;
+
+  // Materialize into a fresh snapshot. The materializer's scratch arrays
+  // ping-pong with the snapshot's CSR buffers, so repeated misses reuse the
+  // scratch side's capacity even though each resident snapshot owns its own.
+  auto snap = std::make_shared<SanSnapshot>();
+  materializer_.materialize(time, *snap);
+
+  if (lru_.size() >= capacity_) {
+    ++stats_.evictions;
+    index_.erase(lru_.back().time);
+    lru_.pop_back();
+  }
+  lru_.push_front(Entry{time, std::move(snap)});
+  index_.emplace(time, lru_.begin());
+  return lru_.front().snapshot;
+}
+
+std::size_t SnapshotCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+SnapshotCache::Stats SnapshotCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void SnapshotCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  stats_ = Stats{};
+}
+
+}  // namespace san::serve

@@ -1,0 +1,68 @@
+// LRU cache of materialized SanSnapshots, the storage layer of the serving
+// engine (serve/query_engine.hpp). A SanTimeline makes one snapshot cheap —
+// O(links <= t) — but a query workload concentrated on a few popular days
+// would still re-materialize the same CSR over and over. The cache keys
+// snapshots by their exact query time, hands them out as
+// shared_ptr<const SanSnapshot> (an evicted snapshot stays valid for every
+// query still holding it), and reuses one SanTimeline::Materializer so
+// steady-state misses recycle buffer capacity instead of allocating.
+//
+// Thread safety: every public method takes an internal mutex, so concurrent
+// readers at a warm time share the same immutable snapshot. A miss
+// materializes while holding the lock — admission-ordered batches fetch
+// each distinct time once, so serving throughput is bounded by query
+// execution, not by this lock.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "san/timeline.hpp"
+
+namespace san::serve {
+
+class SnapshotCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  /// `capacity` >= 1 snapshots are kept resident; the timeline must outlive
+  /// the cache.
+  SnapshotCache(const SanTimeline& timeline, std::size_t capacity);
+
+  /// The snapshot at exactly `time`, materialized on first use. Times are
+  /// compared bit-exactly: query workloads address snapshots by a shared
+  /// grid of days, not by free-form floats.
+  std::shared_ptr<const SanSnapshot> at(double time);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const;
+  Stats stats() const;
+
+  /// Drop every resident snapshot (outstanding shared_ptrs stay valid) and
+  /// zero the stats. Benches use this to measure cold-start throughput.
+  void clear();
+
+ private:
+  struct Entry {
+    double time = 0.0;
+    std::shared_ptr<const SanSnapshot> snapshot;
+  };
+
+  const SanTimeline& timeline_;
+  const std::size_t capacity_;
+
+  mutable std::mutex mutex_;
+  SanTimeline::Materializer materializer_;  // guarded by mutex_
+  std::list<Entry> lru_;                    // front = most recently used
+  std::unordered_map<double, std::list<Entry>::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace san::serve

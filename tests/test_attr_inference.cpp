@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/thread_pool.hpp"
 #include "crawl/gplus_synth.hpp"
 #include "san/san.hpp"
 #include "san/snapshot.hpp"
@@ -12,11 +16,14 @@ namespace {
 using san::AttrId;
 using san::AttributeType;
 using san::NodeId;
+using san::SanSnapshot;
 using san::SocialAttributeNetwork;
 using san::snapshot_full;
 using san::apps::AttributeInferenceOptions;
+using san::apps::AttributePrediction;
 using san::apps::evaluate_attribute_inference;
 using san::apps::infer_attributes;
+using san::apps::InferenceScratch;
 
 /// u's neighbors all share one attribute; an unrelated attribute exists too.
 SocialAttributeNetwork homophilous_san() {
@@ -92,6 +99,86 @@ TEST(AttrInference, HoldoutRecallBeatsChanceOnSyntheticGplus) {
   ASSERT_GT(result.evaluated, 500u);
   // Chance level: ~top_k / #attributes, which is far below 5%.
   EXPECT_GT(result.recall_at_k, 0.05);
+}
+
+/// The historical whole-network formulation (unordered_map vote
+/// accumulator), kept verbatim as the reference the per-query scratch path
+/// must match bit-for-bit.
+std::vector<AttributePrediction> reference_rank(
+    const SanSnapshot& snap, NodeId u, AttrId held_out,
+    const AttributeInferenceOptions& options) {
+  std::unordered_map<AttrId, double> votes;
+  for (const NodeId v : snap.social.neighbors(u)) {
+    const bool mutual =
+        snap.social.has_edge(u, v) && snap.social.has_edge(v, u);
+    const double w = mutual ? options.mutual_neighbor_weight
+                            : options.one_way_neighbor_weight;
+    for (const AttrId x : snap.attributes_of(v)) votes[x] += w;
+  }
+  for (const AttrId x : snap.attributes_of(u)) {
+    if (x != held_out) votes.erase(x);
+  }
+  std::vector<AttributePrediction> ranked;
+  for (const auto& [attribute, score] : votes) ranked.push_back({attribute,
+                                                                 score});
+  std::sort(ranked.begin(), ranked.end(),
+            [](const AttributePrediction& a, const AttributePrediction& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.attribute < b.attribute;
+            });
+  if (ranked.size() > options.top_k) ranked.resize(options.top_k);
+  return ranked;
+}
+
+TEST(AttrInference, PerQueryPathMatchesWholeNetworkReference) {
+  san::crawl::SyntheticGplusParams params;
+  params.total_social_nodes = 2'000;
+  params.attribute_declare_prob = 0.5;
+  params.seed = 31;
+  const auto net = san::crawl::generate_synthetic_gplus(params);
+  const auto snap = snapshot_full(net);
+
+  AttributeInferenceOptions options;
+  options.top_k = 6;
+  InferenceScratch scratch;  // reused across queries, as in serving
+  std::vector<AttributePrediction> predictions;
+  for (NodeId u = 0; u < snap.social_node_count(); u += 13) {
+    // Hold out u's first declared attribute when it has one, covering the
+    // evaluator's code path as well as plain inference.
+    const auto declared = snap.attributes_of(u);
+    const AttrId held_out =
+        declared.empty() ? san::apps::kNoHeldOutAttribute : declared.front();
+    san::apps::rank_attribute_candidates(snap, u, held_out, options, scratch,
+                                         predictions);
+    ASSERT_EQ(predictions, reference_rank(snap, u, held_out, options))
+        << "node " << u;
+  }
+}
+
+TEST(AttrInference, StableAcrossThreadCounts) {
+  san::crawl::SyntheticGplusParams params;
+  params.total_social_nodes = 1'500;
+  params.attribute_declare_prob = 0.5;
+  params.seed = 37;
+  const auto net = san::crawl::generate_synthetic_gplus(params);
+
+  const std::size_t restore = san::core::thread_count();
+  san::core::set_thread_count(1);
+  const auto baseline_snap = snapshot_full(net);
+  std::vector<std::vector<AttributePrediction>> baseline;
+  for (NodeId u = 0; u < baseline_snap.social_node_count(); u += 19) {
+    baseline.push_back(infer_attributes(baseline_snap, u));
+  }
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    san::core::set_thread_count(threads);
+    const auto snap = snapshot_full(net);
+    std::size_t i = 0;
+    for (NodeId u = 0; u < snap.social_node_count(); u += 19) {
+      EXPECT_EQ(infer_attributes(snap, u), baseline[i++])
+          << "node " << u << " at " << threads << " threads";
+    }
+  }
+  san::core::set_thread_count(restore);
 }
 
 TEST(AttrInference, EmptyNetworkSafe) {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <unordered_map>
+
+#include "core/thread_pool.hpp"
 #include "crawl/gplus_synth.hpp"
 #include "san/san.hpp"
 #include "san/snapshot.hpp"
@@ -9,13 +12,17 @@
 
 namespace {
 
+using san::AttrId;
 using san::AttributeType;
 using san::NodeId;
+using san::SanSnapshot;
 using san::SocialAttributeNetwork;
 using san::snapshot_full;
 using san::apps::evaluate_link_prediction;
 using san::apps::LinkPredictionWeights;
+using san::apps::Recommendation;
 using san::apps::recommend_friends;
+using san::apps::RecommendScratch;
 
 SocialAttributeNetwork toy_san() {
   SocialAttributeNetwork net;
@@ -84,6 +91,91 @@ TEST(Holdout, SanScorerBeatsSocialOnlyOnAttributeRichNetwork) {
   EXPECT_GT(result.auc_san, 0.5);
   EXPECT_GE(result.auc_san, result.auc_social_only);
   EXPECT_EQ(result.pairs, 4'000u);
+}
+
+/// The historical whole-network formulation (unordered_map accumulator),
+/// kept verbatim as the reference the per-query scratch path must match
+/// bit-for-bit: same candidate set, same accumulation order per candidate,
+/// same total-order ranking.
+std::vector<Recommendation> reference_recommend(const SanSnapshot& snap,
+                                                NodeId u, std::size_t k,
+                                                const LinkPredictionWeights&
+                                                    weights) {
+  std::unordered_map<NodeId, double> scores;
+  for (const NodeId w : snap.social.neighbors(u)) {
+    for (const NodeId c : snap.social.neighbors(w)) {
+      if (c == u) continue;
+      scores[c] += weights.common_neighbor;
+    }
+  }
+  for (const AttrId x : snap.attributes_of(u)) {
+    const double wx =
+        weights.attribute[static_cast<std::size_t>(snap.attribute_types[x])];
+    if (wx <= 0.0) continue;
+    for (const NodeId c : snap.members_of(x)) {
+      if (c == u) continue;
+      scores[c] += wx;
+    }
+  }
+  for (const NodeId v : snap.social.out(u)) scores.erase(v);
+  scores.erase(u);
+  std::vector<Recommendation> recs;
+  for (const auto& [candidate, score] : scores) recs.push_back({candidate,
+                                                                score});
+  const std::size_t keep = std::min(k, recs.size());
+  std::partial_sort(recs.begin(),
+                    recs.begin() + static_cast<std::ptrdiff_t>(keep),
+                    recs.end(), [](const Recommendation& a,
+                                   const Recommendation& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.candidate < b.candidate;
+                    });
+  recs.resize(keep);
+  return recs;
+}
+
+TEST(Recommend, PerQueryPathMatchesWholeNetworkReference) {
+  san::crawl::SyntheticGplusParams params;
+  params.total_social_nodes = 2'000;
+  params.attribute_declare_prob = 0.5;
+  params.seed = 13;
+  const auto net = san::crawl::generate_synthetic_gplus(params);
+  const auto snap = snapshot_full(net);
+
+  // One scratch reused across every query, as the serving loop does: the
+  // all-zero restore invariant is what this sweep actually gates.
+  RecommendScratch scratch;
+  std::vector<Recommendation> recs;
+  for (NodeId u = 0; u < snap.social_node_count(); u += 17) {
+    san::apps::recommend_friends_into(snap, u, 10, {}, scratch, recs);
+    const auto reference = reference_recommend(snap, u, 10, {});
+    ASSERT_EQ(recs, reference) << "node " << u;
+  }
+}
+
+TEST(Recommend, StableAcrossThreadCounts) {
+  san::crawl::SyntheticGplusParams params;
+  params.total_social_nodes = 1'500;
+  params.seed = 29;
+  const auto net = san::crawl::generate_synthetic_gplus(params);
+
+  const std::size_t restore = san::core::thread_count();
+  san::core::set_thread_count(1);
+  const auto baseline_snap = snapshot_full(net);
+  std::vector<std::vector<Recommendation>> baseline;
+  for (NodeId u = 0; u < baseline_snap.social_node_count(); u += 23) {
+    baseline.push_back(recommend_friends(baseline_snap, u, 8, {}));
+  }
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    san::core::set_thread_count(threads);
+    const auto snap = snapshot_full(net);  // parallel snapshot build too
+    std::size_t i = 0;
+    for (NodeId u = 0; u < snap.social_node_count(); u += 23) {
+      EXPECT_EQ(recommend_friends(snap, u, 8, {}), baseline[i++])
+          << "node " << u << " at " << threads << " threads";
+    }
+  }
+  san::core::set_thread_count(restore);
 }
 
 TEST(Holdout, EmptyNetworkSafe) {

@@ -59,6 +59,34 @@ TEST(ReciprocityPred, AttributesHelpOnSyntheticGplus) {
   EXPECT_GT(result.auc_san, 0.5);
 }
 
+TEST(ReciprocityPred, PerLinkScoreMatchesHandComputation) {
+  SocialAttributeNetwork net;
+  for (int i = 0; i < 4; ++i) net.add_social_node(0.0);
+  const auto a = net.add_attribute_node(AttributeType::kEmployer, "G");
+  net.add_attribute_link(0, a, 0.0);
+  net.add_attribute_link(1, a, 0.0);
+  // 0 and 1 share common neighbor 2 (undirected view) and employer "G".
+  net.add_social_link(0, 2, 1.0);
+  net.add_social_link(2, 1, 1.0);
+  net.add_social_link(0, 1, 1.0);
+  const auto snap = snapshot_full(net);
+
+  ReciprocityWeights weights;
+  const auto score = san::apps::score_reciprocity(snap, 0, 1, weights);
+  // c = 1 common neighbor: w * 1 / (1 + 6).
+  EXPECT_DOUBLE_EQ(score.structural, weights.common_neighbor / 7.0);
+  // + employer attribute weight.
+  EXPECT_DOUBLE_EQ(score.san, score.structural + weights.attribute[2]);
+
+  // No shared structure or attributes: both features zero.
+  const auto zero = san::apps::score_reciprocity(snap, 3, 1, weights);
+  EXPECT_DOUBLE_EQ(zero.structural, 0.0);
+  EXPECT_DOUBLE_EQ(zero.san, 0.0);
+
+  EXPECT_THROW(san::apps::score_reciprocity(snap, 0, 99, weights),
+               std::out_of_range);
+}
+
 TEST(ReciprocityPred, EmptyHalfwayIsSafe) {
   const SocialAttributeNetwork net;
   const auto snap = snapshot_full(net);

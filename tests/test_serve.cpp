@@ -1,0 +1,324 @@
+// Serving-engine contract: SnapshotCache LRU semantics and snapshot
+// fidelity, workload parsing, and QueryEngine batch/single equality —
+// byte-for-byte rendered results, stable at SAN_THREADS=1/2/4/8.
+#include "serve/query_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "crawl/gplus_synth.hpp"
+#include "san/timeline.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using san::NodeId;
+using san::SanSnapshot;
+using san::SanTimeline;
+using san::SocialAttributeNetwork;
+using san::serve::Query;
+using san::serve::QueryEngine;
+using san::serve::QueryKind;
+using san::serve::QueryResult;
+using san::serve::SnapshotCache;
+
+SocialAttributeNetwork small_gplus() {
+  san::crawl::SyntheticGplusParams params;
+  params.total_social_nodes = 1'200;
+  params.seed = 77;
+  return san::crawl::generate_synthetic_gplus(params);
+}
+
+std::vector<Query> mixed_workload(const SocialAttributeNetwork& net,
+                                  std::size_t count, std::uint64_t seed) {
+  const std::vector<double> days{15.0, 40.0, 70.0, 98.0};
+  san::stats::Rng rng(seed);
+  std::vector<Query> queries;
+  for (std::size_t i = 0; i < count; ++i) {
+    Query q;
+    q.time = days[rng.uniform_index(days.size())];
+    q.user = static_cast<NodeId>(rng.uniform_index(net.social_node_count()));
+    switch (rng.uniform_index(4)) {
+      case 0:
+        q.kind = QueryKind::kLinkRec;
+        q.k = 5;
+        break;
+      case 1:
+        q.kind = QueryKind::kAttrInfer;
+        q.k = 3;
+        break;
+      case 2:
+        q.kind = QueryKind::kEgoMetrics;
+        break;
+      default:
+        q.kind = QueryKind::kReciprocity;
+        q.other =
+            static_cast<NodeId>(rng.uniform_index(net.social_node_count()));
+        break;
+    }
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+// ---- SnapshotCache. ----
+
+TEST(SnapshotCache, HitsMissesAndEvictions) {
+  const auto net = small_gplus();
+  const SanTimeline timeline(net);
+  SnapshotCache cache(timeline, 2);
+
+  EXPECT_EQ(cache.size(), 0u);
+  const auto a = cache.at(10.0);
+  const auto b = cache.at(20.0);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+
+  // Warm hit returns the same object.
+  EXPECT_EQ(cache.at(10.0).get(), a.get());
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  // Third time evicts the LRU entry (20.0: the hit promoted 10.0).
+  const auto c = cache.at(30.0);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.at(10.0).get(), a.get());  // still resident
+  cache.at(20.0);                            // re-materialized
+  EXPECT_EQ(cache.stats().misses, 4u);
+
+  // The evicted snapshot stays valid through the shared_ptr.
+  EXPECT_EQ(b->time, 20.0);
+  EXPECT_EQ(c->time, 30.0);
+}
+
+TEST(SnapshotCache, SnapshotsMatchTimeline) {
+  const auto net = small_gplus();
+  const SanTimeline timeline(net);
+  SnapshotCache cache(timeline, 3);
+  for (const double t : {25.0, 60.0, 98.0, 25.0}) {
+    const auto cached = cache.at(t);
+    const auto direct = timeline.snapshot_at(t);
+    EXPECT_EQ(cached->social_node_count(), direct.social_node_count());
+    EXPECT_EQ(cached->social_link_count(), direct.social_link_count());
+    EXPECT_EQ(cached->attribute_link_count, direct.attribute_link_count);
+    EXPECT_EQ(cached->dropped_link_count, direct.dropped_link_count);
+    for (NodeId u = 0; u < direct.social_node_count(); u += 97) {
+      const auto co = cached->social.out(u);
+      const auto go = direct.social.out(u);
+      ASSERT_TRUE(std::equal(co.begin(), co.end(), go.begin(), go.end()));
+      const auto ca = cached->attributes_of(u);
+      const auto ga = direct.attributes_of(u);
+      ASSERT_TRUE(std::equal(ca.begin(), ca.end(), ga.begin(), ga.end()));
+    }
+  }
+}
+
+TEST(SnapshotCache, ClearResets) {
+  const auto net = small_gplus();
+  const SanTimeline timeline(net);
+  SnapshotCache cache(timeline, 2);
+  const auto held = cache.at(10.0);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+  EXPECT_EQ(held->time, 10.0);  // outstanding handle survives clear()
+}
+
+TEST(SnapshotCache, RejectsZeroCapacity) {
+  const SocialAttributeNetwork net;
+  const SanTimeline timeline(net);
+  EXPECT_THROW(SnapshotCache(timeline, 0), std::invalid_argument);
+}
+
+TEST(SnapshotCache, RejectsNanTime) {
+  // NaN != NaN would make every lookup miss and every eviction erase
+  // nothing, leaking index entries; the cache must refuse it outright.
+  const SocialAttributeNetwork net;
+  const SanTimeline timeline(net);
+  SnapshotCache cache(timeline, 2);
+  EXPECT_THROW(cache.at(std::nan("")), std::invalid_argument);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// ---- Workload parsing. ----
+
+TEST(Workload, ParsesEveryKindAndSkipsComments) {
+  const auto queries = san::serve::parse_workload(
+      "# a comment\n"
+      "\n"
+      "linkrec 12.5 7 10\n"
+      "attrs 98 42 3\n"
+      "ego 40 9\n"
+      "recip 70 3 8\n");
+  ASSERT_EQ(queries.size(), 4u);
+  EXPECT_EQ(queries[0].kind, QueryKind::kLinkRec);
+  EXPECT_EQ(queries[0].time, 12.5);
+  EXPECT_EQ(queries[0].user, 7u);
+  EXPECT_EQ(queries[0].k, 10u);
+  EXPECT_EQ(queries[1].kind, QueryKind::kAttrInfer);
+  EXPECT_EQ(queries[2].kind, QueryKind::kEgoMetrics);
+  EXPECT_EQ(queries[2].user, 9u);
+  EXPECT_EQ(queries[3].kind, QueryKind::kReciprocity);
+  EXPECT_EQ(queries[3].user, 3u);
+  EXPECT_EQ(queries[3].other, 8u);
+}
+
+TEST(Workload, RejectsMalformedLines) {
+  EXPECT_THROW(san::serve::parse_workload("warp 1 2 3\n"),
+               std::invalid_argument);
+  EXPECT_THROW(san::serve::parse_workload("linkrec 1 2\n"),
+               std::invalid_argument);
+  EXPECT_THROW(san::serve::parse_workload("linkrec abc 2 3\n"),
+               std::invalid_argument);
+  EXPECT_THROW(san::serve::parse_workload("ego 1 2x\n"),
+               std::invalid_argument);
+  EXPECT_THROW(san::serve::parse_workload("ego 1 2 3\n"),
+               std::invalid_argument);
+  EXPECT_THROW(san::serve::parse_workload("linkrec 1 2 0\n"),
+               std::invalid_argument);
+  EXPECT_THROW(san::serve::parse_workload("recip 1 -2 3\n"),
+               std::invalid_argument);
+  // NaN times would poison the snapshot cache's hash keying.
+  EXPECT_THROW(san::serve::parse_workload("ego nan 2\n"),
+               std::invalid_argument);
+}
+
+// ---- QueryEngine. ----
+
+TEST(QueryEngine, BatchMatchesSingleByteForByteAcrossThreadCounts) {
+  const auto net = small_gplus();
+  const SanTimeline timeline(net);
+  const auto queries = mixed_workload(net, 300, 2024);
+
+  SnapshotCache reference_cache(timeline, 4);
+  QueryEngine reference_engine(reference_cache);
+  std::vector<std::string> reference;
+  for (const auto& q : queries) {
+    reference.push_back(reference_engine.run_single(q).to_line(q));
+  }
+
+  const std::size_t restore = san::core::thread_count();
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    san::core::set_thread_count(threads);
+    SnapshotCache cache(timeline, 4);
+    QueryEngine engine(cache);
+    const auto results = engine.run_batch(queries);
+    ASSERT_EQ(results.size(), queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(results[i].to_line(queries[i]), reference[i])
+          << "query " << i << " at " << threads << " threads";
+    }
+  }
+  san::core::set_thread_count(restore);
+}
+
+TEST(QueryEngine, BatchResolvesEachDayOnce) {
+  const auto net = small_gplus();
+  const SanTimeline timeline(net);
+  SnapshotCache cache(timeline, 8);
+  QueryEngine engine(cache);
+  const auto queries = mixed_workload(net, 100, 9);  // 4 distinct days
+  (void)engine.run_batch(queries);
+  EXPECT_EQ(cache.stats().misses, 4u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  (void)engine.run_batch(queries);
+  EXPECT_EQ(cache.stats().hits, 4u);
+}
+
+TEST(QueryEngine, UnknownSubjectYieldsErrorResultNotThrow) {
+  const auto net = small_gplus();
+  const SanTimeline timeline(net);
+  SnapshotCache cache(timeline, 2);
+  QueryEngine engine(cache);
+
+  // At day 0.5 almost no node has joined yet; a huge id certainly hasn't.
+  Query q;
+  q.kind = QueryKind::kLinkRec;
+  q.time = 0.5;
+  q.user = static_cast<NodeId>(net.social_node_count() - 1);
+  q.k = 5;
+  const auto result = engine.run_single(q);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.to_line(q).find("ERR unknown-node"), std::string::npos);
+
+  const auto batch = engine.run_batch(std::vector<Query>{q});
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0], result);
+}
+
+TEST(QueryEngine, ReciprocityFlagsAndEgoCounts) {
+  SocialAttributeNetwork net;
+  for (int i = 0; i < 5; ++i) net.add_social_node(0.0);
+  const auto a = net.add_attribute_node(san::AttributeType::kEmployer, "G");
+  net.add_attribute_link(0, a, 0.0);
+  // 0 <-> 1 mutual; 0 -> 2 one-way; 2 -> 3 builds a 2-hop path from 0.
+  net.add_social_link(0, 1, 1.0);
+  net.add_social_link(1, 0, 1.0);
+  net.add_social_link(0, 2, 1.0);
+  net.add_social_link(2, 3, 1.0);
+
+  const SanTimeline timeline(net);
+  SnapshotCache cache(timeline, 1);
+  QueryEngine engine(cache);
+
+  Query ego;
+  ego.kind = QueryKind::kEgoMetrics;
+  ego.time = 2.0;
+  ego.user = 0;
+  const auto ego_result = engine.run_single(ego);
+  ASSERT_TRUE(ego_result.ok);
+  EXPECT_EQ(ego_result.ego.out_degree, 2u);
+  EXPECT_EQ(ego_result.ego.in_degree, 1u);
+  EXPECT_EQ(ego_result.ego.degree, 2u);
+  EXPECT_EQ(ego_result.ego.mutual_degree, 1u);
+  EXPECT_EQ(ego_result.ego.attribute_count, 1u);
+  EXPECT_EQ(ego_result.ego.two_hop_count, 1u);  // node 3 via 2
+
+  Query recip;
+  recip.kind = QueryKind::kReciprocity;
+  recip.time = 2.0;
+  recip.user = 0;
+  recip.other = 2;
+  auto result = engine.run_single(recip);
+  ASSERT_TRUE(result.ok);
+  EXPECT_TRUE(result.link_present);
+  EXPECT_FALSE(result.already_mutual);
+
+  recip.other = 1;
+  result = engine.run_single(recip);
+  EXPECT_TRUE(result.already_mutual);
+
+  recip.user = 3;
+  recip.other = 4;
+  result = engine.run_single(recip);
+  ASSERT_TRUE(result.ok);
+  EXPECT_FALSE(result.link_present);
+}
+
+TEST(QueryEngine, AttrInferKOverridesOptions) {
+  const auto net = small_gplus();
+  const SanTimeline timeline(net);
+  SnapshotCache cache(timeline, 1);
+  QueryEngine engine(cache);
+  Query q;
+  q.kind = QueryKind::kAttrInfer;
+  q.time = 98.0;
+  q.k = 2;
+  // Find a user with predictions and check the cap.
+  for (NodeId u = 0; u < net.social_node_count(); ++u) {
+    q.user = u;
+    const auto result = engine.run_single(q);
+    if (result.ok && !result.predictions.empty()) {
+      EXPECT_LE(result.predictions.size(), 2u);
+      return;
+    }
+  }
+  FAIL() << "no user produced attribute predictions";
+}
+
+}  // namespace

@@ -8,10 +8,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 #include <vector>
 
+#include "core/thread_pool.hpp"
 #include "crawl/gplus_synth.hpp"
 #include "graph/bipartite_csr.hpp"
 #include "model/generator.hpp"
@@ -260,6 +262,55 @@ TEST(BipartiteCsr, RejectsOutOfRange) {
   const std::vector<NodeId> users{5};
   const std::vector<AttrId> attrs{0};
   EXPECT_THROW(BipartiteCsr::from_links(2, 1, users, attrs), std::out_of_range);
+}
+
+TEST(BipartiteCsr, ParallelScatterMatchesSerialReferenceAtAnyThreadCount) {
+  // Large enough that the 64Ki-link scatter grain yields several chunks, so
+  // the two-level per-chunk cursors actually run multi-chunk.
+  san::stats::Rng rng(271828);
+  const std::size_t n_left = 4'000, n_right = 700, m = 300'000;
+  std::vector<NodeId> users(m);
+  std::vector<AttrId> attrs(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    // Skewed keys (hot users/attributes) to stress unequal chunk rows.
+    users[i] = static_cast<NodeId>(
+        std::min<std::uint64_t>(rng.uniform_index(n_left),
+                                rng.uniform_index(n_left)));
+    attrs[i] = static_cast<AttrId>(
+        std::min<std::uint64_t>(rng.uniform_index(n_right),
+                                rng.uniform_index(n_right)));
+  }
+
+  // Serial reference: members in input order, attrs ascending. Uniqueness
+  // is the caller's contract; the counting sorts are duplicate-agnostic, so
+  // the random pairs here (which may repeat) still have one exact answer.
+  std::vector<std::vector<NodeId>> members(n_right);
+  std::vector<std::vector<AttrId>> attr_lists(n_left);
+  for (std::size_t i = 0; i < m; ++i) members[attrs[i]].push_back(users[i]);
+  for (AttrId a = 0; a < n_right; ++a) {
+    for (const NodeId u : members[a]) attr_lists[u].push_back(a);
+  }
+
+  const std::size_t restore = san::core::thread_count();
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE(testing::Message() << "threads=" << threads);
+    san::core::set_thread_count(threads);
+    const auto csr = BipartiteCsr::from_links(n_left, n_right, users, attrs);
+    ASSERT_EQ(csr.link_count(), m);
+    for (AttrId a = 0; a < n_right; ++a) {
+      const auto span = csr.members_of(a);
+      ASSERT_TRUE(std::equal(span.begin(), span.end(), members[a].begin(),
+                             members[a].end()))
+          << "members_of(" << a << ") deviates";
+    }
+    for (NodeId u = 0; u < n_left; ++u) {
+      const auto span = csr.attrs_of(u);
+      ASSERT_TRUE(std::equal(span.begin(), span.end(), attr_lists[u].begin(),
+                             attr_lists[u].end()))
+          << "attrs_of(" << u << ") deviates";
+    }
+  }
+  san::core::set_thread_count(restore);
 }
 
 // ---- CsrGraph::from_sorted_edges fast path. ----

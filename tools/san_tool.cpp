@@ -5,9 +5,14 @@
 //   san_tool snapshots FILE [--step D]
 //   san_tool crawl FILE --day D [--private P] -o FILE
 //   san_tool communities FILE [--attribute-weight W]
+//   san_tool serve FILE --workload W [--cache N] [--batch B]
 //
-// Files use the SANv1 text format (san/serialization.hpp).
+// Files use the SANv1 text format (san/serialization.hpp); workload files
+// use the serve/query.hpp line format. Malformed numbers, unknown
+// subcommands, and missing positionals all fail loudly with usage + a
+// nonzero exit instead of silently falling back to atof/atol defaults.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -16,6 +21,7 @@
 #include <vector>
 
 #include "apps/community.hpp"
+#include "core/parse.hpp"
 #include "crawl/crawler.hpp"
 #include "crawl/gplus_synth.hpp"
 #include "graph/clustering.hpp"
@@ -25,6 +31,7 @@
 #include "san/san_metrics.hpp"
 #include "san/serialization.hpp"
 #include "san/timeline.hpp"
+#include "serve/query_engine.hpp"
 #include "stats/fit.hpp"
 
 namespace {
@@ -39,8 +46,16 @@ int usage() {
                "  san_tool measure FILE [--day D]\n"
                "  san_tool snapshots FILE [--step D]\n"
                "  san_tool crawl FILE --day D [--private P] -o FILE\n"
-               "  san_tool communities FILE [--attribute-weight W]\n");
+               "  san_tool communities FILE [--attribute-weight W]\n"
+               "  san_tool serve FILE --workload W [--cache N] [--batch B]\n");
   return 2;
+}
+
+int complain(const char* format, const char* value) {
+  std::fprintf(stderr, "error: ");
+  std::fprintf(stderr, format, value);
+  std::fprintf(stderr, "\n");
+  return usage();
 }
 
 /// Minimal flag parser: returns the value following `flag`, or fallback.
@@ -52,16 +67,40 @@ const char* flag_value(int argc, char** argv, const char* flag,
   return fallback;
 }
 
+/// Strict numeric parsing (core/parse.hpp): the whole token must convert,
+/// no atof/atol-style silent zero on garbage.
+bool parse_double(const char* text, double& out) {
+  return core::parse_double_strict(text, out);
+}
+
+bool parse_u64(const char* text, std::uint64_t& out) {
+  return core::parse_u64_strict(text, out);
+}
+
+bool parse_size(const char* text, std::size_t& out) {
+  std::uint64_t value = 0;
+  if (!parse_u64(text, value) ||
+      value > std::numeric_limits<std::size_t>::max()) {
+    return false;
+  }
+  out = static_cast<std::size_t>(value);
+  return true;
+}
+
 int cmd_generate(int argc, char** argv) {
   const std::string kind = flag_value(argc, argv, "--kind", "model");
-  const auto nodes =
-      static_cast<std::size_t>(std::atol(flag_value(argc, argv, "--nodes",
-                                                    "20000")));
-  const auto seed =
-      static_cast<std::uint64_t>(std::atoll(flag_value(argc, argv, "--seed",
-                                                       "42")));
+  std::size_t nodes = 0;
+  std::uint64_t seed = 0;
+  const char* nodes_text = flag_value(argc, argv, "--nodes", "20000");
+  const char* seed_text = flag_value(argc, argv, "--seed", "42");
+  if (!parse_size(nodes_text, nodes)) {
+    return complain("invalid --nodes '%s'", nodes_text);
+  }
+  if (!parse_u64(seed_text, seed)) {
+    return complain("invalid --seed '%s'", seed_text);
+  }
   const char* out = flag_value(argc, argv, "-o", nullptr);
-  if (out == nullptr) return usage();
+  if (out == nullptr) return complain("%s requires -o FILE", "generate");
 
   SocialAttributeNetwork net;
   if (kind == "model") {
@@ -80,7 +119,7 @@ int cmd_generate(int argc, char** argv) {
     params.seed = seed;
     net = crawl::generate_synthetic_gplus(params);
   } else {
-    return usage();
+    return complain("unknown --kind '%s'", kind.c_str());
   }
   save_san(net, std::string(out));
   std::printf("wrote %s: %zu social nodes, %llu social links, %zu attributes,"
@@ -93,8 +132,11 @@ int cmd_generate(int argc, char** argv) {
 }
 
 int cmd_measure(int argc, char** argv, const char* path) {
-  const double day =
-      std::atof(flag_value(argc, argv, "--day", "1e300"));
+  double day = 0.0;
+  const char* day_text = flag_value(argc, argv, "--day", "1e300");
+  if (!parse_double(day_text, day)) {
+    return complain("invalid --day '%s'", day_text);
+  }
   const auto net = load_san(path);
   const auto snap = day >= 1e300 ? snapshot_full(net) : snapshot_at(net, day);
 
@@ -129,8 +171,11 @@ int cmd_measure(int argc, char** argv, const char* path) {
 }
 
 int cmd_snapshots(int argc, char** argv, const char* path) {
-  const double step = std::atof(flag_value(argc, argv, "--step", "1"));
-  if (step <= 0.0) return usage();
+  double step = 0.0;
+  const char* step_text = flag_value(argc, argv, "--step", "1");
+  if (!parse_double(step_text, step) || step <= 0.0) {
+    return complain("invalid --step '%s' (need a number > 0)", step_text);
+  }
   const auto net = load_san(path);
   const SanTimeline timeline(net);
 
@@ -164,10 +209,19 @@ int cmd_snapshots(int argc, char** argv, const char* path) {
 }
 
 int cmd_crawl(int argc, char** argv, const char* path) {
-  const double day = std::atof(flag_value(argc, argv, "--day", "1e300"));
-  const double privacy = std::atof(flag_value(argc, argv, "--private", "0.12"));
+  double day = 0.0, privacy = 0.0;
+  const char* day_text = flag_value(argc, argv, "--day", "1e300");
+  const char* privacy_text = flag_value(argc, argv, "--private", "0.12");
+  if (!parse_double(day_text, day)) {
+    return complain("invalid --day '%s'", day_text);
+  }
+  if (!parse_double(privacy_text, privacy) || privacy < 0.0 ||
+      privacy > 1.0) {
+    return complain("invalid --private '%s' (need a probability)",
+                    privacy_text);
+  }
   const char* out = flag_value(argc, argv, "-o", nullptr);
-  if (out == nullptr) return usage();
+  if (out == nullptr) return complain("%s requires -o FILE", "crawl");
 
   const auto truth = load_san(path);
   crawl::CrawlerOptions options;
@@ -182,7 +236,11 @@ int cmd_crawl(int argc, char** argv, const char* path) {
 }
 
 int cmd_communities(int argc, char** argv, const char* path) {
-  const double w = std::atof(flag_value(argc, argv, "--attribute-weight", "0"));
+  double w = 0.0;
+  const char* weight_text = flag_value(argc, argv, "--attribute-weight", "0");
+  if (!parse_double(weight_text, w)) {
+    return complain("invalid --attribute-weight '%s'", weight_text);
+  }
   const auto net = load_san(path);
   const auto snap = snapshot_full(net);
   apps::CommunityOptions options;
@@ -194,25 +252,86 @@ int cmd_communities(int argc, char** argv, const char* path) {
   return 0;
 }
 
+int cmd_serve(int argc, char** argv, const char* path) {
+  const char* workload_path = flag_value(argc, argv, "--workload", nullptr);
+  if (workload_path == nullptr) {
+    return complain("%s requires --workload FILE", "serve");
+  }
+  std::size_t cache_size = 0, batch_size = 0;
+  const char* cache_text = flag_value(argc, argv, "--cache", "8");
+  const char* batch_text = flag_value(argc, argv, "--batch", "1024");
+  if (!parse_size(cache_text, cache_size) || cache_size == 0) {
+    return complain("invalid --cache '%s' (need an integer > 0)", cache_text);
+  }
+  if (!parse_size(batch_text, batch_size) || batch_size == 0) {
+    return complain("invalid --batch '%s' (need an integer > 0)", batch_text);
+  }
+
+  const auto net = load_san(path);
+  const SanTimeline timeline(net);
+  serve::SnapshotCache cache(timeline, cache_size);
+  serve::QueryEngine engine(cache);
+  const auto queries = serve::load_workload(workload_path);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t served = 0;
+  while (served < queries.size()) {
+    const std::size_t count = std::min(batch_size, queries.size() - served);
+    const auto results = engine.run_batch(
+        std::span<const serve::Query>(queries.data() + served, count));
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      std::printf("%s\n", results[i].to_line(queries[served + i]).c_str());
+    }
+    served += count;
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  const auto stats = cache.stats();
+  std::fprintf(stderr,
+               "served %zu queries in %.3f s (%.0f queries/s); snapshot cache:"
+               " %llu hits, %llu misses, %llu evictions\n",
+               served, seconds, seconds > 0.0 ? served / seconds : 0.0,
+               static_cast<unsigned long long>(stats.hits),
+               static_cast<unsigned long long>(stats.misses),
+               static_cast<unsigned long long>(stats.evictions));
+  return 0;
+}
+
+int missing_file(const char* command) {
+  return complain("%s requires a positional FILE argument", command);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
+  const bool has_file = argc >= 3 && argv[2][0] != '-';
   try {
     if (command == "generate") return cmd_generate(argc, argv);
-    if (argc >= 3 && command == "measure") return cmd_measure(argc, argv,
-                                                              argv[2]);
-    if (argc >= 3 && command == "snapshots") {
-      return cmd_snapshots(argc, argv, argv[2]);
+    if (command == "measure") {
+      return has_file ? cmd_measure(argc, argv, argv[2])
+                      : missing_file("measure");
     }
-    if (argc >= 3 && command == "crawl") return cmd_crawl(argc, argv, argv[2]);
-    if (argc >= 3 && command == "communities") {
-      return cmd_communities(argc, argv, argv[2]);
+    if (command == "snapshots") {
+      return has_file ? cmd_snapshots(argc, argv, argv[2])
+                      : missing_file("snapshots");
+    }
+    if (command == "crawl") {
+      return has_file ? cmd_crawl(argc, argv, argv[2]) : missing_file("crawl");
+    }
+    if (command == "communities") {
+      return has_file ? cmd_communities(argc, argv, argv[2])
+                      : missing_file("communities");
+    }
+    if (command == "serve") {
+      return has_file ? cmd_serve(argc, argv, argv[2]) : missing_file("serve");
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  return usage();
+  return complain("unknown command '%s'", command.c_str());
 }
