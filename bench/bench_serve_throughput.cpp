@@ -19,7 +19,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -183,6 +185,59 @@ int main() {
   if (warm_stats.misses != cold_stats.misses) {
     std::fprintf(stderr, "FAIL: warm pass missed the cache\n");
     return 1;
+  }
+
+  bench::header("concurrent cold misses: distinct days from parallel callers");
+  // Serial baseline: one thread materializes every day through a cold
+  // cache. Concurrent: kThreads external callers split the same days —
+  // since misses build OUTSIDE the cache lock, distinct days overlap (the
+  // deterministic overlap gate lives in test_serve; this reports numbers).
+  {
+    serve::SnapshotCache serial_cache(timeline, days.size());
+    const auto serial_start = std::chrono::steady_clock::now();
+    for (const double day : days) (void)serial_cache.at(day);
+    const double serial_s = seconds_since(serial_start);
+
+    constexpr std::size_t kThreads = 4;
+    serve::SnapshotCache concurrent_cache(timeline, days.size());
+    std::vector<std::shared_ptr<const SanSnapshot>> snaps(days.size());
+    const auto concurrent_start = std::chrono::steady_clock::now();
+    {
+      std::vector<std::thread> threads;
+      for (std::size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+          for (std::size_t i = t; i < days.size(); i += kThreads) {
+            snaps[i] = concurrent_cache.at(days[i]);
+          }
+        });
+      }
+      for (auto& thread : threads) thread.join();
+    }
+    const double concurrent_s = seconds_since(concurrent_start);
+
+    const auto stats = concurrent_cache.stats();
+    std::printf("  serial:     %7.3f s for %zu cold days\n", serial_s,
+                days.size());
+    std::printf("  concurrent: %7.3f s (%zu callers), peak %llu misses in"
+                " flight\n",
+                concurrent_s, kThreads,
+                static_cast<unsigned long long>(stats.peak_inflight));
+    if (stats.misses != days.size() || stats.coalesced != 0) {
+      std::fprintf(stderr,
+                   "FAIL: expected %zu distinct misses (saw %llu, %llu"
+                   " coalesced)\n",
+                   days.size(),
+                   static_cast<unsigned long long>(stats.misses),
+                   static_cast<unsigned long long>(stats.coalesced));
+      return 1;
+    }
+    for (std::size_t i = 0; i < days.size(); ++i) {
+      if (!snaps[i] || snaps[i]->time != days[i]) {
+        std::fprintf(stderr, "FAIL: concurrent miss returned wrong snapshot"
+                             " for day %.2f\n", days[i]);
+        return 1;
+      }
+    }
   }
   std::printf("OK\n");
   return 0;

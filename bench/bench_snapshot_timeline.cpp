@@ -1,13 +1,15 @@
 // Snapshot-sweep gate: replays the paper's 79 daily crawls over a generated
-// SAN three ways — the SEED algorithm (unsorted edge list canonicalized per
+// SAN four ways — the SEED algorithm (unsorted edge list canonicalized per
 // day + vector<vector> attribute layer, reproduced below), the current
 // naive san::snapshot_at (full log re-scan per day, shared fast builders),
-// and one SanTimeline sweep — and FAILS (exit 1) if any per-day metric of
-// the timeline deviates from the naive path, if the seed-path counts
-// disagree, or if the timeline metrics change at 1/2/4/8 threads. The
-// acceptance speedup compares the timeline against the seed path. Scale
-// with SAN_BENCH_NODES (default 60k social nodes, ~1M links), days with
-// SAN_TIMELINE_DAYS.
+// a SanTimeline full-rebuild sweep (O(prefix) per day), and the delta sweep
+// (advance day to day, O(new links) per day) — and FAILS (exit 1) if any
+// per-day metric of either timeline path deviates from the naive path, if
+// the seed-path counts disagree, or if the delta-sweep metrics change at
+// 1/2/4/8 threads. The acceptance speedups compare the delta sweep against
+// the seed path (>= 3x) and against the full-rebuild sweep (>= 1.5x).
+// Scale with SAN_BENCH_NODES (default 60k social nodes, ~1M links), days
+// with SAN_TIMELINE_DAYS.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -175,31 +177,49 @@ int main() {
   std::printf("naive:    %7.3f s materialization (%zu snapshots)\n", naive_s,
               n_days);
 
-  bench::header("timeline sweep: index once, O(prefix) per day");
+  bench::header("timeline full-rebuild sweep: index once, O(prefix) per day");
   const auto index_start = std::chrono::steady_clock::now();
   const SanTimeline timeline(net);
   const double index_s = seconds_since(index_start);
   std::vector<DayMetrics> indexed(n_days);
   double metric_s = 0.0;
-  const auto sweep_start = std::chrono::steady_clock::now();
+  const auto rebuild_start = std::chrono::steady_clock::now();
   {
     std::size_t i = 0;
-    timeline.sweep(days, [&](double, const SanSnapshot& snap) {
+    timeline.sweep_full_rebuild(days, [&](double, const SanSnapshot& snap) {
       const auto start = std::chrono::steady_clock::now();
       indexed[i++] = measure(snap);
       metric_s += seconds_since(start);
     });
   }
-  const double sweep_s = seconds_since(sweep_start) - metric_s;
+  const double rebuild_s = seconds_since(rebuild_start) - metric_s;
   std::printf("timeline: %7.3f s index + %7.3f s materialization\n", index_s,
-              sweep_s);
-  const double speedup = seed_s / (index_s + sweep_s);
-  std::printf("speedup vs seed path:  %0.2fx (acceptance target >= 3x)\n",
-              speedup);
-  std::printf("speedup vs new naive:  %0.2fx\n", naive_s / (index_s + sweep_s));
+              rebuild_s);
+
+  bench::header("delta sweep: advance day to day, O(new links) per day");
+  std::vector<DayMetrics> delta(n_days);
+  metric_s = 0.0;
+  const auto delta_start = std::chrono::steady_clock::now();
+  {
+    std::size_t i = 0;
+    timeline.sweep(days, [&](double, const SanSnapshot& snap) {
+      const auto start = std::chrono::steady_clock::now();
+      delta[i++] = measure(snap);
+      metric_s += seconds_since(start);
+    });
+  }
+  const double delta_s = seconds_since(delta_start) - metric_s;
+  std::printf("delta:    %7.3f s materialization\n", delta_s);
+  std::printf("speedup vs seed path:    %0.2fx (acceptance target >= 3x)\n",
+              seed_s / (index_s + delta_s));
+  std::printf("speedup vs new naive:    %0.2fx\n",
+              naive_s / (index_s + delta_s));
+  std::printf("delta vs full rebuild:   %0.2fx (acceptance target >= 1.5x)\n",
+              rebuild_s / delta_s);
 
   for (std::size_t i = 0; i < n_days; ++i) {
     if (!(naive[i] == indexed[i])) return fail("timeline vs naive", days[i]);
+    if (!(naive[i] == delta[i])) return fail("delta sweep vs naive", days[i]);
     // Seed counts must agree wherever nothing was dropped (the seed path
     // silently kept links to not-yet-created attributes, which the current
     // paths drop and count instead).
@@ -211,9 +231,12 @@ int main() {
       return fail("seed vs timeline attribute link count", days[i]);
     }
   }
-  std::printf("metric check: timeline == naive at all %zu days\n", n_days);
+  std::printf(
+      "metric check: delta == full rebuild == naive at all %zu days\n",
+      n_days);
 
-  bench::header("determinism: byte-identical metrics at 1/2/4/8 threads");
+  bench::header(
+      "determinism: delta sweep byte-identical at 1/2/4/8 threads");
   for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
     core::set_thread_count(threads);
     std::size_t i = 0;

@@ -1,0 +1,137 @@
+// Chunk-parallel stable counting sort, the scatter engine shared by the
+// graph builders (graph/bipartite_csr.cpp, san/timeline.cpp, graph/csr.cpp
+// append path).
+//
+// The scheme is two-level per-chunk cursors: phase one counts each chunk's
+// keys into a private histogram row, a serial transform turns the rows into
+// per-chunk starting cursors (chunk c's cursor for key k is the caller's
+// base slot of k plus every earlier chunk's count of k), and phase two
+// scatters chunks concurrently into disjoint slots. Because earlier input
+// positions always land first, the output is byte-identical to the serial
+// stable counting sort at any SAN_THREADS count — the grain derives only
+// from (m, key_count), never from the thread count.
+//
+// The caller owns the output layout: `base[k]` is the first output slot of
+// key k, which may be a dense prefix sum of the counts or a slack layout
+// with per-key gaps (graph/slack.hpp) for append-in-place structures.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/parallel.hpp"
+
+namespace san::core {
+
+/// Base chunk grain for counting scatters. Coarser than the general
+/// default: each chunk carries a histogram row over the key space, so
+/// memory is chunks x key_count — at 64Ki items per chunk a ~1M-item
+/// scatter stays in the tens of rows.
+inline constexpr std::size_t kScatterGrain = std::size_t{1} << 16;
+
+/// Cap on total cursor-matrix cells (chunks x (key_count+1)) per pass:
+/// 16Mi cells = 128 MiB of u64. A key space that is huge relative to the
+/// item count widens the grain — degrading gracefully toward the
+/// single-row serial sort — instead of allocating chunks x key_count rows.
+inline constexpr std::size_t kCursorBudgetCells = std::size_t{1} << 24;
+
+inline std::size_t scatter_grain(std::size_t m, std::size_t key_count) {
+  const std::size_t max_chunks =
+      std::max<std::size_t>(1, kCursorBudgetCells / (key_count + 1));
+  const std::size_t budget_grain = (m + max_chunks - 1) / max_chunks;
+  return std::max(kScatterGrain, budget_grain);
+}
+
+/// Walk ranks [begin, end) of a keyed sequence laid out as per-key
+/// regions: `dense` (key_count + 1 entries) is the dense prefix of the
+/// per-key counts and `start[k]` each key's first storage slot (pass
+/// `dense` itself for packed layouts, or a slack layout's starts). Calls
+/// fn(pos, key) once per rank in ascending order with
+/// pos = start[k] + (rank - dense[k]); keys with zero items are skipped.
+/// The upper_bound seeds once per call, so walk whole chunks, not items.
+template <typename Fn>
+void walk_keyed_regions(std::span<const std::uint64_t> dense,
+                        std::span<const std::uint64_t> start,
+                        std::size_t begin, std::size_t end, Fn&& fn) {
+  if (begin >= end) return;
+  std::size_t k = static_cast<std::size_t>(
+      std::upper_bound(dense.begin(), dense.end(), begin) - dense.begin() -
+      1);
+  for (std::size_t i = begin; i < end; ++i) {
+    while (i >= dense[k + 1]) ++k;
+    fn(start[k] + (i - dense[k]), k);
+  }
+}
+
+/// One stable counting sort = one count() followed by one scatter() over
+/// the SAME item sequence. The object owns the cursor matrix, so keeping it
+/// alive across rebuilds makes the steady state allocation-free.
+///
+/// Both phases take a `visit(begin, end, emit)` callback instead of a plain
+/// key array: visit must call emit exactly once per item of [begin, end) in
+/// ascending item order. This lets callers walk derived sequences (e.g.
+/// CSR rank spaces with slack gaps) with per-chunk incremental state
+/// instead of paying a binary search per item.
+class StableCountingScatter {
+ public:
+  /// Phase 1: count keys. visit(begin, end, emit) must call emit(key) with
+  /// key < key_count once per item in order. `counts` is resized to
+  /// key_count and overwritten with the global per-key totals.
+  template <typename Visit>
+  void count(std::size_t m, std::size_t key_count, Visit&& visit,
+             std::vector<std::uint64_t>& counts) {
+    m_ = m;
+    key_count_ = key_count;
+    grain_ = scatter_grain(m, key_count);
+    chunks_ = std::max<std::size_t>(1, chunk_count_for(m, grain_));
+    rows_.assign(chunks_ * key_count, 0);
+    parallel_for_chunks(
+        m, grain_, [&](std::size_t begin, std::size_t end, std::size_t c) {
+          std::uint64_t* row = rows_.data() + c * key_count_;
+          visit(begin, end, [&](std::uint64_t key) { ++row[key]; });
+        });
+    counts.assign(key_count, 0);
+    for (std::size_t c = 0; c < chunks_; ++c) {
+      const std::uint64_t* row = rows_.data() + c * key_count;
+      for (std::size_t k = 0; k < key_count; ++k) counts[k] += row[k];
+    }
+  }
+
+  /// Phase 2: stable scatter. Must follow a count() over the same item
+  /// sequence; visit must call emit(key, value) in the same order count saw
+  /// the keys. Item i of key k lands at base[k] + (stable rank of i within
+  /// k) — `base` may describe any non-overlapping layout whose per-key
+  /// extent is >= counts[k].
+  template <typename Visit, typename T>
+  void scatter(std::span<const std::uint64_t> base, Visit&& visit, T* out) {
+    // Serial transform of counts into per-chunk starting cursors; bounded
+    // by kCursorBudgetCells, negligible next to the parallel scatters.
+    for (std::size_t k = 0; k < key_count_; ++k) {
+      std::uint64_t running = base[k];
+      for (std::size_t c = 0; c < chunks_; ++c) {
+        std::uint64_t& cell = rows_[c * key_count_ + k];
+        const std::uint64_t count = cell;
+        cell = running;
+        running += count;
+      }
+    }
+    parallel_for_chunks(
+        m_, grain_, [&](std::size_t begin, std::size_t end, std::size_t c) {
+          std::uint64_t* cursor = rows_.data() + c * key_count_;
+          visit(begin, end, [&](std::uint64_t key, T value) {
+            out[cursor[key]++] = value;
+          });
+        });
+  }
+
+ private:
+  std::vector<std::uint64_t> rows_;
+  std::size_t m_ = 0;
+  std::size_t key_count_ = 0;
+  std::size_t grain_ = 0;
+  std::size_t chunks_ = 0;
+};
+
+}  // namespace san::core

@@ -131,6 +131,8 @@ void ThreadPool::run_chunks(std::size_t chunk_count,
 
 std::size_t thread_count() { return ThreadPool::instance().thread_count(); }
 
+bool in_parallel_region() { return t_in_parallel_region; }
+
 void set_thread_count(std::size_t n) {
   ThreadPool::instance().set_thread_count(n);
 }

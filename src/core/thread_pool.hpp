@@ -78,6 +78,12 @@ class ThreadPool {
 /// Current lane count of the process-wide pool.
 std::size_t thread_count();
 
+/// True while the calling thread is executing chunks of a pool job.
+/// Blocking on foreign work from inside a job risks deadlock — the pool's
+/// job lock is held until every chunk (including the blocked one) drains —
+/// so long waits must be replaced with local work when this is set.
+bool in_parallel_region();
+
 /// Resize the process-wide pool (used by benches to sweep 1/2/4/8 threads).
 void set_thread_count(std::size_t n);
 

@@ -1,36 +1,13 @@
 #include "graph/bipartite_csr.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 #include "core/parallel.hpp"
+#include "graph/slack.hpp"
 
 namespace san::graph {
-namespace {
-
-/// Base chunk grain for the scatter passes. Coarser than the general
-/// default: each chunk carries a per-chunk histogram row over one side's
-/// id space, so memory is chunks x side_count — at 64Ki links per chunk a
-/// ~1M-link rebuild stays in the tens of rows.
-constexpr std::size_t kScatterGrain = std::size_t{1} << 16;
-
-/// Cap on total cursor-matrix cells (chunks x (side_count+1)) per pass:
-/// 16Mi cells = 128 MiB of u64. A side whose id space is huge relative to
-/// the link count widens the grain — degrading gracefully toward the
-/// single-row serial sort — instead of allocating chunks x side rows. The
-/// grain derives only from (m, side_count), never from the thread count,
-/// so the chunk decomposition, and therefore every written byte, is
-/// identical at any SAN_THREADS.
-constexpr std::size_t kCursorBudgetCells = std::size_t{1} << 24;
-
-std::size_t scatter_grain(std::size_t m, std::size_t side_count) {
-  const std::size_t max_chunks =
-      std::max<std::size_t>(1, kCursorBudgetCells / (side_count + 1));
-  const std::size_t budget_grain = (m + max_chunks - 1) / max_chunks;
-  return std::max(kScatterGrain, budget_grain);
-}
-
-}  // namespace
 
 BipartiteCsr BipartiteCsr::from_links(std::size_t left_count,
                                       std::size_t right_count,
@@ -44,7 +21,8 @@ BipartiteCsr BipartiteCsr::from_links(std::size_t left_count,
 void BipartiteCsr::rebuild_from_links(std::size_t left_count,
                                       std::size_t right_count,
                                       std::span<const NodeId> users,
-                                      std::span<const AttrId> attrs) {
+                                      std::span<const AttrId> attrs,
+                                      bool with_slack) {
   if (users.size() != attrs.size()) {
     throw std::invalid_argument("BipartiteCsr: users/attrs size mismatch");
   }
@@ -58,123 +36,305 @@ void BipartiteCsr::rebuild_from_links(std::size_t left_count,
         }
         return count;
       },
-      [](std::size_t a, std::size_t b) { return a + b; }, kScatterGrain);
+      [](std::size_t a, std::size_t b) { return a + b; },
+      core::kScatterGrain);
   if (bad > 0) {
     throw std::out_of_range("BipartiteCsr: link endpoint out of range");
   }
   left_count_ = left_count;
   right_count_ = right_count;
   link_count_ = m;
+  left_waste_ = 0;
+  right_waste_ = 0;
 
-  // Both sides are stable counting sorts, parallelized with two-level
-  // per-chunk cursors: chunk c's starting cursor for key x is the global
-  // offset of x plus every earlier chunk's count of x, so chunks scatter
-  // concurrently into disjoint slots while the result stays byte-identical
-  // to the serial stable sort (earlier input positions land first).
+  // Both sides are stable counting sorts on the shared chunk-parallel
+  // engine (core/counting_scatter.hpp): chunks scatter concurrently into
+  // disjoint slots while the result stays byte-identical to the serial
+  // stable sort (earlier input positions land first).
 
   // Right side: sort links by attribute, stable in input order, so
   // members_of(a) preserves the (time) order of the input links.
-  const std::size_t right_grain = scatter_grain(m, right_count);
-  const std::size_t right_chunks =
-      std::max<std::size_t>(1, core::chunk_count_for(m, right_grain));
-  cursors_.assign(right_chunks * (right_count + 1), 0);
-  core::parallel_for_chunks(
-      m, right_grain, [&](std::size_t begin, std::size_t end, std::size_t c) {
-        std::uint64_t* row = cursors_.data() + c * (right_count + 1);
-        for (std::size_t i = begin; i < end; ++i) ++row[attrs[i]];
-      });
-  right_offsets_.assign(right_count + 1, 0);
+  by_attr_.count(
+      m, right_count,
+      [&](std::size_t begin, std::size_t end, auto emit) {
+        for (std::size_t i = begin; i < end; ++i) emit(attrs[i]);
+      },
+      counts_);
+  right_start_.resize(right_count);
+  right_cap_.resize(right_count);
+  right_len_.resize(right_count);
+  dense_right_.assign(right_count + 1, 0);
   {
-    // Serial O(chunks x right_count) transform of counts into cursor starts
-    // and global offsets — bounded by kCursorBudgetCells, negligible next
-    // to the scatters.
-    std::uint64_t running = 0;
+    std::uint64_t tail = 0;
     for (std::size_t a = 0; a < right_count; ++a) {
-      right_offsets_[a] = running;
-      for (std::size_t c = 0; c < right_chunks; ++c) {
-        std::uint64_t& cell = cursors_[c * (right_count + 1) + a];
-        const std::uint64_t count = cell;
-        cell = running;
-        running += count;
-      }
+      right_start_[a] = tail;
+      right_len_[a] = static_cast<std::uint32_t>(counts_[a]);
+      right_cap_[a] = static_cast<std::uint32_t>(
+          with_slack ? slack_capacity(counts_[a]) : counts_[a]);
+      tail += right_cap_[a];
+      dense_right_[a + 1] = dense_right_[a] + counts_[a];
     }
-    right_offsets_[right_count] = running;
+    right_targets_.resize(tail);
   }
-  right_targets_.resize(m);
-  core::parallel_for_chunks(
-      m, right_grain, [&](std::size_t begin, std::size_t end, std::size_t c) {
-        std::uint64_t* cursor = cursors_.data() + c * (right_count + 1);
-        for (std::size_t i = begin; i < end; ++i) {
-          right_targets_[cursor[attrs[i]]++] = users[i];
-        }
-      });
+  by_attr_.scatter(
+      right_start_,
+      [&](std::size_t begin, std::size_t end, auto emit) {
+        for (std::size_t i = begin; i < end; ++i) emit(attrs[i], users[i]);
+      },
+      right_targets_.data());
 
   // Left side from the right side: walking the attr-major sequence in
   // ascending attribute order and scattering by user yields per-user
   // attribute lists already sorted ascending — a second counting sort
-  // instead of a per-user sort. Chunks cover positions of right_targets_;
-  // each chunk recovers its attribute range from right_offsets_.
-  const std::size_t left_grain = scatter_grain(m, left_count);
-  const std::size_t left_chunks =
-      std::max<std::size_t>(1, core::chunk_count_for(m, left_grain));
-  cursors_.assign(left_chunks * (left_count + 1), 0);
-  core::parallel_for_chunks(
-      m, left_grain, [&](std::size_t begin, std::size_t end, std::size_t c) {
-        std::uint64_t* row = cursors_.data() + c * (left_count + 1);
-        for (std::size_t i = begin; i < end; ++i) ++row[right_targets_[i]];
-      });
-  left_offsets_.assign(left_count + 1, 0);
+  // instead of a per-user sort. Items are dense RANKS [0, m) mapped to
+  // storage positions through dense_right_, so slack gaps in the right
+  // layout never enter the walk.
+  const auto attr_major = [&](std::size_t begin, std::size_t end, auto&& fn) {
+    core::walk_keyed_regions(dense_right_, right_start_, begin, end, fn);
+  };
+  by_user_.count(
+      m, left_count,
+      [&](std::size_t begin, std::size_t end, auto emit) {
+        attr_major(begin, end, [&](std::uint64_t pos, AttrId) {
+          emit(right_targets_[pos]);
+        });
+      },
+      counts_);
+  left_start_.resize(left_count);
+  left_cap_.resize(left_count);
+  left_len_.resize(left_count);
   {
-    std::uint64_t running = 0;
+    std::uint64_t tail = 0;
     for (std::size_t u = 0; u < left_count; ++u) {
-      left_offsets_[u] = running;
-      for (std::size_t c = 0; c < left_chunks; ++c) {
-        std::uint64_t& cell = cursors_[c * (left_count + 1) + u];
-        const std::uint64_t count = cell;
-        cell = running;
-        running += count;
+      left_start_[u] = tail;
+      left_len_[u] = static_cast<std::uint32_t>(counts_[u]);
+      left_cap_[u] = static_cast<std::uint32_t>(
+          with_slack ? slack_capacity(counts_[u]) : counts_[u]);
+      tail += left_cap_[u];
+    }
+    left_targets_.resize(tail);
+  }
+  by_user_.scatter(
+      left_start_,
+      [&](std::size_t begin, std::size_t end, auto emit) {
+        attr_major(begin, end, [&](std::uint64_t pos, AttrId a) {
+          emit(right_targets_[pos], a);
+        });
+      },
+      left_targets_.data());
+}
+
+bool BipartiteCsr::append_links(std::size_t new_left_count,
+                                std::span<const NodeId> users,
+                                std::span<const AttrId> attrs) {
+  if (users.size() != attrs.size()) {
+    throw std::invalid_argument("BipartiteCsr: users/attrs size mismatch");
+  }
+  if (new_left_count < left_count_) {
+    throw std::invalid_argument(
+        "BipartiteCsr::append_links: left count may not shrink");
+  }
+  const std::size_t m = users.size();
+  const std::size_t old_left = left_count_;
+  const std::size_t bad = core::parallel_reduce(
+      m, std::size_t{0},
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        std::size_t count = 0;
+        for (std::size_t i = begin; i < end; ++i) {
+          if (users[i] >= new_left_count || attrs[i] >= right_count_) ++count;
+        }
+        return count;
+      },
+      [](std::size_t a, std::size_t b) { return a + b; },
+      core::kScatterGrain);
+  if (bad > 0) {
+    throw std::out_of_range(
+        "BipartiteCsr::append_links: link endpoint out of range");
+  }
+
+  // Chunk-parallel counts of the new links per endpoint.
+  by_attr_.count(
+      m, right_count_,
+      [&](std::size_t begin, std::size_t end, auto emit) {
+        for (std::size_t i = begin; i < end; ++i) emit(attrs[i]);
+      },
+      counts_);
+  by_user_.count(
+      m, new_left_count,
+      [&](std::size_t begin, std::size_t end, auto emit) {
+        for (std::size_t i = begin; i < end; ++i) emit(users[i]);
+      },
+      add_left_);
+
+  // Waste policy check BEFORE any mutation: relocating every overflowing
+  // region must not strand more dead slots than there are live links —
+  // past that point a compacting rebuild is cheaper, so refuse and leave
+  // the structure untouched for the caller.
+  std::uint64_t left_hole = 0, right_hole = 0;
+  for (std::size_t a = 0; a < right_count_; ++a) {
+    if (counts_[a] > 0 && right_len_[a] + counts_[a] > right_cap_[a]) {
+      right_hole += right_cap_[a];
+    }
+  }
+  touched_left_.clear();
+  for (std::size_t u = 0; u < new_left_count; ++u) {
+    if (add_left_[u] == 0) continue;
+    touched_left_.push_back(static_cast<NodeId>(u));
+    if (u < old_left && left_len_[u] + add_left_[u] > left_cap_[u]) {
+      left_hole += left_cap_[u];
+    }
+  }
+  const std::uint64_t live = link_count_ + m;
+  if (left_waste_ + left_hole > live || right_waste_ + right_hole > live) {
+    return false;
+  }
+
+  // Right side: plan relocations serially (ascending id, deterministic
+  // tail), copy relocated member lists, then stable-scatter the batch by
+  // attribute so each list's new members land AFTER its live entries —
+  // input (time) order is preserved under the append contract.
+  reloc_right_.clear();
+  reloc_right_old_.clear();
+  base_.assign(right_count_, 0);
+  dense_right_.assign(right_count_ + 1, 0);
+  {
+    std::uint64_t tail = right_targets_.size();
+    for (std::size_t a = 0; a < right_count_; ++a) {
+      if (counts_[a] > 0 && right_len_[a] + counts_[a] > right_cap_[a]) {
+        reloc_right_.push_back(static_cast<AttrId>(a));
+        reloc_right_old_.push_back(right_start_[a]);
+        right_waste_ += right_cap_[a];
+        right_start_[a] = tail;
+        right_cap_[a] = static_cast<std::uint32_t>(
+            slack_capacity(right_len_[a] + counts_[a]));
+        tail += right_cap_[a];
+      }
+      base_[a] = right_start_[a] + right_len_[a];
+      dense_right_[a + 1] = dense_right_[a] + counts_[a];
+    }
+    right_targets_.resize(tail);
+  }
+  core::parallel_for(reloc_right_.size(), [&](std::size_t i) {
+    const AttrId a = reloc_right_[i];
+    const NodeId* old = right_targets_.data() + reloc_right_old_[i];
+    std::copy(old, old + right_len_[a],
+              right_targets_.data() + right_start_[a]);
+  });
+  by_attr_.scatter(
+      base_,
+      [&](std::size_t begin, std::size_t end, auto emit) {
+        for (std::size_t i = begin; i < end; ++i) emit(attrs[i], users[i]);
+      },
+      right_targets_.data());
+  for (std::size_t a = 0; a < right_count_; ++a) {
+    right_len_[a] += static_cast<std::uint32_t>(counts_[a]);
+  }
+
+  // Left side: joining users get fresh tail regions; overflowing users are
+  // relocated. The batch is walked attr-major (ascending attribute) and
+  // scattered by user into dense per-user runs — each run is the user's
+  // new attribute ids sorted ascending, ready for one merge per node.
+  left_start_.resize(new_left_count, 0);
+  left_cap_.resize(new_left_count, 0);
+  left_len_.resize(new_left_count, 0);
+  reloc_left_.assign(touched_left_.size(),
+                     std::numeric_limits<std::uint64_t>::max());
+  {
+    std::uint64_t tail = left_targets_.size();
+    for (std::size_t ti = 0; ti < touched_left_.size(); ++ti) {
+      const std::size_t u = touched_left_[ti];
+      if (u >= old_left) {
+        left_start_[u] = tail;
+        left_cap_[u] =
+            static_cast<std::uint32_t>(slack_capacity(add_left_[u]));
+        tail += left_cap_[u];
+      } else if (left_len_[u] + add_left_[u] > left_cap_[u]) {
+        reloc_left_[ti] = left_start_[u];
+        left_waste_ += left_cap_[u];
+        left_start_[u] = tail;
+        left_cap_[u] = static_cast<std::uint32_t>(
+            slack_capacity(left_len_[u] + add_left_[u]));
+        tail += left_cap_[u];
       }
     }
-    left_offsets_[left_count] = running;
+    left_targets_.resize(tail);
   }
-  left_targets_.resize(m);
-  core::parallel_for_chunks(
-      m, left_grain, [&](std::size_t begin, std::size_t end, std::size_t c) {
-        std::uint64_t* cursor = cursors_.data() + c * (left_count + 1);
-        // The attribute owning position `begin`: the last a with
-        // right_offsets_[a] <= begin (empty attributes collapse to equal
-        // offsets; the in-loop advance below skips them).
-        AttrId a = static_cast<AttrId>(
-            std::upper_bound(right_offsets_.begin(), right_offsets_.end(),
-                             begin) -
-            right_offsets_.begin() - 1);
-        for (std::size_t i = begin; i < end; ++i) {
-          while (i >= right_offsets_[a + 1]) ++a;
-          left_targets_[cursor[right_targets_[i]]++] = a;
-        }
-      });
+  left_count_ = new_left_count;
+
+  // The batch's attr-major walk: new ranks live in the freshly appended
+  // right segments, addressed by base_ and the batch's dense rank prefix.
+  const auto attr_major = [&](std::size_t begin, std::size_t end, auto&& fn) {
+    core::walk_keyed_regions(dense_right_, base_, begin, end, fn);
+  };
+  by_user_.count(
+      m, new_left_count,
+      [&](std::size_t begin, std::size_t end, auto emit) {
+        attr_major(begin, end, [&](std::uint64_t pos, AttrId) {
+          emit(right_targets_[pos]);
+        });
+      },
+      add_left_);
+  delta_left_base_.assign(new_left_count, 0);
+  {
+    std::uint64_t running = 0;
+    for (std::size_t u = 0; u < new_left_count; ++u) {
+      delta_left_base_[u] = running;
+      running += add_left_[u];
+    }
+  }
+  delta_left_attrs_.resize(m);
+  by_user_.scatter(
+      delta_left_base_,
+      [&](std::size_t begin, std::size_t end, auto emit) {
+        attr_major(begin, end, [&](std::uint64_t pos, AttrId a) {
+          emit(right_targets_[pos], a);
+        });
+      },
+      delta_left_attrs_.data());
+
+  core::parallel_for(touched_left_.size(), [&](std::size_t ti) {
+    const std::size_t u = touched_left_[ti];
+    const AttrId* batch = delta_left_attrs_.data() + delta_left_base_[u];
+    AttrId* region = left_targets_.data() + left_start_[u];
+    if (reloc_left_[ti] != std::numeric_limits<std::uint64_t>::max()) {
+      const AttrId* old = left_targets_.data() + reloc_left_[ti];
+      std::merge(old, old + left_len_[u], batch, batch + add_left_[u],
+                 region);
+    } else {
+      merge_sorted_tail(region, left_len_[u], batch, add_left_[u]);
+    }
+    left_len_[u] += static_cast<std::uint32_t>(add_left_[u]);
+  });
+  link_count_ += m;
+
+  delta_left_attrs_.clear();
+  touched_left_.clear();
+  reloc_left_.clear();
+  reloc_right_.clear();
+  reloc_right_old_.clear();
+  return true;
 }
 
 std::span<const AttrId> BipartiteCsr::attrs_of(NodeId u) const {
   if (u >= left_count_) {
     throw std::out_of_range("BipartiteCsr: unknown left node");
   }
-  return {left_targets_.data() + left_offsets_[u],
-          static_cast<std::size_t>(left_offsets_[u + 1] - left_offsets_[u])};
+  return {left_targets_.data() + left_start_[u],
+          static_cast<std::size_t>(left_len_[u])};
 }
 
 std::span<const NodeId> BipartiteCsr::members_of(AttrId a) const {
   if (a >= right_count_) {
     throw std::out_of_range("BipartiteCsr: unknown right node");
   }
-  return {right_targets_.data() + right_offsets_[a],
-          static_cast<std::size_t>(right_offsets_[a + 1] - right_offsets_[a])};
+  return {right_targets_.data() + right_start_[a],
+          static_cast<std::size_t>(right_len_[a])};
 }
 
 std::size_t BipartiteCsr::populated_right_count() const {
   std::size_t count = 0;
   for (AttrId a = 0; a < right_count_; ++a) {
-    if (right_offsets_[a + 1] > right_offsets_[a]) ++count;
+    if (right_len_[a] > 0) ++count;
   }
   return count;
 }

@@ -1,5 +1,6 @@
-// Immutable CSR form of a bipartite user<->attribute link set, the storage
-// behind SanSnapshot's attribute layer. Both sides are offset/target arrays:
+// CSR form of a bipartite user<->attribute link set, the storage behind
+// SanSnapshot's attribute layer. Both sides are offset/length/target
+// arrays:
 //
 //   left  (social node u):  attrs_of(u)   — attribute ids, sorted ascending,
 //                                           so set intersections are merges;
@@ -8,19 +9,25 @@
 //                                           of the source attribute log.
 //
 // Build cost is O(links + left_count + right_count) with counting sorts —
-// no comparison sort. Both scatter passes run chunked on the src/core/
-// substrate with two-level per-chunk cursors (each chunk owns a cursor row,
-// offset by every earlier chunk's counts), so they parallelize while
-// writing byte-identical arrays at any SAN_THREADS. `rebuild_from_links`
-// reuses the arrays' capacity, so a snapshot sweep that materializes one
-// snapshot per day touches the allocator only while the arrays are still
-// growing.
+// no comparison sort. The scatter passes run on the shared chunk-parallel
+// stable counting-sort engine (core/counting_scatter.hpp), so they
+// parallelize while writing byte-identical arrays at any SAN_THREADS.
+//
+// A `with_slack` build reserves amortized-doubling headroom per node
+// (graph/slack.hpp) so `append_links` can absorb whole days of new links
+// in place — the delta-sweep fast path. A node that outgrows its region is
+// RELOCATED to the array tail with doubled capacity (the old region
+// becomes tracked waste); only when accumulated waste would exceed the
+// live links does append refuse and the caller compacts with a full
+// rebuild. `rebuild_from_links` reuses the arrays' capacity, so a snapshot
+// sweep touches the allocator only while the arrays are still growing.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "core/counting_scatter.hpp"
 #include "graph/digraph.hpp"
 
 namespace san::graph {
@@ -40,10 +47,28 @@ class BipartiteCsr {
                                  std::span<const AttrId> attrs);
 
   /// Same as from_links but rebuilds in place, reusing this object's array
-  /// capacity (the sweep fast path).
+  /// capacity (the sweep fast path). `with_slack` builds the
+  /// append-friendly layout (graph/slack.hpp).
   void rebuild_from_links(std::size_t left_count, std::size_t right_count,
                           std::span<const NodeId> users,
-                          std::span<const AttrId> attrs);
+                          std::span<const AttrId> attrs,
+                          bool with_slack = false);
+
+  /// Append a batch of new links in place — the delta-sweep fast path. The
+  /// batch is given in input (time) order and must sort AFTER every link
+  /// already present (members_of stays in global time order only if later
+  /// batches hold later links); pairs must be unique against the existing
+  /// links. Users may reference the joining range
+  /// [left_count(), new_left_count); the right id space is fixed at build
+  /// time (it spans the whole source network). Nodes whose region
+  /// overflows are relocated with amortized-doubling capacity; append
+  /// returns false — leaving the structure UNCHANGED — only when the
+  /// relocation waste would exceed the live links, and the caller then
+  /// compacts with a full rebuild. Counting is chunk-parallel and per-node
+  /// merges write disjoint ranges, so results are byte-identical at any
+  /// SAN_THREADS count.
+  bool append_links(std::size_t new_left_count, std::span<const NodeId> users,
+                    std::span<const AttrId> attrs);
 
   std::size_t left_count() const { return left_count_; }
   std::size_t right_count() const { return right_count_; }
@@ -68,13 +93,27 @@ class BipartiteCsr {
   std::size_t left_count_ = 0;
   std::size_t right_count_ = 0;
   std::uint64_t link_count_ = 0;
-  std::vector<std::uint64_t> left_offsets_;
+  // Per-node regions: start slot, reserved capacity, live length. Starts
+  // are monotone after a build but relocation moves individual regions to
+  // the tail, so only (start, cap, len) is authoritative.
+  std::vector<std::uint64_t> left_start_, right_start_;
+  std::vector<std::uint32_t> left_cap_, right_cap_;
+  std::vector<std::uint32_t> left_len_, right_len_;
   std::vector<AttrId> left_targets_;
-  std::vector<std::uint64_t> right_offsets_;
   std::vector<NodeId> right_targets_;
-  // Per-chunk cursor rows for the parallel scatters; kept as a member so
-  // rebuild_from_links stays allocation-free in the sweep steady state.
-  std::vector<std::uint64_t> cursors_;
+  // Dead slots stranded by relocations; a full rebuild resets them.
+  std::uint64_t left_waste_ = 0, right_waste_ = 0;
+  // Scatter engines and bases, kept as members so rebuilds and steady-state
+  // appends stay allocation-free once the arrays reach their high-water
+  // capacity.
+  core::StableCountingScatter by_attr_, by_user_;
+  std::vector<std::uint64_t> counts_, base_, dense_right_;
+  std::vector<std::uint64_t> add_left_, delta_left_base_;
+  std::vector<AttrId> delta_left_attrs_;
+  std::vector<NodeId> touched_left_;
+  std::vector<std::uint64_t> reloc_left_;
+  std::vector<AttrId> reloc_right_;
+  std::vector<std::uint64_t> reloc_right_old_;
 };
 
 }  // namespace san::graph

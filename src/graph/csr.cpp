@@ -1,12 +1,16 @@
 #include "graph/csr.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 #include "core/parallel.hpp"
+#include "graph/slack.hpp"
 
 namespace san::graph {
 namespace {
+
+constexpr std::uint64_t kNoReloc = std::numeric_limits<std::uint64_t>::max();
 
 /// Sort-and-dedup an edge list; drops self loops.
 void canonicalize(std::vector<std::pair<NodeId, NodeId>>& edges) {
@@ -59,7 +63,8 @@ CsrGraph CsrGraph::build(std::size_t node_count,
 
 void CsrGraph::rebuild_from_sorted_edges(std::size_t node_count,
                                          std::span<const NodeId> srcs,
-                                         std::span<const NodeId> dsts) {
+                                         std::span<const NodeId> dsts,
+                                         bool with_slack) {
   if (srcs.size() != dsts.size()) {
     throw std::invalid_argument("CsrGraph: srcs/dsts size mismatch");
   }
@@ -72,8 +77,8 @@ void CsrGraph::rebuild_from_sorted_edges(std::size_t node_count,
     if (i > 0 && srcs[i] == srcs[i - 1] && dsts[i] == dsts[i - 1]) return false;
     return true;
   };
-  out_offsets_.assign(node_count + 1, 0);
-  in_offsets_.assign(node_count + 1, 0);
+  out_len_.assign(node_count, 0);
+  in_len_.assign(node_count, 0);
   std::uint64_t kept = 0;
   for (std::size_t i = 0; i < m; ++i) {
     if (srcs[i] >= node_count || dsts[i] >= node_count) {
@@ -84,33 +89,137 @@ void CsrGraph::rebuild_from_sorted_edges(std::size_t node_count,
       throw std::invalid_argument("CsrGraph: edges not sorted by (src, dst)");
     }
     if (!keep(i)) continue;
-    ++out_offsets_[srcs[i] + 1];
-    ++in_offsets_[dsts[i] + 1];
+    ++out_len_[srcs[i]];
+    ++in_len_[dsts[i]];
     ++kept;
   }
-  node_count_ = node_count;
   edge_count_ = kept;
-  for (std::size_t i = 1; i <= node_count; ++i) {
-    out_offsets_[i] += out_offsets_[i - 1];
-    in_offsets_[i] += in_offsets_[i - 1];
+  // The append scratch is empty outside append_sorted_links; reuse it for
+  // the offset prefixes so repeated rebuilds recycle capacity.
+  auto& out_offsets = delta_out_base_;
+  auto& in_offsets = delta_in_base_;
+  out_offsets.assign(node_count + 1, 0);
+  in_offsets.assign(node_count + 1, 0);
+  for (std::size_t u = 0; u < node_count; ++u) {
+    const std::size_t out_cap =
+        with_slack ? slack_capacity(out_len_[u]) : out_len_[u];
+    const std::size_t in_cap =
+        with_slack ? slack_capacity(in_len_[u]) : in_len_[u];
+    out_offsets[u + 1] = out_offsets[u] + out_cap;
+    in_offsets[u + 1] = in_offsets[u] + in_cap;
   }
+  adopt_layout(node_count, out_offsets, in_offsets);
 
   // Outgoing lists fill in input order (already dst-sorted per src); the
   // incoming scatter visits sources in ascending order per target, so
   // in-lists come out sorted as well.
-  out_targets_.resize(kept);
-  in_targets_.resize(kept);
+  out_targets_.resize(out_offsets.back());
+  in_targets_.resize(in_offsets.back());
   {
-    std::uint64_t out_cursor = 0;  // out lists are contiguous in input order
-    std::vector<std::uint64_t> in_cursor(in_offsets_.begin(),
-                                         in_offsets_.end() - 1);
+    // Src-major input: one running out cursor that jumps to the node's
+    // storage start whenever the source changes.
+    bool have_src = false;
+    NodeId cur_src = 0;
+    std::uint64_t out_cursor = 0;
+    std::vector<std::uint64_t> in_cursor(in_start_.begin(), in_start_.end());
     for (std::size_t i = 0; i < m; ++i) {
       if (!keep(i)) continue;
+      if (!have_src || srcs[i] != cur_src) {
+        have_src = true;
+        cur_src = srcs[i];
+        out_cursor = out_start_[cur_src];
+      }
       out_targets_[out_cursor++] = dsts[i];
       in_targets_[in_cursor[dsts[i]]++] = srcs[i];
     }
   }
+  out_offsets.clear();
+  in_offsets.clear();
 
+  build_neighbor_view();
+}
+
+void CsrGraph::adopt_layout(std::size_t node_count,
+                            std::span<const std::uint64_t> out_offsets,
+                            std::span<const std::uint64_t> in_offsets) {
+  node_count_ = node_count;
+  out_start_.resize(node_count);
+  out_cap_.resize(node_count);
+  in_start_.resize(node_count);
+  in_cap_.resize(node_count);
+  nbr_start_.resize(node_count);
+  nbr_cap_.resize(node_count);
+  for (std::size_t u = 0; u < node_count; ++u) {
+    out_start_[u] = out_offsets[u];
+    out_cap_[u] = static_cast<std::uint32_t>(out_offsets[u + 1] -
+                                             out_offsets[u]);
+    in_start_[u] = in_offsets[u];
+    in_cap_[u] = static_cast<std::uint32_t>(in_offsets[u + 1] -
+                                            in_offsets[u]);
+    // Each node's neighbor region sits at its worst-case slot (out + in
+    // capacity prefix), disjoint by the offsets' monotonicity.
+    nbr_start_[u] = out_offsets[u] + in_offsets[u];
+    nbr_cap_[u] = out_cap_[u] + in_cap_[u];
+  }
+  out_waste_ = 0;
+  in_waste_ = 0;
+  nbr_waste_ = 0;
+}
+
+void CsrGraph::adopt_adjacency(std::size_t node_count,
+                               std::span<const std::uint64_t> out_offsets,
+                               std::vector<std::uint32_t>& out_len,
+                               std::vector<NodeId>& out_targets,
+                               std::span<const std::uint64_t> in_offsets,
+                               std::vector<std::uint32_t>& in_len,
+                               std::vector<NodeId>& in_targets) {
+  if (out_offsets.size() != node_count + 1 ||
+      in_offsets.size() != node_count + 1 || out_len.size() != node_count ||
+      in_len.size() != node_count || out_offsets.front() != 0 ||
+      in_offsets.front() != 0 || out_offsets.back() != out_targets.size() ||
+      in_offsets.back() != in_targets.size()) {
+    throw std::invalid_argument("CsrGraph::adopt_adjacency: bad shape");
+  }
+  std::uint64_t out_total = 0, in_total = 0;
+  for (std::size_t u = 0; u < node_count; ++u) {
+    if (out_offsets[u + 1] < out_offsets[u] ||
+        in_offsets[u + 1] < in_offsets[u]) {
+      throw std::invalid_argument(
+          "CsrGraph::adopt_adjacency: offsets not monotone");
+    }
+    if (out_offsets[u] + out_len[u] > out_offsets[u + 1] ||
+        in_offsets[u] + in_len[u] > in_offsets[u + 1]) {
+      throw std::invalid_argument(
+          "CsrGraph::adopt_adjacency: length exceeds node capacity");
+    }
+    out_total += out_len[u];
+    in_total += in_len[u];
+  }
+  if (out_total != in_total) {
+    throw std::invalid_argument(
+        "CsrGraph::adopt_adjacency: out/in edge totals disagree");
+  }
+#ifndef NDEBUG
+  for (std::size_t u = 0; u < node_count; ++u) {
+    for (const bool out_side : {true, false}) {
+      const auto& off = out_side ? out_offsets : in_offsets;
+      const auto& len = out_side ? out_len : in_len;
+      const auto& arr = out_side ? out_targets : in_targets;
+      for (std::uint64_t i = off[u]; i + 1 < off[u] + len[u]; ++i) {
+        if (arr[i] >= arr[i + 1]) {
+          throw std::invalid_argument(
+              "CsrGraph::adopt_adjacency: unsorted adjacency");
+        }
+      }
+    }
+  }
+#endif
+  edge_count_ = out_total;
+  adopt_layout(node_count, out_offsets, in_offsets);
+  std::swap(out_len_, out_len);
+  std::swap(out_targets_, out_targets);
+  std::swap(in_len_, in_len);
+  std::swap(in_targets_, in_targets);
   build_neighbor_view();
 }
 
@@ -120,70 +229,244 @@ void CsrGraph::adopt_sorted_adjacency(std::size_t node_count,
                                       std::vector<std::uint64_t>& in_offsets,
                                       std::vector<NodeId>& in_targets) {
   if (out_offsets.size() != node_count + 1 ||
-      in_offsets.size() != node_count + 1 ||
-      out_offsets.front() != 0 || in_offsets.front() != 0 ||
-      out_offsets.back() != out_targets.size() ||
-      in_offsets.back() != in_targets.size() ||
-      out_targets.size() != in_targets.size()) {
+      in_offsets.size() != node_count + 1) {
     throw std::invalid_argument("CsrGraph::adopt_sorted_adjacency: bad shape");
   }
-#ifndef NDEBUG
+  std::vector<std::uint32_t> out_len(node_count), in_len(node_count);
   for (std::size_t u = 0; u < node_count; ++u) {
-    for (const auto* arr : {&out_targets, &in_targets}) {
-      const auto& off = arr == &out_targets ? out_offsets : in_offsets;
-      for (std::uint64_t i = off[u]; i + 1 < off[u + 1]; ++i) {
-        if ((*arr)[i] >= (*arr)[i + 1]) {
-          throw std::invalid_argument(
-              "CsrGraph::adopt_sorted_adjacency: unsorted adjacency");
-        }
-      }
+    if (out_offsets[u + 1] < out_offsets[u] ||
+        in_offsets[u + 1] < in_offsets[u]) {
+      throw std::invalid_argument(
+          "CsrGraph::adopt_sorted_adjacency: offsets not monotone");
+    }
+    out_len[u] =
+        static_cast<std::uint32_t>(out_offsets[u + 1] - out_offsets[u]);
+    in_len[u] = static_cast<std::uint32_t>(in_offsets[u + 1] - in_offsets[u]);
+  }
+  adopt_adjacency(node_count, out_offsets, out_len, out_targets, in_offsets,
+                  in_len, in_targets);
+}
+
+bool CsrGraph::append_sorted_links(std::size_t new_node_count,
+                                   std::span<const NodeId> srcs,
+                                   std::span<const NodeId> dsts) {
+  if (srcs.size() != dsts.size()) {
+    throw std::invalid_argument("CsrGraph::append: srcs/dsts size mismatch");
+  }
+  if (new_node_count < node_count_) {
+    throw std::invalid_argument("CsrGraph::append: node count may not shrink");
+  }
+  const std::size_t m = srcs.size();
+  const std::size_t old_n = node_count_;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (srcs[i] >= new_node_count || dsts[i] >= new_node_count) {
+      throw std::out_of_range("CsrGraph::append: node id out of range");
+    }
+    if (srcs[i] == dsts[i]) {
+      throw std::invalid_argument("CsrGraph::append: self loop");
+    }
+    if (i > 0 && (srcs[i] < srcs[i - 1] ||
+                  (srcs[i] == srcs[i - 1] && dsts[i] <= dsts[i - 1]))) {
+      throw std::invalid_argument(
+          "CsrGraph::append: edges not sorted by (src, dst)");
     }
   }
-#endif
-  node_count_ = node_count;
-  edge_count_ = out_targets.size();
-  std::swap(out_offsets_, out_offsets);
-  std::swap(out_targets_, out_targets);
-  std::swap(in_offsets_, in_offsets);
-  std::swap(in_targets_, in_targets);
-  build_neighbor_view();
+
+  // Chunk-parallel counts of the new links per endpoint.
+  append_by_src_.count(
+      m, new_node_count,
+      [&](std::size_t begin, std::size_t end, auto emit) {
+        for (std::size_t i = begin; i < end; ++i) emit(srcs[i]);
+      },
+      add_out_);
+  append_by_dst_.count(
+      m, new_node_count,
+      [&](std::size_t begin, std::size_t end, auto emit) {
+        for (std::size_t i = begin; i < end; ++i) emit(dsts[i]);
+      },
+      add_in_);
+
+  // Waste policy check BEFORE any mutation: relocating every overflowing
+  // region must not strand more dead slots than there are live entries —
+  // past that point a compacting rebuild is cheaper, so refuse and leave
+  // the graph untouched for the caller.
+  touched_.clear();
+  std::uint64_t out_hole = 0, in_hole = 0, nbr_hole = 0;
+  for (std::size_t u = 0; u < new_node_count; ++u) {
+    if (add_out_[u] == 0 && add_in_[u] == 0) continue;
+    touched_.push_back(static_cast<NodeId>(u));
+    if (u < old_n) {
+      const bool move_out = out_len_[u] + add_out_[u] > out_cap_[u];
+      const bool move_in = in_len_[u] + add_in_[u] > in_cap_[u];
+      if (move_out) out_hole += out_cap_[u];
+      if (move_in) in_hole += in_cap_[u];
+      if (move_out || move_in) nbr_hole += nbr_cap_[u];
+    }
+  }
+  const std::uint64_t live = edge_count_ + m;
+  if (out_waste_ + out_hole > live || in_waste_ + in_hole > live ||
+      nbr_waste_ + nbr_hole > 2 * live) {
+    return false;
+  }
+
+  // Plan relocations and joining-node regions serially in ascending id
+  // order (deterministic tails), then grow the arrays once.
+  out_start_.resize(new_node_count, 0);
+  out_cap_.resize(new_node_count, 0);
+  out_len_.resize(new_node_count, 0);
+  in_start_.resize(new_node_count, 0);
+  in_cap_.resize(new_node_count, 0);
+  in_len_.resize(new_node_count, 0);
+  nbr_start_.resize(new_node_count, 0);
+  nbr_cap_.resize(new_node_count, 0);
+  nbr_len_.resize(new_node_count, 0);
+  std::uint64_t out_tail = out_targets_.size();
+  std::uint64_t in_tail = in_targets_.size();
+  std::uint64_t nbr_tail = nbr_targets_.size();
+  reloc_out_.assign(touched_.size(), kNoReloc);
+  reloc_in_.assign(touched_.size(), kNoReloc);
+  for (std::size_t ti = 0; ti < touched_.size(); ++ti) {
+    const std::size_t u = touched_[ti];
+    if (u >= old_n) {
+      out_start_[u] = out_tail;
+      out_cap_[u] = static_cast<std::uint32_t>(
+          slack_capacity(add_out_[u]));
+      out_tail += out_cap_[u];
+      in_start_[u] = in_tail;
+      in_cap_[u] = static_cast<std::uint32_t>(slack_capacity(add_in_[u]));
+      in_tail += in_cap_[u];
+      nbr_start_[u] = nbr_tail;
+      nbr_cap_[u] = out_cap_[u] + in_cap_[u];
+      nbr_tail += nbr_cap_[u];
+      continue;
+    }
+    const bool move_out = out_len_[u] + add_out_[u] > out_cap_[u];
+    const bool move_in = in_len_[u] + add_in_[u] > in_cap_[u];
+    if (move_out) {
+      reloc_out_[ti] = out_start_[u];
+      out_waste_ += out_cap_[u];
+      out_start_[u] = out_tail;
+      out_cap_[u] = static_cast<std::uint32_t>(
+          slack_capacity(out_len_[u] + add_out_[u]));
+      out_tail += out_cap_[u];
+    }
+    if (move_in) {
+      reloc_in_[ti] = in_start_[u];
+      in_waste_ += in_cap_[u];
+      in_start_[u] = in_tail;
+      in_cap_[u] = static_cast<std::uint32_t>(
+          slack_capacity(in_len_[u] + add_in_[u]));
+      in_tail += in_cap_[u];
+    }
+    if (move_out || move_in) {
+      nbr_waste_ += nbr_cap_[u];
+      nbr_start_[u] = nbr_tail;
+      nbr_cap_[u] = out_cap_[u] + in_cap_[u];
+      nbr_tail += nbr_cap_[u];
+    }
+  }
+  node_count_ = new_node_count;
+  out_targets_.resize(out_tail);
+  in_targets_.resize(in_tail);
+  nbr_targets_.resize(nbr_tail);
+
+  // Out side: the batch is src-major, so each node's new targets are a
+  // contiguous ascending run addressed by the dense prefix of add_out_.
+  // In side: one stable scatter by dst yields per-target source runs in
+  // ascending order (stable over the src-sorted input).
+  delta_out_base_.assign(new_node_count, 0);
+  delta_in_base_.assign(new_node_count, 0);
+  {
+    std::uint64_t out_run = 0, in_run = 0;
+    for (std::size_t u = 0; u < new_node_count; ++u) {
+      delta_out_base_[u] = out_run;
+      delta_in_base_[u] = in_run;
+      out_run += add_out_[u];
+      in_run += add_in_[u];
+    }
+  }
+  delta_in_src_.resize(m);
+  append_by_dst_.scatter(
+      delta_in_base_,
+      [&](std::size_t begin, std::size_t end, auto emit) {
+        for (std::size_t i = begin; i < end; ++i) emit(dsts[i], srcs[i]);
+      },
+      delta_in_src_.data());
+
+  // Per-node work is independent (disjoint regions) — one parallel pass
+  // merges both sides and refreshes the neighbor union, byte-identical at
+  // any thread count.
+  core::parallel_for(touched_.size(), [&](std::size_t ti) {
+    const std::size_t u = touched_[ti];
+    if (add_out_[u] > 0 || reloc_out_[ti] != kNoReloc) {
+      const NodeId* batch = dsts.data() + delta_out_base_[u];
+      NodeId* region = out_targets_.data() + out_start_[u];
+      if (reloc_out_[ti] != kNoReloc) {
+        const NodeId* old = out_targets_.data() + reloc_out_[ti];
+        std::merge(old, old + out_len_[u], batch, batch + add_out_[u],
+                   region);
+      } else {
+        merge_sorted_tail(region, out_len_[u], batch, add_out_[u]);
+      }
+      out_len_[u] += static_cast<std::uint32_t>(add_out_[u]);
+    }
+    if (add_in_[u] > 0 || reloc_in_[ti] != kNoReloc) {
+      const NodeId* batch = delta_in_src_.data() + delta_in_base_[u];
+      NodeId* region = in_targets_.data() + in_start_[u];
+      if (reloc_in_[ti] != kNoReloc) {
+        const NodeId* old = in_targets_.data() + reloc_in_[ti];
+        std::merge(old, old + in_len_[u], batch, batch + add_in_[u], region);
+      } else {
+        merge_sorted_tail(region, in_len_[u], batch, add_in_[u]);
+      }
+      in_len_[u] += static_cast<std::uint32_t>(add_in_[u]);
+    }
+    rebuild_neighbors_of(u);
+  });
+  edge_count_ += m;
+
+  delta_in_src_.clear();
+  touched_.clear();
+  reloc_out_.clear();
+  reloc_in_.clear();
+  return true;
+}
+
+void CsrGraph::rebuild_neighbors_of(std::size_t u) {
+  const auto o = out(static_cast<NodeId>(u));
+  const auto i = in(static_cast<NodeId>(u));
+  const auto begin =
+      nbr_targets_.begin() + static_cast<std::ptrdiff_t>(nbr_start_[u]);
+  const auto end = std::set_union(o.begin(), o.end(), i.begin(), i.end(),
+                                  begin);
+  nbr_len_[u] = static_cast<std::uint32_t>(end - begin);
 }
 
 void CsrGraph::build_neighbor_view() {
   // Undirected neighbor view: per-node set_union of the two sorted lists,
-  // written at each node's worst-case offset (out-degree + in-degree prefix,
-  // disjoint by construction) — one chunked merge pass, no counting
-  // prescan, byte-identical at any thread count.
-  const std::size_t node_count = node_count_;
-  nbr_len_.resize(node_count);
-  nbr_targets_.resize(2 * edge_count_);
-  core::parallel_for(node_count, [&](std::size_t u) {
-    const auto o = out(static_cast<NodeId>(u));
-    const auto i = in(static_cast<NodeId>(u));
-    const auto begin = nbr_targets_.begin() +
-                       static_cast<std::ptrdiff_t>(out_offsets_[u] +
-                                                   in_offsets_[u]);
-    const auto end = std::set_union(o.begin(), o.end(), i.begin(), i.end(),
-                                    begin);
-    nbr_len_[u] = static_cast<std::uint32_t>(end - begin);
-  });
+  // written at each node's worst-case region — one chunked merge pass, no
+  // counting prescan, byte-identical at any thread count.
+  nbr_len_.resize(node_count_);
+  nbr_targets_.resize(out_targets_.size() + in_targets_.size());
+  core::parallel_for(node_count_,
+                     [&](std::size_t u) { rebuild_neighbors_of(u); });
 }
 
 std::span<const NodeId> CsrGraph::out(NodeId u) const {
   if (u >= node_count_) throw std::out_of_range("CsrGraph: unknown node id");
-  return {out_targets_.data() + out_offsets_[u],
-          static_cast<std::size_t>(out_offsets_[u + 1] - out_offsets_[u])};
+  return {out_targets_.data() + out_start_[u],
+          static_cast<std::size_t>(out_len_[u])};
 }
 
 std::span<const NodeId> CsrGraph::in(NodeId u) const {
   if (u >= node_count_) throw std::out_of_range("CsrGraph: unknown node id");
-  return {in_targets_.data() + in_offsets_[u],
-          static_cast<std::size_t>(in_offsets_[u + 1] - in_offsets_[u])};
+  return {in_targets_.data() + in_start_[u],
+          static_cast<std::size_t>(in_len_[u])};
 }
 
 std::span<const NodeId> CsrGraph::neighbors(NodeId u) const {
   if (u >= node_count_) throw std::out_of_range("CsrGraph: unknown node id");
-  return {nbr_targets_.data() + out_offsets_[u] + in_offsets_[u], nbr_len_[u]};
+  return {nbr_targets_.data() + nbr_start_[u], nbr_len_[u]};
 }
 
 bool CsrGraph::has_edge(NodeId u, NodeId v) const {

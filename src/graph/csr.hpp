@@ -1,16 +1,34 @@
-// Immutable compressed-sparse-row snapshot of a directed graph. All metric
-// code operates on this form: adjacency is sorted (binary-searchable) and
-// an undirected neighbor view (the paper's Γs(u)) is precomputed.
+// Compressed-sparse-row snapshot of a directed graph. All metric code
+// operates on this form: adjacency is sorted (binary-searchable) and an
+// undirected neighbor view (the paper's Γs(u)) is precomputed.
 //
-// Two build paths exist. `from_edges` canonicalizes an arbitrary edge list
-// (comparison sort + dedup). `from_sorted_edges` / `rebuild_from_sorted_edges`
-// accept edges already sorted by (src, dst) and build all three adjacency
-// views in O(edges + nodes) with no comparison sort — the SanTimeline
-// snapshot fast path, which radix-orders a time-prefix slice and rebuilds
-// into the same CsrGraph to reuse array capacity across a sweep. The
-// undirected neighbor merge, the dominant cost, runs chunked on the
-// src/core/ substrate (per-node disjoint writes, byte-identical at any
-// thread count).
+// Layout: node u's out list lives at [out_start_[u], +out_len_[u]) inside a
+// reserved region of out_cap_[u] slots in out_targets_ (in and neighbor
+// views mirror this). A DENSE build packs the regions (cap == len); a
+// SLACK build (graph/slack.hpp) reserves amortized-doubling headroom per
+// node so whole days of links can be appended in place — the delta-sweep
+// fast path of san/timeline.hpp. When one node outgrows its region,
+// `append_sorted_links` RELOCATES just that node's list to the array tail
+// with doubled capacity (the old region becomes tracked waste) instead of
+// rebuilding the world; only when accumulated waste would exceed the live
+// entries does it refuse, and the caller compacts with a full rebuild.
+// Readers never see any of this: every accessor is bounded by the length
+// arrays.
+//
+// Build paths:
+//   - `from_edges` canonicalizes an arbitrary edge list (comparison sort +
+//     dedup);
+//   - `from_sorted_edges` / `rebuild_from_sorted_edges` accept edges sorted
+//     by (src, dst) and build all three adjacency views in O(edges + nodes)
+//     with no comparison sort;
+//   - `adopt_adjacency` swaps in externally built length/target arrays (the
+//     SanTimeline fast path — big-buffer ping-pong, zero steady-state
+//     allocation);
+//   - `append_sorted_links` merges a sorted batch of new edges into the
+//     per-node regions (chunk-parallel counting, per-node merges).
+//
+// The undirected neighbor merge runs chunked on the src/core/ substrate
+// (per-node disjoint writes, byte-identical at any thread count).
 #pragma once
 
 #include <cstdint>
@@ -18,6 +36,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/counting_scatter.hpp"
 #include "graph/digraph.hpp"
 
 namespace san::graph {
@@ -39,23 +58,56 @@ class CsrGraph {
 
   /// Structure-of-arrays variant of from_sorted_edges that rebuilds in
   /// place, reusing this object's array capacity (the sweep fast path).
+  /// `with_slack` builds the append-friendly layout (graph/slack.hpp)
+  /// instead of packing the regions densely.
   void rebuild_from_sorted_edges(std::size_t node_count,
                                  std::span<const NodeId> srcs,
-                                 std::span<const NodeId> dsts);
+                                 std::span<const NodeId> dsts,
+                                 bool with_slack = false);
 
-  /// Expert fast path (SanTimeline): adopt externally built out/in adjacency
-  /// by SWAPPING buffers — on return the arguments hold this graph's
-  /// previous arrays, so a sweep ping-pongs two buffer sets with zero
-  /// steady-state allocation. Offsets must be prefix sums over node_count+1
-  /// entries and each per-node target list must be sorted, unique, and
-  /// loop-free; cheap shape invariants are always checked, full sortedness
-  /// only in debug builds. The undirected neighbor view is rebuilt here
-  /// (chunked on the core substrate).
+  /// Expert fast path (SanTimeline): adopt externally built out/in
+  /// adjacency. The length and target vectors are SWAPPED in — on return
+  /// they hold this graph's previous arrays, so a sweep ping-pongs two
+  /// buffer sets with zero steady-state allocation; the offset vectors are
+  /// only read. Offsets are monotone per-node storage starts over
+  /// node_count+1 entries (dense prefix sums or a slack layout with
+  /// offsets[u+1] - offsets[u] slots reserved for u); lengths give the live
+  /// entries per node and each live per-node target range must be sorted,
+  /// unique, and loop-free. Cheap shape invariants are always checked,
+  /// full sortedness only in debug builds. The undirected neighbor view is
+  /// rebuilt here (chunked on the core substrate).
+  void adopt_adjacency(std::size_t node_count,
+                       std::span<const std::uint64_t> out_offsets,
+                       std::vector<std::uint32_t>& out_len,
+                       std::vector<NodeId>& out_targets,
+                       std::span<const std::uint64_t> in_offsets,
+                       std::vector<std::uint32_t>& in_len,
+                       std::vector<NodeId>& in_targets);
+
+  /// Dense-layout compatibility wrapper for adopt_adjacency: offsets must
+  /// be exact prefix sums (no slack); lengths are derived here. Target
+  /// vectors are swapped, offsets only read.
   void adopt_sorted_adjacency(std::size_t node_count,
                               std::vector<std::uint64_t>& out_offsets,
                               std::vector<NodeId>& out_targets,
                               std::vector<std::uint64_t>& in_offsets,
                               std::vector<NodeId>& in_targets);
+
+  /// Append a batch of new edges in place — the delta-sweep fast path. The
+  /// batch must be sorted by (src, dst), free of self loops, and disjoint
+  /// from both itself and the edges already present (the SAN link log
+  /// guarantees uniqueness at insert time); ids must be < new_node_count
+  /// >= node_count(). Nodes in [node_count(), new_node_count) are appended
+  /// with fresh slack; an existing node whose region overflows is
+  /// relocated to the tail with amortized-doubling capacity. Returns false
+  /// — leaving the graph UNCHANGED — only when the relocation waste would
+  /// exceed the live entries; the caller then compacts with a full
+  /// (re-slacked) rebuild. Counting is chunk-parallel and the per-node
+  /// merges write disjoint ranges, so results are byte-identical at any
+  /// SAN_THREADS count.
+  bool append_sorted_links(std::size_t new_node_count,
+                           std::span<const NodeId> srcs,
+                           std::span<const NodeId> dsts);
 
   std::size_t node_count() const { return node_count_; }
   std::uint64_t edge_count() const { return edge_count_; }
@@ -78,22 +130,37 @@ class CsrGraph {
   static CsrGraph build(std::size_t node_count,
                         std::vector<std::pair<NodeId, NodeId>> edges);
 
-  /// Recompute nbr_len_/nbr_targets_ from the out/in views.
+  /// Reset start/cap/len bookkeeping from monotone offsets (build paths).
+  void adopt_layout(std::size_t node_count,
+                    std::span<const std::uint64_t> out_offsets,
+                    std::span<const std::uint64_t> in_offsets);
+  /// Recompute nbr_len_/nbr_targets_ for every node.
   void build_neighbor_view();
+  /// Rebuild the neighbor union of one node into its (fixed) region.
+  void rebuild_neighbors_of(std::size_t u);
 
   std::size_t node_count_ = 0;
   std::uint64_t edge_count_ = 0;
-  std::vector<std::uint64_t> out_offsets_;
-  std::vector<NodeId> out_targets_;
-  std::vector<std::uint64_t> in_offsets_;
-  std::vector<NodeId> in_targets_;
-  // Neighbor view with per-node slack: node u's union of out/in lists lives
-  // at [out_offsets_[u] + in_offsets_[u], +nbr_len_[u]) in nbr_targets_ —
-  // the start is each node's worst case (disjoint by construction), so the
-  // union is built in ONE parallel merge pass with no counting prescan, at
-  // the cost of gaps where links are reciprocated.
-  std::vector<std::uint32_t> nbr_len_;
-  std::vector<NodeId> nbr_targets_;
+  // Per-node regions: start slot, reserved capacity, live length. Starts
+  // are monotone after a build but relocation moves individual regions to
+  // the tail, so only (start, cap, len) is authoritative.
+  std::vector<std::uint64_t> out_start_, in_start_, nbr_start_;
+  std::vector<std::uint32_t> out_cap_, in_cap_, nbr_cap_;
+  std::vector<std::uint32_t> out_len_, in_len_, nbr_len_;
+  std::vector<NodeId> out_targets_, in_targets_, nbr_targets_;
+  // Dead slots stranded by relocations; a full rebuild resets them.
+  std::uint64_t out_waste_ = 0, in_waste_ = 0, nbr_waste_ = 0;
+
+  // append_sorted_links scratch (the base vectors double as
+  // rebuild_from_sorted_edges' offset prefixes), kept as members so
+  // steady-state appends — one batch per swept day — recycle capacity
+  // instead of allocating. All are empty outside a call.
+  core::StableCountingScatter append_by_src_, append_by_dst_;
+  std::vector<std::uint64_t> add_out_, add_in_;
+  std::vector<std::uint64_t> delta_out_base_, delta_in_base_;
+  std::vector<NodeId> delta_in_src_;
+  std::vector<NodeId> touched_;
+  std::vector<std::uint64_t> reloc_out_, reloc_in_;  // old starts, ~0 = none
 };
 
 }  // namespace san::graph

@@ -1,0 +1,48 @@
+// Amortized-doubling slack policy shared by the append-in-place CSR
+// layouts (graph/csr.hpp, graph/bipartite_csr.hpp).
+//
+// A slack build reserves `slack_capacity(len)` slots per node instead of
+// exactly `len`: the list can absorb up to max(len, kMinNodeSlack) appended
+// entries before the structure reports exhaustion and the owner falls back
+// to a full rebuild (which re-reserves against the new lengths). Doubling
+// the headroom on every rebuild makes the total append work over a
+// monotone growth sweep amortized O(final size); the minimum term keeps
+// brand-new (empty) nodes appendable without an immediate rebuild.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <stdexcept>
+
+namespace san::graph {
+
+inline constexpr std::size_t kMinNodeSlack = 4;
+
+inline std::size_t slack_capacity(std::size_t len) {
+  return len + std::max(len, kMinNodeSlack);
+}
+
+/// Backward in-place merge of the sorted batch `add` into the sorted list
+/// base[0, len), which must have room for len + add_len entries (the
+/// node's slack). Merging from the back never overwrites unread input, so
+/// no temporary is needed. Inputs are disjoint by the append contract
+/// (debug-checked).
+template <typename T>
+void merge_sorted_tail(T* base, std::size_t len, const T* add,
+                       std::size_t add_len) {
+  std::size_t i = len, j = add_len, w = len + add_len;
+  while (j > 0) {
+    if (i > 0 && base[i - 1] > add[j - 1]) {
+      base[--w] = base[--i];
+    } else {
+#ifndef NDEBUG
+      if (i > 0 && base[i - 1] == add[j - 1]) {
+        throw std::invalid_argument("merge_sorted_tail: entry already present");
+      }
+#endif
+      base[--w] = add[--j];
+    }
+  }
+}
+
+}  // namespace san::graph

@@ -3,6 +3,11 @@
 #include <algorithm>
 #include <limits>
 #include <numeric>
+#include <utility>
+
+#include "core/counting_scatter.hpp"
+#include "core/parallel.hpp"
+#include "graph/slack.hpp"
 
 namespace san {
 namespace {
@@ -18,18 +23,46 @@ std::vector<std::uint64_t> stable_order_by_time(std::span<const double> times) {
   return order;
 }
 
+std::size_t prefix_at(std::span<const double> times, double time) {
+  return static_cast<std::size_t>(
+      std::upper_bound(times.begin(), times.end(), time) - times.begin());
+}
+
 }  // namespace
 
 struct SanTimeline::Scratch {
-  std::vector<NodeId> f_src, f_dst;  // filtered slice, time order
-  std::vector<NodeId> g_src, g_dst;  // src-major intermediate
-  std::vector<std::uint64_t> cursor;
-  // Ping-pong buffers swapped with the snapshot's CsrGraph by
-  // adopt_sorted_adjacency, so a sweep reuses both sets' capacity.
-  std::vector<std::uint64_t> out_offsets, in_offsets;
+  // Social CSR build: shared counting-scatter engines plus the arrays
+  // handed to the snapshot's CsrGraph by buffer swap (adopt_adjacency), so
+  // a sweep ping-pongs two buffer sets with zero steady-state allocation.
+  core::StableCountingScatter by_src, by_dst, by_rank;
+  std::vector<std::uint64_t> counts;
+  std::vector<NodeId> f_src_store, f_dst_store;  // compacted slice (drops)
+  std::vector<NodeId> g_dst;  // src-major dst sequence, dense ranks
+  std::vector<std::uint64_t> out_off, in_off;  // storage starts (cap prefix)
+  std::vector<std::uint32_t> out_len, in_len;
   std::vector<NodeId> out_targets, in_targets;
-  std::vector<NodeId> users;  // filtered attribute links, time order
+  std::vector<std::uint64_t> dense_out, dense_in;  // dense rank prefixes
+  // Attribute links: filtered prefix, time order.
+  std::vector<NodeId> users;
   std::vector<AttrId> attrs;
+
+  // Delta-sweep state: which snapshot this scratch last produced, the log
+  // prefixes it covers, and every logged link it had to drop (those
+  // activate later, when their missing endpoint joins or gets created).
+  bool delta_valid = false;
+  const SanSnapshot* delta_snap = nullptr;
+  double delta_time = 0.0;
+  std::size_t n_social = 0;
+  std::size_t edge_prefix = 0;
+  std::size_t link_prefix = 0;
+  std::size_t created_prefix = 0;
+  std::vector<std::pair<NodeId, NodeId>> deferred_edges;
+  std::vector<std::pair<NodeId, AttrId>> deferred_attr;
+  // advance() working sets.
+  std::vector<std::pair<NodeId, NodeId>> delta_edges;
+  std::vector<NodeId> delta_src, delta_dst;
+  std::vector<NodeId> delta_users;
+  std::vector<AttrId> delta_attrs;
 };
 
 SanTimeline::~SanTimeline() = default;
@@ -40,7 +73,11 @@ SanTimeline::Materializer::Materializer(const SanTimeline& timeline)
 SanTimeline::Materializer::~Materializer() = default;
 
 void SanTimeline::Materializer::materialize(double time, SanSnapshot& snap) {
-  timeline_->materialize(time, snap, *scratch_);
+  timeline_->materialize(time, snap, *scratch_, /*slack=*/false);
+}
+
+void SanTimeline::Materializer::advance(double time, SanSnapshot& snap) {
+  timeline_->advance(time, snap, *scratch_);
 }
 
 SanTimeline::SanTimeline(const SocialAttributeNetwork& network) {
@@ -90,6 +127,15 @@ SanTimeline::SanTimeline(const SocialAttributeNetwork& network) {
     attr_types_.push_back(network.attribute_type(a));
     attr_times_.push_back(network.attribute_node_time(a));
   }
+  {
+    const auto order = stable_order_by_time(attr_times_);
+    attr_order_.resize(n_attr);
+    attr_sorted_times_.resize(n_attr);
+    for (std::size_t i = 0; i < n_attr; ++i) {
+      attr_order_[i] = static_cast<AttrId>(order[i]);
+      attr_sorted_times_[i] = attr_times_[order[i]];
+    }
+  }
 
   max_time_ = 0.0;
   if (!social_node_times_.empty()) max_time_ = social_node_times_.back();
@@ -98,110 +144,303 @@ SanTimeline::SanTimeline(const SocialAttributeNetwork& network) {
   for (const double t : attr_times_) max_time_ = std::max(max_time_, t);
 }
 
-void SanTimeline::materialize(double time, SanSnapshot& snap,
-                              Scratch& s) const {
-  snap.time = time;
-  snap.dropped_link_count = 0;
-  snap.created_attribute_count = 0;
+// Social edges: radix-order the <= t slice into the final out/in CSR arrays
+// with four chunk-parallel stable counting sorts (core/counting_scatter.hpp)
+// — O(prefix + nodes), no comparison sort, no dedup branches (the network
+// rejects duplicate and self links at insert time). A slack build reserves
+// per-node headroom so advance() can append later days in place.
+void SanTimeline::build_social(std::size_t n_social, std::size_t edge_prefix,
+                               SanSnapshot& snap, Scratch& s,
+                               bool slack) const {
+  s.deferred_edges.clear();
 
-  const auto n_social = static_cast<std::size_t>(
-      std::upper_bound(social_node_times_.begin(), social_node_times_.end(),
-                       time) -
-      social_node_times_.begin());
-
-  // Social edges: four fused counting passes over the <= t slice build the
-  // final out/in CSR arrays directly — O(prefix + nodes), no comparison
-  // sort, no dedup branches (the network rejects duplicate and self links
-  // at insert time). The arrays are handed to the snapshot's CsrGraph by
-  // buffer swap.
-  const auto edge_prefix = static_cast<std::size_t>(
-      std::upper_bound(edge_time_.begin(), edge_time_.end(), time) -
-      edge_time_.begin());
-  // P0: filter the slice, counting out-degrees on the fly.
-  s.f_src.clear();
-  s.f_dst.clear();
-  s.out_offsets.assign(n_social + 1, 0);
-  for (std::size_t i = 0; i < edge_prefix; ++i) {
-    if (edge_src_[i] >= n_social || edge_dst_[i] >= n_social) {
-      ++snap.dropped_link_count;  // link predates an endpoint's join
-      continue;
+  // Filter the slice. The common case drops nothing (links rarely predate
+  // their endpoints' join) and works directly off the columnar log.
+  std::span<const NodeId> f_src, f_dst;
+  const std::size_t dropped = core::parallel_reduce(
+      edge_prefix, std::size_t{0},
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        std::size_t count = 0;
+        for (std::size_t i = begin; i < end; ++i) {
+          if (edge_src_[i] >= n_social || edge_dst_[i] >= n_social) ++count;
+        }
+        return count;
+      },
+      [](std::size_t a, std::size_t b) { return a + b; },
+      core::kScatterGrain);
+  if (dropped == 0) {
+    f_src = {edge_src_.data(), edge_prefix};
+    f_dst = {edge_dst_.data(), edge_prefix};
+  } else {
+    s.f_src_store.clear();
+    s.f_dst_store.clear();
+    for (std::size_t i = 0; i < edge_prefix; ++i) {
+      if (edge_src_[i] >= n_social || edge_dst_[i] >= n_social) {
+        // Link predates an endpoint's join; it activates when the endpoint
+        // arrives.
+        s.deferred_edges.emplace_back(edge_src_[i], edge_dst_[i]);
+        continue;
+      }
+      s.f_src_store.push_back(edge_src_[i]);
+      s.f_dst_store.push_back(edge_dst_[i]);
     }
-    s.f_src.push_back(edge_src_[i]);
-    s.f_dst.push_back(edge_dst_[i]);
-    ++s.out_offsets[edge_src_[i] + 1];
+    f_src = s.f_src_store;
+    f_dst = s.f_dst_store;
   }
-  const std::size_t m = s.f_src.size();
-  for (std::size_t k = 1; k <= n_social; ++k) {
-    s.out_offsets[k] += s.out_offsets[k - 1];
-  }
-  // P1: stable scatter by src, counting in-degrees on the fly.
-  s.cursor.assign(s.out_offsets.begin(), s.out_offsets.end() - 1);
-  s.in_offsets.assign(n_social + 1, 0);
-  s.g_src.resize(m);
+  const std::size_t m = f_src.size();
+
+  const auto layout = [&](std::vector<std::uint32_t>& len,
+                          std::vector<std::uint64_t>& off,
+                          std::vector<std::uint64_t>& dense) {
+    len.assign(n_social, 0);
+    off.assign(n_social + 1, 0);
+    dense.assign(n_social + 1, 0);
+    for (std::size_t u = 0; u < n_social; ++u) {
+      len[u] = static_cast<std::uint32_t>(s.counts[u]);
+      const std::size_t cap =
+          slack ? graph::slack_capacity(s.counts[u]) : s.counts[u];
+      off[u + 1] = off[u] + cap;
+      dense[u + 1] = dense[u] + s.counts[u];
+    }
+  };
+
+  // P1: count by src, then stable-scatter the slice src-major. The dense
+  // intermediate keeps only dst values — the source of rank i is recovered
+  // from the dense prefix while walking.
+  s.by_src.count(
+      m, n_social,
+      [&](std::size_t begin, std::size_t end, auto emit) {
+        for (std::size_t i = begin; i < end; ++i) emit(f_src[i]);
+      },
+      s.counts);
+  layout(s.out_len, s.out_off, s.dense_out);
   s.g_dst.resize(m);
-  for (std::size_t i = 0; i < m; ++i) {
-    const std::uint64_t pos = s.cursor[s.f_src[i]]++;
-    s.g_src[pos] = s.f_src[i];
-    s.g_dst[pos] = s.f_dst[i];
-    ++s.in_offsets[s.f_dst[i] + 1];
-  }
-  for (std::size_t k = 1; k <= n_social; ++k) {
-    s.in_offsets[k] += s.in_offsets[k - 1];
-  }
+  s.by_src.scatter(
+      std::span<const std::uint64_t>(s.dense_out.data(), n_social),
+      [&](std::size_t begin, std::size_t end, auto emit) {
+        for (std::size_t i = begin; i < end; ++i) emit(f_src[i], f_dst[i]);
+      },
+      s.g_dst.data());
+
   // P2: stable scatter of the src-major order by dst — sources arrive
-  // ascending per target, which IS the final in-adjacency.
-  s.cursor.assign(s.in_offsets.begin(), s.in_offsets.end() - 1);
-  s.in_targets.resize(m);
-  for (std::size_t i = 0; i < m; ++i) {
-    s.in_targets[s.cursor[s.g_dst[i]]++] = s.g_src[i];
-  }
-  // P3: walk the in-lists target-major (targets ascending) and scatter by
-  // source — targets arrive ascending per source, the final out-adjacency.
-  s.cursor.assign(s.out_offsets.begin(), s.out_offsets.end() - 1);
-  s.out_targets.resize(m);
-  for (std::size_t d = 0; d < n_social; ++d) {
-    for (std::uint64_t p = s.in_offsets[d]; p < s.in_offsets[d + 1]; ++p) {
-      s.out_targets[s.cursor[s.in_targets[p]]++] = static_cast<NodeId>(d);
-    }
-  }
-  snap.social.adopt_sorted_adjacency(n_social, s.out_offsets, s.out_targets,
-                                     s.in_offsets, s.in_targets);
+  // ascending per target, which IS the final in-adjacency (written at the
+  // slack layout's storage starts).
+  const auto src_major = [&](std::size_t begin, std::size_t end, auto&& fn) {
+    // start == dense: the src-major intermediate is packed, so pos == rank.
+    core::walk_keyed_regions(s.dense_out, s.dense_out, begin, end, fn);
+  };
+  s.by_dst.count(
+      m, n_social,
+      [&](std::size_t begin, std::size_t end, auto emit) {
+        for (std::size_t i = begin; i < end; ++i) emit(s.g_dst[i]);
+      },
+      s.counts);
+  layout(s.in_len, s.in_off, s.dense_in);
+  s.in_targets.resize(s.in_off.back());
+  s.by_dst.scatter(
+      std::span<const std::uint64_t>(s.in_off.data(), n_social),
+      [&](std::size_t begin, std::size_t end, auto emit) {
+        src_major(begin, end,
+                  [&](std::size_t i, NodeId u) { emit(s.g_dst[i], u); });
+      },
+      s.in_targets.data());
 
-  // Attribute nodes created by t; ids stay dense and aligned.
-  const std::size_t n_attr = attr_times_.size();
-  snap.attribute_types.assign(n_attr, AttributeType::kOther);
-  snap.attribute_created.assign(n_attr, 0);
-  for (AttrId a = 0; a < n_attr; ++a) {
-    if (attr_times_[a] <= time) {
-      snap.attribute_created[a] = 1;
-      snap.attribute_types[a] = attr_types_[a];
-      ++snap.created_attribute_count;
-    }
-  }
+  // P3: walk the in-lists target-major (targets ascending, dense RANKS
+  // mapped through dense_in so slack gaps never enter the walk) and scatter
+  // by source — targets arrive ascending per source, the final
+  // out-adjacency.
+  const auto in_major = [&](std::size_t begin, std::size_t end, auto&& fn) {
+    core::walk_keyed_regions(s.dense_in, s.in_off, begin, end, fn);
+  };
+  s.by_rank.count(
+      m, n_social,
+      [&](std::size_t begin, std::size_t end, auto emit) {
+        in_major(begin, end, [&](std::uint64_t pos, NodeId) {
+          emit(s.in_targets[pos]);
+        });
+      },
+      s.counts);
+  s.out_targets.resize(s.out_off.back());
+  s.by_rank.scatter(
+      std::span<const std::uint64_t>(s.out_off.data(), n_social),
+      [&](std::size_t begin, std::size_t end, auto emit) {
+        in_major(begin, end, [&](std::uint64_t pos, NodeId d) {
+          emit(s.in_targets[pos], d);
+        });
+      },
+      s.out_targets.data());
 
-  // Attribute links: the prefix is already in stable time order, so a
-  // filtered copy preserves exactly the order the naive path produces.
-  const auto link_prefix = static_cast<std::size_t>(
-      std::upper_bound(link_time_.begin(), link_time_.end(), time) -
-      link_time_.begin());
+  snap.social.adopt_adjacency(n_social, s.out_off, s.out_len, s.out_targets,
+                              s.in_off, s.in_len, s.in_targets);
+}
+
+// Attribute links: the prefix is already in stable time order, so a
+// filtered copy preserves exactly the order the naive path produces.
+// Dropped links are remembered — they activate once their user joins or
+// their attribute is created.
+void SanTimeline::build_attribute_links(std::size_t n_social,
+                                        std::size_t link_prefix,
+                                        SanSnapshot& snap, Scratch& s,
+                                        bool slack) const {
   s.users.clear();
   s.attrs.clear();
+  s.deferred_attr.clear();
   for (std::size_t i = 0; i < link_prefix; ++i) {
     if (link_user_[i] >= n_social || !snap.attribute_created[link_attr_[i]]) {
-      ++snap.dropped_link_count;  // link predates its user or attribute
+      s.deferred_attr.emplace_back(link_user_[i], link_attr_[i]);
       continue;
     }
     s.users.push_back(link_user_[i]);
     s.attrs.push_back(link_attr_[i]);
   }
-  snap.attribute.rebuild_from_links(n_social, n_attr, s.users, s.attrs);
+  snap.attribute.rebuild_from_links(n_social, attr_times_.size(), s.users,
+                                    s.attrs, slack);
+}
+
+void SanTimeline::materialize(double time, SanSnapshot& snap, Scratch& s,
+                              bool slack) const {
+  snap.time = time;
+
+  const std::size_t n_social = prefix_at(social_node_times_, time);
+  const std::size_t edge_prefix = prefix_at(edge_time_, time);
+  build_social(n_social, edge_prefix, snap, s, slack);
+
+  // Attribute nodes created by t; ids stay dense and aligned.
+  const std::size_t n_attr = attr_times_.size();
+  const std::size_t created_prefix = prefix_at(attr_sorted_times_, time);
+  snap.attribute_types.assign(n_attr, AttributeType::kOther);
+  snap.attribute_created.assign(n_attr, 0);
+  for (std::size_t k = 0; k < created_prefix; ++k) {
+    const AttrId a = attr_order_[k];
+    snap.attribute_created[a] = 1;
+    snap.attribute_types[a] = attr_types_[a];
+  }
+  snap.created_attribute_count = created_prefix;
+
+  const std::size_t link_prefix = prefix_at(link_time_, time);
+  build_attribute_links(n_social, link_prefix, snap, s, slack);
   snap.attribute_link_count = snap.attribute.link_count();
+  snap.dropped_link_count = s.deferred_edges.size() + s.deferred_attr.size();
+
+  // A slack build is advance-ready: remember what `snap` now holds.
+  s.delta_valid = slack;
+  s.delta_snap = slack ? &snap : nullptr;
+  s.delta_time = time;
+  s.n_social = n_social;
+  s.edge_prefix = edge_prefix;
+  s.link_prefix = link_prefix;
+  s.created_prefix = created_prefix;
+}
+
+void SanTimeline::advance(double time, SanSnapshot& snap, Scratch& s) const {
+  // The address check alone is spoofable (a new snapshot can reuse a
+  // destroyed one's storage), so also require the snapshot's observable
+  // state to match what this scratch last produced — any mismatch falls
+  // back to a full build instead of corrupting a foreign object.
+  if (!s.delta_valid || s.delta_snap != &snap || time < s.delta_time ||
+      snap.time != s.delta_time ||
+      snap.social.node_count() != s.n_social ||
+      snap.attribute_created.size() != attr_times_.size() ||
+      snap.created_attribute_count != s.created_prefix) {
+    materialize(time, snap, s, /*slack=*/true);
+    return;
+  }
+  const std::size_t n_new = prefix_at(social_node_times_, time);
+  const std::size_t edge_prefix_new = prefix_at(edge_time_, time);
+  const std::size_t link_prefix_new = prefix_at(link_time_, time);
+  const std::size_t created_new = prefix_at(attr_sorted_times_, time);
+
+  // ---- Social graph: activated deferred links + the (t, t'] slice are
+  // one sorted batch appended into the per-node slack. ----
+  s.delta_edges.clear();
+  if (n_new > s.n_social && !s.deferred_edges.empty()) {
+    std::size_t w = 0;
+    for (const auto& e : s.deferred_edges) {
+      if (e.first < n_new && e.second < n_new) {
+        s.delta_edges.push_back(e);  // endpoint joined: the link activates
+      } else {
+        s.deferred_edges[w++] = e;
+      }
+    }
+    s.deferred_edges.resize(w);
+  }
+  for (std::size_t i = s.edge_prefix; i < edge_prefix_new; ++i) {
+    if (edge_src_[i] >= n_new || edge_dst_[i] >= n_new) {
+      s.deferred_edges.emplace_back(edge_src_[i], edge_dst_[i]);
+    } else {
+      s.delta_edges.emplace_back(edge_src_[i], edge_dst_[i]);
+    }
+  }
+  if (!s.delta_edges.empty() || n_new > s.n_social) {
+    std::sort(s.delta_edges.begin(), s.delta_edges.end());
+    s.delta_src.resize(s.delta_edges.size());
+    s.delta_dst.resize(s.delta_edges.size());
+    for (std::size_t i = 0; i < s.delta_edges.size(); ++i) {
+      s.delta_src[i] = s.delta_edges[i].first;
+      s.delta_dst[i] = s.delta_edges[i].second;
+    }
+    if (!snap.social.append_sorted_links(n_new, s.delta_src, s.delta_dst)) {
+      // Slack exhausted somewhere: full rebuild re-reserves against the
+      // grown degrees (amortized-doubling, so this stays rare).
+      build_social(n_new, edge_prefix_new, snap, s, /*slack=*/true);
+    }
+  }
+
+  // ---- Attribute nodes created in (t, t']. ----
+  for (std::size_t k = s.created_prefix; k < created_new; ++k) {
+    const AttrId a = attr_order_[k];
+    snap.attribute_created[a] = 1;
+    snap.attribute_types[a] = attr_types_[a];
+  }
+  snap.created_attribute_count = created_new;
+
+  // ---- Attribute links. An activated deferred link belongs in the MIDDLE
+  // of its members_of list (global time order), which append cannot
+  // express — rebuild the layer instead. ----
+  bool activated = false;
+  for (const auto& [u, a] : s.deferred_attr) {
+    if (u < n_new && snap.attribute_created[a]) {
+      activated = true;
+      break;
+    }
+  }
+  if (activated) {
+    build_attribute_links(n_new, link_prefix_new, snap, s, /*slack=*/true);
+  } else {
+    s.delta_users.clear();
+    s.delta_attrs.clear();
+    for (std::size_t i = s.link_prefix; i < link_prefix_new; ++i) {
+      if (link_user_[i] >= n_new ||
+          !snap.attribute_created[link_attr_[i]]) {
+        s.deferred_attr.emplace_back(link_user_[i], link_attr_[i]);
+      } else {
+        s.delta_users.push_back(link_user_[i]);
+        s.delta_attrs.push_back(link_attr_[i]);
+      }
+    }
+    if (!s.delta_users.empty() || n_new > s.n_social) {
+      if (!snap.attribute.append_links(n_new, s.delta_users,
+                                       s.delta_attrs)) {
+        build_attribute_links(n_new, link_prefix_new, snap, s,
+                              /*slack=*/true);
+      }
+    }
+  }
+
+  snap.attribute_link_count = snap.attribute.link_count();
+  snap.dropped_link_count = s.deferred_edges.size() + s.deferred_attr.size();
+  snap.time = time;
+  s.delta_time = time;
+  s.n_social = n_new;
+  s.edge_prefix = edge_prefix_new;
+  s.link_prefix = link_prefix_new;
+  s.created_prefix = created_new;
 }
 
 SanSnapshot SanTimeline::snapshot_at(double time) const {
   Scratch s;
   SanSnapshot snap;
-  materialize(time, snap, s);
+  materialize(time, snap, s, /*slack=*/false);
   return snap;
 }
 
@@ -212,10 +451,21 @@ SanSnapshot SanTimeline::snapshot_full() const {
 void SanTimeline::sweep(
     std::span<const double> times,
     const std::function<void(double, const SanSnapshot&)>& visit) const {
+  Materializer m(*this);
+  SanSnapshot snap;
+  for (const double time : times) {
+    m.advance(time, snap);
+    visit(time, snap);
+  }
+}
+
+void SanTimeline::sweep_full_rebuild(
+    std::span<const double> times,
+    const std::function<void(double, const SanSnapshot&)>& visit) const {
   Scratch s;
   SanSnapshot snap;
   for (const double time : times) {
-    materialize(time, snap, s);
+    materialize(time, snap, s, /*slack=*/false);
     visit(time, snap);
   }
 }

@@ -6,16 +6,22 @@
 //   - construction: both link logs are stably time-sorted ONCE into
 //     columnar arrays (O(E log E) total, the only comparison sort);
 //   - snapshot_at(t): binary-search the time prefix, radix-order the
-//     <= t slice with counting sorts, rebuild CSR — O(links <= t + nodes),
-//     zero comparison sorting;
-//   - sweep(times, visit): snapshot_at for each time, reusing one scratch
-//     set and one SanSnapshot, so the steady state allocates nothing (the
-//     arrays only grow while snapshots do).
+//     <= t slice with chunk-parallel counting sorts, rebuild CSR —
+//     O(links <= t + nodes), zero comparison sorting;
+//   - advance(snapshot, t'): build the snapshot at t' FROM its state at
+//     t <= t' by appending only the (t, t'] log slice into per-node
+//     adjacency slack (graph/slack.hpp) — O(new links + nodes) per day,
+//     falling back to a full O(prefix) rebuild when slack is exhausted or
+//     a previously dropped link activates;
+//   - sweep(times, visit): advance one snapshot through the grid, reusing
+//     one scratch set, so a whole replay costs O(total links) amortized
+//     instead of O(sum of prefixes) and the steady state allocates nothing.
 //
 // Results are bit-identical to the naive san::snapshot_at at every time and
-// at any SAN_THREADS count: the stable time order fixes members_of ordering,
-// CSR content is order-independent, and the parallel phases write disjoint
-// per-node ranges (see core/parallel.hpp).
+// at any SAN_THREADS count: the stable time order fixes members_of
+// ordering, CSR content is order-independent, the chunked counting sorts
+// use thread-count-independent grains (core/counting_scatter.hpp), and the
+// per-node phases write disjoint ranges (see core/parallel.hpp).
 #pragma once
 
 #include <cstdint>
@@ -40,7 +46,7 @@ class SanTimeline {
 
   /// Reusable materialization state: one Materializer + one SanSnapshot make
   /// repeated snapshot_at calls allocation-free in the steady state (the
-  /// serving layer's SnapshotCache holds one per cache). Not thread-safe;
+  /// serving layer's SnapshotCache holds a pool of these). Not thread-safe;
   /// the timeline it borrows must outlive it.
   class Materializer {
    public:
@@ -49,9 +55,20 @@ class SanTimeline {
     Materializer& operator=(const Materializer&) = delete;
     ~Materializer();
 
-    /// Rebuild `snap` as of `time`, reusing both this scratch set and the
-    /// snapshot's own arrays (CSR buffers ping-pong between the two).
+    /// Rebuild `snap` as of `time` from scratch, reusing both this scratch
+    /// set and the snapshot's own arrays (CSR buffers ping-pong between the
+    /// two). Densely packed — the layout for snapshots that will be shared
+    /// and read, not advanced.
     void materialize(double time, SanSnapshot& snap);
+
+    /// Delta path: bring `snap` to `time` by appending only the links that
+    /// arrived since this Materializer last produced it. Falls back to a
+    /// full (slack-layout) rebuild when `snap` is not the snapshot this
+    /// Materializer built last, `time` regresses, per-node slack is
+    /// exhausted, or a previously dropped link activates (its endpoint
+    /// joined, which belongs mid-list in members_of time order). Either
+    /// way the result is bit-identical to materialize(time, snap).
+    void advance(double time, SanSnapshot& snap);
 
    private:
     const SanTimeline* timeline_;
@@ -74,13 +91,28 @@ class SanTimeline {
 
   /// Materialize a snapshot at each element of `times` in order and invoke
   /// visit(time, snapshot) for it. The snapshot reference is only valid
-  /// during the call — its buffers are reused for the next day.
+  /// during the call — its buffers are reused for the next day. Consecutive
+  /// times advance incrementally (the delta path); a non-ascending grid
+  /// still works but pays a full rebuild at each regression.
   void sweep(
       std::span<const double> times,
       const std::function<void(double, const SanSnapshot&)>& visit) const;
 
+  /// Reference sweep that rebuilds every snapshot from scratch (the PR 2
+  /// behavior). Same results as sweep(); kept for benchmarking the delta
+  /// path against and for callers that want dense snapshot layouts.
+  void sweep_full_rebuild(
+      std::span<const double> times,
+      const std::function<void(double, const SanSnapshot&)>& visit) const;
+
  private:
-  void materialize(double time, SanSnapshot& snap, Scratch& s) const;
+  void materialize(double time, SanSnapshot& snap, Scratch& s,
+                   bool slack) const;
+  void advance(double time, SanSnapshot& snap, Scratch& s) const;
+  void build_social(std::size_t n_social, std::size_t edge_prefix,
+                    SanSnapshot& snap, Scratch& s, bool slack) const;
+  void build_attribute_links(std::size_t n_social, std::size_t link_prefix,
+                             SanSnapshot& snap, Scratch& s, bool slack) const;
 
   // Columnar logs, stably sorted by time (ties keep append order).
   std::vector<double> social_node_times_;
@@ -91,6 +123,11 @@ class SanTimeline {
   std::vector<double> link_time_;
   std::vector<AttributeType> attr_types_;
   std::vector<double> attr_times_;
+  // Attribute ids in stable creation-time order plus the matching sorted
+  // times, so both materialize and advance touch exactly the attributes
+  // created inside their time window.
+  std::vector<AttrId> attr_order_;
+  std::vector<double> attr_sorted_times_;
   double max_time_ = 0.0;
 };
 

@@ -1,5 +1,6 @@
 #include "serve/query_engine.hpp"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "core/parallel.hpp"
@@ -123,19 +124,40 @@ std::vector<QueryResult> QueryEngine::run_batch(
     groups[it->second].second.push_back(static_cast<std::uint32_t>(i));
   }
 
-  // Small grain: per-query cost is wildly skewed (hub egos dominate), and
-  // determinism never depends on the split — each query only writes its own
-  // admission slot.
+  // Resolve distinct times one WINDOW at a time, one lane per time: the
+  // cache materializes cold days CONCURRENTLY (its misses build outside
+  // the cache lock), so a batch spanning many cold days is no longer
+  // bounded by one serial materialization chain. The window is the cache
+  // capacity: holding more handles than that would defeat the cache's own
+  // memory bound (evicted snapshots stay alive through their shared_ptr).
+  // Each distinct time is still resolved exactly once per batch, and
+  // snapshot content is identical whichever lane builds it, so results
+  // stay byte-identical.
+  //
+  // Small query grain: per-query cost is wildly skewed (hub egos
+  // dominate), and determinism never depends on the split — each query
+  // only writes its own admission slot.
   constexpr std::size_t kQueryGrain = 16;
-  for (const auto& [time, indices] : groups) {
-    const auto snap = cache_.at(time);
+  const std::size_t window = std::max<std::size_t>(cache_.capacity(), 1);
+  std::vector<std::shared_ptr<const SanSnapshot>> snapshots;
+  for (std::size_t g0 = 0; g0 < groups.size(); g0 += window) {
+    const std::size_t count = std::min(window, groups.size() - g0);
+    snapshots.assign(count, nullptr);
     core::parallel_for(
-        indices.size(),
-        [&, &group = indices](std::size_t j) {
-          const std::uint32_t i = group[j];
-          results[i] = execute(*snap, queries[i], options_, lane_scratch());
-        },
-        kQueryGrain);
+        count,
+        [&](std::size_t j) { snapshots[j] = cache_.at(groups[g0 + j].first); },
+        /*grain=*/1);
+    for (std::size_t j = 0; j < count; ++j) {
+      const auto& snap = snapshots[j];
+      const auto& indices = groups[g0 + j].second;
+      core::parallel_for(
+          indices.size(),
+          [&](std::size_t i_of) {
+            const std::uint32_t i = indices[i_of];
+            results[i] = execute(*snap, queries[i], options_, lane_scratch());
+          },
+          kQueryGrain);
+    }
   }
   return results;
 }

@@ -1,15 +1,17 @@
 #include "serve/snapshot_cache.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 #include <utility>
+
+#include "core/thread_pool.hpp"
 
 namespace san::serve {
 
 SnapshotCache::SnapshotCache(const SanTimeline& timeline, std::size_t capacity)
-    : timeline_(timeline),
-      capacity_(capacity),
-      materializer_(timeline) {
+    : timeline_(timeline), capacity_(capacity) {
   if (capacity == 0) {
     throw std::invalid_argument("SnapshotCache: capacity must be >= 1");
   }
@@ -22,28 +24,82 @@ std::shared_ptr<const SanSnapshot> SnapshotCache::at(double time) {
     // rejects NaN; guard the programmatic path too.
     throw std::invalid_argument("SnapshotCache: time must not be NaN");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (const auto it = index_.find(time); it != index_.end()) {
-    ++stats_.hits;
-    lru_.splice(lru_.begin(), lru_, it->second);  // promote to MRU
-    return it->second->snapshot;
-  }
-  ++stats_.misses;
 
-  // Materialize into a fresh snapshot. The materializer's scratch arrays
-  // ping-pong with the snapshot's CSR buffers, so repeated misses reuse the
-  // scratch side's capacity even though each resident snapshot owns its own.
-  auto snap = std::make_shared<SanSnapshot>();
-  materializer_.materialize(time, *snap);
-
-  if (lru_.size() >= capacity_) {
-    ++stats_.evictions;
-    index_.erase(lru_.back().time);
-    lru_.pop_back();
+  std::shared_future<Handle> wait_on;
+  std::optional<std::promise<Handle>> promise;
+  std::unique_ptr<SanTimeline::Materializer> materializer;
+  std::function<void(double)> hook;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (const auto it = index_.find(time); it != index_.end()) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second);  // promote to MRU
+      return it->second->snapshot;
+    }
+    if (const auto it = inflight_.find(time); it != inflight_.end()) {
+      ++stats_.coalesced;
+      if (!core::in_parallel_region()) {
+        // Another thread is already building this exact time: wait on ITS
+        // future (outside the lock) instead of duplicating the work.
+        wait_on = it->second;
+      }
+      // From inside a pool job, waiting could deadlock: the foreign
+      // builder may be queued behind THIS job's lock while this lane
+      // blocks the job from finishing. Build an unregistered duplicate
+      // instead (the registered builder still owns the cache insert).
+    } else {
+      ++stats_.misses;
+      promise.emplace();
+      inflight_.emplace(time,
+                        std::shared_future<Handle>(promise->get_future()));
+      stats_.peak_inflight =
+          std::max<std::uint64_t>(stats_.peak_inflight, inflight_.size());
+      hook = miss_hook_;
+    }
+    if (!wait_on.valid()) {
+      if (idle_.empty()) {
+        materializer = std::make_unique<SanTimeline::Materializer>(timeline_);
+      } else {
+        materializer = std::move(idle_.back());
+        idle_.pop_back();
+      }
+    }
   }
-  lru_.push_front(Entry{time, std::move(snap)});
-  index_.emplace(time, lru_.begin());
-  return lru_.front().snapshot;
+  if (wait_on.valid()) return wait_on.get();
+
+  // Cold miss (or in-region duplicate): materialize WITHOUT the lock, so
+  // distinct cold times build concurrently. Duplicate requests block on
+  // the future registered above, never on the mutex.
+  Handle handle;
+  try {
+    if (hook) hook(time);
+    auto snap = std::make_shared<SanSnapshot>();
+    materializer->materialize(time, *snap);
+    handle = std::move(snap);
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (promise) inflight_.erase(time);
+      idle_.push_back(std::move(materializer));
+    }
+    if (promise) promise->set_exception(std::current_exception());
+    throw;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    idle_.push_back(std::move(materializer));
+    if (!promise) return handle;  // unregistered duplicate: no insert
+    if (lru_.size() >= capacity_) {
+      ++stats_.evictions;
+      index_.erase(lru_.back().time);
+      lru_.pop_back();
+    }
+    lru_.push_front(Entry{time, handle});
+    index_.emplace(time, lru_.begin());
+    inflight_.erase(time);
+  }
+  promise->set_value(handle);
+  return handle;
 }
 
 std::size_t SnapshotCache::size() const {
@@ -61,6 +117,11 @@ void SnapshotCache::clear() {
   lru_.clear();
   index_.clear();
   stats_ = Stats{};
+}
+
+void SnapshotCache::set_miss_hook(std::function<void(double)> hook) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  miss_hook_ = std::move(hook);
 }
 
 }  // namespace san::serve

@@ -2,23 +2,31 @@
 // engine (serve/query_engine.hpp). A SanTimeline makes one snapshot cheap —
 // O(links <= t) — but a query workload concentrated on a few popular days
 // would still re-materialize the same CSR over and over. The cache keys
-// snapshots by their exact query time, hands them out as
+// snapshots by their exact query time and hands them out as
 // shared_ptr<const SanSnapshot> (an evicted snapshot stays valid for every
-// query still holding it), and reuses one SanTimeline::Materializer so
-// steady-state misses recycle buffer capacity instead of allocating.
+// query still holding it).
 //
-// Thread safety: every public method takes an internal mutex, so concurrent
-// readers at a warm time share the same immutable snapshot. A miss
-// materializes while holding the lock — admission-ordered batches fetch
-// each distinct time once, so serving throughput is bounded by query
-// execution, not by this lock.
+// Concurrency: the mutex only guards the index — NEVER a materialization.
+// A cold miss registers a per-time in-flight shared_future, releases the
+// lock, and materializes on the calling thread, so DISTINCT cold times
+// build concurrently while duplicate requests for one time coalesce onto
+// that time's future (one materialization per time, stampede-proof). The
+// one exception: a duplicate request arriving on a core-substrate pool
+// lane (core::in_parallel_region()) must not block on a foreign build —
+// the builder may be queued behind that very pool job — so it builds a
+// private unregistered copy instead of waiting. Materializer scratch sets
+// are pooled: steady-state misses recycle buffer capacity, and the pool
+// high-water mark equals the peak miss concurrency.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <future>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "san/timeline.hpp"
 
@@ -29,7 +37,15 @@ class SnapshotCache {
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    /// Requests that found their time already in flight on another
+    /// thread: they either waited on that build or — when arriving on a
+    /// core-substrate pool lane, where waiting could deadlock — built a
+    /// private unregistered copy. Either way no new cache entry resulted.
+    std::uint64_t coalesced = 0;
     std::uint64_t evictions = 0;
+    /// High-water mark of concurrently materializing misses — > 1 proves
+    /// cold misses on distinct times overlapped instead of serializing.
+    std::uint64_t peak_inflight = 0;
   };
 
   /// `capacity` >= 1 snapshots are kept resident; the timeline must outlive
@@ -38,7 +54,8 @@ class SnapshotCache {
 
   /// The snapshot at exactly `time`, materialized on first use. Times are
   /// compared bit-exactly: query workloads address snapshots by a shared
-  /// grid of days, not by free-form floats.
+  /// grid of days, not by free-form floats. Safe to call from any number of
+  /// threads; a cold time materializes once however many callers race it.
   std::shared_ptr<const SanSnapshot> at(double time);
 
   std::size_t capacity() const { return capacity_; }
@@ -46,23 +63,36 @@ class SnapshotCache {
   Stats stats() const;
 
   /// Drop every resident snapshot (outstanding shared_ptrs stay valid) and
-  /// zero the stats. Benches use this to measure cold-start throughput.
+  /// zero the stats. In-flight materializations are not interrupted; each
+  /// lands in the cleared cache when it completes. Benches use this to
+  /// measure cold-start throughput.
   void clear();
+
+  /// Observability/test hook, invoked on the materializing thread right
+  /// before a cold miss starts building (outside the cache lock). Tests
+  /// use it to hold materializations at a barrier and prove that distinct
+  /// cold times overlap; pass nullptr to remove.
+  void set_miss_hook(std::function<void(double)> hook);
 
  private:
   struct Entry {
     double time = 0.0;
     std::shared_ptr<const SanSnapshot> snapshot;
   };
+  using Handle = std::shared_ptr<const SanSnapshot>;
 
   const SanTimeline& timeline_;
   const std::size_t capacity_;
 
   mutable std::mutex mutex_;
-  SanTimeline::Materializer materializer_;  // guarded by mutex_
-  std::list<Entry> lru_;                    // front = most recently used
+  // Idle Materializer pool (guarded by mutex_); one is checked out per
+  // in-flight miss and returned when it lands.
+  std::vector<std::unique_ptr<SanTimeline::Materializer>> idle_;
+  std::unordered_map<double, std::shared_future<Handle>> inflight_;
+  std::list<Entry> lru_;  // front = most recently used
   std::unordered_map<double, std::list<Entry>::iterator> index_;
   Stats stats_;
+  std::function<void(double)> miss_hook_;
 };
 
 }  // namespace san::serve

@@ -5,9 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/thread_pool.hpp"
@@ -143,6 +148,214 @@ TEST(SnapshotCache, RejectsNanTime) {
   SnapshotCache cache(timeline, 2);
   EXPECT_THROW(cache.at(std::nan("")), std::invalid_argument);
   EXPECT_EQ(cache.size(), 0u);
+}
+
+// ---- SnapshotCache concurrency. ----
+
+// Rendezvous helper: release() blocks callers until `expected` of them have
+// arrived (or fails the test after a generous timeout). Used inside the
+// cache's miss hook to PROVE that N cold misses are inside their
+// materializations at the same instant — with serialized misses the later
+// arrivals would be blocked on the cache lock and the rendezvous could
+// never fill.
+class Rendezvous {
+ public:
+  explicit Rendezvous(std::size_t expected) : expected_(expected) {}
+
+  bool arrive_and_wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ++arrived_;
+    cv_.notify_all();
+    return cv_.wait_for(lock, std::chrono::seconds(60),
+                        [&] { return arrived_ >= expected_; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t expected_;
+  std::size_t arrived_ = 0;
+};
+
+TEST(SnapshotCache, DistinctColdMissesMaterializeConcurrently) {
+  const auto net = small_gplus();
+  const SanTimeline timeline(net);
+  SnapshotCache cache(timeline, 8);
+
+  constexpr std::size_t kThreads = 3;
+  Rendezvous rendezvous(kThreads);
+  std::atomic<int> rendezvous_failures{0};
+  cache.set_miss_hook([&](double) {
+    if (!rendezvous.arrive_and_wait()) ++rendezvous_failures;
+  });
+
+  const double times[kThreads] = {20.0, 50.0, 98.0};
+  std::shared_ptr<const SanSnapshot> snaps[kThreads];
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] { snaps[i] = cache.at(times[i]); });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(rendezvous_failures.load(), 0)
+      << "cold misses serialized: the rendezvous never saw all " << kThreads
+      << " materializations in flight together";
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, kThreads);
+  EXPECT_EQ(stats.coalesced, 0u);
+  EXPECT_EQ(stats.peak_inflight, kThreads);
+  for (std::size_t i = 0; i < kThreads; ++i) {
+    ASSERT_NE(snaps[i], nullptr);
+    EXPECT_EQ(snaps[i]->time, times[i]);
+    // Each concurrently built snapshot must equal the single-threaded one.
+    const auto direct = timeline.snapshot_at(times[i]);
+    EXPECT_EQ(snaps[i]->social_link_count(), direct.social_link_count());
+    EXPECT_EQ(snaps[i]->attribute_link_count, direct.attribute_link_count);
+  }
+}
+
+TEST(SnapshotCache, DuplicateTimeStampedeCoalescesOntoOneMiss) {
+  const auto net = small_gplus();
+  const SanTimeline timeline(net);
+  SnapshotCache cache(timeline, 4);
+
+  // Hold the first materialization of t=40 until the stampede has piled up
+  // behind its in-flight future.
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  cache.set_miss_hook([&](double) {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    gate_cv.wait_for(lock, std::chrono::seconds(60), [&] { return gate_open; });
+  });
+
+  constexpr std::size_t kThreads = 4;
+  std::shared_ptr<const SanSnapshot> snaps[kThreads];
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] { snaps[i] = cache.at(40.0); });
+  }
+  // Wait until one thread owns the miss and the rest have coalesced...
+  for (int spin = 0; spin < 6000; ++spin) {
+    const auto s = cache.stats();
+    if (s.misses == 1 && s.coalesced == kThreads - 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().coalesced, kThreads - 1);
+  // ...then release the single materialization.
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  for (auto& t : threads) t.join();
+
+  for (std::size_t i = 1; i < kThreads; ++i) {
+    EXPECT_EQ(snaps[i].get(), snaps[0].get())
+        << "stampede produced more than one snapshot object";
+  }
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(SnapshotCache, EvictionRacesInflightMaterialization) {
+  const auto net = small_gplus();
+  const SanTimeline timeline(net);
+  SnapshotCache cache(timeline, 1);  // every insert evicts
+
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  cache.set_miss_hook([&](double time) {
+    if (time != 10.0) return;  // only hold the first time's build
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    gate_cv.wait_for(lock, std::chrono::seconds(60), [&] { return gate_open; });
+  });
+
+  std::shared_ptr<const SanSnapshot> slow;
+  std::thread holder([&] { slow = cache.at(10.0); });
+  for (int spin = 0; spin < 6000 && cache.stats().misses == 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  // While t=10 is in flight, fill and churn the capacity-1 LRU.
+  const auto a = cache.at(20.0);
+  const auto b = cache.at(30.0);  // evicts 20.0
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  holder.join();  // t=10 lands, evicting 30.0
+
+  ASSERT_NE(slow, nullptr);
+  EXPECT_EQ(slow->time, 10.0);
+  EXPECT_EQ(a->time, 20.0);  // evicted snapshots stay valid via shared_ptr
+  EXPECT_EQ(b->time, 30.0);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+  EXPECT_EQ(cache.stats().misses, 3u);
+  // The landed snapshot is resident: this hit must not re-materialize.
+  EXPECT_EQ(cache.at(10.0).get(), slow.get());
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(QueryEngine, BatchPrefetchDoesNotBlockOnForeignInflightMiss) {
+  // run_batch prefetches snapshot times on core-substrate pool lanes. A
+  // lane that finds a time already in flight on a FOREIGN thread must not
+  // block on that build (the foreign thread may itself be queued behind
+  // this very pool job — a deadlock): it builds a private copy instead.
+  // Deterministic: the foreign build is held at a gate for the whole
+  // batch, so any blocking wait could never return.
+  const auto net = small_gplus();
+  const SanTimeline timeline(net);
+  SnapshotCache cache(timeline, 8);
+  QueryEngine engine(cache);
+  const std::size_t restore = san::core::thread_count();
+  san::core::set_thread_count(4);  // real pool workers
+
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  cache.set_miss_hook([&](double time) {
+    if (time != 40.0) return;
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    gate_cv.wait_for(lock, std::chrono::seconds(60), [&] { return gate_open; });
+  });
+  std::shared_ptr<const SanSnapshot> foreign_snap;
+  std::thread foreign([&] { foreign_snap = cache.at(40.0); });
+  for (int spin = 0; spin < 6000 && cache.stats().misses == 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  std::vector<Query> queries;
+  for (const double day : {40.0, 70.0}) {
+    Query q;
+    q.kind = QueryKind::kEgoMetrics;
+    q.time = day;
+    q.user = 3;
+    queries.push_back(q);
+  }
+  const auto results = engine.run_batch(queries);  // must not deadlock
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].ok);
+  EXPECT_EQ(cache.stats().coalesced, 1u);  // 40.0 built as a private copy
+
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  foreign.join();
+  ASSERT_NE(foreign_snap, nullptr);
+  EXPECT_EQ(foreign_snap->time, 40.0);
+
+  // The private copy rendered the same result the resident snapshot does.
+  cache.set_miss_hook(nullptr);
+  const auto again = engine.run_single(queries[0]);
+  EXPECT_EQ(again.to_line(queries[0]), results[0].to_line(queries[0]));
+  san::core::set_thread_count(restore);
 }
 
 // ---- Workload parsing. ----

@@ -167,6 +167,153 @@ TEST(Timeline, EmptyNetwork) {
   EXPECT_EQ(snap.attribute_link_count, 0u);
 }
 
+// ---- Delta sweep (Materializer::advance). ----
+
+TEST(Timeline, AdvanceMatchesNaiveDayByDay) {
+  san::crawl::SyntheticGplusParams params;
+  params.total_social_nodes = 1'200;
+  params.seed = 31;
+  const auto net = san::crawl::generate_synthetic_gplus(params);
+  const SanTimeline timeline(net);
+
+  SanTimeline::Materializer materializer(timeline);
+  SanSnapshot snap;
+  const double stride = timeline.max_time() / 23.0 + 0.05;
+  for (double t = 0.0; t <= timeline.max_time() + 1.0; t += stride) {
+    materializer.advance(t, snap);
+    expect_snapshots_identical(snap, snapshot_at(net, t), t);
+  }
+}
+
+TEST(Timeline, AdvanceActivatesLinksThatPredateTheirEndpoints) {
+  // Links logged with timestamps before their endpoint joins (or their
+  // attribute is created) are dropped at early days and must ACTIVATE —
+  // including mid-list in members_of time order — once the endpoint
+  // arrives. This drives advance()'s rebuild fallbacks.
+  SocialAttributeNetwork net;
+  net.add_social_node(1.0);
+  net.add_social_node(1.0);
+  net.add_social_node(2.0);
+  net.add_social_node(6.0);
+  const auto a = net.add_attribute_node(AttributeType::kCity, "SF", 1.0);
+  const auto b = net.add_attribute_node(AttributeType::kEmployer, "G", 5.0);
+  net.add_social_link(1, 2, 1.2);  // predates node 2's join (2.0)
+  net.add_social_link(0, 1, 1.5);
+  net.add_social_link(0, 3, 1.7);  // predates node 3's join (6.0)
+  net.add_social_link(1, 0, 2.5);
+  net.add_attribute_link(2, a, 1.1);  // predates user 2's join
+  net.add_attribute_link(0, a, 1.3);
+  net.add_attribute_link(1, b, 3.0);  // predates attribute b (5.0)
+  net.add_attribute_link(1, a, 4.0);
+  const SanTimeline timeline(net);
+
+  SanTimeline::Materializer materializer(timeline);
+  SanSnapshot snap;
+  for (const double t :
+       {0.5, 1.0, 1.4, 1.8, 1.9, 2.0, 2.5, 3.5, 4.5, 5.0, 5.5, 6.0, 9.0}) {
+    materializer.advance(t, snap);
+    expect_snapshots_identical(snap, snapshot_at(net, t), t);
+  }
+}
+
+TEST(Timeline, AdvanceFallsBackOnFreshSnapshotAndRegression) {
+  san::model::GeneratorParams params;
+  params.social_node_count = 300;
+  params.seed = 8;
+  const auto net = san::model::generate_san(params);
+  const SanTimeline timeline(net);
+  const double mid = timeline.max_time() / 2.0;
+
+  SanTimeline::Materializer materializer(timeline);
+  SanSnapshot snap;
+  materializer.advance(mid, snap);  // fresh snapshot: full build
+  expect_snapshots_identical(snap, snapshot_at(net, mid), mid);
+  materializer.advance(timeline.max_time(), snap);  // delta forward
+  expect_snapshots_identical(snap, snapshot_at(net, timeline.max_time()),
+                             timeline.max_time());
+  materializer.advance(mid, snap);  // regression: full rebuild
+  expect_snapshots_identical(snap, snapshot_at(net, mid), mid);
+
+  // A different snapshot object invalidates the delta state.
+  SanSnapshot other;
+  materializer.advance(mid, other);
+  expect_snapshots_identical(other, snapshot_at(net, mid), mid);
+}
+
+TEST(Timeline, AdvanceDetectsFreshSnapshotAtReusedAddress) {
+  // A loop-local snapshot typically lands at the SAME stack address every
+  // iteration, so the Materializer's identity check must not rely on the
+  // address alone — a fresh (default) snapshot there has to trigger a
+  // full build, never a delta applied on top of empty state.
+  san::model::GeneratorParams params;
+  params.social_node_count = 300;
+  params.seed = 19;
+  const auto net = san::model::generate_san(params);
+  const SanTimeline timeline(net);
+  SanTimeline::Materializer materializer(timeline);
+  for (const double t : {timeline.max_time() / 3.0,
+                         timeline.max_time() / 2.0, timeline.max_time()}) {
+    SanSnapshot snap;
+    materializer.advance(t, snap);
+    expect_snapshots_identical(snap, snapshot_at(net, t), t);
+  }
+}
+
+TEST(Timeline, SweepByteIdenticalAcrossThreadCounts) {
+  // Gates both the chunk-parallel social counting passes and the delta
+  // append path: the whole sweep must be byte-identical at 1/2/4/8 lanes.
+  san::crawl::SyntheticGplusParams params;
+  params.total_social_nodes = 2'000;
+  params.seed = 13;
+  const auto net = san::crawl::generate_synthetic_gplus(params);
+  const SanTimeline timeline(net);
+
+  std::vector<double> days;
+  for (double t = 1.0; t <= timeline.max_time() + 1.0;
+       t += timeline.max_time() / 11.0) {
+    days.push_back(t);
+  }
+  const auto fingerprint = [](const SanSnapshot& snap) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    const auto mix = [&](std::uint64_t v) {
+      h = (h ^ v) * 0x100000001b3ULL;
+    };
+    mix(snap.social_node_count());
+    mix(snap.dropped_link_count);
+    for (NodeId u = 0; u < snap.social_node_count(); ++u) {
+      for (const NodeId v : snap.social.out(u)) mix(v);
+      for (const NodeId v : snap.social.in(u)) mix(v ^ 0x1111);
+      for (const NodeId v : snap.social.neighbors(u)) mix(v ^ 0x2222);
+      for (const AttrId x : snap.attributes_of(u)) mix(x ^ 0x3333);
+    }
+    for (AttrId x = 0; x < snap.attribute_id_count(); ++x) {
+      for (const NodeId v : snap.members_of(x)) mix(v ^ 0x4444);
+    }
+    return h;
+  };
+
+  std::vector<std::uint64_t> reference;
+  timeline.sweep(days, [&](double, const SanSnapshot& snap) {
+    reference.push_back(fingerprint(snap));
+  });
+  const std::size_t restore = san::core::thread_count();
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE(testing::Message() << "threads=" << threads);
+    san::core::set_thread_count(threads);
+    std::size_t i = 0;
+    timeline.sweep(days, [&](double, const SanSnapshot& snap) {
+      EXPECT_EQ(fingerprint(snap), reference[i]) << "day index " << i;
+      ++i;
+    });
+    i = 0;
+    timeline.sweep_full_rebuild(days, [&](double, const SanSnapshot& snap) {
+      EXPECT_EQ(fingerprint(snap), reference[i]) << "day index " << i;
+      ++i;
+    });
+  }
+  san::core::set_thread_count(restore);
+}
+
 TEST(Timeline, OutOfOrderLogTimesStillMatchNaive) {
   // add_* allows locally out-of-order link timestamps (e.g. a clamped link
   // time exceeding a later event's); the stable time sort must agree with
@@ -342,6 +489,273 @@ TEST(CsrFromSorted, RejectsUnsortedInput) {
   const std::vector<std::pair<NodeId, NodeId>> edges{{1, 0}, {0, 1}};
   EXPECT_THROW(san::graph::CsrGraph::from_sorted_edges(2, edges),
                std::invalid_argument);
+}
+
+// ---- CsrGraph append (slack layout) fast path. ----
+
+namespace csr_append {
+
+void expect_graphs_equal(const san::graph::CsrGraph& a,
+                         const san::graph::CsrGraph& b) {
+  ASSERT_EQ(a.node_count(), b.node_count());
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  for (NodeId u = 0; u < a.node_count(); ++u) {
+    const auto ao = a.out(u), bo = b.out(u);
+    ASSERT_TRUE(std::equal(ao.begin(), ao.end(), bo.begin(), bo.end()))
+        << "out list differs at node " << u;
+    const auto ai = a.in(u), bi = b.in(u);
+    ASSERT_TRUE(std::equal(ai.begin(), ai.end(), bi.begin(), bi.end()))
+        << "in list differs at node " << u;
+    const auto an = a.neighbors(u), bn = b.neighbors(u);
+    ASSERT_TRUE(std::equal(an.begin(), an.end(), bn.begin(), bn.end()))
+        << "neighbor list differs at node " << u;
+  }
+}
+
+void split(const std::vector<std::pair<NodeId, NodeId>>& edges,
+           std::vector<NodeId>& srcs, std::vector<NodeId>& dsts) {
+  srcs.resize(edges.size());
+  dsts.resize(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    srcs[i] = edges[i].first;
+    dsts[i] = edges[i].second;
+  }
+}
+
+}  // namespace csr_append
+
+TEST(CsrAppend, SlackBuildMatchesDenseSpans) {
+  san::stats::Rng rng(5150);
+  const std::size_t n = 120;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (std::size_t i = 0; i < 900; ++i) {
+    edges.emplace_back(static_cast<NodeId>(rng.uniform_index(n)),
+                       static_cast<NodeId>(rng.uniform_index(n)));
+  }
+  std::sort(edges.begin(), edges.end());
+  std::vector<NodeId> srcs, dsts;
+  csr_append::split(edges, srcs, dsts);
+  san::graph::CsrGraph dense, slack;
+  dense.rebuild_from_sorted_edges(n, srcs, dsts, /*with_slack=*/false);
+  slack.rebuild_from_sorted_edges(n, srcs, dsts, /*with_slack=*/true);
+  csr_append::expect_graphs_equal(slack, dense);
+}
+
+TEST(CsrAppend, BatchedAppendsMatchFullBuilds) {
+  // Grow a graph batch by batch (unique edges, growing node count) exactly
+  // as the delta sweep does, comparing spans against a from-scratch build
+  // after every batch; rebuild with fresh slack whenever append refuses.
+  san::stats::Rng rng(90125);
+  const std::size_t n_final = 150, batches = 12;
+  std::vector<std::pair<NodeId, NodeId>> all;
+  for (NodeId u = 0; u < n_final; ++u) {
+    for (NodeId v = 0; v < n_final; ++v) {
+      if (u != v && rng.uniform() < 0.05) all.emplace_back(u, v);
+    }
+  }
+  // Random batch order, unique by construction.
+  for (std::size_t i = all.size(); i > 1; --i) {
+    std::swap(all[i - 1], all[rng.uniform_index(i)]);
+  }
+
+  san::graph::CsrGraph g;
+  std::vector<std::pair<NodeId, NodeId>> seen;
+  std::vector<NodeId> srcs, dsts;
+  std::size_t refusals = 0;
+  std::size_t nodes = 1;
+  for (std::size_t b = 0; b < batches; ++b) {
+    const std::size_t begin = all.size() * b / batches;
+    const std::size_t end = all.size() * (b + 1) / batches;
+    std::vector<std::pair<NodeId, NodeId>> batch(all.begin() + begin,
+                                                 all.begin() + end);
+    std::sort(batch.begin(), batch.end());
+    seen.insert(seen.end(), batch.begin(), batch.end());
+    // Node count grows with the ids seen so far, exercising joining-node
+    // regions on most batches.
+    for (const auto& [u, v] : batch) {
+      nodes = std::max<std::size_t>(nodes, std::max(u, v) + 1);
+    }
+    csr_append::split(batch, srcs, dsts);
+    if (b == 0) {
+      // Seed DENSE: the very next append must refuse (zero slack), forcing
+      // at least one refusal -> slack-rebuild cycle through the loop.
+      g.rebuild_from_sorted_edges(nodes, srcs, dsts, /*with_slack=*/false);
+    } else if (!g.append_sorted_links(nodes, srcs, dsts)) {
+      ++refusals;
+      std::vector<std::pair<NodeId, NodeId>> sorted_seen(seen);
+      std::sort(sorted_seen.begin(), sorted_seen.end());
+      csr_append::split(sorted_seen, srcs, dsts);
+      g.rebuild_from_sorted_edges(nodes, srcs, dsts, /*with_slack=*/true);
+    }
+    csr_append::expect_graphs_equal(g, san::graph::CsrGraph::from_edges(
+                                           nodes, seen));
+  }
+  // Overflowing nodes relocate in place (the dense seed leaves every node
+  // with zero slack, so batch 2 relocates heavily); with amortized-doubling
+  // capacities the appends must not all degrade to compacting rebuilds.
+  EXPECT_LT(refusals, batches - 1);
+}
+
+TEST(CsrAppend, OverflowRelocatesUntilWasteExceedsLiveThenRefuses) {
+  // Node 0 starts with 10 dense out-links (live 10, zero slack).
+  const std::size_t n = 30;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId v = 1; v <= 10; ++v) edges.emplace_back(0, v);
+  std::vector<NodeId> srcs, dsts;
+  csr_append::split(edges, srcs, dsts);
+  san::graph::CsrGraph g;
+  g.rebuild_from_sorted_edges(n, srcs, dsts, /*with_slack=*/false);
+
+  // Appending one more link overflows node 0's region: it RELOCATES
+  // (waste 10 <= live 11) rather than refusing.
+  std::vector<NodeId> s1{0}, d1{11};
+  ASSERT_TRUE(g.append_sorted_links(n, s1, d1));
+  EXPECT_EQ(g.edge_count(), 11u);
+
+  // Fill the doubled region: capacity is slack_capacity(11) = 22.
+  std::vector<NodeId> s2, d2;
+  for (NodeId v = 12; v <= 22; ++v) {
+    s2.push_back(0);
+    d2.push_back(v);
+  }
+  ASSERT_TRUE(g.append_sorted_links(n, s2, d2));
+  EXPECT_EQ(g.edge_count(), 22u);
+
+  // One more overflow would strand 10 + 22 dead slots against 23 live
+  // links: the append must refuse and leave the graph untouched, so the
+  // caller compacts with a full rebuild.
+  std::vector<NodeId> s3{0}, d3{23};
+  EXPECT_FALSE(g.append_sorted_links(n, s3, d3));
+  EXPECT_EQ(g.edge_count(), 22u);
+  ASSERT_EQ(g.out(0).size(), 22u);
+  EXPECT_EQ(g.out(0)[0], 1u);
+  EXPECT_EQ(g.out(0)[21], 22u);
+  edges.clear();
+  for (NodeId v = 1; v <= 22; ++v) edges.emplace_back(0, v);
+  csr_append::expect_graphs_equal(g,
+                                  san::graph::CsrGraph::from_edges(n, edges));
+}
+
+TEST(CsrAppend, RejectsMalformedBatches) {
+  san::graph::CsrGraph g;
+  const std::vector<NodeId> srcs{0}, dsts{1};
+  g.rebuild_from_sorted_edges(2, srcs, dsts, /*with_slack=*/true);
+  const std::vector<NodeId> self{1};
+  EXPECT_THROW(g.append_sorted_links(2, self, self), std::invalid_argument);
+  const std::vector<NodeId> u2{1, 0}, v2{0, 1};  // unsorted
+  EXPECT_THROW(g.append_sorted_links(2, u2, v2), std::invalid_argument);
+  const std::vector<NodeId> big{5};
+  EXPECT_THROW(g.append_sorted_links(2, big, dsts), std::out_of_range);
+  EXPECT_THROW(g.append_sorted_links(1, srcs, dsts), std::invalid_argument);
+}
+
+// ---- BipartiteCsr append (slack layout) fast path. ----
+
+TEST(BipartiteCsr, SlackBuildMatchesDenseSpans) {
+  san::stats::Rng rng(777);
+  const std::size_t n_left = 50, n_right = 20;
+  std::vector<NodeId> users;
+  std::vector<AttrId> attrs;
+  std::vector<std::uint8_t> seen(n_left * n_right, 0);
+  for (std::size_t i = 0; i < 300; ++i) {
+    const auto u = static_cast<NodeId>(rng.uniform_index(n_left));
+    const auto x = static_cast<AttrId>(rng.uniform_index(n_right));
+    if (seen[u * n_right + x]) continue;
+    seen[u * n_right + x] = 1;
+    users.push_back(u);
+    attrs.push_back(x);
+  }
+  BipartiteCsr dense, slack;
+  dense.rebuild_from_links(n_left, n_right, users, attrs);
+  slack.rebuild_from_links(n_left, n_right, users, attrs, /*with_slack=*/true);
+  ASSERT_EQ(slack.link_count(), dense.link_count());
+  for (NodeId u = 0; u < n_left; ++u) {
+    const auto a = slack.attrs_of(u), b = dense.attrs_of(u);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+  }
+  for (AttrId x = 0; x < n_right; ++x) {
+    const auto a = slack.members_of(x), b = dense.members_of(x);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+  }
+  EXPECT_EQ(slack.populated_right_count(), dense.populated_right_count());
+}
+
+TEST(BipartiteCsr, AppendMatchesRebuildAndKeepsOrders) {
+  // Two appended batches (later links, growing left side) must equal a
+  // from-scratch build of the concatenated input: members_of in input
+  // order, attrs_of sorted ascending.
+  const std::size_t n_right = 4;
+  std::vector<NodeId> users{2, 0, 1};
+  std::vector<AttrId> attrs{1, 1, 3};
+  BipartiteCsr csr;
+  csr.rebuild_from_links(3, n_right, users, attrs, /*with_slack=*/true);
+
+  const std::vector<NodeId> u1{1, 4, 0};
+  const std::vector<AttrId> a1{1, 0, 0};
+  ASSERT_TRUE(csr.append_links(5, u1, a1));
+  users.insert(users.end(), u1.begin(), u1.end());
+  attrs.insert(attrs.end(), a1.begin(), a1.end());
+
+  const std::vector<NodeId> u2{4, 1};
+  const std::vector<AttrId> a2{3, 0};
+  ASSERT_TRUE(csr.append_links(6, u2, a2));
+  users.insert(users.end(), u2.begin(), u2.end());
+  attrs.insert(attrs.end(), a2.begin(), a2.end());
+
+  const auto reference = BipartiteCsr::from_links(6, n_right, users, attrs);
+  ASSERT_EQ(csr.link_count(), reference.link_count());
+  ASSERT_EQ(csr.left_count(), reference.left_count());
+  for (NodeId u = 0; u < 6; ++u) {
+    const auto a = csr.attrs_of(u), b = reference.attrs_of(u);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
+        << "attrs_of(" << u << ")";
+  }
+  for (AttrId x = 0; x < n_right; ++x) {
+    const auto a = csr.members_of(x), b = reference.members_of(x);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
+        << "members_of(" << x << ")";
+  }
+}
+
+TEST(BipartiteCsr, AppendRelocatesUntilWasteExceedsLiveThenRefuses) {
+  // Attribute 0 starts with 10 dense members (live 10, zero slack).
+  const std::size_t n_left = 40;
+  std::vector<NodeId> users;
+  std::vector<AttrId> attrs;
+  for (NodeId u = 0; u < 10; ++u) {
+    users.push_back(u);
+    attrs.push_back(0);
+  }
+  BipartiteCsr csr;
+  csr.rebuild_from_links(n_left, 1, users, attrs);
+
+  // One more member overflows: the list RELOCATES (waste 10 <= live 11).
+  const std::vector<NodeId> u1{10};
+  const std::vector<AttrId> a1{0};
+  ASSERT_TRUE(csr.append_links(n_left, u1, a1));
+  EXPECT_EQ(csr.link_count(), 11u);
+
+  // Fill the doubled region: capacity is slack_capacity(11) = 22.
+  std::vector<NodeId> u2;
+  std::vector<AttrId> a2;
+  for (NodeId u = 11; u <= 21; ++u) {
+    u2.push_back(u);
+    a2.push_back(0);
+  }
+  ASSERT_TRUE(csr.append_links(n_left, u2, a2));
+  EXPECT_EQ(csr.link_count(), 22u);
+
+  // One more overflow would strand 10 + 22 dead slots against 23 live
+  // links: refuse and leave the structure untouched.
+  const std::vector<NodeId> u3{22};
+  const std::vector<AttrId> a3{0};
+  EXPECT_FALSE(csr.append_links(n_left, u3, a3));
+  EXPECT_EQ(csr.link_count(), 22u);
+  ASSERT_EQ(csr.members_of(0).size(), 22u);
+  for (NodeId u = 0; u < 22; ++u) {
+    EXPECT_EQ(csr.members_of(0)[u], u);  // input (time) order survived both
+                                         // relocations
+  }
 }
 
 }  // namespace

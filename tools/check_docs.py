@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Docs gate (CI `docs` job): keep the markdown truthful.
+
+Checks, stdlib only:
+  1. every intra-repo markdown link ([text](path)) in tracked *.md files
+     resolves to an existing file or directory;
+  2. the subcommand table in README.md matches `san_tool help` exactly
+     (same names, no drift in either direction), and every subcommand's
+     `san_tool help NAME` page exists (exit 0).
+
+Usage: tools/check_docs.py [--san-tool PATH] [--root DIR]
+The drift check is skipped (with a warning) when --san-tool is omitted,
+so the link check can run without a build.
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+# [text](target) — excluding images is unnecessary; they resolve the same.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# README subcommand table rows: | `name` | `synopsis` | purpose |
+TABLE_ROW_RE = re.compile(r"^\|\s*`([a-z][a-z0-9-]*)`\s*\|")
+# `san_tool help` subcommand listing rows: two-space indent, name, summary.
+HELP_ROW_RE = re.compile(r"^  ([a-z][a-z0-9-]*)\s{2,}\S")
+
+
+def markdown_files(root):
+    out = subprocess.run(
+        ["git", "ls-files", "*.md", "**/*.md"],
+        cwd=root, capture_output=True, text=True, check=True)
+    return sorted(set(out.stdout.split()))
+
+
+def strip_code(text):
+    """Drop fenced blocks and inline code so literal [x](y) examples in
+    them are not treated as links."""
+    text = re.sub(r"^```.*?^```", "", text, flags=re.S | re.M)
+    return re.sub(r"`[^`\n]*`", "", text)
+
+
+def check_links(root, files):
+    errors = []
+    for rel in files:
+        text = strip_code(
+            open(os.path.join(root, rel), encoding="utf-8").read())
+        for target in LINK_RE.findall(text):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, …
+                continue
+            path = target.split("#", 1)[0]
+            if not path:  # pure in-page anchor
+                continue
+            resolved = os.path.normpath(
+                os.path.join(root, os.path.dirname(rel), path))
+            if not os.path.exists(resolved):
+                errors.append(f"{rel}: broken link -> {target}")
+    return errors
+
+
+def readme_subcommands(root):
+    names = []
+    for line in open(os.path.join(root, "README.md"), encoding="utf-8"):
+        m = TABLE_ROW_RE.match(line)
+        if m and m.group(1) != "help":
+            names.append(m.group(1))
+    return names
+
+
+def san_tool_subcommands(san_tool):
+    out = subprocess.run([san_tool, "help"], capture_output=True, text=True)
+    if out.returncode != 0:
+        return None, [f"`{san_tool} help` exited {out.returncode}"]
+    names, in_listing = [], False
+    for line in out.stdout.splitlines():
+        if line.startswith("subcommands:"):
+            in_listing = True
+            continue
+        if in_listing:
+            m = HELP_ROW_RE.match(line)
+            if m:
+                names.append(m.group(1))
+            elif line.strip() == "":
+                in_listing = False
+    return names, []
+
+
+def check_drift(root, san_tool):
+    documented = readme_subcommands(root)
+    actual, errors = san_tool_subcommands(san_tool)
+    if errors:
+        return errors
+    if not documented:
+        return ["README.md: no subcommand table rows found (| `name` | ...)"]
+    if documented != actual:
+        return [
+            "README.md subcommand table drifted from `san_tool help`:\n"
+            f"  documented: {documented}\n  san_tool:   {actual}"
+        ]
+    for name in actual:
+        page = subprocess.run([san_tool, "help", name],
+                              capture_output=True, text=True)
+        if page.returncode != 0 or name not in page.stdout:
+            errors.append(f"`san_tool help {name}` missing or broken")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--san-tool", help="path to a built san_tool binary")
+    parser.add_argument("--root", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    args = parser.parse_args()
+
+    files = markdown_files(args.root)
+    errors = check_links(args.root, files)
+    if args.san_tool:
+        errors += check_drift(args.root, args.san_tool)
+    else:
+        print("warning: --san-tool not given, skipping help-drift check")
+
+    for error in errors:
+        print(f"error: {error}", file=sys.stderr)
+    print(f"checked {len(files)} markdown files"
+          + (", subcommand help in sync" if args.san_tool and not errors
+             else ""))
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

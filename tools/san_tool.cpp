@@ -1,6 +1,7 @@
 // san_tool — command-line front end for the library.
 //
-//   san_tool generate --kind model|zhel|gplus --nodes N --seed S -o FILE
+//   san_tool help [COMMAND]            (also: san_tool COMMAND --help)
+//   san_tool generate --kind model|zhel|gplus [--nodes N] [--seed S] -o FILE
 //   san_tool measure FILE [--day D]
 //   san_tool snapshots FILE [--step D]
 //   san_tool crawl FILE --day D [--private P] -o FILE
@@ -11,6 +12,14 @@
 // use the serve/query.hpp line format. Malformed numbers, unknown
 // subcommands, and missing positionals all fail loudly with usage + a
 // nonzero exit instead of silently falling back to atof/atol defaults.
+//
+// Exit codes (shared by every subcommand): 0 success / help, 1 runtime
+// failure (unreadable or malformed input file, workload parse error),
+// 2 usage error (unknown subcommand or flag value, missing positional).
+//
+// The subcommand table below is the single source of the usage strings;
+// the docs CI job (tools/check_docs.py) fails when `san_tool help` drifts
+// from the subcommand table documented in README.md.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -38,17 +47,151 @@ namespace {
 
 using namespace san;
 
+/// One row per subcommand: the synopsis is shared between the usage
+/// message, `san_tool help`, and each per-subcommand help page, so the
+/// three can never disagree.
+struct SubcommandDoc {
+  const char* name;
+  const char* synopsis;
+  const char* summary;  // one line, shown by `san_tool help`
+  const char* details;  // flags + semantics, shown by `san_tool help NAME`
+};
+
+constexpr SubcommandDoc kSubcommands[] = {
+    {"generate",
+     "san_tool generate --kind model|zhel|gplus [--nodes N] [--seed S]"
+     " -o FILE",
+     "synthesize a SAN and write it in SANv1 text format",
+     "Generates a Social-Attribute Network and saves it to FILE.\n"
+     "\n"
+     "  --kind model|zhel|gplus   generator family (default: model)\n"
+     "        model  the paper's SAN evolution model (attribute-augmented\n"
+     "               preferential attachment + triangle closing)\n"
+     "        zhel   the Zheleva et al. baseline model\n"
+     "        gplus  synthetic Google+ ground truth with daily crawl\n"
+     "               timestamps (the bench substrate)\n"
+     "  --nodes N                 social node count (default: 20000)\n"
+     "  --seed S                  RNG seed (default: 42)\n"
+     "  -o FILE                   output path, SANv1 text format (required)\n"},
+    {"measure",
+     "san_tool measure FILE [--day D]",
+     "print structural metrics of a snapshot",
+     "Loads the SANv1 file and prints node/link counts, reciprocity,\n"
+     "densities, assortativity, clustering coefficients, and the best-fit\n"
+     "outdegree model of the snapshot at day D.\n"
+     "\n"
+     "  --day D   snapshot time (default: the complete network)\n"},
+    {"snapshots",
+     "san_tool snapshots FILE [--step D]",
+     "per-day growth table via the timeline delta sweep",
+     "Replays the network's history as daily snapshots (the paper's 79\n"
+     "crawls) through san::SanTimeline — index once, then advance each\n"
+     "snapshot incrementally — and prints one growth row per day.\n"
+     "\n"
+     "  --step D   day stride between snapshots, > 0 (default: 1)\n"},
+    {"crawl",
+     "san_tool crawl FILE --day D [--private P] -o FILE",
+     "simulate the paper's BFS crawl of a ground-truth SAN",
+     "Crawls the ground-truth network as of day D the way the paper\n"
+     "crawled Google+ (BFS from the seed set, private profiles hidden)\n"
+     "and writes the crawled SAN to the output file.\n"
+     "\n"
+     "  --day D       crawl date (default: the complete network)\n"
+     "  --private P   probability a profile is private, in [0, 1]\n"
+     "                (default: 0.12)\n"
+     "  -o FILE       output path (required)\n"},
+    {"communities",
+     "san_tool communities FILE [--attribute-weight W]",
+     "attribute-aware community detection",
+     "Runs label-propagation community detection over the complete\n"
+     "network, optionally mixing shared-attribute affinity into the edge\n"
+     "weights, and prints community count and modularity.\n"
+     "\n"
+     "  --attribute-weight W   weight of shared attributes relative to\n"
+     "                         social links (default: 0)\n"},
+    {"serve",
+     "san_tool serve FILE --workload W [--cache N] [--batch B]",
+     "serve a query workload over cached timeline snapshots",
+     "Loads the SAN, indexes it into a SanTimeline, and serves the\n"
+     "workload through serve::QueryEngine: admission-ordered batches,\n"
+     "snapshots resolved through an LRU serve::SnapshotCache (distinct\n"
+     "cold days materialize concurrently), queries executed data-parallel\n"
+     "(SAN_THREADS lanes). One result line per query on stdout; QPS and\n"
+     "cache hit/miss/eviction stats on stderr.\n"
+     "\n"
+     "  --workload W   workload file, one query per line (required)\n"
+     "  --cache N      snapshots kept resident, >= 1 (default: 8)\n"
+     "  --batch B      queries admitted per batch, >= 1 (default: 1024)\n"
+     "\n"
+     "Workload grammar (serve/query.hpp): blank lines and lines starting\n"
+     "with '#' are skipped; every other line is one of\n"
+     "\n"
+     "  linkrec <time> <user> <k>   top-k friend recommendation\n"
+     "  attrs   <time> <user> <k>   top-k attribute inference\n"
+     "  ego     <time> <user>       ego degree/reciprocity/2-hop metrics\n"
+     "  recip   <time> <src> <dst>  will src -> dst reciprocate?\n"
+     "\n"
+     "<time> is a day on the snapshot grid (bit-exact cache key; NaN is\n"
+     "rejected), ids are the dense SANv1 node ids, and <k> must be > 0.\n"
+     "Malformed lines fail the load with their line number (exit 1).\n"},
+};
+
+void print_synopses(std::FILE* stream) {
+  std::fprintf(stream, "usage:\n  san_tool help [COMMAND]\n");
+  for (const auto& doc : kSubcommands) {
+    std::fprintf(stream, "  %s\n", doc.synopsis);
+  }
+}
+
 int usage() {
+  print_synopses(stderr);
   std::fprintf(stderr,
-               "usage:\n"
-               "  san_tool generate --kind model|zhel|gplus [--nodes N]"
-               " [--seed S] -o FILE\n"
-               "  san_tool measure FILE [--day D]\n"
-               "  san_tool snapshots FILE [--step D]\n"
-               "  san_tool crawl FILE --day D [--private P] -o FILE\n"
-               "  san_tool communities FILE [--attribute-weight W]\n"
-               "  san_tool serve FILE --workload W [--cache N] [--batch B]\n");
+               "exit codes: 0 success, 1 runtime failure, 2 usage error\n");
   return 2;
+}
+
+const SubcommandDoc* find_subcommand(const std::string& name) {
+  for (const auto& doc : kSubcommands) {
+    if (name == doc.name) return &doc;
+  }
+  return nullptr;
+}
+
+int complain(const char* format, const char* value);
+
+int cmd_help(const std::string& topic) {
+  if (topic.empty()) {
+    std::printf("san_tool — Social-Attribute Network toolkit"
+                " (docs: README.md)\n\n");
+    print_synopses(stdout);
+    std::printf("\nsubcommands:\n");
+    for (const auto& doc : kSubcommands) {
+      std::printf("  %-12s %s\n", doc.name, doc.summary);
+    }
+    std::printf(
+        "\nFILE arguments use the SANv1 text format"
+        " (src/san/serialization.hpp).\n"
+        "SAN_THREADS=<n> sets the parallel lane count; results are\n"
+        "byte-identical at any thread count.\n"
+        "exit codes: 0 success, 1 runtime failure, 2 usage error\n");
+    return 0;
+  }
+  const SubcommandDoc* doc = find_subcommand(topic);
+  if (doc == nullptr) return complain("unknown command '%s'", topic.c_str());
+  std::printf("usage: %s\n\n%s\n%s", doc->synopsis, doc->details,
+              "exit codes: 0 success, 1 runtime failure, 2 usage error\n");
+  return 0;
+}
+
+/// True when --help/-h appears anywhere after the subcommand.
+bool wants_help(int argc, char** argv) {
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      return true;
+    }
+  }
+  return false;
 }
 
 int complain(const char* format, const char* value) {
@@ -201,7 +344,7 @@ int cmd_snapshots(int argc, char** argv, const char* path) {
                 graph::density(snap.social), attribute_density(snap));
   });
   std::printf("(%zu snapshots; indexed %llu social + %llu attribute links"
-              " once, O(prefix) per day)\n",
+              " once, delta-advanced per day)\n",
               days.size(),
               static_cast<unsigned long long>(timeline.social_link_total()),
               static_cast<unsigned long long>(timeline.attribute_link_total()));
@@ -308,6 +451,13 @@ int missing_file(const char* command) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
+  if (command == "help" || command == "--help" || command == "-h") {
+    return cmd_help(argc >= 3 ? argv[2] : "");
+  }
+  if (wants_help(argc, argv)) {
+    if (find_subcommand(command) != nullptr) return cmd_help(command);
+    return complain("unknown command '%s'", command.c_str());
+  }
   const bool has_file = argc >= 3 && argv[2][0] != '-';
   try {
     if (command == "generate") return cmd_generate(argc, argv);
