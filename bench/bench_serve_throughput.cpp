@@ -27,8 +27,8 @@
 #include "bench_util.hpp"
 #include "core/thread_pool.hpp"
 #include "san/timeline.hpp"
+#include "san_testlib.hpp"
 #include "serve/query_engine.hpp"
-#include "stats/rng.hpp"
 
 namespace {
 
@@ -40,38 +40,6 @@ std::size_t query_count() {
     if (value > 0) return static_cast<std::size_t>(value);
   }
   return 20'000;
-}
-
-/// Mixed workload over the snapshot-day grid: 40% link recommendation, 25%
-/// attribute inference, 25% ego metrics, 10% reciprocity. Users are drawn
-/// over the FULL node id space, so late-day ids against early days exercise
-/// the unknown-node path too.
-std::vector<serve::Query> make_workload(std::size_t count,
-                                        std::size_t node_count,
-                                        const std::vector<double>& days) {
-  stats::Rng rng(0x5e12e);
-  std::vector<serve::Query> queries;
-  queries.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    serve::Query q;
-    q.time = days[rng.uniform_index(days.size())];
-    q.user = static_cast<NodeId>(rng.uniform_index(node_count));
-    const std::uint64_t mix = rng.uniform_index(100);
-    if (mix < 40) {
-      q.kind = serve::QueryKind::kLinkRec;
-      q.k = 10;
-    } else if (mix < 65) {
-      q.kind = serve::QueryKind::kAttrInfer;
-      q.k = 5;
-    } else if (mix < 90) {
-      q.kind = serve::QueryKind::kEgoMetrics;
-    } else {
-      q.kind = serve::QueryKind::kReciprocity;
-      q.other = static_cast<NodeId>(rng.uniform_index(node_count));
-    }
-    queries.push_back(q);
-  }
-  return queries;
 }
 
 std::vector<std::string> run_batched(serve::QueryEngine& engine,
@@ -113,8 +81,10 @@ int main() {
   const SanTimeline timeline(net);
 
   const auto days = bench::snapshot_days();
-  const auto queries =
-      make_workload(query_count(), net.social_node_count(), days);
+  // The 40/25/25/10 linkrec/attrs/ego/recip mix shared with the test
+  // suites (tests/san_testlib.hpp).
+  const auto queries = testlib::mixed_queries(
+      query_count(), net.social_node_count(), days, 0x5e12e);
   std::printf("workload: %zu queries over %zu snapshot days\n", queries.size(),
               days.size());
 

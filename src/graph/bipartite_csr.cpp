@@ -125,23 +125,27 @@ void BipartiteCsr::rebuild_from_links(std::size_t left_count,
 }
 
 bool BipartiteCsr::append_links(std::size_t new_left_count,
+                                std::size_t new_right_count,
                                 std::span<const NodeId> users,
                                 std::span<const AttrId> attrs) {
   if (users.size() != attrs.size()) {
     throw std::invalid_argument("BipartiteCsr: users/attrs size mismatch");
   }
-  if (new_left_count < left_count_) {
+  if (new_left_count < left_count_ || new_right_count < right_count_) {
     throw std::invalid_argument(
-        "BipartiteCsr::append_links: left count may not shrink");
+        "BipartiteCsr::append_links: node counts may not shrink");
   }
   const std::size_t m = users.size();
   const std::size_t old_left = left_count_;
+  const std::size_t old_right = right_count_;
   const std::size_t bad = core::parallel_reduce(
       m, std::size_t{0},
       [&](std::size_t begin, std::size_t end, std::size_t) {
         std::size_t count = 0;
         for (std::size_t i = begin; i < end; ++i) {
-          if (users[i] >= new_left_count || attrs[i] >= right_count_) ++count;
+          if (users[i] >= new_left_count || attrs[i] >= new_right_count) {
+            ++count;
+          }
         }
         return count;
       },
@@ -154,7 +158,7 @@ bool BipartiteCsr::append_links(std::size_t new_left_count,
 
   // Chunk-parallel counts of the new links per endpoint.
   by_attr_.count(
-      m, right_count_,
+      m, new_right_count,
       [&](std::size_t begin, std::size_t end, auto emit) {
         for (std::size_t i = begin; i < end; ++i) emit(attrs[i]);
       },
@@ -171,7 +175,7 @@ bool BipartiteCsr::append_links(std::size_t new_left_count,
   // past that point a compacting rebuild is cheaper, so refuse and leave
   // the structure untouched for the caller.
   std::uint64_t left_hole = 0, right_hole = 0;
-  for (std::size_t a = 0; a < right_count_; ++a) {
+  for (std::size_t a = 0; a < old_right; ++a) {
     if (counts_[a] > 0 && right_len_[a] + counts_[a] > right_cap_[a]) {
       right_hole += right_cap_[a];
     }
@@ -195,12 +199,22 @@ bool BipartiteCsr::append_links(std::size_t new_left_count,
   // input (time) order is preserved under the append contract.
   reloc_right_.clear();
   reloc_right_old_.clear();
-  base_.assign(right_count_, 0);
-  dense_right_.assign(right_count_ + 1, 0);
+  base_.assign(new_right_count, 0);
+  dense_right_.assign(new_right_count + 1, 0);
+  right_start_.resize(new_right_count, 0);
+  right_cap_.resize(new_right_count, 0);
+  right_len_.resize(new_right_count, 0);
   {
     std::uint64_t tail = right_targets_.size();
-    for (std::size_t a = 0; a < right_count_; ++a) {
-      if (counts_[a] > 0 && right_len_[a] + counts_[a] > right_cap_[a]) {
+    for (std::size_t a = 0; a < new_right_count; ++a) {
+      if (a >= old_right) {
+        // Joining right node: fresh slack region at the tail, no waste.
+        right_start_[a] = tail;
+        right_cap_[a] = static_cast<std::uint32_t>(
+            counts_[a] > 0 ? slack_capacity(counts_[a]) : 0);
+        tail += right_cap_[a];
+      } else if (counts_[a] > 0 &&
+                 right_len_[a] + counts_[a] > right_cap_[a]) {
         reloc_right_.push_back(static_cast<AttrId>(a));
         reloc_right_old_.push_back(right_start_[a]);
         right_waste_ += right_cap_[a];
@@ -214,6 +228,7 @@ bool BipartiteCsr::append_links(std::size_t new_left_count,
     }
     right_targets_.resize(tail);
   }
+  right_count_ = new_right_count;
   core::parallel_for(reloc_right_.size(), [&](std::size_t i) {
     const AttrId a = reloc_right_[i];
     const NodeId* old = right_targets_.data() + reloc_right_old_[i];
@@ -226,7 +241,7 @@ bool BipartiteCsr::append_links(std::size_t new_left_count,
         for (std::size_t i = begin; i < end; ++i) emit(attrs[i], users[i]);
       },
       right_targets_.data());
-  for (std::size_t a = 0; a < right_count_; ++a) {
+  for (std::size_t a = 0; a < new_right_count; ++a) {
     right_len_[a] += static_cast<std::uint32_t>(counts_[a]);
   }
 

@@ -59,16 +59,25 @@ class BipartiteCsr {
   /// already present (members_of stays in global time order only if later
   /// batches hold later links); pairs must be unique against the existing
   /// links. Users may reference the joining range
-  /// [left_count(), new_left_count); the right id space is fixed at build
-  /// time (it spans the whole source network). Nodes whose region
-  /// overflows are relocated with amortized-doubling capacity; append
-  /// returns false — leaving the structure UNCHANGED — only when the
-  /// relocation waste would exceed the live links, and the caller then
-  /// compacts with a full rebuild. Counting is chunk-parallel and per-node
-  /// merges write disjoint ranges, so results are byte-identical at any
-  /// SAN_THREADS count.
-  bool append_links(std::size_t new_left_count, std::span<const NodeId> users,
+  /// [left_count(), new_left_count), attrs the joining range
+  /// [right_count(), new_right_count) — live ingestion grows the attribute
+  /// id space, and a joining right node gets a fresh slack region just
+  /// like a joining left node. Nodes whose region overflows are relocated
+  /// with amortized-doubling capacity; append returns false — leaving the
+  /// structure UNCHANGED — only when the relocation waste would exceed the
+  /// live links, and the caller then compacts with a full rebuild.
+  /// Counting is chunk-parallel and per-node merges write disjoint ranges,
+  /// so results are byte-identical at any SAN_THREADS count.
+  bool append_links(std::size_t new_left_count, std::size_t new_right_count,
+                    std::span<const NodeId> users,
                     std::span<const AttrId> attrs);
+
+  /// Fixed right id space variant (the SanTimeline delta sweep, where the
+  /// id space always spans the whole source network).
+  bool append_links(std::size_t new_left_count, std::span<const NodeId> users,
+                    std::span<const AttrId> attrs) {
+    return append_links(new_left_count, right_count_, users, attrs);
+  }
 
   std::size_t left_count() const { return left_count_; }
   std::size_t right_count() const { return right_count_; }

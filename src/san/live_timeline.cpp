@@ -1,0 +1,193 @@
+#include "san/live_timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace san {
+namespace {
+
+[[noreturn]] void bad_batch(const char* what) {
+  throw std::invalid_argument(std::string("LiveTimeline::ingest: ") + what);
+}
+
+}  // namespace
+
+LiveTimeline::LiveTimeline(const SocialAttributeNetwork& seed,
+                           LiveTimelineOptions options)
+    : log_(seed),
+      timeline_(log_),
+      materializer_(timeline_),
+      options_(options) {
+  if (options_.batches_per_epoch == 0) {
+    throw std::invalid_argument(
+        "LiveTimeline: batches_per_epoch must be >= 1");
+  }
+  tip_ = std::isnan(options_.initial_tip) ? timeline_.max_time()
+                                          : options_.initial_tip;
+  materializer_.advance(tip_, work_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  publish_locked();  // epoch 0: the seed's complete snapshot
+}
+
+double LiveTimeline::ingest(const IngestBatch& batch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (std::isnan(batch.tip) || batch.tip <= tip_) {
+    bad_batch("tip must be a number strictly after the current tip");
+  }
+
+  // Validate before any mutation so a throw leaves the log unchanged.
+  std::vector<double>& joins = joins_scratch_;
+  joins.assign(batch.social_nodes.begin(), batch.social_nodes.end());
+  std::stable_sort(joins.begin(), joins.end());
+  for (const double t : joins) {
+    if (std::isnan(t)) bad_batch("NaN social node join time");
+  }
+  if (!joins.empty() && log_.social_node_count() > 0 &&
+      joins.front() < log_.social_node_times().back()) {
+    bad_batch("social node join times must not precede already-logged joins");
+  }
+  for (const auto& a : batch.attribute_nodes) {
+    if (std::isnan(a.time)) bad_batch("NaN attribute node time");
+  }
+  for (const auto& e : batch.social_links) {
+    if (std::isnan(e.time)) bad_batch("NaN social link time");
+  }
+  for (const auto& link : batch.attribute_links) {
+    if (std::isnan(link.time)) bad_batch("NaN attribute link time");
+  }
+
+  // Any event landing at or before the previous tip sits inside the
+  // already-applied region of the indexed log, which the Materializer's
+  // delta state cannot express — such a batch pays one full tip rebuild.
+  const double prev_tip = tip_;
+  bool late = false;
+
+  for (const double t : joins) {
+    log_.add_social_node(t);
+    ++stats_.ingested_nodes;
+  }
+  for (const auto& a : batch.attribute_nodes) {
+    log_.add_attribute_node(a.type, a.name, a.time);
+    ++stats_.ingested_attribute_nodes;
+    late |= a.time <= prev_tip;
+  }
+
+  const std::size_t n_social = log_.social_node_count();
+  const std::size_t n_attr = log_.attribute_node_count();
+  const auto apply_social = [&](const TimedSocialEdge& e) {
+    if (!log_.add_social_link(e.src, e.dst, e.time)) {
+      ++stats_.rejected_links;  // duplicate or self-link
+      return false;
+    }
+    ++stats_.ingested_links;
+    late |= e.time <= prev_tip;
+    return true;
+  };
+  const auto apply_attr = [&](const TimedAttributeLink& link) {
+    if (!log_.add_attribute_link(link.user, link.attr, link.time)) {
+      ++stats_.rejected_links;
+      return false;
+    }
+    ++stats_.ingested_attribute_links;
+    late |= link.time <= prev_tip;
+    return true;
+  };
+
+  // Held links whose missing endpoint id appeared activate first (they
+  // were admitted earlier), then the batch's own links.
+  std::size_t w = 0;
+  for (const auto& e : pending_social_) {
+    if (e.src < n_social && e.dst < n_social) {
+      if (apply_social(e)) ++stats_.activated_links;
+    } else {
+      pending_social_[w++] = e;
+    }
+  }
+  pending_social_.resize(w);
+  w = 0;
+  for (const auto& link : pending_attr_) {
+    if (link.user < n_social && link.attr < n_attr) {
+      if (apply_attr(link)) ++stats_.activated_links;
+    } else {
+      pending_attr_[w++] = link;
+    }
+  }
+  pending_attr_.resize(w);
+
+  for (const auto& e : batch.social_links) {
+    if (e.src >= n_social || e.dst >= n_social) {
+      pending_social_.push_back(e);  // id not created yet: hold
+    } else {
+      apply_social(e);
+    }
+  }
+  for (const auto& link : batch.attribute_links) {
+    if (link.user >= n_social || link.attr >= n_attr) {
+      pending_attr_.push_back(link);
+    } else {
+      apply_attr(link);
+    }
+  }
+  stats_.pending_links = pending_social_.size() + pending_attr_.size();
+
+  // Index the new events, then bring the private work snapshot to the new
+  // tip off the serve path — readers keep loading the published epoch.
+  timeline_.absorb(log_);
+  if (late) {
+    materializer_.invalidate();
+    ++stats_.late_batches;
+  }
+  materializer_.advance(batch.tip, work_);
+  tip_ = batch.tip;
+  work_published_ = false;
+  ++stats_.batches;
+  if (++batches_since_publish_ >= options_.batches_per_epoch) {
+    publish_locked();
+  }
+  return tip_;
+}
+
+void LiveTimeline::publish() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  publish_locked();
+}
+
+void LiveTimeline::publish_locked() {
+  if (work_published_) {
+    batches_since_publish_ = 0;
+    return;
+  }
+  // Recycle a retired epoch buffer no reader holds (pool + nothing else);
+  // the currently published buffer is pinned by the atomic itself.
+  std::shared_ptr<SanSnapshot> buffer;
+  for (const auto& candidate : pool_) {
+    if (candidate.use_count() == 1) {
+      buffer = candidate;
+      break;
+    }
+  }
+  if (!buffer) {
+    buffer = std::make_shared<SanSnapshot>();
+    pool_.push_back(buffer);
+  }
+  *buffer = work_;  // deep copy; recycled buffers reuse their capacity
+  published_.store(std::shared_ptr<const SanSnapshot>(buffer),
+                   std::memory_order_release);
+  epoch_.store(stats_.epochs, std::memory_order_release);
+  ++stats_.epochs;
+  batches_since_publish_ = 0;
+  work_published_ = true;
+}
+
+std::shared_ptr<const SanSnapshot> LiveTimeline::tip() const {
+  return published_.load(std::memory_order_acquire);
+}
+
+LiveTimeline::Stats LiveTimeline::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace san

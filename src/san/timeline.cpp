@@ -12,20 +12,65 @@
 namespace san {
 namespace {
 
-/// Stable permutation of [0, n) ordered by times[i] (ties keep index order).
-std::vector<std::uint64_t> stable_order_by_time(std::span<const double> times) {
-  std::vector<std::uint64_t> order(times.size());
+/// Stable permutation of [0, n) ordered by times[i] (ties keep index
+/// order), filled into `order` so absorb() can reuse one buffer per batch.
+void stable_order_by_time_into(std::span<const double> times,
+                               std::vector<std::uint64_t>& order) {
+  order.resize(times.size());
   std::iota(order.begin(), order.end(), std::uint64_t{0});
   std::stable_sort(order.begin(), order.end(),
                    [&](std::uint64_t a, std::uint64_t b) {
                      return times[a] < times[b];
                    });
+}
+
+std::vector<std::uint64_t> stable_order_by_time(std::span<const double> times) {
+  std::vector<std::uint64_t> order;
+  stable_order_by_time_into(times, order);
   return order;
 }
 
 std::size_t prefix_at(std::span<const double> times, double time) {
   return static_cast<std::size_t>(
       std::upper_bound(times.begin(), times.end(), time) - times.begin());
+}
+
+/// absorb() merge plan: `key` holds `old_size` time-sorted rows followed by
+/// a time-sorted appended chunk. Emits into `perm` the stable merge of the
+/// two runs (existing rows first on ties) as original indices for the
+/// positions that move, and returns the first moving position — rows
+/// earlier than the chunk's first time stay put, so an in-order absorb
+/// costs O(new events), not O(log).
+std::size_t merge_suffix_permutation(std::span<const double> key,
+                                     std::size_t old_size,
+                                     std::vector<std::uint64_t>& perm) {
+  const std::size_t n = key.size();
+  perm.clear();
+  if (old_size >= n) return n;
+  const std::size_t pos = static_cast<std::size_t>(
+      std::upper_bound(key.begin(), key.begin() + old_size, key[old_size]) -
+      key.begin());
+  perm.reserve(n - pos);
+  std::size_t i = pos, j = old_size;
+  while (i < old_size || j < n) {
+    if (j >= n || (i < old_size && key[i] <= key[j])) {
+      perm.push_back(i++);
+    } else {
+      perm.push_back(j++);
+    }
+  }
+  return pos;
+}
+
+template <typename T>
+void apply_suffix_permutation(std::vector<T>& column, std::size_t pos,
+                              std::span<const std::uint64_t> perm,
+                              std::vector<T>& scratch) {
+  scratch.assign(column.begin() + static_cast<std::ptrdiff_t>(pos),
+                 column.end());
+  for (std::size_t k = 0; k < perm.size(); ++k) {
+    column[pos + k] = scratch[perm[k] - pos];
+  }
 }
 
 }  // namespace
@@ -56,6 +101,11 @@ struct SanTimeline::Scratch {
   std::size_t edge_prefix = 0;
   std::size_t link_prefix = 0;
   std::size_t created_prefix = 0;
+  // Attribute id-space size when the snapshot was produced: absorb() can
+  // grow the space between advances, which is legal (the snapshot's dense
+  // arrays are extended), unlike a size mismatch against this record
+  // (a foreign snapshot), which forces a full build.
+  std::size_t attr_total = 0;
   std::vector<std::pair<NodeId, NodeId>> deferred_edges;
   std::vector<std::pair<NodeId, AttrId>> deferred_attr;
   // advance() working sets.
@@ -79,6 +129,8 @@ void SanTimeline::Materializer::materialize(double time, SanSnapshot& snap) {
 void SanTimeline::Materializer::advance(double time, SanSnapshot& snap) {
   timeline_->advance(time, snap, *scratch_);
 }
+
+void SanTimeline::Materializer::invalidate() { scratch_->delta_valid = false; }
 
 SanTimeline::SanTimeline(const SocialAttributeNetwork& network) {
   const auto node_times = network.social_node_times();
@@ -142,6 +194,101 @@ SanTimeline::SanTimeline(const SocialAttributeNetwork& network) {
   if (!edge_time_.empty()) max_time_ = std::max(max_time_, edge_time_.back());
   if (!link_time_.empty()) max_time_ = std::max(max_time_, link_time_.back());
   for (const double t : attr_times_) max_time_ = std::max(max_time_, t);
+}
+
+void SanTimeline::absorb(const SocialAttributeNetwork& network) {
+  const auto node_times = network.social_node_times();
+  const auto social_log = network.social_log();
+  const auto attribute_log = network.attribute_log();
+  const std::size_t n_attr = network.attribute_node_count();
+  if (node_times.size() < social_node_times_.size() ||
+      social_log.size() < edge_time_.size() ||
+      attribute_log.size() < link_time_.size() ||
+      n_attr < attr_times_.size()) {
+    throw std::invalid_argument(
+        "SanTimeline::absorb: network holds fewer events than the index");
+  }
+
+  // Social nodes: join times are non-decreasing (the network enforces it)
+  // and ids are chronological, so node rows append without a merge.
+  social_node_times_.insert(
+      social_node_times_.end(),
+      node_times.begin() +
+          static_cast<std::ptrdiff_t>(social_node_times_.size()),
+      node_times.end());
+
+  AbsorbScratch& s = absorb_;
+
+  if (social_log.size() > edge_time_.size()) {
+    const std::size_t old_m = edge_time_.size();
+    s.chunk_times.resize(social_log.size() - old_m);
+    for (std::size_t i = 0; i < s.chunk_times.size(); ++i) {
+      s.chunk_times[i] = social_log[old_m + i].time;
+    }
+    stable_order_by_time_into(s.chunk_times, s.order);
+    for (const std::uint64_t k : s.order) {
+      const auto& e = social_log[old_m + k];
+      edge_src_.push_back(e.src);
+      edge_dst_.push_back(e.dst);
+      edge_time_.push_back(e.time);
+    }
+    const std::size_t pos =
+        merge_suffix_permutation(edge_time_, old_m, s.perm);
+    apply_suffix_permutation(edge_src_, pos, s.perm, s.id_scratch);
+    apply_suffix_permutation(edge_dst_, pos, s.perm, s.id_scratch);
+    apply_suffix_permutation(edge_time_, pos, s.perm, s.time_scratch);
+  }
+
+  if (attribute_log.size() > link_time_.size()) {
+    const std::size_t old_m = link_time_.size();
+    s.chunk_times.resize(attribute_log.size() - old_m);
+    for (std::size_t i = 0; i < s.chunk_times.size(); ++i) {
+      s.chunk_times[i] = attribute_log[old_m + i].time;
+    }
+    stable_order_by_time_into(s.chunk_times, s.order);
+    for (const std::uint64_t k : s.order) {
+      const auto& link = attribute_log[old_m + k];
+      link_user_.push_back(link.user);
+      link_attr_.push_back(link.attr);
+      link_time_.push_back(link.time);
+    }
+    const std::size_t pos =
+        merge_suffix_permutation(link_time_, old_m, s.perm);
+    apply_suffix_permutation(link_user_, pos, s.perm, s.id_scratch);
+    apply_suffix_permutation(link_attr_, pos, s.perm, s.attr_scratch);
+    apply_suffix_permutation(link_time_, pos, s.perm, s.time_scratch);
+  }
+
+  if (n_attr > attr_times_.size()) {
+    const std::size_t old_n = attr_times_.size();
+    for (std::size_t a = old_n; a < n_attr; ++a) {
+      attr_types_.push_back(network.attribute_type(static_cast<AttrId>(a)));
+      attr_times_.push_back(
+          network.attribute_node_time(static_cast<AttrId>(a)));
+    }
+    s.chunk_times.assign(
+        attr_times_.begin() + static_cast<std::ptrdiff_t>(old_n),
+        attr_times_.end());
+    stable_order_by_time_into(s.chunk_times, s.order);
+    for (const std::uint64_t k : s.order) {
+      attr_order_.push_back(static_cast<AttrId>(old_n + k));
+      attr_sorted_times_.push_back(s.chunk_times[k]);
+    }
+    const std::size_t pos =
+        merge_suffix_permutation(attr_sorted_times_, old_n, s.perm);
+    apply_suffix_permutation(attr_order_, pos, s.perm, s.attr_scratch);
+    apply_suffix_permutation(attr_sorted_times_, pos, s.perm,
+                             s.time_scratch);
+  }
+
+  if (!social_node_times_.empty()) {
+    max_time_ = std::max(max_time_, social_node_times_.back());
+  }
+  if (!edge_time_.empty()) max_time_ = std::max(max_time_, edge_time_.back());
+  if (!link_time_.empty()) max_time_ = std::max(max_time_, link_time_.back());
+  if (!attr_sorted_times_.empty()) {
+    max_time_ = std::max(max_time_, attr_sorted_times_.back());
+  }
 }
 
 // Social edges: radix-order the <= t slice into the final out/in CSR arrays
@@ -330,6 +477,7 @@ void SanTimeline::materialize(double time, SanSnapshot& snap, Scratch& s,
   s.edge_prefix = edge_prefix;
   s.link_prefix = link_prefix;
   s.created_prefix = created_prefix;
+  s.attr_total = n_attr;
 }
 
 void SanTimeline::advance(double time, SanSnapshot& snap, Scratch& s) const {
@@ -340,11 +488,20 @@ void SanTimeline::advance(double time, SanSnapshot& snap, Scratch& s) const {
   if (!s.delta_valid || s.delta_snap != &snap || time < s.delta_time ||
       snap.time != s.delta_time ||
       snap.social.node_count() != s.n_social ||
-      snap.attribute_created.size() != attr_times_.size() ||
+      snap.attribute_created.size() != s.attr_total ||
       snap.created_attribute_count != s.created_prefix) {
     materialize(time, snap, s, /*slack=*/true);
     return;
   }
+  // The timeline may have absorbed new attribute nodes since this snapshot
+  // was produced (live ingestion): extend the dense id-space arrays — ids
+  // only ever append, so existing entries keep their positions.
+  const std::size_t n_attr = attr_times_.size();
+  if (snap.attribute_created.size() < n_attr) {
+    snap.attribute_created.resize(n_attr, 0);
+    snap.attribute_types.resize(n_attr, AttributeType::kOther);
+  }
+  s.attr_total = n_attr;
   const std::size_t n_new = prefix_at(social_node_times_, time);
   const std::size_t edge_prefix_new = prefix_at(edge_time_, time);
   const std::size_t link_prefix_new = prefix_at(link_time_, time);
@@ -418,8 +575,9 @@ void SanTimeline::advance(double time, SanSnapshot& snap, Scratch& s) const {
         s.delta_attrs.push_back(link_attr_[i]);
       }
     }
-    if (!s.delta_users.empty() || n_new > s.n_social) {
-      if (!snap.attribute.append_links(n_new, s.delta_users,
+    if (!s.delta_users.empty() || n_new > s.n_social ||
+        n_attr > snap.attribute.right_count()) {
+      if (!snap.attribute.append_links(n_new, n_attr, s.delta_users,
                                        s.delta_attrs)) {
         build_attribute_links(n_new, link_prefix_new, snap, s,
                               /*slack=*/true);

@@ -70,6 +70,14 @@ class SanTimeline {
     /// way the result is bit-identical to materialize(time, snap).
     void advance(double time, SanSnapshot& snap);
 
+    /// Drop the delta state so the next advance() performs a full
+    /// (slack-layout) rebuild. Required after the borrowed timeline
+    /// absorbs events at or before this Materializer's last-produced
+    /// time — such events shift the indexed log under the recorded
+    /// prefixes, which advance() cannot detect on its own (LiveTimeline
+    /// calls this on every late batch).
+    void invalidate();
+
    private:
     const SanTimeline* timeline_;
     std::unique_ptr<Scratch> scratch_;
@@ -81,6 +89,20 @@ class SanTimeline {
   std::uint64_t attribute_link_total() const { return link_time_.size(); }
   /// Largest timestamp of any node or link (0.0 for an empty network).
   double max_time() const { return max_time_; }
+
+  /// Live-ingest extension (san/live_timeline.hpp): index every event
+  /// `network` gained since this timeline last saw it (construction or a
+  /// previous absorb) by stable-merging the new log slices into the
+  /// columnar time-sorted arrays — identical to rebuilding the timeline
+  /// from `network`, at O(moved suffix + new events) instead of a full
+  /// re-sort. `network` must be the same append-only network this timeline
+  /// indexes. NOT thread-safe: absorbing while any other thread reads this
+  /// timeline (snapshot_at, a Materializer, a SnapshotCache bound to it)
+  /// is a data race — LiveTimeline keeps its growing timeline writer-only
+  /// and gives historical readers a separate frozen index for exactly that
+  /// reason. Absorbing events at or before a Materializer's last-produced
+  /// time additionally requires invalidating that Materializer.
+  void absorb(const SocialAttributeNetwork& network);
 
   /// Snapshot at time t in O(links <= t); equivalent to
   /// san::snapshot_at(network, t).
@@ -129,6 +151,16 @@ class SanTimeline {
   std::vector<AttrId> attr_order_;
   std::vector<double> attr_sorted_times_;
   double max_time_ = 0.0;
+
+  // absorb() scratch, reused across batches so the live ingest hot path
+  // stops allocating once the arrays reach their high-water size.
+  struct AbsorbScratch {
+    std::vector<std::uint64_t> perm, order;
+    std::vector<double> chunk_times, time_scratch;
+    std::vector<NodeId> id_scratch;
+    std::vector<AttrId> attr_scratch;
+  };
+  AbsorbScratch absorb_;
 };
 
 }  // namespace san

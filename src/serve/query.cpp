@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -28,7 +29,14 @@ void append_u64(std::string& line, std::uint64_t value) {
                               ": " + what);
 }
 
-double parse_time(const std::string& token, std::size_t line_no) {
+/// Parses a snapshot time; where a query time is expected (`now` non-null)
+/// the token `now` is accepted and maps to +infinity with *now set.
+double parse_time(const std::string& token, std::size_t line_no,
+                  bool* now = nullptr) {
+  if (now != nullptr && token == "now") {
+    *now = true;
+    return std::numeric_limits<double>::infinity();
+  }
   double value = 0.0;
   if (!core::parse_double_strict(token.c_str(), value)) {
     bad_line(line_no, "malformed time '" + token + "'");
@@ -71,7 +79,11 @@ const char* to_string(QueryKind kind) {
 std::string QueryResult::to_line(const Query& query) const {
   std::string line = to_string(kind);
   line += " t=";
-  append_double(line, query.time);
+  if (query.now) {
+    line += "now";
+  } else {
+    append_double(line, query.time);
+  }
   line += " u=";
   append_u64(line, query.user);
   if (kind == QueryKind::kReciprocity) {
@@ -125,53 +137,98 @@ std::string QueryResult::to_line(const Query& query) const {
   return line;
 }
 
+namespace {
+
+/// Parses one line into `step`; returns false for blanks and comments.
+/// `allow_ingest` gates the live-only `ingest` directive.
+bool parse_step(const std::string& line, std::size_t line_no,
+                bool allow_ingest, WorkloadStep& step) {
+  std::istringstream fields(line);
+  std::string op;
+  if (!(fields >> op) || op[0] == '#') return false;
+
+  step = WorkloadStep{};
+  Query& q = step.query;
+  std::string a, b, c, extra;
+  if (op == "ingest") {
+    if (!allow_ingest) {
+      bad_line(line_no, "ingest lines need live replay (san_tool live)");
+    }
+    step.ingest = true;
+    if (!(fields >> a)) bad_line(line_no, "expected TIP");
+    step.tip = parse_time(a, line_no);
+  } else if (op == "linkrec" || op == "attrs") {
+    q.kind = op == "linkrec" ? QueryKind::kLinkRec : QueryKind::kAttrInfer;
+    if (!(fields >> a >> b >> c)) bad_line(line_no, "expected TIME USER K");
+    q.time = parse_time(a, line_no, &q.now);
+    q.user = parse_node(b, line_no, "user");
+    const std::uint64_t k = parse_u64(c, line_no, "k");
+    if (k == 0 || k > 0xffffffffULL) bad_line(line_no, "k out of range");
+    q.k = static_cast<std::uint32_t>(k);
+  } else if (op == "ego") {
+    q.kind = QueryKind::kEgoMetrics;
+    if (!(fields >> a >> b)) bad_line(line_no, "expected TIME USER");
+    q.time = parse_time(a, line_no, &q.now);
+    q.user = parse_node(b, line_no, "user");
+  } else if (op == "recip") {
+    q.kind = QueryKind::kReciprocity;
+    if (!(fields >> a >> b >> c)) bad_line(line_no, "expected TIME SRC DST");
+    q.time = parse_time(a, line_no, &q.now);
+    q.user = parse_node(b, line_no, "src");
+    q.other = parse_node(c, line_no, "dst");
+  } else {
+    bad_line(line_no, "unknown query kind '" + op + "'");
+  }
+  if (fields >> extra) bad_line(line_no, "trailing tokens");
+  return true;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("cannot read workload file " + path);
+  std::ostringstream text;
+  text << file.rdbuf();
+  return text.str();
+}
+
+}  // namespace
+
 std::vector<Query> parse_workload(const std::string& text) {
   std::vector<Query> queries;
   std::istringstream stream(text);
   std::string line;
   std::size_t line_no = 0;
+  WorkloadStep step;
   while (std::getline(stream, line)) {
     ++line_no;
-    std::istringstream fields(line);
-    std::string op;
-    if (!(fields >> op) || op[0] == '#') continue;
-
-    std::string a, b, c, extra;
-    Query q;
-    if (op == "linkrec" || op == "attrs") {
-      q.kind = op == "linkrec" ? QueryKind::kLinkRec : QueryKind::kAttrInfer;
-      if (!(fields >> a >> b >> c)) bad_line(line_no, "expected TIME USER K");
-      q.time = parse_time(a, line_no);
-      q.user = parse_node(b, line_no, "user");
-      const std::uint64_t k = parse_u64(c, line_no, "k");
-      if (k == 0 || k > 0xffffffffULL) bad_line(line_no, "k out of range");
-      q.k = static_cast<std::uint32_t>(k);
-    } else if (op == "ego") {
-      q.kind = QueryKind::kEgoMetrics;
-      if (!(fields >> a >> b)) bad_line(line_no, "expected TIME USER");
-      q.time = parse_time(a, line_no);
-      q.user = parse_node(b, line_no, "user");
-    } else if (op == "recip") {
-      q.kind = QueryKind::kReciprocity;
-      if (!(fields >> a >> b >> c)) bad_line(line_no, "expected TIME SRC DST");
-      q.time = parse_time(a, line_no);
-      q.user = parse_node(b, line_no, "src");
-      q.other = parse_node(c, line_no, "dst");
-    } else {
-      bad_line(line_no, "unknown query kind '" + op + "'");
+    if (parse_step(line, line_no, /*allow_ingest=*/false, step)) {
+      queries.push_back(step.query);
     }
-    if (fields >> extra) bad_line(line_no, "trailing tokens");
-    queries.push_back(q);
   }
   return queries;
 }
 
+std::vector<WorkloadStep> parse_live_workload(const std::string& text) {
+  std::vector<WorkloadStep> steps;
+  std::istringstream stream(text);
+  std::string line;
+  std::size_t line_no = 0;
+  WorkloadStep step;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    if (parse_step(line, line_no, /*allow_ingest=*/true, step)) {
+      steps.push_back(step);
+    }
+  }
+  return steps;
+}
+
 std::vector<Query> load_workload(const std::string& path) {
-  std::ifstream file(path);
-  if (!file) throw std::runtime_error("cannot read workload file " + path);
-  std::ostringstream text;
-  text << file.rdbuf();
-  return parse_workload(text.str());
+  return parse_workload(read_file(path));
+}
+
+std::vector<WorkloadStep> load_live_workload(const std::string& path) {
+  return parse_live_workload(read_file(path));
 }
 
 }  // namespace san::serve

@@ -35,13 +35,17 @@ const char* to_string(QueryKind kind);
 
 /// One serving request. `user` is the subject (the link source for
 /// kReciprocity, whose target is `other`); `k` caps result size for the
-/// top-k kinds.
+/// top-k kinds. The workload time token `now` parses to time = +infinity
+/// with `now` set: against a static timeline that resolves to the complete
+/// network, against a live binding (SnapshotCache::bind_live) to the
+/// latest published ingest epoch.
 struct Query {
   QueryKind kind = QueryKind::kEgoMetrics;
   double time = 0.0;
   NodeId user = 0;
   NodeId other = 0;
   std::uint32_t k = 0;
+  bool now = false;  // rendering flag: the time came from the `now` token
 
   bool operator==(const Query&) const = default;
 };
@@ -83,12 +87,31 @@ struct QueryResult {
 ///   ego     <time> <user>
 ///   recip   <time> <src> <dst>
 ///
-/// Blank lines and lines starting with '#' are skipped. Malformed lines
-/// throw std::invalid_argument naming the line number.
+/// <time> is a snapshot day or the token `now` (the live tip). Blank lines
+/// and lines starting with '#' are skipped. Malformed lines — including
+/// `ingest` lines, which only live replay accepts — throw
+/// std::invalid_argument naming the line number.
 std::vector<Query> parse_workload(const std::string& text);
 
 /// parse_workload over the contents of `path` (throws std::runtime_error
 /// when the file cannot be read).
 std::vector<Query> load_workload(const std::string& path);
+
+/// One step of a live-replay workload (san_tool live): either a query, or
+/// an `ingest <tip>` directive that advances the live ingest frontier to
+/// <tip> before the following queries run.
+struct WorkloadStep {
+  bool ingest = false;
+  double tip = 0.0;  // ingest target tip (ingest steps only)
+  Query query;       // valid when !ingest
+
+  bool operator==(const WorkloadStep&) const = default;
+};
+
+/// parse_workload plus `ingest <tip>` lines, in admission order.
+std::vector<WorkloadStep> parse_live_workload(const std::string& text);
+
+/// parse_live_workload over the contents of `path`.
+std::vector<WorkloadStep> load_live_workload(const std::string& path);
 
 }  // namespace san::serve

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/thread_pool.hpp"
+#include "san/live_timeline.hpp"
 
 namespace san::serve {
 
@@ -23,6 +24,14 @@ std::shared_ptr<const SanSnapshot> SnapshotCache::at(double time) {
     // leaking one stale index entry per call. The workload parser already
     // rejects NaN; guard the programmatic path too.
     throw std::invalid_argument("SnapshotCache: time must not be NaN");
+  }
+  if (live_ != nullptr && time > live_horizon_) {
+    // Past the frozen horizon the exact per-day history does not exist —
+    // it is being written right now. Resolve against the latest published
+    // ingest epoch: one atomic load, never the cache mutex, never a
+    // materialization, so queries cannot block on ingest.
+    live_hits_.fetch_add(1, std::memory_order_relaxed);
+    return live_->tip();
   }
 
   std::shared_future<Handle> wait_on;
@@ -109,7 +118,9 @@ std::size_t SnapshotCache::size() const {
 
 SnapshotCache::Stats SnapshotCache::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  Stats out = stats_;
+  out.live_hits = live_hits_.load(std::memory_order_relaxed);
+  return out;
 }
 
 void SnapshotCache::clear() {
@@ -117,6 +128,19 @@ void SnapshotCache::clear() {
   lru_.clear();
   index_.clear();
   stats_ = Stats{};
+  live_hits_.store(0, std::memory_order_relaxed);
+}
+
+void SnapshotCache::bind_live(const LiveTimeline& live) {
+  bind_live(live, timeline_.max_time());
+}
+
+void SnapshotCache::bind_live(const LiveTimeline& live, double horizon) {
+  if (std::isnan(horizon)) {
+    throw std::invalid_argument("SnapshotCache: horizon must not be NaN");
+  }
+  live_ = &live;
+  live_horizon_ = horizon;
 }
 
 void SnapshotCache::set_miss_hook(std::function<void(double)> hook) {

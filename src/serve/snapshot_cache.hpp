@@ -19,6 +19,7 @@
 // high-water mark equals the peak miss concurrency.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -29,6 +30,10 @@
 #include <vector>
 
 #include "san/timeline.hpp"
+
+namespace san {
+class LiveTimeline;
+}
 
 namespace san::serve {
 
@@ -46,6 +51,9 @@ class SnapshotCache {
     /// High-water mark of concurrently materializing misses — > 1 proves
     /// cold misses on distinct times overlapped instead of serializing.
     std::uint64_t peak_inflight = 0;
+    /// Requests past the live horizon, resolved to the published ingest
+    /// epoch with one atomic load (never through the materializing path).
+    std::uint64_t live_hits = 0;
   };
 
   /// `capacity` >= 1 snapshots are kept resident; the timeline must outlive
@@ -74,6 +82,23 @@ class SnapshotCache {
   /// cold times overlap; pass nullptr to remove.
   void set_miss_hook(std::function<void(double)> hook);
 
+  /// Bind a live ingest frontier: at() resolves every time PAST `horizon`
+  /// — including the `now` token, which parses to +infinity — to the live
+  /// timeline's latest published epoch with one atomic load, lock-free
+  /// with respect to ingest. Times at or before the horizon keep
+  /// resolving exactly against the frozen timeline, and nothing is ever
+  /// invalidated: history is immutable, and a time past the old tip
+  /// simply resolves against the newer epoch on its next request (tip
+  /// snapshots are intentionally not LRU-cached — an epoch handle would
+  /// go stale on the next publish). `horizon` defaults to the frozen
+  /// timeline's max event time; `live` must outlive the cache. Bind
+  /// DURING SETUP, before any concurrent at() calls: the binding fields
+  /// are read without synchronization on the serve path, so rebinding
+  /// while queries are in flight is a data race (and could route a
+  /// historical time to the tip).
+  void bind_live(const LiveTimeline& live);
+  void bind_live(const LiveTimeline& live, double horizon);
+
  private:
   struct Entry {
     double time = 0.0;
@@ -83,6 +108,9 @@ class SnapshotCache {
 
   const SanTimeline& timeline_;
   const std::size_t capacity_;
+  const LiveTimeline* live_ = nullptr;
+  double live_horizon_ = 0.0;
+  std::atomic<std::uint64_t> live_hits_{0};
 
   mutable std::mutex mutex_;
   // Idle Materializer pool (guarded by mutex_); one is checked out per

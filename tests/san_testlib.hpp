@@ -1,0 +1,95 @@
+// Shared synthetic-SAN builders for the test and bench binaries: seeded,
+// size-parameterized, and free of any GoogleTest dependency so the
+// self-gating benches can include it too. Extracted from the builders
+// that used to be duplicated across test_timeline.cpp, test_serve.cpp,
+// and bench_serve_throughput.cpp.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crawl/gplus_synth.hpp"
+#include "model/generator.hpp"
+#include "san/snapshot.hpp"
+#include "serve/query.hpp"
+#include "stats/rng.hpp"
+
+namespace san::testlib {
+
+/// Synthetic Google+ ground truth (98-day window, three phases) at the
+/// given scale — the measurement substrate most suites replay.
+inline SocialAttributeNetwork synthetic_gplus(std::size_t nodes,
+                                              std::uint64_t seed) {
+  crawl::SyntheticGplusParams params;
+  params.total_social_nodes = nodes;
+  params.seed = seed;
+  return crawl::generate_synthetic_gplus(params);
+}
+
+/// The paper's generative SAN model at the given scale.
+inline SocialAttributeNetwork model_san(std::size_t nodes,
+                                        std::uint64_t seed) {
+  model::GeneratorParams params;
+  params.social_node_count = nodes;
+  params.seed = seed;
+  return model::generate_san(params);
+}
+
+/// Mixed serving workload over a snapshot-day grid: 40% link
+/// recommendation (k=10), 25% attribute inference (k=5), 25% ego metrics,
+/// 10% reciprocity. Users are drawn over the FULL node id space, so
+/// late-day ids against early days exercise the unknown-node path too.
+inline std::vector<serve::Query> mixed_queries(std::size_t count,
+                                               std::size_t node_count,
+                                               std::span<const double> days,
+                                               std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<serve::Query> queries;
+  queries.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    serve::Query q;
+    q.time = days[rng.uniform_index(days.size())];
+    q.user = static_cast<NodeId>(rng.uniform_index(node_count));
+    const std::uint64_t mix = rng.uniform_index(100);
+    if (mix < 40) {
+      q.kind = serve::QueryKind::kLinkRec;
+      q.k = 10;
+    } else if (mix < 65) {
+      q.kind = serve::QueryKind::kAttrInfer;
+      q.k = 5;
+    } else if (mix < 90) {
+      q.kind = serve::QueryKind::kEgoMetrics;
+    } else {
+      q.kind = serve::QueryKind::kReciprocity;
+      q.other = static_cast<NodeId>(rng.uniform_index(node_count));
+    }
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+/// FNV-style fingerprint over every observable span of a snapshot —
+/// adjacency (out/in/neighbors), attribute lists, members_of order, and
+/// the headline counts — so byte-identity gates can compare whole sweeps
+/// without storing them.
+inline std::uint64_t snapshot_fingerprint(const SanSnapshot& snap) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&](std::uint64_t v) { h = (h ^ v) * 0x100000001b3ULL; };
+  mix(snap.social_node_count());
+  mix(snap.attribute_node_count());
+  mix(snap.attribute_link_count);
+  mix(snap.dropped_link_count);
+  for (NodeId u = 0; u < snap.social_node_count(); ++u) {
+    for (const NodeId v : snap.social.out(u)) mix(v);
+    for (const NodeId v : snap.social.in(u)) mix(v ^ 0x1111);
+    for (const NodeId v : snap.social.neighbors(u)) mix(v ^ 0x2222);
+    for (const AttrId x : snap.attributes_of(u)) mix(x ^ 0x3333);
+  }
+  for (AttrId x = 0; x < snap.attribute_id_count(); ++x) {
+    for (const NodeId v : snap.members_of(x)) mix(v ^ 0x4444);
+  }
+  return h;
+}
+
+}  // namespace san::testlib

@@ -1,0 +1,325 @@
+// LiveTimeline oracle: every published epoch must be bit-identical —
+// adjacency spans, members_of order, dropped counts, metrics — to a
+// from-scratch SanTimeline rebuild of the same ingested log prefix at the
+// same tip, under randomized ingest schedules (out-of-order times, links
+// predating their endpoints, forward-referencing ids, duplicates, empty
+// batches) and at SAN_THREADS=1/2/4/8. Readers must see immutable epochs:
+// a held snapshot never changes while ingest continues.
+#include "san/live_timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "san/live_replay.hpp"
+#include "san/san_metrics.hpp"
+#include "san/timeline.hpp"
+#include "san_testlib.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using san::AttrId;
+using san::AttributeType;
+using san::IngestBatch;
+using san::LiveTimeline;
+using san::LiveTimelineOptions;
+using san::NodeId;
+using san::SanSnapshot;
+using san::SanTimeline;
+using san::SocialAttributeNetwork;
+using san::TimedAttributeLink;
+using san::TimedSocialEdge;
+
+void expect_snapshots_identical(const SanSnapshot& a, const SanSnapshot& b,
+                                double time) {
+  SCOPED_TRACE(testing::Message() << "tip=" << time);
+  ASSERT_EQ(a.social_node_count(), b.social_node_count());
+  ASSERT_EQ(a.social_link_count(), b.social_link_count());
+  ASSERT_EQ(a.attribute_link_count, b.attribute_link_count);
+  ASSERT_EQ(a.attribute_node_count(), b.attribute_node_count());
+  ASSERT_EQ(a.attribute_id_count(), b.attribute_id_count());
+  ASSERT_EQ(a.dropped_link_count, b.dropped_link_count);
+  EXPECT_EQ(a.populated_attribute_count(), b.populated_attribute_count());
+  EXPECT_EQ(a.attribute_types, b.attribute_types);
+  EXPECT_EQ(a.attribute_created, b.attribute_created);
+
+  for (NodeId u = 0; u < a.social_node_count(); ++u) {
+    const auto ao = a.social.out(u);
+    const auto bo = b.social.out(u);
+    ASSERT_TRUE(std::equal(ao.begin(), ao.end(), bo.begin(), bo.end()))
+        << "out list differs at node " << u;
+    const auto ai = a.social.in(u);
+    const auto bi = b.social.in(u);
+    ASSERT_TRUE(std::equal(ai.begin(), ai.end(), bi.begin(), bi.end()))
+        << "in list differs at node " << u;
+    const auto an = a.social.neighbors(u);
+    const auto bn = b.social.neighbors(u);
+    ASSERT_TRUE(std::equal(an.begin(), an.end(), bn.begin(), bn.end()))
+        << "neighbor list differs at node " << u;
+    const auto aa = a.attributes_of(u);
+    const auto ba = b.attributes_of(u);
+    ASSERT_TRUE(std::equal(aa.begin(), aa.end(), ba.begin(), ba.end()))
+        << "attribute list differs at node " << u;
+  }
+  for (AttrId x = 0; x < a.attribute_id_count(); ++x) {
+    const auto am = a.members_of(x);
+    const auto bm = b.members_of(x);
+    ASSERT_TRUE(std::equal(am.begin(), am.end(), bm.begin(), bm.end()))
+        << "member list differs (incl. order) at attribute " << x;
+  }
+  EXPECT_EQ(san::attribute_density(a), san::attribute_density(b));
+  EXPECT_EQ(san::attribute_assortativity(a), san::attribute_assortativity(b));
+}
+
+/// The from-scratch oracle: a published epoch must equal rebuilding a
+/// SanTimeline over the ingested log and snapshotting it at the tip.
+void expect_epoch_matches_rebuild(const LiveTimeline& live) {
+  const auto tip = live.tip();
+  ASSERT_NE(tip, nullptr);
+  const SanTimeline rebuilt(live.log());
+  expect_snapshots_identical(*tip, rebuilt.snapshot_at(tip->time), tip->time);
+}
+
+using Replay = san::LiveReplay;
+
+TEST(LiveOracle, GplusReplayMatchesFromScratchRebuildEveryEpoch) {
+  const auto net = san::testlib::synthetic_gplus(800, 2718);
+  Replay replay(net, 20.0);
+
+  LiveTimelineOptions options;
+  options.initial_tip = 20.0;  // the attribute catalog lies ahead
+  LiveTimeline live(replay.seed, options);
+  expect_epoch_matches_rebuild(live);  // epoch 0: the seed
+
+  san::stats::Rng rng(99);
+  double tip = 20.0;
+  while (tip < 99.0) {
+    tip = std::min(99.0, tip + 1.0 + rng.uniform() * 9.0);  // random stride
+    live.ingest(replay.batch_until(tip));
+    expect_epoch_matches_rebuild(live);
+  }
+  EXPECT_EQ(live.tip_time(), 99.0);
+  // The whole stream was delivered and admitted.
+  const auto stats = live.stats();
+  EXPECT_EQ(stats.pending_links, 0u);
+  EXPECT_EQ(live.log().social_link_count(), net.social_link_count());
+  EXPECT_EQ(live.log().attribute_link_count(), net.attribute_link_count());
+  EXPECT_EQ(live.log().social_node_count(), net.social_node_count());
+}
+
+/// Hand-built randomized schedule: forward-referencing link ids (held,
+/// then activated), link times predating their endpoint's join (the PR 4
+/// deferral), late events (at or before an already-published tip),
+/// duplicates, attribute nodes created mid-stream, and empty batches.
+std::vector<IngestBatch> random_schedule(std::uint64_t seed,
+                                         std::size_t batches) {
+  san::stats::Rng rng(seed);
+  std::vector<IngestBatch> schedule;
+  double tip = 0.0;
+  double last_join = 0.0;
+  std::size_t nodes = 0;
+  std::size_t attrs = 0;
+  std::vector<std::pair<NodeId, NodeId>> issued;
+  for (std::size_t b = 0; b < batches; ++b) {
+    IngestBatch batch;
+    tip += 0.5 + rng.uniform() * 4.0;
+    batch.tip = tip;
+    if (rng.uniform() < 0.1) {
+      schedule.push_back(batch);  // pure tip advance
+      continue;
+    }
+    const std::size_t joins = rng.uniform_index(4);
+    for (std::size_t i = 0; i < joins; ++i) {
+      // Join times wander ahead of the tip now and then (future-scheduled
+      // nodes) but never regress.
+      last_join = std::max(last_join, tip - 2.0 + rng.uniform() * 5.0);
+      batch.social_nodes.push_back(last_join);
+      ++nodes;
+    }
+    if (rng.uniform() < 0.3) {
+      IngestBatch::AttributeNode attr;
+      attr.type = static_cast<AttributeType>(rng.uniform_index(5));
+      // Sometimes late (<= a previous tip), sometimes future-scheduled.
+      attr.time = tip + 3.0 - rng.uniform() * 6.0;
+      batch.attribute_nodes.push_back(attr);
+      ++attrs;
+    }
+    const std::size_t n_links = rng.uniform_index(7);
+    for (std::size_t i = 0; i < n_links && nodes > 1; ++i) {
+      TimedSocialEdge e;
+      // Reach up to two ids past the current node count: those links must
+      // be held until the id exists.
+      e.src = static_cast<NodeId>(rng.uniform_index(nodes + 2));
+      e.dst = static_cast<NodeId>(rng.uniform_index(nodes + 2));
+      e.time = tip - 2.0 + rng.uniform() * 4.0;  // may be late
+      if (!issued.empty() && rng.uniform() < 0.15) {
+        // Duplicate of an already-issued link: must be rejected.
+        const auto& dup = issued[rng.uniform_index(issued.size())];
+        e.src = dup.first;
+        e.dst = dup.second;
+      }
+      issued.emplace_back(e.src, e.dst);
+      batch.social_links.push_back(e);
+    }
+    const std::size_t n_alinks = rng.uniform_index(4);
+    for (std::size_t i = 0; i < n_alinks && nodes > 0 && attrs > 0; ++i) {
+      TimedAttributeLink link;
+      link.user = static_cast<NodeId>(rng.uniform_index(nodes + 1));
+      link.attr = static_cast<AttrId>(rng.uniform_index(attrs + 1));
+      link.time = tip - 2.0 + rng.uniform() * 4.0;
+      batch.attribute_links.push_back(link);
+    }
+    schedule.push_back(batch);
+  }
+  return schedule;
+}
+
+TEST(LiveOracle, RandomizedScheduleMatchesRebuildEveryEpoch) {
+  const auto schedule = random_schedule(0xfeed, 40);
+  LiveTimeline live;
+  for (const auto& batch : schedule) {
+    live.ingest(batch);
+    expect_epoch_matches_rebuild(live);
+  }
+  const auto stats = live.stats();
+  // The schedule is built to hit every path; assert it actually did.
+  EXPECT_GT(stats.rejected_links, 0u);
+  EXPECT_GT(stats.activated_links, 0u);
+  EXPECT_GT(stats.late_batches, 0u);
+  EXPECT_GT(stats.ingested_attribute_links, 0u);
+}
+
+TEST(LiveOracle, ByteIdenticalAcrossThreadCounts) {
+  const auto schedule = random_schedule(0xabba, 30);
+
+  std::vector<std::uint64_t> reference;
+  {
+    LiveTimeline live;
+    for (const auto& batch : schedule) {
+      live.ingest(batch);
+      reference.push_back(san::testlib::snapshot_fingerprint(*live.tip()));
+    }
+  }
+  const std::size_t restore = san::core::thread_count();
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE(testing::Message() << "threads=" << threads);
+    san::core::set_thread_count(threads);
+    LiveTimeline live;
+    std::size_t i = 0;
+    for (const auto& batch : schedule) {
+      live.ingest(batch);
+      EXPECT_EQ(san::testlib::snapshot_fingerprint(*live.tip()),
+                reference[i])
+          << "epoch " << i;
+      ++i;
+    }
+  }
+  san::core::set_thread_count(restore);
+}
+
+TEST(LiveTimeline, PublishedEpochsAreImmutableWhileIngestContinues) {
+  const auto net = san::testlib::synthetic_gplus(600, 4242);
+  Replay replay(net, 30.0);
+  LiveTimelineOptions options;
+  options.initial_tip = 30.0;
+  LiveTimeline live(replay.seed, options);
+
+  const auto held = live.tip();
+  const std::uint64_t held_print = san::testlib::snapshot_fingerprint(*held);
+  const std::uint64_t epoch0 = live.epoch();
+
+  live.ingest(replay.batch_until(60.0));
+  live.ingest(replay.batch_until(99.0));
+
+  // The held epoch is untouched; the tip moved on.
+  EXPECT_EQ(san::testlib::snapshot_fingerprint(*held), held_print);
+  EXPECT_EQ(held->time, 30.0);
+  EXPECT_EQ(live.tip()->time, 99.0);
+  EXPECT_EQ(live.epoch(), epoch0 + 2);
+  EXPECT_NE(live.tip().get(), held.get());
+}
+
+TEST(LiveTimeline, TipMustStrictlyAdvance) {
+  LiveTimeline live;  // empty seed: tip 0
+  IngestBatch batch;
+  batch.tip = 0.0;
+  EXPECT_THROW(live.ingest(batch), std::invalid_argument);
+  batch.tip = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(live.ingest(batch), std::invalid_argument);
+  batch.tip = 5.0;
+  live.ingest(batch);
+  batch.tip = 5.0;  // equal is not an advance
+  EXPECT_THROW(live.ingest(batch), std::invalid_argument);
+  EXPECT_EQ(live.stats().batches, 1u);
+
+  // NaN event times and regressing join times are rejected up front,
+  // leaving the log unchanged.
+  IngestBatch bad;
+  bad.tip = 8.0;
+  bad.social_nodes.push_back(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_THROW(live.ingest(bad), std::invalid_argument);
+  IngestBatch join;
+  join.tip = 8.0;
+  join.social_nodes.push_back(7.0);
+  live.ingest(join);
+  IngestBatch regress;
+  regress.tip = 9.0;
+  regress.social_nodes.push_back(6.5);  // before the last join (7.0)
+  EXPECT_THROW(live.ingest(regress), std::invalid_argument);
+  EXPECT_EQ(live.log().social_node_count(), 1u);
+}
+
+TEST(LiveTimeline, PublishCadenceAndExplicitPublish) {
+  LiveTimelineOptions options;
+  options.batches_per_epoch = 3;
+  LiveTimeline live(SocialAttributeNetwork{}, options);
+  EXPECT_EQ(live.stats().epochs, 1u);  // the seed epoch
+  EXPECT_EQ(live.epoch(), 0u);
+
+  IngestBatch batch;
+  for (const double tip : {1.0, 2.0}) {
+    batch.tip = tip;
+    live.ingest(batch);
+  }
+  EXPECT_EQ(live.stats().epochs, 1u);  // cadence not reached
+  EXPECT_EQ(live.tip_time(), 0.0);     // readers still see the seed
+  batch.tip = 3.0;
+  live.ingest(batch);  // third batch publishes
+  EXPECT_EQ(live.stats().epochs, 2u);
+  EXPECT_EQ(live.tip_time(), 3.0);
+
+  batch.tip = 4.0;
+  live.ingest(batch);
+  EXPECT_EQ(live.tip_time(), 3.0);
+  live.publish();  // forced
+  EXPECT_EQ(live.tip_time(), 4.0);
+  EXPECT_EQ(live.stats().epochs, 3u);
+  live.publish();  // no-op: tip already visible
+  EXPECT_EQ(live.stats().epochs, 3u);
+}
+
+TEST(LiveTimeline, RetiredEpochBuffersAreRecycled) {
+  // Publishing with no outstanding readers must not grow the buffer pool
+  // beyond the published one plus one retiree.
+  LiveTimeline live;
+  std::vector<const SanSnapshot*> seen;
+  IngestBatch batch;
+  for (int i = 1; i <= 8; ++i) {
+    batch.tip = i;
+    live.ingest(batch);
+    seen.push_back(live.tip().get());
+  }
+  // With every handle released immediately, at most two distinct buffers
+  // ping-pong (the new epoch can never reuse the currently-published one).
+  std::vector<const SanSnapshot*> distinct(seen);
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  EXPECT_LE(distinct.size(), 2u);
+}
+
+}  // namespace

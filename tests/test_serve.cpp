@@ -9,6 +9,7 @@
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -16,12 +17,15 @@
 #include <vector>
 
 #include "core/thread_pool.hpp"
-#include "crawl/gplus_synth.hpp"
+#include "san/live_timeline.hpp"
 #include "san/timeline.hpp"
+#include "san_testlib.hpp"
 #include "stats/rng.hpp"
 
 namespace {
 
+using san::IngestBatch;
+using san::LiveTimeline;
 using san::NodeId;
 using san::SanSnapshot;
 using san::SanTimeline;
@@ -33,42 +37,14 @@ using san::serve::QueryResult;
 using san::serve::SnapshotCache;
 
 SocialAttributeNetwork small_gplus() {
-  san::crawl::SyntheticGplusParams params;
-  params.total_social_nodes = 1'200;
-  params.seed = 77;
-  return san::crawl::generate_synthetic_gplus(params);
+  return san::testlib::synthetic_gplus(1'200, 77);
 }
 
 std::vector<Query> mixed_workload(const SocialAttributeNetwork& net,
                                   std::size_t count, std::uint64_t seed) {
   const std::vector<double> days{15.0, 40.0, 70.0, 98.0};
-  san::stats::Rng rng(seed);
-  std::vector<Query> queries;
-  for (std::size_t i = 0; i < count; ++i) {
-    Query q;
-    q.time = days[rng.uniform_index(days.size())];
-    q.user = static_cast<NodeId>(rng.uniform_index(net.social_node_count()));
-    switch (rng.uniform_index(4)) {
-      case 0:
-        q.kind = QueryKind::kLinkRec;
-        q.k = 5;
-        break;
-      case 1:
-        q.kind = QueryKind::kAttrInfer;
-        q.k = 3;
-        break;
-      case 2:
-        q.kind = QueryKind::kEgoMetrics;
-        break;
-      default:
-        q.kind = QueryKind::kReciprocity;
-        q.other =
-            static_cast<NodeId>(rng.uniform_index(net.social_node_count()));
-        break;
-    }
-    queries.push_back(q);
-  }
-  return queries;
+  return san::testlib::mixed_queries(count, net.social_node_count(), days,
+                                     seed);
 }
 
 // ---- SnapshotCache. ----
@@ -358,6 +334,97 @@ TEST(QueryEngine, BatchPrefetchDoesNotBlockOnForeignInflightMiss) {
   san::core::set_thread_count(restore);
 }
 
+// ---- Live binding (ingest-while-serving). ----
+
+/// A live frontier over the full small_gplus network plus a few hand-made
+/// post-horizon batches, with the frozen timeline serving exact history.
+struct LiveRig {
+  SocialAttributeNetwork net = small_gplus();
+  SanTimeline frozen{net};
+  LiveTimeline live{net};
+
+  void ingest_day(double tip, NodeId from, NodeId to) {
+    IngestBatch batch;
+    batch.tip = tip;
+    san::TimedSocialEdge e;
+    e.src = from;
+    e.dst = to;
+    e.time = tip;
+    batch.social_links.push_back(e);
+    live.ingest(batch);
+  }
+};
+
+TEST(SnapshotCache, LiveBindingServesTipPastHorizonAndExactHistoryBelow) {
+  LiveRig rig;
+  SnapshotCache cache(rig.frozen, 4);
+  cache.bind_live(rig.live);
+  const double horizon = rig.frozen.max_time();
+
+  // Historical time: exact frozen snapshot, cached and LRU-managed.
+  const auto historical = cache.at(40.0);
+  EXPECT_EQ(historical->time, 40.0);
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  // `now` (+infinity) and any time past the horizon: the published epoch,
+  // resolved without touching the cache index.
+  const auto now0 = cache.at(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(now0.get(), rig.live.tip().get());
+  const auto past = cache.at(horizon + 0.5);
+  EXPECT_EQ(past.get(), now0.get());
+  EXPECT_EQ(cache.stats().live_hits, 2u);
+  EXPECT_EQ(cache.stats().misses, 1u);  // live hits never materialize
+
+  // Ingest advances the tip; the next live resolution sees the new epoch
+  // while the held handle stays on the old one. Nothing was invalidated:
+  // the historical entry is still a hit.
+  rig.ingest_day(horizon + 1.0, 3, 9);
+  const auto now1 = cache.at(std::numeric_limits<double>::infinity());
+  EXPECT_NE(now1.get(), now0.get());
+  EXPECT_EQ(now1->time, horizon + 1.0);
+  EXPECT_EQ(now0->time, rig.frozen.max_time());
+  EXPECT_EQ(cache.at(40.0).get(), historical.get());
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(QueryEngine, MixedHistoricalAndLiveBatchMatchesSingleAcrossThreads) {
+  LiveRig rig;
+  rig.ingest_day(rig.frozen.max_time() + 1.0, 3, 9);
+  rig.ingest_day(rig.frozen.max_time() + 2.0, 9, 3);
+
+  // Mixed workload: historical days plus `now` queries against the tip.
+  auto queries = mixed_workload(rig.net, 200, 777);
+  for (std::size_t i = 0; i < queries.size(); i += 3) {
+    queries[i].time = std::numeric_limits<double>::infinity();
+    queries[i].now = true;
+  }
+
+  SnapshotCache reference_cache(rig.frozen, 4);
+  reference_cache.bind_live(rig.live);
+  QueryEngine reference_engine(reference_cache);
+  std::vector<std::string> reference;
+  for (const auto& q : queries) {
+    reference.push_back(reference_engine.run_single(q).to_line(q));
+  }
+  EXPECT_GT(reference_cache.stats().live_hits, 0u);
+
+  const std::size_t restore = san::core::thread_count();
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE(testing::Message() << "threads=" << threads);
+    san::core::set_thread_count(threads);
+    SnapshotCache cache(rig.frozen, 4);
+    cache.bind_live(rig.live);
+    QueryEngine engine(cache);
+    const auto results = engine.run_batch(queries);
+    ASSERT_EQ(results.size(), queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(results[i].to_line(queries[i]), reference[i])
+          << "query " << i;
+    }
+  }
+  san::core::set_thread_count(restore);
+}
+
 // ---- Workload parsing. ----
 
 TEST(Workload, ParsesEveryKindAndSkipsComments) {
@@ -398,6 +465,41 @@ TEST(Workload, RejectsMalformedLines) {
                std::invalid_argument);
   // NaN times would poison the snapshot cache's hash keying.
   EXPECT_THROW(san::serve::parse_workload("ego nan 2\n"),
+               std::invalid_argument);
+}
+
+TEST(Workload, NowTokenParsesToInfinityWithFlag) {
+  const auto queries = san::serve::parse_workload("ego now 9\n");
+  ASSERT_EQ(queries.size(), 1u);
+  EXPECT_TRUE(queries[0].now);
+  EXPECT_EQ(queries[0].time, std::numeric_limits<double>::infinity());
+  // Rendering uses the token, not the sentinel value.
+  QueryResult result;
+  result.kind = QueryKind::kEgoMetrics;
+  EXPECT_EQ(result.to_line(queries[0]).rfind("ego t=now u=9", 0), 0u);
+}
+
+TEST(Workload, IngestLinesOnlyParseInLiveReplay) {
+  // Plain serve workloads reject the live-only directive with its line.
+  EXPECT_THROW(san::serve::parse_workload("ego 1 2\ningest 5\n"),
+               std::invalid_argument);
+
+  const auto steps =
+      san::serve::parse_live_workload("ego 1 2\ningest 5\nego now 2\n");
+  ASSERT_EQ(steps.size(), 3u);
+  EXPECT_FALSE(steps[0].ingest);
+  EXPECT_TRUE(steps[1].ingest);
+  EXPECT_EQ(steps[1].tip, 5.0);
+  EXPECT_FALSE(steps[2].ingest);
+  EXPECT_TRUE(steps[2].query.now);
+
+  EXPECT_THROW(san::serve::parse_live_workload("ingest\n"),
+               std::invalid_argument);
+  EXPECT_THROW(san::serve::parse_live_workload("ingest nan\n"),
+               std::invalid_argument);
+  EXPECT_THROW(san::serve::parse_live_workload("ingest 5 6\n"),
+               std::invalid_argument);
+  EXPECT_THROW(san::serve::parse_live_workload("ingest now\n"),
                std::invalid_argument);
 }
 

@@ -14,11 +14,10 @@
 #include <vector>
 
 #include "core/thread_pool.hpp"
-#include "crawl/gplus_synth.hpp"
 #include "graph/bipartite_csr.hpp"
-#include "model/generator.hpp"
 #include "san/san_metrics.hpp"
 #include "san/serialization.hpp"
+#include "san_testlib.hpp"
 #include "stats/rng.hpp"
 
 namespace {
@@ -90,25 +89,16 @@ void check_equivalence_at_random_times(const SocialAttributeNetwork& net,
 }
 
 TEST(Timeline, MatchesNaiveSnapshotsOnModelSan) {
-  san::model::GeneratorParams params;
-  params.social_node_count = 600;
-  params.seed = 11;
-  check_equivalence_at_random_times(san::model::generate_san(params), 25, 99);
+  check_equivalence_at_random_times(san::testlib::model_san(600, 11), 25, 99);
 }
 
 TEST(Timeline, MatchesNaiveSnapshotsOnSyntheticGplus) {
-  san::crawl::SyntheticGplusParams params;
-  params.total_social_nodes = 1'500;
-  params.seed = 5;
-  check_equivalence_at_random_times(
-      san::crawl::generate_synthetic_gplus(params), 25, 1234);
+  check_equivalence_at_random_times(san::testlib::synthetic_gplus(1'500, 5),
+                                    25, 1234);
 }
 
 TEST(Timeline, MatchesNaiveOnSerializationRoundTrip) {
-  san::crawl::SyntheticGplusParams params;
-  params.total_social_nodes = 800;
-  params.seed = 21;
-  const auto net = san::crawl::generate_synthetic_gplus(params);
+  const auto net = san::testlib::synthetic_gplus(800, 21);
 
   // Fractional timestamps must survive the text round trip exactly, or the
   // reloaded timeline's snapshot boundaries shift.
@@ -124,10 +114,7 @@ TEST(Timeline, MatchesNaiveOnSerializationRoundTrip) {
 }
 
 TEST(Timeline, SweepMatchesIndividualSnapshots) {
-  san::model::GeneratorParams params;
-  params.social_node_count = 400;
-  params.seed = 3;
-  const auto net = san::model::generate_san(params);
+  const auto net = san::testlib::model_san(400, 3);
   const SanTimeline timeline(net);
 
   std::vector<double> times;
@@ -144,10 +131,7 @@ TEST(Timeline, SweepMatchesIndividualSnapshots) {
 }
 
 TEST(Timeline, CountsAndMaxTime) {
-  san::model::GeneratorParams params;
-  params.social_node_count = 200;
-  params.seed = 17;
-  const auto net = san::model::generate_san(params);
+  const auto net = san::testlib::model_san(200, 17);
   const SanTimeline timeline(net);
   EXPECT_EQ(timeline.social_node_total(), net.social_node_count());
   EXPECT_EQ(timeline.attribute_node_total(), net.attribute_node_count());
@@ -170,10 +154,7 @@ TEST(Timeline, EmptyNetwork) {
 // ---- Delta sweep (Materializer::advance). ----
 
 TEST(Timeline, AdvanceMatchesNaiveDayByDay) {
-  san::crawl::SyntheticGplusParams params;
-  params.total_social_nodes = 1'200;
-  params.seed = 31;
-  const auto net = san::crawl::generate_synthetic_gplus(params);
+  const auto net = san::testlib::synthetic_gplus(1'200, 31);
   const SanTimeline timeline(net);
 
   SanTimeline::Materializer materializer(timeline);
@@ -217,10 +198,7 @@ TEST(Timeline, AdvanceActivatesLinksThatPredateTheirEndpoints) {
 }
 
 TEST(Timeline, AdvanceFallsBackOnFreshSnapshotAndRegression) {
-  san::model::GeneratorParams params;
-  params.social_node_count = 300;
-  params.seed = 8;
-  const auto net = san::model::generate_san(params);
+  const auto net = san::testlib::model_san(300, 8);
   const SanTimeline timeline(net);
   const double mid = timeline.max_time() / 2.0;
 
@@ -245,10 +223,7 @@ TEST(Timeline, AdvanceDetectsFreshSnapshotAtReusedAddress) {
   // iteration, so the Materializer's identity check must not rely on the
   // address alone — a fresh (default) snapshot there has to trigger a
   // full build, never a delta applied on top of empty state.
-  san::model::GeneratorParams params;
-  params.social_node_count = 300;
-  params.seed = 19;
-  const auto net = san::model::generate_san(params);
+  const auto net = san::testlib::model_san(300, 19);
   const SanTimeline timeline(net);
   SanTimeline::Materializer materializer(timeline);
   for (const double t : {timeline.max_time() / 3.0,
@@ -262,10 +237,7 @@ TEST(Timeline, AdvanceDetectsFreshSnapshotAtReusedAddress) {
 TEST(Timeline, SweepByteIdenticalAcrossThreadCounts) {
   // Gates both the chunk-parallel social counting passes and the delta
   // append path: the whole sweep must be byte-identical at 1/2/4/8 lanes.
-  san::crawl::SyntheticGplusParams params;
-  params.total_social_nodes = 2'000;
-  params.seed = 13;
-  const auto net = san::crawl::generate_synthetic_gplus(params);
+  const auto net = san::testlib::synthetic_gplus(2'000, 13);
   const SanTimeline timeline(net);
 
   std::vector<double> days;
@@ -273,24 +245,7 @@ TEST(Timeline, SweepByteIdenticalAcrossThreadCounts) {
        t += timeline.max_time() / 11.0) {
     days.push_back(t);
   }
-  const auto fingerprint = [](const SanSnapshot& snap) {
-    std::uint64_t h = 0xcbf29ce484222325ULL;
-    const auto mix = [&](std::uint64_t v) {
-      h = (h ^ v) * 0x100000001b3ULL;
-    };
-    mix(snap.social_node_count());
-    mix(snap.dropped_link_count);
-    for (NodeId u = 0; u < snap.social_node_count(); ++u) {
-      for (const NodeId v : snap.social.out(u)) mix(v);
-      for (const NodeId v : snap.social.in(u)) mix(v ^ 0x1111);
-      for (const NodeId v : snap.social.neighbors(u)) mix(v ^ 0x2222);
-      for (const AttrId x : snap.attributes_of(u)) mix(x ^ 0x3333);
-    }
-    for (AttrId x = 0; x < snap.attribute_id_count(); ++x) {
-      for (const NodeId v : snap.members_of(x)) mix(v ^ 0x4444);
-    }
-    return h;
-  };
+  const auto fingerprint = san::testlib::snapshot_fingerprint;
 
   std::vector<std::uint64_t> reference;
   timeline.sweep(days, [&](double, const SanSnapshot& snap) {

@@ -6,6 +6,8 @@
 //   san_tool snapshots FILE [--step D]
 //   san_tool crawl FILE --day D [--private P] -o FILE
 //   san_tool communities FILE [--attribute-weight W]
+//   san_tool live FILE --workload W [--start D] [--cache N] [--batch B]
+//            [--publish-every K]
 //   san_tool serve FILE --workload W [--cache N] [--batch B]
 //
 // Files use the SANv1 text format (san/serialization.hpp); workload files
@@ -37,6 +39,8 @@
 #include "graph/metrics.hpp"
 #include "model/generator.hpp"
 #include "model/zhel.hpp"
+#include "san/live_replay.hpp"
+#include "san/live_timeline.hpp"
 #include "san/san_metrics.hpp"
 #include "san/serialization.hpp"
 #include "san/timeline.hpp"
@@ -109,6 +113,34 @@ constexpr SubcommandDoc kSubcommands[] = {
      "\n"
      "  --attribute-weight W   weight of shared attributes relative to\n"
      "                         social links (default: 0)\n"},
+    {"live",
+     "san_tool live FILE --workload W [--start D] [--cache N] [--batch B]"
+     " [--publish-every K]",
+     "replay FILE as a live ingest stream while serving queries",
+     "Treats the SANv1 file as a future event stream: events up to day D\n"
+     "seed a frozen history, the rest ingest at runtime through\n"
+     "san::LiveTimeline as the workload's `ingest` lines advance the tip.\n"
+     "Each ingested batch delta-appends into the private tip snapshot\n"
+     "(PR 4 slack machinery) and every K batches an immutable epoch is\n"
+     "published by an atomic snapshot swap — queries never block on\n"
+     "ingest. Query lines run through the same engine as `serve`: numeric\n"
+     "times at or before D resolve exactly against the frozen history,\n"
+     "times past D and the `now` token resolve against the latest\n"
+     "published epoch. One result line per query on stdout; QPS, ingest\n"
+     "rate, epoch count, and cache stats on stderr.\n"
+     "\n"
+     "  --workload W        workload file (required): `serve` grammar plus\n"
+     "                      `ingest <tip>` lines, tips strictly increasing\n"
+     "  --start D           seed horizon day, >= 0 (default: 0)\n"
+     "  --cache N           frozen snapshots kept resident (default: 8)\n"
+     "  --batch B           queries admitted per batch (default: 1024)\n"
+     "  --publish-every K   batches per published epoch, >= 1 (default: 1)\n"
+     "\n"
+     "A link whose endpoint id has not been created yet is held and\n"
+     "activates when the endpoint appears (the paper's links that predate\n"
+     "a crawl's view of their endpoints); every published epoch is\n"
+     "bit-identical to rebuilding a SanTimeline from the ingested log\n"
+     "prefix at the same tip.\n"},
     {"serve",
      "san_tool serve FILE --workload W [--cache N] [--batch B]",
      "serve a query workload over cached timeline snapshots",
@@ -132,8 +164,10 @@ constexpr SubcommandDoc kSubcommands[] = {
      "  recip   <time> <src> <dst>  will src -> dst reciprocate?\n"
      "\n"
      "<time> is a day on the snapshot grid (bit-exact cache key; NaN is\n"
-     "rejected), ids are the dense SANv1 node ids, and <k> must be > 0.\n"
-     "Malformed lines fail the load with their line number (exit 1).\n"},
+     "rejected) or the token `now` (the complete network here; the latest\n"
+     "published epoch under `live`), ids are the dense SANv1 node ids, and\n"
+     "<k> must be > 0. Malformed lines fail the load with their line\n"
+     "number (exit 1).\n"},
 };
 
 void print_synopses(std::FILE* stream) {
@@ -442,6 +476,112 @@ int cmd_serve(int argc, char** argv, const char* path) {
   return 0;
 }
 
+int cmd_live(int argc, char** argv, const char* path) {
+  const char* workload_path = flag_value(argc, argv, "--workload", nullptr);
+  if (workload_path == nullptr) {
+    return complain("%s requires --workload FILE", "live");
+  }
+  std::size_t cache_size = 0, batch_size = 0, publish_every = 0;
+  double start = 0.0;
+  const char* cache_text = flag_value(argc, argv, "--cache", "8");
+  const char* batch_text = flag_value(argc, argv, "--batch", "1024");
+  const char* publish_text = flag_value(argc, argv, "--publish-every", "1");
+  const char* start_text = flag_value(argc, argv, "--start", "0");
+  if (!parse_size(cache_text, cache_size) || cache_size == 0) {
+    return complain("invalid --cache '%s' (need an integer > 0)", cache_text);
+  }
+  if (!parse_size(batch_text, batch_size) || batch_size == 0) {
+    return complain("invalid --batch '%s' (need an integer > 0)", batch_text);
+  }
+  if (!parse_size(publish_text, publish_every) || publish_every == 0) {
+    return complain("invalid --publish-every '%s' (need an integer > 0)",
+                    publish_text);
+  }
+  if (!parse_double(start_text, start) || start < 0.0) {
+    return complain("invalid --start '%s' (need a day >= 0)", start_text);
+  }
+
+  const auto net = load_san(path);
+  const auto steps = serve::load_live_workload(workload_path);
+
+  // The seed/future split and per-tip batching live in san::LiveReplay —
+  // the exact driver the live oracle test and bench_live_ingest gate.
+  LiveReplay replay(net, start);
+  const SanTimeline frozen(replay.seed);
+  LiveTimelineOptions live_options;
+  live_options.batches_per_epoch = publish_every;
+  live_options.initial_tip = start;  // attr catalog times may lie ahead
+  LiveTimeline live(replay.seed, live_options);
+  serve::SnapshotCache cache(frozen, cache_size);
+  cache.bind_live(live, start);
+  serve::QueryEngine engine(cache);
+
+  std::size_t served = 0, ingested_events = 0, ingest_steps = 0;
+  double query_seconds = 0.0, ingest_seconds = 0.0;
+  std::vector<serve::Query> queued;
+  const auto flush_queries = [&] {
+    std::size_t done = 0;
+    const auto begin = std::chrono::steady_clock::now();
+    while (done < queued.size()) {
+      const std::size_t count = std::min(batch_size, queued.size() - done);
+      const auto results = engine.run_batch(
+          std::span<const serve::Query>(queued.data() + done, count));
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        std::printf("%s\n", results[i].to_line(queued[done + i]).c_str());
+      }
+      done += count;
+    }
+    query_seconds += std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - begin)
+                         .count();
+    served += queued.size();
+    queued.clear();
+  };
+
+  for (const auto& step : steps) {
+    if (!step.ingest) {
+      queued.push_back(step.query);
+      continue;
+    }
+    flush_queries();
+    IngestBatch batch = replay.batch_until(step.tip);
+    ingested_events += batch.social_nodes.size() +
+                       batch.social_links.size() +
+                       batch.attribute_links.size();
+    const auto begin = std::chrono::steady_clock::now();
+    live.ingest(batch);
+    ingest_seconds += std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - begin)
+                          .count();
+    ++ingest_steps;
+  }
+  flush_queries();
+  live.publish();
+
+  const auto live_stats = live.stats();
+  const auto cache_stats = cache.stats();
+  std::fprintf(
+      stderr,
+      "served %zu queries in %.3f s (%.0f queries/s); ingested %zu events"
+      " over %zu batches in %.3f s (%.0f events/s)\n",
+      served, query_seconds,
+      query_seconds > 0.0 ? served / query_seconds : 0.0, ingested_events,
+      ingest_steps, ingest_seconds,
+      ingest_seconds > 0.0 ? ingested_events / ingest_seconds : 0.0);
+  std::fprintf(
+      stderr,
+      "live tip %.2f after %llu epochs (%llu activated, %llu pending,"
+      " %llu late batches); cache: %llu hits, %llu misses, %llu live hits\n",
+      live.tip_time(), static_cast<unsigned long long>(live_stats.epochs),
+      static_cast<unsigned long long>(live_stats.activated_links),
+      static_cast<unsigned long long>(live_stats.pending_links),
+      static_cast<unsigned long long>(live_stats.late_batches),
+      static_cast<unsigned long long>(cache_stats.hits),
+      static_cast<unsigned long long>(cache_stats.misses),
+      static_cast<unsigned long long>(cache_stats.live_hits));
+  return 0;
+}
+
 int missing_file(const char* command) {
   return complain("%s requires a positional FILE argument", command);
 }
@@ -478,6 +618,9 @@ int main(int argc, char** argv) {
     }
     if (command == "serve") {
       return has_file ? cmd_serve(argc, argv, argv[2]) : missing_file("serve");
+    }
+    if (command == "live") {
+      return has_file ? cmd_live(argc, argv, argv[2]) : missing_file("live");
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

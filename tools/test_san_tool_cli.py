@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""CLI contract tests for san_tool, registered with CTest (san_tool_cli).
+
+Asserts the exit-code contract (0 success / help, 1 runtime failure,
+2 usage error), the usage text on bad invocations, and the help output of
+every subcommand — the behaviors that until now were only exercised by
+hand. Stdlib only; runs a real end-to-end generate -> snapshots -> serve
+-> live pipeline on a tiny network in a temp directory.
+
+Usage: tools/test_san_tool_cli.py /path/to/san_tool
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+
+FAILURES = []
+SAN_TOOL = None
+
+SUBCOMMANDS = [
+    "generate", "measure", "snapshots", "crawl", "communities", "live",
+    "serve",
+]
+
+
+def run(*args, timeout=300):
+    return subprocess.run([SAN_TOOL, *args], capture_output=True, text=True,
+                          timeout=timeout)
+
+
+def check(name, condition, detail=""):
+    if condition:
+        print(f"ok       {name}")
+    else:
+        FAILURES.append(name)
+        print(f"FAIL     {name}  {detail}")
+
+
+def expect(name, result, code, streams=()):
+    """Exit code matches and every needle appears on stdout+stderr."""
+    blob = result.stdout + result.stderr
+    detail = (f"exit={result.returncode} (want {code}) "
+              f"stderr={result.stderr[:200]!r}")
+    ok = result.returncode == code
+    for needle in streams:
+        if needle not in blob:
+            ok = False
+            detail += f" missing {needle!r}"
+    check(name, ok, detail)
+
+
+def test_help_pages():
+    expect("no args -> usage, exit 2", run(), 2, ["usage:", "exit codes"])
+    top = run("help")
+    expect("help -> exit 0", top, 0, ["subcommands:"])
+    for name in SUBCOMMANDS:
+        check(f"help lists {name}", f"\n  {name}" in top.stdout)
+        expect(f"help {name}", run("help", name), 0, [name, "usage:"])
+        expect(f"{name} --help", run(name, "--help"), 0, [name, "usage:"])
+    expect("help for unknown topic -> exit 2", run("help", "warp"), 2,
+           ["unknown command"])
+    expect("unknown subcommand -> exit 2", run("warp"), 2,
+           ["unknown command", "usage:"])
+
+
+def test_usage_errors():
+    for name in ["measure", "snapshots", "crawl", "communities", "serve",
+                 "live"]:
+        expect(f"{name} without FILE -> exit 2", run(name), 2,
+               ["positional FILE"])
+    expect("generate without -o -> exit 2", run("generate"), 2,
+           ["requires -o"])
+    expect("generate bad --kind -> exit 2",
+           run("generate", "--kind", "warp", "-o", "x.san"), 2,
+           ["unknown --kind"])
+    expect("generate bad --nodes -> exit 2",
+           run("generate", "--nodes", "12x", "-o", "x.san"), 2,
+           ["invalid --nodes"])
+    expect("snapshots bad --step -> exit 2",
+           run("snapshots", "f.san", "--step", "0"), 2, ["invalid --step"])
+    expect("serve without --workload -> exit 2", run("serve", "f.san"), 2,
+           ["requires --workload"])
+    expect("serve bad --cache -> exit 2",
+           run("serve", "f.san", "--workload", "w", "--cache", "0"), 2,
+           ["invalid --cache"])
+    expect("live without --workload -> exit 2", run("live", "f.san"), 2,
+           ["requires --workload"])
+    expect("live bad --publish-every -> exit 2",
+           run("live", "f.san", "--workload", "w", "--publish-every", "0"),
+           2, ["invalid --publish-every"])
+    expect("live bad --start -> exit 2",
+           run("live", "f.san", "--workload", "w", "--start", "-1"), 2,
+           ["invalid --start"])
+
+
+def test_runtime_failures(tmp):
+    expect("measure missing file -> exit 1", run("measure", "/nonexistent"),
+           1, ["error:"])
+    bad = os.path.join(tmp, "bad.san")
+    with open(bad, "w", encoding="utf-8") as f:
+        f.write("this is not a SANv1 file\n")
+    expect("measure malformed file -> exit 1", run("measure", bad), 1,
+           ["error:"])
+
+
+def test_end_to_end(tmp):
+    san = os.path.join(tmp, "tiny.san")
+    expect("generate gplus -> exit 0",
+           run("generate", "--kind", "gplus", "--nodes", "1500", "--seed",
+               "9", "-o", san), 0, ["wrote"])
+    check("generate wrote the file", os.path.exists(san))
+
+    expect("measure -> exit 0", run("measure", san, "--day", "50"), 0,
+           ["social nodes:"])
+    snap = run("snapshots", san, "--step", "20")
+    expect("snapshots -> exit 0", snap, 0, ["day", "delta-advanced"])
+
+    workload = os.path.join(tmp, "w.txt")
+    with open(workload, "w", encoding="utf-8") as f:
+        f.write("# queries\nego 50 3\nlinkrec now 3 5\nrecip 98 3 7\n")
+    serve = run("serve", san, "--workload", workload)
+    expect("serve -> exit 0", serve, 0, ["queries/s"])
+    lines = serve.stdout.strip().splitlines()
+    check("serve printed one line per query", len(lines) == 3,
+          f"got {len(lines)}")
+    check("serve renders the now token",
+          any(line.startswith("linkrec t=now") for line in lines))
+
+    live_workload = os.path.join(tmp, "wl.txt")
+    with open(live_workload, "w", encoding="utf-8") as f:
+        f.write("ego 10 3\ningest 55\nego now 3\ningest 99\nego now 3\n")
+    live = run("live", san, "--workload", live_workload, "--start", "10")
+    expect("live -> exit 0", live, 0, ["live tip", "events/s"])
+    live_lines = live.stdout.strip().splitlines()
+    check("live printed one line per query", len(live_lines) == 3,
+          f"got {len(live_lines)}")
+    check("live tip queries render as now",
+          live_lines[1].startswith("ego t=now") and
+          live_lines[2].startswith("ego t=now"))
+    check("live tip advanced between epochs",
+          live_lines[1] != live_lines[2], live_lines[1])
+
+    # The same serve workload with an ingest line must fail the load.
+    with open(workload, "a", encoding="utf-8") as f:
+        f.write("ingest 99\n")
+    expect("serve rejects ingest lines -> exit 1",
+           run("serve", san, "--workload", workload), 1, ["ingest lines"])
+    # Non-advancing ingest tips are a runtime failure, not a crash.
+    with open(live_workload, "w", encoding="utf-8") as f:
+        f.write("ingest 50\ningest 50\n")
+    expect("live rejects non-advancing tips -> exit 1",
+           run("live", san, "--workload", live_workload, "--start", "10"),
+           1, ["strictly"])
+
+
+def main():
+    global SAN_TOOL
+    if len(sys.argv) != 2:
+        print("usage: test_san_tool_cli.py /path/to/san_tool",
+              file=sys.stderr)
+        return 2
+    SAN_TOOL = sys.argv[1]
+    test_help_pages()
+    test_usage_errors()
+    with tempfile.TemporaryDirectory() as tmp:
+        test_runtime_failures(tmp)
+        test_end_to_end(tmp)
+    if FAILURES:
+        print(f"{len(FAILURES)} CLI contract checks failed", file=sys.stderr)
+        return 1
+    print("all CLI contract checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
