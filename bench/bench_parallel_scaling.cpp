@@ -4,7 +4,9 @@
 // the single-threaded run (the substrate's determinism contract).
 //
 // Scale with SAN_SCALING_EDGES; thread sweep is fixed at 1/2/4/8 capped by
-// SAN_SCALING_MAX_THREADS if set.
+// SAN_SCALING_MAX_THREADS if set. `--json OUT` writes the single-thread
+// kernel timings (informational — absolute seconds, not gated by
+// tools/check_bench.py).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -13,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "core/thread_pool.hpp"
 #include "graph/clustering.hpp"
 #include "graph/csr.hpp"
@@ -124,7 +127,8 @@ TimedRun run_kernels(const CsrGraph& g) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  san::bench::JsonReport report;
   const std::size_t edges = env_size("SAN_SCALING_EDGES", 1'000'000);
   const std::size_t nodes = edges / 4;
   const std::size_t max_threads = env_size("SAN_SCALING_MAX_THREADS", 8);
@@ -171,6 +175,11 @@ int main() {
     std::printf("FAIL: multi-threaded results differ from single-threaded\n");
     return 1;
   }
+  report.add("clustering_1t_s", base.clustering_s);
+  report.add("wcc_1t_s", base.wcc_s);
+  report.add("metrics_1t_s", base.metrics_s);
+  report.add("hyperanf_1t_s", base.anf_s);
+  if (!report.write_if_requested(argc, argv)) return 1;
   std::printf("OK: all thread counts produced byte-identical metrics\n");
   return 0;
 }

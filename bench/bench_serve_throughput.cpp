@@ -13,7 +13,8 @@
 //      beats cold.
 //
 // Scale with SAN_BENCH_NODES (default 60k) and SAN_SERVE_QUERIES (default
-// 20k).
+// 20k). `--json OUT` writes the headline metrics for the CI
+// bench-regression gate.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -68,7 +69,8 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report;
   constexpr std::size_t kBatch = 2048;
 
   std::printf("generating synthetic Google+ ground truth (%zu nodes)...\n",
@@ -148,6 +150,7 @@ int main() {
               static_cast<unsigned long long>(warm_stats.hits -
                                               cold_stats.hits));
   std::printf("  warm/cold speedup: %.2fx\n", cold_s / warm_s);
+  report.add("warm_cold_speedup", cold_s / warm_s);
   if (warm_s >= cold_s) {
     std::fprintf(stderr, "FAIL: warm cache no faster than cold\n");
     return 1;
@@ -209,6 +212,7 @@ int main() {
       }
     }
   }
+  if (!report.write_if_requested(argc, argv)) return 1;
   std::printf("OK\n");
   return 0;
 }

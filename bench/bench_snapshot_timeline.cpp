@@ -9,7 +9,8 @@
 // 1/2/4/8 threads. The acceptance speedups compare the delta sweep against
 // the seed path (>= 3x) and against the full-rebuild sweep (>= 1.5x).
 // Scale with SAN_BENCH_NODES (default 60k social nodes, ~1M links), days
-// with SAN_TIMELINE_DAYS.
+// with SAN_TIMELINE_DAYS. `--json OUT` writes the headline metrics for the
+// CI bench-regression gate.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -124,7 +125,8 @@ int fail(const char* what, double day) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report;
   const std::size_t n_days = [] {
     if (const char* env = std::getenv("SAN_TIMELINE_DAYS")) {
       const long value = std::atol(env);
@@ -216,6 +218,8 @@ int main() {
               naive_s / (index_s + delta_s));
   std::printf("delta vs full rebuild:   %0.2fx (acceptance target >= 1.5x)\n",
               rebuild_s / delta_s);
+  report.add("speedup_vs_seed", seed_s / (index_s + delta_s));
+  report.add("delta_vs_full_speedup", rebuild_s / delta_s);
 
   for (std::size_t i = 0; i < n_days; ++i) {
     if (!(naive[i] == indexed[i])) return fail("timeline vs naive", days[i]);
@@ -252,6 +256,7 @@ int main() {
     std::printf("  %zu threads: %s\n", threads, ok ? "identical" : "DEVIATES");
     if (!ok) return fail("thread-count sweep", bad_day);
   }
+  if (!report.write_if_requested(argc, argv)) return 1;
   std::printf("OK\n");
   return 0;
 }

@@ -4,9 +4,12 @@
 // network, not the authors' 30M-user crawl) but the shapes should hold.
 #pragma once
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "crawl/crawler.hpp"
@@ -16,6 +19,53 @@
 #include "stats/summary.hpp"
 
 namespace san::bench {
+
+/// Machine-readable bench results (the CI bench-regression gate): the
+/// self-gating benches accumulate named scalar metrics and, when invoked
+/// with `--json OUT`, write them as one flat JSON object. CI uploads the
+/// files as artifacts and tools/check_bench.py compares the ratio-style
+/// metrics against the checked-in tools/bench_baseline.json.
+class JsonReport {
+ public:
+  /// Register one metric. Non-finite values are recorded as 0 so the
+  /// output stays valid JSON (and check_bench flags the collapse).
+  void add(std::string name, double value) {
+    metrics_.emplace_back(std::move(name),
+                          std::isfinite(value) ? value : 0.0);
+  }
+
+  /// Write `{"name": value, ...}` to `path`; false (with a message on
+  /// stderr) when the file cannot be written.
+  bool write(const char* path) const {
+    std::FILE* out = std::fopen(path, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "FAIL: cannot write --json file '%s'\n", path);
+      return false;
+    }
+    std::fputs("{\n", out);
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      std::fprintf(out, "  \"%s\": %.17g%s\n", metrics_[i].first.c_str(),
+                   metrics_[i].second,
+                   i + 1 < metrics_.size() ? "," : "");
+    }
+    std::fputs("}\n", out);
+    std::fclose(out);
+    std::printf("wrote %zu metrics to %s\n", metrics_.size(), path);
+    return true;
+  }
+
+  /// write() to the path following `--json` in argv, if any. Returns
+  /// false only on a write failure (no flag = nothing to do = success).
+  bool write_if_requested(int argc, char** argv) const {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::string_view(argv[i]) == "--json") return write(argv[i + 1]);
+    }
+    return true;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 /// Bench scale: number of social nodes in the synthetic Google+ dataset.
 /// Override with SAN_BENCH_NODES for larger runs.

@@ -93,7 +93,17 @@ struct LiveTimelineOptions {
   double initial_tip = std::numeric_limits<double>::quiet_NaN();
 };
 
-class LiveTimeline {
+/// The reader-side face every live frontier shares: tip() is one atomic
+/// shared_ptr load of the latest published epoch, lock-free with respect
+/// to writers. serve::SnapshotCache binds against this interface so both
+/// LiveTimeline and ShardedLiveTimeline can back the live path.
+class LiveTipSource {
+ public:
+  virtual ~LiveTipSource() = default;
+  virtual std::shared_ptr<const SanSnapshot> tip() const = 0;
+};
+
+class LiveTimeline : public LiveTipSource {
  public:
   struct Stats {
     std::uint64_t batches = 0;
@@ -137,7 +147,7 @@ class LiveTimeline {
   /// The latest published epoch snapshot: one atomic load, lock-free with
   /// respect to writers. The snapshot is immutable; hold it as long as
   /// needed.
-  std::shared_ptr<const SanSnapshot> tip() const;
+  std::shared_ptr<const SanSnapshot> tip() const override;
 
   /// Time of the latest published epoch (== tip()->time).
   double tip_time() const { return tip()->time; }

@@ -131,11 +131,11 @@ void SnapshotCache::clear() {
   live_hits_.store(0, std::memory_order_relaxed);
 }
 
-void SnapshotCache::bind_live(const LiveTimeline& live) {
+void SnapshotCache::bind_live(const LiveTipSource& live) {
   bind_live(live, timeline_.max_time());
 }
 
-void SnapshotCache::bind_live(const LiveTimeline& live, double horizon) {
+void SnapshotCache::bind_live(const LiveTipSource& live, double horizon) {
   if (std::isnan(horizon)) {
     throw std::invalid_argument("SnapshotCache: horizon must not be NaN");
   }

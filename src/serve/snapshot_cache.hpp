@@ -32,7 +32,7 @@
 #include "san/timeline.hpp"
 
 namespace san {
-class LiveTimeline;
+class LiveTipSource;
 }
 
 namespace san::serve {
@@ -95,9 +95,11 @@ class SnapshotCache {
   /// DURING SETUP, before any concurrent at() calls: the binding fields
   /// are read without synchronization on the serve path, so rebinding
   /// while queries are in flight is a data race (and could route a
-  /// historical time to the tip).
-  void bind_live(const LiveTimeline& live);
-  void bind_live(const LiveTimeline& live, double horizon);
+  /// historical time to the tip). Any LiveTipSource works — LiveTimeline
+  /// and ShardedLiveTimeline both publish through the same
+  /// atomic-shared_ptr tip.
+  void bind_live(const LiveTipSource& live);
+  void bind_live(const LiveTipSource& live, double horizon);
 
  private:
   struct Entry {
@@ -108,7 +110,7 @@ class SnapshotCache {
 
   const SanTimeline& timeline_;
   const std::size_t capacity_;
-  const LiveTimeline* live_ = nullptr;
+  const LiveTipSource* live_ = nullptr;
   double live_horizon_ = 0.0;
   std::atomic<std::uint64_t> live_hits_{0};
 

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Bench-regression gate for CI, stdlib only.
+
+Compares one or more `--json` result files emitted by the bench binaries
+against the checked-in baseline (tools/bench_baseline.json). Every metric
+named in the baseline is a GATED higher-is-better ratio (speedups, never
+absolute seconds — ratios are stable across runner core counts, which is
+why the per-shard throughput and stitch-latency numbers stay
+informational): the gate FAILS (exit 1) when a current value drops below
+(1 - tolerance) x baseline, i.e. regresses by more than 20% by default.
+Metrics present in a result file but absent from the baseline are reported
+as informational and never fail the gate; a baseline metric missing from
+every result file fails it (the bench stopped reporting the number the
+gate exists to watch).
+
+Usage: tools/check_bench.py [--baseline FILE] [--tolerance 0.2] RESULTS...
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: expected a flat JSON object")
+    for name, value in data.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ValueError(f"{path}: metric {name!r} is not a number")
+    return data
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("results", nargs="+", metavar="RESULTS",
+                        help="--json output files from the bench binaries")
+    parser.add_argument("--baseline",
+                        default=os.path.join(os.path.dirname(__file__),
+                                             "bench_baseline.json"))
+    parser.add_argument("--tolerance", type=float, default=0.2,
+                        help="allowed fractional drop below baseline "
+                             "(default: 0.2)")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = {}
+    for path in args.results:
+        for name, value in load(path).items():
+            if name in current:
+                print(f"FAIL  metric {name!r} appears in more than one "
+                      f"results file", file=sys.stderr)
+                return 1
+            current[name] = value
+
+    failures = 0
+    for name in sorted(baseline):
+        floor = baseline[name] * (1.0 - args.tolerance)
+        if name not in current:
+            print(f"FAIL  {name}: in baseline but missing from results")
+            failures += 1
+        elif current[name] < floor:
+            print(f"FAIL  {name}: {current[name]:.3f} < floor "
+                  f"{floor:.3f} (baseline {baseline[name]:.3f}, "
+                  f"tolerance {args.tolerance:.0%})")
+            failures += 1
+        else:
+            print(f"ok    {name}: {current[name]:.3f} "
+                  f"(baseline {baseline[name]:.3f}, floor {floor:.3f})")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"info  {name}: {current[name]:.3f} (not gated)")
+
+    if failures:
+        print(f"{failures} bench metrics regressed past the "
+              f"{args.tolerance:.0%} tolerance", file=sys.stderr)
+        return 1
+    print("all gated bench metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,7 +7,7 @@
 //   san_tool crawl FILE --day D [--private P] -o FILE
 //   san_tool communities FILE [--attribute-weight W]
 //   san_tool live FILE --workload W [--start D] [--cache N] [--batch B]
-//            [--publish-every K]
+//            [--publish-every K] [--shards N]
 //   san_tool serve FILE --workload W [--cache N] [--batch B]
 //
 // Files use the SANv1 text format (san/serialization.hpp); workload files
@@ -41,6 +41,7 @@
 #include "model/zhel.hpp"
 #include "san/live_replay.hpp"
 #include "san/live_timeline.hpp"
+#include "san/sharded_live_timeline.hpp"
 #include "san/san_metrics.hpp"
 #include "san/serialization.hpp"
 #include "san/timeline.hpp"
@@ -115,7 +116,7 @@ constexpr SubcommandDoc kSubcommands[] = {
      "                         social links (default: 0)\n"},
     {"live",
      "san_tool live FILE --workload W [--start D] [--cache N] [--batch B]"
-     " [--publish-every K]",
+     " [--publish-every K] [--shards N]",
      "replay FILE as a live ingest stream while serving queries",
      "Treats the SANv1 file as a future event stream: events up to day D\n"
      "seed a frozen history, the rest ingest at runtime through\n"
@@ -135,6 +136,11 @@ constexpr SubcommandDoc kSubcommands[] = {
      "  --cache N           frozen snapshots kept resident (default: 8)\n"
      "  --batch B           queries admitted per batch (default: 1024)\n"
      "  --publish-every K   batches per published epoch, >= 1 (default: 1)\n"
+     "  --shards N          ingest shards, >= 1 (default: 1): N > 1 routes\n"
+     "                      batches through san::ShardedLiveTimeline, which\n"
+     "                      partitions the frontier by source-node-id range\n"
+     "                      and stitches per-shard snapshots into each\n"
+     "                      published epoch\n"
      "\n"
      "A link whose endpoint id has not been created yet is held and\n"
      "activates when the endpoint appears (the paper's links that predate\n"
@@ -476,44 +482,11 @@ int cmd_serve(int argc, char** argv, const char* path) {
   return 0;
 }
 
-int cmd_live(int argc, char** argv, const char* path) {
-  const char* workload_path = flag_value(argc, argv, "--workload", nullptr);
-  if (workload_path == nullptr) {
-    return complain("%s requires --workload FILE", "live");
-  }
-  std::size_t cache_size = 0, batch_size = 0, publish_every = 0;
-  double start = 0.0;
-  const char* cache_text = flag_value(argc, argv, "--cache", "8");
-  const char* batch_text = flag_value(argc, argv, "--batch", "1024");
-  const char* publish_text = flag_value(argc, argv, "--publish-every", "1");
-  const char* start_text = flag_value(argc, argv, "--start", "0");
-  if (!parse_size(cache_text, cache_size) || cache_size == 0) {
-    return complain("invalid --cache '%s' (need an integer > 0)", cache_text);
-  }
-  if (!parse_size(batch_text, batch_size) || batch_size == 0) {
-    return complain("invalid --batch '%s' (need an integer > 0)", batch_text);
-  }
-  if (!parse_size(publish_text, publish_every) || publish_every == 0) {
-    return complain("invalid --publish-every '%s' (need an integer > 0)",
-                    publish_text);
-  }
-  if (!parse_double(start_text, start) || start < 0.0) {
-    return complain("invalid --start '%s' (need a day >= 0)", start_text);
-  }
-
-  const auto net = load_san(path);
-  const auto steps = serve::load_live_workload(workload_path);
-
-  // The seed/future split and per-tip batching live in san::LiveReplay —
-  // the exact driver the live oracle test and bench_live_ingest gate.
-  LiveReplay replay(net, start);
-  const SanTimeline frozen(replay.seed);
-  LiveTimelineOptions live_options;
-  live_options.batches_per_epoch = publish_every;
-  live_options.initial_tip = start;  // attr catalog times may lie ahead
-  LiveTimeline live(replay.seed, live_options);
-  serve::SnapshotCache cache(frozen, cache_size);
-  cache.bind_live(live, start);
+// The live serve/ingest loop, shared by the single-writer and sharded
+// paths (LiveTimeline and ShardedLiveTimeline expose the same ingest /
+// publish / tip_time / stats surface).
+int run_live_session(auto& live, LiveReplay& replay, const auto& steps,
+                     serve::SnapshotCache& cache, std::size_t batch_size) {
   serve::QueryEngine engine(cache);
 
   std::size_t served = 0, ingested_events = 0, ingest_steps = 0;
@@ -580,6 +553,61 @@ int cmd_live(int argc, char** argv, const char* path) {
       static_cast<unsigned long long>(cache_stats.misses),
       static_cast<unsigned long long>(cache_stats.live_hits));
   return 0;
+}
+
+int cmd_live(int argc, char** argv, const char* path) {
+  const char* workload_path = flag_value(argc, argv, "--workload", nullptr);
+  if (workload_path == nullptr) {
+    return complain("%s requires --workload FILE", "live");
+  }
+  std::size_t cache_size = 0, batch_size = 0, publish_every = 0, shards = 0;
+  double start = 0.0;
+  const char* cache_text = flag_value(argc, argv, "--cache", "8");
+  const char* batch_text = flag_value(argc, argv, "--batch", "1024");
+  const char* publish_text = flag_value(argc, argv, "--publish-every", "1");
+  const char* start_text = flag_value(argc, argv, "--start", "0");
+  const char* shards_text = flag_value(argc, argv, "--shards", "1");
+  if (!parse_size(cache_text, cache_size) || cache_size == 0) {
+    return complain("invalid --cache '%s' (need an integer > 0)", cache_text);
+  }
+  if (!parse_size(batch_text, batch_size) || batch_size == 0) {
+    return complain("invalid --batch '%s' (need an integer > 0)", batch_text);
+  }
+  if (!parse_size(publish_text, publish_every) || publish_every == 0) {
+    return complain("invalid --publish-every '%s' (need an integer > 0)",
+                    publish_text);
+  }
+  if (!parse_double(start_text, start) || start < 0.0) {
+    return complain("invalid --start '%s' (need a day >= 0)", start_text);
+  }
+  if (!parse_size(shards_text, shards) || shards == 0) {
+    return complain("invalid --shards '%s' (need an integer > 0)",
+                    shards_text);
+  }
+
+  const auto net = load_san(path);
+  const auto steps = serve::load_live_workload(workload_path);
+
+  // The seed/future split and per-tip batching live in san::LiveReplay —
+  // the exact driver the live oracle test and bench_live_ingest gate.
+  LiveReplay replay(net, start);
+  const SanTimeline frozen(replay.seed);
+  serve::SnapshotCache cache(frozen, cache_size);
+  if (shards > 1) {
+    san::ShardedLiveTimelineOptions live_options;
+    live_options.shards = shards;
+    live_options.batches_per_epoch = publish_every;
+    live_options.initial_tip = start;  // attr catalog times may lie ahead
+    san::ShardedLiveTimeline live(replay.seed, live_options);
+    cache.bind_live(live, start);
+    return run_live_session(live, replay, steps, cache, batch_size);
+  }
+  LiveTimelineOptions live_options;
+  live_options.batches_per_epoch = publish_every;
+  live_options.initial_tip = start;  // attr catalog times may lie ahead
+  LiveTimeline live(replay.seed, live_options);
+  cache.bind_live(live, start);
+  return run_live_session(live, replay, steps, cache, batch_size);
 }
 
 int missing_file(const char* command) {

@@ -92,6 +92,12 @@ def test_usage_errors():
     expect("live bad --start -> exit 2",
            run("live", "f.san", "--workload", "w", "--start", "-1"), 2,
            ["invalid --start"])
+    expect("live bad --shards -> exit 2",
+           run("live", "f.san", "--workload", "w", "--shards", "0"), 2,
+           ["invalid --shards"])
+    expect("live garbage --shards -> exit 2",
+           run("live", "f.san", "--workload", "w", "--shards", "4x"), 2,
+           ["invalid --shards"])
 
 
 def test_runtime_failures(tmp):
@@ -140,6 +146,16 @@ def test_end_to_end(tmp):
           live_lines[2].startswith("ego t=now"))
     check("live tip advanced between epochs",
           live_lines[1] != live_lines[2], live_lines[1])
+
+    # The sharded ingest path serves the same workload: identical stdout
+    # (per-query result lines are deterministic across shard counts).
+    sharded = run("live", san, "--workload", live_workload, "--start", "10",
+                  "--shards", "4")
+    expect("live --shards 4 -> exit 0", sharded, 0,
+           ["live tip", "events/s"])
+    check("sharded live matches single-shard results",
+          sharded.stdout == live.stdout,
+          f"sharded={sharded.stdout!r} single={live.stdout!r}")
 
     # The same serve workload with an ingest line must fail the load.
     with open(workload, "a", encoding="utf-8") as f:
