@@ -1,0 +1,295 @@
+// bench_kernels — microbench + identity gate for the SIMD kernel layer
+// (src/core/simd): sorted-u32 intersection count/into at every dispatch
+// level this host supports.
+//
+//   1. HARD identity gate: randomized corpora (balanced, skewed past the
+//      gallop ratio, width-straddling tails, unaligned offsets, edge
+//      shapes) — every level's count and into outputs must be
+//      byte-identical to scalar's; any deviation exits 1.
+//   2. Roofline-style report: per kernel x level, elements/cycle and
+//      GB/s over a balanced corpus, plus the scalar-relative speedup.
+//      `--json OUT` writes kernel_*_speedup_* metrics; CI gates them
+//      against the {"floor": ...} entries in tools/bench_baseline.json
+//      (hard >= floor; skipped when the host lacks the level, which the
+//      bench signals by omitting the metric).
+//
+// The corpus is seeded — identical runs, identical bytes — and the
+// speedups are single-thread scalar-relative ratios, insensitive to
+// runner core counts.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/simd/simd.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
+namespace {
+
+namespace simd = san::core::simd;
+
+std::uint64_t cycles_now() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __rdtsc();
+#else
+  return 0;  // elements/cycle reads 0: informational only off x86
+#endif
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct Pair {
+  std::vector<std::uint32_t> a, b;
+};
+
+/// `size` distinct sorted u32 drawn from [lo, lo + universe) via random
+/// gaps — sorted by construction, strictly ascending (the CSR invariant).
+std::vector<std::uint32_t> sorted_set(std::mt19937_64& rng, std::size_t size,
+                                      std::uint32_t lo,
+                                      std::uint32_t universe) {
+  std::vector<std::uint32_t> out;
+  out.reserve(size);
+  if (size == 0) return out;
+  const double mean_gap =
+      std::max(1.0, static_cast<double>(universe) / (size + 1));
+  std::uniform_int_distribution<std::uint32_t> gap(
+      1, static_cast<std::uint32_t>(2.0 * mean_gap));
+  std::uint32_t value = lo;
+  for (std::size_t i = 0; i < size; ++i) {
+    value += gap(rng);
+    out.push_back(value);
+  }
+  return out;
+}
+
+/// The identity corpus: directed edge shapes plus randomized sizes that
+/// straddle the vector widths, the gallop ratio, and unaligned offsets.
+std::vector<Pair> identity_corpus() {
+  std::mt19937_64 rng(0xC0FFEE);
+  std::vector<Pair> corpus;
+  // Edge shapes: empty, single, equal, disjoint.
+  corpus.push_back({{}, {}});
+  corpus.push_back({{}, sorted_set(rng, 5, 0, 100)});
+  corpus.push_back({{7}, {7}});
+  corpus.push_back({{7}, sorted_set(rng, 1000, 0, 10'000)});
+  {
+    auto equal = sorted_set(rng, 300, 0, 3000);
+    corpus.push_back({equal, equal});
+    corpus.push_back({sorted_set(rng, 200, 0, 1000),
+                      sorted_set(rng, 200, 100'000, 1000)});
+  }
+  // Width straddling: every size pair in [0, 40) x {0..9, 31..40}.
+  for (std::size_t na = 0; na < 40; ++na) {
+    for (std::size_t nb : {0, 1, 3, 7, 8, 9, 31, 32, 33, 39}) {
+      corpus.push_back({sorted_set(rng, na, 0, 64),
+                        sorted_set(rng, nb, 0, 64)});
+    }
+  }
+  // Randomized balanced and skewed shapes; 1:1000 crosses the gallop
+  // ratio, 1:32 sits exactly on it.
+  std::uniform_int_distribution<std::size_t> size_dist(0, 3000);
+  for (int i = 0; i < 400; ++i) {
+    const std::size_t na = size_dist(rng);
+    corpus.push_back({sorted_set(rng, na, 0, 6000),
+                      sorted_set(rng, size_dist(rng), 0, 6000)});
+    corpus.push_back({sorted_set(rng, na / 100 + 1, 0, 6000),
+                      sorted_set(rng, na + 1000, 0, 6000)});
+  }
+  corpus.push_back({sorted_set(rng, 32, 0, 2'000'000),
+                    sorted_set(rng, 32 * 1000, 0, 2'000'000)});
+  corpus.push_back({sorted_set(rng, 64, 0, 100'000),
+                    sorted_set(rng, 64 * 32, 0, 100'000)});
+  return corpus;
+}
+
+/// Unaligned view: drop `offset` leading elements so SIMD loads start off
+/// a 16/32-byte boundary.
+std::span<const std::uint32_t> offset_span(const std::vector<std::uint32_t>& v,
+                                           std::size_t offset) {
+  offset = std::min(offset, v.size());
+  return {v.data() + offset, v.size() - offset};
+}
+
+bool identity_gate(const std::vector<Pair>& corpus,
+                   const std::vector<simd::Level>& levels) {
+  std::vector<std::uint32_t> expect, got;
+  for (std::size_t idx = 0; idx < corpus.size(); ++idx) {
+    const auto& pair = corpus[idx];
+    for (const std::size_t offset : {0, 1, 3, 7}) {
+      const auto a = offset_span(pair.a, offset);
+      const auto b = offset_span(pair.b, offset);
+      const std::size_t cap = std::min(a.size(), b.size()) + simd::kIntoPad;
+      expect.assign(cap, 0);
+      got.assign(cap, 0);
+      simd::set_level(simd::Level::kScalar);
+      const std::size_t want_n = simd::intersect_count(a, b);
+      const std::size_t want_into = simd::intersect_into(a, b, expect.data());
+      if (want_into != want_n) {
+        std::fprintf(stderr,
+                     "FAIL: scalar count %zu != into %zu (case %zu+%zu)\n",
+                     want_n, want_into, idx, offset);
+        return false;
+      }
+      for (const simd::Level level : levels) {
+        simd::set_level(level);
+        const std::size_t n = simd::intersect_count(a, b);
+        const std::size_t m = simd::intersect_into(a, b, got.data());
+        if (n != want_n || m != want_n ||
+            std::memcmp(got.data(), expect.data(),
+                        want_n * sizeof(std::uint32_t)) != 0) {
+          std::fprintf(stderr,
+                       "FAIL: %s deviates from scalar on case %zu (offset "
+                       "%zu): count %zu/%zu into %zu\n",
+                       simd::level_name(level), idx, offset, n, want_n, m);
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+/// Balanced timing corpus: the shape the serving hot loops see (mutual
+/// counts, FoF intersections) — same-universe adjacency lists with
+/// substantial overlap, too close in size for the gallop path.
+std::vector<Pair> timing_corpus() {
+  std::mt19937_64 rng(0xBEEF);
+  std::vector<Pair> corpus;
+  for (int i = 0; i < 64; ++i) {
+    corpus.push_back({sorted_set(rng, 4096, 0, 16'384),
+                      sorted_set(rng, 4096, 0, 16'384)});
+  }
+  return corpus;
+}
+
+struct Timing {
+  double seconds = 0.0;     // best-of-trials wall time for one sweep
+  double cycles = 0.0;      // matching rdtsc delta
+  std::uint64_t checksum = 0;
+};
+
+template <typename Sweep>
+Timing time_sweep(Sweep&& sweep) {
+  Timing best;
+  best.seconds = std::numeric_limits<double>::infinity();
+  (void)sweep();  // warm-up: page in the corpus, settle the table
+  for (int trial = 0; trial < 3; ++trial) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::uint64_t c0 = cycles_now();
+    const std::uint64_t checksum = sweep();
+    const std::uint64_t c1 = cycles_now();
+    const double s = seconds_since(t0);
+    if (s < best.seconds) {
+      best.seconds = s;
+      best.cycles = static_cast<double>(c1 - c0);
+      best.checksum = checksum;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  san::bench::JsonReport report;
+
+  std::vector<simd::Level> levels{simd::Level::kScalar};
+  for (const simd::Level level : {simd::Level::kSse, simd::Level::kAvx2}) {
+    if (simd::set_level(level)) levels.push_back(level);
+  }
+  std::printf("detected level: %s; testing:",
+              simd::level_name(simd::detected_level()));
+  for (const simd::Level level : levels) {
+    std::printf(" %s", simd::level_name(level));
+  }
+  std::printf("\n");
+
+  san::bench::header("byte-identity gate: every level vs scalar");
+  const auto corpus = identity_corpus();
+  std::printf("corpus: %zu randomized pairs x 4 offsets\n", corpus.size());
+  if (!identity_gate(corpus, levels)) return 1;
+  std::printf("identical: count and into at every level\n");
+
+  san::bench::header("roofline: balanced 4096x4096 intersections");
+  const auto pairs = timing_corpus();
+  std::size_t elements = 0;
+  for (const auto& pair : pairs) elements += pair.a.size() + pair.b.size();
+  constexpr int kReps = 100;
+  const double total_elements = static_cast<double>(elements) * kReps;
+  const double total_bytes = total_elements * sizeof(std::uint32_t);
+  std::printf("%zu pairs, %zu elements/sweep, %d sweeps per timing\n",
+              pairs.size(), elements, kReps);
+
+  std::printf("%-8s %-6s %14s %14s %10s %9s\n", "kernel", "level",
+              "elems/s", "GB/s", "elems/cyc", "speedup");
+  double scalar_count_s = 0.0, scalar_into_s = 0.0;
+  std::uint64_t want_count_sum = 0, want_into_sum = 0;
+  std::vector<std::uint32_t> out(4096 + simd::kIntoPad);
+  for (const simd::Level level : levels) {
+    simd::set_level(level);
+    const Timing count_t = time_sweep([&] {
+      std::uint64_t sum = 0;
+      for (int rep = 0; rep < kReps; ++rep) {
+        for (const auto& pair : pairs) {
+          sum += simd::intersect_count(pair.a, pair.b);
+        }
+      }
+      return sum;
+    });
+    const Timing into_t = time_sweep([&] {
+      std::uint64_t sum = 0;
+      for (int rep = 0; rep < kReps; ++rep) {
+        for (const auto& pair : pairs) {
+          const std::size_t n =
+              simd::intersect_into(pair.a, pair.b, out.data());
+          sum += n + out[n / 2];
+        }
+      }
+      return sum;
+    });
+    if (level == simd::Level::kScalar) {
+      scalar_count_s = count_t.seconds;
+      scalar_into_s = into_t.seconds;
+      want_count_sum = count_t.checksum;
+      want_into_sum = into_t.checksum;
+    } else if (count_t.checksum != want_count_sum ||
+               into_t.checksum != want_into_sum) {
+      std::fprintf(stderr, "FAIL: %s timing checksum deviates from scalar\n",
+                   simd::level_name(level));
+      return 1;
+    }
+    const char* name = simd::level_name(level);
+    const double count_speedup = scalar_count_s / count_t.seconds;
+    const double into_speedup = scalar_into_s / into_t.seconds;
+    std::printf("%-8s %-6s %14.3e %14.2f %10.2f %8.2fx\n", "count", name,
+                total_elements / count_t.seconds,
+                total_bytes / count_t.seconds / 1e9,
+                count_t.cycles > 0 ? total_elements / count_t.cycles : 0.0,
+                count_speedup);
+    std::printf("%-8s %-6s %14.3e %14.2f %10.2f %8.2fx\n", "into", name,
+                total_elements / into_t.seconds,
+                total_bytes / into_t.seconds / 1e9,
+                into_t.cycles > 0 ? total_elements / into_t.cycles : 0.0,
+                into_speedup);
+    if (level != simd::Level::kScalar) {
+      report.add(std::string("kernel_count_speedup_") + name, count_speedup);
+      report.add(std::string("kernel_into_speedup_") + name, into_speedup);
+    }
+  }
+
+  if (!report.write_if_requested(argc, argv)) return 1;
+  std::printf("OK\n");
+  return 0;
+}

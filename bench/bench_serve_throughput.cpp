@@ -160,6 +160,27 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  bench::header("per-query-type throughput (warm cache)");
+  // The mixed-rate numbers above hide per-kind cost differences (a 2-hop
+  // ego walk vs a binary-search reciprocity probe); serve each kind's
+  // slice of the same workload through the warm engine separately.
+  for (const serve::QueryKind kind :
+       {serve::QueryKind::kLinkRec, serve::QueryKind::kAttrInfer,
+        serve::QueryKind::kEgoMetrics, serve::QueryKind::kReciprocity}) {
+    std::vector<serve::Query> slice;
+    for (const auto& q : queries) {
+      if (q.kind == kind) slice.push_back(q);
+    }
+    const auto start = std::chrono::steady_clock::now();
+    (void)run_batched(engine, slice, kBatch);
+    const double slice_s = seconds_since(start);
+    const double qps = slice_s > 0.0 ? slice.size() / slice_s : 0.0;
+    std::printf("  %-8s %6zu queries, %7.3f s (%8.0f queries/s)\n",
+                serve::to_string(kind), slice.size(), slice_s, qps);
+    // Absolute rates: informational in the CI gate (runner-dependent).
+    report.add(std::string("serve_qps_") + serve::to_string(kind), qps);
+  }
+
   bench::header("concurrent cold misses: distinct days from parallel callers");
   // Serial baseline: one thread materializes every day through a cold
   // cache. Concurrent: kThreads external callers split the same days —

@@ -218,8 +218,13 @@ int main(int argc, char** argv) {
               naive_s / (index_s + delta_s));
   std::printf("delta vs full rebuild:   %0.2fx (acceptance target >= 1.5x)\n",
               rebuild_s / delta_s);
+  std::printf("rebuild vs seed path:    %0.2fx\n",
+              seed_s / (index_s + rebuild_s));
   report.add("speedup_vs_seed", seed_s / (index_s + delta_s));
   report.add("delta_vs_full_speedup", rebuild_s / delta_s);
+  // The full-rebuild leg's own ratio — the metric that caught the
+  // counting-scatter engine regressing the single-core rebuild path.
+  report.add("rebuild_vs_seed", seed_s / (index_s + rebuild_s));
 
   for (std::size_t i = 0; i < n_days; ++i) {
     if (!(naive[i] == indexed[i])) return fail("timeline vs naive", days[i]);

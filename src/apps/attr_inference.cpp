@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/simd/simd.hpp"
+
 namespace san::apps {
 
 void rank_attribute_candidates(const SanSnapshot& snap, NodeId u,
@@ -22,11 +24,23 @@ void rank_attribute_candidates(const SanSnapshot& snap, NodeId u,
   }
   scratch.touched.clear();
 
+  // v is reciprocally linked iff v ∈ out(u) ∩ in(u); computing that set
+  // once replaces two binary searches per neighbor, and neighbors(u) is
+  // the sorted union of both sides, so one merge walk recovers the same
+  // per-neighbor truth values in the same order.
+  const auto out_u = snap.social.out(u);
+  const auto in_u = snap.social.in(u);
+  scratch.mutual.resize(std::min(out_u.size(), in_u.size()) +
+                        core::simd::kIntoPad);
+  const std::size_t n_mutual =
+      core::simd::intersect_into(out_u, in_u, scratch.mutual.data());
+  std::size_t mi = 0;
+
   // Votes accumulate in traversal order (bit-equal to the historical
   // unordered_map formulation).
   for (const NodeId v : snap.social.neighbors(u)) {
-    const bool mutual = snap.social.has_edge(u, v) && snap.social.has_edge(v,
-                                                                           u);
+    while (mi < n_mutual && scratch.mutual[mi] < v) ++mi;
+    const bool mutual = mi < n_mutual && scratch.mutual[mi] == v;
     const double w = mutual ? options.mutual_neighbor_weight
                             : options.one_way_neighbor_weight;
     for (const AttrId x : snap.attributes_of(v)) {

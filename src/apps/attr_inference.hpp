@@ -35,6 +35,9 @@ struct InferenceScratch {
   std::vector<std::uint8_t> seen;
   std::vector<std::uint8_t> excluded;
   std::vector<AttrId> touched;
+  /// out(u) ∩ in(u), computed once per query (core/simd intersect) and
+  /// merge-walked against neighbors(u) for the per-neighbor mutual test.
+  std::vector<NodeId> mutual;
 };
 
 /// Sentinel for "no held-out attribute" in rank_attribute_candidates.

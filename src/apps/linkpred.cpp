@@ -2,54 +2,37 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <vector>
+
+#include "core/simd/simd.hpp"
 
 namespace san::apps {
 namespace {
 
-std::size_t common_sorted(std::span<const NodeId> a,
-                          std::span<const NodeId> b) {
-  std::size_t count = 0;
-  auto ia = a.begin();
-  auto ib = b.begin();
-  while (ia != a.end() && ib != b.end()) {
-    if (*ia < *ib) {
-      ++ia;
-    } else if (*ib < *ia) {
-      ++ib;
-    } else {
-      ++count, ++ia, ++ib;
-    }
-  }
-  return count;
-}
-
+// Shared attributes weighted by type. The matched attrs come back
+// ascending from intersect_into — the same order the historical merge
+// walk visited them — so the float accumulation is bit-equal at every
+// dispatch level.
 double attribute_score(const SanSnapshot& snap, NodeId u, NodeId v,
                        const LinkPredictionWeights& weights) {
   const auto au = snap.attributes_of(u);
   const auto av = snap.attributes_of(v);
+  thread_local std::vector<AttrId> matched;
+  matched.resize(std::min(au.size(), av.size()) + core::simd::kIntoPad);
+  const std::size_t n = core::simd::intersect_into(au, av, matched.data());
   double score = 0.0;
-  auto iu = au.begin();
-  auto iv = av.begin();
-  while (iu != au.end() && iv != av.end()) {
-    if (*iu < *iv) {
-      ++iu;
-    } else if (*iv < *iu) {
-      ++iv;
-    } else {
-      score += weights.attribute[static_cast<std::size_t>(
-          snap.attribute_types[*iu])];
-      ++iu, ++iv;
-    }
+  for (std::size_t i = 0; i < n; ++i) {
+    score += weights.attribute[static_cast<std::size_t>(
+        snap.attribute_types[matched[i]])];
   }
   return score;
 }
 
 double pair_score(const SanSnapshot& snap, NodeId u, NodeId v,
                   const LinkPredictionWeights& weights, bool use_attributes) {
-  double score =
-      weights.common_neighbor *
-      static_cast<double>(common_sorted(snap.social.neighbors(u),
-                                        snap.social.neighbors(v)));
+  double score = weights.common_neighbor *
+                 static_cast<double>(core::simd::intersect_count(
+                     snap.social.neighbors(u), snap.social.neighbors(v)));
   if (use_attributes) score += attribute_score(snap, u, v, weights);
   return score;
 }

@@ -1,45 +1,27 @@
 #include "apps/reciprocity_pred.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <vector>
+
+#include "core/simd/simd.hpp"
 
 namespace san::apps {
 namespace {
 
-std::size_t common_sorted(std::span<const NodeId> a,
-                          std::span<const NodeId> b) {
-  std::size_t count = 0;
-  auto ia = a.begin();
-  auto ib = b.begin();
-  while (ia != a.end() && ib != b.end()) {
-    if (*ia < *ib) {
-      ++ia;
-    } else if (*ib < *ia) {
-      ++ib;
-    } else {
-      ++count, ++ia, ++ib;
-    }
-  }
-  return count;
-}
-
+// Shared attributes weighted by type; see apps/linkpred.cpp for the
+// bit-equality argument (ascending intersect order == merge-walk order).
 double attribute_feature(const SanSnapshot& snap, NodeId u, NodeId v,
                          const ReciprocityWeights& weights) {
   const auto au = snap.attributes_of(u);
   const auto av = snap.attributes_of(v);
+  thread_local std::vector<AttrId> matched;
+  matched.resize(std::min(au.size(), av.size()) + core::simd::kIntoPad);
+  const std::size_t n = core::simd::intersect_into(au, av, matched.data());
   double score = 0.0;
-  auto iu = au.begin();
-  auto iv = av.begin();
-  while (iu != au.end() && iv != av.end()) {
-    if (*iu < *iv) {
-      ++iu;
-    } else if (*iv < *iu) {
-      ++iv;
-    } else {
-      score += weights.attribute[static_cast<std::size_t>(
-          snap.attribute_types[*iu])];
-      ++iu, ++iv;
-    }
+  for (std::size_t i = 0; i < n; ++i) {
+    score += weights.attribute[static_cast<std::size_t>(
+        snap.attribute_types[matched[i]])];
   }
   return score;
 }
@@ -51,8 +33,8 @@ ReciprocityScore score_reciprocity(const SanSnapshot& snap, NodeId u, NodeId v,
   if (u >= snap.social_node_count() || v >= snap.social_node_count()) {
     throw std::out_of_range("score_reciprocity: unknown node");
   }
-  const auto c = static_cast<double>(
-      common_sorted(snap.social.neighbors(u), snap.social.neighbors(v)));
+  const auto c = static_cast<double>(core::simd::intersect_count(
+      snap.social.neighbors(u), snap.social.neighbors(v)));
   ReciprocityScore score;
   score.structural =
       weights.common_neighbor * c / (c + weights.common_neighbor_half);

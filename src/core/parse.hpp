@@ -8,8 +8,10 @@
 #include <cctype>
 #include <cmath>
 #include <cerrno>
+#include <cstddef>
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 
 namespace san::core {
 
@@ -39,6 +41,22 @@ inline bool parse_u64_strict(const char* text, std::uint64_t& out) {
   char* end = nullptr;
   out = std::strtoull(text, &end, 10);
   return *end == '\0' && errno == 0;
+}
+
+/// Parse `text` as one of `names[0..count)`, whole-token exact match only
+/// (no prefixes, no case folding). Returns false on nullptr, empty, or an
+/// unknown token; on success `out` is the matched index. Shared by the
+/// enum-valued knobs (SAN_SIMD) so they fail loudly like the numeric ones.
+inline bool parse_enum_strict(const char* text, const char* const* names,
+                              std::size_t count, std::size_t& out) {
+  if (text == nullptr || *text == '\0') return false;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (std::strcmp(text, names[i]) == 0) {
+      out = i;
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace san::core

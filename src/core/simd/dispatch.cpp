@@ -1,0 +1,131 @@
+// Runtime dispatch for the SIMD kernel layer. The level is resolved once
+// (thread-safe function-local static): cpuid picks the best level the
+// binary was compiled with, SAN_SIMD overrides it downward, and tests
+// re-point the kernel table with set_level between batches. Kernel calls
+// go through one atomic pointer load — no per-call cpuid, no branches.
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "core/parse.hpp"
+#include "core/simd/intersect_common.hpp"
+#include "core/simd/simd.hpp"
+
+namespace san::core::simd {
+
+namespace {
+
+using Span = std::span<const std::uint32_t>;
+
+struct KernelTable {
+  std::size_t (*count)(Span, Span);
+  std::size_t (*into)(Span, Span, std::uint32_t*);
+  Level level;
+};
+
+constexpr KernelTable kTables[] = {
+    {detail::intersect_count_scalar, detail::intersect_into_scalar,
+     Level::kScalar},
+    {detail::intersect_count_sse, detail::intersect_into_sse, Level::kSse},
+    {detail::intersect_count_avx2, detail::intersect_into_avx2,
+     Level::kAvx2},
+};
+
+Level detect() {
+#if defined(__x86_64__) || defined(__i386__)
+  if (detail::kAvx2Compiled && __builtin_cpu_supports("avx2")) {
+    return Level::kAvx2;
+  }
+  if (detail::kSseCompiled && __builtin_cpu_supports("sse4.2")) {
+    return Level::kSse;
+  }
+#endif
+  return Level::kScalar;
+}
+
+struct InitState {
+  Level detected = Level::kScalar;
+  Level initial = Level::kScalar;
+  std::string env_error;  // the unparseable SAN_SIMD token, if any
+};
+
+const InitState& init_state() {
+  static const InitState state = [] {
+    InitState s;
+    s.detected = detect();
+    s.initial = s.detected;
+    if (const char* env = std::getenv("SAN_SIMD")) {
+      Level parsed = Level::kScalar;
+      if (parse_level(env, parsed)) {
+        // Valid but unsupported (e.g. SAN_SIMD=avx2 on an SSE-only
+        // host) clamps to the best available level.
+        s.initial = parsed < s.detected ? parsed : s.detected;
+      } else {
+        s.env_error = env;
+      }
+    }
+    return s;
+  }();
+  return state;
+}
+
+std::atomic<const KernelTable*> g_table{nullptr};
+
+const KernelTable* table() {
+  const KernelTable* t = g_table.load(std::memory_order_acquire);
+  if (t != nullptr) return t;
+  const KernelTable* resolved =
+      &kTables[static_cast<int>(init_state().initial)];
+  // First resolver wins; a concurrent set_level is never clobbered.
+  const KernelTable* expected = nullptr;
+  if (g_table.compare_exchange_strong(expected, resolved,
+                                      std::memory_order_acq_rel)) {
+    return resolved;
+  }
+  return expected;
+}
+
+}  // namespace
+
+const char* level_name(Level level) {
+  return kLevelNames[static_cast<int>(level)];
+}
+
+bool parse_level(const char* text, Level& out) {
+  std::size_t index = 0;
+  if (!core::parse_enum_strict(text, kLevelNames, 3, index)) return false;
+  out = static_cast<Level>(index);
+  return true;
+}
+
+Level detected_level() { return init_state().detected; }
+
+Level active_level() { return table()->level; }
+
+const char* env_error() {
+  const InitState& s = init_state();
+  return s.env_error.empty() ? nullptr : s.env_error.c_str();
+}
+
+bool set_level(Level level) {
+  table();  // resolve SAN_SIMD first so it can never clobber this store
+  if (static_cast<int>(level) > static_cast<int>(init_state().detected)) {
+    return false;
+  }
+  g_table.store(&kTables[static_cast<int>(level)],
+                std::memory_order_release);
+  return true;
+}
+
+std::size_t intersect_count(std::span<const std::uint32_t> a,
+                            std::span<const std::uint32_t> b) {
+  return table()->count(a, b);
+}
+
+std::size_t intersect_into(std::span<const std::uint32_t> a,
+                           std::span<const std::uint32_t> b,
+                           std::uint32_t* out) {
+  return table()->into(a, b, out);
+}
+
+}  // namespace san::core::simd

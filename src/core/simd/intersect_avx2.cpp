@@ -1,0 +1,132 @@
+// AVX2 intersection kernels: 8x8 all-pairs block compare (seven cyclic
+// rotations of the b-block via permutevar8x32 ORed into one match mask),
+// movemask + popcount for counting, and a 256-entry permutevar LUT to
+// left-pack matches for the into variant. Compiled with -mavx2 via a
+// per-file option in CMakeLists.txt; without it the symbols forward to
+// the scalar kernels and kAvx2Compiled is false so dispatch never picks
+// them.
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "core/simd/intersect_common.hpp"
+
+#if defined(__AVX2__)
+
+#include <array>
+#include <bit>
+#include <immintrin.h>
+
+namespace san::core::simd::detail {
+
+namespace {
+
+// Rotation index vectors: kRotIdx[r] maps lane l to lane (l + r) % 8 of
+// the b-block, so the 7 non-identity rotations cover all 8x8 pairings.
+constexpr std::array<std::array<std::uint32_t, 8>, 8> kRotIdx = [] {
+  std::array<std::array<std::uint32_t, 8>, 8> idx{};
+  for (int r = 0; r < 8; ++r) {
+    for (int l = 0; l < 8; ++l) {
+      idx[r][l] = static_cast<std::uint32_t>((l + r) % 8);
+    }
+  }
+  return idx;
+}();
+
+// mask bit k set => lane k of the a-block matched; the LUT row is the
+// permutevar8x32 control that packs those lanes to the front. Slots past
+// the match count replicate lane 0 — they are never part of the result.
+constexpr std::array<std::array<std::uint32_t, 8>, 256> kPackLut = [] {
+  std::array<std::array<std::uint32_t, 8>, 256> lut{};
+  for (int mask = 0; mask < 256; ++mask) {
+    int o = 0;
+    for (int lane = 0; lane < 8; ++lane) {
+      if ((mask >> lane) & 1) {
+        lut[mask][o++] = static_cast<std::uint32_t>(lane);
+      }
+    }
+  }
+  return lut;
+}();
+
+/// Balanced block phase: compare 8-element blocks all-pairs, then advance
+/// whichever block has the smaller maximum (both on ties). Strictly
+/// ascending inputs guarantee a lane matches at most one lane of the
+/// other block, so popcount(mask) is exact.
+template <bool kEmit>
+inline std::size_t block_avx2(const std::uint32_t* a, std::size_t& ai,
+                              std::size_t na, const std::uint32_t* b,
+                              std::size_t& bi, std::size_t nb,
+                              std::uint32_t* out) {
+  std::size_t c = 0;
+  std::size_t i = ai, j = bi;
+  while (i + 8 <= na && j + 8 <= nb) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+    __m256i eq = _mm256_cmpeq_epi32(va, vb);
+    for (int r = 1; r < 8; ++r) {
+      const __m256i idx = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(kRotIdx[r].data()));
+      eq = _mm256_or_si256(
+          eq, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, idx)));
+    }
+    const int mask = _mm256_movemask_ps(_mm256_castsi256_ps(eq));
+    if constexpr (kEmit) {
+      // c <= min(na, nb) here, so the full-vector store stays inside the
+      // documented min(na, nb) + kIntoPad capacity.
+      const __m256i ctrl = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(kPackLut[mask].data()));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + c),
+                          _mm256_permutevar8x32_epi32(va, ctrl));
+    }
+    c += static_cast<std::size_t>(std::popcount(
+        static_cast<unsigned>(mask)));
+    const std::uint32_t amax = a[i + 7];
+    const std::uint32_t bmax = b[j + 7];
+    if (amax <= bmax) i += 8;
+    if (bmax <= amax) j += 8;
+  }
+  ai = i;
+  bi = j;
+  return c;
+}
+
+}  // namespace
+
+std::size_t intersect_count_avx2(std::span<const std::uint32_t> a,
+                                 std::span<const std::uint32_t> b) {
+  return intersect_adaptive<false>(a, b, nullptr, block_avx2<false>);
+}
+
+std::size_t intersect_into_avx2(std::span<const std::uint32_t> a,
+                                std::span<const std::uint32_t> b,
+                                std::uint32_t* out) {
+  return intersect_adaptive<true>(a, b, out, block_avx2<true>);
+}
+
+const bool kAvx2Compiled = true;
+
+}  // namespace san::core::simd::detail
+
+#else  // !defined(__AVX2__)
+
+namespace san::core::simd::detail {
+
+std::size_t intersect_count_avx2(std::span<const std::uint32_t> a,
+                                 std::span<const std::uint32_t> b) {
+  return intersect_count_scalar(a, b);
+}
+
+std::size_t intersect_into_avx2(std::span<const std::uint32_t> a,
+                                std::span<const std::uint32_t> b,
+                                std::uint32_t* out) {
+  return intersect_into_scalar(a, b, out);
+}
+
+const bool kAvx2Compiled = false;
+
+}  // namespace san::core::simd::detail
+
+#endif  // defined(__AVX2__)

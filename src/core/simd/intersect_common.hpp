@@ -1,0 +1,122 @@
+// Shared scaffolding for the per-ISA intersection translation units: the
+// scalar merge loop (also every SIMD path's tail), the galloping walk for
+// skewed size ratios, and the adaptive entry that picks between them.
+// Each TU instantiates these with its own block kernel; keeping one copy
+// of the control flow is what makes the byte-identity contract easy to
+// audit — the levels differ only in how a balanced block range is scanned.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace san::core::simd::detail {
+
+/// One span longer than the other by this factor switches to galloping:
+/// per-element exponential search costs O(small * log(big/small)), beating
+/// any linear scan once the ratio dwarfs the SIMD width.
+inline constexpr std::size_t kGallopRatio = 32;
+
+/// Plain sorted merge over [ai, na) x [bi, nb); the scalar kernel and the
+/// tail of every SIMD kernel. kEmit selects count-only vs write-into.
+template <bool kEmit>
+inline std::size_t scalar_merge(const std::uint32_t* a, std::size_t ai,
+                                std::size_t na, const std::uint32_t* b,
+                                std::size_t bi, std::size_t nb,
+                                std::uint32_t* out, std::size_t c) {
+  while (ai < na && bi < nb) {
+    const std::uint32_t x = a[ai];
+    const std::uint32_t y = b[bi];
+    if (x < y) {
+      ++ai;
+    } else if (y < x) {
+      ++bi;
+    } else {
+      if constexpr (kEmit) out[c] = x;
+      ++c;
+      ++ai;
+      ++bi;
+    }
+  }
+  return c;
+}
+
+/// Galloping intersection, `a` the (much) smaller span: advance through b
+/// by exponential probe + binary search per a-element. Purely scalar —
+/// the win is algorithmic, so every level shares this path and skewed
+/// inputs are trivially byte-identical across levels.
+template <bool kEmit>
+inline std::size_t gallop(const std::uint32_t* a, std::size_t na,
+                          const std::uint32_t* b, std::size_t nb,
+                          std::uint32_t* out) {
+  std::size_t c = 0, j = 0;
+  for (std::size_t i = 0; i < na && j < nb; ++i) {
+    const std::uint32_t x = a[i];
+    if (b[j] < x) {
+      // b[lo] < x always; hunt the first candidate window, then bisect.
+      std::size_t lo = j, step = 1;
+      while (lo + step < nb && b[lo + step] < x) {
+        lo += step;
+        step <<= 1;
+      }
+      const std::size_t hi = std::min(nb, lo + step);
+      j = static_cast<std::size_t>(
+          std::lower_bound(b + lo + 1, b + hi, x) - b);
+      if (j >= nb) break;
+    }
+    if (b[j] == x) {
+      if constexpr (kEmit) out[c] = x;
+      ++c;
+      ++j;
+    }
+  }
+  return c;
+}
+
+/// Adaptive entry shared by every TU. `Block` is the level's balanced
+/// block kernel: block(a, ai, na, b, bi, nb, out, c) consumes whole
+/// vector blocks, updates ai/bi, and returns the match count so far; the
+/// scalar level passes a no-op and everything runs through the tail.
+template <bool kEmit, typename Block>
+inline std::size_t intersect_adaptive(std::span<const std::uint32_t> a,
+                                      std::span<const std::uint32_t> b,
+                                      std::uint32_t* out, Block&& block) {
+  if (a.size() > b.size()) std::swap(a, b);
+  if (a.empty()) return 0;
+  if (b.size() >= a.size() * kGallopRatio) {
+    return gallop<kEmit>(a.data(), a.size(), b.data(), b.size(), out);
+  }
+  std::size_t ai = 0, bi = 0;
+  const std::size_t c =
+      block(a.data(), ai, a.size(), b.data(), bi, b.size(), out);
+  return scalar_merge<kEmit>(a.data(), ai, a.size(), b.data(), bi, b.size(),
+                             out, c);
+}
+
+/// The scalar reference kernels (intersect_scalar.cpp) — also the
+/// fallback bodies for SSE/AVX2 TUs built without their ISA flags.
+std::size_t intersect_count_scalar(std::span<const std::uint32_t> a,
+                                   std::span<const std::uint32_t> b);
+std::size_t intersect_into_scalar(std::span<const std::uint32_t> a,
+                                  std::span<const std::uint32_t> b,
+                                  std::uint32_t* out);
+
+std::size_t intersect_count_sse(std::span<const std::uint32_t> a,
+                                std::span<const std::uint32_t> b);
+std::size_t intersect_into_sse(std::span<const std::uint32_t> a,
+                               std::span<const std::uint32_t> b,
+                               std::uint32_t* out);
+
+std::size_t intersect_count_avx2(std::span<const std::uint32_t> a,
+                                 std::span<const std::uint32_t> b);
+std::size_t intersect_into_avx2(std::span<const std::uint32_t> a,
+                                std::span<const std::uint32_t> b,
+                                std::uint32_t* out);
+
+/// Whether the TU was built with its ISA enabled (false = its symbols
+/// forward to scalar and the level must not be selectable).
+extern const bool kSseCompiled;
+extern const bool kAvx2Compiled;
+
+}  // namespace san::core::simd::detail

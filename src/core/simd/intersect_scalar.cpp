@@ -1,0 +1,34 @@
+// Scalar reference kernels: the byte-identity ground truth every SIMD
+// level is gated against (bench_kernels hard-fails on any mismatch), and
+// the portable fallback on non-x86 builds.
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "core/simd/intersect_common.hpp"
+
+namespace san::core::simd::detail {
+
+namespace {
+
+// No block phase: everything runs through the shared scalar tail.
+inline std::size_t no_block(const std::uint32_t*, std::size_t&, std::size_t,
+                            const std::uint32_t*, std::size_t&, std::size_t,
+                            std::uint32_t*) {
+  return 0;
+}
+
+}  // namespace
+
+std::size_t intersect_count_scalar(std::span<const std::uint32_t> a,
+                                   std::span<const std::uint32_t> b) {
+  return intersect_adaptive<false>(a, b, nullptr, no_block);
+}
+
+std::size_t intersect_into_scalar(std::span<const std::uint32_t> a,
+                                  std::span<const std::uint32_t> b,
+                                  std::uint32_t* out) {
+  return intersect_adaptive<true>(a, b, out, no_block);
+}
+
+}  // namespace san::core::simd::detail

@@ -1,0 +1,126 @@
+// SSE4.2 intersection kernels: 4x4 all-pairs block compare (three
+// cyclic shuffles of the b-block ORed into one match mask), movemask +
+// popcount for counting, and a 16-entry pshufb LUT to left-pack matches
+// for the into variant. Compiled with -msse4.2 via a per-file option in
+// CMakeLists.txt; without it (non-x86 builds) the symbols forward to the
+// scalar kernels and kSseCompiled is false so dispatch never picks them.
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "core/simd/intersect_common.hpp"
+
+#if defined(__SSE4_2__)
+
+#include <array>
+#include <bit>
+#include <smmintrin.h>
+
+namespace san::core::simd::detail {
+
+namespace {
+
+// mask bit k set => lane k of the a-block matched; the LUT row is the
+// pshufb control that packs those lanes to the front (0x80 zeroes the
+// rest — slots past the match count are never part of the result).
+constexpr std::array<std::array<std::uint8_t, 16>, 16> kPackLut = [] {
+  std::array<std::array<std::uint8_t, 16>, 16> lut{};
+  for (int mask = 0; mask < 16; ++mask) {
+    int o = 0;
+    for (int lane = 0; lane < 4; ++lane) {
+      if ((mask >> lane) & 1) {
+        for (int byte = 0; byte < 4; ++byte) {
+          lut[mask][o * 4 + byte] =
+              static_cast<std::uint8_t>(lane * 4 + byte);
+        }
+        ++o;
+      }
+    }
+    for (; o < 4; ++o) {
+      for (int byte = 0; byte < 4; ++byte) lut[mask][o * 4 + byte] = 0x80;
+    }
+  }
+  return lut;
+}();
+
+/// Balanced block phase: compare 4-element blocks all-pairs, then advance
+/// whichever block has the smaller maximum (both on ties). Strictly
+/// ascending inputs guarantee a lane matches at most one lane of the
+/// other block, so popcount(mask) is exact.
+template <bool kEmit>
+inline std::size_t block_sse(const std::uint32_t* a, std::size_t& ai,
+                             std::size_t na, const std::uint32_t* b,
+                             std::size_t& bi, std::size_t nb,
+                             std::uint32_t* out) {
+  std::size_t c = 0;
+  std::size_t i = ai, j = bi;
+  while (i + 4 <= na && j + 4 <= nb) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+    __m128i eq = _mm_cmpeq_epi32(va, vb);
+    eq = _mm_or_si128(
+        eq, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, 0x39)));
+    eq = _mm_or_si128(
+        eq, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, 0x4e)));
+    eq = _mm_or_si128(
+        eq, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, 0x93)));
+    const int mask = _mm_movemask_ps(_mm_castsi128_ps(eq));
+    if constexpr (kEmit) {
+      // c <= min(na, nb) here, so the full-vector store stays inside the
+      // documented min(na, nb) + kIntoPad capacity.
+      const __m128i ctrl = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(kPackLut[mask].data()));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + c),
+                       _mm_shuffle_epi8(va, ctrl));
+    }
+    c += static_cast<std::size_t>(std::popcount(
+        static_cast<unsigned>(mask)));
+    const std::uint32_t amax = a[i + 3];
+    const std::uint32_t bmax = b[j + 3];
+    if (amax <= bmax) i += 4;
+    if (bmax <= amax) j += 4;
+  }
+  ai = i;
+  bi = j;
+  return c;
+}
+
+}  // namespace
+
+std::size_t intersect_count_sse(std::span<const std::uint32_t> a,
+                                std::span<const std::uint32_t> b) {
+  return intersect_adaptive<false>(a, b, nullptr, block_sse<false>);
+}
+
+std::size_t intersect_into_sse(std::span<const std::uint32_t> a,
+                               std::span<const std::uint32_t> b,
+                               std::uint32_t* out) {
+  return intersect_adaptive<true>(a, b, out, block_sse<true>);
+}
+
+const bool kSseCompiled = true;
+
+}  // namespace san::core::simd::detail
+
+#else  // !defined(__SSE4_2__)
+
+namespace san::core::simd::detail {
+
+std::size_t intersect_count_sse(std::span<const std::uint32_t> a,
+                                std::span<const std::uint32_t> b) {
+  return intersect_count_scalar(a, b);
+}
+
+std::size_t intersect_into_sse(std::span<const std::uint32_t> a,
+                               std::span<const std::uint32_t> b,
+                               std::uint32_t* out) {
+  return intersect_into_scalar(a, b, out);
+}
+
+const bool kSseCompiled = false;
+
+}  // namespace san::core::simd::detail
+
+#endif  // defined(__SSE4_2__)

@@ -1,0 +1,79 @@
+// Runtime-dispatched SIMD kernel layer for the serving hot loops.
+//
+// Every per-query kernel in serve/ and apps/ reduces to walks over sorted
+// u32 spans (adjacency lists, attribute lists); this header is their one
+// entry point. The implementation level — scalar, SSE4.2, or AVX2 — is
+// picked ONCE at startup from cpuid, forceable with SAN_SIMD=scalar|sse|
+// avx2 (and by tests via set_level), and every level is byte-identical by
+// contract: the determinism gates (thread sweeps, batch==single, epoch
+// oracles) run unchanged at any dispatch level. Kernels with float
+// accumulation keep bit-equality by intersecting into an index buffer
+// first and summing in span order (see apps/linkpred.cpp).
+//
+// Preconditions: intersection inputs are STRICTLY ascending u32 spans (the
+// CSR invariant — no duplicates). members_of spans are time-ordered, not
+// sorted, and must never be passed here.
+//
+// The per-ISA translation units live next to this header; only
+// intersect_sse.cpp / intersect_avx2.cpp are compiled with -msse4.2 /
+// -mavx2 (per-file options in CMakeLists.txt), so no SIMD instruction can
+// leak into code that runs before the cpuid check.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace san::core::simd {
+
+/// Dispatch levels, ordered: a CPU that supports level L supports every
+/// level below it.
+enum class Level : int { kScalar = 0, kSse = 1, kAvx2 = 2 };
+
+inline constexpr const char* kLevelNames[] = {"scalar", "sse", "avx2"};
+
+const char* level_name(Level level);
+
+/// Strict parse of a SAN_SIMD token ("scalar" | "sse" | "avx2"); false on
+/// anything else (including empty / prefixes / mixed case).
+bool parse_level(const char* text, Level& out);
+
+/// Best level both compiled into this binary and supported by the CPU.
+Level detected_level();
+
+/// The level the kernels below currently dispatch to. Resolved on first
+/// use: SAN_SIMD if set and valid (clamped to detected_level()), else
+/// detected_level().
+Level active_level();
+
+/// The SAN_SIMD value that failed to parse at startup, or nullptr. The
+/// library falls back to detected_level() and keeps running; user-facing
+/// binaries (san_tool) turn this into a usage error (exit 2) instead.
+const char* env_error();
+
+/// Force the dispatch level (tests, SAN_SIMD). Returns false — leaving
+/// dispatch unchanged — when the CPU or build lacks the level. Not for
+/// use concurrent with in-flight queries: callers switch levels between
+/// batches, as the test sweeps do.
+bool set_level(Level level);
+
+/// |a ∩ b| for strictly ascending u32 spans. Adaptive: galloping when one
+/// span is many times shorter, block-compare SIMD otherwise. Identical
+/// result at every dispatch level.
+std::size_t intersect_count(std::span<const std::uint32_t> a,
+                            std::span<const std::uint32_t> b);
+
+/// Extra writable slots intersect_into requires past min(a.size(),
+/// b.size()): the SIMD compaction stores whole vectors, and a store that
+/// begins at the final result size can extend one vector past it.
+inline constexpr std::size_t kIntoPad = 8;
+
+/// a ∩ b written ascending into `out`; returns the intersection size n.
+/// `out` needs capacity min(a.size(), b.size()) + kIntoPad — slots past n
+/// are scratch with unspecified contents. out[0..n) is identical at every
+/// dispatch level.
+std::size_t intersect_into(std::span<const std::uint32_t> a,
+                           std::span<const std::uint32_t> b,
+                           std::uint32_t* out);
+
+}  // namespace san::core::simd

@@ -27,18 +27,32 @@ void BipartiteCsr::rebuild_from_links(std::size_t left_count,
     throw std::invalid_argument("BipartiteCsr: users/attrs size mismatch");
   }
   const std::size_t m = users.size();
-  const std::size_t bad = core::parallel_reduce(
-      m, std::size_t{0},
-      [&](std::size_t begin, std::size_t end, std::size_t) {
-        std::size_t count = 0;
+
+  // Both sides are stable counting sorts on the shared chunk-parallel
+  // engine (core/counting_scatter.hpp): chunks scatter concurrently into
+  // disjoint slots while the result stays byte-identical to the serial
+  // stable sort (earlier input positions land first). The pipeline is
+  // fused to three passes: endpoint validation rides inside the attribute
+  // count (an invalid link doesn't emit, and a short total rejects the
+  // input before any public state mutates), and the right-side scatter
+  // feeds the left-side histograms through its hook, so the left count
+  // pass disappears — see san/timeline.cpp build_social for the scheme.
+
+  // Right side: sort links by attribute, stable in input order, so
+  // members_of(a) preserves the (time) order of the input links.
+  by_attr_.count(
+      m, right_count,
+      [&](std::size_t begin, std::size_t end, auto emit) {
         for (std::size_t i = begin; i < end; ++i) {
-          if (users[i] >= left_count || attrs[i] >= right_count) ++count;
+          if (users[i] < left_count && attrs[i] < right_count) {
+            emit(attrs[i]);
+          }
         }
-        return count;
       },
-      [](std::size_t a, std::size_t b) { return a + b; },
-      core::kScatterGrain);
-  if (bad > 0) {
+      counts_);
+  std::uint64_t valid = 0;
+  for (std::size_t a = 0; a < right_count; ++a) valid += counts_[a];
+  if (valid < m) {
     throw std::out_of_range("BipartiteCsr: link endpoint out of range");
   }
   left_count_ = left_count;
@@ -46,20 +60,6 @@ void BipartiteCsr::rebuild_from_links(std::size_t left_count,
   link_count_ = m;
   left_waste_ = 0;
   right_waste_ = 0;
-
-  // Both sides are stable counting sorts on the shared chunk-parallel
-  // engine (core/counting_scatter.hpp): chunks scatter concurrently into
-  // disjoint slots while the result stays byte-identical to the serial
-  // stable sort (earlier input positions land first).
-
-  // Right side: sort links by attribute, stable in input order, so
-  // members_of(a) preserves the (time) order of the input links.
-  by_attr_.count(
-      m, right_count,
-      [&](std::size_t begin, std::size_t end, auto emit) {
-        for (std::size_t i = begin; i < end; ++i) emit(attrs[i]);
-      },
-      counts_);
   right_start_.resize(right_count);
   right_cap_.resize(right_count);
   right_len_.resize(right_count);
@@ -76,30 +76,23 @@ void BipartiteCsr::rebuild_from_links(std::size_t left_count,
     }
     right_targets_.resize(tail);
   }
-  by_attr_.scatter(
+  // The hook counts each landed user into the left sort's histograms,
+  // keyed by the storage slot the link landed in.
+  by_user_.begin_fused_count(right_targets_.size(), left_count);
+  by_attr_.scatter_fused(
       right_start_,
       [&](std::size_t begin, std::size_t end, auto emit) {
         for (std::size_t i = begin; i < end; ++i) emit(attrs[i], users[i]);
       },
-      right_targets_.data());
+      right_targets_.data(),
+      [&](std::uint64_t pos, NodeId u) { by_user_.fused_add(pos, u); });
 
-  // Left side from the right side: walking the attr-major sequence in
-  // ascending attribute order and scattering by user yields per-user
-  // attribute lists already sorted ascending — a second counting sort
-  // instead of a per-user sort. Items are dense RANKS [0, m) mapped to
-  // storage positions through dense_right_, so slack gaps in the right
-  // layout never enter the walk.
-  const auto attr_major = [&](std::size_t begin, std::size_t end, auto&& fn) {
-    core::walk_keyed_regions(dense_right_, right_start_, begin, end, fn);
-  };
-  by_user_.count(
-      m, left_count,
-      [&](std::size_t begin, std::size_t end, auto emit) {
-        attr_major(begin, end, [&](std::uint64_t pos, AttrId) {
-          emit(right_targets_[pos]);
-        });
-      },
-      counts_);
+  // Left side from the right side: walking the attr-major storage slots
+  // in ascending order (== ascending attribute order; dead slack skipped
+  // region-by-region) and scattering by user yields per-user attribute
+  // lists already sorted ascending — a second counting sort instead of a
+  // per-user sort.
+  by_user_.finish_fused_count(counts_);
   left_start_.resize(left_count);
   left_cap_.resize(left_count);
   left_len_.resize(left_count);
@@ -117,9 +110,11 @@ void BipartiteCsr::rebuild_from_links(std::size_t left_count,
   by_user_.scatter(
       left_start_,
       [&](std::size_t begin, std::size_t end, auto emit) {
-        attr_major(begin, end, [&](std::uint64_t pos, AttrId a) {
-          emit(right_targets_[pos], a);
-        });
+        core::walk_slack_slots(
+            right_start_, right_len_, begin, end,
+            [&](std::uint64_t pos, std::size_t a) {
+              emit(right_targets_[pos], static_cast<AttrId>(a));
+            });
       },
       left_targets_.data());
 }

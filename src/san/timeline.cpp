@@ -81,7 +81,6 @@ struct SanTimeline::Scratch {
   // a sweep ping-pongs two buffer sets with zero steady-state allocation.
   core::StableCountingScatter by_src, by_dst, by_rank;
   std::vector<std::uint64_t> counts;
-  std::vector<NodeId> f_src_store, f_dst_store;  // compacted slice (drops)
   std::vector<NodeId> g_dst;  // src-major dst sequence, dense ranks
   std::vector<std::uint64_t> out_off, in_off;  // storage starts (cap prefix)
   std::vector<std::uint32_t> out_len, in_len;
@@ -291,50 +290,32 @@ void SanTimeline::absorb(const SocialAttributeNetwork& network) {
   }
 }
 
-// Social edges: radix-order the <= t slice into the final out/in CSR arrays
-// with four chunk-parallel stable counting sorts (core/counting_scatter.hpp)
-// — O(prefix + nodes), no comparison sort, no dedup branches (the network
-// rejects duplicate and self links at insert time). A slack build reserves
-// per-node headroom so advance() can append later days in place.
+// Social edges: radix-order the <= t slice into the final out/in CSR
+// arrays with chunk-parallel stable counting sorts
+// (core/counting_scatter.hpp) — O(prefix + nodes), no comparison sort, no
+// dedup branches (the network rejects duplicate and self links at insert
+// time). A slack build reserves per-node headroom so advance() can append
+// later days in place.
+//
+// The pipeline is FUSED to four passes over the data: the validity filter
+// rides inside the src count (invalid links simply don't emit — both
+// phases of a counting sort tolerate filtered sequences as long as they
+// agree), and each scatter feeds the NEXT sort's chunk histograms through
+// scatter_fused's hook at the moment it knows an item's output position,
+// so the standalone count passes P2 and P3 used to pay disappear. The
+// last sort therefore works in the in-adjacency's STORAGE slot space
+// (positions are all a fused count sees); ascending storage order equals
+// ascending (dst, src) order, so stable ranks — and every output byte —
+// are identical to the unfused pipeline.
 void SanTimeline::build_social(std::size_t n_social, std::size_t edge_prefix,
                                SanSnapshot& snap, Scratch& s,
                                bool slack) const {
   s.deferred_edges.clear();
-
-  // Filter the slice. The common case drops nothing (links rarely predate
-  // their endpoints' join) and works directly off the columnar log.
-  std::span<const NodeId> f_src, f_dst;
-  const std::size_t dropped = core::parallel_reduce(
-      edge_prefix, std::size_t{0},
-      [&](std::size_t begin, std::size_t end, std::size_t) {
-        std::size_t count = 0;
-        for (std::size_t i = begin; i < end; ++i) {
-          if (edge_src_[i] >= n_social || edge_dst_[i] >= n_social) ++count;
-        }
-        return count;
-      },
-      [](std::size_t a, std::size_t b) { return a + b; },
-      core::kScatterGrain);
-  if (dropped == 0) {
-    f_src = {edge_src_.data(), edge_prefix};
-    f_dst = {edge_dst_.data(), edge_prefix};
-  } else {
-    s.f_src_store.clear();
-    s.f_dst_store.clear();
-    for (std::size_t i = 0; i < edge_prefix; ++i) {
-      if (edge_src_[i] >= n_social || edge_dst_[i] >= n_social) {
-        // Link predates an endpoint's join; it activates when the endpoint
-        // arrives.
-        s.deferred_edges.emplace_back(edge_src_[i], edge_dst_[i]);
-        continue;
-      }
-      s.f_src_store.push_back(edge_src_[i]);
-      s.f_dst_store.push_back(edge_dst_[i]);
-    }
-    f_src = s.f_src_store;
-    f_dst = s.f_dst_store;
-  }
-  const std::size_t m = f_src.size();
+  const NodeId* log_src = edge_src_.data();
+  const NodeId* log_dst = edge_dst_.data();
+  const auto valid = [&](std::size_t i) {
+    return log_src[i] < n_social && log_dst[i] < n_social;
+  };
 
   const auto layout = [&](std::vector<std::uint32_t>& len,
                           std::vector<std::uint64_t>& off,
@@ -351,69 +332,75 @@ void SanTimeline::build_social(std::size_t n_social, std::size_t edge_prefix,
     }
   };
 
-  // P1: count by src, then stable-scatter the slice src-major. The dense
-  // intermediate keeps only dst values — the source of rank i is recovered
-  // from the dense prefix while walking.
+  // P1: count by src over the RAW slice, filtering as it counts (a link
+  // whose endpoint hasn't joined yet doesn't emit). The common case drops
+  // nothing; when something was dropped, one serial sweep collects the
+  // deferred links (they activate when their endpoint arrives).
   s.by_src.count(
-      m, n_social,
+      edge_prefix, n_social,
       [&](std::size_t begin, std::size_t end, auto emit) {
-        for (std::size_t i = begin; i < end; ++i) emit(f_src[i]);
+        for (std::size_t i = begin; i < end; ++i) {
+          if (valid(i)) emit(log_src[i]);
+        }
       },
       s.counts);
   layout(s.out_len, s.out_off, s.dense_out);
+  const std::size_t m = s.dense_out[n_social];
+  if (m < edge_prefix) {
+    for (std::size_t i = 0; i < edge_prefix; ++i) {
+      if (!valid(i)) s.deferred_edges.emplace_back(log_src[i], log_dst[i]);
+    }
+  }
+
+  // P1 scatter: the slice lands src-major as a dense dst sequence (the
+  // source of rank i is recovered from the dense prefix while walking),
+  // and the hook counts each landed dst into P2's chunk histograms.
   s.g_dst.resize(m);
-  s.by_src.scatter(
+  s.by_dst.begin_fused_count(m, n_social);
+  s.by_src.scatter_fused(
       std::span<const std::uint64_t>(s.dense_out.data(), n_social),
       [&](std::size_t begin, std::size_t end, auto emit) {
-        for (std::size_t i = begin; i < end; ++i) emit(f_src[i], f_dst[i]);
+        for (std::size_t i = begin; i < end; ++i) {
+          if (valid(i)) emit(log_src[i], log_dst[i]);
+        }
       },
-      s.g_dst.data());
+      s.g_dst.data(),
+      [&](std::uint64_t pos, NodeId dst) { s.by_dst.fused_add(pos, dst); });
+  s.by_dst.finish_fused_count(s.counts);
+  layout(s.in_len, s.in_off, s.dense_in);
 
-  // P2: stable scatter of the src-major order by dst — sources arrive
-  // ascending per target, which IS the final in-adjacency (written at the
-  // slack layout's storage starts).
+  // P2 scatter: src-major order by dst — sources arrive ascending per
+  // target, which IS the final in-adjacency (written at the slack
+  // layout's storage starts). The hook counts each landed source into
+  // P3's histograms, keyed by the STORAGE slot it landed in.
   const auto src_major = [&](std::size_t begin, std::size_t end, auto&& fn) {
     // start == dense: the src-major intermediate is packed, so pos == rank.
     core::walk_keyed_regions(s.dense_out, s.dense_out, begin, end, fn);
   };
-  s.by_dst.count(
-      m, n_social,
-      [&](std::size_t begin, std::size_t end, auto emit) {
-        for (std::size_t i = begin; i < end; ++i) emit(s.g_dst[i]);
-      },
-      s.counts);
-  layout(s.in_len, s.in_off, s.dense_in);
   s.in_targets.resize(s.in_off.back());
-  s.by_dst.scatter(
+  s.by_rank.begin_fused_count(s.in_off.back(), n_social);
+  s.by_dst.scatter_fused(
       std::span<const std::uint64_t>(s.in_off.data(), n_social),
       [&](std::size_t begin, std::size_t end, auto emit) {
         src_major(begin, end,
                   [&](std::size_t i, NodeId u) { emit(s.g_dst[i], u); });
       },
-      s.in_targets.data());
+      s.in_targets.data(),
+      [&](std::uint64_t pos, NodeId u) { s.by_rank.fused_add(pos, u); });
 
-  // P3: walk the in-lists target-major (targets ascending, dense RANKS
-  // mapped through dense_in so slack gaps never enter the walk) and scatter
-  // by source — targets arrive ascending per source, the final
-  // out-adjacency.
-  const auto in_major = [&](std::size_t begin, std::size_t end, auto&& fn) {
-    core::walk_keyed_regions(s.dense_in, s.in_off, begin, end, fn);
-  };
-  s.by_rank.count(
-      m, n_social,
-      [&](std::size_t begin, std::size_t end, auto emit) {
-        in_major(begin, end, [&](std::uint64_t pos, NodeId) {
-          emit(s.in_targets[pos]);
-        });
-      },
-      s.counts);
+  // P3 scatter: walk the in-adjacency's live storage slots (dead slack
+  // skipped region-by-region; the per-src totals were already known at
+  // P1, so no finish_fused_count) and scatter by source — targets arrive
+  // ascending per source, the final out-adjacency.
   s.out_targets.resize(s.out_off.back());
   s.by_rank.scatter(
       std::span<const std::uint64_t>(s.out_off.data(), n_social),
       [&](std::size_t begin, std::size_t end, auto emit) {
-        in_major(begin, end, [&](std::uint64_t pos, NodeId d) {
-          emit(s.in_targets[pos], d);
-        });
+        core::walk_slack_slots(
+            std::span<const std::uint64_t>(s.in_off.data(), n_social),
+            s.in_len, begin, end, [&](std::uint64_t pos, std::size_t d) {
+              emit(s.in_targets[pos], static_cast<NodeId>(d));
+            });
       },
       s.out_targets.data());
 

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "core/parallel.hpp"
+#include "core/simd/simd.hpp"
 
 namespace san::serve {
 namespace {
@@ -31,9 +32,9 @@ EgoMetrics ego_metrics(const SanSnapshot& snap, NodeId u,
   m.in_degree = g.in_degree(u);
   m.degree = g.degree(u);
   m.attribute_count = snap.attributes_of(u).size();
-  for (const NodeId v : g.out(u)) {
-    if (g.has_edge(v, u)) ++m.mutual_degree;
-  }
+  // v reciprocal iff v ∈ out(u) ∩ in(u) — one intersection instead of a
+  // binary search per out-neighbor.
+  m.mutual_degree = core::simd::intersect_count(g.out(u), g.in(u));
 
   // Distinct nodes at distance exactly 2 over the undirected view, via the
   // same dense seen/excluded flags the recommender uses.

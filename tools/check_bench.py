@@ -13,6 +13,12 @@ as informational and never fail the gate; a baseline metric missing from
 every result file fails it (the bench stopped reporting the number the
 gate exists to watch).
 
+A baseline entry may instead be {"floor": X}: a hard lower bound with no
+tolerance (the SIMD-vs-scalar kernel speedups use floor 1.0 — vectorized
+must never lose to scalar, on any core count). Floor metrics missing from
+every result file are SKIPPED, not failed: the bench omits them when the
+host lacks the ISA level.
+
 Usage: tools/check_bench.py [--baseline FILE] [--tolerance 0.2] RESULTS...
 """
 
@@ -22,14 +28,23 @@ import os
 import sys
 
 
-def load(path):
+def is_number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def load(path, allow_floors=False):
     with open(path, "r", encoding="utf-8") as f:
         data = json.load(f)
     if not isinstance(data, dict):
         raise ValueError(f"{path}: expected a flat JSON object")
     for name, value in data.items():
-        if not isinstance(value, (int, float)) or isinstance(value, bool):
-            raise ValueError(f"{path}: metric {name!r} is not a number")
+        if is_number(value):
+            continue
+        if (allow_floors and isinstance(value, dict)
+                and set(value) == {"floor"} and is_number(value["floor"])):
+            continue
+        raise ValueError(f"{path}: metric {name!r} is not a number"
+                         + (" or {'floor': X}" if allow_floors else ""))
     return data
 
 
@@ -45,7 +60,7 @@ def main():
                              "(default: 0.2)")
     args = parser.parse_args()
 
-    baseline = load(args.baseline)
+    baseline = load(args.baseline, allow_floors=True)
     current = {}
     for path in args.results:
         for name, value in load(path).items():
@@ -57,18 +72,31 @@ def main():
 
     failures = 0
     for name in sorted(baseline):
-        floor = baseline[name] * (1.0 - args.tolerance)
+        spec = baseline[name]
+        if isinstance(spec, dict):
+            floor = spec["floor"]
+            if name not in current:
+                print(f"skip  {name}: not reported (host lacks the level)")
+            elif current[name] < floor:
+                print(f"FAIL  {name}: {current[name]:.3f} < hard floor "
+                      f"{floor:.3f}")
+                failures += 1
+            else:
+                print(f"ok    {name}: {current[name]:.3f} "
+                      f"(hard floor {floor:.3f})")
+            continue
+        floor = spec * (1.0 - args.tolerance)
         if name not in current:
             print(f"FAIL  {name}: in baseline but missing from results")
             failures += 1
         elif current[name] < floor:
             print(f"FAIL  {name}: {current[name]:.3f} < floor "
-                  f"{floor:.3f} (baseline {baseline[name]:.3f}, "
+                  f"{floor:.3f} (baseline {spec:.3f}, "
                   f"tolerance {args.tolerance:.0%})")
             failures += 1
         else:
             print(f"ok    {name}: {current[name]:.3f} "
-                  f"(baseline {baseline[name]:.3f}, floor {floor:.3f})")
+                  f"(baseline {spec:.3f}, floor {floor:.3f})")
     for name in sorted(set(current) - set(baseline)):
         print(f"info  {name}: {current[name]:.3f} (not gated)")
 

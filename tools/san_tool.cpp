@@ -33,6 +33,7 @@
 
 #include "apps/community.hpp"
 #include "core/parse.hpp"
+#include "core/simd/simd.hpp"
 #include "crawl/crawler.hpp"
 #include "crawl/gplus_synth.hpp"
 #include "graph/clustering.hpp"
@@ -213,7 +214,13 @@ int cmd_help(const std::string& topic) {
         " (src/san/serialization.hpp).\n"
         "SAN_THREADS=<n> sets the parallel lane count; results are\n"
         "byte-identical at any thread count.\n"
-        "exit codes: 0 success, 1 runtime failure, 2 usage error\n");
+        "SAN_SIMD=scalar|sse|avx2 forces the kernel dispatch level\n"
+        "(byte-identical at every level; unknown values are a usage\n"
+        "error).\n");
+    std::printf("kernel dispatch: %s active, %s detected\n",
+                core::simd::level_name(core::simd::active_level()),
+                core::simd::level_name(core::simd::detected_level()));
+    std::printf("exit codes: 0 success, 1 runtime failure, 2 usage error\n");
     return 0;
   }
   const SubcommandDoc* doc = find_subcommand(topic);
@@ -474,11 +481,12 @@ int cmd_serve(int argc, char** argv, const char* path) {
   const auto stats = cache.stats();
   std::fprintf(stderr,
                "served %zu queries in %.3f s (%.0f queries/s); snapshot cache:"
-               " %llu hits, %llu misses, %llu evictions\n",
+               " %llu hits, %llu misses, %llu evictions; kernels: %s\n",
                served, seconds, seconds > 0.0 ? served / seconds : 0.0,
                static_cast<unsigned long long>(stats.hits),
                static_cast<unsigned long long>(stats.misses),
-               static_cast<unsigned long long>(stats.evictions));
+               static_cast<unsigned long long>(stats.evictions),
+               core::simd::level_name(core::simd::active_level()));
   return 0;
 }
 
@@ -544,14 +552,16 @@ int run_live_session(auto& live, LiveReplay& replay, const auto& steps,
   std::fprintf(
       stderr,
       "live tip %.2f after %llu epochs (%llu activated, %llu pending,"
-      " %llu late batches); cache: %llu hits, %llu misses, %llu live hits\n",
+      " %llu late batches); cache: %llu hits, %llu misses, %llu live hits;"
+      " kernels: %s\n",
       live.tip_time(), static_cast<unsigned long long>(live_stats.epochs),
       static_cast<unsigned long long>(live_stats.activated_links),
       static_cast<unsigned long long>(live_stats.pending_links),
       static_cast<unsigned long long>(live_stats.late_batches),
       static_cast<unsigned long long>(cache_stats.hits),
       static_cast<unsigned long long>(cache_stats.misses),
-      static_cast<unsigned long long>(cache_stats.live_hits));
+      static_cast<unsigned long long>(cache_stats.live_hits),
+      core::simd::level_name(core::simd::active_level()));
   return 0;
 }
 
@@ -625,6 +635,11 @@ int main(int argc, char** argv) {
   if (wants_help(argc, argv)) {
     if (find_subcommand(command) != nullptr) return cmd_help(command);
     return complain("unknown command '%s'", command.c_str());
+  }
+  // An unparseable SAN_SIMD is the same guard family as a bad flag value:
+  // refuse up front instead of silently running on the detected level.
+  if (const char* bad = core::simd::env_error()) {
+    return complain("invalid SAN_SIMD '%s' (need scalar|sse|avx2)", bad);
   }
   const bool has_file = argc >= 3 && argv[2][0] != '-';
   try {
