@@ -27,6 +27,8 @@
 
 #include "bench_util.hpp"
 #include "core/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "san/timeline.hpp"
 #include "san_testlib.hpp"
 #include "serve/query_engine.hpp"
@@ -158,6 +160,50 @@ int main(int argc, char** argv) {
   if (warm_stats.misses != cold_stats.misses) {
     std::fprintf(stderr, "FAIL: warm pass missed the cache\n");
     return 1;
+  }
+
+  bench::header("telemetry overhead: warm serve, sink attached vs detached");
+  // The `warm_s` passes above ran with telemetry OFF (the process default):
+  // every instrumented site paid one relaxed atomic-bool load and nothing
+  // else. Now attach a registry, enable latency capture AND tracing, rerun
+  // the same warm workload, and gate the ratio — the telemetry layer's
+  // whole-pipeline cost must stay within the bench-regression floor
+  // (tools/bench_baseline.json: telemetry_attached_vs_detached).
+  {
+    obs::Registry registry;
+    cache.register_metrics(registry, "cache");
+    engine.register_metrics(registry, "serve");
+    obs::set_timing_enabled(true);
+    obs::set_tracing_enabled(true);
+    double attached_s = std::numeric_limits<double>::infinity();
+    for (int pass = 0; pass < 2; ++pass) {
+      const auto attached_start = std::chrono::steady_clock::now();
+      (void)run_batched(engine, queries, kBatch);
+      attached_s = std::min(attached_s, seconds_since(attached_start));
+    }
+    obs::set_timing_enabled(false);
+    obs::set_tracing_enabled(false);
+    std::printf("  attached: %7.3f s (%.0f queries/s) vs detached %7.3f s"
+                " — %.3fx\n",
+                attached_s, queries.size() / attached_s, warm_s,
+                warm_s / attached_s);
+    report.add("telemetry_attached_vs_detached", warm_s / attached_s);
+    // Sanity: the attached passes actually recorded latencies and spans.
+    std::uint64_t recorded = 0;
+    for (const auto& [name, value] : registry.snapshot()) {
+      if (name.ends_with(".count")) {
+        recorded += static_cast<std::uint64_t>(value);
+      }
+    }
+    if (recorded < 2 * queries.size() || obs::span_count() == 0) {
+      std::fprintf(stderr,
+                   "FAIL: telemetry pass recorded %llu latencies, %llu spans"
+                   " (expected >= %zu latencies and > 0 spans)\n",
+                   static_cast<unsigned long long>(recorded),
+                   static_cast<unsigned long long>(obs::span_count()),
+                   2 * queries.size());
+      return 1;
+    }
   }
 
   bench::header("per-query-type throughput (warm cache)");

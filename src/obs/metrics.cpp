@@ -1,0 +1,155 @@
+#include "obs/metrics.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+namespace san::obs {
+
+namespace {
+
+std::atomic<bool> g_timing_enabled{false};
+
+}  // namespace
+
+bool timing_enabled() {
+  return g_timing_enabled.load(std::memory_order_relaxed);
+}
+
+void set_timing_enabled(bool enabled) {
+  g_timing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::size_t thread_slot() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kSlotRows;
+  return slot;
+}
+
+double Histogram::percentile(double q) const {
+  const auto counts = merged();
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  if (q <= 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Nearest rank, 1-based: the smallest rank whose cumulative share
+  // reaches q. ceil() via floating point is safe at these magnitudes
+  // (counts are event totals, far below 2^53).
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  if (rank == 0) rank = 1;
+  std::uint64_t before = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (counts[b] == 0) continue;
+    if (before + counts[b] >= rank) {
+      // Interpolate by rank position inside the bucket; the midpoint
+      // offset keeps single-count buckets at the bucket center and the
+      // result strictly inside [lower, upper].
+      const double lower = static_cast<double>(bucket_lower(b));
+      const double upper = static_cast<double>(bucket_upper(b));
+      const double pos = (static_cast<double>(rank - before) - 0.5) /
+                         static_cast<double>(counts[b]);
+      return lower + pos * (upper - lower);
+    }
+    before += counts[b];
+  }
+  return static_cast<double>(bucket_upper(kBuckets - 1));  // unreachable
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+void Registry::attach_counter(std::string name,
+                              std::shared_ptr<Counter> counter) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_[std::move(name)] = std::move(counter);
+}
+
+void Registry::attach_gauge(std::string name, std::shared_ptr<Gauge> gauge) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  gauges_[std::move(name)] = std::move(gauge);
+}
+
+void Registry::attach_histogram(std::string name,
+                                std::shared_ptr<Histogram> hist) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  histograms_[std::move(name)] = std::move(hist);
+}
+
+void Registry::attach_fn(std::string name, std::function<double()> fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fns_[std::move(name)] = std::move(fn);
+}
+
+std::vector<std::pair<std::string, double>> Registry::snapshot() const {
+  // Copy the directory under the lock, evaluate outside it: fn entries
+  // may take component mutexes (LiveTimeline::stats()) and must not do so
+  // while holding ours.
+  std::map<std::string, std::shared_ptr<Counter>> counters;
+  std::map<std::string, std::shared_ptr<Gauge>> gauges;
+  std::map<std::string, std::shared_ptr<Histogram>> histograms;
+  std::map<std::string, std::function<double()>> fns;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters = counters_;
+    gauges = gauges_;
+    histograms = histograms_;
+    fns = fns_;
+  }
+  std::map<std::string, double> flat;
+  for (const auto& [name, counter] : counters) {
+    flat[name] = static_cast<double>(counter->value());
+  }
+  for (const auto& [name, gauge] : gauges) {
+    flat[name] = static_cast<double>(gauge->value());
+  }
+  for (const auto& [name, hist] : histograms) {
+    flat[name + ".count"] = static_cast<double>(hist->count());
+    flat[name + ".p50_us"] = hist->percentile(0.50) / 1000.0;
+    flat[name + ".p90_us"] = hist->percentile(0.90) / 1000.0;
+    flat[name + ".p99_us"] = hist->percentile(0.99) / 1000.0;
+    flat[name + ".p999_us"] = hist->percentile(0.999) / 1000.0;
+  }
+  for (const auto& [name, fn] : fns) {
+    const double value = fn();
+    flat[name] = std::isfinite(value) ? value : 0.0;
+  }
+  return {flat.begin(), flat.end()};
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_) counter->reset();
+  for (const auto& [name, gauge] : gauges_) gauge->reset();
+  for (const auto& [name, hist] : histograms_) hist->reset();
+}
+
+bool Registry::write_json(const char* path) const {
+  const auto flat = snapshot();
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "FAIL: cannot write stats JSON file '%s'\n", path);
+    return false;
+  }
+  std::fputs("{\n", out);
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    std::fprintf(out, "  \"%s\": %.17g%s\n", flat[i].first.c_str(),
+                 flat[i].second, i + 1 < flat.size() ? "," : "");
+  }
+  std::fputs("}\n", out);
+  std::fclose(out);
+  return true;
+}
+
+}  // namespace san::obs

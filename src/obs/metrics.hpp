@@ -1,0 +1,269 @@
+// Unified telemetry layer: lock-free metrics primitives + a registry that
+// serializes them as flat JSON (the bench::JsonReport conventions).
+//
+// Design rules, in order:
+//
+//  1. Observation only. Nothing here may change a served result: metrics
+//     are written with relaxed atomics into per-thread cache-line-padded
+//     slots, never a lock on a recording path, and every determinism gate
+//     (batch==single, delta==naive, epoch oracle) runs unchanged with
+//     telemetry enabled at any SAN_THREADS x SAN_SIMD combination.
+//  2. Near-zero cost when no sink is attached. Counters are one relaxed
+//     fetch_add; latency capture (the only clock reads) is gated behind
+//     timing_enabled(), a single relaxed atomic-bool load, so a process
+//     that never attaches a sink pays one predictable branch per site
+//     (gated: warm serve throughput in bench_serve_throughput).
+//  3. Per-instance ownership. Components (SnapshotCache, QueryEngine,
+//     LiveTimeline, ...) OWN their metrics as shared_ptr members and only
+//     ATTACH them to a Registry on request (register_metrics), so two
+//     caches in one process never alias each other's counters and the
+//     existing Stats accessor APIs keep returning per-instance numbers.
+//
+// Histograms are fixed-bucket log-scale (HdrHistogram-style): two buckets
+// per octave over the full u64 range, which covers 100ns..100s latencies
+// in ns at <= 50% relative bucket width, with exact nearest-rank
+// p50/p90/p99/p999 extraction from the merged bucket counts (the reported
+// value is interpolated inside the rank's bucket, so it always falls in
+// the same bucket as a sorted-vector oracle — tests/test_obs.cpp).
+//
+// Coherent reset (the registry epoch mechanism): counters and histograms
+// never zero their slots — concurrent relaxed adds would race a store and
+// lose increments. reset() instead captures the current aggregate as the
+// new epoch baseline; value() reports the delta since the last epoch.
+// Registry::reset() advances every attached metric's epoch in one
+// critical section, giving one coherent zero-point (this replaced
+// SnapshotCache's old two-location reset, which zeroed an atomic and the
+// mutex-guarded fields non-atomically).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace san::obs {
+
+/// Latency capture switch: when false (the default), instrumented sites
+/// skip both steady_clock reads and the histogram write. One relaxed
+/// atomic load per site either way.
+bool timing_enabled();
+void set_timing_enabled(bool enabled);
+
+/// Monotonic nanoseconds (steady_clock), the unit every histogram records.
+std::uint64_t now_ns();
+
+/// Per-thread slot rows per metric. Threads hash onto rows by a stable
+/// per-thread index; two threads sharing a row still count exactly (the
+/// slots are atomics), they just contend a cache line.
+inline constexpr std::size_t kSlotRows = 16;
+
+/// Stable per-thread row index in [0, kSlotRows): assigned once per
+/// thread from a global counter, cached thread-locally.
+std::size_t thread_slot();
+
+/// Lock-free named-counter cell: per-thread padded slots summed at read
+/// time, epoch baseline for coherent reset.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    slots_[thread_slot()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Sum of all slots since the last reset() (saturating at 0 against
+  /// adds that race the baseline capture).
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const auto& slot : slots_) {
+      total += slot.v.load(std::memory_order_relaxed);
+    }
+    const std::uint64_t base = baseline_.load(std::memory_order_relaxed);
+    return total >= base ? total - base : 0;
+  }
+
+  /// Epoch cut: value() becomes 0 as of the captured aggregate.
+  void reset() {
+    std::uint64_t total = 0;
+    for (const auto& slot : slots_) {
+      total += slot.v.load(std::memory_order_relaxed);
+    }
+    baseline_.store(total, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Slot, kSlotRows> slots_;
+  std::atomic<std::uint64_t> baseline_{0};
+};
+
+/// Last-writer-wins level with a monotone-max helper (peak trackers).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void update_max(std::int64_t v) noexcept {
+    std::int64_t cur = value_.load(std::memory_order_relaxed);
+    while (cur < v && !value_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { set(0); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket log-scale histogram over u64 values (nanoseconds by
+/// convention): two buckets per octave, per-thread slot rows, exact
+/// nearest-rank percentile extraction from the merged counts.
+class Histogram {
+ public:
+  /// 2 buckets/octave over the full u64 range: indices 0..3 are the exact
+  /// values 0..3, then index 2e+bit for values with leading bit e.
+  static constexpr std::size_t kBuckets = 128;
+
+  /// Monotone bucketing: values 0..3 map to buckets 0..3; a larger v with
+  /// leading bit e (2^e <= v < 2^(e+1)) maps to 2e + (second bit of v).
+  static std::size_t bucket_index(std::uint64_t v) noexcept {
+    if (v < 4) return static_cast<std::size_t>(v);
+    std::size_t e = 63;
+    while ((v >> e) == 0) --e;  // e = floor(log2 v), v >= 4 so e >= 2
+    return 2 * e + ((v >> (e - 1)) & 1);
+  }
+
+  /// Smallest value in bucket `index` (index < kBuckets).
+  static std::uint64_t bucket_lower(std::size_t index) noexcept {
+    if (index < 4) return index;
+    const std::size_t e = index / 2;
+    return (std::uint64_t{2} + (index & 1)) << (e - 1);
+  }
+
+  /// Largest value in bucket `index` (saturates for the last bucket).
+  static std::uint64_t bucket_upper(std::size_t index) noexcept {
+    if (index + 1 >= kBuckets) return ~std::uint64_t{0};
+    return bucket_lower(index + 1) - 1;
+  }
+
+  void record(std::uint64_t v) noexcept {
+    rows_[thread_slot()].buckets[bucket_index(v)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  /// Per-bucket counts merged across all thread rows, minus the epoch
+  /// baseline (saturating).
+  std::array<std::uint64_t, kBuckets> merged() const {
+    std::array<std::uint64_t, kBuckets> out{};
+    for (const auto& row : rows_) {
+      for (std::size_t b = 0; b < kBuckets; ++b) {
+        out[b] += row.buckets[b].load(std::memory_order_relaxed);
+      }
+    }
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      const std::uint64_t base = baseline_[b];
+      out[b] = out[b] >= base ? out[b] - base : 0;
+    }
+    return out;
+  }
+
+  std::uint64_t count() const {
+    const auto m = merged();
+    std::uint64_t total = 0;
+    for (const std::uint64_t c : m) total += c;
+    return total;
+  }
+
+  /// Nearest-rank percentile (q in (0, 1]) from the merged counts: finds
+  /// the bucket holding rank ceil(q * count) and interpolates linearly by
+  /// rank position inside it, so the result falls inside the same bucket
+  /// a sorted-vector oracle's rank element occupies. 0 when empty.
+  double percentile(double q) const;
+
+  /// Epoch cut, as Counter::reset().
+  void reset() {
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      std::uint64_t total = 0;
+      for (const auto& row : rows_) {
+        total += row.buckets[b].load(std::memory_order_relaxed);
+      }
+      baseline_[b] = total;
+    }
+  }
+
+ private:
+  struct alignas(64) Row {
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+  };
+  std::array<Row, kSlotRows> rows_;
+  // Written only under the owner's reset path; racing a reset against
+  // concurrent merged() readers is benign (both orders are valid cuts).
+  std::array<std::uint64_t, kBuckets> baseline_{};
+};
+
+/// Scoped wall-clock capture into a histogram: records elapsed ns on
+/// destruction, only when timing was enabled at construction. Histogram
+/// may be null (site instrumented but metric not wired).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram) noexcept
+      : histogram_(timing_enabled() ? histogram : nullptr),
+        start_(histogram_ != nullptr ? now_ns() : 0) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) histogram_->record(now_ns() - start_);
+  }
+
+ private:
+  Histogram* histogram_;
+  std::uint64_t start_;
+};
+
+/// Name -> metric directory. Components attach shared_ptr-owned metrics
+/// (the registry keeps them alive past the component if needed);
+/// snapshot() flattens everything into sorted (name, value) pairs —
+/// histograms expand to `<name>.count` and `<name>.p50_us` / `.p90_us` /
+/// `.p99_us` / `.p999_us` (microseconds) — and write_json() emits them in
+/// the same flat-object format as bench::JsonReport, so check_bench.py
+/// and the CI artifact tooling consume both interchangeably.
+class Registry {
+ public:
+  /// Process-wide default instance (user-facing binaries attach here).
+  static Registry& global();
+
+  void attach_counter(std::string name, std::shared_ptr<Counter> counter);
+  void attach_gauge(std::string name, std::shared_ptr<Gauge> gauge);
+  void attach_histogram(std::string name, std::shared_ptr<Histogram> hist);
+  /// Callback gauge, evaluated at snapshot time (e.g. a component's
+  /// mutex-guarded Stats field, or one-shot SIMD dispatch info).
+  void attach_fn(std::string name, std::function<double()> fn);
+
+  /// Flat sorted (name, value) view of every attached metric.
+  std::vector<std::pair<std::string, double>> snapshot() const;
+
+  /// One coherent epoch cut across every attached counter/histogram/gauge
+  /// (fn entries are stateless and unaffected).
+  void reset();
+
+  /// snapshot() as a flat JSON object (bench::JsonReport format); false
+  /// with a message on stderr when the file cannot be written.
+  bool write_json(const char* path) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<Counter>> counters_;
+  std::map<std::string, std::shared_ptr<Gauge>> gauges_;
+  std::map<std::string, std::shared_ptr<Histogram>> histograms_;
+  std::map<std::string, std::function<double()>> fns_;
+};
+
+}  // namespace san::obs

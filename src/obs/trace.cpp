@@ -1,0 +1,155 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace san::obs {
+namespace {
+
+std::atomic<bool> g_tracing_enabled{false};
+
+struct Event {
+  const char* name = nullptr;
+  std::uint64_t t0 = 0;
+  std::uint64_t t1 = 0;
+};
+
+/// One thread's span ring. Only the owning thread writes; export reads a
+/// quiesced process, so `head` is a plain relaxed counter, not a fence.
+struct Ring {
+  std::vector<Event> events = std::vector<Event>(kRingCapacity);
+  std::atomic<std::uint64_t> head{0};  // total appends (wraps modulo cap)
+  std::uint64_t tid = 0;               // registration order, stable
+};
+
+struct Directory {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<Ring>> rings;
+};
+
+Directory& directory() {
+  static Directory instance;
+  return instance;
+}
+
+Ring& thread_ring() {
+  thread_local std::shared_ptr<Ring> ring = [] {
+    auto fresh = std::make_shared<Ring>();
+    Directory& dir = directory();
+    std::lock_guard<std::mutex> lock(dir.mutex);
+    fresh->tid = dir.rings.size();
+    dir.rings.push_back(fresh);
+    return fresh;
+  }();
+  return *ring;
+}
+
+}  // namespace
+
+bool tracing_enabled() {
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+void set_tracing_enabled(bool enabled) {
+  g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void record_span(const char* name, std::uint64_t t0_ns, std::uint64_t t1_ns) {
+  Ring& ring = thread_ring();
+  const std::uint64_t head = ring.head.load(std::memory_order_relaxed);
+  ring.events[head % kRingCapacity] = Event{name, t0_ns, t1_ns};
+  ring.head.store(head + 1, std::memory_order_relaxed);
+}
+
+std::uint64_t span_count() {
+  Directory& dir = directory();
+  std::lock_guard<std::mutex> lock(dir.mutex);
+  std::uint64_t total = 0;
+  for (const auto& ring : dir.rings) {
+    total += ring->head.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void clear_spans() {
+  Directory& dir = directory();
+  std::lock_guard<std::mutex> lock(dir.mutex);
+  for (const auto& ring : dir.rings) {
+    ring->head.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::string chrome_trace_json() {
+  // Snapshot the ring list, then read each ring's retained tail.
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    Directory& dir = directory();
+    std::lock_guard<std::mutex> lock(dir.mutex);
+    rings = dir.rings;
+  }
+  struct Out {
+    Event event;
+    std::uint64_t tid;
+  };
+  std::vector<Out> spans;
+  std::uint64_t min_t0 = ~std::uint64_t{0};
+  for (const auto& ring : rings) {
+    const std::uint64_t head = ring->head.load(std::memory_order_relaxed);
+    const std::uint64_t kept = std::min<std::uint64_t>(head, kRingCapacity);
+    for (std::uint64_t i = head - kept; i < head; ++i) {
+      const Event& event = ring->events[i % kRingCapacity];
+      if (event.name == nullptr) continue;
+      spans.push_back(Out{event, ring->tid});
+      min_t0 = std::min(min_t0, event.t0);
+    }
+  }
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const Out& a, const Out& b) {
+                     return a.event.t0 < b.event.t0;
+                   });
+  std::string json = "{\"traceEvents\": [";
+  char buffer[256];
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const Event& event = spans[i].event;
+    const double ts = static_cast<double>(event.t0 - min_t0) / 1000.0;
+    const double dur =
+        static_cast<double>(event.t1 >= event.t0 ? event.t1 - event.t0 : 0) /
+        1000.0;
+    std::snprintf(buffer, sizeof buffer,
+                  "%s\n  {\"name\": \"%s\", \"cat\": \"san\", \"ph\": \"X\","
+                  " \"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %llu}",
+                  i == 0 ? "" : ",", event.name, ts, dur,
+                  static_cast<unsigned long long>(spans[i].tid));
+    json += buffer;
+  }
+  json += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return json;
+}
+
+bool write_chrome_trace(const char* path) {
+  const std::string json = chrome_trace_json();
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "FAIL: cannot write trace file '%s'\n", path);
+    return false;
+  }
+  std::fputs(json.c_str(), out);
+  std::fclose(out);
+  return true;
+}
+
+TraceSpan::TraceSpan(const char* name) noexcept
+    : name_(tracing_enabled() ? name : nullptr),
+      start_(name_ != nullptr ? now_ns() : 0) {}
+
+TraceSpan::~TraceSpan() {
+  if (name_ != nullptr) record_span(name_, start_, now_ns());
+}
+
+}  // namespace san::obs

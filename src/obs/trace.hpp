@@ -1,0 +1,63 @@
+// RAII trace spans recorded into per-thread ring buffers, exportable as
+// Chrome trace-event JSON (load the file in chrome://tracing or Perfetto).
+//
+// Recording rules mirror obs/metrics.hpp: observation only, and near-zero
+// cost when tracing is off — a TraceSpan constructor is one relaxed
+// atomic-bool load, and only when tracing was enabled at construction
+// does it read the clock and (on destruction) append one fixed-size event
+// to the CALLING THREAD's ring. Rings never take a lock on the recording
+// path; a full ring wraps and keeps the newest events (capacity
+// kRingCapacity per thread — a bounded-memory tail, not a complete log).
+//
+// Span names must be string literals (the ring stores the pointer).
+// Export (write_chrome_trace) walks every thread's ring; it is meant for
+// a quiesced process — the CLI exports after the workload drains. Rings
+// are shared_ptr-owned by both the thread and the global directory, so a
+// ring outlives its thread and export never reads freed memory.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace san::obs {
+
+bool tracing_enabled();
+void set_tracing_enabled(bool enabled);
+
+/// Events retained per thread (newest win once the ring wraps).
+inline constexpr std::size_t kRingCapacity = 8192;
+
+/// Append one complete span [t0_ns, t1_ns) named `name` (string literal)
+/// to the calling thread's ring. TraceSpan is the normal entry point.
+void record_span(const char* name, std::uint64_t t0_ns, std::uint64_t t1_ns);
+
+/// Total spans recorded since process start (including overwritten ones).
+std::uint64_t span_count();
+
+/// Drop every recorded span (quiesced use: tests and bench legs).
+void clear_spans();
+
+/// Chrome trace-event JSON of every retained span, ts/dur in microseconds
+/// relative to the earliest span: {"traceEvents": [{"name", "cat", "ph":
+/// "X", "ts", "dur", "pid", "tid"}, ...]}. Perfetto and chrome://tracing
+/// load it directly.
+std::string chrome_trace_json();
+
+/// chrome_trace_json() to `path`; false with a message on stderr when the
+/// file cannot be written.
+bool write_chrome_trace(const char* path);
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) noexcept;
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan();
+
+ private:
+  const char* name_;  // nullptr when tracing was off at construction
+  std::uint64_t start_;
+};
+
+}  // namespace san::obs

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace san {
 namespace {
 
@@ -32,6 +34,7 @@ LiveTimeline::LiveTimeline(const SocialAttributeNetwork& seed,
 }
 
 double LiveTimeline::ingest(const IngestBatch& batch) {
+  obs::TraceSpan ingest_span("live.ingest");
   std::lock_guard<std::mutex> lock(mutex_);
   if (std::isnan(batch.tip) || batch.tip <= tip_) {
     bad_batch("tip must be a number strictly after the current tip");
@@ -132,14 +135,29 @@ double LiveTimeline::ingest(const IngestBatch& batch) {
   }
   stats_.pending_links = pending_social_.size() + pending_attr_.size();
 
+  // Ingest-to-publish latency starts at the FIRST batch an unpublished
+  // work state absorbs — later batches in the same epoch ride the same
+  // clock, measuring how stale the oldest admitted-but-invisible data is.
+  if (obs::timing_enabled() && pending_since_ns_ == 0) {
+    pending_since_ns_ = obs::now_ns();
+  }
+
   // Index the new events, then bring the private work snapshot to the new
   // tip off the serve path — readers keep loading the published epoch.
-  timeline_.absorb(log_);
+  {
+    obs::TraceSpan span("live.absorb");
+    obs::ScopedTimer timer(absorb_ns_.get());
+    timeline_.absorb(log_);
+  }
   if (late) {
     materializer_.invalidate();
     ++stats_.late_batches;
   }
-  materializer_.advance(batch.tip, work_);
+  {
+    obs::TraceSpan span("live.advance");
+    obs::ScopedTimer timer(advance_ns_.get());
+    materializer_.advance(batch.tip, work_);
+  }
   tip_ = batch.tip;
   work_published_ = false;
   ++stats_.batches;
@@ -172,13 +190,66 @@ void LiveTimeline::publish_locked() {
     buffer = std::make_shared<SanSnapshot>();
     pool_.push_back(buffer);
   }
-  *buffer = work_;  // deep copy; recycled buffers reuse their capacity
-  published_.store(std::shared_ptr<const SanSnapshot>(buffer),
-                   std::memory_order_release);
+  {
+    obs::TraceSpan span("live.publish");
+    obs::ScopedTimer timer(publish_ns_.get());
+    *buffer = work_;  // deep copy; recycled buffers reuse their capacity
+    published_.store(std::shared_ptr<const SanSnapshot>(buffer),
+                     std::memory_order_release);
+  }
   epoch_.store(stats_.epochs, std::memory_order_release);
   ++stats_.epochs;
   batches_since_publish_ = 0;
   work_published_ = true;
+  record_publish_latency_locked();
+}
+
+void LiveTimeline::record_publish_latency_locked() {
+  if (!obs::timing_enabled()) {
+    pending_since_ns_ = 0;
+    last_publish_ns_ = 0;
+    return;
+  }
+  const std::uint64_t now = obs::now_ns();
+  if (pending_since_ns_ != 0) {
+    ingest_to_publish_ns_->record(now - pending_since_ns_);
+    pending_since_ns_ = 0;
+  }
+  if (last_publish_ns_ != 0) {
+    epoch_gap_ns_->record(now - last_publish_ns_);
+  }
+  last_publish_ns_ = now;
+}
+
+void LiveTimeline::register_metrics(obs::Registry& registry,
+                                    const std::string& prefix) const {
+  registry.attach_histogram(prefix + ".absorb", absorb_ns_);
+  registry.attach_histogram(prefix + ".advance", advance_ns_);
+  registry.attach_histogram(prefix + ".publish", publish_ns_);
+  registry.attach_histogram(prefix + ".ingest_to_publish",
+                            ingest_to_publish_ns_);
+  registry.attach_histogram(prefix + ".epoch_gap", epoch_gap_ns_);
+  registry.attach_fn(prefix + ".epochs", [this] {
+    return static_cast<double>(stats().epochs);
+  });
+  registry.attach_fn(prefix + ".batches", [this] {
+    return static_cast<double>(stats().batches);
+  });
+  registry.attach_fn(prefix + ".late_batches", [this] {
+    return static_cast<double>(stats().late_batches);
+  });
+  registry.attach_fn(prefix + ".pending_links", [this] {
+    return static_cast<double>(stats().pending_links);
+  });
+  registry.attach_fn(prefix + ".activated_links", [this] {
+    return static_cast<double>(stats().activated_links);
+  });
+  registry.attach_fn(prefix + ".ingested_links", [this] {
+    return static_cast<double>(stats().ingested_links);
+  });
+  registry.attach_fn(prefix + ".rejected_links", [this] {
+    return static_cast<double>(stats().rejected_links);
+  });
 }
 
 std::shared_ptr<const SanSnapshot> LiveTimeline::tip() const {

@@ -44,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "san/san.hpp"
 #include "san/timeline.hpp"
 
@@ -157,6 +158,17 @@ class LiveTimeline : public LiveTipSource {
 
   Stats stats() const;
 
+  /// Attach this frontier's ingest telemetry to `registry` under `prefix`:
+  /// phase latency histograms (`<prefix>.absorb` / `.advance` / `.publish`),
+  /// `<prefix>.ingest_to_publish` (first unpublished batch admitted ->
+  /// epoch visible to readers), `<prefix>.epoch_gap` (publish cadence), and
+  /// fn gauges over the Stats fields (`<prefix>.epochs`, `.batches`,
+  /// `.late_batches`, `.pending_links`, `.activated_links`,
+  /// `.ingested_links`, `.rejected_links`). Latencies record only while
+  /// obs::timing_enabled(); attach is per-instance.
+  void register_metrics(obs::Registry& registry,
+                        const std::string& prefix) const;
+
   /// The accumulated log: seed plus every ingested event, the prefix the
   /// determinism contract is stated against. Writer-side access only —
   /// reading it while another thread ingests is a data race.
@@ -164,6 +176,7 @@ class LiveTimeline : public LiveTipSource {
 
  private:
   void publish_locked();
+  void record_publish_latency_locked();
 
   mutable std::mutex mutex_;  // serializes writers; readers never take it
   SocialAttributeNetwork log_;
@@ -175,6 +188,21 @@ class LiveTimeline : public LiveTipSource {
   bool work_published_ = false;  // current work_ state already visible?
   LiveTimelineOptions options_;
   Stats stats_;
+  // Ingest telemetry (obs/metrics.hpp): phase latencies plus publish
+  // cadence. The tracking timestamps are guarded by mutex_ like the rest
+  // of the writer state; clock reads happen only while timing is enabled.
+  std::shared_ptr<obs::Histogram> absorb_ns_ =
+      std::make_shared<obs::Histogram>();
+  std::shared_ptr<obs::Histogram> advance_ns_ =
+      std::make_shared<obs::Histogram>();
+  std::shared_ptr<obs::Histogram> publish_ns_ =
+      std::make_shared<obs::Histogram>();
+  std::shared_ptr<obs::Histogram> ingest_to_publish_ns_ =
+      std::make_shared<obs::Histogram>();
+  std::shared_ptr<obs::Histogram> epoch_gap_ns_ =
+      std::make_shared<obs::Histogram>();
+  std::uint64_t pending_since_ns_ = 0;  // first unpublished batch admission
+  std::uint64_t last_publish_ns_ = 0;
   // Held links whose endpoint ids do not exist yet, in admission order.
   std::vector<TimedSocialEdge> pending_social_;
   std::vector<TimedAttributeLink> pending_attr_;

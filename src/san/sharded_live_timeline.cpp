@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/parallel.hpp"
+#include "obs/trace.hpp"
 
 namespace san {
 namespace {
@@ -86,6 +87,7 @@ ShardedLiveTimeline::ShardedLiveTimeline(const SocialAttributeNetwork& seed,
 ShardedLiveTimeline::~ShardedLiveTimeline() = default;
 
 double ShardedLiveTimeline::ingest(const IngestBatch& batch) {
+  obs::TraceSpan ingest_span("live.ingest");
   // Per-call routing buffers: writers run Phase B concurrently, so the
   // owner groups cannot live in shared scratch.
   std::vector<std::vector<TimedSocialEdge>> routed(shards_.size());
@@ -117,6 +119,12 @@ double ShardedLiveTimeline::ingest(const IngestBatch& batch) {
     }
     for (const auto& link : batch.attribute_links) {
       if (std::isnan(link.time)) bad_batch("NaN attribute link time");
+    }
+
+    // Ingest-to-publish latency starts at the first batch admitted into an
+    // unpublished state (the meta mutex makes the 0-check race-free).
+    if (obs::timing_enabled() && pending_since_ns_ == 0) {
+      pending_since_ns_ = obs::now_ns();
     }
 
     version_.fetch_add(1, std::memory_order_acq_rel);
@@ -212,6 +220,8 @@ double ShardedLiveTimeline::ingest(const IngestBatch& batch) {
 void ShardedLiveTimeline::apply_shard(Shard& shard,
                                       std::span<const TimedSocialEdge> links,
                                       double tip) {
+  obs::TraceSpan span("live.apply_shard");
+  obs::ScopedTimer timer(apply_ns_.get());
   drain_inbox_locked(shard);
   bool late = false;
   for (const auto& e : links) {
@@ -257,6 +267,8 @@ void ShardedLiveTimeline::publish() {
 // duration of the stitch: writers stall, readers keep loading the
 // previously published epoch untouched.
 void ShardedLiveTimeline::stitch_and_publish_locked() {
+  obs::TraceSpan span("live.stitch");
+  obs::ScopedTimer timer(stitch_ns_.get());
   const double time = frontier_;
 
   // Attribute side: one absorb + advance of the meta work snapshot.
@@ -373,6 +385,52 @@ void ShardedLiveTimeline::stitch_and_publish_locked() {
   published_time_ = time;
   batches_since_publish_ = 0;
   stitched_version_ = version_.load(std::memory_order_acquire);
+
+  if (obs::timing_enabled()) {
+    const std::uint64_t now = obs::now_ns();
+    if (pending_since_ns_ != 0) {
+      ingest_to_publish_ns_->record(now - pending_since_ns_);
+      pending_since_ns_ = 0;
+    }
+    if (last_publish_ns_ != 0) epoch_gap_ns_->record(now - last_publish_ns_);
+    last_publish_ns_ = now;
+  } else {
+    pending_since_ns_ = 0;
+    last_publish_ns_ = 0;
+  }
+}
+
+void ShardedLiveTimeline::register_metrics(obs::Registry& registry,
+                                           const std::string& prefix) const {
+  registry.attach_histogram(prefix + ".apply_shard", apply_ns_);
+  registry.attach_histogram(prefix + ".stitch", stitch_ns_);
+  registry.attach_histogram(prefix + ".ingest_to_publish",
+                            ingest_to_publish_ns_);
+  registry.attach_histogram(prefix + ".epoch_gap", epoch_gap_ns_);
+  registry.attach_fn(prefix + ".epochs", [this] {
+    return static_cast<double>(stats().epochs);
+  });
+  registry.attach_fn(prefix + ".batches", [this] {
+    return static_cast<double>(stats().batches);
+  });
+  registry.attach_fn(prefix + ".late_batches", [this] {
+    return static_cast<double>(stats().late_batches);
+  });
+  registry.attach_fn(prefix + ".pending_links", [this] {
+    return static_cast<double>(stats().pending_links);
+  });
+  registry.attach_fn(prefix + ".activated_links", [this] {
+    return static_cast<double>(stats().activated_links);
+  });
+  registry.attach_fn(prefix + ".ingested_links", [this] {
+    return static_cast<double>(stats().ingested_links);
+  });
+  registry.attach_fn(prefix + ".rejected_links", [this] {
+    return static_cast<double>(stats().rejected_links);
+  });
+  registry.attach_fn(prefix + ".shards", [this] {
+    return static_cast<double>(shard_count());
+  });
 }
 
 std::shared_ptr<const SanSnapshot> ShardedLiveTimeline::tip() const {

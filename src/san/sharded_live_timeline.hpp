@@ -74,8 +74,10 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "san/live_timeline.hpp"
 #include "san/san.hpp"
 #include "san/timeline.hpp"
@@ -135,6 +137,16 @@ class ShardedLiveTimeline : public LiveTipSource {
   /// also counted rejected at its shard).
   Stats stats() const;
 
+  /// Attach this frontier's ingest telemetry to `registry` under `prefix`,
+  /// mirroring LiveTimeline::register_metrics where the phases correspond:
+  /// `<prefix>.apply_shard` (per-shard absorb+advance under that shard's
+  /// mutex), `<prefix>.stitch` (S-way epoch assembly), and the shared
+  /// `<prefix>.ingest_to_publish` / `<prefix>.epoch_gap` latencies plus
+  /// the Stats fn gauges — so CLI consumers read the same key schema
+  /// whichever frontier backs the live path.
+  void register_metrics(obs::Registry& registry,
+                        const std::string& prefix) const;
+
   std::size_t shard_count() const { return shards_.size(); }
 
   /// The shard that owns links sourced at `u` (the id-range rule).
@@ -170,6 +182,19 @@ class ShardedLiveTimeline : public LiveTipSource {
   std::size_t batches_since_publish_ = 0;
   ShardedLiveTimelineOptions options_;
   Stats stats_;  // meta-side counters; shard counters live in each shard
+  // Ingest telemetry (obs/metrics.hpp). The tracking timestamps are
+  // guarded by meta_mutex_; apply_ns_ records under shard mutexes (its
+  // per-thread rows make that contention-free).
+  std::shared_ptr<obs::Histogram> apply_ns_ =
+      std::make_shared<obs::Histogram>();
+  std::shared_ptr<obs::Histogram> stitch_ns_ =
+      std::make_shared<obs::Histogram>();
+  std::shared_ptr<obs::Histogram> ingest_to_publish_ns_ =
+      std::make_shared<obs::Histogram>();
+  std::shared_ptr<obs::Histogram> epoch_gap_ns_ =
+      std::make_shared<obs::Histogram>();
+  std::uint64_t pending_since_ns_ = 0;  // first unpublished batch admission
+  std::uint64_t last_publish_ns_ = 0;
   // Held links whose endpoint id does not exist anywhere yet, admission
   // order.
   std::vector<TimedSocialEdge> pending_social_;

@@ -5,6 +5,7 @@
 
 #include "core/parallel.hpp"
 #include "core/simd/simd.hpp"
+#include "obs/trace.hpp"
 
 namespace san::serve {
 namespace {
@@ -107,11 +108,27 @@ QueryEngine::QueryEngine(SnapshotCache& cache, QueryEngineOptions options)
 
 QueryResult QueryEngine::run_single(const Query& query) {
   const auto snap = cache_.at(query.time);
+  obs::ScopedTimer timer(
+      query_ns_[static_cast<std::size_t>(query.kind)].get());
   return execute(*snap, query, options_, lane_scratch());
+}
+
+void QueryEngine::register_metrics(obs::Registry& registry,
+                                   const std::string& prefix) const {
+  for (std::size_t k = 0; k < query_ns_.size(); ++k) {
+    registry.attach_histogram(
+        prefix + ".query." + to_string(static_cast<QueryKind>(k)),
+        query_ns_[k]);
+  }
+  registry.attach_histogram(prefix + ".batch", batch_ns_);
 }
 
 std::vector<QueryResult> QueryEngine::run_batch(
     std::span<const Query> queries) {
+  // Admission-to-completion: the batch clock starts here, before grouping,
+  // and stops when every result slot is filled.
+  obs::TraceSpan batch_span("serve.run_batch");
+  obs::ScopedTimer batch_timer(batch_ns_.get());
   std::vector<QueryResult> results(queries.size());
 
   // Group admission indices by snapshot time, first-appearance order, so
@@ -155,6 +172,8 @@ std::vector<QueryResult> QueryEngine::run_batch(
           indices.size(),
           [&](std::size_t i_of) {
             const std::uint32_t i = indices[i_of];
+            obs::ScopedTimer timer(
+                query_ns_[static_cast<std::size_t>(queries[i].kind)].get());
             results[i] = execute(*snap, queries[i], options_, lane_scratch());
           },
           kQueryGrain);

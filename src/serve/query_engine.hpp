@@ -13,9 +13,13 @@
 // single-query reference path at any SAN_THREADS count.
 #pragma once
 
+#include <array>
+#include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "serve/query.hpp"
 #include "serve/snapshot_cache.hpp"
 
@@ -41,9 +45,26 @@ class QueryEngine {
 
   const QueryEngineOptions& options() const { return options_; }
 
+  /// Attach this engine's service-latency telemetry to `registry`:
+  /// `<prefix>.query.<kind>` per-query execute latency (one histogram per
+  /// QueryKind, named with to_string: linkrec/attrs/ego/recip) and
+  /// `<prefix>.batch` admission-to-completion latency per run_batch call.
+  /// Latencies record only while obs::timing_enabled(); attach is
+  /// per-instance (two engines under different prefixes stay independent).
+  void register_metrics(obs::Registry& registry,
+                        const std::string& prefix) const;
+
  private:
   SnapshotCache& cache_;
   QueryEngineOptions options_;
+  // One latency histogram per QueryKind, indexed by the enum value, plus
+  // whole-batch admission-to-completion. Lock-free per-thread rows, so the
+  // data-parallel batch lanes record without contention.
+  std::array<std::shared_ptr<obs::Histogram>, 4> query_ns_ = {
+      std::make_shared<obs::Histogram>(), std::make_shared<obs::Histogram>(),
+      std::make_shared<obs::Histogram>(), std::make_shared<obs::Histogram>()};
+  std::shared_ptr<obs::Histogram> batch_ns_ =
+      std::make_shared<obs::Histogram>();
 };
 
 }  // namespace san::serve

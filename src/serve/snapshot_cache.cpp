@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/thread_pool.hpp"
+#include "obs/trace.hpp"
 #include "san/live_timeline.hpp"
 
 namespace san::serve {
@@ -30,7 +31,7 @@ std::shared_ptr<const SanSnapshot> SnapshotCache::at(double time) {
     // it is being written right now. Resolve against the latest published
     // ingest epoch: one atomic load, never the cache mutex, never a
     // materialization, so queries cannot block on ingest.
-    live_hits_.fetch_add(1, std::memory_order_relaxed);
+    live_hits_->add();
     return live_->tip();
   }
 
@@ -41,12 +42,12 @@ std::shared_ptr<const SanSnapshot> SnapshotCache::at(double time) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (const auto it = index_.find(time); it != index_.end()) {
-      ++stats_.hits;
+      hits_->add();
       lru_.splice(lru_.begin(), lru_, it->second);  // promote to MRU
       return it->second->snapshot;
     }
     if (const auto it = inflight_.find(time); it != inflight_.end()) {
-      ++stats_.coalesced;
+      coalesced_->add();
       if (!core::in_parallel_region()) {
         // Another thread is already building this exact time: wait on ITS
         // future (outside the lock) instead of duplicating the work.
@@ -57,12 +58,11 @@ std::shared_ptr<const SanSnapshot> SnapshotCache::at(double time) {
       // blocks the job from finishing. Build an unregistered duplicate
       // instead (the registered builder still owns the cache insert).
     } else {
-      ++stats_.misses;
+      misses_->add();
       promise.emplace();
       inflight_.emplace(time,
                         std::shared_future<Handle>(promise->get_future()));
-      stats_.peak_inflight =
-          std::max<std::uint64_t>(stats_.peak_inflight, inflight_.size());
+      peak_inflight_->update_max(static_cast<std::int64_t>(inflight_.size()));
       hook = miss_hook_;
     }
     if (!wait_on.valid()) {
@@ -83,7 +83,11 @@ std::shared_ptr<const SanSnapshot> SnapshotCache::at(double time) {
   try {
     if (hook) hook(time);
     auto snap = std::make_shared<SanSnapshot>();
-    materializer->materialize(time, *snap);
+    {
+      obs::TraceSpan span("cache.materialize");
+      obs::ScopedTimer timer(materialize_ns_.get());
+      materializer->materialize(time, *snap);
+    }
     handle = std::move(snap);
   } catch (...) {
     {
@@ -99,7 +103,7 @@ std::shared_ptr<const SanSnapshot> SnapshotCache::at(double time) {
     idle_.push_back(std::move(materializer));
     if (!promise) return handle;  // unregistered duplicate: no insert
     if (lru_.size() >= capacity_) {
-      ++stats_.evictions;
+      evictions_->add();
       index_.erase(lru_.back().time);
       lru_.pop_back();
     }
@@ -117,18 +121,44 @@ std::size_t SnapshotCache::size() const {
 }
 
 SnapshotCache::Stats SnapshotCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  Stats out = stats_;
-  out.live_hits = live_hits_.load(std::memory_order_relaxed);
+  Stats out;
+  out.hits = hits_->value();
+  out.misses = misses_->value();
+  out.coalesced = coalesced_->value();
+  out.evictions = evictions_->value();
+  out.peak_inflight = static_cast<std::uint64_t>(peak_inflight_->value());
+  out.live_hits = live_hits_->value();
   return out;
 }
 
+void SnapshotCache::reset_stats() {
+  hits_->reset();
+  misses_->reset();
+  coalesced_->reset();
+  evictions_->reset();
+  live_hits_->reset();
+  peak_inflight_->reset();
+  materialize_ns_->reset();
+}
+
 void SnapshotCache::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  lru_.clear();
-  index_.clear();
-  stats_ = Stats{};
-  live_hits_.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    lru_.clear();
+    index_.clear();
+  }
+  reset_stats();
+}
+
+void SnapshotCache::register_metrics(obs::Registry& registry,
+                                     const std::string& prefix) const {
+  registry.attach_counter(prefix + ".hits", hits_);
+  registry.attach_counter(prefix + ".misses", misses_);
+  registry.attach_counter(prefix + ".coalesced", coalesced_);
+  registry.attach_counter(prefix + ".evictions", evictions_);
+  registry.attach_counter(prefix + ".live_hits", live_hits_);
+  registry.attach_gauge(prefix + ".peak_inflight", peak_inflight_);
+  registry.attach_histogram(prefix + ".materialize", materialize_ns_);
 }
 
 void SnapshotCache::bind_live(const LiveTipSource& live) {

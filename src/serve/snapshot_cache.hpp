@@ -19,16 +19,17 @@
 // high-water mark equals the peak miss concurrency.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <future>
 #include <list>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "san/timeline.hpp"
 
 namespace san {
@@ -70,11 +71,27 @@ class SnapshotCache {
   std::size_t size() const;
   Stats stats() const;
 
+  /// One coherent zero-point for every stat, including the lock-free
+  /// live_hits path: all counters advance their obs epoch baselines in
+  /// one pass (obs/metrics.hpp), replacing the old split reset that
+  /// zeroed the mutex-guarded fields and the live-hit atomic separately
+  /// (a stats() racing that could see one half reset and not the other).
+  void reset_stats();
+
   /// Drop every resident snapshot (outstanding shared_ptrs stay valid) and
   /// zero the stats. In-flight materializations are not interrupted; each
   /// lands in the cleared cache when it completes. Benches use this to
   /// measure cold-start throughput.
   void clear();
+
+  /// Attach this cache's per-instance telemetry to `registry` under
+  /// `prefix`: the Stats counters plus a `<prefix>.materialize` latency
+  /// histogram (cold-miss build duration, recorded only while
+  /// obs::timing_enabled()). Attach-only — recording never touches the
+  /// registry, and two caches registered under different prefixes stay
+  /// fully independent.
+  void register_metrics(obs::Registry& registry,
+                        const std::string& prefix) const;
 
   /// Observability/test hook, invoked on the materializing thread right
   /// before a cold miss starts building (outside the cache lock). Tests
@@ -112,7 +129,20 @@ class SnapshotCache {
   const std::size_t capacity_;
   const LiveTipSource* live_ = nullptr;
   double live_horizon_ = 0.0;
-  std::atomic<std::uint64_t> live_hits_{0};
+
+  // Per-instance telemetry cells (obs/metrics.hpp): lock-free per-thread
+  // slots, so the live-hit fast path and stats() never need the mutex.
+  // The mutex-path counters (hits/misses/...) are only ever bumped while
+  // mutex_ is held, but live on the same substrate so reset_stats() is
+  // one coherent epoch cut across all of them.
+  std::shared_ptr<obs::Counter> hits_ = std::make_shared<obs::Counter>();
+  std::shared_ptr<obs::Counter> misses_ = std::make_shared<obs::Counter>();
+  std::shared_ptr<obs::Counter> coalesced_ = std::make_shared<obs::Counter>();
+  std::shared_ptr<obs::Counter> evictions_ = std::make_shared<obs::Counter>();
+  std::shared_ptr<obs::Counter> live_hits_ = std::make_shared<obs::Counter>();
+  std::shared_ptr<obs::Gauge> peak_inflight_ = std::make_shared<obs::Gauge>();
+  std::shared_ptr<obs::Histogram> materialize_ns_ =
+      std::make_shared<obs::Histogram>();
 
   mutable std::mutex mutex_;
   // Idle Materializer pool (guarded by mutex_); one is checked out per
@@ -121,7 +151,6 @@ class SnapshotCache {
   std::unordered_map<double, std::shared_future<Handle>> inflight_;
   std::list<Entry> lru_;  // front = most recently used
   std::unordered_map<double, std::list<Entry>::iterator> index_;
-  Stats stats_;
   std::function<void(double)> miss_hook_;
 };
 

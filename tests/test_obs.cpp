@@ -1,0 +1,424 @@
+// Telemetry-layer contract (src/obs/): golden histogram bucket
+// boundaries, per-thread slot merging under contention, percentile
+// extraction against a sorted-vector oracle, coherent epoch resets, the
+// registry's flat snapshot/JSON view, trace-span rings — and the
+// observation-only rule: serving results stay byte-identical with
+// telemetry and tracing enabled.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "obs/trace.hpp"
+#include "san/timeline.hpp"
+#include "san_testlib.hpp"
+#include "serve/query_engine.hpp"
+
+namespace {
+
+namespace obs = san::obs;
+using obs::Counter;
+using obs::Gauge;
+using obs::Histogram;
+using obs::Registry;
+
+/// Restores the process-wide capture switches (tests share the process).
+struct CaptureGuard {
+  ~CaptureGuard() {
+    obs::set_timing_enabled(false);
+    obs::set_tracing_enabled(false);
+  }
+};
+
+// ---- Histogram bucket geometry. ----
+
+TEST(ObsHistogram, GoldenBucketBoundaries) {
+  // Exact small values, then two buckets per octave.
+  const std::size_t expected_index[] = {0, 1, 2, 3, 4, 4, 5, 5, 6};
+  for (std::uint64_t v = 0; v <= 8; ++v) {
+    EXPECT_EQ(Histogram::bucket_index(v), expected_index[v]) << "v=" << v;
+  }
+  EXPECT_EQ(Histogram::bucket_lower(4), 4u);
+  EXPECT_EQ(Histogram::bucket_lower(5), 6u);
+  EXPECT_EQ(Histogram::bucket_lower(6), 8u);
+  EXPECT_EQ(Histogram::bucket_lower(7), 12u);
+  // A power of two opens bucket 2e; the half-octave point opens 2e+1.
+  for (std::size_t e = 2; e < 63; ++e) {
+    const std::uint64_t pow2 = std::uint64_t{1} << e;
+    EXPECT_EQ(Histogram::bucket_index(pow2), 2 * e);
+    EXPECT_EQ(Histogram::bucket_index(pow2 - 1), 2 * e - 1);
+    EXPECT_EQ(Histogram::bucket_index(pow2 + (pow2 >> 1)), 2 * e + 1);
+  }
+  EXPECT_EQ(Histogram::bucket_index(~std::uint64_t{0}),
+            Histogram::kBuckets - 1);
+}
+
+TEST(ObsHistogram, BucketRoundTripAndMonotonicity) {
+  for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+    const std::uint64_t lower = Histogram::bucket_lower(b);
+    const std::uint64_t upper = Histogram::bucket_upper(b);
+    EXPECT_EQ(Histogram::bucket_index(lower), b);
+    EXPECT_EQ(Histogram::bucket_index(upper), b);
+    EXPECT_LE(lower, upper);
+    if (b > 0) {
+      EXPECT_GT(lower, Histogram::bucket_lower(b - 1));
+    }
+  }
+}
+
+// ---- Per-thread slot merging. ----
+
+TEST(ObsCounter, MergesSlotsAcrossThreads) {
+  Counter counter;
+  constexpr std::size_t kThreads = 8, kAdds = 10'000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (std::size_t i = 0; i < kAdds; ++i) counter.add();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), kThreads * kAdds);
+
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0u);
+  counter.add(3);
+  EXPECT_EQ(counter.value(), 3u);
+}
+
+TEST(ObsGauge, UpdateMaxIsMonotone) {
+  Gauge gauge;
+  gauge.update_max(5);
+  gauge.update_max(3);
+  EXPECT_EQ(gauge.value(), 5);
+  gauge.update_max(9);
+  EXPECT_EQ(gauge.value(), 9);
+  gauge.set(2);
+  EXPECT_EQ(gauge.value(), 2);
+  gauge.reset();
+  EXPECT_EQ(gauge.value(), 0);
+}
+
+TEST(ObsHistogram, MergesSlotsAcrossThreads) {
+  // Concurrent recording must agree bucket-for-bucket with a serial
+  // recording of the same multiset of values.
+  std::vector<std::uint64_t> values;
+  std::mt19937_64 rng(0x0b5113);
+  for (std::size_t i = 0; i < 40'000; ++i) {
+    values.push_back(rng() % 1'000'000);
+  }
+  Histogram serial;
+  for (const std::uint64_t v : values) serial.record(v);
+
+  Histogram concurrent;
+  constexpr std::size_t kThreads = 8;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&concurrent, &values, t] {
+      for (std::size_t i = t; i < values.size(); i += kThreads) {
+        concurrent.record(values[i]);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(concurrent.merged(), serial.merged());
+  EXPECT_EQ(concurrent.count(), values.size());
+}
+
+// ---- Percentiles vs a sorted-vector oracle. ----
+
+TEST(ObsHistogram, PercentileMatchesSortedOracleBucket) {
+  // The histogram cannot return the exact order statistic (bucket
+  // resolution is ~25%), but it must land in the SAME bucket as the
+  // nearest-rank element of the sorted sample — for every sample size and
+  // quantile, over log-uniform magnitudes (1 ns .. 100 s).
+  std::mt19937_64 rng(20260808);
+  std::uniform_real_distribution<double> log_mag(0.0, 11.0);
+  for (const std::size_t n : {1u, 2u, 10u, 1'000u, 4'097u}) {
+    std::vector<std::uint64_t> sample;
+    for (std::size_t i = 0; i < n; ++i) {
+      sample.push_back(
+          static_cast<std::uint64_t>(std::pow(10.0, log_mag(rng))));
+    }
+    Histogram hist;
+    for (const std::uint64_t v : sample) hist.record(v);
+    std::sort(sample.begin(), sample.end());
+    for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+      const std::size_t rank = std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 std::ceil(q * static_cast<double>(n))));
+      const std::uint64_t oracle = sample[rank - 1];
+      const double reported = hist.percentile(q);
+      EXPECT_EQ(Histogram::bucket_index(
+                    static_cast<std::uint64_t>(reported)),
+                Histogram::bucket_index(oracle))
+          << "n=" << n << " q=" << q << " oracle=" << oracle
+          << " reported=" << reported;
+    }
+  }
+}
+
+TEST(ObsHistogram, EmptyAndSingleSample) {
+  Histogram hist;
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.percentile(0.5), 0.0);
+  EXPECT_EQ(hist.percentile(0.999), 0.0);
+
+  hist.record(1'000);
+  EXPECT_EQ(hist.count(), 1u);
+  for (const double q : {0.5, 0.99, 0.999}) {
+    const double reported = hist.percentile(q);
+    EXPECT_EQ(Histogram::bucket_index(static_cast<std::uint64_t>(reported)),
+              Histogram::bucket_index(1'000))
+        << "q=" << q;
+  }
+}
+
+TEST(ObsHistogram, EpochResetDropsOnlyHistory) {
+  Histogram hist;
+  for (int i = 0; i < 100; ++i) hist.record(50);
+  EXPECT_EQ(hist.count(), 100u);
+  hist.reset();
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.percentile(0.5), 0.0);
+  for (int i = 0; i < 7; ++i) hist.record(1 << 20);
+  EXPECT_EQ(hist.count(), 7u);
+  EXPECT_EQ(Histogram::bucket_index(
+                static_cast<std::uint64_t>(hist.percentile(0.5))),
+            Histogram::bucket_index(1 << 20));
+}
+
+// ---- ScopedTimer gating. ----
+
+TEST(ObsScopedTimer, RecordsOnlyWhileTimingEnabled) {
+  CaptureGuard guard;
+  Histogram hist;
+  obs::set_timing_enabled(false);
+  { obs::ScopedTimer timer(&hist); }
+  EXPECT_EQ(hist.count(), 0u);
+
+  obs::set_timing_enabled(true);
+  { obs::ScopedTimer timer(&hist); }
+  { obs::ScopedTimer timer(nullptr); }  // instrumented site, no metric
+  EXPECT_EQ(hist.count(), 1u);
+}
+
+// ---- Registry. ----
+
+TEST(ObsRegistry, SnapshotFlattensAndSorts) {
+  Registry registry;
+  auto counter = std::make_shared<Counter>();
+  auto gauge = std::make_shared<Gauge>();
+  auto hist = std::make_shared<Histogram>();
+  counter->add(42);
+  gauge->set(7);
+  hist->record(1'000'000);  // 1 ms
+  registry.attach_counter("b.counter", counter);
+  registry.attach_gauge("a.gauge", gauge);
+  registry.attach_histogram("c.lat", hist);
+  registry.attach_fn("d.fn", [] { return 2.5; });
+
+  const auto snap = registry.snapshot();
+  ASSERT_TRUE(std::is_sorted(
+      snap.begin(), snap.end(),
+      [](const auto& x, const auto& y) { return x.first < y.first; }));
+  const auto value = [&](const std::string& name) {
+    for (const auto& [key, v] : snap) {
+      if (key == name) return v;
+    }
+    ADD_FAILURE() << "missing key " << name;
+    return -1.0;
+  };
+  EXPECT_EQ(value("b.counter"), 42.0);
+  EXPECT_EQ(value("a.gauge"), 7.0);
+  EXPECT_EQ(value("c.lat.count"), 1.0);
+  EXPECT_EQ(value("d.fn"), 2.5);
+  // 1 ms recorded: the p50 is inside the same ~25%-wide bucket, in us.
+  const double p50_us = value("c.lat.p50_us");
+  EXPECT_EQ(Histogram::bucket_index(
+                static_cast<std::uint64_t>(p50_us * 1000.0)),
+            Histogram::bucket_index(1'000'000));
+  EXPECT_EQ(value("c.lat.p999_us"), p50_us);
+
+  // One coherent epoch cut across everything attached.
+  registry.reset();
+  const auto after = registry.snapshot();
+  for (const auto& [key, v] : after) {
+    if (key == "d.fn") {
+      EXPECT_EQ(v, 2.5) << "fn entries are stateless";
+    } else {
+      EXPECT_EQ(v, 0.0) << key << " not reset";
+    }
+  }
+  counter->add();
+  EXPECT_EQ(counter->value(), 1u);
+}
+
+TEST(ObsRegistry, WriteJsonEmitsFlatObject) {
+  Registry registry;
+  auto counter = std::make_shared<Counter>();
+  counter->add(5);
+  registry.attach_counter("x.hits", counter);
+  registry.attach_fn("y.level", [] { return 2.0; });
+
+  const std::string path =
+      testing::TempDir() + "/test_obs_registry.json";
+  ASSERT_TRUE(registry.write_json(path.c_str()));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string text(4096, '\0');
+  text.resize(std::fread(text.data(), 1, text.size(), f));
+  std::fclose(f);
+  EXPECT_NE(text.find("\"x.hits\": 5"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"y.level\": 2"), std::string::npos) << text;
+  EXPECT_EQ(text.front(), '{');
+  EXPECT_EQ(text[text.size() - 2], '}');  // trailing newline after '}'
+
+  EXPECT_FALSE(registry.write_json("/nonexistent-dir/x.json"));
+}
+
+// ---- Trace spans. ----
+
+TEST(ObsTrace, SpansExportAsChromeTraceJson) {
+  CaptureGuard guard;
+  obs::clear_spans();
+  {
+    obs::TraceSpan off("not.recorded");  // tracing still disabled
+  }
+  obs::set_tracing_enabled(true);
+  const std::uint64_t before = obs::span_count();
+  {
+    obs::TraceSpan outer("test.outer");
+    obs::TraceSpan inner("test.inner");
+  }
+  obs::set_tracing_enabled(false);
+  EXPECT_EQ(obs::span_count(), before + 2);
+
+  const std::string json = obs::chrome_trace_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.inner\""), std::string::npos);
+  EXPECT_EQ(json.find("not.recorded"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  obs::clear_spans();
+  EXPECT_EQ(obs::span_count(), 0u);
+}
+
+TEST(ObsTrace, RingKeepsNewestWhenFull) {
+  CaptureGuard guard;
+  obs::clear_spans();
+  obs::set_tracing_enabled(true);
+  // Overfill one thread's ring; export must not grow past the capacity
+  // and must still parse.
+  for (std::size_t i = 0; i < obs::kRingCapacity + 100; ++i) {
+    obs::record_span("test.wrap", i, i + 1);
+  }
+  obs::set_tracing_enabled(false);
+  EXPECT_GE(obs::span_count(), obs::kRingCapacity + 100);
+  const std::string json = obs::chrome_trace_json();
+  EXPECT_NE(json.find("\"test.wrap\""), std::string::npos);
+  obs::clear_spans();
+}
+
+// ---- SnapshotCache stats ride the registry (the reset-race fix). ----
+
+TEST(ObsIntegration, SnapshotCacheStatsAndCoherentReset) {
+  const auto net = san::testlib::synthetic_gplus(600, 11);
+  const san::SanTimeline timeline(net);
+  san::serve::SnapshotCache cache(timeline, 2);
+  Registry registry;
+  cache.register_metrics(registry, "cache");
+
+  (void)cache.at(10.0);
+  (void)cache.at(20.0);
+  (void)cache.at(10.0);
+  (void)cache.at(30.0);  // evicts
+
+  const auto value = [&](const std::string& name) {
+    for (const auto& [key, v] : registry.snapshot()) {
+      if (key == name) return v;
+    }
+    ADD_FAILURE() << "missing key " << name;
+    return -1.0;
+  };
+  EXPECT_EQ(value("cache.misses"), 3.0);
+  EXPECT_EQ(value("cache.hits"), 1.0);
+  EXPECT_EQ(value("cache.evictions"), 1.0);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.hits, 1u);
+
+  // reset_stats: ONE zero-point for every cell, including the lock-free
+  // live-hit counter the old implementation reset out-of-band.
+  cache.reset_stats();
+  const auto zeroed = cache.stats();
+  EXPECT_EQ(zeroed.hits, 0u);
+  EXPECT_EQ(zeroed.misses, 0u);
+  EXPECT_EQ(zeroed.evictions, 0u);
+  EXPECT_EQ(zeroed.live_hits, 0u);
+  EXPECT_EQ(zeroed.peak_inflight, 0u);
+  EXPECT_EQ(value("cache.misses"), 0.0);
+
+  (void)cache.at(20.0);  // evicted earlier: a fresh miss after the cut
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+// ---- Observation-only: serving stays byte-identical with capture on. ----
+
+TEST(ObsIntegration, ServeResultsIdenticalWithTelemetryEnabled) {
+  CaptureGuard guard;
+  const auto net = san::testlib::synthetic_gplus(900, 23);
+  const san::SanTimeline timeline(net);
+  const std::vector<double> days{20.0, 50.0, 90.0};
+  const auto queries = san::testlib::mixed_queries(
+      400, net.social_node_count(), days, 0xabc1);
+
+  // Reference: telemetry off, single-query path.
+  std::vector<std::string> reference;
+  {
+    san::serve::SnapshotCache cache(timeline, days.size());
+    san::serve::QueryEngine engine(cache);
+    for (const auto& q : queries) {
+      reference.push_back(engine.run_single(q).to_line(q));
+    }
+  }
+
+  obs::set_timing_enabled(true);
+  obs::set_tracing_enabled(true);
+  for (const std::size_t threads : {1u, 4u}) {
+    san::core::set_thread_count(threads);
+    san::serve::SnapshotCache cache(timeline, days.size());
+    san::serve::QueryEngine engine(cache);
+    Registry registry;
+    cache.register_metrics(registry, "cache");
+    engine.register_metrics(registry, "serve");
+    const auto results = engine.run_batch(queries);
+    ASSERT_EQ(results.size(), queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      ASSERT_EQ(results[i].to_line(queries[i]), reference[i])
+          << "telemetry changed a served result (threads=" << threads
+          << ", query " << i << ")";
+    }
+    // And the capture actually happened: every query landed in a kind
+    // histogram.
+    double captured = 0.0;
+    for (const auto& [key, value] : registry.snapshot()) {
+      if (key.starts_with("serve.query.") && key.ends_with(".count")) {
+        captured += value;
+      }
+    }
+    EXPECT_EQ(captured, static_cast<double>(queries.size()));
+  }
+  san::core::set_thread_count(0);  // restore the env-derived default
+}
+
+}  // namespace

@@ -61,16 +61,27 @@ def main():
     args = parser.parse_args()
 
     baseline = load(args.baseline, allow_floors=True)
+
+    # Collect EVERY problem before deciding the exit code: a red CI run
+    # should name all regressed metrics and all broken result files at
+    # once, not reveal them one re-run at a time.
+    failures = 0
     current = {}
     for path in args.results:
-        for name, value in load(path).items():
+        try:
+            loaded = load(path)
+        except (OSError, ValueError) as error:
+            print(f"FAIL  cannot load results file: {error}")
+            failures += 1
+            continue
+        for name, value in loaded.items():
             if name in current:
                 print(f"FAIL  metric {name!r} appears in more than one "
-                      f"results file", file=sys.stderr)
-                return 1
+                      f"results file")
+                failures += 1
+                continue
             current[name] = value
 
-    failures = 0
     for name in sorted(baseline):
         spec = baseline[name]
         if isinstance(spec, dict):
@@ -82,8 +93,9 @@ def main():
                       f"{floor:.3f}")
                 failures += 1
             else:
+                margin = current[name] / floor if floor else float("inf")
                 print(f"ok    {name}: {current[name]:.3f} "
-                      f"(hard floor {floor:.3f})")
+                      f"(hard floor {floor:.3f}, {margin:.2f}x of floor)")
             continue
         floor = spec * (1.0 - args.tolerance)
         if name not in current:
@@ -95,14 +107,16 @@ def main():
                   f"tolerance {args.tolerance:.0%})")
             failures += 1
         else:
+            ratio = current[name] / spec if spec else float("inf")
             print(f"ok    {name}: {current[name]:.3f} "
-                  f"(baseline {spec:.3f}, floor {floor:.3f})")
+                  f"(baseline {spec:.3f}, floor {floor:.3f}, "
+                  f"{ratio:.2f}x of baseline)")
     for name in sorted(set(current) - set(baseline)):
         print(f"info  {name}: {current[name]:.3f} (not gated)")
 
     if failures:
-        print(f"{failures} bench metrics regressed past the "
-              f"{args.tolerance:.0%} tolerance", file=sys.stderr)
+        print(f"{failures} bench check(s) failed (tolerance "
+              f"{args.tolerance:.0%})", file=sys.stderr)
         return 1
     print("all gated bench metrics within tolerance")
     return 0

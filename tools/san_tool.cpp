@@ -7,8 +7,10 @@
 //   san_tool crawl FILE --day D [--private P] -o FILE
 //   san_tool communities FILE [--attribute-weight W]
 //   san_tool live FILE --workload W [--start D] [--cache N] [--batch B]
-//            [--publish-every K] [--shards N]
+//            [--publish-every K] [--shards N] [--stats-json FILE]
+//            [--trace FILE] [--stats-every N]
 //   san_tool serve FILE --workload W [--cache N] [--batch B]
+//            [--stats-json FILE] [--trace FILE] [--stats-every N]
 //
 // Files use the SANv1 text format (san/serialization.hpp); workload files
 // use the serve/query.hpp line format. Malformed numbers, unknown
@@ -40,6 +42,8 @@
 #include "graph/metrics.hpp"
 #include "model/generator.hpp"
 #include "model/zhel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "san/live_replay.hpp"
 #include "san/live_timeline.hpp"
 #include "san/sharded_live_timeline.hpp"
@@ -117,7 +121,8 @@ constexpr SubcommandDoc kSubcommands[] = {
      "                         social links (default: 0)\n"},
     {"live",
      "san_tool live FILE --workload W [--start D] [--cache N] [--batch B]"
-     " [--publish-every K] [--shards N]",
+     " [--publish-every K] [--shards N] [--stats-json FILE] [--trace FILE]"
+     " [--stats-every N]",
      "replay FILE as a live ingest stream while serving queries",
      "Treats the SANv1 file as a future event stream: events up to day D\n"
      "seed a frozen history, the rest ingest at runtime through\n"
@@ -142,6 +147,22 @@ constexpr SubcommandDoc kSubcommands[] = {
      "                      partitions the frontier by source-node-id range\n"
      "                      and stitches per-shard snapshots into each\n"
      "                      published epoch\n"
+     "  --stats-json FILE   write a flat JSON telemetry snapshot on exit:\n"
+     "                      per-query-type latency percentiles, cache\n"
+     "                      counters, ingest phase timings (absorb /\n"
+     "                      advance / publish or apply_shard / stitch),\n"
+     "                      ingest-to-publish latency, and epoch cadence\n"
+     "                      (enables latency capture)\n"
+     "  --trace FILE        write a Chrome trace-event JSON of the\n"
+     "                      recorded spans on exit; load it in Perfetto\n"
+     "                      or chrome://tracing\n"
+     "  --stats-every N     print a telemetry line to stderr every N\n"
+     "                      ingest batches, N > 0 (enables latency\n"
+     "                      capture)\n"
+     "\n"
+     "Telemetry is observation-only: stdout result lines are\n"
+     "byte-identical with and without these flags, at any SAN_THREADS\n"
+     "and SAN_SIMD.\n"
      "\n"
      "A link whose endpoint id has not been created yet is held and\n"
      "activates when the endpoint appears (the paper's links that predate\n"
@@ -149,7 +170,8 @@ constexpr SubcommandDoc kSubcommands[] = {
      "bit-identical to rebuilding a SanTimeline from the ingested log\n"
      "prefix at the same tip.\n"},
     {"serve",
-     "san_tool serve FILE --workload W [--cache N] [--batch B]",
+     "san_tool serve FILE --workload W [--cache N] [--batch B]"
+     " [--stats-json FILE] [--trace FILE] [--stats-every N]",
      "serve a query workload over cached timeline snapshots",
      "Loads the SAN, indexes it into a SanTimeline, and serves the\n"
      "workload through serve::QueryEngine: admission-ordered batches,\n"
@@ -161,6 +183,21 @@ constexpr SubcommandDoc kSubcommands[] = {
      "  --workload W   workload file, one query per line (required)\n"
      "  --cache N      snapshots kept resident, >= 1 (default: 8)\n"
      "  --batch B      queries admitted per batch, >= 1 (default: 1024)\n"
+     "  --stats-json FILE   write a flat JSON telemetry snapshot on exit:\n"
+     "                      per-query-type p50/p90/p99/p999 service\n"
+     "                      latency, batch admission-to-completion\n"
+     "                      latency, cache hit/miss/coalesce/eviction\n"
+     "                      counters, and materialize-duration\n"
+     "                      percentiles (enables latency capture)\n"
+     "  --trace FILE        write a Chrome trace-event JSON of the\n"
+     "                      recorded spans on exit; load it in Perfetto\n"
+     "                      or chrome://tracing\n"
+     "  --stats-every N     print a telemetry line to stderr every N\n"
+     "                      batches, N > 0 (enables latency capture)\n"
+     "\n"
+     "Telemetry is observation-only: stdout result lines are\n"
+     "byte-identical with and without these flags, at any SAN_THREADS\n"
+     "and SAN_SIMD.\n"
      "\n"
      "Workload grammar (serve/query.hpp): blank lines and lines starting\n"
      "with '#' are skipped; every other line is one of\n"
@@ -442,6 +479,75 @@ int cmd_communities(int argc, char** argv, const char* path) {
   return 0;
 }
 
+/// Telemetry flags shared by `serve` and `live`. Parsing also flips the
+/// obs capture switches, so instrumented sites start reading the clock
+/// only when a sink asked for the data.
+struct TelemetryOptions {
+  const char* stats_json = nullptr;
+  const char* trace = nullptr;
+  std::size_t stats_every = 0;  // 0 = no periodic stderr line
+};
+
+/// Parse and validate the telemetry flags. Returns -1 to continue, or an
+/// exit code. Output paths are probed writable up front (exit 2) — a long
+/// session must not discover a bad sink path at export time.
+int parse_telemetry(int argc, char** argv, TelemetryOptions& out) {
+  out.stats_json = flag_value(argc, argv, "--stats-json", nullptr);
+  out.trace = flag_value(argc, argv, "--trace", nullptr);
+  const char* every_text = flag_value(argc, argv, "--stats-every", nullptr);
+  if (every_text != nullptr &&
+      (!parse_size(every_text, out.stats_every) || out.stats_every == 0)) {
+    return complain("invalid --stats-every '%s' (need an integer > 0)",
+                    every_text);
+  }
+  for (const char* sink : {out.stats_json, out.trace}) {
+    if (sink == nullptr) continue;
+    std::FILE* probe = std::fopen(sink, "w");
+    if (probe == nullptr) return complain("unwritable output path '%s'", sink);
+    std::fclose(probe);
+  }
+  if (out.stats_json != nullptr || out.stats_every != 0) {
+    obs::set_timing_enabled(true);
+  }
+  if (out.trace != nullptr) obs::set_tracing_enabled(true);
+  return -1;
+}
+
+/// One-shot kernel-dispatch info (numeric levels; the names stay on the
+/// human-readable stderr line).
+void register_simd_metrics(obs::Registry& registry) {
+  registry.attach_fn("simd.active_level", [] {
+    return static_cast<double>(core::simd::active_level());
+  });
+  registry.attach_fn("simd.detected_level", [] {
+    return static_cast<double>(core::simd::detected_level());
+  });
+}
+
+/// Write the requested sinks; 1 (runtime failure) when a probed-writable
+/// path stopped being writable mid-session.
+int export_telemetry(const obs::Registry& registry,
+                     const TelemetryOptions& telemetry) {
+  int rc = 0;
+  if (telemetry.stats_json != nullptr &&
+      !registry.write_json(telemetry.stats_json)) {
+    rc = 1;
+  }
+  if (telemetry.trace != nullptr && !obs::write_chrome_trace(telemetry.trace)) {
+    rc = 1;
+  }
+  return rc;
+}
+
+double snapshot_value(
+    const std::vector<std::pair<std::string, double>>& snapshot,
+    const char* name) {
+  for (const auto& [key, value] : snapshot) {
+    if (key == name) return value;
+  }
+  return 0.0;
+}
+
 int cmd_serve(int argc, char** argv, const char* path) {
   const char* workload_path = flag_value(argc, argv, "--workload", nullptr);
   if (workload_path == nullptr) {
@@ -456,6 +562,10 @@ int cmd_serve(int argc, char** argv, const char* path) {
   if (!parse_size(batch_text, batch_size) || batch_size == 0) {
     return complain("invalid --batch '%s' (need an integer > 0)", batch_text);
   }
+  TelemetryOptions telemetry;
+  if (const int rc = parse_telemetry(argc, argv, telemetry); rc >= 0) {
+    return rc;
+  }
 
   const auto net = load_san(path);
   const SanTimeline timeline(net);
@@ -463,8 +573,13 @@ int cmd_serve(int argc, char** argv, const char* path) {
   serve::QueryEngine engine(cache);
   const auto queries = serve::load_workload(workload_path);
 
+  obs::Registry registry;
+  cache.register_metrics(registry, "cache");
+  engine.register_metrics(registry, "serve");
+  register_simd_metrics(registry);
+
   const auto start = std::chrono::steady_clock::now();
-  std::size_t served = 0;
+  std::size_t served = 0, batches = 0;
   while (served < queries.size()) {
     const std::size_t count = std::min(batch_size, queries.size() - served);
     const auto results = engine.run_batch(
@@ -473,6 +588,16 @@ int cmd_serve(int argc, char** argv, const char* path) {
       std::printf("%s\n", results[i].to_line(queries[served + i]).c_str());
     }
     served += count;
+    ++batches;
+    if (telemetry.stats_every != 0 && batches % telemetry.stats_every == 0) {
+      const auto snap = registry.snapshot();
+      std::fprintf(stderr,
+                   "telemetry[batch %zu]: served %zu queries; batch p99"
+                   " %.1f us; cache %.0f hits, %.0f misses\n",
+                   batches, served, snapshot_value(snap, "serve.batch.p99_us"),
+                   snapshot_value(snap, "cache.hits"),
+                   snapshot_value(snap, "cache.misses"));
+    }
   }
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -487,15 +612,22 @@ int cmd_serve(int argc, char** argv, const char* path) {
                static_cast<unsigned long long>(stats.misses),
                static_cast<unsigned long long>(stats.evictions),
                core::simd::level_name(core::simd::active_level()));
-  return 0;
+  return export_telemetry(registry, telemetry);
 }
 
 // The live serve/ingest loop, shared by the single-writer and sharded
 // paths (LiveTimeline and ShardedLiveTimeline expose the same ingest /
 // publish / tip_time / stats surface).
 int run_live_session(auto& live, LiveReplay& replay, const auto& steps,
-                     serve::SnapshotCache& cache, std::size_t batch_size) {
+                     serve::SnapshotCache& cache, std::size_t batch_size,
+                     const TelemetryOptions& telemetry) {
   serve::QueryEngine engine(cache);
+
+  obs::Registry registry;
+  cache.register_metrics(registry, "cache");
+  live.register_metrics(registry, "live");
+  engine.register_metrics(registry, "serve");
+  register_simd_metrics(registry);
 
   std::size_t served = 0, ingested_events = 0, ingest_steps = 0;
   double query_seconds = 0.0, ingest_seconds = 0.0;
@@ -535,6 +667,19 @@ int run_live_session(auto& live, LiveReplay& replay, const auto& steps,
                           std::chrono::steady_clock::now() - begin)
                           .count();
     ++ingest_steps;
+    if (telemetry.stats_every != 0 &&
+        ingest_steps % telemetry.stats_every == 0) {
+      const auto snap = registry.snapshot();
+      std::fprintf(stderr,
+                   "telemetry[batch %zu]: tip %.2f, %.0f epochs;"
+                   " ingest_to_publish p99 %.1f us; cache %.0f hits,"
+                   " %.0f misses\n",
+                   ingest_steps, live.tip_time(),
+                   snapshot_value(snap, "live.epochs"),
+                   snapshot_value(snap, "live.ingest_to_publish.p99_us"),
+                   snapshot_value(snap, "cache.hits"),
+                   snapshot_value(snap, "cache.misses"));
+    }
   }
   flush_queries();
   live.publish();
@@ -562,7 +707,7 @@ int run_live_session(auto& live, LiveReplay& replay, const auto& steps,
       static_cast<unsigned long long>(cache_stats.misses),
       static_cast<unsigned long long>(cache_stats.live_hits),
       core::simd::level_name(core::simd::active_level()));
-  return 0;
+  return export_telemetry(registry, telemetry);
 }
 
 int cmd_live(int argc, char** argv, const char* path) {
@@ -594,6 +739,10 @@ int cmd_live(int argc, char** argv, const char* path) {
     return complain("invalid --shards '%s' (need an integer > 0)",
                     shards_text);
   }
+  TelemetryOptions telemetry;
+  if (const int rc = parse_telemetry(argc, argv, telemetry); rc >= 0) {
+    return rc;
+  }
 
   const auto net = load_san(path);
   const auto steps = serve::load_live_workload(workload_path);
@@ -610,14 +759,14 @@ int cmd_live(int argc, char** argv, const char* path) {
     live_options.initial_tip = start;  // attr catalog times may lie ahead
     san::ShardedLiveTimeline live(replay.seed, live_options);
     cache.bind_live(live, start);
-    return run_live_session(live, replay, steps, cache, batch_size);
+    return run_live_session(live, replay, steps, cache, batch_size, telemetry);
   }
   LiveTimelineOptions live_options;
   live_options.batches_per_epoch = publish_every;
   live_options.initial_tip = start;  // attr catalog times may lie ahead
   LiveTimeline live(replay.seed, live_options);
   cache.bind_live(live, start);
-  return run_live_session(live, replay, steps, cache, batch_size);
+  return run_live_session(live, replay, steps, cache, batch_size, telemetry);
 }
 
 int missing_file(const char* command) {

@@ -10,6 +10,7 @@ hand. Stdlib only; runs a real end-to-end generate -> snapshots -> serve
 Usage: tools/test_san_tool_cli.py /path/to/san_tool
 """
 
+import json
 import os
 import subprocess
 import sys
@@ -98,6 +99,19 @@ def test_usage_errors():
     expect("live garbage --shards -> exit 2",
            run("live", "f.san", "--workload", "w", "--shards", "4x"), 2,
            ["invalid --shards"])
+    for name in ["serve", "live"]:
+        expect(f"{name} zero --stats-every -> exit 2",
+               run(name, "f.san", "--workload", "w", "--stats-every", "0"),
+               2, ["invalid --stats-every"])
+        expect(f"{name} garbage --stats-every -> exit 2",
+               run(name, "f.san", "--workload", "w", "--stats-every", "2x"),
+               2, ["invalid --stats-every"])
+        expect(f"{name} unwritable --stats-json -> exit 2",
+               run(name, "f.san", "--workload", "w", "--stats-json",
+                   "/nonexistent-dir/stats.json"), 2, ["unwritable"])
+        expect(f"{name} unwritable --trace -> exit 2",
+               run(name, "f.san", "--workload", "w", "--trace",
+                   "/nonexistent-dir/trace.json"), 2, ["unwritable"])
 
 
 def test_runtime_failures(tmp):
@@ -170,6 +184,88 @@ def test_end_to_end(tmp):
            1, ["strictly"])
 
 
+def test_telemetry(tmp):
+    """--stats-json/--trace/--stats-every: valid artifacts, identical
+    stdout, the documented key schema."""
+    san = os.path.join(tmp, "telem.san")
+    expect("telemetry: generate -> exit 0",
+           run("generate", "--kind", "gplus", "--nodes", "900", "--seed",
+               "4", "-o", san), 0, ["wrote"])
+    workload = os.path.join(tmp, "telem_wl.txt")
+    with open(workload, "w", encoding="utf-8") as f:
+        f.write("ego 10 3\nlinkrec 10 4 5\nattrs 10 5 3\nrecip 10 3 7\n"
+                "ingest 55\nego now 3\nlinkrec now 4 5\n"
+                "ingest 99\nattrs now 5 3\nrecip now 3 7\n")
+
+    plain = run("live", san, "--workload", workload, "--start", "10",
+                "--shards", "2")
+    expect("telemetry: untelemetered live -> exit 0", plain, 0)
+
+    stats_path = os.path.join(tmp, "stats.json")
+    trace_path = os.path.join(tmp, "trace.json")
+    telem = run("live", san, "--workload", workload, "--start", "10",
+                "--shards", "2", "--stats-json", stats_path, "--trace",
+                trace_path, "--stats-every", "1")
+    expect("telemetry: instrumented live -> exit 0", telem, 0,
+           ["telemetry[batch "])
+    check("telemetry is observation-only (stdout identical)",
+          telem.stdout == plain.stdout,
+          f"telem={telem.stdout!r} plain={plain.stdout!r}")
+
+    with open(stats_path, encoding="utf-8") as f:
+        stats = json.load(f)
+    required = (["cache.hits", "cache.misses", "cache.coalesced",
+                 "live.ingest_to_publish.p50_us", "live.epochs",
+                 "serve.batch.p99_us", "simd.active_level"]
+                + [f"serve.query.{kind}.{pct}"
+                   for kind in ("linkrec", "attrs", "ego", "recip")
+                   for pct in ("count", "p50_us", "p99_us", "p999_us")])
+    missing = [key for key in required if key not in stats]
+    check("stats JSON has the documented keys", not missing,
+          f"missing {missing}")
+    check("stats JSON values are numbers",
+          all(isinstance(v, (int, float)) for v in stats.values()))
+    if not missing:
+        check("every query kind recorded a latency",
+              all(stats[f"serve.query.{k}.count"] >= 1
+                  for k in ("linkrec", "attrs", "ego", "recip")),
+              str({k: stats[f"serve.query.{k}.count"]
+                   for k in ("linkrec", "attrs", "ego", "recip")}))
+        check("epochs advanced past the seed epoch",
+              stats["live.epochs"] >= 2, str(stats["live.epochs"]))
+
+    with open(trace_path, encoding="utf-8") as f:
+        trace = json.load(f)
+    events = trace.get("traceEvents")
+    check("trace JSON has a traceEvents list",
+          isinstance(events, list) and len(events) > 0)
+    if isinstance(events, list) and events:
+        check("trace events carry name/ph/ts/dur",
+              all(e.get("ph") == "X" and "name" in e and "ts" in e
+                  and "dur" in e for e in events))
+        names = {e["name"] for e in events}
+        check("trace includes serve and ingest spans",
+              "serve.run_batch" in names and "live.stitch" in names,
+              str(sorted(names)))
+
+    # serve takes the same flags; --stats-every alone must not change
+    # stdout either.
+    serve_wl = os.path.join(tmp, "telem_serve_wl.txt")
+    with open(serve_wl, "w", encoding="utf-8") as f:
+        f.write("ego 10 3\nlinkrec 50 4 5\nattrs 99 5 3\n")
+    serve_plain = run("serve", san, "--workload", serve_wl)
+    serve_stats = os.path.join(tmp, "serve_stats.json")
+    serve_telem = run("serve", san, "--workload", serve_wl, "--stats-json",
+                      serve_stats, "--stats-every", "1")
+    expect("telemetry: instrumented serve -> exit 0", serve_telem, 0,
+           ["telemetry[batch "])
+    check("serve telemetry is observation-only",
+          serve_telem.stdout == serve_plain.stdout)
+    with open(serve_stats, encoding="utf-8") as f:
+        check("serve stats JSON parses with query percentiles",
+              "serve.query.ego.p50_us" in json.load(f))
+
+
 def main():
     global SAN_TOOL
     if len(sys.argv) != 2:
@@ -182,6 +278,7 @@ def main():
     with tempfile.TemporaryDirectory() as tmp:
         test_runtime_failures(tmp)
         test_end_to_end(tmp)
+        test_telemetry(tmp)
     if FAILURES:
         print(f"{len(FAILURES)} CLI contract checks failed", file=sys.stderr)
         return 1
