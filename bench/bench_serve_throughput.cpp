@@ -31,6 +31,7 @@
 #include "obs/trace.hpp"
 #include "san/timeline.hpp"
 #include "san_testlib.hpp"
+#include "serve/genload.hpp"
 #include "serve/query_engine.hpp"
 
 namespace {
@@ -225,6 +226,56 @@ int main(int argc, char** argv) {
                 serve::to_string(kind), slice.size(), slice_s, qps);
     // Absolute rates: informational in the CI gate (runner-dependent).
     report.add(std::string("serve_qps_") + serve::to_string(kind), qps);
+  }
+
+  bench::header("scenario: genload seven-kind trace (informational)");
+  // A seeded scenario workload (san_tool genload): Zipf-skewed users,
+  // diurnal arrivals over a four-week window, all seven query kinds —
+  // the realistic mix that exercises the derived-state side-cache
+  // (sybil topology / label propagation / first-pick builds, one per
+  // resolved day). Rates are runner-dependent: reported for trending,
+  // never gated against the baseline.
+  {
+    serve::GenloadOptions scenario;
+    scenario.queries = std::max<std::size_t>(query_count() / 4, 1);
+    scenario.nodes = net.social_node_count();
+    scenario.seed = 0x5ce2a;
+    scenario.horizon = 28.0;   // bounds distinct days (and derived builds)
+    scenario.now_fraction = 0.05;
+    const auto scenario_queries =
+        serve::parse_workload(serve::generate_workload(scenario));
+    serve::SnapshotCache scenario_cache(timeline, 32);
+    serve::QueryEngine scenario_engine(scenario_cache);
+
+    const auto cold_scenario_start = std::chrono::steady_clock::now();
+    (void)run_batched(scenario_engine, scenario_queries, kBatch);
+    const double cold_scenario_s = seconds_since(cold_scenario_start);
+    const auto warm_scenario_start = std::chrono::steady_clock::now();
+    (void)run_batched(scenario_engine, scenario_queries, kBatch);
+    const double warm_scenario_s = seconds_since(warm_scenario_start);
+
+    const auto stats = scenario_cache.stats();
+    const double cold_qps =
+        cold_scenario_s > 0.0 ? scenario_queries.size() / cold_scenario_s
+                              : 0.0;
+    const double warm_qps =
+        warm_scenario_s > 0.0 ? scenario_queries.size() / warm_scenario_s
+                              : 0.0;
+    std::printf("  %zu queries over %llu days: cold %7.3f s (%8.0f"
+                " queries/s), warm %7.3f s (%8.0f queries/s)\n",
+                scenario_queries.size(),
+                static_cast<unsigned long long>(stats.misses),
+                cold_scenario_s, cold_qps, warm_scenario_s, warm_qps);
+    std::printf("  derived side-cache: %llu builds, %llu hits\n",
+                static_cast<unsigned long long>(stats.derived_misses),
+                static_cast<unsigned long long>(stats.derived_hits));
+    report.add("scenario_qps_cold", cold_qps);
+    report.add("scenario_qps_warm", warm_qps);
+    if (stats.derived_misses == 0) {
+      std::fprintf(stderr,
+                   "FAIL: scenario trace never built derived state\n");
+      return 1;
+    }
   }
 
   bench::header("concurrent cold misses: distinct days from parallel callers");

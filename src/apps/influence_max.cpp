@@ -1,0 +1,118 @@
+#include "apps/influence_max.hpp"
+
+#include <stdexcept>
+
+namespace san::apps {
+namespace {
+
+void ensure_capacity(InfluenceScratch& scratch, std::size_t n) {
+  if (scratch.covered.size() < n) {
+    scratch.covered.resize(n, 0);
+    scratch.is_seed.resize(n, 0);
+    scratch.seen.resize(n, 0);
+  }
+}
+
+/// Marginal coverage of candidate v: |({v} ∪ Γs(v)) \ covered|.
+std::uint64_t gain_of(const graph::CsrGraph& g,
+                      const std::vector<std::uint8_t>& covered,
+                      graph::NodeId v) {
+  std::uint64_t gain = covered[v] ? 0 : 1;
+  for (const graph::NodeId w : g.neighbors(v)) {
+    if (!covered[w]) ++gain;
+  }
+  return gain;
+}
+
+}  // namespace
+
+graph::NodeId best_first_pick(const graph::CsrGraph& g) {
+  const std::size_t n = g.node_count();
+  if (n == 0) return kNoFirstPick;
+  graph::NodeId best = 0;
+  std::size_t best_degree = g.degree(0);
+  for (graph::NodeId v = 1; v < n; ++v) {
+    const std::size_t d = g.degree(v);
+    if (d > best_degree) {
+      best = v;
+      best_degree = d;
+    }
+  }
+  return best;
+}
+
+InfluenceResult influence_maximize(const graph::CsrGraph& g,
+                                   std::span<const graph::NodeId> seeds,
+                                   std::size_t k, InfluenceScratch& scratch,
+                                   graph::NodeId first_pick) {
+  const std::size_t n = g.node_count();
+  ensure_capacity(scratch, n);
+  scratch.covered_list.clear();
+  scratch.seed_list.clear();
+
+  InfluenceResult result;
+  const auto cover = [&](graph::NodeId v) {
+    if (!scratch.covered[v]) {
+      scratch.covered[v] = 1;
+      scratch.covered_list.push_back(v);
+      ++result.covered;
+    }
+  };
+  for (const graph::NodeId s : seeds) {
+    if (s >= n) {
+      throw std::invalid_argument("influence_maximize: unknown seed");
+    }
+    if (scratch.is_seed[s]) continue;  // duplicates collapse deterministically
+    scratch.is_seed[s] = 1;
+    scratch.seed_list.push_back(s);
+    cover(s);
+    for (const graph::NodeId w : g.neighbors(s)) cover(w);
+  }
+
+  for (std::size_t round = 0; round < k; ++round) {
+    graph::NodeId best = kNoFirstPick;
+    std::uint64_t best_gain = 0;
+    if (scratch.covered_list.empty()) {
+      // No frontier yet (no initial seeds): the globally best-covering
+      // node, precomputed per snapshot on the serving path.
+      best = first_pick != kNoFirstPick ? first_pick : best_first_pick(g);
+      if (best != kNoFirstPick) best_gain = gain_of(g, scratch.covered, best);
+    } else {
+      // Frontier candidates: every covered node and its neighbors, i.e.
+      // distance <= 1 from the covered set, deduplicated with a per-round
+      // `seen` pass. Enumeration order is unspecified, so the tie-break is
+      // explicit: strictly greater gain wins, equal gain keeps the
+      // smaller id.
+      scratch.candidates.clear();
+      const auto consider = [&](graph::NodeId v) {
+        if (scratch.seen[v] || scratch.is_seed[v]) return;
+        scratch.seen[v] = 1;
+        scratch.candidates.push_back(v);
+        const std::uint64_t gain = gain_of(g, scratch.covered, v);
+        if (gain > best_gain || (gain == best_gain && gain > 0 && v < best)) {
+          best = v;
+          best_gain = gain;
+        }
+      };
+      for (const graph::NodeId c : scratch.covered_list) {
+        consider(c);
+        for (const graph::NodeId w : g.neighbors(c)) consider(w);
+      }
+      for (const graph::NodeId v : scratch.candidates) scratch.seen[v] = 0;
+    }
+    if (best == kNoFirstPick || best_gain == 0) break;  // coverage saturated
+    scratch.is_seed[best] = 1;
+    scratch.seed_list.push_back(best);
+    cover(best);
+    for (const graph::NodeId w : g.neighbors(best)) cover(w);
+    result.picks.push_back({best, best_gain});
+  }
+
+  for (const graph::NodeId v : scratch.covered_list) scratch.covered[v] = 0;
+  for (const graph::NodeId v : scratch.seed_list) scratch.is_seed[v] = 0;
+  scratch.covered_list.clear();
+  scratch.seed_list.clear();
+  return result;
+}
+
+}  // namespace san::apps

@@ -1,0 +1,77 @@
+// Frontier-bounded greedy influence maximization — the serving-layer
+// formulation of the paper's influence study (§5/Fig 13 motivates which
+// users move their neighborhoods; here we select WHO to seed so that a
+// one-hop broadcast reaches the most users).
+//
+// Spread model: a seed set S reaches exactly its closed neighborhood
+// ⋃_{s∈S} ({s} ∪ Γs(s)) over the undirected social view (the paper's
+// Γs(u)). Selection is the standard greedy: k rounds, each adding the
+// candidate with the largest marginal coverage gain. The candidate pool is
+// FRONTIER-BOUNDED — only nodes at distance <= 1 from the already-covered
+// set are considered, so a query never scans the whole network (the PR 3
+// serving rule) and selection never jumps to a disconnected component; it
+// stops early when no frontier candidate adds coverage. With an empty
+// seed set the first pick has no frontier, so it is the globally
+// best-covering node (max degree, smallest id on ties) — callers on a hot
+// path precompute it once per snapshot with best_first_pick and pass it
+// as the hint.
+//
+// Everything here is a pure deterministic function of (graph, seeds, k):
+// no RNG, ties broken toward the smallest node id, so results are
+// byte-identical at any SAN_THREADS / SAN_SIMD setting.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace san::apps {
+
+struct InfluencePick {
+  graph::NodeId node = 0;
+  std::uint64_t gain = 0;  // newly covered users when this seed was added
+
+  bool operator==(const InfluencePick&) const = default;
+};
+
+struct InfluenceResult {
+  std::vector<InfluencePick> picks;  // greedy additions, in selection order
+  std::uint64_t covered = 0;         // |closed neighborhood| of seeds+picks
+
+  bool operator==(const InfluenceResult&) const = default;
+};
+
+/// Dense per-query scratch: every call restores the all-zero invariant, so
+/// a serving lane reuses capacity across queries (same contract as
+/// RecommendScratch).
+struct InfluenceScratch {
+  std::vector<std::uint8_t> covered;   // node -> reached by current seeds
+  std::vector<std::uint8_t> is_seed;   // node -> already selected / given
+  std::vector<std::uint8_t> seen;      // per-round candidate dedup
+  std::vector<graph::NodeId> covered_list;
+  std::vector<graph::NodeId> seed_list;
+  std::vector<graph::NodeId> candidates;  // per-round
+};
+
+/// The hint value meaning "no precomputed first pick; scan here".
+inline constexpr graph::NodeId kNoFirstPick =
+    static_cast<graph::NodeId>(0xffffffffu);
+
+/// The globally best first seed of `g`: the node maximizing
+/// |{v} ∪ Γs(v)| = 1 + degree(v), smallest id on ties. Returns
+/// kNoFirstPick for an empty graph. O(nodes) — precompute once per
+/// snapshot when serving.
+graph::NodeId best_first_pick(const graph::CsrGraph& g);
+
+/// Greedily extend `seeds` (deduplicated; each must be < g.node_count())
+/// by up to `k` picks. `first_pick` must be best_first_pick(g) or
+/// kNoFirstPick (the hint only changes WHERE the first-round scan runs,
+/// never the result).
+InfluenceResult influence_maximize(const graph::CsrGraph& g,
+                                   std::span<const graph::NodeId> seeds,
+                                   std::size_t k, InfluenceScratch& scratch,
+                                   graph::NodeId first_pick = kNoFirstPick);
+
+}  // namespace san::apps

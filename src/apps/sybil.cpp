@@ -69,6 +69,41 @@ SybilLimitResult SybilLimit::evaluate_uniform(std::size_t count,
   return evaluate(flags);
 }
 
+SybilLimitResult SybilLimit::evaluate_region(
+    graph::NodeId user, std::vector<std::uint8_t>& flags,
+    std::vector<graph::NodeId>& touched) const {
+  const std::size_t n = topology_.node_count();
+  if (user >= n) {
+    throw std::invalid_argument("SybilLimit::evaluate_region: unknown user");
+  }
+  if (flags.size() < n) flags.resize(n, 0);
+  touched.clear();
+  const auto mark = [&](graph::NodeId u) {
+    if (!flags[u]) {
+      flags[u] = 1;
+      touched.push_back(u);
+    }
+  };
+  mark(user);
+  for (const graph::NodeId v : topology_.out(user)) mark(v);
+
+  SybilLimitResult result;
+  result.compromised = touched.size();
+  // Attack edges: ordered (compromised -> honest) links, walking only the
+  // region's adjacency — identical to evaluate()'s whole-network count
+  // because links from honest nodes never contribute there either.
+  for (const graph::NodeId u : touched) {
+    for (const graph::NodeId v : topology_.out(u)) {
+      if (!flags[v]) ++result.attack_edges;
+    }
+  }
+  result.sybil_identities = static_cast<double>(options_.route_length) *
+                            static_cast<double>(result.attack_edges);
+  for (const graph::NodeId u : touched) flags[u] = 0;
+  touched.clear();
+  return result;
+}
+
 std::vector<graph::NodeId> SybilLimit::random_route(
     graph::NodeId start, std::uint64_t instance) const {
   std::vector<graph::NodeId> route;

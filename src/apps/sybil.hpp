@@ -30,6 +30,8 @@ struct SybilLimitResult {
   std::uint64_t attack_edges = 0;
   double sybil_identities = 0.0;  // w * attack_edges
   std::size_t compromised = 0;
+
+  bool operator==(const SybilLimitResult&) const = default;
 };
 
 class SybilLimit {
@@ -45,6 +47,18 @@ class SybilLimit {
 
   /// Compromise `count` distinct nodes uniformly at random, then evaluate.
   SybilLimitResult evaluate_uniform(std::size_t count, stats::Rng& rng) const;
+
+  /// Per-query entry point (the serving layer's `sybil T USER`): the
+  /// adversary region is USER's closed neighborhood {USER} ∪ Γ(USER) in
+  /// the degree-bounded topology, and the result is EXACTLY
+  /// evaluate(flags) for flags marking that region — only computed by
+  /// walking the region's adjacency instead of scanning every node.
+  /// `flags`/`touched` are dense scratch (resized here, all-zero on entry,
+  /// restored to all-zero on return) so a serving lane reuses capacity
+  /// across queries. `user` must be < topology().node_count().
+  SybilLimitResult evaluate_region(graph::NodeId user,
+                                   std::vector<std::uint8_t>& flags,
+                                   std::vector<graph::NodeId>& touched) const;
 
   /// One random route of length w from `start`, using per-node pseudorandom
   /// permutation routing keyed by `instance`; returns the visited nodes

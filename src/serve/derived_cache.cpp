@@ -1,0 +1,153 @@
+#include "serve/derived_cache.hpp"
+
+#include <chrono>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "core/thread_pool.hpp"
+
+namespace san::serve {
+
+DerivedCache::DerivedCache(std::size_t capacity)
+    : capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("DerivedCache: capacity must be >= 1");
+  }
+}
+
+template <typename T, typename Build>
+std::shared_ptr<const T> DerivedCache::resolve(
+    std::shared_future<std::shared_ptr<const T>> Cell::* slot,
+    const Handle& snap, Build&& build) {
+  using Ptr = std::shared_ptr<const T>;
+  const SanSnapshot* key = snap.get();
+  std::optional<std::promise<Ptr>> promise;
+  std::shared_future<Ptr> shared;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it != index_.end() && (it->second->owner.expired() ||
+                               it->second->time != snap->time)) {
+      // The address carries a different network state now — either the
+      // owning snapshot died and the allocator reused its address, or a
+      // live timeline recycled this epoch buffer in place (same object,
+      // advanced tip). Drop the stale cell.
+      lru_.erase(it->second);
+      index_.erase(it);
+      it = index_.end();
+    }
+    if (it == index_.end()) {
+      if (lru_.size() >= capacity_) {
+        index_.erase(lru_.back().key);
+        lru_.pop_back();
+      }
+      lru_.push_front(Cell{key, snap, snap->time, {}, {}, {}});
+      it = index_.emplace(key, lru_.begin()).first;
+    } else {
+      lru_.splice(lru_.begin(), lru_, it->second);  // promote to MRU
+    }
+    auto& future = (*it->second).*slot;
+    if (future.valid()) {
+      hits_->add();
+      shared = future;
+    } else {
+      misses_->add();
+      promise.emplace();
+      future = std::shared_future<Ptr>(promise->get_future());
+    }
+  }
+  if (shared.valid()) {
+    if (!core::in_parallel_region() ||
+        shared.wait_for(std::chrono::seconds(0)) ==
+            std::future_status::ready) {
+      return shared.get();
+    }
+    // A pool lane must not block on a foreign in-flight build — the
+    // builder may be queued behind this very job. Build a private
+    // unregistered copy; the determinism contract makes it identical.
+    return build();
+  }
+  // Miss: build OUTSIDE the mutex so distinct snapshots (and distinct
+  // kinds of one snapshot) build concurrently.
+  Ptr value;
+  try {
+    value = build();
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = index_.find(key);
+      // Reset the slot (so a later request can retry) only if the cell is
+      // still ours — it may have been evicted and recreated meanwhile.
+      if (it != index_.end() && it->second->owner.lock() == snap &&
+          it->second->time == snap->time) {
+        (*it->second).*slot = {};
+      }
+    }
+    promise->set_exception(std::current_exception());
+    throw;
+  }
+  promise->set_value(value);
+  return value;
+}
+
+std::shared_ptr<const apps::SybilLimit> DerivedCache::sybil(
+    const Handle& snap, const apps::SybilLimitOptions& options) {
+  return resolve<apps::SybilLimit>(&Cell::sybil, snap, [&] {
+    return std::make_shared<const apps::SybilLimit>(snap->social, options);
+  });
+}
+
+std::shared_ptr<const CommunityState> DerivedCache::community(
+    const Handle& snap, const apps::CommunityOptions& options) {
+  return resolve<CommunityState>(&Cell::community, snap, [&] {
+    auto state = std::make_shared<CommunityState>();
+    state->result = apps::detect_communities(*snap, options);
+    state->size.assign(state->result.community_count, 0);
+    for (const std::uint32_t label : state->result.label) {
+      ++state->size[label];
+    }
+    return std::shared_ptr<const CommunityState>(std::move(state));
+  });
+}
+
+std::shared_ptr<const InfluenceState> DerivedCache::influence(
+    const Handle& snap) {
+  return resolve<InfluenceState>(&Cell::influence, snap, [&] {
+    auto state = std::make_shared<InfluenceState>();
+    state->first_pick = apps::best_first_pick(snap->social);
+    return std::shared_ptr<const InfluenceState>(std::move(state));
+  });
+}
+
+void DerivedCache::erase(const SanSnapshot* snapshot) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(snapshot);
+  if (it == index_.end()) return;
+  lru_.erase(it->second);
+  index_.erase(it);
+}
+
+void DerivedCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+}
+
+std::size_t DerivedCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+void DerivedCache::reset_stats() {
+  hits_->reset();
+  misses_->reset();
+}
+
+void DerivedCache::register_metrics(obs::Registry& registry,
+                                    const std::string& prefix) const {
+  registry.attach_counter(prefix + ".derived_hits", hits_);
+  registry.attach_counter(prefix + ".derived_misses", misses_);
+}
+
+}  // namespace san::serve

@@ -1,0 +1,63 @@
+// Reproducible scenario-workload generator (`san_tool genload`): instead
+// of hand-written traces, benches and tests draw whole workload FAMILIES
+// from a seeded model —
+//
+//   * Zipf-skewed user popularity (rank r drawn ∝ (r+1)^-zipf, ranks
+//     mapped to node ids by a seeded shuffle so hot users are scattered
+//     across the id space);
+//   * diurnal / bursty / uniform arrival processes over [0, horizon]
+//     days, arrival times mapped to the snapshot-day grid (floor), so a
+//     skewed workload concentrates on few days and stresses the LRU the
+//     way real traffic would;
+//   * a configurable query-kind mix over all seven served kinds and a
+//     read/ingest mix (ingest_fraction > 0 emits `ingest <tip>` lines
+//     with strictly increasing tips — live-replay grammar).
+//
+// Output is the EXISTING workload grammar (serve/query.hpp), byte-
+// identical for equal options: `san_tool serve` consumes it unchanged
+// when ingest_fraction == 0, `san_tool live` consumes it unchanged always.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "serve/query.hpp"
+
+namespace san::serve {
+
+enum class ArrivalModel : std::uint8_t {
+  kUniform = 0,  // flat intensity over the horizon
+  kDiurnal = 1,  // within-day sinusoid peak (thinned from uniform)
+  kBursty = 2,   // geometric bursts around uniformly placed centers
+};
+
+/// Parses "uniform" | "diurnal" | "bursty".
+bool parse_arrival(const char* text, ArrivalModel& out);
+
+struct GenloadOptions {
+  std::size_t queries = 1000;  // emitted steps (queries + ingest lines)
+  std::size_t nodes = 20000;   // user id space [0, nodes)
+  std::uint64_t seed = 42;
+  double zipf = 0.8;           // popularity skew exponent, >= 0 (0=uniform)
+  double horizon = 98.0;       // arrival window [0, horizon] days, > 0
+  ArrivalModel arrival = ArrivalModel::kDiurnal;
+  double now_fraction = 0.1;     // queries addressing the live tip, [0, 1]
+  double ingest_fraction = 0.0;  // steps emitted as ingest lines, [0, 1]
+  /// Query-kind mix weights indexed by QueryKind (need not sum to 1;
+  /// negative weights are invalid, sum must be > 0).
+  std::array<double, kQueryKindCount> mix = {40, 15, 15, 10, 5, 10, 5};
+};
+
+/// Parses a "kind:weight,kind:weight,..." mix spec (kinds as in
+/// to_string(QueryKind): linkrec/attrs/ego/recip/sybil/community/
+/// influence; unnamed kinds get weight 0). Returns false on unknown
+/// kinds, malformed or negative weights, or an all-zero mix.
+bool parse_mix(const char* text, std::array<double, kQueryKindCount>& out);
+
+/// The whole workload file as one string — byte-identical for equal
+/// options (the reproducibility contract genload's tests gate). Throws
+/// std::invalid_argument on out-of-range options.
+std::string generate_workload(const GenloadOptions& options);
+
+}  // namespace san::serve

@@ -56,8 +56,18 @@ std::uint64_t parse_u64(const std::string& token, std::size_t line_no,
 NodeId parse_node(const std::string& token, std::size_t line_no,
                   const char* what) {
   const std::uint64_t value = parse_u64(token, line_no, what);
-  if (value > 0xffffffffULL) bad_line(line_no, std::string(what) + " too big");
+  if (value > 0xffffffffULL) {
+    bad_line(line_no, std::string(what) + " '" + token + "' too big");
+  }
   return static_cast<NodeId>(value);
+}
+
+std::uint32_t parse_k(const std::string& token, std::size_t line_no) {
+  const std::uint64_t k = parse_u64(token, line_no, "k");
+  if (k == 0 || k > 0xffffffffULL) {
+    bad_line(line_no, "k '" + token + "' out of range");
+  }
+  return static_cast<std::uint32_t>(k);
 }
 
 }  // namespace
@@ -72,6 +82,12 @@ const char* to_string(QueryKind kind) {
       return "ego";
     case QueryKind::kReciprocity:
       return "recip";
+    case QueryKind::kSybil:
+      return "sybil";
+    case QueryKind::kCommunity:
+      return "community";
+    case QueryKind::kInfluence:
+      return "influence";
   }
   return "?";
 }
@@ -84,8 +100,24 @@ std::string QueryResult::to_line(const Query& query) const {
   } else {
     append_double(line, query.time);
   }
-  line += " u=";
-  append_u64(line, query.user);
+  if (kind == QueryKind::kInfluence) {
+    // No subject user: the query is identified by its pick budget and
+    // given seed set.
+    line += " k=";
+    append_u64(line, query.k);
+    line += " s=";
+    if (query.seeds.empty()) {
+      line += '-';
+    } else {
+      for (std::size_t i = 0; i < query.seeds.size(); ++i) {
+        if (i > 0) line += ',';
+        append_u64(line, query.seeds[i]);
+      }
+    }
+  } else {
+    line += " u=";
+    append_u64(line, query.user);
+  }
   if (kind == QueryKind::kReciprocity) {
     line += " v=";
     append_u64(line, query.other);
@@ -133,6 +165,32 @@ std::string QueryResult::to_line(const Query& query) const {
       line += " san=";
       append_double(line, reciprocity.san);
       break;
+    case QueryKind::kSybil:
+      line += " region=";
+      append_u64(line, sybil.compromised);
+      line += " attack=";
+      append_u64(line, sybil.attack_edges);
+      line += " sybils=";
+      append_double(line, sybil.sybil_identities);
+      break;
+    case QueryKind::kCommunity:
+      line += " label=";
+      append_u64(line, community.label);
+      line += " size=";
+      append_u64(line, community.size);
+      line += " of=";
+      append_u64(line, community.communities);
+      break;
+    case QueryKind::kInfluence:
+      for (const auto& pick : influence.picks) {
+        line += ' ';
+        append_u64(line, pick.node);
+        line += ':';
+        append_u64(line, pick.gain);
+      }
+      line += " covered=";
+      append_u64(line, influence.covered);
+      break;
   }
   return line;
 }
@@ -155,31 +213,44 @@ bool parse_step(const std::string& line, std::size_t line_no,
       bad_line(line_no, "ingest lines need live replay (san_tool live)");
     }
     step.ingest = true;
-    if (!(fields >> a)) bad_line(line_no, "expected TIP");
+    if (!(fields >> a)) bad_line(line_no, "'" + op + "' expects TIP");
     step.tip = parse_time(a, line_no);
   } else if (op == "linkrec" || op == "attrs") {
     q.kind = op == "linkrec" ? QueryKind::kLinkRec : QueryKind::kAttrInfer;
-    if (!(fields >> a >> b >> c)) bad_line(line_no, "expected TIME USER K");
+    if (!(fields >> a >> b >> c)) {
+      bad_line(line_no, "'" + op + "' expects TIME USER K");
+    }
     q.time = parse_time(a, line_no, &q.now);
     q.user = parse_node(b, line_no, "user");
-    const std::uint64_t k = parse_u64(c, line_no, "k");
-    if (k == 0 || k > 0xffffffffULL) bad_line(line_no, "k out of range");
-    q.k = static_cast<std::uint32_t>(k);
-  } else if (op == "ego") {
-    q.kind = QueryKind::kEgoMetrics;
-    if (!(fields >> a >> b)) bad_line(line_no, "expected TIME USER");
+    q.k = parse_k(c, line_no);
+  } else if (op == "ego" || op == "sybil" || op == "community") {
+    q.kind = op == "ego"     ? QueryKind::kEgoMetrics
+             : op == "sybil" ? QueryKind::kSybil
+                             : QueryKind::kCommunity;
+    if (!(fields >> a >> b)) bad_line(line_no, "'" + op + "' expects TIME USER");
     q.time = parse_time(a, line_no, &q.now);
     q.user = parse_node(b, line_no, "user");
   } else if (op == "recip") {
     q.kind = QueryKind::kReciprocity;
-    if (!(fields >> a >> b >> c)) bad_line(line_no, "expected TIME SRC DST");
+    if (!(fields >> a >> b >> c)) {
+      bad_line(line_no, "'" + op + "' expects TIME SRC DST");
+    }
     q.time = parse_time(a, line_no, &q.now);
     q.user = parse_node(b, line_no, "src");
     q.other = parse_node(c, line_no, "dst");
+  } else if (op == "influence") {
+    q.kind = QueryKind::kInfluence;
+    if (!(fields >> a >> b)) {
+      bad_line(line_no, "'" + op + "' expects TIME K [SEED...]");
+    }
+    q.time = parse_time(a, line_no, &q.now);
+    q.k = parse_k(b, line_no);
+    while (fields >> c) q.seeds.push_back(parse_node(c, line_no, "seed"));
+    return true;  // variable arity: every remaining token was consumed
   } else {
     bad_line(line_no, "unknown query kind '" + op + "'");
   }
-  if (fields >> extra) bad_line(line_no, "trailing tokens");
+  if (fields >> extra) bad_line(line_no, "trailing token '" + extra + "'");
   return true;
 }
 

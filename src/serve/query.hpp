@@ -7,6 +7,11 @@
 //   kAttrInfer   top-k attribute inference for a user (neighborhood vote);
 //   kEgoMetrics  degree/reciprocity/attribute counts of one ego;
 //   kReciprocity will the one-directional link src -> dst reciprocate?
+//   kSybil       accepted-Sybil bound for USER's region (Fig 19a) on the
+//                snapshot's cached degree-bounded topology;
+//   kCommunity   USER's label + community size from the snapshot's cached
+//                label-propagation run (§3.4);
+//   kInfluence   frontier-bounded greedy influence seed selection.
 //
 // Results render to one stable text line each (to_line): the serving CLI
 // prints them and the throughput bench compares batch output byte-for-byte
@@ -18,8 +23,10 @@
 #include <vector>
 
 #include "apps/attr_inference.hpp"
+#include "apps/influence_max.hpp"
 #include "apps/linkpred.hpp"
 #include "apps/reciprocity_pred.hpp"
+#include "apps/sybil.hpp"
 #include "san/san.hpp"
 
 namespace san::serve {
@@ -29,16 +36,24 @@ enum class QueryKind : std::uint8_t {
   kAttrInfer = 1,
   kEgoMetrics = 2,
   kReciprocity = 3,
+  kSybil = 4,
+  kCommunity = 5,
+  kInfluence = 6,
 };
+
+/// One past the largest QueryKind value — per-kind arrays size to this.
+inline constexpr std::size_t kQueryKindCount = 7;
 
 const char* to_string(QueryKind kind);
 
 /// One serving request. `user` is the subject (the link source for
 /// kReciprocity, whose target is `other`); `k` caps result size for the
-/// top-k kinds. The workload time token `now` parses to time = +infinity
-/// with `now` set: against a static timeline that resolves to the complete
-/// network, against a live binding (SnapshotCache::bind_live) to the
-/// latest published ingest epoch.
+/// top-k kinds and is the pick budget for kInfluence, whose optional
+/// given seed set rides in `seeds` (kInfluence has no `user`). The
+/// workload time token `now` parses to time = +infinity with `now` set:
+/// against a static timeline that resolves to the complete network,
+/// against a live binding (SnapshotCache::bind_live) to the latest
+/// published ingest epoch.
 struct Query {
   QueryKind kind = QueryKind::kEgoMetrics;
   double time = 0.0;
@@ -46,6 +61,7 @@ struct Query {
   NodeId other = 0;
   std::uint32_t k = 0;
   bool now = false;  // rendering flag: the time came from the `now` token
+  std::vector<NodeId> seeds;  // kInfluence: given seeds (may be empty)
 
   bool operator==(const Query&) const = default;
 };
@@ -61,6 +77,16 @@ struct EgoMetrics {
   bool operator==(const EgoMetrics&) const = default;
 };
 
+/// kCommunity payload: the subject's community in the snapshot's cached
+/// label-propagation run.
+struct CommunityMembership {
+  std::uint32_t label = 0;        // dense community id of `user`
+  std::uint64_t size = 0;         // members sharing that label
+  std::uint64_t communities = 0;  // total communities in the snapshot
+
+  bool operator==(const CommunityMembership&) const = default;
+};
+
 /// Result of one query. `ok` is false when the subject does not exist at
 /// the requested snapshot time (the payload is then empty); batch and
 /// single-query paths produce identical results, rendered identically.
@@ -73,6 +99,9 @@ struct QueryResult {
   apps::ReciprocityScore reciprocity;                     // kReciprocity
   bool link_present = false;   // kReciprocity: u -> v existed at `time`
   bool already_mutual = false; // kReciprocity: v -> u also existed
+  apps::SybilLimitResult sybil;                           // kSybil
+  CommunityMembership community;                          // kCommunity
+  apps::InfluenceResult influence;                        // kInfluence
 
   bool operator==(const QueryResult&) const = default;
 
@@ -82,15 +111,18 @@ struct QueryResult {
 
 /// Parse a workload file of one query per line:
 ///
-///   linkrec <time> <user> <k>
-///   attrs   <time> <user> <k>
-///   ego     <time> <user>
-///   recip   <time> <src> <dst>
+///   linkrec   <time> <user> <k>
+///   attrs     <time> <user> <k>
+///   ego       <time> <user>
+///   recip     <time> <src> <dst>
+///   sybil     <time> <user>
+///   community <time> <user>
+///   influence <time> <k> [<seed>...]
 ///
 /// <time> is a snapshot day or the token `now` (the live tip). Blank lines
 /// and lines starting with '#' are skipped. Malformed lines — including
 /// `ingest` lines, which only live replay accepts — throw
-/// std::invalid_argument naming the line number.
+/// std::invalid_argument naming the line number and the offending token.
 std::vector<Query> parse_workload(const std::string& text);
 
 /// parse_workload over the contents of `path` (throws std::runtime_error

@@ -18,7 +18,36 @@ namespace {
 struct ServeScratch {
   apps::RecommendScratch recommend;
   apps::InferenceScratch inference;
+  std::vector<std::uint8_t> sybil_flags;     // all-zero between queries
+  std::vector<NodeId> sybil_touched;
+  apps::InfluenceScratch influence;
 };
+
+/// The derived-state handles one snapshot group executes against —
+/// resolved through the cache's side-cache once per group, only for the
+/// kinds the group actually contains.
+struct DerivedHandles {
+  std::shared_ptr<const apps::SybilLimit> sybil;
+  std::shared_ptr<const CommunityState> community;
+  std::shared_ptr<const InfluenceState> influence;
+};
+
+DerivedHandles resolve_derived(SnapshotCache& cache,
+                               const std::shared_ptr<const SanSnapshot>& snap,
+                               const QueryEngineOptions& options,
+                               bool need_sybil, bool need_community,
+                               bool need_influence) {
+  DerivedHandles handles;
+  if (need_sybil) {
+    handles.sybil = cache.derived().sybil(snap, options.derived.sybil);
+  }
+  if (need_community) {
+    handles.community =
+        cache.derived().community(snap, options.derived.community);
+  }
+  if (need_influence) handles.influence = cache.derived().influence(snap);
+  return handles;
+}
 
 ServeScratch& lane_scratch() {
   thread_local ServeScratch scratch;
@@ -64,13 +93,19 @@ EgoMetrics ego_metrics(const SanSnapshot& snap, NodeId u,
 }
 
 QueryResult execute(const SanSnapshot& snap, const Query& query,
-                    const QueryEngineOptions& options, ServeScratch& scratch) {
+                    const QueryEngineOptions& options,
+                    const DerivedHandles& derived, ServeScratch& scratch) {
   QueryResult result;
   result.kind = query.kind;
   const std::size_t n = snap.social_node_count();
   if (query.user >= n ||
       (query.kind == QueryKind::kReciprocity && query.other >= n)) {
     return result;  // ok stays false: subject unknown at this snapshot
+  }
+  if (query.kind == QueryKind::kInfluence) {
+    for (const NodeId s : query.seeds) {
+      if (s >= n) return result;  // ok stays false: unknown seed
+    }
   }
   result.ok = true;
   switch (query.kind) {
@@ -97,8 +132,46 @@ QueryResult execute(const SanSnapshot& snap, const Query& query,
       result.already_mutual =
           result.link_present && snap.social.has_edge(query.other, query.user);
       break;
+    case QueryKind::kSybil:
+      result.sybil = derived.sybil->evaluate_region(
+          query.user, scratch.sybil_flags, scratch.sybil_touched);
+      break;
+    case QueryKind::kCommunity: {
+      const CommunityState& state = *derived.community;
+      result.community.label = state.result.label[query.user];
+      result.community.size = state.size[result.community.label];
+      result.community.communities = state.result.community_count;
+      break;
+    }
+    case QueryKind::kInfluence:
+      result.influence = apps::influence_maximize(
+          snap.social, query.seeds, query.k, scratch.influence,
+          derived.influence->first_pick);
+      break;
   }
   return result;
+}
+
+/// Which derived kinds a span of admission indices needs.
+void scan_needs(std::span<const Query> queries,
+                std::span<const std::uint32_t> indices, bool& need_sybil,
+                bool& need_community, bool& need_influence) {
+  need_sybil = need_community = need_influence = false;
+  for (const std::uint32_t i : indices) {
+    switch (queries[i].kind) {
+      case QueryKind::kSybil:
+        need_sybil = true;
+        break;
+      case QueryKind::kCommunity:
+        need_community = true;
+        break;
+      case QueryKind::kInfluence:
+        need_influence = true;
+        break;
+      default:
+        break;
+    }
+  }
 }
 
 }  // namespace
@@ -108,9 +181,13 @@ QueryEngine::QueryEngine(SnapshotCache& cache, QueryEngineOptions options)
 
 QueryResult QueryEngine::run_single(const Query& query) {
   const auto snap = cache_.at(query.time);
+  const DerivedHandles derived = resolve_derived(
+      cache_, snap, options_, query.kind == QueryKind::kSybil,
+      query.kind == QueryKind::kCommunity,
+      query.kind == QueryKind::kInfluence);
   obs::ScopedTimer timer(
       query_ns_[static_cast<std::size_t>(query.kind)].get());
-  return execute(*snap, query, options_, lane_scratch());
+  return execute(*snap, query, options_, derived, lane_scratch());
 }
 
 void QueryEngine::register_metrics(obs::Registry& registry,
@@ -168,13 +245,23 @@ std::vector<QueryResult> QueryEngine::run_batch(
     for (std::size_t j = 0; j < count; ++j) {
       const auto& snap = snapshots[j];
       const auto& indices = groups[g0 + j].second;
+      // Derived state resolves ONCE per group, before the data-parallel
+      // fan-out, so lanes share one immutable build instead of racing
+      // (or privately duplicating) it.
+      bool need_sybil = false, need_community = false, need_influence = false;
+      scan_needs(queries, indices, need_sybil, need_community,
+                 need_influence);
+      const DerivedHandles derived =
+          resolve_derived(cache_, snap, options_, need_sybil, need_community,
+                          need_influence);
       core::parallel_for(
           indices.size(),
           [&](std::size_t i_of) {
             const std::uint32_t i = indices[i_of];
             obs::ScopedTimer timer(
                 query_ns_[static_cast<std::size_t>(queries[i].kind)].get());
-            results[i] = execute(*snap, queries[i], options_, lane_scratch());
+            results[i] = execute(*snap, queries[i], options_, derived,
+                                 lane_scratch());
           },
           kQueryGrain);
     }

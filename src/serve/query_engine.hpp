@@ -29,6 +29,10 @@ struct QueryEngineOptions {
   apps::LinkPredictionWeights link_weights;
   apps::AttributeInferenceOptions inference;  // top_k comes from the query
   apps::ReciprocityWeights reciprocity_weights;
+  /// sybil/community builder options for the per-snapshot derived-state
+  /// side-cache. Cells are keyed by snapshot only, so every engine sharing
+  /// one SnapshotCache must use identical DerivedOptions.
+  DerivedOptions derived;
 };
 
 class QueryEngine {
@@ -47,8 +51,9 @@ class QueryEngine {
 
   /// Attach this engine's service-latency telemetry to `registry`:
   /// `<prefix>.query.<kind>` per-query execute latency (one histogram per
-  /// QueryKind, named with to_string: linkrec/attrs/ego/recip) and
-  /// `<prefix>.batch` admission-to-completion latency per run_batch call.
+  /// QueryKind, named with to_string: linkrec/attrs/ego/recip/sybil/
+  /// community/influence) and `<prefix>.batch` admission-to-completion
+  /// latency per run_batch call.
   /// Latencies record only while obs::timing_enabled(); attach is
   /// per-instance (two engines under different prefixes stay independent).
   void register_metrics(obs::Registry& registry,
@@ -60,9 +65,12 @@ class QueryEngine {
   // One latency histogram per QueryKind, indexed by the enum value, plus
   // whole-batch admission-to-completion. Lock-free per-thread rows, so the
   // data-parallel batch lanes record without contention.
-  std::array<std::shared_ptr<obs::Histogram>, 4> query_ns_ = {
-      std::make_shared<obs::Histogram>(), std::make_shared<obs::Histogram>(),
-      std::make_shared<obs::Histogram>(), std::make_shared<obs::Histogram>()};
+  std::array<std::shared_ptr<obs::Histogram>, kQueryKindCount> query_ns_ =
+      [] {
+        std::array<std::shared_ptr<obs::Histogram>, kQueryKindCount> a;
+        for (auto& h : a) h = std::make_shared<obs::Histogram>();
+        return a;
+      }();
   std::shared_ptr<obs::Histogram> batch_ns_ =
       std::make_shared<obs::Histogram>();
 };

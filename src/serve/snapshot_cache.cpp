@@ -13,7 +13,9 @@
 namespace san::serve {
 
 SnapshotCache::SnapshotCache(const SanTimeline& timeline, std::size_t capacity)
-    : timeline_(timeline), capacity_(capacity) {
+    : timeline_(timeline),
+      capacity_(capacity),
+      derived_(std::max<std::size_t>(capacity, 1)) {
   if (capacity == 0) {
     throw std::invalid_argument("SnapshotCache: capacity must be >= 1");
   }
@@ -104,6 +106,9 @@ std::shared_ptr<const SanSnapshot> SnapshotCache::at(double time) {
     if (!promise) return handle;  // unregistered duplicate: no insert
     if (lru_.size() >= capacity_) {
       evictions_->add();
+      // Derived state is invalidated WITH its snapshot's eviction, so the
+      // side-cache never pins state for days the LRU has given up on.
+      derived_.erase(lru_.back().snapshot.get());
       index_.erase(lru_.back().time);
       lru_.pop_back();
     }
@@ -128,6 +133,8 @@ SnapshotCache::Stats SnapshotCache::stats() const {
   out.evictions = evictions_->value();
   out.peak_inflight = static_cast<std::uint64_t>(peak_inflight_->value());
   out.live_hits = live_hits_->value();
+  out.derived_hits = derived_.hits();
+  out.derived_misses = derived_.misses();
   return out;
 }
 
@@ -139,6 +146,7 @@ void SnapshotCache::reset_stats() {
   live_hits_->reset();
   peak_inflight_->reset();
   materialize_ns_->reset();
+  derived_.reset_stats();
 }
 
 void SnapshotCache::clear() {
@@ -147,6 +155,7 @@ void SnapshotCache::clear() {
     lru_.clear();
     index_.clear();
   }
+  derived_.clear();
   reset_stats();
 }
 
@@ -159,6 +168,7 @@ void SnapshotCache::register_metrics(obs::Registry& registry,
   registry.attach_counter(prefix + ".live_hits", live_hits_);
   registry.attach_gauge(prefix + ".peak_inflight", peak_inflight_);
   registry.attach_histogram(prefix + ".materialize", materialize_ns_);
+  derived_.register_metrics(registry, prefix);
 }
 
 void SnapshotCache::bind_live(const LiveTipSource& live) {

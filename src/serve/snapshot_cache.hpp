@@ -31,6 +31,7 @@
 
 #include "obs/metrics.hpp"
 #include "san/timeline.hpp"
+#include "serve/derived_cache.hpp"
 
 namespace san {
 class LiveTipSource;
@@ -55,6 +56,11 @@ class SnapshotCache {
     /// Requests past the live horizon, resolved to the published ingest
     /// epoch with one atomic load (never through the materializing path).
     std::uint64_t live_hits = 0;
+    /// Derived-state side-cache traffic (serve/derived_cache.hpp): a hit
+    /// means a sybil/community/influence query reused state already built
+    /// for its snapshot.
+    std::uint64_t derived_hits = 0;
+    std::uint64_t derived_misses = 0;
   };
 
   /// `capacity` >= 1 snapshots are kept resident; the timeline must outlive
@@ -70,6 +76,12 @@ class SnapshotCache {
   std::size_t capacity() const { return capacity_; }
   std::size_t size() const;
   Stats stats() const;
+
+  /// The per-snapshot derived-state side-cache (sybil topology, community
+  /// labels, influence first pick). Cells are keyed by snapshot identity
+  /// and dropped the moment at() evicts their snapshot; live-tip epochs
+  /// get cells too, bounded by the side-cache's own LRU (same capacity).
+  DerivedCache& derived() { return derived_; }
 
   /// One coherent zero-point for every stat, including the lock-free
   /// live_hits path: all counters advance their obs epoch baselines in
@@ -143,6 +155,8 @@ class SnapshotCache {
   std::shared_ptr<obs::Gauge> peak_inflight_ = std::make_shared<obs::Gauge>();
   std::shared_ptr<obs::Histogram> materialize_ns_ =
       std::make_shared<obs::Histogram>();
+
+  DerivedCache derived_;
 
   mutable std::mutex mutex_;
   // Idle Materializer pool (guarded by mutex_); one is checked out per

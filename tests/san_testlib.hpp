@@ -69,6 +69,50 @@ inline std::vector<serve::Query> mixed_queries(std::size_t count,
   return queries;
 }
 
+/// Mixed workload over ALL seven served kinds: the four classic kinds in
+/// roughly the mixed_queries() proportions plus sybil / community /
+/// influence (influence with 0-3 seeds drawn over the full id space).
+/// Users over the full id space, so early days exercise unknown-node
+/// (and unknown-seed) paths too.
+inline std::vector<serve::Query> full_mixed_queries(
+    std::size_t count, std::size_t node_count, std::span<const double> days,
+    std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<serve::Query> queries;
+  queries.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    serve::Query q;
+    q.time = days[rng.uniform_index(days.size())];
+    q.user = static_cast<NodeId>(rng.uniform_index(node_count));
+    const std::uint64_t mix = rng.uniform_index(100);
+    if (mix < 30) {
+      q.kind = serve::QueryKind::kLinkRec;
+      q.k = 10;
+    } else if (mix < 45) {
+      q.kind = serve::QueryKind::kAttrInfer;
+      q.k = 5;
+    } else if (mix < 60) {
+      q.kind = serve::QueryKind::kEgoMetrics;
+    } else if (mix < 70) {
+      q.kind = serve::QueryKind::kReciprocity;
+      q.other = static_cast<NodeId>(rng.uniform_index(node_count));
+    } else if (mix < 80) {
+      q.kind = serve::QueryKind::kSybil;
+    } else if (mix < 90) {
+      q.kind = serve::QueryKind::kCommunity;
+    } else {
+      q.kind = serve::QueryKind::kInfluence;
+      q.k = 1 + rng.uniform_index(4);
+      const std::uint64_t seeds = rng.uniform_index(4);
+      for (std::uint64_t s = 0; s < seeds; ++s) {
+        q.seeds.push_back(static_cast<NodeId>(rng.uniform_index(node_count)));
+      }
+    }
+    queries.push_back(q);
+  }
+  return queries;
+}
+
 /// FNV-style fingerprint over every observable span of a snapshot —
 /// adjacency (out/in/neighbors), attribute lists, members_of order, and
 /// the headline counts — so byte-identity gates can compare whole sweeps

@@ -1,0 +1,225 @@
+// Scenario-workload generator contract: equal options produce a byte-
+// identical file (the reproducibility gate CI scenarios rely on), the
+// output always parses through the UNCHANGED serve/live grammar, and the
+// statistical knobs (Zipf skew, kind mix, read/ingest mix, arrival
+// window) land within loose tolerances on their targets.
+#include "serve/genload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using san::NodeId;
+using san::serve::ArrivalModel;
+using san::serve::GenloadOptions;
+using san::serve::Query;
+using san::serve::QueryKind;
+using san::serve::WorkloadStep;
+using san::serve::generate_workload;
+using san::serve::kQueryKindCount;
+using san::serve::parse_arrival;
+using san::serve::parse_live_workload;
+using san::serve::parse_mix;
+using san::serve::parse_workload;
+
+TEST(Genload, EqualOptionsProduceByteIdenticalFiles) {
+  GenloadOptions options;
+  options.queries = 500;
+  options.nodes = 3'000;
+  options.ingest_fraction = 0.2;
+  options.arrival = ArrivalModel::kBursty;
+  const std::string a = generate_workload(options);
+  const std::string b = generate_workload(options);
+  EXPECT_EQ(a, b);
+
+  options.seed = 43;
+  EXPECT_NE(generate_workload(options), a);
+}
+
+TEST(Genload, HeaderRecordsTheGeneratingOptions) {
+  GenloadOptions options;
+  options.queries = 10;
+  const std::string text = generate_workload(options);
+  ASSERT_EQ(text.rfind("# genload ", 0), 0u);
+  const std::string header = text.substr(0, text.find('\n'));
+  EXPECT_NE(header.find("queries=10"), std::string::npos);
+  EXPECT_NE(header.find("seed=42"), std::string::npos);
+  EXPECT_NE(header.find("arrival=diurnal"), std::string::npos);
+}
+
+TEST(Genload, PureQueryOutputParsesAsServeWorkload) {
+  for (const ArrivalModel arrival :
+       {ArrivalModel::kUniform, ArrivalModel::kDiurnal,
+        ArrivalModel::kBursty}) {
+    GenloadOptions options;
+    options.queries = 400;
+    options.nodes = 500;
+    options.arrival = arrival;
+    options.ingest_fraction = 0.0;
+    const std::string text = generate_workload(options);
+    const std::vector<Query> queries = parse_workload(text);
+    ASSERT_EQ(queries.size(), options.queries);
+    for (const Query& q : queries) {
+      if (!q.now) {
+        EXPECT_GE(q.time, 0.0);
+        EXPECT_LE(q.time, options.horizon);
+        EXPECT_EQ(q.time, std::floor(q.time));  // snapshot-day grid
+      }
+      EXPECT_LT(q.user, options.nodes);
+      for (const NodeId s : q.seeds) EXPECT_LT(s, options.nodes);
+    }
+    // Arrivals are emitted sorted: live replay needs advancing time.
+    for (std::size_t i = 1; i < queries.size(); ++i) {
+      if (queries[i].now || queries[i - 1].now) continue;
+      EXPECT_GE(queries[i].time, queries[i - 1].time);
+    }
+  }
+}
+
+TEST(Genload, IngestOutputParsesAsLiveWorkloadWithAdvancingTips) {
+  GenloadOptions options;
+  options.queries = 600;
+  options.nodes = 400;
+  options.ingest_fraction = 0.3;
+  const std::string text = generate_workload(options);
+  const std::vector<WorkloadStep> steps = parse_live_workload(text);
+  ASSERT_EQ(steps.size(), options.queries);
+
+  double last_tip = 0.0;
+  std::size_t ingest_lines = 0;
+  for (const WorkloadStep& step : steps) {
+    if (!step.ingest) continue;
+    ++ingest_lines;
+    EXPECT_GT(step.tip, last_tip);  // strictly advancing, never a tie
+    EXPECT_LE(step.tip, options.horizon);
+    last_tip = step.tip;
+  }
+  // Around 30% of steps, minus arrivals that tied an existing tip.
+  EXPECT_GT(ingest_lines, options.queries / 6);
+  EXPECT_LT(ingest_lines, options.queries / 2);
+
+  // The same file is NOT plain serve grammar once ingest lines exist.
+  EXPECT_THROW(parse_workload(text), std::invalid_argument);
+}
+
+TEST(Genload, MixWeightsShapeTheKindDistribution) {
+  GenloadOptions options;
+  options.queries = 1'000;
+  options.nodes = 200;
+  options.mix = {};  // all zero...
+  options.mix[static_cast<std::size_t>(QueryKind::kSybil)] = 1.0;
+  options.mix[static_cast<std::size_t>(QueryKind::kInfluence)] = 1.0;
+  const auto queries = parse_workload(generate_workload(options));
+
+  std::map<QueryKind, std::size_t> count;
+  for (const Query& q : queries) ++count[q.kind];
+  ASSERT_EQ(count.size(), 2u);
+  const double sybil_share =
+      static_cast<double>(count[QueryKind::kSybil]) / queries.size();
+  EXPECT_GT(sybil_share, 0.40);
+  EXPECT_LT(sybil_share, 0.60);
+  EXPECT_EQ(count[QueryKind::kSybil] + count[QueryKind::kInfluence],
+            queries.size());
+}
+
+TEST(Genload, ZipfSkewConcentratesOnFewUsers) {
+  GenloadOptions base;
+  base.queries = 2'000;
+  base.nodes = 1'000;
+  base.now_fraction = 0.0;
+  base.mix = {};
+  base.mix[static_cast<std::size_t>(QueryKind::kEgoMetrics)] = 1.0;
+
+  const auto share_of_top = [&](double zipf) {
+    GenloadOptions options = base;
+    options.zipf = zipf;
+    std::map<NodeId, std::size_t> hits;
+    for (const Query& q : parse_workload(generate_workload(options))) {
+      ++hits[q.user];
+    }
+    std::vector<std::size_t> counts;
+    for (const auto& [user, n] : hits) counts.push_back(n);
+    std::sort(counts.rbegin(), counts.rend());
+    std::size_t top = 0;
+    for (std::size_t i = 0; i < std::min<std::size_t>(10, counts.size());
+         ++i) {
+      top += counts[i];
+    }
+    return static_cast<double>(top) / base.queries;
+  };
+
+  const double uniform_top = share_of_top(0.0);
+  const double skewed_top = share_of_top(1.2);
+  // 10 of 1000 users: ~1% of draws when uniform, a large multiple when
+  // Zipf-skewed.
+  EXPECT_LT(uniform_top, 0.05);
+  EXPECT_GT(skewed_top, 3.0 * uniform_top);
+}
+
+TEST(Genload, NowFractionControlsLiveTipQueries) {
+  GenloadOptions options;
+  options.queries = 1'000;
+  options.nodes = 300;
+  options.now_fraction = 0.25;
+  std::size_t now_count = 0;
+  for (const Query& q : parse_workload(generate_workload(options))) {
+    if (q.now) ++now_count;
+  }
+  EXPECT_GT(now_count, 150u);
+  EXPECT_LT(now_count, 350u);
+}
+
+TEST(Genload, RejectsOutOfRangeOptions) {
+  const auto reject = [](auto mutate) {
+    GenloadOptions options;
+    mutate(options);
+    EXPECT_THROW(generate_workload(options), std::invalid_argument);
+  };
+  reject([](GenloadOptions& o) { o.nodes = 0; });
+  reject([](GenloadOptions& o) { o.zipf = -0.5; });
+  reject([](GenloadOptions& o) { o.horizon = 0.0; });
+  reject([](GenloadOptions& o) { o.now_fraction = 1.5; });
+  reject([](GenloadOptions& o) { o.ingest_fraction = -0.1; });
+  reject([](GenloadOptions& o) { o.mix = {}; });
+  reject([](GenloadOptions& o) { o.mix[0] = -1.0; });
+}
+
+TEST(Genload, ParseMixAcceptsKindNamesAndRejectsGarbage) {
+  std::array<double, kQueryKindCount> mix{};
+  ASSERT_TRUE(parse_mix("linkrec:3,sybil:1.5", mix));
+  EXPECT_EQ(mix[static_cast<std::size_t>(QueryKind::kLinkRec)], 3.0);
+  EXPECT_EQ(mix[static_cast<std::size_t>(QueryKind::kSybil)], 1.5);
+  EXPECT_EQ(mix[static_cast<std::size_t>(QueryKind::kCommunity)], 0.0);
+
+  ASSERT_TRUE(parse_mix("influence:1", mix));
+  EXPECT_EQ(mix[static_cast<std::size_t>(QueryKind::kLinkRec)], 0.0);
+
+  EXPECT_FALSE(parse_mix("", mix));
+  EXPECT_FALSE(parse_mix("linkrec", mix));          // no weight
+  EXPECT_FALSE(parse_mix("warp:1", mix));           // unknown kind
+  EXPECT_FALSE(parse_mix("linkrec:-1", mix));       // negative
+  EXPECT_FALSE(parse_mix("linkrec:abc", mix));      // not a number
+  EXPECT_FALSE(parse_mix("linkrec:0,ego:0", mix));  // all zero
+}
+
+TEST(Genload, ParseArrivalIsStrict) {
+  ArrivalModel arrival = ArrivalModel::kUniform;
+  EXPECT_TRUE(parse_arrival("diurnal", arrival));
+  EXPECT_EQ(arrival, ArrivalModel::kDiurnal);
+  EXPECT_TRUE(parse_arrival("bursty", arrival));
+  EXPECT_EQ(arrival, ArrivalModel::kBursty);
+  EXPECT_TRUE(parse_arrival("uniform", arrival));
+  EXPECT_EQ(arrival, ArrivalModel::kUniform);
+  EXPECT_FALSE(parse_arrival("poisson", arrival));
+  EXPECT_FALSE(parse_arrival("", arrival));
+  EXPECT_FALSE(parse_arrival(nullptr, arrival));
+}
+
+}  // namespace

@@ -505,6 +505,57 @@ TEST(Workload, RejectsMalformedLines) {
                std::invalid_argument);
 }
 
+TEST(Workload, ParsesSybilCommunityInfluenceLines) {
+  const auto queries = san::serve::parse_workload(
+      "sybil 40 7\n"
+      "community now 9\n"
+      "influence 98 3\n"
+      "influence 98 2 4 8 15\n");
+  ASSERT_EQ(queries.size(), 4u);
+  EXPECT_EQ(queries[0].kind, QueryKind::kSybil);
+  EXPECT_EQ(queries[0].time, 40.0);
+  EXPECT_EQ(queries[0].user, 7u);
+  EXPECT_EQ(queries[1].kind, QueryKind::kCommunity);
+  EXPECT_TRUE(queries[1].now);
+  EXPECT_EQ(queries[1].user, 9u);
+  EXPECT_EQ(queries[2].kind, QueryKind::kInfluence);
+  EXPECT_EQ(queries[2].k, 3u);
+  EXPECT_TRUE(queries[2].seeds.empty());
+  EXPECT_EQ(queries[3].k, 2u);
+  EXPECT_EQ(queries[3].seeds, (std::vector<NodeId>{4, 8, 15}));
+
+  EXPECT_THROW(san::serve::parse_workload("sybil 40\n"),
+               std::invalid_argument);
+  EXPECT_THROW(san::serve::parse_workload("community 40 7 9\n"),
+               std::invalid_argument);
+  EXPECT_THROW(san::serve::parse_workload("influence 98 0\n"),
+               std::invalid_argument);
+  EXPECT_THROW(san::serve::parse_workload("influence 98\n"),
+               std::invalid_argument);
+}
+
+TEST(Workload, MalformedLinesNameTheLineAndOffendingToken) {
+  const auto message_of = [](const std::string& text) {
+    try {
+      (void)san::serve::parse_workload(text);
+    } catch (const std::invalid_argument& e) {
+      return std::string(e.what());
+    }
+    return std::string("<no throw>");
+  };
+  constexpr auto npos = std::string::npos;
+  // Every diagnostic carries the 1-based line number...
+  EXPECT_NE(message_of("ego 1 2\nwarp 1 2\n").find("line 2"), npos);
+  // ...and quotes the token that broke the parse, not just a category.
+  EXPECT_NE(message_of("warp 1 2\n").find("'warp'"), npos);
+  EXPECT_NE(message_of("linkrec abc 2 3\n").find("'abc'"), npos);
+  EXPECT_NE(message_of("ego 1 2x\n").find("'2x'"), npos);
+  EXPECT_NE(message_of("ego 1 2 3\n").find("'3'"), npos);  // trailing
+  EXPECT_NE(message_of("linkrec 1 2 0\n").find("'0'"), npos);  // k range
+  EXPECT_NE(message_of("influence 1 2 5x\n").find("'5x'"), npos);  // seed
+  EXPECT_NE(message_of("recip 1 -2 3\n").find("'-2'"), npos);
+}
+
 TEST(Workload, NowTokenParsesToInfinityWithFlag) {
   const auto queries = san::serve::parse_workload("ego now 9\n");
   ASSERT_EQ(queries.size(), 1u);

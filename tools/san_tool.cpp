@@ -11,6 +11,9 @@
 //            [--trace FILE] [--stats-every N]
 //   san_tool serve FILE --workload W [--cache N] [--batch B]
 //            [--stats-json FILE] [--trace FILE] [--stats-every N]
+//   san_tool genload [--queries N] [--nodes N] [--seed S] [--zipf Z]
+//            [--mix SPEC] [--arrival MODEL] [--horizon D] [--now F]
+//            [--ingest F] -o FILE
 //
 // Files use the SANv1 text format (san/serialization.hpp); workload files
 // use the serve/query.hpp line format. Malformed numbers, unknown
@@ -50,6 +53,7 @@
 #include "san/san_metrics.hpp"
 #include "san/serialization.hpp"
 #include "san/timeline.hpp"
+#include "serve/genload.hpp"
 #include "serve/query_engine.hpp"
 #include "stats/fit.hpp"
 
@@ -202,16 +206,53 @@ constexpr SubcommandDoc kSubcommands[] = {
      "Workload grammar (serve/query.hpp): blank lines and lines starting\n"
      "with '#' are skipped; every other line is one of\n"
      "\n"
-     "  linkrec <time> <user> <k>   top-k friend recommendation\n"
-     "  attrs   <time> <user> <k>   top-k attribute inference\n"
-     "  ego     <time> <user>       ego degree/reciprocity/2-hop metrics\n"
-     "  recip   <time> <src> <dst>  will src -> dst reciprocate?\n"
+     "  linkrec   <time> <user> <k>   top-k friend recommendation\n"
+     "  attrs     <time> <user> <k>   top-k attribute inference\n"
+     "  ego       <time> <user>       ego degree/reciprocity/2-hop metrics\n"
+     "  recip     <time> <src> <dst>  will src -> dst reciprocate?\n"
+     "  sybil     <time> <user>       accepted-Sybil bound for user's\n"
+     "                                region (cached degree-bounded\n"
+     "                                topology)\n"
+     "  community <time> <user>       user's label + community size\n"
+     "                                (cached label-propagation run)\n"
+     "  influence <time> <k> [s...]   frontier-bounded greedy influence\n"
+     "                                seeds (optional given seed list)\n"
      "\n"
      "<time> is a day on the snapshot grid (bit-exact cache key; NaN is\n"
      "rejected) or the token `now` (the complete network here; the latest\n"
      "published epoch under `live`), ids are the dense SANv1 node ids, and\n"
      "<k> must be > 0. Malformed lines fail the load with their line\n"
-     "number (exit 1).\n"},
+     "number and the offending token (exit 1).\n"},
+    {"genload",
+     "san_tool genload [--queries N] [--nodes N] [--seed S] [--zipf Z]"
+     " [--mix SPEC] [--arrival MODEL] [--horizon D] [--now F] [--ingest F]"
+     " -o FILE",
+     "generate a reproducible scenario workload file",
+     "Generates a seeded scenario workload in the `serve`/`live` grammar:\n"
+     "Zipf-skewed user popularity over a shuffled id space, arrival times\n"
+     "from a diurnal, bursty, or uniform process mapped onto the\n"
+     "snapshot-day grid, a configurable query-kind mix over all seven\n"
+     "kinds, and an optional read/ingest mix. Equal seed + flags produce\n"
+     "a byte-identical file; with --ingest 0 the file is plain `serve`\n"
+     "grammar, otherwise it gains strictly-advancing `ingest <tip>` lines\n"
+     "for `live`.\n"
+     "\n"
+     "  --queries N        steps to emit (default: 1000)\n"
+     "  --nodes N          user id space [0, N), > 0 (default: 20000)\n"
+     "  --seed S           RNG seed (default: 42)\n"
+     "  --zipf Z           popularity skew exponent, >= 0; 0 = uniform\n"
+     "                     (default: 0.8)\n"
+     "  --mix SPEC         query-kind mix `kind:weight,...` over\n"
+     "                     linkrec/attrs/ego/recip/sybil/community/\n"
+     "                     influence; omitted kinds get weight 0\n"
+     "                     (default: 40:15:15:10:5:10:5 in that order)\n"
+     "  --arrival MODEL    uniform|diurnal|bursty (default: diurnal)\n"
+     "  --horizon D        arrival window [0, D] days, > 0 (default: 98)\n"
+     "  --now F            fraction of queries addressing the live tip\n"
+     "                     via the `now` token, in [0, 1] (default: 0.1)\n"
+     "  --ingest F         fraction of steps emitted as `ingest` lines,\n"
+     "                     in [0, 1] (default: 0)\n"
+     "  -o FILE            output workload path (required)\n"},
 };
 
 void print_synopses(std::FILE* stream) {
@@ -769,6 +810,78 @@ int cmd_live(int argc, char** argv, const char* path) {
   return run_live_session(live, replay, steps, cache, batch_size, telemetry);
 }
 
+int cmd_genload(int argc, char** argv) {
+  serve::GenloadOptions options;
+  const char* queries_text = flag_value(argc, argv, "--queries", "1000");
+  const char* nodes_text = flag_value(argc, argv, "--nodes", "20000");
+  const char* seed_text = flag_value(argc, argv, "--seed", "42");
+  const char* zipf_text = flag_value(argc, argv, "--zipf", "0.8");
+  const char* horizon_text = flag_value(argc, argv, "--horizon", "98");
+  const char* now_text = flag_value(argc, argv, "--now", "0.1");
+  const char* ingest_text = flag_value(argc, argv, "--ingest", "0");
+  const char* mix_text = flag_value(argc, argv, "--mix", nullptr);
+  const char* arrival_text = flag_value(argc, argv, "--arrival", "diurnal");
+  if (!parse_size(queries_text, options.queries)) {
+    return complain("invalid --queries '%s'", queries_text);
+  }
+  if (!parse_size(nodes_text, options.nodes) || options.nodes == 0) {
+    return complain("invalid --nodes '%s' (need an integer > 0)", nodes_text);
+  }
+  if (!parse_u64(seed_text, options.seed)) {
+    return complain("invalid --seed '%s'", seed_text);
+  }
+  if (!parse_double(zipf_text, options.zipf) || !(options.zipf >= 0.0)) {
+    return complain("invalid --zipf '%s' (need a number >= 0)", zipf_text);
+  }
+  if (!parse_double(horizon_text, options.horizon) ||
+      !(options.horizon > 0.0)) {
+    return complain("invalid --horizon '%s' (need a number > 0)",
+                    horizon_text);
+  }
+  if (!parse_double(now_text, options.now_fraction) ||
+      !(options.now_fraction >= 0.0 && options.now_fraction <= 1.0)) {
+    return complain("invalid --now '%s' (need a fraction in [0, 1])",
+                    now_text);
+  }
+  if (!parse_double(ingest_text, options.ingest_fraction) ||
+      !(options.ingest_fraction >= 0.0 && options.ingest_fraction <= 1.0)) {
+    return complain("invalid --ingest '%s' (need a fraction in [0, 1])",
+                    ingest_text);
+  }
+  if (mix_text != nullptr && !serve::parse_mix(mix_text, options.mix)) {
+    return complain("invalid --mix '%s' (need kind:weight,... over known"
+                    " kinds, weights >= 0, not all zero)",
+                    mix_text);
+  }
+  if (!serve::parse_arrival(arrival_text, options.arrival)) {
+    return complain("invalid --arrival '%s' (need uniform|diurnal|bursty)",
+                    arrival_text);
+  }
+  const char* out = flag_value(argc, argv, "-o", nullptr);
+  if (out == nullptr) return complain("%s requires -o FILE", "genload");
+
+  const std::string text = serve::generate_workload(options);
+  std::FILE* file = std::fopen(out, "w");
+  if (file == nullptr) return complain("unwritable output path '%s'", out);
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), file);
+  const bool flushed = std::fclose(file) == 0;
+  if (written != text.size() || !flushed) {
+    std::fprintf(stderr, "error: short write to %s\n", out);
+    return 1;
+  }
+  std::size_t ingest_lines = 0, query_lines = 0;
+  for (const auto& step : serve::parse_live_workload(text)) {
+    if (step.ingest) ++ingest_lines;
+    else ++query_lines;
+  }
+  std::printf("wrote %s: %zu queries, %zu ingest lines (seed %llu, %s"
+              " arrivals, zipf %.3g)\n",
+              out, query_lines, ingest_lines,
+              static_cast<unsigned long long>(options.seed), arrival_text,
+              options.zipf);
+  return 0;
+}
+
 int missing_file(const char* command) {
   return complain("%s requires a positional FILE argument", command);
 }
@@ -814,6 +927,7 @@ int main(int argc, char** argv) {
     if (command == "live") {
       return has_file ? cmd_live(argc, argv, argv[2]) : missing_file("live");
     }
+    if (command == "genload") return cmd_genload(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

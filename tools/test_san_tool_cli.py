@@ -21,7 +21,7 @@ SAN_TOOL = None
 
 SUBCOMMANDS = [
     "generate", "measure", "snapshots", "crawl", "communities", "live",
-    "serve",
+    "serve", "genload",
 ]
 
 
@@ -184,6 +184,119 @@ def test_end_to_end(tmp):
            1, ["strictly"])
 
 
+def test_genload_usage_errors():
+    expect("genload without -o -> exit 2", run("genload"), 2,
+           ["requires -o"])
+    expect("genload garbage --zipf -> exit 2",
+           run("genload", "--zipf", "hot", "-o", "w.txt"), 2,
+           ["invalid --zipf"])
+    expect("genload negative --zipf -> exit 2",
+           run("genload", "--zipf", "-1", "-o", "w.txt"), 2,
+           ["invalid --zipf"])
+    expect("genload unknown kind in --mix -> exit 2",
+           run("genload", "--mix", "warp:1", "-o", "w.txt"), 2,
+           ["invalid --mix"])
+    expect("genload malformed --mix -> exit 2",
+           run("genload", "--mix", "linkrec", "-o", "w.txt"), 2,
+           ["invalid --mix"])
+    expect("genload bad --arrival -> exit 2",
+           run("genload", "--arrival", "poisson", "-o", "w.txt"), 2,
+           ["invalid --arrival"])
+    expect("genload garbage --queries -> exit 2",
+           run("genload", "--queries", "12x", "-o", "w.txt"), 2,
+           ["invalid --queries"])
+    expect("genload out-of-range --ingest -> exit 2",
+           run("genload", "--ingest", "1.5", "-o", "w.txt"), 2,
+           ["invalid --ingest"])
+    expect("genload unwritable output -> exit 2",
+           run("genload", "-o", "/nonexistent-dir/w.txt"), 2,
+           ["unwritable"])
+
+
+def test_genload_pipeline(tmp):
+    """genload is seed-reproducible and its output drives serve and live
+    through the unchanged workload grammar."""
+    san = os.path.join(tmp, "scen.san")
+    expect("genload: generate net -> exit 0",
+           run("generate", "--kind", "gplus", "--nodes", "1500", "--seed",
+               "9", "-o", san), 0, ["wrote"])
+
+    w1 = os.path.join(tmp, "scen_a.txt")
+    w2 = os.path.join(tmp, "scen_b.txt")
+    args = ["--queries", "120", "--nodes", "1500", "--seed", "7",
+            "--zipf", "1.0", "--arrival", "bursty"]
+    expect("genload -> exit 0", run("genload", *args, "-o", w1), 0,
+           ["wrote", "queries"])
+    expect("genload again -> exit 0", run("genload", *args, "-o", w2), 0)
+    with open(w1, "rb") as f:
+        bytes1 = f.read()
+    with open(w2, "rb") as f:
+        bytes2 = f.read()
+    check("genload same seed -> byte-identical files", bytes1 == bytes2)
+    other = run("genload", "--queries", "120", "--nodes", "1500", "--seed",
+                "8", "-o", w2)
+    expect("genload other seed -> exit 0", other, 0)
+    with open(w2, "rb") as f:
+        check("genload different seed -> different file",
+              f.read() != bytes1)
+
+    serve = run("serve", san, "--workload", w1)
+    expect("genload -> serve consumes unchanged", serve, 0, ["queries/s"])
+    check("serve answered every generated query",
+          len(serve.stdout.strip().splitlines()) == 120,
+          f"got {len(serve.stdout.strip().splitlines())}")
+
+    wl = os.path.join(tmp, "scen_live.txt")
+    expect("genload --ingest -> exit 0",
+           run("genload", "--queries", "120", "--nodes", "1500", "--seed",
+               "7", "--ingest", "0.3", "-o", wl), 0, ["ingest lines"])
+    live = run("live", san, "--workload", wl)
+    expect("genload --ingest -> live consumes unchanged", live, 0,
+           ["live tip", "events/s"])
+
+
+def test_new_query_kinds(tmp):
+    """sybil / community / influence serve end-to-end with their
+    documented result tokens, and malformed lines fail naming the token."""
+    san = os.path.join(tmp, "kinds.san")
+    expect("new kinds: generate -> exit 0",
+           run("generate", "--kind", "gplus", "--nodes", "1200", "--seed",
+               "3", "-o", san), 0, ["wrote"])
+    workload = os.path.join(tmp, "kinds_wl.txt")
+    with open(workload, "w", encoding="utf-8") as f:
+        f.write("sybil 98 3\ncommunity now 3\ninfluence 98 2\n"
+                "influence now 2 3 9\n")
+    serve = run("serve", san, "--workload", workload)
+    expect("new kinds serve -> exit 0", serve, 0, ["queries/s"])
+    lines = serve.stdout.strip().splitlines()
+    check("new kinds: one line per query", len(lines) == 4,
+          f"got {len(lines)}")
+    if len(lines) == 4:
+        check("sybil line renders region/attack/sybils",
+              lines[0].startswith("sybil t=98 u=3 region=")
+              and " attack=" in lines[0] and " sybils=" in lines[0],
+              lines[0])
+        check("community line renders label/size/of",
+              lines[1].startswith("community t=now u=3 label=")
+              and " size=" in lines[1] and " of=" in lines[1], lines[1])
+        check("influence line renders picks and coverage",
+              lines[2].startswith("influence t=98 k=2 s=-")
+              and " covered=" in lines[2], lines[2])
+        check("influence seeds echo in the query header",
+              lines[3].startswith("influence t=now k=2 s=3,9"), lines[3])
+
+    # Malformed K / seed lists fail the workload load (the established
+    # runtime-failure contract) and the diagnostic names the token.
+    with open(workload, "w", encoding="utf-8") as f:
+        f.write("influence 98 2 5x\n")
+    expect("malformed seed -> exit 1 naming token",
+           run("serve", san, "--workload", workload), 1, ["'5x'", "line 1"])
+    with open(workload, "w", encoding="utf-8") as f:
+        f.write("sybil 98 3 9\n")
+    expect("trailing token -> exit 1 naming token",
+           run("serve", san, "--workload", workload), 1, ["'9'"])
+
+
 def test_telemetry(tmp):
     """--stats-json/--trace/--stats-every: valid artifacts, identical
     stdout, the documented key schema."""
@@ -275,9 +388,12 @@ def main():
     SAN_TOOL = sys.argv[1]
     test_help_pages()
     test_usage_errors()
+    test_genload_usage_errors()
     with tempfile.TemporaryDirectory() as tmp:
         test_runtime_failures(tmp)
         test_end_to_end(tmp)
+        test_genload_pipeline(tmp)
+        test_new_query_kinds(tmp)
         test_telemetry(tmp)
     if FAILURES:
         print(f"{len(FAILURES)} CLI contract checks failed", file=sys.stderr)
