@@ -1,0 +1,263 @@
+// Socket serving latency gate: starts serve::Server on a loopback
+// ephemeral port, fires a genload scenario at it from an OPEN-LOOP client
+// (the writer paces query lines at the configured rate regardless of how
+// fast responses come back — the arrival process the p999 numbers are
+// meaningless without), and reports client-observed p50/p99/p999
+// turnaround per (rate x --max-delay-us) configuration through
+// obs::Histogram, alongside the server-side turnaround/batch-flush
+// histograms.
+//
+// Self-gating (exit 1 on violation), per configuration:
+//   1. the concatenated response stream is byte-identical to offline
+//      file replay (the cmd_serve batched path) over the same scenario;
+//   2. the graceful drain loses zero accepted queries (stats().queries
+//      equals the scenario's query count, dropped_responses == 0).
+// The latency numbers themselves are informational — an open-loop run on
+// a 1-core CI container measures scheduler noise, so they are reported
+// (and uploaded) but never baseline-gated.
+//
+// Scale with SAN_BENCH_NODES (default 60k) and SAN_LATENCY_QUERIES
+// (default 4k). `--json OUT` writes the metrics.
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "obs/metrics.hpp"
+#include "san/timeline.hpp"
+#include "san_testlib.hpp"
+#include "serve/genload.hpp"
+#include "serve/query.hpp"
+#include "serve/query_engine.hpp"
+#include "serve/server.hpp"
+#include "serve/snapshot_cache.hpp"
+
+namespace {
+
+using namespace san;
+using Clock = std::chrono::steady_clock;
+
+std::size_t query_count() {
+  if (const char* env = std::getenv("SAN_LATENCY_QUERIES")) {
+    const long value = std::atol(env);
+    if (value > 0) return static_cast<std::size_t>(value);
+  }
+  return 4'000;
+}
+
+int connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+bool send_all(int fd, const char* data, std::size_t size) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t w = ::send(fd, data + off, size - off, MSG_NOSIGNAL);
+    if (w < 0 && errno == EINTR) continue;
+    if (w <= 0) return false;
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+struct RunResult {
+  std::string response;       // full response stream, byte-for-byte
+  double p50_us = 0.0;        // client-observed turnaround percentiles
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  std::uint64_t served = 0;   // server stats after the drain
+  std::uint64_t dropped = 0;
+  std::uint64_t batches = 0;
+};
+
+/// One open-loop run: the writer thread paces one query line per
+/// 1/rate_qps seconds on the wire; the reader records, for the i-th
+/// response line, now - scheduled_send(i) — queueing delay when the
+/// server falls behind counts, exactly as an external client would see.
+RunResult open_loop_run(serve::QueryEngine& engine,
+                        const std::vector<std::string>& lines,
+                        std::uint64_t max_delay_us, double rate_qps) {
+  serve::ServerOptions options;
+  options.max_delay_us = max_delay_us;
+  serve::Server server(engine, options);
+  std::thread loop([&] { server.run(); });
+
+  const int fd = connect_loopback(server.port());
+  if (fd < 0) {
+    std::fprintf(stderr, "FAIL: cannot connect to 127.0.0.1:%u\n",
+                 static_cast<unsigned>(server.port()));
+    std::exit(1);
+  }
+
+  const auto start = Clock::now();
+  std::vector<Clock::time_point> scheduled(lines.size());
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    scheduled[i] =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(i / rate_qps));
+  }
+  std::thread writer([&] {
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      std::this_thread::sleep_until(scheduled[i]);
+      if (!send_all(fd, lines[i].data(), lines[i].size())) return;
+    }
+    ::shutdown(fd, SHUT_WR);
+  });
+
+  obs::Histogram turnaround;
+  RunResult out;
+  std::size_t answered = 0;
+  char buf[16384];
+  for (;;) {
+    const ssize_t r = ::recv(fd, buf, sizeof buf, 0);
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) break;
+    const auto now = Clock::now();
+    const std::size_t before = out.response.size();
+    out.response.append(buf, static_cast<std::size_t>(r));
+    // Every newline in this chunk completes one response; responses come
+    // back in admission order, one per query line.
+    for (std::size_t i = before; i < out.response.size(); ++i) {
+      if (out.response[i] != '\n' || answered >= scheduled.size()) continue;
+      const auto waited = now - scheduled[answered];
+      turnaround.record(static_cast<std::uint64_t>(
+          std::max<std::int64_t>(
+              0, std::chrono::duration_cast<std::chrono::nanoseconds>(waited)
+                     .count())));
+      ++answered;
+    }
+  }
+  writer.join();
+  ::close(fd);
+  server.request_drain();
+  loop.join();
+
+  out.p50_us = turnaround.percentile(0.50) / 1e3;
+  out.p99_us = turnaround.percentile(0.99) / 1e3;
+  out.p999_us = turnaround.percentile(0.999) / 1e3;
+  const auto stats = server.stats();
+  out.served = stats.queries;
+  out.dropped = stats.dropped_responses;
+  out.batches = stats.batches;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::signal(SIGPIPE, SIG_IGN);
+  bench::JsonReport report;
+
+  std::printf("generating synthetic Google+ ground truth (%zu nodes)...\n",
+              bench::scale());
+  const auto net = testlib::synthetic_gplus(bench::scale(), 7);
+  const SanTimeline timeline(net);
+  serve::SnapshotCache cache(timeline, 8);
+  serve::QueryEngine engine(cache);
+
+  serve::GenloadOptions scenario;
+  scenario.queries = query_count();
+  scenario.nodes = net.social_node_count();
+  scenario.seed = 1234;
+  scenario.now_fraction = 0.1;
+  const std::string text = serve::generate_workload(scenario);
+
+  // The protocol unit is the line: ship the scenario one line at a time
+  // so the writer's pacing is per query. Comment/blank lines (the genload
+  // header) are dropped — they draw no response, and the reader matches
+  // the i-th response to the i-th line sent.
+  std::vector<std::string> lines;
+  std::vector<serve::Query> queries;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    const std::size_t end = nl == std::string::npos ? text.size() : nl + 1;
+    const std::size_t mark = text.find_first_not_of(" \t\r\n", pos);
+    if (mark != std::string::npos && mark < end && text[mark] != '#') {
+      lines.push_back(text.substr(pos, end - pos));
+    }
+    pos = end;
+  }
+  for (const auto& step : serve::parse_live_workload(text)) {
+    queries.push_back(step.query);
+  }
+
+  std::string expected;
+  {
+    const auto results = engine.run_batch(
+        std::span<const serve::Query>(queries.data(), queries.size()));
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      expected += results[i].to_line(queries[i]);
+      expected += '\n';
+    }
+  }
+  std::printf("scenario: %zu queries, offline reference rendered\n",
+              queries.size());
+
+  bool failed = false;
+  for (const double rate : {2'000.0, 10'000.0}) {
+    for (const std::uint64_t max_delay_us : {0ull, 2'000ull}) {
+      const auto run = open_loop_run(engine, lines, max_delay_us, rate);
+      const std::string tag = "serve_latency.rate" +
+                              std::to_string(static_cast<int>(rate)) +
+                              ".delay" + std::to_string(max_delay_us);
+      std::printf(
+          "rate %6.0f qps, max-delay %4llu us: p50 %8.1f us, p99 %8.1f us,"
+          " p999 %8.1f us (%llu batches)\n",
+          rate, static_cast<unsigned long long>(max_delay_us), run.p50_us,
+          run.p99_us, run.p999_us,
+          static_cast<unsigned long long>(run.batches));
+      // Informational: latency on a shared CI core is not gate material.
+      report.add(tag + ".p50_us", run.p50_us);
+      report.add(tag + ".p99_us", run.p99_us);
+      report.add(tag + ".p999_us", run.p999_us);
+
+      if (run.response != expected) {
+        std::fprintf(stderr,
+                     "FAIL: socket response stream is not byte-identical to"
+                     " offline serve (rate %.0f, max-delay %llu us)\n",
+                     rate, static_cast<unsigned long long>(max_delay_us));
+        failed = true;
+      }
+      if (run.served != queries.size() || run.dropped != 0) {
+        std::fprintf(
+            stderr,
+            "FAIL: drain lost queries: served %llu of %zu, dropped %llu\n",
+            static_cast<unsigned long long>(run.served), queries.size(),
+            static_cast<unsigned long long>(run.dropped));
+        failed = true;
+      }
+    }
+  }
+
+  if (failed) return 1;
+  std::printf("byte-identity and zero-loss drain held across all"
+              " configurations\n");
+  if (!report.write_if_requested(argc, argv)) return 1;
+  return 0;
+}

@@ -42,14 +42,20 @@ class JsonReport {
       std::fprintf(stderr, "FAIL: cannot write --json file '%s'\n", path);
       return false;
     }
-    std::fputs("{\n", out);
-    for (std::size_t i = 0; i < metrics_.size(); ++i) {
-      std::fprintf(out, "  \"%s\": %.17g%s\n", metrics_[i].first.c_str(),
-                   metrics_[i].second,
-                   i + 1 < metrics_.size() ? "," : "");
+    // Checked writes: a truncated metrics file on a full disk must fail
+    // the bench run, not gate CI on half a JSON object.
+    bool ok = std::fputs("{\n", out) >= 0;
+    for (std::size_t i = 0; ok && i < metrics_.size(); ++i) {
+      ok = std::fprintf(out, "  \"%s\": %.17g%s\n", metrics_[i].first.c_str(),
+                        metrics_[i].second,
+                        i + 1 < metrics_.size() ? "," : "") >= 0;
     }
-    std::fputs("}\n", out);
-    std::fclose(out);
+    ok = ok && std::fputs("}\n", out) >= 0;
+    ok = std::fclose(out) == 0 && ok;
+    if (!ok) {
+      std::fprintf(stderr, "FAIL: short write to --json file '%s'\n", path);
+      return false;
+    }
     std::printf("wrote %zu metrics to %s\n", metrics_.size(), path);
     return true;
   }

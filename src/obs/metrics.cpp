@@ -142,13 +142,20 @@ bool Registry::write_json(const char* path) const {
     std::fprintf(stderr, "FAIL: cannot write stats JSON file '%s'\n", path);
     return false;
   }
-  std::fputs("{\n", out);
-  for (std::size_t i = 0; i < flat.size(); ++i) {
-    std::fprintf(out, "  \"%s\": %.17g%s\n", flat[i].first.c_str(),
-                 flat[i].second, i + 1 < flat.size() ? "," : "");
+  // Every write and the close are checked: fopen succeeding says nothing
+  // about a full disk or a revoked descriptor, and a truncated stats file
+  // must fail the run, not parse as a smaller one.
+  bool ok = std::fputs("{\n", out) >= 0;
+  for (std::size_t i = 0; ok && i < flat.size(); ++i) {
+    ok = std::fprintf(out, "  \"%s\": %.17g%s\n", flat[i].first.c_str(),
+                      flat[i].second, i + 1 < flat.size() ? "," : "") >= 0;
   }
-  std::fputs("}\n", out);
-  std::fclose(out);
+  ok = ok && std::fputs("}\n", out) >= 0;
+  ok = std::fclose(out) == 0 && ok;
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: short write to stats JSON file '%s'\n", path);
+    return false;
+  }
   return true;
 }
 

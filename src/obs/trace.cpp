@@ -139,8 +139,14 @@ bool write_chrome_trace(const char* path) {
     std::fprintf(stderr, "FAIL: cannot write trace file '%s'\n", path);
     return false;
   }
-  std::fputs(json.c_str(), out);
-  std::fclose(out);
+  // Checked like the stats export: a full disk or closed descriptor at
+  // write/close time must fail loudly, not leave a truncated trace.
+  bool ok = std::fputs(json.c_str(), out) >= 0;
+  ok = std::fclose(out) == 0 && ok;
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: short write to trace file '%s'\n", path);
+    return false;
+  }
   return true;
 }
 

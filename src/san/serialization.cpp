@@ -48,6 +48,10 @@ void save_san(const SocialAttributeNetwork& network, const std::string& path) {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("save_san: cannot open " + path);
   save_san(network, out);
+  // Opening writable says nothing about the writes themselves: surface a
+  // full disk as a failure instead of leaving a truncated SANv1 file.
+  out.flush();
+  if (!out) throw std::runtime_error("save_san: short write to " + path);
 }
 
 SocialAttributeNetwork load_san(std::istream& in) {

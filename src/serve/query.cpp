@@ -227,7 +227,9 @@ bool parse_step(const std::string& line, std::size_t line_no,
     q.kind = op == "ego"     ? QueryKind::kEgoMetrics
              : op == "sybil" ? QueryKind::kSybil
                              : QueryKind::kCommunity;
-    if (!(fields >> a >> b)) bad_line(line_no, "'" + op + "' expects TIME USER");
+    if (!(fields >> a >> b)) {
+      bad_line(line_no, "'" + op + "' expects TIME USER");
+    }
     q.time = parse_time(a, line_no, &q.now);
     q.user = parse_node(b, line_no, "user");
   } else if (op == "recip") {
@@ -292,6 +294,11 @@ std::vector<WorkloadStep> parse_live_workload(const std::string& text) {
     }
   }
   return steps;
+}
+
+bool parse_workload_line(const std::string& line, std::size_t line_no,
+                         WorkloadStep& step) {
+  return parse_step(line, line_no, /*allow_ingest=*/true, step);
 }
 
 std::vector<Query> load_workload(const std::string& path) {

@@ -143,6 +143,16 @@ struct WorkloadStep {
 /// parse_workload plus `ingest <tip>` lines, in admission order.
 std::vector<WorkloadStep> parse_live_workload(const std::string& text);
 
+/// Parse ONE line of the live grammar, the entry point the socket server
+/// (serve/server.hpp) uses as lines arrive over a connection. Returns
+/// false for blank and comment lines (nothing parsed), true with `step`
+/// filled otherwise. Malformed lines throw std::invalid_argument carrying
+/// exactly the message parse_live_workload would produce for the same
+/// line at position `line_no` — the server echoes it back verbatim, so a
+/// socket client sees the same line-numbered diagnostics as file replay.
+bool parse_workload_line(const std::string& line, std::size_t line_no,
+                         WorkloadStep& step);
+
 /// parse_live_workload over the contents of `path`.
 std::vector<WorkloadStep> load_live_workload(const std::string& path);
 

@@ -66,6 +66,7 @@ def main():
     # should name all regressed metrics and all broken result files at
     # once, not reveal them one re-run at a time.
     failures = 0
+    skipped = 0
     current = {}
     for path in args.results:
         try:
@@ -87,7 +88,13 @@ def main():
         if isinstance(spec, dict):
             floor = spec["floor"]
             if name not in current:
-                print(f"skip  {name}: not reported (host lacks the level)")
+                # Loud on purpose: a floor-gated metric that vanished from
+                # the JSON must be visible in the log, not quietly green —
+                # only the final summary line says whether that is expected
+                # (host lacks the ISA level) or a bench stopped reporting.
+                print(f"SKIPPED (metric missing)  {name}: floor-gated in "
+                      f"the baseline but absent from every results file")
+                skipped += 1
             elif current[name] < floor:
                 print(f"FAIL  {name}: {current[name]:.3f} < hard floor "
                       f"{floor:.3f}")
@@ -118,7 +125,11 @@ def main():
         print(f"{failures} bench check(s) failed (tolerance "
               f"{args.tolerance:.0%})", file=sys.stderr)
         return 1
-    print("all gated bench metrics within tolerance")
+    if skipped:
+        print(f"all gated bench metrics within tolerance "
+              f"({skipped} floor metric(s) SKIPPED: missing from results)")
+    else:
+        print("all gated bench metrics within tolerance")
     return 0
 
 

@@ -11,6 +11,9 @@
 //            [--trace FILE] [--stats-every N]
 //   san_tool serve FILE --workload W [--cache N] [--batch B]
 //            [--stats-json FILE] [--trace FILE] [--stats-every N]
+//   san_tool listen FILE [--port P] [--start D] [--cache N] [--batch B]
+//            [--max-delay-us U] [--publish-every K] [--shards N]
+//            [--stats-json FILE] [--trace FILE]
 //   san_tool genload [--queries N] [--nodes N] [--seed S] [--zipf Z]
 //            [--mix SPEC] [--arrival MODEL] [--horizon D] [--now F]
 //            [--ingest F] -o FILE
@@ -29,6 +32,7 @@
 // from the subcommand table documented in README.md.
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -55,6 +59,7 @@
 #include "san/timeline.hpp"
 #include "serve/genload.hpp"
 #include "serve/query_engine.hpp"
+#include "serve/server.hpp"
 #include "stats/fit.hpp"
 
 namespace {
@@ -223,6 +228,63 @@ constexpr SubcommandDoc kSubcommands[] = {
      "published epoch under `live`), ids are the dense SANv1 node ids, and\n"
      "<k> must be > 0. Malformed lines fail the load with their line\n"
      "number and the offending token (exit 1).\n"},
+    {"listen",
+     "san_tool listen FILE [--port P] [--start D] [--cache N] [--batch B]"
+     " [--max-delay-us U] [--publish-every K] [--shards N]"
+     " [--stats-json FILE] [--trace FILE]",
+     "serve the query grammar over a loopback TCP socket",
+     "Serves the `serve`/`live` workload grammar over a newline-delimited\n"
+     "protocol on a 127.0.0.1 TCP listener (serve::Server): one query or\n"
+     "`ingest` line in, one result line out, rendered by the same code as\n"
+     "file replay — piping a `genload` scenario over the socket yields\n"
+     "response lines byte-identical to `serve`/`live` on the same file.\n"
+     "Malformed lines come back as `ERR workload line N: <message>` with\n"
+     "the same per-connection line numbers and messages file replay\n"
+     "prints, instead of an exit. The first stderr line is\n"
+     "`listening on 127.0.0.1:<port>` once the socket is ready.\n"
+     "\n"
+     "Queries from all connections are admission-batched into\n"
+     "QueryEngine::run_batch: a batch flushes when it reaches --batch\n"
+     "queries or --max-delay-us after its first admission, whichever\n"
+     "comes first. Slow consumers get bounded outbound buffers and are\n"
+     "disconnected (counted) rather than wedging the loop. SIGTERM or\n"
+     "SIGINT drains gracefully: stop accepting, serve every line already\n"
+     "received, flush responses, print final stats — no accepted query\n"
+     "is dropped.\n"
+     "\n"
+     "  --port P            listen port; 0 = kernel-assigned ephemeral\n"
+     "                      port, printed on stderr (default: 0)\n"
+     "  --start D           live binding: seed the frozen history up to\n"
+     "                      day D and route `ingest` lines through\n"
+     "                      san::LiveTimeline exactly like `live --start\n"
+     "                      D`. Without it the complete network serves\n"
+     "                      statically and ingest lines are errors.\n"
+     "  --cache N           frozen snapshots kept resident (default: 8)\n"
+     "  --batch B           admission batch flush size (default: 1024)\n"
+     "  --max-delay-us U    admission batch flush deadline in\n"
+     "                      microseconds; 0 = flush every loop pass\n"
+     "                      (default: 1000)\n"
+     "  --publish-every K   live: batches per published epoch (default: 1)\n"
+     "  --shards N          live: ingest shards, >= 1 (default: 1)\n"
+     "  --max-line-bytes N  protocol line cap; longer lines get an ERR\n"
+     "                      and a disconnect (default: 65536)\n"
+     "  --max-outbound-bytes N  per-connection outbound buffer cap before\n"
+     "                      a slow-consumer disconnect (default: 1048576)\n"
+     "  --drain-timeout-ms N  bound on the final drain write-out\n"
+     "                      (default: 5000)\n"
+     "  --sndbuf BYTES      SO_SNDBUF for accepted sockets, 0 = kernel\n"
+     "                      default (tests shrink it to force\n"
+     "                      backpressure)\n"
+     "  --stats-json FILE   write the flat JSON telemetry snapshot on\n"
+     "                      exit — cache/serve keys as in `serve` plus\n"
+     "                      the server.* schema: accepted, closed,\n"
+     "                      slow_disconnects, oversize_disconnects,\n"
+     "                      queries, ingests, parse_errors, batches,\n"
+     "                      backpressure, dropped_responses,\n"
+     "                      open_connections, and turnaround /\n"
+     "                      batch_flush latency percentiles (enables\n"
+     "                      latency capture)\n"
+     "  --trace FILE        write a Chrome trace-event JSON on exit\n"},
     {"genload",
      "san_tool genload [--queries N] [--nodes N] [--seed S] [--zipf Z]"
      " [--mix SPEC] [--arrival MODEL] [--horizon D] [--now F] [--ingest F]"
@@ -353,6 +415,20 @@ bool parse_size(const char* text, std::size_t& out) {
   }
   out = static_cast<std::size_t>(value);
   return true;
+}
+
+/// With SIGPIPE ignored a dead stdout (closed pipe, full disk) surfaces
+/// as a buffered-stdio error instead of killing the process; flush after
+/// every result batch so truncation fails the run instead of looking
+/// like success.
+bool flush_stdout() {
+  return std::fflush(stdout) == 0 && std::ferror(stdout) == 0;
+}
+
+int broken_stdout() {
+  std::fprintf(stderr,
+               "error: short write to stdout (closed pipe or full disk)\n");
+  return 1;
 }
 
 int cmd_generate(int argc, char** argv) {
@@ -628,6 +704,7 @@ int cmd_serve(int argc, char** argv, const char* path) {
     for (std::size_t i = 0; i < results.size(); ++i) {
       std::printf("%s\n", results[i].to_line(queries[served + i]).c_str());
     }
+    if (!flush_stdout()) return broken_stdout();
     served += count;
     ++batches;
     if (telemetry.stats_every != 0 && batches % telemetry.stats_every == 0) {
@@ -673,7 +750,7 @@ int run_live_session(auto& live, LiveReplay& replay, const auto& steps,
   std::size_t served = 0, ingested_events = 0, ingest_steps = 0;
   double query_seconds = 0.0, ingest_seconds = 0.0;
   std::vector<serve::Query> queued;
-  const auto flush_queries = [&] {
+  const auto flush_queries = [&]() -> bool {
     std::size_t done = 0;
     const auto begin = std::chrono::steady_clock::now();
     while (done < queued.size()) {
@@ -690,6 +767,7 @@ int run_live_session(auto& live, LiveReplay& replay, const auto& steps,
                          .count();
     served += queued.size();
     queued.clear();
+    return flush_stdout();
   };
 
   for (const auto& step : steps) {
@@ -697,7 +775,7 @@ int run_live_session(auto& live, LiveReplay& replay, const auto& steps,
       queued.push_back(step.query);
       continue;
     }
-    flush_queries();
+    if (!flush_queries()) return broken_stdout();
     IngestBatch batch = replay.batch_until(step.tip);
     ingested_events += batch.social_nodes.size() +
                        batch.social_links.size() +
@@ -722,7 +800,7 @@ int run_live_session(auto& live, LiveReplay& replay, const auto& steps,
                    snapshot_value(snap, "cache.misses"));
     }
   }
-  flush_queries();
+  if (!flush_queries()) return broken_stdout();
   live.publish();
 
   const auto live_stats = live.stats();
@@ -810,6 +888,192 @@ int cmd_live(int argc, char** argv, const char* path) {
   return run_live_session(live, replay, steps, cache, batch_size, telemetry);
 }
 
+/// The running server, for the SIGTERM/SIGINT handler. request_drain()
+/// is async-signal-safe (one eventfd write), so the handler body is too.
+serve::Server* g_server = nullptr;
+
+/// Shared tail of `listen`: install the drain signal handlers, announce
+/// the bound port (the first stderr line, so harnesses can scrape it),
+/// run the event loop until a drain completes, print final stats.
+int run_server(serve::Server& server, obs::Registry& registry,
+               const TelemetryOptions& telemetry) {
+  g_server = &server;
+  struct sigaction action {};
+  action.sa_handler = [](int) {
+    if (g_server != nullptr) g_server->request_drain();
+  };
+  sigemptyset(&action.sa_mask);
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+
+  std::fprintf(stderr, "listening on 127.0.0.1:%u\n",
+               static_cast<unsigned>(server.port()));
+  std::fflush(stderr);
+  server.run();
+  g_server = nullptr;
+
+  const auto stats = server.stats();
+  std::fprintf(
+      stderr,
+      "drained: %llu connections (%llu slow, %llu oversize), %llu queries"
+      " in %llu batches, %llu ingests, %llu parse errors,"
+      " %llu backpressure stalls, %llu dropped responses; kernels: %s\n",
+      static_cast<unsigned long long>(stats.accepted),
+      static_cast<unsigned long long>(stats.slow_disconnects),
+      static_cast<unsigned long long>(stats.oversize_disconnects),
+      static_cast<unsigned long long>(stats.queries),
+      static_cast<unsigned long long>(stats.batches),
+      static_cast<unsigned long long>(stats.ingests),
+      static_cast<unsigned long long>(stats.parse_errors),
+      static_cast<unsigned long long>(stats.backpressure),
+      static_cast<unsigned long long>(stats.dropped_responses),
+      core::simd::level_name(core::simd::active_level()));
+  return export_telemetry(registry, telemetry);
+}
+
+// The live-bound server session, shared by the single-writer and sharded
+// ingest paths the same way run_live_session is.
+int run_listen_live(auto& live, LiveReplay& replay,
+                    serve::SnapshotCache& cache,
+                    const serve::ServerOptions& options,
+                    const TelemetryOptions& telemetry) {
+  serve::QueryEngine engine(cache);
+  obs::Registry registry;
+  cache.register_metrics(registry, "cache");
+  live.register_metrics(registry, "live");
+  engine.register_metrics(registry, "serve");
+  register_simd_metrics(registry);
+
+  serve::Server server(engine, options);
+  server.register_metrics(registry, "server");
+  server.set_ingest_handler([&](double tip, std::string& error) {
+    // Same order as file replay: the server flushed pending queries
+    // before calling us, so this batch lands between the same neighbors.
+    try {
+      IngestBatch batch = replay.batch_until(tip);
+      live.ingest(batch);
+      return true;
+    } catch (const std::exception& e) {
+      // A bad tip (e.g. not strictly advancing) rejects the line, and
+      // only the line: validate-before-mutate keeps the timeline usable.
+      error = e.what();
+      return false;
+    }
+  });
+  return run_server(server, registry, telemetry);
+}
+
+int cmd_listen(int argc, char** argv, const char* path) {
+  std::size_t cache_size = 0, batch_size = 0, publish_every = 0, shards = 0;
+  std::size_t max_line = 0, max_outbound = 0;
+  std::uint64_t port = 0, max_delay_us = 0, drain_timeout_ms = 0, sndbuf = 0;
+  const char* port_text = flag_value(argc, argv, "--port", "0");
+  const char* cache_text = flag_value(argc, argv, "--cache", "8");
+  const char* batch_text = flag_value(argc, argv, "--batch", "1024");
+  const char* delay_text = flag_value(argc, argv, "--max-delay-us", "1000");
+  const char* publish_text = flag_value(argc, argv, "--publish-every", "1");
+  const char* shards_text = flag_value(argc, argv, "--shards", "1");
+  const char* start_text = flag_value(argc, argv, "--start", nullptr);
+  const char* line_text = flag_value(argc, argv, "--max-line-bytes", "65536");
+  const char* outbound_text =
+      flag_value(argc, argv, "--max-outbound-bytes", "1048576");
+  const char* drain_text =
+      flag_value(argc, argv, "--drain-timeout-ms", "5000");
+  const char* sndbuf_text = flag_value(argc, argv, "--sndbuf", "0");
+  if (!parse_u64(port_text, port) || port > 65535) {
+    return complain("invalid --port '%s' (need 0..65535)", port_text);
+  }
+  if (!parse_size(cache_text, cache_size) || cache_size == 0) {
+    return complain("invalid --cache '%s' (need an integer > 0)", cache_text);
+  }
+  if (!parse_size(batch_text, batch_size) || batch_size == 0) {
+    return complain("invalid --batch '%s' (need an integer > 0)", batch_text);
+  }
+  if (!parse_u64(delay_text, max_delay_us)) {
+    return complain("invalid --max-delay-us '%s'", delay_text);
+  }
+  if (!parse_size(publish_text, publish_every) || publish_every == 0) {
+    return complain("invalid --publish-every '%s' (need an integer > 0)",
+                    publish_text);
+  }
+  if (!parse_size(shards_text, shards) || shards == 0) {
+    return complain("invalid --shards '%s' (need an integer > 0)",
+                    shards_text);
+  }
+  if (!parse_size(line_text, max_line) || max_line == 0) {
+    return complain("invalid --max-line-bytes '%s' (need an integer > 0)",
+                    line_text);
+  }
+  if (!parse_size(outbound_text, max_outbound) || max_outbound == 0) {
+    return complain("invalid --max-outbound-bytes '%s' (need an integer"
+                    " > 0)",
+                    outbound_text);
+  }
+  if (!parse_u64(drain_text, drain_timeout_ms)) {
+    return complain("invalid --drain-timeout-ms '%s'", drain_text);
+  }
+  if (!parse_u64(sndbuf_text, sndbuf) || sndbuf > 0x7fffffffULL) {
+    return complain("invalid --sndbuf '%s'", sndbuf_text);
+  }
+  double start = 0.0;
+  if (start_text != nullptr && (!parse_double(start_text, start) ||
+                                start < 0.0)) {
+    return complain("invalid --start '%s' (need a day >= 0)", start_text);
+  }
+  TelemetryOptions telemetry;
+  if (const int rc = parse_telemetry(argc, argv, telemetry); rc >= 0) {
+    return rc;
+  }
+
+  serve::ServerOptions options;
+  options.port = static_cast<std::uint16_t>(port);
+  options.batch_size = batch_size;
+  options.max_delay_us = max_delay_us;
+  options.max_line_bytes = max_line;
+  options.max_outbound_bytes = max_outbound;
+  options.drain_timeout_ms = drain_timeout_ms;
+  options.sndbuf_bytes = static_cast<int>(sndbuf);
+
+  const auto net = load_san(path);
+  if (start_text == nullptr) {
+    // Static binding: the complete network, exactly `serve`'s engine
+    // setup — the socket response stream is byte-identical to it.
+    const SanTimeline timeline(net);
+    serve::SnapshotCache cache(timeline, cache_size);
+    serve::QueryEngine engine(cache);
+    obs::Registry registry;
+    cache.register_metrics(registry, "cache");
+    engine.register_metrics(registry, "serve");
+    register_simd_metrics(registry);
+    serve::Server server(engine, options);
+    server.register_metrics(registry, "server");
+    server.set_ingest_handler([](double, std::string& error) {
+      error = "ingest lines need a live binding (listen --start D)";
+      return false;
+    });
+    return run_server(server, registry, telemetry);
+  }
+
+  LiveReplay replay(net, start);
+  const SanTimeline frozen(replay.seed);
+  serve::SnapshotCache cache(frozen, cache_size);
+  if (shards > 1) {
+    san::ShardedLiveTimelineOptions live_options;
+    live_options.shards = shards;
+    live_options.batches_per_epoch = publish_every;
+    live_options.initial_tip = start;  // attr catalog times may lie ahead
+    san::ShardedLiveTimeline live(replay.seed, live_options);
+    cache.bind_live(live, start);
+    return run_listen_live(live, replay, cache, options, telemetry);
+  }
+  LiveTimelineOptions live_options;
+  live_options.batches_per_epoch = publish_every;
+  live_options.initial_tip = start;  // attr catalog times may lie ahead
+  LiveTimeline live(replay.seed, live_options);
+  cache.bind_live(live, start);
+  return run_listen_live(live, replay, cache, options, telemetry);
+}
+
 int cmd_genload(int argc, char** argv) {
   serve::GenloadOptions options;
   const char* queries_text = flag_value(argc, argv, "--queries", "1000");
@@ -889,6 +1153,10 @@ int missing_file(const char* command) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // SIGPIPE off: a peer (or a closed stdout pipe) must surface as a
+  // write error at the call site — send()/fflush() failure — not kill
+  // the process silently mid-replay or mid-serve.
+  std::signal(SIGPIPE, SIG_IGN);
   if (argc < 2) return usage();
   const std::string command = argv[1];
   if (command == "help" || command == "--help" || command == "-h") {
@@ -926,6 +1194,10 @@ int main(int argc, char** argv) {
     }
     if (command == "live") {
       return has_file ? cmd_live(argc, argv, argv[2]) : missing_file("live");
+    }
+    if (command == "listen") {
+      return has_file ? cmd_listen(argc, argv, argv[2])
+                      : missing_file("listen");
     }
     if (command == "genload") return cmd_genload(argc, argv);
   } catch (const std::exception& e) {

@@ -10,18 +10,22 @@ hand. Stdlib only; runs a real end-to-end generate -> snapshots -> serve
 Usage: tools/test_san_tool_cli.py /path/to/san_tool
 """
 
+import contextlib
 import json
 import os
+import signal
+import socket
 import subprocess
 import sys
 import tempfile
+import time
 
 FAILURES = []
 SAN_TOOL = None
 
 SUBCOMMANDS = [
     "generate", "measure", "snapshots", "crawl", "communities", "live",
-    "serve", "genload",
+    "serve", "listen", "genload",
 ]
 
 
@@ -49,6 +53,48 @@ def expect(name, result, code, streams=()):
             ok = False
             detail += f" missing {needle!r}"
     check(name, ok, detail)
+
+
+@contextlib.contextmanager
+def listen_server(*args, env=None):
+    """Spawn `san_tool listen`, scrape the bound port from the first
+    stderr line, and guarantee a SIGTERM + wait on the way out. Yields
+    (proc, port); port is None when the server failed to start."""
+    proc = subprocess.Popen([SAN_TOOL, "listen", *args],
+                            stdout=subprocess.DEVNULL,
+                            stderr=subprocess.PIPE, env=env)
+    banner = proc.stderr.readline().decode(errors="replace")
+    port = None
+    if banner.startswith("listening on 127.0.0.1:"):
+        port = int(banner.rsplit(":", 1)[1])
+    try:
+        yield proc, port
+    finally:
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=120)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+        proc.stderr.close()
+
+
+def sock_exchange(port, payload, chunks=None, pause=0.0):
+    """One protocol round trip: send, half-close, read to EOF."""
+    with socket.create_connection(("127.0.0.1", port), timeout=120) as s:
+        s.settimeout(120)
+        for piece in (chunks if chunks is not None else [payload]):
+            s.sendall(piece)
+            if pause:
+                time.sleep(pause)
+        s.shutdown(socket.SHUT_WR)
+        data = b""
+        while True:
+            got = s.recv(65536)
+            if not got:
+                return data
+            data += got
 
 
 def test_help_pages():
@@ -297,6 +343,237 @@ def test_new_query_kinds(tmp):
            run("serve", san, "--workload", workload), 1, ["'9'"])
 
 
+def test_listen_usage_errors():
+    expect("listen without FILE -> exit 2", run("listen"), 2,
+           ["positional FILE"])
+    expect("listen bad --port -> exit 2",
+           run("listen", "f.san", "--port", "70000"), 2, ["invalid --port"])
+    expect("listen garbage --max-delay-us -> exit 2",
+           run("listen", "f.san", "--max-delay-us", "2x"), 2,
+           ["invalid --max-delay-us"])
+    expect("listen zero --batch -> exit 2",
+           run("listen", "f.san", "--batch", "0"), 2, ["invalid --batch"])
+    expect("listen bad --start -> exit 2",
+           run("listen", "f.san", "--start", "-1"), 2, ["invalid --start"])
+    expect("listen unwritable --stats-json -> exit 2",
+           run("listen", "f.san", "--stats-json",
+               "/nonexistent-dir/stats.json"), 2, ["unwritable"])
+
+
+def test_listen_byte_identity(tmp):
+    """The acceptance gate: a genload scenario replayed over the socket
+    produces byte-identical result lines to `serve`/`live` file replay, at
+    SAN_THREADS=1/4 and at two --max-delay-us settings."""
+    san = os.path.join(tmp, "lsn.san")
+    expect("listen: generate net -> exit 0",
+           run("generate", "--kind", "gplus", "--nodes", "1500", "--seed",
+               "9", "-o", san), 0, ["wrote"])
+    static_wl = os.path.join(tmp, "lsn_static.txt")
+    live_wl = os.path.join(tmp, "lsn_live.txt")
+    expect("listen: genload static -> exit 0",
+           run("genload", "--queries", "120", "--nodes", "1500", "--seed",
+               "7", "-o", static_wl), 0)
+    expect("listen: genload live -> exit 0",
+           run("genload", "--queries", "120", "--nodes", "1500", "--seed",
+               "11", "--ingest", "0.2", "-o", live_wl), 0)
+    with open(static_wl, "rb") as f:
+        static_bytes = f.read()
+    with open(live_wl, "rb") as f:
+        live_bytes = f.read()
+
+    offline_static = run("serve", san, "--workload", static_wl)
+    expect("listen: offline serve reference -> exit 0", offline_static, 0)
+    offline_live = run("live", san, "--workload", live_wl, "--start", "0")
+    expect("listen: offline live reference -> exit 0", offline_live, 0)
+
+    for threads in ("1", "4"):
+        env = dict(os.environ, SAN_THREADS=threads)
+        for delay in ("0", "2000"):
+            with listen_server(san, "--max-delay-us", delay,
+                               env=env) as (proc, port):
+                check(f"listen starts (threads={threads} delay={delay})",
+                      port is not None)
+                if port is None:
+                    continue
+                got = sock_exchange(port, static_bytes)
+            check(f"socket == serve (threads={threads} delay={delay})",
+                  got.decode() == offline_static.stdout,
+                  f"got {len(got)}B want {len(offline_static.stdout)}B")
+            check(f"listen drains clean (threads={threads} delay={delay})",
+                  proc.returncode == 0, f"exit={proc.returncode}")
+
+        with listen_server(san, "--start", "0", "--max-delay-us", "500",
+                           env=env) as (proc, port):
+            check(f"listen --start 0 starts (threads={threads})",
+                  port is not None)
+            if port is None:
+                continue
+            got = sock_exchange(port, live_bytes)
+        check(f"socket == live (threads={threads})",
+              got.decode() == offline_live.stdout,
+              f"got {len(got)}B want {len(offline_live.stdout)}B")
+
+    # Sharded live binding over the socket matches the single shard too.
+    with listen_server(san, "--start", "0", "--shards", "4") as (proc,
+                                                                 port):
+        check("listen --shards 4 starts", port is not None)
+        if port is not None:
+            got = sock_exchange(port, live_bytes)
+            check("sharded socket == live",
+                  got.decode() == offline_live.stdout)
+
+
+def test_listen_protocol_edges(tmp):
+    """Edge rules over the wire: malformed tokens echo the file-replay
+    line-numbered diagnostics, NUL bytes, partial sends, oversize."""
+    san = os.path.join(tmp, "edge.san")
+    expect("edges: generate net -> exit 0",
+           run("generate", "--kind", "gplus", "--nodes", "1200", "--seed",
+               "3", "-o", san), 0, ["wrote"])
+
+    # File replay's diagnostic for the same stream, for comparison.
+    bad_wl = os.path.join(tmp, "edge_bad.txt")
+    with open(bad_wl, "w", encoding="utf-8") as f:
+        f.write("ego 5x 3\n")
+    offline = run("serve", san, "--workload", bad_wl)
+    expect("edges: file replay rejects line 1 -> exit 1", offline, 1,
+           ["workload line 1", "'5x'"])
+
+    with listen_server(san) as (proc, port):
+        check("edges: listen starts", port is not None)
+        if port is None:
+            return
+        # Malformed time on line 1; comment + blank lines keep counting;
+        # line 4 is valid and still served — an ERR poisons only its line.
+        got = sock_exchange(
+            port, b"ego 5x 3\n# comment\n\nego 50 3\n").decode()
+        lines = got.splitlines()
+        check("edges: two response lines", len(lines) == 2, repr(got))
+        if len(lines) == 2:
+            check("edges: ERR echoes file replay's line-numbered message",
+                  lines[0].startswith("ERR workload line 1:")
+                  and "'5x'" in lines[0]
+                  and lines[0][len("ERR "):] in offline.stderr,
+                  f"{lines[0]!r} vs {offline.stderr!r}")
+            check("edges: valid line after ERR still served",
+                  lines[1].startswith("ego t=50"), lines[1])
+
+        # A NUL inside the kind token: same path as file replay (the
+        # C-string diagnostic truncates at the NUL on both sides).
+        got = sock_exchange(port, b"ego\x00x 50 3\n").decode()
+        check("edges: NUL byte -> ERR unknown kind",
+              got.startswith("ERR workload line 1: unknown query kind"),
+              repr(got))
+
+        # One query split across four sends reassembles into one line.
+        got = sock_exchange(port, None,
+                            chunks=[b"eg", b"o 5", b"0 ", b"3\n"],
+                            pause=0.02).decode()
+        check("edges: partial sends reassemble",
+              got.startswith("ego t=50") and got.count("\n") == 1,
+              repr(got))
+
+        # ingest without a live binding rejects the line, not the server.
+        got = sock_exchange(port, b"ingest 50\nego 50 3\n").decode()
+        check("edges: ingest without live binding -> ERR",
+              got.startswith("ERR workload line 1:")
+              and "live binding" in got, repr(got))
+
+    with listen_server(san, "--max-line-bytes", "256") as (proc, port):
+        check("edges: small-line listen starts", port is not None)
+        if port is not None:
+            got = sock_exchange(port, b"x" * 1000).decode()
+            check("edges: oversized line -> ERR + disconnect",
+                  got == "ERR workload line 1: line exceeds 256 bytes\n",
+                  repr(got))
+
+
+def test_listen_drain(tmp):
+    """SIGTERM while queries sit in the pending batch: every accepted
+    query is served before the connection closes, exit 0."""
+    san = os.path.join(tmp, "drain.san")
+    expect("drain: generate net -> exit 0",
+           run("generate", "--kind", "gplus", "--nodes", "1200", "--seed",
+               "3", "-o", san), 0, ["wrote"])
+    wl = os.path.join(tmp, "drain_wl.txt")
+    with open(wl, "w", encoding="utf-8") as f:
+        f.write("ego 50 3\nlinkrec now 3 5\nrecip 98 3 7\n")
+    offline = run("serve", san, "--workload", wl)
+    expect("drain: offline reference -> exit 0", offline, 0)
+
+    # A 60 s flush deadline and a huge batch: nothing flushes until the
+    # drain itself, so the responses prove the drain served the backlog.
+    with listen_server(san, "--max-delay-us", "60000000", "--batch",
+                       "1048576") as (proc, port):
+        check("drain: listen starts", port is not None)
+        if port is None:
+            return
+        with socket.create_connection(("127.0.0.1", port),
+                                      timeout=120) as s:
+            s.settimeout(120)
+            with open(wl, "rb") as f:
+                s.sendall(f.read())
+            time.sleep(0.3)  # let the server admit the queries
+            proc.send_signal(signal.SIGTERM)
+            data = b""
+            while True:
+                got = s.recv(65536)
+                if not got:
+                    break
+                data += got
+        check("drain: all pending queries answered",
+              data.decode() == offline.stdout,
+              f"got {data!r} want {offline.stdout!r}")
+        stderr = proc.stderr.read().decode()
+    check("drain: exit 0 after SIGTERM", proc.returncode == 0,
+          f"exit={proc.returncode}")
+    check("drain: final stats line printed", "drained:" in stderr, stderr)
+
+
+def test_export_write_failures(tmp):
+    """Satellite checks: full-disk exports and a closed stdout pipe are
+    exit-1 failures that name the sink, never silent truncation."""
+    san = os.path.join(tmp, "wf.san")
+    expect("writefail: generate net -> exit 0",
+           run("generate", "--kind", "gplus", "--nodes", "900", "--seed",
+               "4", "-o", san), 0, ["wrote"])
+    wl = os.path.join(tmp, "wf_wl.txt")
+    with open(wl, "w", encoding="utf-8") as f:
+        f.write("ego 10 3\nlinkrec 50 4 5\n")
+
+    if os.path.exists("/dev/full"):
+        expect("writefail: --stats-json /dev/full -> exit 1 naming path",
+               run("serve", san, "--workload", wl, "--stats-json",
+                   "/dev/full"), 1,
+               ["short write to stats JSON file '/dev/full'"])
+        expect("writefail: --trace /dev/full -> exit 1 naming path",
+               run("serve", san, "--workload", wl, "--trace", "/dev/full"),
+               1, ["short write to trace file '/dev/full'"])
+        expect("writefail: generate -o /dev/full -> exit 1 naming path",
+               run("generate", "--kind", "gplus", "--nodes", "900", "-o",
+                   "/dev/full"), 1, ["short write to /dev/full"])
+    else:
+        print("skip     /dev/full checks (no /dev/full on this host)")
+
+    # stdout wired to a pipe whose read end is already gone: EPIPE must
+    # surface as exit 1 with a diagnostic, not a silent half-result
+    # (san_tool ignores SIGPIPE so the write error is reportable).
+    for name, extra in (("serve", []), ("live", ["--start", "50"])):
+        read_fd, write_fd = os.pipe()
+        os.close(read_fd)
+        try:
+            result = subprocess.run(
+                [SAN_TOOL, name, san, "--workload", wl, *extra],
+                stdout=write_fd, stderr=subprocess.PIPE, text=True,
+                timeout=300)
+        finally:
+            os.close(write_fd)
+        check(f"writefail: {name} broken stdout -> exit 1 + diagnostic",
+              result.returncode == 1
+              and "short write to stdout" in result.stderr,
+              f"exit={result.returncode} stderr={result.stderr[:200]!r}")
+
+
 def test_telemetry(tmp):
     """--stats-json/--trace/--stats-every: valid artifacts, identical
     stdout, the documented key schema."""
@@ -389,12 +666,17 @@ def main():
     test_help_pages()
     test_usage_errors()
     test_genload_usage_errors()
+    test_listen_usage_errors()
     with tempfile.TemporaryDirectory() as tmp:
         test_runtime_failures(tmp)
         test_end_to_end(tmp)
         test_genload_pipeline(tmp)
         test_new_query_kinds(tmp)
         test_telemetry(tmp)
+        test_listen_byte_identity(tmp)
+        test_listen_protocol_edges(tmp)
+        test_listen_drain(tmp)
+        test_export_write_failures(tmp)
     if FAILURES:
         print(f"{len(FAILURES)} CLI contract checks failed", file=sys.stderr)
         return 1
